@@ -1,0 +1,91 @@
+// Placement ablation: geographically clustered memberships (the HIE model)
+// vs the uniform placement the simulation datasets assume.
+//
+// ε-PPI's β calculation is a per-identity function of frequency alone, so
+// its success ratio must be placement-invariant. Grouping baselines have no
+// such property: their achieved false-positive rate depends on how a
+// patient's providers fall across the random groups, which clustering
+// reshapes. Measured here side by side.
+#include <cstddef>
+#include <vector>
+
+#include "baseline/grouping_ppi.h"
+#include "bench_util.h"
+#include "common/rng.h"
+#include "core/constructor.h"
+#include "core/publisher.h"
+#include "dataset/hie_model.h"
+
+namespace {
+
+struct Outcome {
+  double eppi_success = 0.0;
+  double grouping_success = 0.0;
+  double spread = 0.0;
+};
+
+Outcome measure(double locality, std::uint64_t seed) {
+  eppi::Rng rng(seed);
+  eppi::dataset::HieModelConfig config;
+  config.providers = 400;
+  config.patients = 250;
+  config.mean_visits = 4.0;
+  config.locality = locality;
+  config.traveler_fraction = 0.0;
+  const auto world = eppi::dataset::make_hie_world(config, rng);
+  constexpr double kEps = 0.8;
+  const std::vector<double> epsilons(250, kEps);
+
+  Outcome o;
+  o.spread = world.mean_visit_spread();
+
+  eppi::core::ConstructionOptions options;
+  options.policy = eppi::core::BetaPolicy::chernoff(0.9);
+  const auto result = eppi::core::construct_centralized(
+      world.network.membership, epsilons, options, rng);
+  const auto rates = eppi::core::false_positive_rates(
+      world.network.membership, result.index.matrix());
+  std::size_t met = 0;
+  for (std::size_t j = 0; j < 250; ++j) {
+    if (result.info.is_apparent_common[j] || rates[j] >= kEps) ++met;
+  }
+  o.eppi_success = static_cast<double>(met) / 250.0;
+
+  // 80 groups of 5: fp = 0.8 exactly when a patient's providers land in
+  // distinct groups — the boundary configuration where placement matters.
+  const eppi::baseline::GroupingPpi grouping(world.network.membership, 80,
+                                             rng);
+  std::size_t gmet = 0;
+  for (std::size_t j = 0; j < 250; ++j) {
+    const auto f = world.network.membership.col_count(j);
+    const auto apparent = grouping.apparent_frequency(
+        static_cast<eppi::core::IdentityId>(j));
+    const double fp = apparent == 0
+                          ? 0.0
+                          : static_cast<double>(apparent - f) /
+                                static_cast<double>(apparent);
+    if (fp >= kEps) ++gmet;
+  }
+  o.grouping_success = static_cast<double>(gmet) / 250.0;
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  eppi::bench::ResultTable table({"locality", "visit-spread",
+                                  "eppi-success", "grouping-success"});
+  for (const double locality : {0.03, 0.1, 0.3, 10.0}) {
+    const Outcome o = measure(locality, 900 + static_cast<int>(locality * 10));
+    table.add_row({eppi::bench::fmt(locality, 2), eppi::bench::fmt(o.spread),
+                   eppi::bench::fmt(o.eppi_success),
+                   eppi::bench::fmt(o.grouping_success)});
+  }
+  table.print(
+      "Placement ablation: clustered (HIE model) vs uniform memberships "
+      "(eps=0.8)");
+  std::cout << "\neps-PPI's per-identity guarantee is placement-invariant "
+               "(frequency is the\nonly input); grouping's emergent privacy "
+               "shifts with how visits cluster.\n";
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Identity-mixing ablations (paper §III-B.2, Eq. 6-7).
+//
+//  1. Decoy-fraction concentration: Eq. 7 sets λ so the decoy fraction of
+//     the apparent-common set equals ξ *in expectation*; the expected decoy
+//     count is ξ/(1−ξ)·|common| independent of n, so with few common
+//     identities the realized fraction has high variance and the
+//     common-identity bound can be missed in individual constructions. We
+//     sweep the common count and report mean/min realized decoy fraction
+//     over repeated constructions — quantifying a caveat the paper leaves
+//     implicit.
+//
+//  2. Mixing on/off: attacker identification confidence with and without
+//     the defense (the ablation behind Table II's ε-PPI column).
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "attack/common_identity_attack.h"
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "core/constructor.h"
+#include "core/mixing.h"
+#include "dataset/synthetic.h"
+
+int main() {
+  constexpr std::size_t kM = 300;
+  constexpr std::size_t kN = 400;
+  constexpr double kEps = 0.8;  // xi of every run
+
+  // --- 1. Decoy-fraction concentration vs common count -----------------------
+  {
+    eppi::bench::ResultTable table({"commons", "expected-decoys",
+                                    "mean-decoy-frac", "min-decoy-frac",
+                                    "runs-below-xi"});
+    for (const std::size_t commons : {1u, 2u, 5u, 10u, 25u}) {
+      eppi::RunningStat fractions;
+      int below = 0;
+      constexpr int kRuns = 40;
+      for (int run = 0; run < kRuns; ++run) {
+        eppi::Rng rng(1000 + commons * 100 + run);
+        std::vector<std::uint64_t> freqs(kN, 2);
+        for (std::size_t j = 0; j < commons; ++j) freqs[j] = kM - 1 - j;
+        const auto net =
+            eppi::dataset::make_network_with_frequencies(kM, freqs, rng);
+        const std::vector<double> eps(kN, kEps);
+        eppi::core::ConstructionOptions options;
+        options.policy = eppi::core::BetaPolicy::basic();
+        const auto info = eppi::core::calculate_betas(net.membership, eps,
+                                                      options, rng);
+        const double frac = eppi::core::achieved_decoy_fraction(
+            info.is_common, info.is_apparent_common);
+        fractions.add(frac);
+        if (frac < kEps) ++below;
+      }
+      const double expected_decoys =
+          kEps / (1.0 - kEps) * static_cast<double>(commons);
+      table.add_row({std::to_string(commons),
+                     eppi::bench::fmt(expected_decoys, 1),
+                     eppi::bench::fmt(fractions.mean()),
+                     eppi::bench::fmt(fractions.min()),
+                     std::to_string(below) + "/40"});
+    }
+    table.print(
+        "Mixing ablation 1: decoy-fraction concentration (xi=0.8, n=400)");
+    std::cout << "Eq. 7 holds in expectation; with few common identities "
+                 "the realized decoy\nfraction fluctuates (small expected "
+                 "decoy pools), tightening with |common|.\n";
+  }
+
+  // --- 2. Mixing on/off ---------------------------------------------------------
+  {
+    eppi::bench::ResultTable table(
+        {"mixing", "apparent-commons", "ident-confidence"});
+    for (const bool mixing : {true, false}) {
+      eppi::Rng rng(77);
+      std::vector<std::uint64_t> freqs(kN, 2);
+      for (std::size_t j = 0; j < 5; ++j) freqs[j] = kM - 1 - j;
+      const auto net =
+          eppi::dataset::make_network_with_frequencies(kM, freqs, rng);
+      const std::vector<double> eps(kN, kEps);
+      eppi::core::ConstructionOptions options;
+      options.policy = eppi::core::BetaPolicy::basic();
+      options.enable_mixing = mixing;
+      const auto result = eppi::core::construct_centralized(net.membership,
+                                                            eps, options, rng);
+      std::vector<std::uint64_t> knowledge(kN);
+      for (std::size_t j = 0; j < kN; ++j) {
+        knowledge[j] = result.index.matrix().col_count(j);
+      }
+      const auto outcome = eppi::attack::common_identity_attack(
+          net.membership, knowledge, kM, result.info.is_common, 5, rng);
+      table.add_row({mixing ? "on" : "off",
+                     std::to_string(outcome.candidates),
+                     eppi::bench::fmt(outcome.identification_confidence())});
+    }
+    table.print("Mixing ablation 2: the common-identity defense on/off");
+    std::cout << "Without mixing, only true commons publish full columns — "
+                 "identification is\ncertain. Mixing hides them among "
+                 "lambda-selected decoys.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Policy ablation: the exact-tail policy (extension) vs the paper's three.
+//
+// The Chernoff policy buys its γ guarantee with a provably sufficient — but
+// conservative — β. The exact policy bisects the true binomial tail
+// (core/guarantee.h) for the minimal β meeting the same γ, returning the
+// bound's slack to the searchers as lower overhead. This bench quantifies
+// the saving across the Fig. 5 operating range, with the achieved success
+// probability shown analytically for every policy.
+#include <cstddef>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/advisor.h"
+#include "core/beta_policy.h"
+#include "core/guarantee.h"
+
+int main() {
+  constexpr std::size_t kM = 10000;
+  constexpr double kEps = 0.5;
+  constexpr double kGamma = 0.9;
+
+  eppi::bench::ResultTable table(
+      {"frequency", "chernoff-beta", "exact-beta", "chernoff-overhead",
+       "exact-overhead", "saving", "exact-success"});
+  for (const std::size_t freq : {10u, 50u, 100u, 200u, 500u, 1000u}) {
+    const double sigma = static_cast<double>(freq) / kM;
+    const auto chernoff = eppi::core::BetaPolicy::chernoff(kGamma);
+    const auto exact = eppi::core::BetaPolicy::exact(kGamma);
+    const double bc = eppi::core::beta_clamped(chernoff, sigma, kEps, kM);
+    const double be = eppi::core::beta_clamped(exact, sigma, kEps, kM);
+    const double oc =
+        eppi::core::expected_overhead(chernoff, sigma, kEps, kM);
+    const double oe = eppi::core::expected_overhead(exact, sigma, kEps, kM);
+    const double success =
+        eppi::core::policy_success_probability(exact, kM, freq, kEps);
+    table.add_row({std::to_string(freq), eppi::bench::fmt(bc, 5),
+                   eppi::bench::fmt(be, 5), eppi::bench::fmt(oc, 1),
+                   eppi::bench::fmt(oe, 1),
+                   eppi::bench::fmt(100.0 * (oc - oe) / oc, 1) + "%",
+                   eppi::bench::fmt(success)});
+  }
+  table.print(
+      "Policy ablation: Chernoff bound vs exact binomial tail "
+      "(m=10000, eps=0.5, gamma=0.9)");
+  std::cout << "\nBoth policies guarantee success >= gamma; the exact policy "
+               "sheds the\nChernoff slack — fewer noise providers per query "
+               "at the same privacy.\n";
+  return 0;
+}

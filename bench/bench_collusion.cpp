@@ -1,0 +1,100 @@
+// Colluding-provider attack analysis (the tech-report experiment the paper
+// defers to from §II-B).
+//
+// Two questions, answered empirically:
+//
+//  1. Published-index collusion: does a coalition of providers sharing
+//     their true local vectors deflate other providers' privacy? Reported
+//     as attacker confidence against non-coalition providers vs. coalition
+//     size — flat at ~1 − ε, because providers flip publication coins
+//     independently.
+//
+//  2. Construction collusion: can fewer than c colluding coordinators learn
+//     identity frequencies from their SecSumShare views? Reported as the
+//     chi-squared uniformity statistic of the pooled partial sums — the
+//     partial sums stay uniform over Z_q until all c views are pooled.
+#include <cstddef>
+#include <vector>
+
+#include "attack/collusion.h"
+#include "attack/collusion_attack.h"
+#include "bench_util.h"
+#include "common/rng.h"
+#include "core/beta_policy.h"
+#include "core/publisher.h"
+#include "dataset/synthetic.h"
+#include "net/cluster.h"
+#include "secret/sec_sum_share.h"
+
+int main() {
+  // --- 1. Published-index collusion ----------------------------------------
+  {
+    constexpr std::size_t kM = 2000;
+    constexpr std::size_t kFreq = 40;
+    constexpr double kEps = 0.7;
+    eppi::Rng rng(2024);
+    const auto net = eppi::dataset::make_network_with_frequencies(
+        kM, std::vector<std::uint64_t>{kFreq}, rng);
+    const double sigma = static_cast<double>(kFreq) / kM;
+    const std::vector<double> betas{eppi::core::beta_clamped(
+        eppi::core::BetaPolicy::chernoff(0.9), sigma, kEps, kM)};
+    const auto published =
+        eppi::core::publish_matrix(net.membership, betas, rng);
+
+    const std::vector<std::size_t> sizes{0, 50, 200, 500, 1000, 1500};
+    const auto curve = eppi::attack::collusion_confidence_curve(
+        net.membership, published, 0, sizes, 20, rng);
+
+    eppi::bench::ResultTable table(
+        {"coalition-size", "outside-confidence", "bound(1-eps)"});
+    for (std::size_t k = 0; k < sizes.size(); ++k) {
+      table.add_row({std::to_string(sizes[k]), eppi::bench::fmt(curve[k]),
+                     eppi::bench::fmt(1.0 - kEps)});
+    }
+    table.print(
+        "Collusion vs published index (m=2000, eps=0.7): confidence against "
+        "outsiders");
+    std::cout << "Independent publication coins keep the outside "
+                 "false-positive rate at eps:\ncolluders learn their own "
+                 "bits but deflate nobody else's noise.\n";
+  }
+
+  // --- 2. Construction collusion (SecSumShare secrecy) ----------------------
+  {
+    constexpr std::size_t kM = 12;
+    constexpr std::size_t kC = 4;
+    constexpr std::size_t kN = 2048;
+    std::vector<std::vector<std::uint8_t>> inputs(
+        kM, std::vector<std::uint8_t>(kN, 1));
+    eppi::net::Cluster cluster(kM, 5);
+    std::vector<std::vector<std::uint64_t>> views(kC);
+    const eppi::secret::SecSumShareParams params{kC, 0, kN};
+    cluster.run([&](eppi::net::PartyContext& ctx) {
+      const auto result = eppi::secret::run_sec_sum_share_party(
+          ctx, params, inputs[ctx.id()]);
+      if (ctx.id() < kC) views[ctx.id()] = *result;
+    });
+    const auto ring = eppi::secret::resolve_ring(params, kM);
+    const eppi::attack::CollusionObserver observer(views, ring.q());
+
+    eppi::bench::ResultTable table(
+        {"colluding-coordinators", "chi2-vs-uniform", "verdict"});
+    std::vector<std::size_t> subset;
+    for (std::size_t size = 1; size <= kC; ++size) {
+      subset.push_back(size - 1);
+      const double chi2 = observer.uniformity_chi2(subset, 8);
+      // With 8 buckets, chi2 >> 8 means the distribution collapsed (the
+      // secret is visible); uniform noise stays near the dof.
+      const bool leaked = chi2 > 100.0;
+      table.add_row({std::to_string(size), eppi::bench::fmt(chi2, 1),
+                     leaked ? "SUM RECOVERED" : "uniform (nothing learned)"});
+    }
+    table.print(
+        "Collusion vs SecSumShare (c=4): pooled partial-sum uniformity");
+    std::cout << "Theorem 4.1: any c-1 of the c coordinator views are "
+                 "uniform over Z_q;\nonly pooling all c recovers the "
+                 "frequency (every input here is the constant 12,\nso the "
+                 "full pool collapses to a single bucket).\n";
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Figure 5a: quality of privacy preservation vs. identity frequency.
+//
+// Paper setup (§V-A2): m = 10,000 providers, ε = 0.5, identity frequency
+// swept from near 0 to ~500; policies basic, incremented-expectation
+// (Δ = 0.02) and Chernoff (γ = 0.9). Reported metric: success rate
+// p_p = Pr[fp_j >= ε_j] estimated over repeated randomized publications.
+//
+// Expected shape: Chernoff ~1.0 everywhere; basic ~0.5; inc-exp close to 1
+// at low frequency but degrading as frequency rises (the fixed Δ loses
+// relative weight as β_b grows with σ).
+#include <cstddef>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "core/beta_policy.h"
+#include "core/guarantee.h"
+
+namespace {
+
+using eppi::core::BetaPolicy;
+
+// Pr[fp >= eps] when m - freq negative providers each flip with probability
+// beta_raw (clamped), estimated over `trials` publications.
+double success_ratio(const BetaPolicy& policy, std::size_t m,
+                     std::size_t freq, double eps, int trials,
+                     eppi::Rng& rng) {
+  const double sigma = static_cast<double>(freq) / static_cast<double>(m);
+  const double beta =
+      eppi::core::beta_clamped(policy, sigma, eps, m);
+  const std::size_t negatives = m - freq;
+  int successes = 0;
+  for (int t = 0; t < trials; ++t) {
+    std::size_t false_pos = 0;
+    for (std::size_t i = 0; i < negatives; ++i) {
+      false_pos += rng.bernoulli(beta) ? 1 : 0;
+    }
+    const double fp = static_cast<double>(false_pos) /
+                      static_cast<double>(false_pos + freq);
+    if (fp >= eps) ++successes;
+  }
+  return static_cast<double>(successes) / trials;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kM = 10000;
+  constexpr double kEps = 0.5;
+  constexpr int kTrials = 60;
+  const std::vector<std::size_t> frequencies{10,  50,  100, 150, 200,
+                                             300, 400, 500};
+  const BetaPolicy basic = BetaPolicy::basic();
+  const BetaPolicy inc_exp = BetaPolicy::inc_exp(0.02);
+  const BetaPolicy chernoff = BetaPolicy::chernoff(0.9);
+
+  eppi::Rng rng(51);
+  eppi::bench::ResultTable table({"frequency", "basic", "inc-exp(0.02)",
+                                  "chernoff(0.9)", "chernoff-exact"});
+  for (const std::size_t freq : frequencies) {
+    table.add_row(
+        {std::to_string(freq),
+         eppi::bench::fmt(success_ratio(basic, kM, freq, kEps, kTrials, rng)),
+         eppi::bench::fmt(
+             success_ratio(inc_exp, kM, freq, kEps, kTrials, rng)),
+         eppi::bench::fmt(
+             success_ratio(chernoff, kM, freq, kEps, kTrials, rng)),
+         // Closed-form binomial tail (core/guarantee.h): the analytic value
+         // the simulated column estimates.
+         eppi::bench::fmt(eppi::core::policy_success_probability(
+             chernoff, kM, freq, kEps))});
+  }
+  table.print(
+      "Fig 5a: success rate p_p vs identity frequency (m=10000, eps=0.5)");
+  std::cout << "\nPaper shape: chernoff ~1.0 across the sweep; basic ~0.5;\n"
+               "inc-exp high at low frequency, degrading as frequency "
+               "grows.\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Shared output helpers for the figure/table reproduction benches.
+//
+// Every bench prints (a) a human-readable aligned table and (b) the same
+// rows as machine-readable CSV lines prefixed with "csv," so results can be
+// scraped into plots: `./bench_fig5a | grep ^csv, | cut -d, -f2-`.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace eppi::bench {
+
+class ResultTable {
+ public:
+  explicit ResultTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void print(const std::string& title) const {
+    std::cout << "\n== " << title << " ==\n";
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+      for (const auto& row : rows_) {
+        if (c < row.size()) widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    const auto print_row = [&](const std::vector<std::string>& row) {
+      for (std::size_t c = 0; c < headers_.size(); ++c) {
+        const std::string& cell = c < row.size() ? row[c] : "";
+        std::cout << "  " << cell
+                  << std::string(widths[c] - cell.size(), ' ');
+      }
+      std::cout << '\n';
+    };
+    print_row(headers_);
+    for (const auto& row : rows_) print_row(row);
+    // CSV mirror.
+    for (const auto& row : rows_) {
+      std::cout << "csv";
+      for (const auto& cell : row) std::cout << ',' << cell;
+      std::cout << '\n';
+    }
+    std::cout.flush();
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int decimals = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace eppi::bench

@@ -1,0 +1,90 @@
+// Attack demonstration: why personalized, quantitative privacy matters.
+//
+// Mounts the paper's two attacks (§II-B) against three locator designs over
+// the same network:
+//   * a naive index publishing the truth,
+//   * a grouping PPI (the prior art, refs [12], [13]),
+//   * ε-PPI with per-owner degrees.
+// and prints each attacker's measured confidence next to the per-owner
+// bound 1 − ε the owner asked for.
+//
+// Run: ./attack_demo
+#include <iostream>
+
+#include "attack/common_identity_attack.h"
+#include "attack/primary_attack.h"
+#include "baseline/grouping_ppi.h"
+#include "core/constructor.h"
+#include "dataset/synthetic.h"
+
+int main() {
+  eppi::Rng rng(13);
+  constexpr std::size_t kProviders = 200;
+  constexpr std::size_t kOwners = 50;
+
+  // Owner 0 is a common identity (195 of 200 providers); the rest are rare.
+  std::vector<std::uint64_t> freqs(kOwners, 3);
+  freqs[0] = 195;
+  const auto network =
+      eppi::dataset::make_network_with_frequencies(kProviders, freqs, rng);
+
+  // Heterogeneous privacy demands.
+  auto epsilons = eppi::dataset::random_epsilons(kOwners, rng, 0.4, 0.8);
+  epsilons[0] = 0.8;  // the common identity wants strong protection
+
+  eppi::core::ConstructionOptions options;
+  options.policy = eppi::core::BetaPolicy::chernoff(0.9);
+  const auto eppi_index = eppi::core::construct_centralized(
+      network.membership, epsilons, options, rng);
+  const eppi::baseline::GroupingPpi grouping(network.membership, 50, rng);
+
+  std::cout << "=== Primary attack (claim: owner t has records at provider "
+               "p) ===\n";
+  std::cout << "owner | eps  | bound 1-eps | naive | grouping | eps-PPI\n";
+  for (const std::size_t owner : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{3}}) {
+    const double naive =
+        eppi::attack::exact_confidence(network.membership,
+                                       network.membership, owner);
+    const double group = eppi::attack::exact_confidence(
+        network.membership, grouping.provider_view(), owner);
+    const double eppi_conf = eppi::attack::exact_confidence(
+        network.membership, eppi_index.index.matrix(), owner);
+    std::printf("t%-4zu | %.2f | %.2f        | %.2f  | %.2f     | %.2f\n",
+                owner, epsilons[owner], 1.0 - epsilons[owner], naive, group,
+                eppi_conf);
+  }
+
+  std::cout << "\n=== Common-identity attack (find the owner who visited "
+               "everyone) ===\n";
+  // The attacker flags owners whose published column is (near) full.
+  std::vector<std::uint64_t> knowledge(kOwners);
+  for (std::size_t j = 0; j < kOwners; ++j) {
+    knowledge[j] = eppi_index.index.matrix().col_count(j);
+  }
+  const auto vs_eppi = eppi::attack::common_identity_attack(
+      network.membership, knowledge, kProviders, eppi_index.info.is_common,
+      20, rng);
+  std::cout << "against eps-PPI:   flagged " << vs_eppi.candidates
+            << " candidates, identification confidence "
+            << vs_eppi.identification_confidence() << " (bound: "
+            << 1.0 - eppi_index.info.xi << ")\n";
+
+  for (std::size_t j = 0; j < kOwners; ++j) {
+    knowledge[j] = grouping.apparent_frequency(
+        static_cast<eppi::core::IdentityId>(j));
+  }
+  const auto vs_grouping = eppi::attack::common_identity_attack(
+      network.membership, knowledge, kProviders - 50,
+      eppi_index.info.is_common, 20, rng);
+  std::cout << "against grouping:  flagged " << vs_grouping.candidates
+            << " candidates, identification confidence "
+            << vs_grouping.identification_confidence()
+            << " (no bound offered)\n";
+
+  std::cout << "\neps-PPI hides the celebrity among "
+            << vs_eppi.candidates - vs_eppi.identity_hits
+            << " lambda-mixed decoy owners; grouping leaves the frequency "
+               "shape exposed.\n";
+  return 0;
+}

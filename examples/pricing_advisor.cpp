@@ -1,0 +1,51 @@
+// Pricing/advisory walk-through for the ε knob (paper footnote 3).
+//
+// An owner delegating records asks: "what does ε buy me, and what does it
+// cost?" The advisor quantifies both sides — the attacker-confidence bound
+// 1 − ε, and the expected search overhead every query for this owner will
+// impose (which footnote 3 suggests charging for).
+//
+// Run: ./pricing_advisor
+#include <cstdio>
+#include <iostream>
+
+#include "core/advisor.h"
+
+int main() {
+  constexpr std::size_t kProviders = 5000;  // a mid-size national network
+  const eppi::core::BetaPolicy policy = eppi::core::BetaPolicy::chernoff(0.9);
+  const eppi::core::Tariff tariff{5.0, 0.02};  // base fee + per-noise-contact
+
+  std::cout << "Network: " << kProviders
+            << " providers; policy: Chernoff(gamma=0.9); tariff: base "
+            << tariff.base_fee << " + " << tariff.per_noise_provider
+            << "/noise contact\n\n";
+
+  for (const double sigma : {0.002, 0.02}) {
+    std::cout << "Owner with records at " << sigma * kProviders
+              << " providers (sigma = " << sigma << "):\n";
+    std::printf("  %-6s %-18s %-18s %-12s %-10s\n", "eps",
+                "attacker-conf <=", "expected noise", "list size", "price");
+    for (const double eps : {0.2, 0.5, 0.8, 0.95}) {
+      const double overhead =
+          eppi::core::expected_overhead(policy, sigma, eps, kProviders);
+      const double size =
+          eppi::core::expected_result_size(policy, sigma, eps, kProviders);
+      const double price = eppi::core::delegation_price(tariff, policy, sigma,
+                                                        eps, kProviders);
+      std::printf("  %-6.2f %-18.2f %-18.1f %-12.1f %-10.2f\n", eps,
+                  1.0 - eps, overhead, size, price);
+    }
+    std::cout << '\n';
+  }
+
+  // Inverse direction: a compliance team mandates attacker confidence <= 5%.
+  const double required =
+      eppi::core::epsilon_for_confidence_bound(0.05);
+  std::cout << "To cap attacker confidence at 5%, delegate with eps >= "
+            << required << " — expected noise "
+            << eppi::core::expected_overhead(policy, 0.002, required,
+                                             kProviders)
+            << " providers per query.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Quickstart: build an ε-PPI over a small synthetic network and query it.
+//
+//   1. Generate a network of providers holding owner records.
+//   2. Each owner picks a personal privacy degree ε.
+//   3. Construct the index with the centralized constructor.
+//   4. Query the locator service and run the two-phase search.
+//
+// Run: ./quickstart
+#include <iostream>
+
+#include "core/auth_search.h"
+#include "core/constructor.h"
+#include "core/publisher.h"
+#include "dataset/synthetic.h"
+
+int main() {
+  eppi::Rng rng(7);
+
+  // 1. A network of 50 providers and 20 owners with a skewed frequency
+  //    profile (some owners visited many providers).
+  eppi::dataset::SyntheticConfig config;
+  config.providers = 50;
+  config.identities = 20;
+  config.zipf_exponent = 1.0;
+  config.max_fraction = 0.9;
+  const auto network = eppi::dataset::make_zipf_network(config, rng);
+
+  // 2. Per-owner privacy degrees: owner 0 is a "celebrity" demanding strong
+  //    protection; the rest are average users.
+  std::vector<double> epsilons(20, 0.4);
+  epsilons[0] = 0.9;
+
+  // 3. Construct the ε-PPI (Chernoff policy: the per-owner false-positive
+  //    guarantee holds with probability >= 0.9).
+  eppi::core::ConstructionOptions options;
+  options.policy = eppi::core::BetaPolicy::chernoff(0.9);
+  const auto result = eppi::core::construct_centralized(
+      network.membership, epsilons, options, rng);
+
+  std::cout << "Constructed eps-PPI over " << result.index.providers()
+            << " providers / " << result.index.identities() << " owners\n";
+  std::cout << "Common identities mixed at lambda = " << result.info.lambda
+            << "\n\n";
+
+  // 4. Locate owner 5's records: QueryPPI then AuthSearch.
+  const eppi::core::IdentityId owner = 5;
+  const auto candidates = result.index.query(owner);
+  std::cout << "QueryPPI(t" << owner << ") -> " << candidates.size()
+            << " candidate providers (true: "
+            << network.membership.col_count(owner) << ", the rest is "
+            << "privacy noise)\n";
+
+  const auto outcome =
+      eppi::core::two_phase_search(result.index, network.membership, owner);
+  std::cout << "AuthSearch found records at " << outcome.matched.size()
+            << " providers; " << outcome.wasted_contacts()
+            << " contacts were false positives.\n";
+
+  // The index never loses a true provider.
+  std::cout << "Full recall: "
+            << (eppi::core::full_recall(network.membership,
+                                        result.index.matrix())
+                    ? "yes"
+                    : "NO (bug!)")
+            << '\n';
+  return 0;
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Full reproduction pipeline: build, test, regenerate every paper table and
+# figure plus the ablations. Outputs land in ./results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build -j"$(nproc)" | tee results_tests.txt || exit 1
+
+mkdir -p results
+for bench in build/bench/bench_*; do
+  name=$(basename "$bench")
+  echo "== running $name =="
+  "$bench" | tee "results/$name.txt"
+done
+echo "done; see results/ and EXPERIMENTS.md for the paper-vs-measured notes"

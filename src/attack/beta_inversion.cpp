@@ -1,0 +1,71 @@
+#include "attack/beta_inversion.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace eppi::attack {
+
+namespace {
+
+using eppi::core::BetaPolicy;
+using eppi::core::PolicyKind;
+
+std::optional<double> invert_basic(double beta, double epsilon) {
+  // Eq. 3 rearranged: β = [(σ⁻¹−1)(ε⁻¹−1)]⁻¹  ⇒  σ⁻¹ = 1 + 1/(β(ε⁻¹−1)).
+  if (epsilon <= 0.0 || epsilon >= 1.0) return std::nullopt;
+  const double k = beta * (1.0 / epsilon - 1.0);
+  if (k <= 0.0) return std::nullopt;
+  return 1.0 / (1.0 + 1.0 / k);
+}
+
+}  // namespace
+
+std::optional<double> invert_beta(const BetaPolicy& policy, double beta,
+                                  double epsilon, std::size_t m) {
+  require(m >= 1, "invert_beta: need at least one provider");
+  require(epsilon >= 0.0 && epsilon <= 1.0,
+          "invert_beta: epsilon out of [0,1]");
+  if (beta <= 0.0 || beta >= 1.0) return std::nullopt;
+  switch (policy.kind) {
+    case PolicyKind::kBasic:
+      return invert_basic(beta, epsilon);
+    case PolicyKind::kIncExp: {
+      const double raw = beta - policy.delta;
+      if (raw <= 0.0) return std::nullopt;
+      return invert_basic(raw, epsilon);
+    }
+    case PolicyKind::kChernoff:
+    case PolicyKind::kExact: {
+      // Both are strictly increasing in σ; bisect over [0, 1).
+      double lo = 0.0;
+      double hi = 1.0 - 1e-12;
+      if (eppi::core::beta_raw(policy, hi, epsilon, m) < beta) {
+        return std::nullopt;
+      }
+      for (int iter = 0; iter < 200; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        const double value = eppi::core::beta_raw(policy, mid, epsilon, m);
+        if (value < beta) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+      return 0.5 * (lo + hi);
+    }
+  }
+  throw eppi::ConfigError("invert_beta: unknown policy");
+}
+
+std::optional<std::uint64_t> invert_beta_frequency(const BetaPolicy& policy,
+                                                   double beta,
+                                                   double epsilon,
+                                                   std::size_t m) {
+  const auto sigma = invert_beta(policy, beta, epsilon, m);
+  if (!sigma) return std::nullopt;
+  return static_cast<std::uint64_t>(
+      std::llround(*sigma * static_cast<double>(m)));
+}
+
+}  // namespace eppi::attack

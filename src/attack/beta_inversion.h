@@ -1,0 +1,42 @@
+// β-inversion: recovering identity frequency from a released β value.
+//
+// The construction protocol ends with the β vector released to every
+// provider (paper Eq. 8-9 and §IV-C point 3: "the final output β does not
+// carry any private information"). That claim holds *only because of
+// identity mixing*: for an unmixed identity, β* is a strictly increasing
+// function of σ at fixed (ε, policy, m), so any provider — or an attacker a
+// provider colludes with — can invert it and read off the identity's exact
+// frequency. This module implements that inversion:
+//
+//  * basic policy: closed form from Eq. 3,
+//        σ = 1 / (1 + 1 / (β (ε⁻¹ − 1)));
+//  * inc-exp: closed form after subtracting Δ;
+//  * Chernoff: monotone in σ ⇒ bisection.
+//
+// For a mixed identity β = 1 and the preimage is the entire common range
+// plus the λ-selected decoys — the inversion collapses, which is precisely
+// the defense. Tests verify the round trip on unmixed identities and the
+// ambiguity on mixed ones; this is the quantitative argument for why the
+// common-identity attack breaks unmixed designs (SS-PPI) and not ε-PPI.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "core/beta_policy.h"
+
+namespace eppi::attack {
+
+// Recovers σ from an observed raw β (< 1) for the given policy/ε/m.
+// Returns std::nullopt when β >= 1 (saturated/mixed: the preimage is not a
+// point) or β <= 0 (σ = 0 or ε = 0; nothing to invert).
+std::optional<double> invert_beta(const eppi::core::BetaPolicy& policy,
+                                  double beta, double epsilon, std::size_t m);
+
+// Convenience: recovered absolute frequency (σ·m), rounded to the nearest
+// integer, or nullopt as above.
+std::optional<std::uint64_t> invert_beta_frequency(
+    const eppi::core::BetaPolicy& policy, double beta, double epsilon,
+    std::size_t m);
+
+}  // namespace eppi::attack

@@ -1,0 +1,50 @@
+#include "attack/collusion.h"
+
+#include "common/error.h"
+
+namespace eppi::attack {
+
+CollusionObserver::CollusionObserver(
+    std::vector<std::vector<std::uint64_t>> views, std::uint64_t q)
+    : views_(std::move(views)), q_(q) {
+  require(q_ >= 2, "CollusionObserver: bad modulus");
+  require(!views_.empty(), "CollusionObserver: no views");
+  for (const auto& v : views_) {
+    require(v.size() == views_[0].size(),
+            "CollusionObserver: inconsistent view lengths");
+  }
+}
+
+std::uint64_t CollusionObserver::partial_sum(
+    std::span<const std::size_t> view_subset, std::size_t identity) const {
+  require(identity < views_[0].size(), "CollusionObserver: bad identity");
+  std::uint64_t sum = 0;
+  for (const std::size_t v : view_subset) {
+    require(v < views_.size(), "CollusionObserver: bad view index");
+    sum = (sum + views_[v][identity]) % q_;
+  }
+  return sum;
+}
+
+double CollusionObserver::uniformity_chi2(
+    std::span<const std::size_t> view_subset, std::size_t buckets) const {
+  require(buckets >= 2, "CollusionObserver: need at least 2 buckets");
+  const std::size_t n = views_[0].size();
+  std::vector<std::size_t> counts(buckets, 0);
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::uint64_t s = partial_sum(view_subset, j);
+    const auto bucket = static_cast<std::size_t>(
+        (static_cast<unsigned __int128>(s) * buckets) / q_);
+    ++counts[bucket];
+  }
+  const double expected =
+      static_cast<double>(n) / static_cast<double>(buckets);
+  double chi2 = 0.0;
+  for (const std::size_t count : counts) {
+    const double diff = static_cast<double>(count) - expected;
+    chi2 += diff * diff / expected;
+  }
+  return chi2;
+}
+
+}  // namespace eppi::attack

@@ -1,0 +1,41 @@
+// Collusion observer for the SecSumShare secrecy property (Theorem 4.1).
+//
+// Models an adversary that pools the views of x < c coordinators and tries
+// to learn an identity's frequency from the pooled shares. Theorem 4.1 says
+// the conditional distribution of the secret given fewer than c shares
+// equals the prior; the observer exposes the pooled partial sums so tests
+// and the security benches can verify that empirically (the partial sums are
+// uniform over Z_q and independent of the secret).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace eppi::attack {
+
+class CollusionObserver {
+ public:
+  // views[i] = coordinator i's output share vector from SecSumShare.
+  explicit CollusionObserver(
+      std::vector<std::vector<std::uint64_t>> views, std::uint64_t q);
+
+  std::size_t n_views() const noexcept { return views_.size(); }
+
+  // Pooled partial sum over a subset of the views for one identity: the best
+  // sufficient statistic available to the colluders.
+  std::uint64_t partial_sum(std::span<const std::size_t> view_subset,
+                            std::size_t identity) const;
+
+  // Chi-squared statistic of the partial-sum distribution across identities
+  // against the uniform distribution over Z_q (small value = consistent with
+  // uniform = nothing learned). Buckets Z_q into `buckets` cells.
+  double uniformity_chi2(std::span<const std::size_t> view_subset,
+                         std::size_t buckets) const;
+
+ private:
+  std::vector<std::vector<std::uint64_t>> views_;
+  std::uint64_t q_;
+};
+
+}  // namespace eppi::attack

@@ -1,0 +1,67 @@
+#include "attack/collusion_attack.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace eppi::attack {
+
+CollusionAttackResult colluding_primary_attack(
+    const eppi::BitMatrix& truth, const eppi::BitMatrix& published,
+    std::size_t identity, std::span<const std::size_t> coalition) {
+  require(truth.rows() == published.rows() &&
+              truth.cols() == published.cols(),
+          "colluding_primary_attack: shape mismatch");
+  require(identity < truth.cols(), "colluding_primary_attack: bad identity");
+
+  std::vector<std::uint8_t> in_coalition(truth.rows(), 0);
+  for (const std::size_t p : coalition) {
+    require(p < truth.rows(), "colluding_primary_attack: bad coalition id");
+    in_coalition[p] = 1;
+  }
+
+  CollusionAttackResult result;
+  for (std::size_t i = 0; i < truth.rows(); ++i) {
+    if (!published.get(i, identity)) continue;
+    if (in_coalition[i]) {
+      ++result.coalition_claims;
+      continue;
+    }
+    ++result.outside_claims;
+    if (truth.get(i, identity)) ++result.outside_true;
+  }
+  return result;
+}
+
+std::vector<double> collusion_confidence_curve(
+    const eppi::BitMatrix& truth, const eppi::BitMatrix& published,
+    std::size_t identity, std::span<const std::size_t> coalition_sizes,
+    std::size_t trials, eppi::Rng& rng) {
+  require(trials >= 1, "collusion_confidence_curve: need trials");
+  const std::size_t m = truth.rows();
+  std::vector<std::size_t> providers(m);
+  for (std::size_t i = 0; i < m; ++i) providers[i] = i;
+
+  std::vector<double> curve;
+  curve.reserve(coalition_sizes.size());
+  for (const std::size_t size : coalition_sizes) {
+    require(size <= m, "collusion_confidence_curve: coalition too large");
+    double total = 0.0;
+    for (std::size_t t = 0; t < trials; ++t) {
+      // Partial Fisher-Yates for a uniform coalition.
+      for (std::size_t i = 0; i < size; ++i) {
+        const std::size_t pick =
+            i + static_cast<std::size_t>(rng.next_below(m - i));
+        std::swap(providers[i], providers[pick]);
+      }
+      const auto result = colluding_primary_attack(
+          truth, published, identity,
+          std::span<const std::size_t>(providers.data(), size));
+      total += result.outside_confidence();
+    }
+    curve.push_back(total / static_cast<double>(trials));
+  }
+  return curve;
+}
+
+}  // namespace eppi::attack

@@ -1,0 +1,59 @@
+// Colluding-provider attack on the published index.
+//
+// The paper's threat model (§II-B) notes the attacker "can exploit other
+// knowledge through various channels, such as colluding providers" and
+// defers the analysis to the technical report. This module implements that
+// channel against the published matrix M':
+//
+// A coalition of providers shares its *true* local vectors with the
+// attacker. For a target identity t_j the attacker then:
+//   * discards coalition providers from the candidate set (their bits are
+//     known exactly), and
+//   * attacks only non-coalition providers with M'(i,j) = 1, with
+//     confidence (true positives outside the coalition) / (claims outside
+//     the coalition).
+//
+// Knowing part of the noise does not deflate the remaining noise: the
+// non-coalition false-positive rate stays at ε in expectation because every
+// provider flips its coin independently — the property measured by the
+// collusion bench and tests. (The coalition does learn its *own* bits, so
+// owners' privacy *at coalition members* is gone — which no index can
+// prevent, since those providers hold the records.)
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/bit_matrix.h"
+#include "common/rng.h"
+
+namespace eppi::attack {
+
+struct CollusionAttackResult {
+  std::size_t coalition_claims = 0;   // claims resolvable exactly (inside)
+  std::size_t outside_claims = 0;     // claimed positives outside coalition
+  std::size_t outside_true = 0;       // of which true
+  // Attacker confidence against non-coalition providers.
+  double outside_confidence() const noexcept {
+    return outside_claims == 0
+               ? 0.0
+               : static_cast<double>(outside_true) /
+                     static_cast<double>(outside_claims);
+  }
+};
+
+// Evaluates the attack on one identity given the coalition's provider ids.
+CollusionAttackResult colluding_primary_attack(
+    const eppi::BitMatrix& truth, const eppi::BitMatrix& published,
+    std::size_t identity, std::span<const std::size_t> coalition);
+
+// Confidence as a function of coalition size for a fixed identity, with the
+// coalition drawn uniformly without replacement `trials` times per size.
+// Returns one averaged confidence per entry of `coalition_sizes`.
+std::vector<double> collusion_confidence_curve(
+    const eppi::BitMatrix& truth, const eppi::BitMatrix& published,
+    std::size_t identity, std::span<const std::size_t> coalition_sizes,
+    std::size_t trials, eppi::Rng& rng);
+
+}  // namespace eppi::attack

@@ -1,0 +1,49 @@
+#include "attack/common_identity_attack.h"
+
+#include "common/error.h"
+
+namespace eppi::attack {
+
+std::vector<bool> truly_common_flags(const eppi::BitMatrix& truth,
+                                     std::uint64_t common_cutoff) {
+  std::vector<bool> flags(truth.cols());
+  for (std::size_t j = 0; j < truth.cols(); ++j) {
+    flags[j] = truth.col_count(j) >= common_cutoff;
+  }
+  return flags;
+}
+
+CommonAttackResult common_identity_attack(
+    const eppi::BitMatrix& truth, std::span<const std::uint64_t> knowledge,
+    std::uint64_t common_cutoff, std::size_t claims_per_identity,
+    eppi::Rng& rng) {
+  return common_identity_attack(truth, knowledge, common_cutoff,
+                                truly_common_flags(truth, common_cutoff),
+                                claims_per_identity, rng);
+}
+
+CommonAttackResult common_identity_attack(
+    const eppi::BitMatrix& truth, std::span<const std::uint64_t> knowledge,
+    std::uint64_t common_cutoff, const std::vector<bool>& truly_common,
+    std::size_t claims_per_identity, eppi::Rng& rng) {
+  require(knowledge.size() == truth.cols(),
+          "common_identity_attack: knowledge size mismatch");
+  require(truly_common.size() == truth.cols(),
+          "common_identity_attack: ground-truth size mismatch");
+  const std::size_t m = truth.rows();
+
+  CommonAttackResult result;
+  for (std::size_t j = 0; j < truth.cols(); ++j) {
+    if (knowledge[j] < common_cutoff) continue;
+    ++result.candidates;
+    if (truly_common[j]) ++result.identity_hits;
+    for (std::size_t t = 0; t < claims_per_identity; ++t) {
+      const auto provider = static_cast<std::size_t>(rng.next_below(m));
+      ++result.trials;
+      if (truth.get(provider, j)) ++result.successes;
+    }
+  }
+  return result;
+}
+
+}  // namespace eppi::attack

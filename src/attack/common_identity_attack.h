@@ -1,0 +1,73 @@
+// Common-identity attack simulation (paper §II-B, Appendix B).
+//
+// The attacker targets identities that appear at almost every provider: if
+// it can learn that σ_j is high, then *any* provider is a true positive with
+// near-certainty and the PPI's row noise is useless. The attack has two
+// steps — identify which identities are common, then claim membership at an
+// arbitrary provider — and its power depends entirely on the frequency
+// knowledge the PPI leaks:
+//
+//  * SS-PPI leaks exact frequencies during construction   -> NoProtect;
+//  * grouping PPIs reveal the truthful frequency shape in
+//    the published matrix                                 -> NoGuarantee;
+//  * ε-PPI publishes all apparent-common identities at β = 1 and hides
+//    their true frequencies behind λ-mixed decoys          -> confidence
+//    bounded by 1 − ξ (ε-PRIVATE).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bit_matrix.h"
+#include "common/rng.h"
+
+namespace eppi::attack {
+
+struct CommonAttackResult {
+  std::size_t candidates = 0;       // identities the attacker flagged common
+  std::size_t identity_hits = 0;    // flagged identities that are truly common
+  std::size_t trials = 0;           // membership claims mounted
+  std::size_t successes = 0;        // claims that were true memberships
+
+  // Step-1 confidence: picking a truly common identity out of the flagged
+  // set. This is the quantity ε-PPI's mixing bounds by 1 − ξ.
+  double identification_confidence() const noexcept {
+    return candidates == 0 ? 0.0
+                           : static_cast<double>(identity_hits) /
+                                 static_cast<double>(candidates);
+  }
+  // End-to-end confidence of the membership claims.
+  double claim_confidence() const noexcept {
+    return trials == 0 ? 0.0
+                       : static_cast<double>(successes) /
+                             static_cast<double>(trials);
+  }
+};
+
+// Mounts the attack given the attacker's per-identity frequency knowledge
+// (whatever the channel leaked: exact σ·m for SS-PPI, apparent frequencies
+// read off M' otherwise). Identities with knowledge >= common_cutoff are
+// flagged; `truly_common` is ground truth (frequency >= cutoff in M). For
+// each flagged identity, `claims_per_identity` membership claims are made
+// against uniformly chosen providers.
+CommonAttackResult common_identity_attack(
+    const eppi::BitMatrix& truth, std::span<const std::uint64_t> knowledge,
+    std::uint64_t common_cutoff, std::size_t claims_per_identity,
+    eppi::Rng& rng);
+
+// Variant with explicit ground truth: `truly_common[j]` says whether owner j
+// really is a common identity (e.g. by the β-policy's saturation threshold),
+// decoupled from the attacker's flagging cutoff. This matters for ε-PPI,
+// where every apparent-common column is full (knowledge cutoff = m) while
+// the policy's common threshold is much lower.
+CommonAttackResult common_identity_attack(
+    const eppi::BitMatrix& truth, std::span<const std::uint64_t> knowledge,
+    std::uint64_t knowledge_cutoff, const std::vector<bool>& truly_common,
+    std::size_t claims_per_identity, eppi::Rng& rng);
+
+// Ground-truth common flags at a frequency cutoff.
+std::vector<bool> truly_common_flags(const eppi::BitMatrix& truth,
+                                     std::uint64_t common_cutoff);
+
+}  // namespace eppi::attack

@@ -1,0 +1,56 @@
+#include "attack/primary_attack.h"
+
+#include "common/error.h"
+
+namespace eppi::attack {
+
+PrimaryAttackResult primary_attack(const eppi::BitMatrix& truth,
+                                   const eppi::BitMatrix& claims,
+                                   std::size_t identity, std::size_t trials,
+                                   eppi::Rng& rng) {
+  require(truth.rows() == claims.rows() && truth.cols() == claims.cols(),
+          "primary_attack: shape mismatch");
+  require(identity < truth.cols(), "primary_attack: unknown identity");
+
+  std::vector<std::size_t> positives;
+  for (std::size_t i = 0; i < claims.rows(); ++i) {
+    if (claims.get(i, identity)) positives.push_back(i);
+  }
+  PrimaryAttackResult result;
+  if (positives.empty()) return result;
+  result.trials = trials;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const std::size_t pick = positives[static_cast<std::size_t>(
+        rng.next_below(positives.size()))];
+    if (truth.get(pick, identity)) ++result.successes;
+  }
+  return result;
+}
+
+double exact_confidence(const eppi::BitMatrix& truth,
+                        const eppi::BitMatrix& claims, std::size_t identity) {
+  require(truth.rows() == claims.rows() && truth.cols() == claims.cols(),
+          "exact_confidence: shape mismatch");
+  require(identity < truth.cols(), "exact_confidence: unknown identity");
+  std::size_t claimed = 0;
+  std::size_t true_pos = 0;
+  for (std::size_t i = 0; i < claims.rows(); ++i) {
+    if (!claims.get(i, identity)) continue;
+    ++claimed;
+    if (truth.get(i, identity)) ++true_pos;
+  }
+  return claimed == 0 ? 0.0
+                      : static_cast<double>(true_pos) /
+                            static_cast<double>(claimed);
+}
+
+std::vector<double> exact_confidences(const eppi::BitMatrix& truth,
+                                      const eppi::BitMatrix& claims) {
+  std::vector<double> out(truth.cols());
+  for (std::size_t j = 0; j < truth.cols(); ++j) {
+    out[j] = exact_confidence(truth, claims, j);
+  }
+  return out;
+}
+
+}  // namespace eppi::attack

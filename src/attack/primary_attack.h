@@ -1,0 +1,45 @@
+// Primary attack simulation (paper §II-B).
+//
+// The attacker reads the public PPI data M', picks an owner t_j and a
+// provider p_i with M'(i,j) = 1, and claims "t_j has records at p_i". The
+// attack succeeds iff M(i,j) = 1, so against a uniformly chosen positive
+// provider the attacker's confidence equals 1 - fp_j (paper §II-C) — the
+// quantity ε-PPI promises to bound by 1 - ε_j.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bit_matrix.h"
+#include "common/rng.h"
+
+namespace eppi::attack {
+
+struct PrimaryAttackResult {
+  std::size_t trials = 0;       // attacks actually mounted
+  std::size_t successes = 0;
+  double empirical_confidence() const noexcept {
+    return trials == 0 ? 0.0
+                       : static_cast<double>(successes) /
+                             static_cast<double>(trials);
+  }
+};
+
+// Mounts `trials` independent primary attacks against identity j, each
+// picking a uniform provider among those with claims[i][j] = 1. Returns zero
+// trials if nobody claims the identity.
+PrimaryAttackResult primary_attack(const eppi::BitMatrix& truth,
+                                   const eppi::BitMatrix& claims,
+                                   std::size_t identity, std::size_t trials,
+                                   eppi::Rng& rng);
+
+// Exact attacker confidence: true positives / claimed positives for identity
+// j (the quantity the empirical attack estimates).
+double exact_confidence(const eppi::BitMatrix& truth,
+                        const eppi::BitMatrix& claims, std::size_t identity);
+
+// Per-identity exact confidences over the whole index.
+std::vector<double> exact_confidences(const eppi::BitMatrix& truth,
+                                      const eppi::BitMatrix& claims);
+
+}  // namespace eppi::attack

@@ -1,0 +1,52 @@
+#include "attack/privacy_degree.h"
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace eppi::attack {
+
+std::string to_string(PrivacyDegree degree) {
+  switch (degree) {
+    case PrivacyDegree::kUnleaked:
+      return "Unleaked";
+    case PrivacyDegree::kEpsPrivate:
+      return "eps-PRIVATE";
+    case PrivacyDegree::kNoGuarantee:
+      return "NoGuarantee";
+    case PrivacyDegree::kNoProtect:
+      return "NoProtect";
+  }
+  return "?";
+}
+
+double bound_satisfaction(std::span<const double> confidences,
+                          std::span<const double> epsilons, double slack) {
+  require(confidences.size() == epsilons.size(),
+          "bound_satisfaction: size mismatch");
+  if (confidences.empty()) return 1.0;
+  std::size_t held = 0;
+  for (std::size_t j = 0; j < confidences.size(); ++j) {
+    if (confidences[j] <= 1.0 - epsilons[j] + slack) ++held;
+  }
+  return static_cast<double>(held) / static_cast<double>(confidences.size());
+}
+
+PrivacyDegree classify_degree(std::span<const double> confidences,
+                              std::span<const double> epsilons,
+                              const DegreeThresholds& thresholds,
+                              double slack) {
+  require(confidences.size() == epsilons.size(),
+          "classify_degree: size mismatch");
+  if (confidences.empty()) return PrivacyDegree::kUnleaked;
+  const double quota = bound_satisfaction(confidences, epsilons, slack);
+  if (quota >= thresholds.eps_private_quota) {
+    return PrivacyDegree::kEpsPrivate;
+  }
+  const double avg = eppi::mean(confidences);
+  if (avg >= thresholds.no_protect_confidence) {
+    return PrivacyDegree::kNoProtect;
+  }
+  return PrivacyDegree::kNoGuarantee;
+}
+
+}  // namespace eppi::attack

@@ -1,0 +1,49 @@
+// Privacy-degree classification (paper §II-C, Table II).
+//
+// The paper defines four discrete degrees on its information-flow model:
+// Unleaked, ε-PRIVATE (attacker confidence provably bounded by 1 − ε),
+// NoGuarantee (leakage unpredictable) and NoProtect (attack succeeds with
+// certainty). This module classifies *measured* attack confidences so the
+// Table II comparison can be reproduced empirically: a system is rated
+// ε-PRIVATE when the per-owner bound holds for (almost) all owners,
+// NoProtect when confidence is ~1, NoGuarantee otherwise.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace eppi::attack {
+
+enum class PrivacyDegree {
+  kUnleaked,
+  kEpsPrivate,
+  kNoGuarantee,
+  kNoProtect,
+};
+
+std::string to_string(PrivacyDegree degree);
+
+struct DegreeThresholds {
+  // Fraction of owners whose bound must hold to rate ε-PRIVATE. Below 1.0 to
+  // absorb sampling noise in randomized experiments.
+  double eps_private_quota = 0.95;
+  // Mean confidence at or above this rates NoProtect.
+  double no_protect_confidence = 0.999;
+};
+
+// `confidences[j]` is the measured attacker confidence against owner j and
+// `epsilons[j]` the owner's privacy degree; the per-owner requirement is
+// confidence <= 1 − ε_j (+ slack).
+PrivacyDegree classify_degree(std::span<const double> confidences,
+                              std::span<const double> epsilons,
+                              const DegreeThresholds& thresholds = {},
+                              double slack = 0.02);
+
+// Fraction of owners meeting the ε-PRIVATE bound (the paper's success
+// ratio, from the attacker's side).
+double bound_satisfaction(std::span<const double> confidences,
+                          std::span<const double> epsilons,
+                          double slack = 0.0);
+
+}  // namespace eppi::attack

@@ -1,0 +1,79 @@
+#include "attack/threat_report.h"
+
+#include <algorithm>
+
+#include "attack/common_identity_attack.h"
+#include "attack/primary_attack.h"
+#include "common/error.h"
+
+namespace eppi::attack {
+
+ThreatReport audit_index(const eppi::BitMatrix& truth,
+                         const eppi::BitMatrix& published,
+                         std::span<const double> epsilons,
+                         const std::vector<bool>& truly_common,
+                         eppi::Rng& rng,
+                         const ThreatReportOptions& options) {
+  const std::size_t m = truth.rows();
+  const std::size_t n = truth.cols();
+  require(epsilons.size() == n, "audit_index: epsilon count mismatch");
+  require(truly_common.size() == n, "audit_index: common flags mismatch");
+
+  ThreatReport report;
+
+  // --- primary attack --------------------------------------------------------
+  report.primary_confidences = exact_confidences(truth, published);
+  double total = 0.0;
+  for (const double c : report.primary_confidences) total += c;
+  report.primary_mean_confidence =
+      n == 0 ? 0.0 : total / static_cast<double>(n);
+
+  std::vector<double> classified_conf;
+  std::vector<double> classified_eps;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (options.exclude_infeasible) {
+      const double freq = static_cast<double>(truth.col_count(j));
+      if (freq > (1.0 - epsilons[j]) * static_cast<double>(m)) continue;
+    }
+    classified_conf.push_back(report.primary_confidences[j]);
+    classified_eps.push_back(epsilons[j]);
+  }
+  report.owners_classified = classified_conf.size();
+  report.bound_satisfaction =
+      bound_satisfaction(classified_conf, classified_eps, options.slack);
+  report.primary_degree =
+      classify_degree(classified_conf, classified_eps, {}, options.slack);
+
+  // --- common-identity attack ---------------------------------------------
+  report.xi = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (truly_common[j]) report.xi = std::max(report.xi, epsilons[j]);
+  }
+  std::vector<std::uint64_t> knowledge(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    knowledge[j] = published.col_count(j);
+  }
+  const std::uint64_t cutoff =
+      options.common_knowledge_cutoff == 0 ? m
+                                           : options.common_knowledge_cutoff;
+  const auto outcome = common_identity_attack(
+      truth, knowledge, cutoff, truly_common, options.claims_per_identity,
+      rng);
+  report.common_candidates = outcome.candidates;
+  report.common_hits = outcome.identity_hits;
+  report.common_identification_confidence =
+      outcome.identification_confidence();
+  if (outcome.candidates == 0) {
+    report.common_degree = PrivacyDegree::kUnleaked;  // nothing to attack
+  } else if (report.common_identification_confidence >= 0.999) {
+    report.common_degree = PrivacyDegree::kNoProtect;
+  } else if (report.common_identification_confidence <=
+             1.0 - report.xi + options.slack) {
+    report.common_degree = PrivacyDegree::kEpsPrivate;
+  } else {
+    report.common_degree = PrivacyDegree::kNoGuarantee;
+  }
+  return report;
+}
+
+}  // namespace eppi::attack

@@ -1,0 +1,59 @@
+// Privacy audit: a one-call threat evaluation of a published index.
+//
+// Deployments want the paper's evaluation as a routine check, not a bench:
+// given the ground-truth membership, the published view and the per-owner
+// privacy degrees, produce the measured attacker confidences under both
+// attacks of the threat model (§II-B), the per-owner bound satisfaction and
+// the resulting privacy-degree classification (§II-C). The Table II bench
+// and the attack_demo example are thin wrappers over this.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "attack/privacy_degree.h"
+#include "common/bit_matrix.h"
+#include "common/rng.h"
+
+namespace eppi::attack {
+
+struct ThreatReportOptions {
+  // Per-owner primary-attack bound slack (absorbs sampling noise).
+  double slack = 0.02;
+  // Owners with frequency > (1 - eps) * m cannot meet the bound under any
+  // 100%-recall index (no negatives left); exclude them from the primary
+  // classification — they are covered by the common-identity defense.
+  bool exclude_infeasible = true;
+  // Apparent-frequency cutoff for flagging common identities (0 = full
+  // column).
+  std::uint64_t common_knowledge_cutoff = 0;
+  std::size_t claims_per_identity = 5;
+};
+
+struct ThreatReport {
+  // --- primary attack ----------------------------------------------------
+  std::vector<double> primary_confidences;  // per owner, exact
+  double primary_mean_confidence = 0.0;
+  double bound_satisfaction = 0.0;          // over classified owners
+  PrivacyDegree primary_degree = PrivacyDegree::kUnleaked;
+  std::size_t owners_classified = 0;        // after feasibility filter
+
+  // --- common-identity attack ---------------------------------------------
+  std::size_t common_candidates = 0;        // flagged by the attacker
+  std::size_t common_hits = 0;              // flagged and truly common
+  double common_identification_confidence = 0.0;
+  PrivacyDegree common_degree = PrivacyDegree::kUnleaked;
+  double xi = 0.0;                          // max eps over true commons
+};
+
+// `truly_common[j]` is the policy-level common flag (e.g.
+// ConstructionInfo::is_common); epsilons are the owners' degrees.
+ThreatReport audit_index(const eppi::BitMatrix& truth,
+                         const eppi::BitMatrix& published,
+                         std::span<const double> epsilons,
+                         const std::vector<bool>& truly_common,
+                         eppi::Rng& rng,
+                         const ThreatReportOptions& options = {});
+
+}  // namespace eppi::attack

@@ -1,0 +1,77 @@
+#include "baseline/grouping_ppi.h"
+
+#include "common/error.h"
+
+namespace eppi::baseline {
+
+GroupingPpi::GroupingPpi(const eppi::BitMatrix& truth, std::size_t n_groups,
+                         eppi::Rng& rng)
+    : n_groups_(n_groups) {
+  const std::size_t m = truth.rows();
+  const std::size_t n = truth.cols();
+  require(n_groups >= 1, "GroupingPpi: need at least one group");
+  require(n_groups <= m, "GroupingPpi: more groups than providers");
+
+  // Random assignment, the strategy of the published grouping PPIs. A
+  // round-robin over a shuffled provider order keeps group sizes balanced
+  // (|size difference| <= 1), matching the "uniform group size" setting the
+  // paper benchmarks against.
+  std::vector<std::size_t> order(m);
+  for (std::size_t i = 0; i < m; ++i) order[i] = i;
+  for (std::size_t i = m; i > 1; --i) {
+    const auto pick = static_cast<std::size_t>(rng.next_below(i));
+    std::swap(order[i - 1], order[pick]);
+  }
+  group_of_.resize(m);
+  members_.resize(n_groups);
+  for (std::size_t pos = 0; pos < m; ++pos) {
+    const auto g = static_cast<std::uint32_t>(pos % n_groups);
+    group_of_[order[pos]] = g;
+    members_[g].push_back(static_cast<eppi::core::ProviderId>(order[pos]));
+  }
+
+  group_index_ = eppi::BitMatrix(n_groups, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (truth.get(i, j)) group_index_.set(group_of_[i], j, true);
+    }
+  }
+  provider_view_ = eppi::BitMatrix(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (group_index_.get(group_of_[i], j)) provider_view_.set(i, j, true);
+    }
+  }
+}
+
+std::uint32_t GroupingPpi::group_of(std::size_t provider) const {
+  require(provider < group_of_.size(), "GroupingPpi: unknown provider");
+  return group_of_[provider];
+}
+
+std::vector<eppi::core::ProviderId> GroupingPpi::query(
+    eppi::core::IdentityId identity) const {
+  require(identity < group_index_.cols(), "GroupingPpi: unknown identity");
+  std::vector<eppi::core::ProviderId> result;
+  for (std::size_t g = 0; g < n_groups_; ++g) {
+    if (!group_index_.get(g, identity)) continue;
+    result.insert(result.end(), members_[g].begin(), members_[g].end());
+  }
+  return result;
+}
+
+std::size_t GroupingPpi::apparent_frequency(
+    eppi::core::IdentityId identity) const {
+  return provider_view_.col_count(identity);
+}
+
+SsPpi::SsPpi(const eppi::BitMatrix& truth, std::size_t n_groups,
+             eppi::Rng& rng)
+    : index(truth, n_groups, rng) {
+  leaked_frequencies.resize(truth.cols());
+  for (std::size_t j = 0; j < truth.cols(); ++j) {
+    leaked_frequencies[j] = truth.col_count(j);
+  }
+}
+
+}  // namespace eppi::baseline

@@ -1,0 +1,70 @@
+// Grouping-based PPI baselines (paper refs [12], [13], [22]; Appendix B).
+//
+// Existing PPIs, inspired by k-anonymity, randomly assign providers to
+// disjoint privacy groups; a group reports 1 for identity t_j iff at least
+// one member holds t_j, and a searcher must contact every provider of every
+// positive group. True positives hide among their group peers — but the
+// achieved false positive rate per identity is emergent from the random
+// assignment rather than controlled, which is why these designs are
+// NoGuarantee under the primary attack and why Fig. 4 shows their success
+// ratio collapsing.
+//
+// SS-PPI ([22]) uses the same index shape but its construction protocol
+// discloses true identity frequencies to the participating providers; the
+// SsPpi wrapper models that leak explicitly (leaked_frequencies), which is
+// what makes it NoProtect under the common-identity attack (Table II).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bit_matrix.h"
+#include "common/rng.h"
+#include "core/ppi_index.h"
+
+namespace eppi::baseline {
+
+class GroupingPpi {
+ public:
+  // Randomly assigns the truth matrix's providers to n_groups groups and
+  // builds the group-level index. Throws ConfigError if n_groups is 0 or
+  // exceeds the provider count.
+  GroupingPpi(const eppi::BitMatrix& truth, std::size_t n_groups,
+              eppi::Rng& rng);
+
+  std::size_t n_groups() const noexcept { return n_groups_; }
+  std::uint32_t group_of(std::size_t provider) const;
+
+  // QueryPPI: all providers belonging to groups that reported 1.
+  std::vector<eppi::core::ProviderId> query(
+      eppi::core::IdentityId identity) const;
+
+  // Provider-level published view M' implied by the group index: provider i
+  // claims identity j iff i's group is positive for j. This is what the
+  // attacker observes, and it makes grouping PPIs directly comparable to
+  // ε-PPI under the shared privacy metrics (false_positive_rates etc.).
+  const eppi::BitMatrix& provider_view() const noexcept {
+    return provider_view_;
+  }
+
+  // Apparent identity frequency in the provider-level view.
+  std::size_t apparent_frequency(eppi::core::IdentityId identity) const;
+
+ private:
+  std::size_t n_groups_;
+  std::vector<std::uint32_t> group_of_;
+  std::vector<std::vector<eppi::core::ProviderId>> members_;
+  eppi::BitMatrix group_index_;    // groups x identities
+  eppi::BitMatrix provider_view_;  // providers x identities
+};
+
+// SS-PPI: grouping index whose construction leaks the exact identity
+// frequencies to (potentially colluding) providers.
+struct SsPpi {
+  GroupingPpi index;
+  std::vector<std::uint64_t> leaked_frequencies;
+
+  SsPpi(const eppi::BitMatrix& truth, std::size_t n_groups, eppi::Rng& rng);
+};
+
+}  // namespace eppi::baseline

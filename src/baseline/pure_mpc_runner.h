@@ -1,0 +1,43 @@
+// Pure-MPC construction baseline runner (paper §V-B).
+//
+// The comparison point that justifies ε-PPI's MPC-reduced design: instead of
+// confining generic MPC to c coordinators fed by SecSumShare, the pure
+// approach runs the entire β computation as one generic MPC directly over
+// all m providers' raw membership bits. Circuit size, rounds, bytes and
+// execution time all grow with m, which is what Fig. 6 plots.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bit_matrix.h"
+#include "mpc/eppi_circuits.h"
+#include "net/cost_meter.h"
+
+namespace eppi::baseline {
+
+struct PureMpcRunOptions {
+  double lambda = 0.0;
+  unsigned coin_bits = 8;
+  std::uint64_t seed = 1;
+  // false = the paper's measured baseline: common-count only, no mixing
+  // outputs (and no coin inputs).
+  bool include_mixing = true;
+};
+
+struct PureMpcRunResult {
+  eppi::mpc::PureMpcResult output;
+  eppi::mpc::CircuitStats stats;
+  eppi::net::CostSnapshot cost;
+  double wall_seconds = 0.0;  // measured engine time, threads on one host
+};
+
+// Runs the pure-MPC construction over an m-party cluster; truth row i is
+// party i's private input. `thresholds` are the public per-identity common
+// thresholds t_j.
+PureMpcRunResult run_pure_mpc(const eppi::BitMatrix& truth,
+                              std::span<const std::uint64_t> thresholds,
+                              const PureMpcRunOptions& options);
+
+}  // namespace eppi::baseline

@@ -1,0 +1,43 @@
+// Error types shared across the eppi libraries.
+//
+// We follow the C++ Core Guidelines (E.14): use purpose-designed exception
+// types derived from std::exception. Protocol code throws ProtocolError for
+// violations of a distributed protocol's contract (malformed message, wrong
+// round, missing share); ConfigError for invalid user-supplied parameters.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace eppi {
+
+// Invalid user-supplied parameter (epsilon out of range, c < 2, ...).
+class ConfigError : public std::invalid_argument {
+ public:
+  explicit ConfigError(const std::string& what) : std::invalid_argument(what) {}
+};
+
+// A distributed protocol's contract was violated at runtime.
+class ProtocolError : public std::runtime_error {
+ public:
+  explicit ProtocolError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Malformed serialized data.
+class SerializeError : public std::runtime_error {
+ public:
+  explicit SerializeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_config(const std::string& what) {
+  throw ConfigError(what);
+}
+}  // namespace detail
+
+// Validate a configuration precondition; throws ConfigError on failure.
+inline void require(bool cond, const std::string& what) {
+  if (!cond) detail::throw_config(what);
+}
+
+}  // namespace eppi

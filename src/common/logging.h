@@ -1,0 +1,38 @@
+// Minimal leveled logger.
+//
+// Benchmarks and examples print structured result rows on stdout; diagnostic
+// logging goes to stderr through this logger so result streams stay clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace eppi {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Global minimum level; messages below it are dropped. Default: kWarn so
+// tests and benches are quiet unless something is wrong.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}
+
+#define EPPI_LOG(level, expr)                                   \
+  do {                                                          \
+    if (static_cast<int>(level) >=                              \
+        static_cast<int>(::eppi::log_level())) {                \
+      std::ostringstream eppi_log_stream;                       \
+      eppi_log_stream << expr;                                  \
+      ::eppi::detail::log_line(level, eppi_log_stream.str());   \
+    }                                                           \
+  } while (0)
+
+#define EPPI_DEBUG(expr) EPPI_LOG(::eppi::LogLevel::kDebug, expr)
+#define EPPI_INFO(expr) EPPI_LOG(::eppi::LogLevel::kInfo, expr)
+#define EPPI_WARN(expr) EPPI_LOG(::eppi::LogLevel::kWarn, expr)
+#define EPPI_ERROR(expr) EPPI_LOG(::eppi::LogLevel::kError, expr)
+
+}  // namespace eppi

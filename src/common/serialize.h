@@ -1,0 +1,54 @@
+// Compact binary serialization for protocol messages.
+//
+// Substitutes for the protobuf framing used by the paper's prototype; only
+// the wire byte counts matter for the network cost model, so the format is a
+// straightforward little-endian length-delimited encoding. Varints are used
+// for integers so message sizes reflect realistic framing.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace eppi {
+
+class BinaryWriter {
+ public:
+  void write_u8(std::uint8_t v);
+  void write_u32(std::uint32_t v);   // fixed-width little-endian
+  void write_u64(std::uint64_t v);   // fixed-width little-endian
+  void write_varint(std::uint64_t v);
+  void write_bytes(std::span<const std::uint8_t> bytes);  // length-prefixed
+  void write_u64_vector(std::span<const std::uint64_t> values);
+
+  const std::vector<std::uint8_t>& buffer() const noexcept { return buf_; }
+  std::vector<std::uint8_t> take() noexcept { return std::move(buf_); }
+  std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t read_u8();
+  std::uint32_t read_u32();
+  std::uint64_t read_u64();
+  std::uint64_t read_varint();
+  std::vector<std::uint8_t> read_bytes();
+  std::vector<std::uint64_t> read_u64_vector();
+
+  bool exhausted() const noexcept { return pos_ == data_.size(); }
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+
+ private:
+  void need(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace eppi

@@ -1,0 +1,42 @@
+// Small statistics helpers used by the benchmark harness and the
+// effectiveness experiments (success-ratio aggregation, Chernoff-bound
+// computation helpers).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace eppi {
+
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);  // sample variance (n-1)
+double stddev(std::span<const double> xs);
+
+// q-th percentile via linear interpolation; q in [0,1]. Copies + sorts.
+double percentile(std::span<const double> xs, double q);
+
+// Online accumulator (Welford) for streaming experiments.
+class RunningStat {
+ public:
+  void add(double x) noexcept;
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept;  // sample variance
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Fraction of entries that satisfy a predicate-style Boolean vector; the
+// "success ratio" metric of paper §V-A is computed through this.
+double fraction_true(std::span<const bool> xs);
+
+}  // namespace eppi

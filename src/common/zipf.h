@@ -1,0 +1,34 @@
+// Zipf-distributed sampling over ranks {0, ..., n-1}.
+//
+// Used by the synthetic dataset generator to produce a realistic skewed
+// identity-frequency profile (a few "common" identities appearing at almost
+// every provider, a long tail of rare ones), substituting for the TREC-WT10g
+// derived collection dataset used in the paper's simulation experiments.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace eppi {
+
+class ZipfSampler {
+ public:
+  // n ranks, exponent s (s = 1.0 is classic Zipf). Throws ConfigError if
+  // n == 0 or s < 0.
+  ZipfSampler(std::size_t n, double s);
+
+  // Samples a rank in [0, n); rank 0 is the most frequent.
+  std::size_t sample(Rng& rng) const;
+
+  // Probability mass of a given rank.
+  double pmf(std::size_t rank) const;
+
+  std::size_t size() const noexcept { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // cumulative masses, cdf_.back() == 1.0
+};
+
+}  // namespace eppi

@@ -1,0 +1,39 @@
+#include "core/advisor.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace eppi::core {
+
+double epsilon_for_confidence_bound(double max_confidence) {
+  require(max_confidence >= 0.0 && max_confidence <= 1.0,
+          "epsilon_for_confidence_bound: bound must be in [0,1]");
+  return 1.0 - max_confidence;
+}
+
+double expected_overhead(const BetaPolicy& policy, double sigma,
+                         double epsilon, std::size_t m) {
+  require(m >= 1, "expected_overhead: need at least one provider");
+  const double beta = beta_clamped(policy, sigma, epsilon, m);
+  const double negatives =
+      static_cast<double>(m) * std::max(0.0, 1.0 - sigma);
+  return negatives * beta;
+}
+
+double expected_result_size(const BetaPolicy& policy, double sigma,
+                            double epsilon, std::size_t m) {
+  return static_cast<double>(m) * sigma +
+         expected_overhead(policy, sigma, epsilon, m);
+}
+
+double delegation_price(const Tariff& tariff, const BetaPolicy& policy,
+                        double sigma, double epsilon, std::size_t m) {
+  require(tariff.per_noise_provider >= 0.0 && tariff.base_fee >= 0.0,
+          "delegation_price: tariff must be non-negative");
+  return tariff.base_fee +
+         tariff.per_noise_provider *
+             expected_overhead(policy, sigma, epsilon, m);
+}
+
+}  // namespace eppi::core

@@ -1,0 +1,45 @@
+// Privacy/cost advisor for the ε knob.
+//
+// ε is a trade: higher values bound the attacker's confidence tighter but
+// inflate every searcher's provider list (and the paper's footnote 3
+// suggests charging owners accordingly, since "higher privacy settings come
+// with more search overhead"). This module quantifies the trade so a
+// deployment can surface it at Delegate() time:
+//
+//  * epsilon_for_confidence_bound — the ε needed to cap attacker confidence;
+//  * expected_overhead — expected extra providers a searcher contacts for
+//    one owner under a policy;
+//  * price estimation — a linear tariff on expected overhead.
+#pragma once
+
+#include <cstddef>
+
+#include "core/beta_policy.h"
+
+namespace eppi::core {
+
+// Smallest ε that bounds the primary-attack confidence by
+// `max_confidence` (the ε-PRIVATE inequality, Eq. 1: confidence <= 1 - ε).
+double epsilon_for_confidence_bound(double max_confidence);
+
+// Expected number of false-positive providers in QueryPPI's answer for an
+// owner with relative frequency sigma under the given policy:
+// (m - f) * beta, capped at m - f (β saturation / mixing).
+double expected_overhead(const BetaPolicy& policy, double sigma,
+                         double epsilon, std::size_t m);
+
+// Expected total result-list size (true + false positives).
+double expected_result_size(const BetaPolicy& policy, double sigma,
+                            double epsilon, std::size_t m);
+
+struct Tariff {
+  double base_fee = 0.0;          // flat per-owner fee
+  double per_noise_provider = 1.0;  // cost unit per expected noise contact
+};
+
+// The paper's footnote-3 charging model: owners pay for the search overhead
+// their ε imposes on the network.
+double delegation_price(const Tariff& tariff, const BetaPolicy& policy,
+                        double sigma, double epsilon, std::size_t m);
+
+}  // namespace eppi::core

@@ -1,0 +1,31 @@
+#include "core/auth_search.h"
+
+#include "common/error.h"
+
+namespace eppi::core {
+
+SearchOutcome two_phase_search(
+    const PpiIndex& index, const eppi::BitMatrix& truth, IdentityId identity,
+    std::uint32_t searcher,
+    const std::function<bool(std::uint32_t, ProviderId)>& authorize) {
+  require(truth.rows() == index.providers() &&
+              truth.cols() == index.identities(),
+          "two_phase_search: truth/index shape mismatch");
+  SearchOutcome outcome;
+  outcome.contacted = index.query(identity);
+  for (const ProviderId p : outcome.contacted) {
+    if (!authorize(searcher, p)) continue;
+    outcome.authorized.push_back(p);
+    if (truth.get(p, identity)) outcome.matched.push_back(p);
+  }
+  return outcome;
+}
+
+SearchOutcome two_phase_search(const PpiIndex& index,
+                               const eppi::BitMatrix& truth,
+                               IdentityId identity) {
+  return two_phase_search(index, truth, identity, 0,
+                          [](std::uint32_t, ProviderId) { return true; });
+}
+
+}  // namespace eppi::core

@@ -1,0 +1,46 @@
+// Two-phase search simulation (paper §II-A, Fig. 1).
+//
+// A searcher first calls QueryPPI(t_j) at the PPI server, then runs
+// AuthSearch against every returned provider: after authentication and
+// authorization at the provider's local access-control subsystem, the
+// provider's private repository is searched for the owner's records. The
+// simulation models authorization as a per-(searcher, provider) grant set
+// and reports the search-cost metrics the paper's overhead discussion uses
+// (providers contacted vs. providers that truly matched).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/bit_matrix.h"
+#include "core/ppi_index.h"
+
+namespace eppi::core {
+
+struct SearchOutcome {
+  std::vector<ProviderId> contacted;   // phase-1 result list
+  std::vector<ProviderId> authorized;  // providers that granted access
+  std::vector<ProviderId> matched;     // providers truly holding the records
+  // Search overhead: contacted providers that held nothing (the false
+  // positives the searcher paid for).
+  std::size_t wasted_contacts() const noexcept {
+    return contacted.size() - matched.size();
+  }
+};
+
+// `authorize(searcher, provider)` models each provider's local access
+// control decision. `truth` is the ground-truth membership matrix (the union
+// of the providers' private repositories).
+SearchOutcome two_phase_search(
+    const PpiIndex& index, const eppi::BitMatrix& truth, IdentityId identity,
+    std::uint32_t searcher,
+    const std::function<bool(std::uint32_t, ProviderId)>& authorize);
+
+// Convenience overload: authorization always granted (the common benchmark
+// setting, where overhead rather than access control is under study).
+SearchOutcome two_phase_search(const PpiIndex& index,
+                               const eppi::BitMatrix& truth,
+                               IdentityId identity);
+
+}  // namespace eppi::core

@@ -1,0 +1,139 @@
+#include "core/beta_policy.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "core/guarantee.h"
+
+namespace eppi::core {
+
+namespace {
+
+void check_unit(double x, const char* name) {
+  require(x >= 0.0 && x <= 1.0, std::string(name) + " must be in [0,1]");
+}
+
+}  // namespace
+
+double beta_basic(double sigma, double epsilon) {
+  check_unit(sigma, "sigma");
+  check_unit(epsilon, "epsilon");
+  if (epsilon == 0.0 || sigma == 0.0) return 0.0;
+  if (epsilon >= 1.0 || sigma >= 1.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  // [(σ⁻¹ − 1)(ε⁻¹ − 1)]⁻¹
+  return 1.0 / ((1.0 / sigma - 1.0) * (1.0 / epsilon - 1.0));
+}
+
+double beta_inc_exp(double sigma, double epsilon, double delta) {
+  require(delta >= 0.0, "delta must be non-negative");
+  return beta_basic(sigma, epsilon) + delta;
+}
+
+double beta_chernoff(double sigma, double epsilon, double gamma,
+                     std::size_t m) {
+  require(gamma > 0.5 && gamma < 1.0, "gamma must be in (0.5, 1)");
+  require(m >= 1, "need at least one provider");
+  const double bb = beta_basic(sigma, epsilon);
+  if (std::isinf(bb)) return bb;
+  if (sigma >= 1.0) return std::numeric_limits<double>::infinity();
+  // G = ln(1/(1-γ)) / ((1-σ) m)
+  const double g =
+      std::log(1.0 / (1.0 - gamma)) / ((1.0 - sigma) * static_cast<double>(m));
+  return bb + g + std::sqrt(g * g + 2.0 * bb * g);
+}
+
+double beta_exact(double sigma, double epsilon, double gamma,
+                  std::size_t m) {
+  require(gamma > 0.5 && gamma < 1.0, "gamma must be in (0.5, 1)");
+  require(m >= 1, "need at least one provider");
+  check_unit(sigma, "sigma");
+  check_unit(epsilon, "epsilon");
+  if (epsilon == 0.0 || sigma == 0.0) return 0.0;
+  if (sigma >= 1.0 || epsilon >= 1.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const auto f = static_cast<std::uint64_t>(
+      std::llround(sigma * static_cast<double>(m)));
+  if (f >= m) return std::numeric_limits<double>::infinity();
+  // Even full broadcast may not meet the requirement (common identity).
+  if (publication_success_probability(m, f, epsilon, 1.0) < gamma) {
+    return 1.0 + 1e-9;  // saturated: handled by the mixing path
+  }
+  // The success probability is monotone non-decreasing in beta: bisect for
+  // the minimal beta reaching gamma.
+  double lo = 0.0;
+  double hi = 1.0;
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (publication_success_probability(m, f, epsilon, mid) >= gamma) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+double beta_raw(const BetaPolicy& policy, double sigma, double epsilon,
+                std::size_t m) {
+  switch (policy.kind) {
+    case PolicyKind::kBasic:
+      return beta_basic(sigma, epsilon);
+    case PolicyKind::kIncExp:
+      return beta_inc_exp(sigma, epsilon, policy.delta);
+    case PolicyKind::kChernoff:
+      return beta_chernoff(sigma, epsilon, policy.gamma, m);
+    case PolicyKind::kExact:
+      return beta_exact(sigma, epsilon, policy.gamma, m);
+  }
+  throw ConfigError("beta_raw: unknown policy");
+}
+
+double beta_clamped(const BetaPolicy& policy, double sigma, double epsilon,
+                    std::size_t m) {
+  const double b = beta_raw(policy, sigma, epsilon, m);
+  if (b >= 1.0) return 1.0;
+  return b < 0.0 ? 0.0 : b;
+}
+
+std::uint64_t common_threshold(const BetaPolicy& policy, double epsilon,
+                               std::size_t m) {
+  check_unit(epsilon, "epsilon");
+  require(m >= 1, "need at least one provider");
+  // beta_raw is non-decreasing in sigma for all three policies (β_b is
+  // increasing; the Chernoff correction's G term is increasing in σ too), so
+  // binary search over the integer frequency grid.
+  const auto saturated = [&](std::uint64_t f) {
+    const double sigma =
+        static_cast<double>(f) / static_cast<double>(m);
+    return beta_raw(policy, sigma, epsilon, m) >= 1.0;
+  };
+  if (!saturated(m)) return m + 1;  // never saturates (only when ε == 0)
+  std::uint64_t lo = 0;
+  std::uint64_t hi = m;  // saturated(hi) holds
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    if (saturated(mid)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+std::vector<std::uint64_t> common_thresholds(const BetaPolicy& policy,
+                                             std::span<const double> epsilons,
+                                             std::size_t m) {
+  std::vector<std::uint64_t> out;
+  out.reserve(epsilons.size());
+  for (const double eps : epsilons) {
+    out.push_back(common_threshold(policy, eps, m));
+  }
+  return out;
+}
+
+}  // namespace eppi::core

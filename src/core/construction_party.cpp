@@ -1,0 +1,231 @@
+#include "core/construction_party.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/serialize.h"
+#include "core/mixing.h"
+#include "core/publisher.h"
+#include "mpc/eppi_circuits.h"
+#include "mpc/garbled.h"
+#include "mpc/gmw.h"
+#include "secret/sec_sum_share.h"
+
+namespace eppi::core {
+
+namespace {
+
+using eppi::net::MessageTag;
+using eppi::net::PartyContext;
+using eppi::net::PartyId;
+
+// Distinct ε values, ascending; rank 0 is reserved for "no common identity",
+// so identity j gets rank index+1 of its ε.
+struct EpsilonRanks {
+  std::vector<double> unique_values;
+  std::vector<std::uint64_t> ranks;
+
+  double value_of_rank(std::uint64_t rank) const {
+    if (rank == 0) return 0.0;
+    require(rank <= unique_values.size(), "EpsilonRanks: bad rank");
+    return unique_values[rank - 1];
+  }
+};
+
+EpsilonRanks rank_epsilons(std::span<const double> epsilons) {
+  EpsilonRanks er;
+  er.unique_values.assign(epsilons.begin(), epsilons.end());
+  std::sort(er.unique_values.begin(), er.unique_values.end());
+  er.unique_values.erase(
+      std::unique(er.unique_values.begin(), er.unique_values.end()),
+      er.unique_values.end());
+  er.ranks.reserve(epsilons.size());
+  for (const double e : epsilons) {
+    const auto it = std::lower_bound(er.unique_values.begin(),
+                                     er.unique_values.end(), e);
+    er.ranks.push_back(
+        static_cast<std::uint64_t>(it - er.unique_values.begin()) + 1);
+  }
+  return er;
+}
+
+// Flattens a coordinator's share vector into MPC input bits (identity-major,
+// low bit first — must match declare_share_inputs in eppi_circuits.cpp).
+std::vector<bool> share_input_bits(std::span<const std::uint64_t> shares,
+                                   unsigned width) {
+  std::vector<bool> bits;
+  bits.reserve(shares.size() * width);
+  for (const std::uint64_t s : shares) {
+    for (unsigned b = 0; b < width; ++b) bits.push_back((s >> b) & 1);
+  }
+  return bits;
+}
+
+struct OpenedMix {
+  std::vector<bool> mixed;
+  std::vector<std::uint64_t> frequencies;
+};
+
+std::vector<std::uint8_t> encode_opened(const OpenedMix& opened) {
+  eppi::BinaryWriter w;
+  w.write_varint(opened.mixed.size());
+  for (std::size_t j = 0; j < opened.mixed.size(); ++j) {
+    w.write_u8(opened.mixed[j] ? 1 : 0);
+  }
+  w.write_u64_vector(opened.frequencies);
+  return w.take();
+}
+
+OpenedMix decode_opened(std::span<const std::uint8_t> payload,
+                        std::size_t n) {
+  eppi::BinaryReader r(payload);
+  const std::uint64_t count = r.read_varint();
+  if (count != n) throw eppi::ProtocolError("broadcast: size mismatch");
+  OpenedMix opened;
+  opened.mixed.resize(n);
+  for (std::size_t j = 0; j < n; ++j) opened.mixed[j] = r.read_u8() != 0;
+  opened.frequencies = r.read_u64_vector();
+  if (opened.frequencies.size() != n) {
+    throw eppi::ProtocolError("broadcast: frequency vector size mismatch");
+  }
+  return opened;
+}
+
+}  // namespace
+
+ConstructionPartyResult run_construction_party(
+    PartyContext& ctx, std::span<const std::uint8_t> my_row,
+    std::span<const double> epsilons, const DistributedOptions& options) {
+  const std::size_t m = ctx.n_parties();
+  const std::size_t n = my_row.size();
+  require(n >= 1, "construction party: need at least one identity");
+  require(epsilons.size() == n, "construction party: epsilon count");
+  require(options.c >= 2 && options.c <= m,
+          "construction party: need 2 <= c <= m");
+  require(options.backend == MpcBackend::kGmw || options.c == 2,
+          "construction party: the garbled backend is two-party (c == 2)");
+
+  // Public, deterministic pre-computation (identical on every party).
+  const eppi::secret::SecSumShareParams ss_params{options.c, options.q, n};
+  const eppi::secret::ModRing ring = eppi::secret::resolve_ring(ss_params, m);
+  const unsigned width = ring.bit_width();
+  const auto thresholds = common_thresholds(options.policy, epsilons, m);
+  const EpsilonRanks er = rank_epsilons(epsilons);
+
+  const PartyId me = ctx.id();
+  const bool coordinator = me < options.c;
+
+  // Phase 1.1: SecSumShare over all m providers.
+  const auto my_shares =
+      eppi::secret::run_sec_sum_share_party(ctx, ss_params, my_row);
+
+  ConstructionPartyResult result;
+  OpenedMix opened;
+  if (coordinator) {
+    eppi::mpc::CountBelowSpec cb_spec;
+    cb_spec.c = options.c;
+    cb_spec.q = ring.q();
+    cb_spec.thresholds.assign(thresholds.begin(), thresholds.end());
+    cb_spec.xi_ranks = er.ranks;
+    const auto cb_circuit = eppi::mpc::build_count_below_circuit(cb_spec);
+
+    eppi::mpc::GmwSession session;
+    for (std::size_t i = 0; i < options.c; ++i) {
+      session.parties.push_back(static_cast<PartyId>(i));
+    }
+    const auto run_secure = [&](const eppi::mpc::Circuit& circuit,
+                                const std::vector<bool>& bits,
+                                std::uint64_t seq_base) {
+      if (options.backend == MpcBackend::kGarbled) {
+        eppi::mpc::GarbledSession yao;
+        yao.garbler = 0;
+        yao.evaluator = 1;
+        yao.seq_base = seq_base;
+        return eppi::mpc::run_garbled_party(ctx, yao, circuit, bits);
+      }
+      eppi::mpc::GmwSession gmw = session;
+      gmw.seq_base = seq_base;
+      return eppi::mpc::run_gmw_party(ctx, gmw, circuit, bits);
+    };
+
+    // Phase 1.2a: CountBelow.
+    const auto cb_bits = share_input_bits(*my_shares, width);
+    const auto cb_out = run_secure(cb_circuit, cb_bits, 0);
+    const auto counted = eppi::mpc::decode_count_below(cb_spec, cb_out);
+
+    const double xi = er.value_of_rank(counted.max_xi_rank);
+    const double lambda =
+        options.enable_mixing
+            ? lambda_for(xi, static_cast<std::size_t>(counted.common_count),
+                         n)
+            : 0.0;
+
+    // Phase 1.2b: MixAndReveal.
+    eppi::mpc::MixRevealSpec mr_spec;
+    mr_spec.c = options.c;
+    mr_spec.q = ring.q();
+    mr_spec.thresholds = cb_spec.thresholds;
+    mr_spec.lambda = lambda;
+    mr_spec.coin_bits = options.coin_bits;
+    const auto mr_circuit = eppi::mpc::build_mix_reveal_circuit(mr_spec);
+
+    std::vector<bool> mr_bits = share_input_bits(*my_shares, width);
+    mr_bits.reserve(mr_bits.size() + n * options.coin_bits);
+    for (std::size_t j = 0; j < n; ++j) {
+      for (unsigned b = 0; b < options.coin_bits; ++b) {
+        mr_bits.push_back(ctx.rng().bernoulli(0.5));
+      }
+    }
+    const auto mr_out =
+        run_secure(mr_circuit, mr_bits, eppi::mpc::GmwSession::kSeqStride);
+    const auto results = eppi::mpc::decode_mix_reveal(mr_spec, mr_out);
+
+    opened.mixed.resize(n);
+    opened.frequencies.resize(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      opened.mixed[j] = results[j].mixed;
+      opened.frequencies[j] = results[j].frequency;
+    }
+
+    CoordinatorView view;
+    view.mixed = opened.mixed;
+    view.revealed_frequencies = opened.frequencies;
+    view.common_count = counted.common_count;
+    view.xi = xi;
+    view.lambda = lambda;
+    view.count_below_stats = cb_circuit.stats();
+    view.mix_reveal_stats = mr_circuit.stats();
+    result.coordinator = std::move(view);
+
+    if (me == 0) {
+      // Phase 2 prologue: broadcast the opened vector to non-coordinators.
+      const auto payload = encode_opened(opened);
+      for (std::size_t p = options.c; p < m; ++p) {
+        ctx.send(static_cast<PartyId>(p), MessageTag::kBroadcast, 0, payload);
+      }
+      ctx.mark_round();
+    }
+  } else {
+    const auto payload = ctx.recv(0, MessageTag::kBroadcast, 0);
+    opened = decode_opened(payload, n);
+  }
+
+  // Phase 2: local β computation (Eq. 9) and randomized publication.
+  result.betas.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (opened.mixed[j]) {
+      result.betas[j] = 1.0;
+    } else {
+      const double sigma = static_cast<double>(opened.frequencies[j]) /
+                           static_cast<double>(m);
+      result.betas[j] =
+          std::clamp(beta_raw(options.policy, sigma, epsilons[j], m), 0.0,
+                     1.0);
+    }
+  }
+  result.published_row = publish_row(my_row, result.betas, ctx.rng());
+  return result;
+}
+
+}  // namespace eppi::core

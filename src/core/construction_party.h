@@ -1,0 +1,49 @@
+// Standalone per-party body of the distributed ε-PPI construction.
+//
+// construct_distributed (distributed_constructor.h) drives m of these inside
+// one in-process cluster; a real deployment runs ONE of them per provider
+// process over a socket transport (net/socket_transport.h, tools/eppi_cli
+// `party` mode). The body is self-contained: it derives all public
+// parameters (ring, thresholds, ε ranks, circuits) deterministically from
+// the public inputs, runs SecSumShare → CountBelow → MixAndReveal →
+// broadcast → local β → randomized publication, and returns this provider's
+// published row (plus the opened aggregates when the caller is a
+// coordinator).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/distributed_constructor.h"
+#include "net/cluster.h"
+
+namespace eppi::core {
+
+struct CoordinatorView {
+  std::vector<bool> mixed;                         // per identity
+  std::vector<std::uint64_t> revealed_frequencies; // 0 where mixed
+  std::uint64_t common_count = 0;
+  double xi = 0.0;
+  double lambda = 0.0;
+  eppi::mpc::CircuitStats count_below_stats;
+  eppi::mpc::CircuitStats mix_reveal_stats;
+};
+
+struct ConstructionPartyResult {
+  std::vector<std::uint8_t> published_row;
+  std::vector<double> betas;  // final per-identity β (identical on parties)
+  // Present on coordinators (party id < options.c).
+  std::optional<CoordinatorView> coordinator;
+};
+
+// `my_row` is this provider's private membership vector (one Boolean per
+// identity); `epsilons` and `options` are public and must be identical on
+// every party. The cluster (or socket runtime) must span exactly the m
+// providers as parties 0..m-1.
+ConstructionPartyResult run_construction_party(
+    eppi::net::PartyContext& ctx, std::span<const std::uint8_t> my_row,
+    std::span<const double> epsilons, const DistributedOptions& options);
+
+}  // namespace eppi::core

@@ -1,0 +1,62 @@
+#include "core/distributed_constructor.h"
+
+#include "common/error.h"
+#include "core/construction_party.h"
+#include "net/cluster.h"
+
+namespace eppi::core {
+
+DistributedResult construct_distributed(const eppi::BitMatrix& truth,
+                                        std::span<const double> epsilons,
+                                        const DistributedOptions& options) {
+  const std::size_t m = truth.rows();
+  const std::size_t n = truth.cols();
+  require(n >= 1, "construct_distributed: need at least one identity");
+  require(epsilons.size() == n, "construct_distributed: epsilon count");
+  require(options.c >= 2 && options.c <= m,
+          "construct_distributed: need 2 <= c <= m");
+  require(options.backend == MpcBackend::kGmw || options.c == 2,
+          "construct_distributed: the garbled backend is two-party (c == 2)");
+
+  // Per-party private inputs (rows of the truth matrix).
+  std::vector<std::vector<std::uint8_t>> rows(m,
+                                              std::vector<std::uint8_t>(n));
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      rows[i][j] = truth.get(i, j) ? 1 : 0;
+    }
+  }
+
+  std::vector<ConstructionPartyResult> party_results(m);
+  eppi::net::Cluster cluster(m, options.seed);
+  cluster.run([&](eppi::net::PartyContext& ctx) {
+    party_results[ctx.id()] =
+        run_construction_party(ctx, rows[ctx.id()], epsilons, options);
+  });
+
+  // Assemble the PPI server's matrix from the published rows.
+  eppi::BitMatrix published(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (party_results[i].published_row[j] != 0) published.set(i, j, true);
+    }
+  }
+
+  DistributedResult result;
+  result.index = PpiIndex(std::move(published));
+  require(party_results[0].coordinator.has_value(),
+          "construct_distributed: coordinator 0 produced no view");
+  const CoordinatorView& view = *party_results[0].coordinator;
+  result.report.betas = party_results[0].betas;
+  result.report.mixed = view.mixed;
+  result.report.revealed_frequencies = view.revealed_frequencies;
+  result.report.common_count = view.common_count;
+  result.report.xi = view.xi;
+  result.report.lambda = view.lambda;
+  result.report.count_below_stats = view.count_below_stats;
+  result.report.mix_reveal_stats = view.mix_reveal_stats;
+  result.report.total_cost = cluster.meter().snapshot();
+  return result;
+}
+
+}  // namespace eppi::core

@@ -1,0 +1,77 @@
+// Distributed secure ε-PPI construction (paper §IV).
+//
+// Runs the full realization pipeline over a threaded multi-party cluster in
+// which every provider is a party and no trusted third party exists:
+//
+//   1. SecSumShare over all m providers — the coordinators (p_0..p_{c-1})
+//      obtain (c,c)-secret-shared identity frequencies (2 rounds, parallel
+//      in the number of identities).
+//   2. CountBelow by generic MPC among only the c coordinators — opens the
+//      number of common identities and ξ (the max ε over the secret common
+//      set, selected securely over public ε ranks). This is the expensive
+//      part the MPC-reduced design confines to c parties.
+//   3. λ is derived publicly from the opened count and ξ (Eq. 7); then the
+//      MixAndReveal MPC opens, per identity, either "mixed" (β = 1; covers
+//      all common identities and a λ-fraction of decoys) or the true
+//      frequency — so a common identity's frequency never leaves the MPC.
+//   4. Coordinator p_0 broadcasts the opened vector; every provider computes
+//      its final β_j locally (complex floating-point work pushed to the
+//      non-private end, Eq. 9) and runs randomized publication on its own
+//      private row.
+//
+// The returned report carries the protocol-level cost counters and circuit
+// statistics that drive the Fig. 6 benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bit_matrix.h"
+#include "core/beta_policy.h"
+#include "core/ppi_index.h"
+#include "mpc/circuit.h"
+#include "net/cost_meter.h"
+
+namespace eppi::core {
+
+// Engine used for the secure stages among the coordinators.
+enum class MpcBackend {
+  kGmw,      // any c; rounds proportional to circuit depth
+  kGarbled,  // c == 2 only; constant rounds (Yao garbled circuits)
+};
+
+struct DistributedOptions {
+  BetaPolicy policy = BetaPolicy::chernoff(0.9);
+  bool enable_mixing = true;
+  std::size_t c = 3;          // coordinators / collusion tolerance knob
+  std::uint64_t q = 0;        // SecSumShare modulus; 0 = auto power of two
+  unsigned coin_bits = 16;    // λ-coin resolution inside the MPC
+  std::uint64_t seed = 1;     // drives all party RNG streams
+  MpcBackend backend = MpcBackend::kGmw;
+};
+
+struct DistributedReport {
+  std::vector<double> betas;                  // final per-identity β
+  std::vector<bool> mixed;                    // published with β == 1
+  std::vector<std::uint64_t> revealed_frequencies;  // 0 where mixed
+  std::uint64_t common_count = 0;             // opened by CountBelow
+  double xi = 0.0;
+  double lambda = 0.0;
+  eppi::mpc::CircuitStats count_below_stats;
+  eppi::mpc::CircuitStats mix_reveal_stats;
+  eppi::net::CostSnapshot total_cost;         // messages/bytes/rounds
+};
+
+struct DistributedResult {
+  PpiIndex index;
+  DistributedReport report;
+};
+
+// `truth` row i is provider i's private membership vector; `epsilons` are
+// the public per-owner privacy degrees. Requires m >= options.c >= 2.
+DistributedResult construct_distributed(const eppi::BitMatrix& truth,
+                                        std::span<const double> epsilons,
+                                        const DistributedOptions& options);
+
+}  // namespace eppi::core

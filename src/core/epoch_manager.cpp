@@ -1,0 +1,102 @@
+#include "core/epoch_manager.h"
+
+#include "common/error.h"
+#include "core/mixing.h"
+#include "core/sticky_publisher.h"
+
+namespace eppi::core {
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t EpochManager::provider_key(std::size_t provider) const noexcept {
+  return mix64(options_.master_key ^ (0xA5A5A5A5A5A5A5A5ULL + provider));
+}
+
+bool EpochManager::sticky_mix_coin(std::size_t identity,
+                                   double lambda) const noexcept {
+  if (lambda <= 0.0) return false;
+  if (lambda >= 1.0) return true;
+  const std::uint64_t draw =
+      mix64(mix64(options_.master_key ^ 0x5bd1e995ULL) + identity);
+  const long double scaled =
+      static_cast<long double>(lambda) * 18446744073709551616.0L;
+  const std::uint64_t threshold =
+      scaled >= 18446744073709551615.0L ? ~std::uint64_t{0}
+                                        : static_cast<std::uint64_t>(scaled);
+  return draw < threshold;
+}
+
+EpochManager::EpochResult EpochManager::rebuild(
+    const eppi::BitMatrix& truth, std::span<const double> epsilons) {
+  const std::size_t m = truth.rows();
+  const std::size_t n = truth.cols();
+  require(epsilons.size() == n, "EpochManager: epsilon count mismatch");
+  require(m >= 1, "EpochManager: need at least one provider");
+
+  // β calculation with deterministic, monotone mixing.
+  ConstructionInfo info;
+  info.betas.resize(n);
+  info.is_common.assign(n, false);
+  info.is_apparent_common.assign(n, false);
+  info.thresholds.resize(n);
+  std::vector<double> raw(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    require(epsilons[j] >= 0.0 && epsilons[j] <= 1.0,
+            "EpochManager: epsilon out of [0,1]");
+    const double sigma =
+        static_cast<double>(truth.col_count(j)) / static_cast<double>(m);
+    raw[j] = beta_raw(options_.policy, sigma, epsilons[j], m);
+    info.is_common[j] = raw[j] >= 1.0;
+    info.thresholds[j] = common_threshold(options_.policy, epsilons[j], m);
+  }
+  std::size_t n_common = 0;
+  for (std::size_t j = 0; j < n; ++j) n_common += info.is_common[j] ? 1 : 0;
+  info.xi = xi_for(info.is_common, epsilons);
+  info.lambda =
+      options_.enable_mixing ? lambda_for(info.xi, n_common, n) : 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (info.is_common[j] ||
+        (options_.enable_mixing && sticky_mix_coin(j, info.lambda))) {
+      info.betas[j] = 1.0;
+      info.is_apparent_common[j] = true;
+    } else {
+      info.betas[j] = raw[j] < 0.0 ? 0.0 : raw[j];
+    }
+  }
+
+  // Sticky publication.
+  std::vector<std::uint64_t> keys(m);
+  for (std::size_t i = 0; i < m; ++i) keys[i] = provider_key(i);
+  eppi::BitMatrix published =
+      sticky_publish_matrix(truth, info.betas, keys);
+
+  EpochResult result;
+  result.info = std::move(info);
+  result.epoch = ++epoch_;
+  if (has_previous_ && previous_.rows() == published.rows() &&
+      previous_.cols() == published.cols()) {
+    std::size_t churn = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (previous_.get(i, j) != published.get(i, j)) ++churn;
+      }
+    }
+    result.churn = churn;
+  } else {
+    result.churn = m * n;
+  }
+  previous_ = published;
+  has_previous_ = true;
+  result.index = PpiIndex(std::move(published));
+  return result;
+}
+
+}  // namespace eppi::core

@@ -1,0 +1,71 @@
+// Epoch manager: reconstruction over time without leaking through churn.
+//
+// The paper's index is static (§III-C) — that is what makes repeated attacks
+// no stronger than a single one. Real networks change, so the index must be
+// rebuilt; naive rebuilding leaks twice:
+//
+//  * fresh publication noise rotates between epochs, so intersecting
+//    snapshots strips false positives (solved by core/sticky_publisher);
+//  * fresh λ-mixing coins rotate the *decoy* set while true common
+//    identities stay mixed in every epoch — intersecting the apparent-
+//    common sets across epochs isolates exactly the identities the mixing
+//    is meant to hide.
+//
+// EpochManager makes both decisions sticky: publication noise is keyed per
+// provider, and the mixing coin for identity j is a fixed PRF draw compared
+// against the current λ. Both decisions are *monotone* (raising β or λ only
+// adds noise/decoys), so an epoch's snapshot differs from the previous one
+// only where the data or the privacy requirements actually changed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bit_matrix.h"
+#include "core/beta_policy.h"
+#include "core/constructor.h"
+#include "core/ppi_index.h"
+
+namespace eppi::core {
+
+class EpochManager {
+ public:
+  struct Options {
+    BetaPolicy policy;
+    bool enable_mixing = true;
+    std::uint64_t master_key = 1;  // derives provider keys + mixing PRF
+
+    Options() : policy(BetaPolicy::chernoff(0.9)) {}
+  };
+
+  EpochManager() : EpochManager(Options{}) {}
+  explicit EpochManager(Options options) : options_(options) {}
+
+  struct EpochResult {
+    PpiIndex index;
+    ConstructionInfo info;
+    std::size_t epoch = 0;
+    // Cells that differ from the previous epoch's published matrix
+    // (0 when data and requirements are unchanged); the full matrix size on
+    // the first epoch or after a shape change.
+    std::size_t churn = 0;
+  };
+
+  // Builds the next epoch's index for the current network state.
+  EpochResult rebuild(const eppi::BitMatrix& truth,
+                      std::span<const double> epsilons);
+
+  std::size_t epochs_built() const noexcept { return epoch_; }
+
+ private:
+  std::uint64_t provider_key(std::size_t provider) const noexcept;
+  bool sticky_mix_coin(std::size_t identity, double lambda) const noexcept;
+
+  Options options_;
+  std::size_t epoch_ = 0;
+  eppi::BitMatrix previous_;
+  bool has_previous_ = false;
+};
+
+}  // namespace eppi::core

@@ -1,0 +1,90 @@
+#include "core/guarantee.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace eppi::core {
+
+namespace {
+
+// log(trials choose k) via lgamma.
+double log_choose(std::uint64_t trials, std::uint64_t k) {
+  return std::lgamma(static_cast<double>(trials) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(trials - k) + 1.0);
+}
+
+}  // namespace
+
+double binomial_tail_at_least(std::uint64_t trials, double p,
+                              std::uint64_t threshold) {
+  require(p >= 0.0 && p <= 1.0, "binomial_tail: p out of [0,1]");
+  if (threshold == 0) return 1.0;
+  if (threshold > trials) return 0.0;
+  if (p == 0.0) return 0.0;
+  if (p == 1.0) return 1.0;
+
+  // Sum the smaller side for numerical stability.
+  const double log_p = std::log(p);
+  const double log_q = std::log1p(-p);
+  const auto term = [&](std::uint64_t k) {
+    return log_choose(trials, k) + static_cast<double>(k) * log_p +
+           static_cast<double>(trials - k) * log_q;
+  };
+  // Decide which side to sum: tail [threshold, trials] vs head
+  // [0, threshold-1].
+  const bool sum_tail = (trials - threshold) <= threshold;
+  double total = 0.0;
+  if (sum_tail) {
+    for (std::uint64_t k = threshold; k <= trials; ++k) {
+      total += std::exp(term(k));
+    }
+    return std::min(1.0, total);
+  }
+  for (std::uint64_t k = 0; k < threshold; ++k) {
+    total += std::exp(term(k));
+  }
+  return std::max(0.0, 1.0 - std::min(1.0, total));
+}
+
+double publication_success_probability(std::size_t m, std::uint64_t frequency,
+                                       double epsilon, double beta) {
+  require(m >= 1, "publication_success: need providers");
+  require(frequency <= m, "publication_success: frequency exceeds m");
+  require(epsilon >= 0.0 && epsilon <= 1.0,
+          "publication_success: epsilon out of [0,1]");
+  require(beta >= 0.0 && beta <= 1.0,
+          "publication_success: beta out of [0,1]");
+  const std::uint64_t negatives = m - frequency;
+  if (epsilon == 0.0) return 1.0;  // fp >= 0 always holds
+  if (negatives == 0) return 0.0;  // no noise possible, fp = 0 < eps
+  // fp = X/(X+f) >= eps  <=>  X >= eps/(1-eps) * f  (eps < 1).
+  std::uint64_t threshold;
+  if (epsilon >= 1.0) {
+    // fp can reach 1 only when f == 0 and X >= 1.
+    if (frequency > 0) return 0.0;
+    threshold = 1;
+  } else {
+    const double needed =
+        epsilon / (1.0 - epsilon) * static_cast<double>(frequency);
+    threshold = static_cast<std::uint64_t>(std::ceil(needed));
+    if (frequency == 0) threshold = std::max<std::uint64_t>(threshold, 1);
+    // Exact boundary: X = needed exactly meets fp == eps (>=).
+    if (std::floor(needed) == needed) {
+      threshold = static_cast<std::uint64_t>(needed);
+      if (frequency == 0) threshold = std::max<std::uint64_t>(threshold, 1);
+    }
+  }
+  return binomial_tail_at_least(negatives, beta, threshold);
+}
+
+double policy_success_probability(const BetaPolicy& policy, std::size_t m,
+                                  std::uint64_t frequency, double epsilon) {
+  const double sigma =
+      static_cast<double>(frequency) / static_cast<double>(m);
+  const double beta = beta_clamped(policy, sigma, epsilon, m);
+  return publication_success_probability(m, frequency, epsilon, beta);
+}
+
+}  // namespace eppi::core

@@ -1,0 +1,41 @@
+// Exact success-probability calculator for the β policies.
+//
+// Theorem 3.1 gives a Chernoff *lower bound* on the probability that
+// randomized publication meets fp_j >= ε_j; the exact probability is a
+// binomial tail: with T = m − f negative providers each flipping with
+// probability β,
+//
+//   p_p = Pr[ X >= ceil( ε/(1−ε) · f ) ],   X ~ Binomial(T, β)
+//
+// (fp = X/(X+f) >= ε  ⇔  X >= ε/(1−ε)·f). This module evaluates that tail
+// exactly in log space, so tests and benches can verify the statistical
+// guarantees analytically instead of (only) by simulation, and deployments
+// can answer "what success ratio does this configuration actually achieve?"
+// without Monte Carlo.
+#pragma once
+
+#include <cstdint>
+
+#include "core/beta_policy.h"
+
+namespace eppi::core {
+
+// Exact Pr[X >= threshold] for X ~ Binomial(trials, p). Log-space
+// summation; O(trials).
+double binomial_tail_at_least(std::uint64_t trials, double p,
+                              std::uint64_t threshold);
+
+// Exact success probability Pr[fp >= epsilon] for an identity with
+// `frequency` true providers out of m, published at rate `beta`.
+// frequency == 0 degenerates to Pr[X >= 1] (any false positive makes the
+// list pure noise); frequency == m returns 0 (no negatives to flip).
+double publication_success_probability(std::size_t m, std::uint64_t frequency,
+                                       double epsilon, double beta);
+
+// Convenience: the success probability a policy achieves at (m, frequency,
+// epsilon) — beta saturation (common identities) returns 1 iff broadcasting
+// meets the requirement.
+double policy_success_probability(const BetaPolicy& policy, std::size_t m,
+                                  std::uint64_t frequency, double epsilon);
+
+}  // namespace eppi::core

@@ -1,0 +1,80 @@
+#include "core/index_io.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+#include "common/error.h"
+
+namespace eppi::core {
+
+namespace {
+
+constexpr char kMagic[8] = {'e', 'p', 'p', 'i', 'i', 'd', 'x', '1'};
+
+void write_u64(std::ostream& out, std::uint64_t v) {
+  char bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<char>(v >> (8 * i));
+  out.write(bytes, 8);
+}
+
+std::uint64_t read_u64(std::istream& in) {
+  char bytes[8];
+  in.read(bytes, 8);
+  if (!in) throw SerializeError("load_index: truncated input");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(bytes[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+void save_index(std::ostream& out, const PpiIndex& index) {
+  out.write(kMagic, sizeof(kMagic));
+  const auto& matrix = index.matrix();
+  write_u64(out, matrix.rows());
+  write_u64(out, matrix.cols());
+  for (std::size_t i = 0; i < matrix.rows(); ++i) {
+    const std::uint64_t* words = matrix.row_words(i);
+    for (std::size_t w = 0; w < matrix.words_per_row(); ++w) {
+      write_u64(out, words[w]);
+    }
+  }
+}
+
+PpiIndex load_index(std::istream& in) {
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in || !std::equal(magic, magic + sizeof(kMagic), kMagic)) {
+    throw SerializeError("load_index: bad magic or version");
+  }
+  const std::uint64_t rows = read_u64(in);
+  const std::uint64_t cols = read_u64(in);
+  // Guard against hostile headers before allocating.
+  constexpr std::uint64_t kMaxDim = std::uint64_t{1} << 32;
+  constexpr std::uint64_t kMaxCells = std::uint64_t{1} << 34;  // 2 GiB of bits
+  if (rows > kMaxDim || cols > kMaxDim ||
+      (rows != 0 && cols > kMaxCells / rows)) {
+    throw SerializeError("load_index: implausible dimensions");
+  }
+  eppi::BitMatrix matrix(static_cast<std::size_t>(rows),
+                         static_cast<std::size_t>(cols));
+  for (std::uint64_t i = 0; i < rows; ++i) {
+    for (std::uint64_t w = 0; w < matrix.words_per_row(); ++w) {
+      const std::uint64_t word = read_u64(in);
+      for (unsigned b = 0; b < 64; ++b) {
+        const std::uint64_t col = w * 64 + b;
+        if (col < cols && ((word >> b) & 1)) {
+          matrix.set(static_cast<std::size_t>(i),
+                     static_cast<std::size_t>(col), true);
+        }
+      }
+    }
+  }
+  return PpiIndex(std::move(matrix));
+}
+
+}  // namespace eppi::core

@@ -1,0 +1,22 @@
+// Binary persistence for the published PPI.
+//
+// The PPI server hands the constructed index to its serving tier (and ships
+// it to replicas); this module defines the on-disk/wire format: a small
+// header (magic, version, dimensions) followed by the packed row words of
+// the published matrix. The format is versioned and validated on load.
+#pragma once
+
+#include <iosfwd>
+
+#include "core/ppi_index.h"
+
+namespace eppi::core {
+
+// Writes the index in the eppi-index-v1 format.
+void save_index(std::ostream& out, const PpiIndex& index);
+
+// Reads an index back; throws SerializeError on bad magic/version/shape or
+// truncated input.
+PpiIndex load_index(std::istream& in);
+
+}  // namespace eppi::core

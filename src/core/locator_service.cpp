@@ -1,0 +1,124 @@
+#include "core/locator_service.h"
+
+#include "common/error.h"
+#include "core/constructor.h"
+
+namespace eppi::core {
+
+LocatorService::LocatorService() : LocatorService(Options{}) {}
+
+ProviderId LocatorService::register_provider(const std::string& name) {
+  const auto [it, inserted] = provider_ids_.try_emplace(
+      name, static_cast<ProviderId>(provider_names_.size()));
+  if (inserted) {
+    provider_names_.push_back(name);
+    matrix_dirty_ = true;
+  }
+  return it->second;
+}
+
+IdentityId LocatorService::register_owner(const std::string& name) {
+  const auto [it, inserted] = owner_ids_.try_emplace(
+      name, static_cast<IdentityId>(owner_names_.size()));
+  if (inserted) {
+    owner_names_.push_back(name);
+    epsilons_.push_back(options_.default_epsilon);
+    matrix_dirty_ = true;
+  }
+  return it->second;
+}
+
+const std::string& LocatorService::provider_name(ProviderId p) const {
+  require(p < provider_names_.size(), "LocatorService: unknown provider id");
+  return provider_names_[p];
+}
+
+const std::string& LocatorService::owner_name(IdentityId t) const {
+  require(t < owner_names_.size(), "LocatorService: unknown owner id");
+  return owner_names_[t];
+}
+
+void LocatorService::delegate(const std::string& owner, double epsilon,
+                              const std::string& provider) {
+  require(epsilon >= 0.0 && epsilon <= 1.0,
+          "LocatorService: epsilon must be in [0,1]");
+  const IdentityId t = register_owner(owner);
+  const ProviderId p = register_provider(provider);
+  epsilons_[t] = epsilon;
+  facts_.emplace_back(p, t);
+  matrix_dirty_ = true;
+  index_.reset();  // the published index no longer reflects the data
+  report_.reset();
+}
+
+const eppi::BitMatrix& LocatorService::rebuild_matrix() const {
+  if (matrix_dirty_) {
+    cached_matrix_ =
+        eppi::BitMatrix(provider_names_.size(), owner_names_.size());
+    for (const auto& [p, t] : facts_) cached_matrix_.set(p, t, true);
+    matrix_dirty_ = false;
+  }
+  return cached_matrix_;
+}
+
+void LocatorService::construct_ppi() {
+  require(!facts_.empty(), "LocatorService: nothing delegated yet");
+  const eppi::BitMatrix& truth = rebuild_matrix();
+  if (options_.distributed) {
+    DistributedOptions dopt;
+    dopt.policy = options_.policy;
+    dopt.enable_mixing = options_.enable_mixing;
+    dopt.c = options_.c;
+    dopt.seed = options_.seed;
+    auto result = construct_distributed(truth, epsilons_, dopt);
+    index_ = std::move(result.index);
+    report_ = std::move(result.report);
+  } else {
+    ConstructionOptions copt;
+    copt.policy = options_.policy;
+    copt.enable_mixing = options_.enable_mixing;
+    eppi::Rng rng(options_.seed);
+    auto result = construct_centralized(truth, epsilons_, copt, rng);
+    index_ = std::move(result.index);
+    report_.reset();
+  }
+}
+
+const PpiIndex& LocatorService::index() const {
+  require(index_.has_value(),
+          "LocatorService: ConstructPPI has not been run");
+  return *index_;
+}
+
+std::vector<std::string> LocatorService::query_ppi(
+    const std::string& owner) const {
+  const auto it = owner_ids_.find(owner);
+  require(it != owner_ids_.end(), "LocatorService: unknown owner");
+  std::vector<std::string> result;
+  for (const ProviderId p : index().query(it->second)) {
+    result.push_back(provider_names_[p]);
+  }
+  return result;
+}
+
+LocatorService::SearchResult LocatorService::search(
+    const std::string& searcher, const std::string& owner,
+    const Authorizer& authorize) const {
+  const auto it = owner_ids_.find(owner);
+  require(it != owner_ids_.end(), "LocatorService: unknown owner");
+  const eppi::BitMatrix& truth = rebuild_matrix();
+
+  SearchResult result;
+  for (const ProviderId p : index().query(it->second)) {
+    const std::string& name = provider_names_[p];
+    result.contacted.push_back(name);
+    if (authorize && !authorize(searcher, name)) {
+      result.denied.push_back(name);
+      continue;
+    }
+    if (truth.get(p, it->second)) result.matched.push_back(name);
+  }
+  return result;
+}
+
+}  // namespace eppi::core

@@ -1,0 +1,125 @@
+// The four-operation system facade (paper §II-A).
+//
+// The paper formulates the system as four interactions between owners,
+// providers, the PPI server and searchers:
+//
+//   Delegate(<t_j, ε_j>, p_i)   — an owner places records at a provider and
+//                                 states a personal privacy degree;
+//   ConstructPPI({ε_j})         — all providers jointly build the index;
+//   QueryPPI(t_j) -> {p_i}      — a searcher asks the locator service;
+//   AuthSearch(s, {p_i}, t_j)   — the searcher authenticates at each
+//                                 candidate provider and searches locally.
+//
+// LocatorService packages the library's pieces behind exactly that surface:
+// registration by name, delegation with an ε knob, construction via either
+// the centralized reference path or the trust-free distributed protocol,
+// and the two-phase search with pluggable per-provider access control.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bit_matrix.h"
+#include "common/rng.h"
+#include "core/beta_policy.h"
+#include "core/distributed_constructor.h"
+#include "core/ppi_index.h"
+
+namespace eppi::core {
+
+class LocatorService {
+ public:
+  struct Options {
+    BetaPolicy policy = BetaPolicy::chernoff(0.9);
+    bool enable_mixing = true;
+    // Construction mode: the distributed secure protocol (the paper's
+    // realization; requires >= c providers) or the centralized reference.
+    bool distributed = true;
+    std::size_t c = 3;
+    std::uint64_t seed = 1;
+    // If an owner never stated a degree, this one applies.
+    double default_epsilon = 0.5;
+  };
+
+  LocatorService();  // default options
+  explicit LocatorService(Options options) : options_(std::move(options)) {}
+
+  // --- registration -----------------------------------------------------
+  // Registering is idempotent; both return the stable numeric id.
+  ProviderId register_provider(const std::string& name);
+  IdentityId register_owner(const std::string& name);
+
+  std::size_t n_providers() const noexcept { return provider_names_.size(); }
+  std::size_t n_owners() const noexcept { return owner_names_.size(); }
+  const std::string& provider_name(ProviderId p) const;
+  const std::string& owner_name(IdentityId t) const;
+
+  // --- Delegate(<t, eps>, p) ---------------------------------------------
+  // Records the membership fact and the owner's privacy degree. Repeating a
+  // delegation updates ε. Unknown names auto-register. Throws ConfigError
+  // for ε outside [0,1].
+  void delegate(const std::string& owner, double epsilon,
+                const std::string& provider);
+
+  // --- ConstructPPI -------------------------------------------------------
+  // (Re)builds the index over everything delegated so far. Invalidates any
+  // previous index. Throws ConfigError if nothing was delegated or the
+  // distributed mode lacks providers for the chosen c.
+  void construct_ppi();
+
+  bool constructed() const noexcept { return index_.has_value(); }
+  const PpiIndex& index() const;
+  // Construction diagnostics of the last distributed run (nullopt in
+  // centralized mode).
+  const std::optional<DistributedReport>& last_report() const noexcept {
+    return report_;
+  }
+
+  // --- QueryPPI(t) ---------------------------------------------------------
+  // Provider names that may hold the owner's records. Throws ConfigError if
+  // not constructed or the owner is unknown.
+  std::vector<std::string> query_ppi(const std::string& owner) const;
+
+  // --- AuthSearch(s, {p}, t) -----------------------------------------------
+  struct SearchResult {
+    std::vector<std::string> contacted;
+    std::vector<std::string> denied;   // authorization failed
+    std::vector<std::string> matched;  // records found
+  };
+
+  using Authorizer =
+      std::function<bool(const std::string& searcher,
+                         const std::string& provider)>;
+
+  // Runs the full two-phase search. The default authorizer grants access.
+  SearchResult search(const std::string& searcher, const std::string& owner,
+                      const Authorizer& authorize = {}) const;
+
+  // Ground-truth membership (the union of providers' private repositories);
+  // exposed for experiments and tests, not part of the public protocol.
+  const eppi::BitMatrix& membership_for_testing() const {
+    return rebuild_matrix();
+  }
+
+ private:
+  const eppi::BitMatrix& rebuild_matrix() const;
+
+  Options options_;
+  std::vector<std::string> provider_names_;
+  std::vector<std::string> owner_names_;
+  std::unordered_map<std::string, ProviderId> provider_ids_;
+  std::unordered_map<std::string, IdentityId> owner_ids_;
+  std::vector<double> epsilons_;                 // per owner
+  std::vector<std::pair<ProviderId, IdentityId>> facts_;
+  mutable eppi::BitMatrix cached_matrix_;
+  mutable bool matrix_dirty_ = true;
+  std::optional<PpiIndex> index_;
+  std::optional<DistributedReport> report_;
+};
+
+}  // namespace eppi::core

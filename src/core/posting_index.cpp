@@ -1,0 +1,52 @@
+#include "core/posting_index.h"
+
+#include "common/error.h"
+
+namespace eppi::core {
+
+PostingIndex::PostingIndex(const PpiIndex& index)
+    : providers_(index.providers()), postings_(index.identities()) {
+  const auto& matrix = index.matrix();
+  for (std::size_t i = 0; i < matrix.rows(); ++i) {
+    // Walk the packed words so construction is O(set bits + words).
+    const std::uint64_t* words = matrix.row_words(i);
+    for (std::size_t w = 0; w < matrix.words_per_row(); ++w) {
+      std::uint64_t word = words[w];
+      while (word != 0) {
+        const unsigned bit = static_cast<unsigned>(__builtin_ctzll(word));
+        const std::size_t j = w * 64 + bit;
+        postings_[j].push_back(static_cast<ProviderId>(i));
+        word &= word - 1;
+      }
+    }
+  }
+}
+
+const std::vector<ProviderId>& PostingIndex::query(IdentityId identity) const {
+  require(identity < postings_.size(), "PostingIndex: unknown identity");
+  return postings_[identity];
+}
+
+std::size_t PostingIndex::apparent_frequency(IdentityId identity) const {
+  return query(identity).size();
+}
+
+std::size_t PostingIndex::posting_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& list : postings_) {
+    total += list.size() * sizeof(ProviderId);
+  }
+  return total;
+}
+
+PpiIndex PostingIndex::to_matrix_index() const {
+  eppi::BitMatrix matrix(providers_, postings_.size());
+  for (std::size_t j = 0; j < postings_.size(); ++j) {
+    for (const ProviderId p : postings_[j]) {
+      matrix.set(p, j, true);
+    }
+  }
+  return PpiIndex(std::move(matrix));
+}
+
+}  // namespace eppi::core

@@ -1,0 +1,44 @@
+// Posting-list representation of the published PPI for the serving tier.
+//
+// The PPI server's query work (paper §II-A: "query evaluation in the PPI
+// server is trivial") is a column scan in the matrix representation —
+// O(m) per query. A locator service fielding high query rates wants the
+// inverted form: one sorted posting list of providers per identity, making
+// QueryPPI an O(answer) copy. PostingIndex is that serving-tier view; it is
+// constructed from (and convertible back to) the canonical PpiIndex and
+// answers queries identically (property-tested).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ppi_index.h"
+
+namespace eppi::core {
+
+class PostingIndex {
+ public:
+  PostingIndex() = default;
+  explicit PostingIndex(const PpiIndex& index);
+
+  std::size_t providers() const noexcept { return providers_; }
+  std::size_t identities() const noexcept { return postings_.size(); }
+
+  // QueryPPI: the posting list (sorted, ascending provider ids).
+  const std::vector<ProviderId>& query(IdentityId identity) const;
+
+  // Apparent frequency without materializing the list.
+  std::size_t apparent_frequency(IdentityId identity) const;
+
+  // Total memory the postings occupy (for capacity planning).
+  std::size_t posting_bytes() const noexcept;
+
+  // Back-conversion (exact inverse of the constructor).
+  PpiIndex to_matrix_index() const;
+
+ private:
+  std::size_t providers_ = 0;
+  std::vector<std::vector<ProviderId>> postings_;
+};
+
+}  // namespace eppi::core

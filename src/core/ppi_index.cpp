@@ -1,0 +1,24 @@
+#include "core/ppi_index.h"
+
+#include "common/error.h"
+
+namespace eppi::core {
+
+std::vector<ProviderId> PpiIndex::query(IdentityId identity) const {
+  require(identity < published_.cols(), "PpiIndex::query: unknown identity");
+  std::vector<ProviderId> result;
+  for (std::size_t i = 0; i < published_.rows(); ++i) {
+    if (published_.get(i, identity)) {
+      result.push_back(static_cast<ProviderId>(i));
+    }
+  }
+  return result;
+}
+
+std::size_t PpiIndex::apparent_frequency(IdentityId identity) const {
+  require(identity < published_.cols(),
+          "PpiIndex::apparent_frequency: unknown identity");
+  return published_.col_count(identity);
+}
+
+}  // namespace eppi::core

@@ -1,0 +1,42 @@
+// The published PPI and its query interface (paper §II-A).
+//
+// Once constructed, the PPI server holds the obscured matrix M' and answers
+// QueryPPI(t_j) with the list of providers that published 1 for identity j.
+// Query evaluation is trivial by design — the PPI's privacy comes entirely
+// from the noise baked into M' at construction time, and no cryptography is
+// involved at query-serving time (a stated performance motivation of the
+// paper versus searchable encryption).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bit_matrix.h"
+
+namespace eppi::core {
+
+using ProviderId = std::uint32_t;
+using IdentityId = std::uint32_t;
+
+class PpiIndex {
+ public:
+  PpiIndex() = default;
+  explicit PpiIndex(eppi::BitMatrix published)
+      : published_(std::move(published)) {}
+
+  std::size_t providers() const noexcept { return published_.rows(); }
+  std::size_t identities() const noexcept { return published_.cols(); }
+  const eppi::BitMatrix& matrix() const noexcept { return published_; }
+
+  // QueryPPI(t_j): all providers that may hold identity j's records.
+  std::vector<ProviderId> query(IdentityId identity) const;
+
+  // Published (apparent) frequency of an identity — what an attacker can
+  // read off the public PPI data.
+  std::size_t apparent_frequency(IdentityId identity) const;
+
+ private:
+  eppi::BitMatrix published_;
+};
+
+}  // namespace eppi::core

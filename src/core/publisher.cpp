@@ -1,0 +1,76 @@
+#include "core/publisher.h"
+
+#include "common/error.h"
+
+namespace eppi::core {
+
+std::vector<std::uint8_t> publish_row(std::span<const std::uint8_t> local,
+                                      std::span<const double> betas,
+                                      eppi::Rng& rng) {
+  require(local.size() == betas.size(), "publish_row: size mismatch");
+  std::vector<std::uint8_t> published(local.size());
+  for (std::size_t j = 0; j < local.size(); ++j) {
+    require(local[j] <= 1, "publish_row: membership bits must be Boolean");
+    if (local[j] != 0) {
+      published[j] = 1;  // 1 -> 1, always
+    } else {
+      published[j] = rng.bernoulli(betas[j]) ? 1 : 0;  // 0 -> 1 w.p. β
+    }
+  }
+  return published;
+}
+
+eppi::BitMatrix publish_matrix(const eppi::BitMatrix& truth,
+                               std::span<const double> betas,
+                               eppi::Rng& rng) {
+  require(betas.size() == truth.cols(), "publish_matrix: beta count");
+  eppi::BitMatrix published(truth.rows(), truth.cols());
+  for (std::size_t i = 0; i < truth.rows(); ++i) {
+    for (std::size_t j = 0; j < truth.cols(); ++j) {
+      if (truth.get(i, j)) {
+        published.set(i, j, true);
+      } else if (rng.bernoulli(betas[j])) {
+        published.set(i, j, true);
+      }
+    }
+  }
+  return published;
+}
+
+std::vector<double> false_positive_rates(const eppi::BitMatrix& truth,
+                                         const eppi::BitMatrix& published) {
+  require(truth.rows() == published.rows() && truth.cols() == published.cols(),
+          "false_positive_rates: shape mismatch");
+  std::vector<double> rates(truth.cols(), 0.0);
+  for (std::size_t j = 0; j < truth.cols(); ++j) {
+    std::size_t false_pos = 0;
+    std::size_t true_pos = 0;
+    for (std::size_t i = 0; i < truth.rows(); ++i) {
+      if (!published.get(i, j)) continue;
+      if (truth.get(i, j)) {
+        ++true_pos;
+      } else {
+        ++false_pos;
+      }
+    }
+    const std::size_t total = true_pos + false_pos;
+    rates[j] = total == 0 ? 0.0
+                          : static_cast<double>(false_pos) /
+                                static_cast<double>(total);
+  }
+  return rates;
+}
+
+bool full_recall(const eppi::BitMatrix& truth,
+                 const eppi::BitMatrix& published) {
+  require(truth.rows() == published.rows() && truth.cols() == published.cols(),
+          "full_recall: shape mismatch");
+  for (std::size_t i = 0; i < truth.rows(); ++i) {
+    for (std::size_t j = 0; j < truth.cols(); ++j) {
+      if (truth.get(i, j) && !published.get(i, j)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace eppi::core

@@ -1,0 +1,45 @@
+// Randomized publication (paper Eq. 2).
+//
+// Each provider publishes its private membership bit for identity j by the
+// rule
+//     1 -> 1                      (truthful: guarantees 100% query recall)
+//     0 -> 1 with probability β_j (false positive: the privacy noise)
+//     0 -> 0 otherwise
+//
+// Providers run the rule independently; for a non-common identity this makes
+// the number of false positives a sum of m(1−σ_j) Bernoulli trials — the
+// model under which the β policies give their guarantees.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bit_matrix.h"
+#include "common/rng.h"
+
+namespace eppi::core {
+
+// Publishes one provider's row. `local` is the provider's private membership
+// vector (bit per identity); `betas` the per-identity publishing
+// probabilities in [0,1]. Returns the published row.
+std::vector<std::uint8_t> publish_row(std::span<const std::uint8_t> local,
+                                      std::span<const double> betas,
+                                      eppi::Rng& rng);
+
+// Publishes a whole network at once (the centralized constructor and the
+// effectiveness experiments use this form).
+eppi::BitMatrix publish_matrix(const eppi::BitMatrix& truth,
+                               std::span<const double> betas, eppi::Rng& rng);
+
+// Achieved per-identity false positive rate of a published matrix:
+// fp_j = X / (X + σ_j·m), X = #providers published 1 but truly 0 (paper
+// §II-C). Returns 0 for identities with an empty published column.
+std::vector<double> false_positive_rates(const eppi::BitMatrix& truth,
+                                         const eppi::BitMatrix& published);
+
+// Verifies the truthful-publication invariant: every true 1 is published 1.
+bool full_recall(const eppi::BitMatrix& truth,
+                 const eppi::BitMatrix& published);
+
+}  // namespace eppi::core

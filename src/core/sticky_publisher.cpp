@@ -1,0 +1,72 @@
+#include "core/sticky_publisher.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace eppi::core {
+
+namespace {
+
+// Two rounds of a splitmix64-style finalizer over the (key, identity) pair:
+// cheap, stateless and statistically indistinguishable from uniform for
+// this purpose (the adversary never sees raw draws, only threshold bits).
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t StickyPublisher::draw(std::uint64_t identity) const noexcept {
+  return mix(mix(key_ ^ 0x9e3779b97f4a7c15ULL) + identity);
+}
+
+bool StickyPublisher::noise_bit(std::uint64_t identity,
+                                double beta) const noexcept {
+  if (beta <= 0.0) return false;
+  if (beta >= 1.0) return true;
+  const long double scaled =
+      static_cast<long double>(beta) * 18446744073709551616.0L;  // beta * 2^64
+  const std::uint64_t threshold =
+      scaled >= 18446744073709551615.0L
+          ? ~std::uint64_t{0}
+          : static_cast<std::uint64_t>(scaled);
+  return draw(identity) < threshold;
+}
+
+std::vector<std::uint8_t> StickyPublisher::publish_row(
+    std::span<const std::uint8_t> local,
+    std::span<const double> betas) const {
+  require(local.size() == betas.size(),
+          "StickyPublisher: row/beta size mismatch");
+  std::vector<std::uint8_t> published(local.size());
+  for (std::size_t j = 0; j < local.size(); ++j) {
+    require(local[j] <= 1, "StickyPublisher: membership bits must be Boolean");
+    published[j] =
+        (local[j] != 0 || noise_bit(j, betas[j])) ? 1 : 0;
+  }
+  return published;
+}
+
+eppi::BitMatrix sticky_publish_matrix(const eppi::BitMatrix& truth,
+                                      std::span<const double> betas,
+                                      std::span<const std::uint64_t> keys) {
+  require(betas.size() == truth.cols(),
+          "sticky_publish_matrix: beta count mismatch");
+  require(keys.size() == truth.rows(),
+          "sticky_publish_matrix: one key per provider required");
+  eppi::BitMatrix published(truth.rows(), truth.cols());
+  for (std::size_t i = 0; i < truth.rows(); ++i) {
+    const StickyPublisher publisher(keys[i]);
+    for (std::size_t j = 0; j < truth.cols(); ++j) {
+      if (truth.get(i, j) || publisher.noise_bit(j, betas[j])) {
+        published.set(i, j, true);
+      }
+    }
+  }
+  return published;
+}
+
+}  // namespace eppi::core

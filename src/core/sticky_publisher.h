@@ -1,0 +1,57 @@
+// Keyed, re-publication-stable randomized publication.
+//
+// The paper's privacy analysis (§III-C) notes that ε-PPI resists repeated
+// attacks *because the index is static*: re-drawing fresh noise on every
+// reconstruction would let an observer intersect successive snapshots and
+// strip the false positives (only true positives survive every draw). But a
+// real deployment must reconstruct — memberships change, owners adjust ε.
+//
+// StickyPublisher closes that gap: each provider derives its noise from a
+// PRF over (secret key, identity), not from fresh randomness. Properties:
+//
+//  * Deterministic: unchanged (key, identity, β) ⇒ identical noise across
+//    reconstructions, so snapshots of unchanged data are bit-identical and
+//    intersection reveals nothing new.
+//  * Monotone in β: the noise bit is PRF(key, j) < β·2⁶⁴, so raising an
+//    owner's ε only ever *adds* false positives and lowering it only
+//    removes them — successive snapshots differ exactly where the privacy
+//    requirement changed, never by gratuitous re-rolls.
+//  * Marginally uniform: across keys, each noise bit is Bernoulli(β), so
+//    every quantitative guarantee of the β policies carries over unchanged
+//    (verified statistically in tests).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bit_matrix.h"
+
+namespace eppi::core {
+
+class StickyPublisher {
+ public:
+  // `key` is the provider's long-lived publication secret.
+  explicit StickyPublisher(std::uint64_t key) noexcept : key_(key) {}
+
+  // The PRF draw for identity j, uniform in [0, 2^64).
+  std::uint64_t draw(std::uint64_t identity) const noexcept;
+
+  // Noise decision: publish a false positive for identity j at rate beta.
+  bool noise_bit(std::uint64_t identity, double beta) const noexcept;
+
+  // Publishes one provider row under the sticky rule (true bits always 1).
+  std::vector<std::uint8_t> publish_row(
+      std::span<const std::uint8_t> local,
+      std::span<const double> betas) const;
+
+ private:
+  std::uint64_t key_;
+};
+
+// Whole-matrix helper: provider i publishes with StickyPublisher(keys[i]).
+eppi::BitMatrix sticky_publish_matrix(const eppi::BitMatrix& truth,
+                                      std::span<const double> betas,
+                                      std::span<const std::uint64_t> keys);
+
+}  // namespace eppi::core

@@ -1,0 +1,72 @@
+#include "dataset/collection_table.h"
+
+#include <istream>
+#include <ostream>
+
+#include "common/error.h"
+
+namespace eppi::dataset {
+
+CollectionTable load_collection_table(std::istream& in) {
+  struct Fact {
+    std::size_t provider;
+    std::size_t identity;
+  };
+  std::unordered_map<std::string, std::size_t> provider_ids;
+  std::unordered_map<std::string, std::size_t> identity_ids;
+  CollectionTable table;
+  std::vector<Fact> facts;
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    const auto comma = line.find(',');
+    if (comma == std::string::npos || comma == 0 || comma + 1 >= line.size()) {
+      throw SerializeError("collection table: malformed line " +
+                           std::to_string(line_no));
+    }
+    const std::string provider = line.substr(0, comma);
+    const std::string identity = line.substr(comma + 1);
+    const auto [pit, p_new] =
+        provider_ids.try_emplace(provider, provider_ids.size());
+    if (p_new) table.provider_names.push_back(provider);
+    const auto [iit, i_new] =
+        identity_ids.try_emplace(identity, identity_ids.size());
+    if (i_new) table.identity_names.push_back(identity);
+    facts.push_back(Fact{pit->second, iit->second});
+  }
+
+  table.network.membership =
+      BitMatrix(table.provider_names.size(), table.identity_names.size());
+  for (const Fact& f : facts) {
+    table.network.membership.set(f.provider, f.identity, true);
+  }
+  return table;
+}
+
+void save_collection_table(std::ostream& out, const Network& network,
+                           const std::vector<std::string>& provider_names,
+                           const std::vector<std::string>& identity_names) {
+  const auto synth_name = [](char prefix, std::size_t index) {
+    std::string name(1, prefix);
+    name += std::to_string(index);
+    return name;
+  };
+  const auto provider_name = [&](std::size_t i) {
+    return i < provider_names.size() ? provider_names[i] : synth_name('p', i);
+  };
+  const auto identity_name = [&](std::size_t j) {
+    return j < identity_names.size() ? identity_names[j] : synth_name('t', j);
+  };
+  for (std::size_t i = 0; i < network.providers(); ++i) {
+    for (std::size_t j = 0; j < network.identities(); ++j) {
+      if (network.membership.get(i, j)) {
+        out << provider_name(i) << ',' << identity_name(j) << '\n';
+      }
+    }
+  }
+}
+
+}  // namespace eppi::dataset

@@ -1,0 +1,37 @@
+// "Collection table" CSV interchange format.
+//
+// The paper's dataset [23] is a table mapping documents to collections; each
+// collection is treated as a provider and each document's source URL as an
+// owner identity. This module reads and writes that shape as CSV lines
+//
+//   collection_id,identity
+//
+// (one line per membership fact; duplicates are idempotent), so users with a
+// real collection table — or any provider/owner membership dump — can run
+// the library on their own data.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dataset/synthetic.h"
+
+namespace eppi::dataset {
+
+struct CollectionTable {
+  Network network;
+  std::vector<std::string> provider_names;  // row index -> collection id
+  std::vector<std::string> identity_names;  // col index -> identity
+};
+
+// Parses the CSV from a stream. Throws SerializeError on malformed lines.
+CollectionTable load_collection_table(std::istream& in);
+
+// Writes a Network back out using the given (or synthesized) names.
+void save_collection_table(std::ostream& out, const Network& network,
+                           const std::vector<std::string>& provider_names = {},
+                           const std::vector<std::string>& identity_names = {});
+
+}  // namespace eppi::dataset

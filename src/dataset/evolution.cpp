@@ -1,0 +1,47 @@
+#include "dataset/evolution.h"
+
+#include "common/error.h"
+
+namespace eppi::dataset {
+
+EvolutionStep NetworkEvolution::step() {
+  const std::size_t m = membership_.rows();
+  const std::size_t n = membership_.cols();
+  require(m > 0 && n > 0, "NetworkEvolution: empty network");
+  EvolutionStep result;
+
+  // Poisson-ish arrival count (geometric thinning keeps it simple and
+  // deterministic under the seeded RNG).
+  auto arrivals = static_cast<std::size_t>(config_.new_delegations_per_step);
+  if (rng_.bernoulli(config_.new_delegations_per_step - arrivals)) {
+    ++arrivals;
+  }
+  for (std::size_t a = 0; a < arrivals; ++a) {
+    // Rejection-sample an absent cell (bail out on dense matrices).
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const auto i = static_cast<std::size_t>(rng_.next_below(m));
+      const auto j = static_cast<std::size_t>(rng_.next_below(n));
+      if (!membership_.get(i, j)) {
+        membership_.set(i, j, true);
+        result.added.emplace_back(i, j);
+        break;
+      }
+    }
+  }
+
+  if (rng_.bernoulli(config_.purge_probability)) {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const auto i = static_cast<std::size_t>(rng_.next_below(m));
+      const auto j = static_cast<std::size_t>(rng_.next_below(n));
+      if (membership_.get(i, j)) {
+        membership_.set(i, j, false);
+        result.removed.emplace_back(i, j);
+        break;
+      }
+    }
+  }
+  ++steps_;
+  return result;
+}
+
+}  // namespace eppi::dataset

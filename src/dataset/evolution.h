@@ -1,0 +1,49 @@
+// Temporal evolution of an information network.
+//
+// Drives the epoch-manager scenarios: owners keep visiting providers over
+// time (new delegations arrive, rarely a record is purged), and new owners
+// join the network. Each step mutates the membership matrix in place and
+// reports what changed, so tests and benches can correlate observed
+// snapshot churn with ground-truth change.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bit_matrix.h"
+#include "common/rng.h"
+
+namespace eppi::dataset {
+
+struct EvolutionConfig {
+  // Expected number of new delegations per step.
+  double new_delegations_per_step = 5.0;
+  // Probability that an existing delegation is purged in a step (applied
+  // per step, not per record: at most one purge per step).
+  double purge_probability = 0.1;
+};
+
+struct EvolutionStep {
+  std::vector<std::pair<std::size_t, std::size_t>> added;   // (provider, id)
+  std::vector<std::pair<std::size_t, std::size_t>> removed;
+};
+
+class NetworkEvolution {
+ public:
+  NetworkEvolution(eppi::BitMatrix& membership, EvolutionConfig config,
+                   eppi::Rng rng)
+      : membership_(membership), config_(config), rng_(rng) {}
+
+  // Applies one step of churn and returns what changed.
+  EvolutionStep step();
+
+  std::size_t steps_applied() const noexcept { return steps_; }
+
+ private:
+  eppi::BitMatrix& membership_;
+  EvolutionConfig config_;
+  eppi::Rng rng_;
+  std::size_t steps_ = 0;
+};
+
+}  // namespace eppi::dataset

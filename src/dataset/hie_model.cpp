@@ -1,0 +1,118 @@
+#include "dataset/hie_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace eppi::dataset {
+
+namespace {
+
+double distance(const std::pair<double, double>& a,
+                const std::pair<double, double>& b) {
+  const double dx = a.first - b.first;
+  const double dy = a.second - b.second;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace
+
+double HieWorld::mean_visit_spread() const {
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t j = 0; j < network.identities(); ++j) {
+    std::vector<std::size_t> visited;
+    for (std::size_t i = 0; i < network.providers(); ++i) {
+      if (network.membership.get(i, j)) visited.push_back(i);
+    }
+    if (visited.size() < 2) continue;
+    double sum = 0.0;
+    std::size_t pairs = 0;
+    for (std::size_t a = 0; a < visited.size(); ++a) {
+      for (std::size_t b = a + 1; b < visited.size(); ++b) {
+        sum += distance(provider_positions[visited[a]],
+                        provider_positions[visited[b]]);
+        ++pairs;
+      }
+    }
+    total += sum / static_cast<double>(pairs);
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+HieWorld make_hie_world(const HieModelConfig& config, eppi::Rng& rng) {
+  require(config.providers >= 2, "make_hie_world: need providers");
+  require(config.patients >= 1, "make_hie_world: need patients");
+  require(config.mean_visits >= 1.0, "make_hie_world: mean_visits >= 1");
+  require(config.locality > 0.0, "make_hie_world: locality must be positive");
+  require(config.traveler_fraction >= 0.0 && config.traveler_fraction <= 1.0,
+          "make_hie_world: traveler_fraction in [0,1]");
+
+  HieWorld world;
+  world.provider_positions.resize(config.providers);
+  for (auto& pos : world.provider_positions) {
+    pos = {rng.next_double(), rng.next_double()};
+  }
+  world.patient_positions.resize(config.patients);
+  world.traveler.resize(config.patients);
+  world.network.membership =
+      eppi::BitMatrix(config.providers, config.patients);
+
+  for (std::size_t j = 0; j < config.patients; ++j) {
+    world.patient_positions[j] = {rng.next_double(), rng.next_double()};
+    world.traveler[j] = rng.bernoulli(config.traveler_fraction);
+
+    if (world.traveler[j]) {
+      // A traveler visits a large uniform subset of providers.
+      const auto visits = std::max<std::size_t>(
+          1, static_cast<std::size_t>(config.traveler_visit_fraction *
+                                      static_cast<double>(config.providers)));
+      std::vector<std::size_t> pool(config.providers);
+      for (std::size_t i = 0; i < config.providers; ++i) pool[i] = i;
+      for (std::size_t k = 0; k < visits; ++k) {
+        const std::size_t pick =
+            k + static_cast<std::size_t>(rng.next_below(config.providers - k));
+        std::swap(pool[k], pool[pick]);
+        world.network.membership.set(pool[k], j, true);
+      }
+      continue;
+    }
+
+    // Local patient: distance-weighted sampling without replacement.
+    std::vector<double> weight(config.providers);
+    double total = 0.0;
+    for (std::size_t i = 0; i < config.providers; ++i) {
+      weight[i] = std::exp(-distance(world.patient_positions[j],
+                                     world.provider_positions[i]) /
+                           config.locality);
+      total += weight[i];
+    }
+    // Number of visits: 1 + geometric-ish around the mean.
+    std::size_t visits = 1;
+    while (visits < config.providers &&
+           rng.bernoulli(1.0 - 1.0 / config.mean_visits)) {
+      ++visits;
+    }
+    for (std::size_t v = 0; v < visits; ++v) {
+      double draw = rng.next_double() * total;
+      std::size_t chosen = config.providers - 1;
+      for (std::size_t i = 0; i < config.providers; ++i) {
+        if (weight[i] <= 0.0) continue;
+        if (draw < weight[i]) {
+          chosen = i;
+          break;
+        }
+        draw -= weight[i];
+      }
+      world.network.membership.set(chosen, j, true);
+      total -= weight[chosen];
+      weight[chosen] = 0.0;  // without replacement
+      if (total <= 0.0) break;
+    }
+  }
+  return world;
+}
+
+}  // namespace eppi::dataset

@@ -1,0 +1,80 @@
+#include "dataset/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace eppi::dataset {
+
+std::vector<std::uint64_t> Network::frequencies() const {
+  std::vector<std::uint64_t> freqs(membership.cols());
+  for (std::size_t j = 0; j < membership.cols(); ++j) {
+    freqs[j] = membership.col_count(j);
+  }
+  return freqs;
+}
+
+namespace {
+
+// Chooses `k` distinct values from [0, m) uniformly (partial Fisher-Yates on
+// an index pool).
+std::vector<std::size_t> sample_without_replacement(std::size_t m,
+                                                    std::size_t k,
+                                                    eppi::Rng& rng) {
+  std::vector<std::size_t> pool(m);
+  for (std::size_t i = 0; i < m; ++i) pool[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t pick =
+        i + static_cast<std::size_t>(rng.next_below(m - i));
+    std::swap(pool[i], pool[pick]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+}  // namespace
+
+Network make_zipf_network(const SyntheticConfig& config, eppi::Rng& rng) {
+  require(config.providers >= 1, "make_zipf_network: need providers");
+  require(config.identities >= 1, "make_zipf_network: need identities");
+  require(config.max_fraction > 0.0 && config.max_fraction <= 1.0,
+          "make_zipf_network: max_fraction in (0,1]");
+  std::vector<std::uint64_t> freqs(config.identities);
+  const auto m = static_cast<double>(config.providers);
+  for (std::size_t j = 0; j < config.identities; ++j) {
+    const double scale =
+        config.max_fraction /
+        std::pow(static_cast<double>(j + 1), config.zipf_exponent);
+    freqs[j] = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(std::llround(scale * m)));
+  }
+  return make_network_with_frequencies(config.providers, freqs, rng);
+}
+
+Network make_network_with_frequencies(
+    std::size_t providers, std::span<const std::uint64_t> frequencies,
+    eppi::Rng& rng) {
+  require(providers >= 1, "make_network_with_frequencies: need providers");
+  Network net;
+  net.membership = eppi::BitMatrix(providers, frequencies.size());
+  for (std::size_t j = 0; j < frequencies.size(); ++j) {
+    require(frequencies[j] <= providers,
+            "make_network_with_frequencies: frequency exceeds providers");
+    const auto holders = sample_without_replacement(
+        providers, static_cast<std::size_t>(frequencies[j]), rng);
+    for (const std::size_t i : holders) net.membership.set(i, j, true);
+  }
+  return net;
+}
+
+std::vector<double> random_epsilons(std::size_t n, eppi::Rng& rng, double lo,
+                                    double hi) {
+  require(lo >= 0.0 && hi <= 1.0 && lo <= hi,
+          "random_epsilons: need 0 <= lo <= hi <= 1");
+  std::vector<double> eps(n);
+  for (auto& e : eps) e = lo + (hi - lo) * rng.next_double();
+  return eps;
+}
+
+}  // namespace eppi::dataset

@@ -1,0 +1,56 @@
+// Synthetic information-network dataset generation.
+//
+// Substitutes for the TREC-WT10g-derived distributed collection dataset of
+// the paper's simulation experiments (§V-A): providers are "small digital
+// libraries" and owner identities are document source URLs, so identity
+// frequency (how many providers hold an identity) follows a heavy-tailed
+// profile with a handful of near-ubiquitous common identities. The generator
+// reproduces that profile with a Zipf law over identity ranks, and also
+// offers exact-frequency construction for the controlled sweeps of Figs. 4a
+// and 5a (where identity frequency is the x-axis).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bit_matrix.h"
+#include "common/rng.h"
+
+namespace eppi::dataset {
+
+struct SyntheticConfig {
+  std::size_t providers = 1000;   // m
+  std::size_t identities = 5000;  // n
+  double zipf_exponent = 0.9;
+  // Frequency (as a fraction of m) of the most common identity; rank r gets
+  // max_fraction * (r+1)^-zipf_exponent of m providers (at least 1).
+  double max_fraction = 0.9;
+};
+
+struct Network {
+  eppi::BitMatrix membership;  // providers x identities
+  std::size_t providers() const noexcept { return membership.rows(); }
+  std::size_t identities() const noexcept { return membership.cols(); }
+
+  // sigma_j * m: number of providers holding identity j.
+  std::vector<std::uint64_t> frequencies() const;
+};
+
+// Zipf-profile network: identity rank determines frequency; the providers
+// holding each identity are chosen uniformly without replacement.
+Network make_zipf_network(const SyntheticConfig& config, eppi::Rng& rng);
+
+// Exact-frequency network: identity j appears at exactly frequencies[j]
+// providers (each <= m), chosen uniformly.
+Network make_network_with_frequencies(
+    std::size_t providers, std::span<const std::uint64_t> frequencies,
+    eppi::Rng& rng);
+
+// Random per-owner privacy degrees in [lo, hi], the paper's setup for the
+// effectiveness experiments ("we randomly generate the privacy degree ε in
+// the domain [0,1]").
+std::vector<double> random_epsilons(std::size_t n, eppi::Rng& rng,
+                                    double lo = 0.0, double hi = 1.0);
+
+}  // namespace eppi::dataset

@@ -1,0 +1,199 @@
+#include "mpc/arith.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/serialize.h"
+#include "secret/additive_share.h"
+
+namespace eppi::mpc {
+
+namespace {
+
+constexpr std::uint32_t kTagArith = eppi::net::kUserBase + 40;
+
+std::vector<std::uint8_t> encode(std::span<const std::uint64_t> values) {
+  eppi::BinaryWriter w;
+  w.write_u64_vector(values);
+  return w.take();
+}
+
+std::vector<std::uint64_t> decode(std::span<const std::uint8_t> bytes,
+                                  std::size_t expected) {
+  eppi::BinaryReader r(bytes);
+  auto values = r.read_u64_vector();
+  if (values.size() != expected) {
+    throw eppi::ProtocolError("ArithSession: vector size mismatch");
+  }
+  return values;
+}
+
+}  // namespace
+
+ArithSession::ArithSession(eppi::net::PartyContext& ctx,
+                           std::vector<eppi::net::PartyId> parties,
+                           eppi::secret::ModRing ring,
+                           std::uint64_t seq_base)
+    : ctx_(ctx), parties_(std::move(parties)), ring_(ring),
+      seq_base_(seq_base) {
+  require(parties_.size() >= 2, "ArithSession: need at least two parties");
+  const auto self = std::find(parties_.begin(), parties_.end(), ctx.id());
+  require(self != parties_.end(), "ArithSession: not a session party");
+  me_ = static_cast<std::size_t>(self - parties_.begin());
+}
+
+ArithSession::Share ArithSession::add_public(Share a, std::uint64_t k) const {
+  // Public constants are carried by party 0's share only.
+  return me_ == 0 ? ring_.add(a, k) : a;
+}
+
+ArithSession::Share ArithSession::scalar_mul(Share a, std::uint64_t k) const {
+  return static_cast<Share>(
+      (static_cast<unsigned __int128>(a) * ring_.reduce(k)) % ring_.q());
+}
+
+std::vector<ArithSession::Share> ArithSession::input_vector(
+    eppi::net::PartyId owner, std::span<const std::uint64_t> values,
+    std::size_t count) {
+  const std::uint64_t seq = next_seq();
+  const std::size_t c = parties_.size();
+  if (ctx_.id() == owner) {
+    require(values.size() == count, "ArithSession: input size mismatch");
+    std::vector<std::vector<std::uint64_t>> per_party(
+        c, std::vector<std::uint64_t>(count));
+    for (std::size_t j = 0; j < count; ++j) {
+      const auto shares =
+          eppi::secret::split_additive(values[j], c, ring_, ctx_.rng());
+      for (std::size_t p = 0; p < c; ++p) per_party[p][j] = shares[p];
+    }
+    for (std::size_t p = 0; p < c; ++p) {
+      if (parties_[p] == owner) continue;
+      ctx_.send(parties_[p], kTagArith, seq, encode(per_party[p]));
+    }
+    if (me_ == 0) ctx_.mark_round();
+    // My own share is at my session index.
+    return per_party[me_];
+  }
+  const auto payload = ctx_.recv(owner, kTagArith, seq);
+  if (me_ == 0) ctx_.mark_round();
+  return decode(payload, count);
+}
+
+std::vector<std::uint64_t> ArithSession::exchange_sum(
+    std::span<const std::uint64_t> mine, std::uint64_t seq) {
+  for (std::size_t p = 0; p < parties_.size(); ++p) {
+    if (p == me_) continue;
+    ctx_.send(parties_[p], kTagArith, seq,
+              encode(std::vector<std::uint64_t>(mine.begin(), mine.end())));
+  }
+  std::vector<std::uint64_t> total(mine.begin(), mine.end());
+  for (std::size_t p = 0; p < parties_.size(); ++p) {
+    if (p == me_) continue;
+    const auto payload = ctx_.recv(parties_[p], kTagArith, seq);
+    const auto incoming = decode(payload, mine.size());
+    for (std::size_t j = 0; j < total.size(); ++j) {
+      total[j] = ring_.add(total[j], incoming[j]);
+    }
+  }
+  if (me_ == 0) ctx_.mark_round();
+  return total;
+}
+
+std::vector<ArithSession::Share> ArithSession::mul_batch(
+    std::span<const Share> lhs, std::span<const Share> rhs) {
+  require(lhs.size() == rhs.size(), "ArithSession: mul_batch size mismatch");
+  const std::size_t n = lhs.size();
+  if (n == 0) return {};
+  const std::size_t c = parties_.size();
+
+  // Preprocessing: dealer generates and distributes arithmetic triples.
+  const std::uint64_t triple_seq = next_seq();
+  std::vector<std::uint64_t> a_sh(n), b_sh(n), c_sh(n);
+  if (me_ == 0) {
+    std::vector<std::vector<std::uint64_t>> a_parts(
+        c, std::vector<std::uint64_t>(n));
+    auto b_parts = a_parts;
+    auto c_parts = a_parts;
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::uint64_t a = ctx_.rng().next_below(ring_.q());
+      const std::uint64_t b = ctx_.rng().next_below(ring_.q());
+      const auto prod = static_cast<std::uint64_t>(
+          (static_cast<unsigned __int128>(a) * b) % ring_.q());
+      const auto sa = eppi::secret::split_additive(a, c, ring_, ctx_.rng());
+      const auto sb = eppi::secret::split_additive(b, c, ring_, ctx_.rng());
+      const auto sc =
+          eppi::secret::split_additive(prod, c, ring_, ctx_.rng());
+      for (std::size_t p = 0; p < c; ++p) {
+        a_parts[p][j] = sa[p];
+        b_parts[p][j] = sb[p];
+        c_parts[p][j] = sc[p];
+      }
+    }
+    for (std::size_t p = 1; p < c; ++p) {
+      eppi::BinaryWriter w;
+      w.write_u64_vector(a_parts[p]);
+      w.write_u64_vector(b_parts[p]);
+      w.write_u64_vector(c_parts[p]);
+      ctx_.send(parties_[p], kTagArith, triple_seq, w.take());
+    }
+    a_sh = std::move(a_parts[0]);
+    b_sh = std::move(b_parts[0]);
+    c_sh = std::move(c_parts[0]);
+    ctx_.mark_round();
+  } else {
+    const auto payload = ctx_.recv(parties_[0], kTagArith, triple_seq);
+    eppi::BinaryReader r(payload);
+    a_sh = r.read_u64_vector();
+    b_sh = r.read_u64_vector();
+    c_sh = r.read_u64_vector();
+    if (a_sh.size() != n || b_sh.size() != n || c_sh.size() != n) {
+      throw eppi::ProtocolError("ArithSession: bad triple batch");
+    }
+  }
+
+  // Open d = x - a and e = y - b, batched.
+  std::vector<std::uint64_t> masked(2 * n);
+  for (std::size_t j = 0; j < n; ++j) {
+    masked[2 * j] = ring_.sub(lhs[j], a_sh[j]);
+    masked[2 * j + 1] = ring_.sub(rhs[j], b_sh[j]);
+  }
+  const auto opened = exchange_sum(masked, next_seq());
+
+  // z = c + d*b + e*a (+ d*e on party 0).
+  std::vector<Share> out(n);
+  const auto mul_mod = [&](std::uint64_t x, std::uint64_t y) {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(x) * y) % ring_.q());
+  };
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::uint64_t d = opened[2 * j];
+    const std::uint64_t e = opened[2 * j + 1];
+    std::uint64_t z = ring_.add(c_sh[j], mul_mod(d, b_sh[j]));
+    z = ring_.add(z, mul_mod(e, a_sh[j]));
+    if (me_ == 0) z = ring_.add(z, mul_mod(d, e));
+    out[j] = z;
+  }
+  return out;
+}
+
+ArithSession::Share ArithSession::mul(Share a, Share b) {
+  const Share lhs[1] = {a};
+  const Share rhs[1] = {b};
+  return mul_batch(lhs, rhs)[0];
+}
+
+std::vector<std::uint64_t> ArithSession::open_batch(
+    std::span<const Share> shares) {
+  if (shares.empty()) {
+    next_seq();  // keep sequence numbers aligned across parties
+    return {};
+  }
+  return exchange_sum(shares, next_seq());
+}
+
+std::uint64_t ArithSession::open(Share share) {
+  const Share one[1] = {share};
+  return open_batch(one)[0];
+}
+
+}  // namespace eppi::mpc

@@ -1,0 +1,57 @@
+#include "mpc/beaver.h"
+
+namespace eppi::mpc {
+
+std::size_t packed_size(std::uint64_t bits) noexcept {
+  return static_cast<std::size_t>((bits + 7) / 8);
+}
+
+void set_packed_bit(std::vector<std::uint8_t>& v, std::uint64_t i, bool bit) {
+  if (bit) {
+    v[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+  } else {
+    v[i / 8] &= static_cast<std::uint8_t>(~(1u << (i % 8)));
+  }
+}
+
+bool get_packed_bit(const std::vector<std::uint8_t>& v,
+                    std::uint64_t i) noexcept {
+  return (v[i / 8] >> (i % 8)) & 1;
+}
+
+std::vector<TripleShares> deal_triples(std::size_t n_parties,
+                                       std::uint64_t count, eppi::Rng& rng) {
+  std::vector<TripleShares> shares(n_parties);
+  const std::size_t bytes = packed_size(count);
+  for (auto& s : shares) {
+    s.a.assign(bytes, 0);
+    s.b.assign(bytes, 0);
+    s.c.assign(bytes, 0);
+    s.count = count;
+  }
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const bool a = rng.bernoulli(0.5);
+    const bool b = rng.bernoulli(0.5);
+    const bool c = a && b;
+    bool a_acc = false;
+    bool b_acc = false;
+    bool c_acc = false;
+    for (std::size_t p = 0; p + 1 < n_parties; ++p) {
+      const bool sa = rng.bernoulli(0.5);
+      const bool sb = rng.bernoulli(0.5);
+      const bool sc = rng.bernoulli(0.5);
+      set_packed_bit(shares[p].a, i, sa);
+      set_packed_bit(shares[p].b, i, sb);
+      set_packed_bit(shares[p].c, i, sc);
+      a_acc ^= sa;
+      b_acc ^= sb;
+      c_acc ^= sc;
+    }
+    set_packed_bit(shares[n_parties - 1].a, i, a_acc != a);
+    set_packed_bit(shares[n_parties - 1].b, i, b_acc != b);
+    set_packed_bit(shares[n_parties - 1].c, i, c_acc != c);
+  }
+  return shares;
+}
+
+}  // namespace eppi::mpc

@@ -1,0 +1,54 @@
+// Beaver multiplication-triple preprocessing for GMW AND gates.
+//
+// Each AND gate consumes one Boolean Beaver triple (a, b, ab) XOR-shared
+// among the session parties. We generate triples in a preprocessing phase
+// run by a designated dealer party (the session's first party), which is a
+// standard simulation of an offline phase.
+//
+// SUBSTITUTION NOTE (see DESIGN.md §2): FairplayMP realizes secure gates via
+// a BMR garbling protocol; production GMW deployments generate triples with
+// oblivious transfer so that no single party knows a whole triple. Here the
+// dealer knows the triples it deals — acceptable in the semi-honest,
+// performance-evaluation setting of the paper, and the *online* cost
+// structure (one masked opening per AND gate per layer, which is what Fig. 6
+// measures) is identical. The dealer traffic is metered separately so
+// benches can report online-only and total costs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace eppi::mpc {
+
+// One party's XOR shares of a batch of bit triples, packed bitwise.
+struct TripleShares {
+  std::vector<std::uint8_t> a;  // packed bits, count bits valid
+  std::vector<std::uint8_t> b;
+  std::vector<std::uint8_t> c;
+  std::uint64_t count = 0;
+
+  bool a_bit(std::uint64_t i) const noexcept { return bit(a, i); }
+  bool b_bit(std::uint64_t i) const noexcept { return bit(b, i); }
+  bool c_bit(std::uint64_t i) const noexcept { return bit(c, i); }
+
+ private:
+  static bool bit(const std::vector<std::uint8_t>& v,
+                  std::uint64_t i) noexcept {
+    return (v[i / 8] >> (i % 8)) & 1;
+  }
+};
+
+// Dealer-side generation: returns one TripleShares per party such that for
+// every triple index, XOR of a-shares & XOR of b-shares == XOR of c-shares.
+std::vector<TripleShares> deal_triples(std::size_t n_parties,
+                                       std::uint64_t count, eppi::Rng& rng);
+
+// Bit-packing helpers shared with the GMW engine's message encoding.
+void set_packed_bit(std::vector<std::uint8_t>& v, std::uint64_t i, bool bit);
+bool get_packed_bit(const std::vector<std::uint8_t>& v,
+                    std::uint64_t i) noexcept;
+std::size_t packed_size(std::uint64_t bits) noexcept;
+
+}  // namespace eppi::mpc

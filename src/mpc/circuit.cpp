@@ -1,0 +1,21 @@
+#include "mpc/circuit.h"
+
+#include "common/error.h"
+
+namespace eppi::mpc {
+
+std::uint32_t Circuit::input_owner(Wire w) const {
+  require(w < gates_.size() && gates_[w].op == GateOp::kInput,
+          "Circuit: wire is not an input");
+  return gates_[w].a;
+}
+
+WireVec Circuit::inputs_of(std::uint32_t party) const {
+  WireVec result;
+  for (const Wire w : inputs_) {
+    if (gates_[w].a == party) result.push_back(w);
+  }
+  return result;
+}
+
+}  // namespace eppi::mpc

@@ -1,0 +1,79 @@
+// Boolean circuit representation for secure multi-party computation.
+//
+// This substitutes for FairplayMP's SFDL-compiled Boolean circuits (paper
+// §IV-B.2): protocol functionality is expressed as a DAG of XOR / AND / NOT
+// gates over party-owned input wires. Circuit *size* (gate count) is the
+// paper's own scalability metric for Fig. 6b, so the representation tracks
+// gate counts and the AND-depth (which determines GMW round complexity).
+//
+// Wires are dense indices; gate i's output is wire i. Construction is append
+// -only, so the gate list is always topologically ordered.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace eppi::mpc {
+
+using Wire = std::uint32_t;
+using WireVec = std::vector<Wire>;
+
+enum class GateOp : std::uint8_t {
+  kInput,      // party-owned input bit (operand a = party index)
+  kConstZero,
+  kConstOne,
+  kXor,        // a ^ b
+  kAnd,        // a & b  (the only gate requiring secure communication)
+  kNot,        // !a
+};
+
+struct Gate {
+  GateOp op;
+  Wire a = 0;
+  Wire b = 0;
+};
+
+struct CircuitStats {
+  std::uint64_t and_gates = 0;
+  std::uint64_t xor_gates = 0;
+  std::uint64_t not_gates = 0;
+  std::uint64_t input_wires = 0;
+  std::uint64_t and_depth = 0;  // number of GMW communication layers
+
+  // "Circuit size" in the Fig. 6b sense: all secure gates. XOR/NOT are free
+  // in GMW but FairplayMP's BMR counts every gate, so we report both views.
+  std::uint64_t total_gates() const noexcept {
+    return and_gates + xor_gates + not_gates;
+  }
+};
+
+class Circuit {
+ public:
+  const std::vector<Gate>& gates() const noexcept { return gates_; }
+  const WireVec& inputs() const noexcept { return inputs_; }
+  const WireVec& outputs() const noexcept { return outputs_; }
+
+  // Owning party (index into the MPC session's party list) of input wire w.
+  std::uint32_t input_owner(Wire w) const;
+
+  // Input wires owned by one party, in declaration order.
+  WireVec inputs_of(std::uint32_t party) const;
+
+  std::size_t n_wires() const noexcept { return gates_.size(); }
+  const CircuitStats& stats() const noexcept { return stats_; }
+
+  // AND-layer index of a wire: 0 for wires computable locally from inputs,
+  // r for wires available after the r-th GMW communication round.
+  std::uint32_t layer(Wire w) const { return layers_[w]; }
+
+ private:
+  friend class CircuitBuilder;
+
+  std::vector<Gate> gates_;
+  std::vector<std::uint32_t> layers_;
+  WireVec inputs_;
+  WireVec outputs_;
+  CircuitStats stats_;
+};
+
+}  // namespace eppi::mpc

@@ -1,0 +1,262 @@
+#include "mpc/circuit_builder.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/error.h"
+
+namespace eppi::mpc {
+
+unsigned bit_width_for(std::uint64_t max_value) noexcept {
+  return max_value == 0 ? 1u
+                        : static_cast<unsigned>(std::bit_width(max_value));
+}
+
+CircuitBuilder::CircuitBuilder() = default;
+
+Wire CircuitBuilder::append(GateOp op, Wire a, Wire b) {
+  const Wire w = static_cast<Wire>(circuit_.gates_.size());
+  circuit_.gates_.push_back(Gate{op, a, b});
+  std::uint32_t layer = 0;
+  switch (op) {
+    case GateOp::kInput:
+      ++circuit_.stats_.input_wires;
+      break;
+    case GateOp::kConstZero:
+    case GateOp::kConstOne:
+      break;
+    case GateOp::kXor:
+      ++circuit_.stats_.xor_gates;
+      layer = std::max(circuit_.layers_[a], circuit_.layers_[b]);
+      break;
+    case GateOp::kAnd:
+      ++circuit_.stats_.and_gates;
+      layer = std::max(circuit_.layers_[a], circuit_.layers_[b]) + 1;
+      circuit_.stats_.and_depth =
+          std::max<std::uint64_t>(circuit_.stats_.and_depth, layer);
+      break;
+    case GateOp::kNot:
+      ++circuit_.stats_.not_gates;
+      layer = circuit_.layers_[a];
+      break;
+  }
+  circuit_.layers_.push_back(layer);
+  const_val_.push_back(op == GateOp::kConstZero ? 0
+                       : op == GateOp::kConstOne ? 1
+                                                 : -1);
+  return w;
+}
+
+std::optional<bool> CircuitBuilder::const_of(Wire w) const {
+  const std::int8_t v = const_val_[w];
+  if (v < 0) return std::nullopt;
+  return v != 0;
+}
+
+Wire CircuitBuilder::input_bit(std::uint32_t party) {
+  const Wire w = append(GateOp::kInput, party, 0);
+  circuit_.inputs_.push_back(w);
+  return w;
+}
+
+WireVec CircuitBuilder::input_bits(std::uint32_t party, unsigned width) {
+  WireVec v(width);
+  for (auto& w : v) w = input_bit(party);
+  return v;
+}
+
+Wire CircuitBuilder::zero() {
+  if (!has_zero_) {
+    zero_wire_ = append(GateOp::kConstZero, 0, 0);
+    has_zero_ = true;
+  }
+  return zero_wire_;
+}
+
+Wire CircuitBuilder::one() {
+  if (!has_one_) {
+    one_wire_ = append(GateOp::kConstOne, 0, 0);
+    has_one_ = true;
+  }
+  return one_wire_;
+}
+
+WireVec CircuitBuilder::constant_bits(std::uint64_t value, unsigned width) {
+  WireVec v(width);
+  for (unsigned i = 0; i < width; ++i) v[i] = constant((value >> i) & 1);
+  return v;
+}
+
+Wire CircuitBuilder::Xor(Wire a, Wire b) {
+  const auto ca = const_of(a);
+  const auto cb = const_of(b);
+  if (ca && cb) return constant(*ca != *cb);
+  if (ca) return *ca ? Not(b) : b;
+  if (cb) return *cb ? Not(a) : a;
+  if (a == b) return zero();
+  return append(GateOp::kXor, a, b);
+}
+
+Wire CircuitBuilder::And(Wire a, Wire b) {
+  const auto ca = const_of(a);
+  const auto cb = const_of(b);
+  if (ca) return *ca ? b : zero();
+  if (cb) return *cb ? a : zero();
+  if (a == b) return a;
+  return append(GateOp::kAnd, a, b);
+}
+
+Wire CircuitBuilder::Not(Wire a) {
+  const auto ca = const_of(a);
+  if (ca) return constant(!*ca);
+  return append(GateOp::kNot, a, 0);
+}
+
+Wire CircuitBuilder::Or(Wire a, Wire b) {
+  // a | b == (a ^ b) ^ (a & b); folding handles constant operands upstream.
+  return Xor(Xor(a, b), And(a, b));
+}
+
+Wire CircuitBuilder::Mux(Wire sel, Wire if_true, Wire if_false) {
+  // f ^ sel & (t ^ f): one AND gate.
+  return Xor(if_false, And(sel, Xor(if_true, if_false)));
+}
+
+WireVec CircuitBuilder::xor_vec(const WireVec& a, const WireVec& b) {
+  require(a.size() == b.size(), "CircuitBuilder: xor_vec width mismatch");
+  WireVec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = Xor(a[i], b[i]);
+  return out;
+}
+
+WireVec CircuitBuilder::zext(WireVec v, unsigned width) {
+  while (v.size() < width) v.push_back(zero());
+  require(v.size() == width, "CircuitBuilder: zext cannot narrow");
+  return v;
+}
+
+WireVec CircuitBuilder::add_trunc(const WireVec& a, const WireVec& b) {
+  const auto width = static_cast<unsigned>(std::max(a.size(), b.size()));
+  auto full = add_expand(a, b);
+  full.resize(width);
+  return full;
+}
+
+WireVec CircuitBuilder::add_expand(const WireVec& a, const WireVec& b) {
+  const auto width = static_cast<unsigned>(std::max(a.size(), b.size()));
+  const WireVec xa = zext(a, width);
+  const WireVec xb = zext(b, width);
+  WireVec out(width + 1);
+  Wire carry = zero();
+  for (unsigned i = 0; i < width; ++i) {
+    // Full adder: sum = a^b^c; carry' = (a&b) ^ (c & (a^b)).
+    const Wire axb = Xor(xa[i], xb[i]);
+    out[i] = Xor(axb, carry);
+    carry = Xor(And(xa[i], xb[i]), And(carry, axb));
+  }
+  out[width] = carry;
+  return out;
+}
+
+WireVec CircuitBuilder::add_mod(const WireVec& a, const WireVec& b,
+                                std::uint64_t q) {
+  require(q >= 2, "CircuitBuilder: add_mod modulus must be >= 2");
+  const unsigned width = bit_width_for(q - 1);
+  if (std::has_single_bit(q)) {
+    // Power-of-two modulus: truncation is the reduction.
+    auto sum = add_expand(zext(a, width), zext(b, width));
+    sum.resize(width);
+    return sum;
+  }
+  // t = a + b (width+1 bits); result = t >= q ? t - q : t.
+  const auto t = add_expand(zext(a, width), zext(b, width));
+  const Wire wrap = ge_const(t, q);
+  // t - q == t + (2^(width+1) - q) mod 2^(width+1).
+  const std::uint64_t comp = (std::uint64_t{1} << (width + 1)) - q;
+  auto reduced = add_expand(t, constant_bits(comp, width + 1));
+  reduced.resize(width + 1);
+  auto chosen = mux_vec(wrap, reduced, t);
+  chosen.resize(width);
+  return chosen;
+}
+
+Wire CircuitBuilder::lt(const WireVec& a, const WireVec& b) {
+  const auto width = static_cast<unsigned>(std::max(a.size(), b.size()));
+  const WireVec xa = zext(a, width);
+  const WireVec xb = zext(b, width);
+  Wire borrow = zero();
+  for (unsigned i = 0; i < width; ++i) {
+    // Subtract borrow chain: borrow' = (~a & b) ^ (~(a^b) & borrow); the two
+    // terms are disjoint, so XOR equals OR here.
+    const Wire d = Xor(xa[i], xb[i]);
+    borrow = Xor(And(Not(xa[i]), xb[i]), And(Not(d), borrow));
+  }
+  return borrow;
+}
+
+Wire CircuitBuilder::ge(const WireVec& a, const WireVec& b) {
+  return Not(lt(a, b));
+}
+
+Wire CircuitBuilder::lt_const(const WireVec& a, std::uint64_t t) {
+  const auto width = static_cast<unsigned>(
+      std::max<std::size_t>(a.size(), bit_width_for(t)));
+  return lt(zext(a, width), constant_bits(t, width));
+}
+
+Wire CircuitBuilder::ge_const(const WireVec& a, std::uint64_t t) {
+  return Not(lt_const(a, t));
+}
+
+Wire CircuitBuilder::eq_const(const WireVec& a, std::uint64_t t) {
+  if (a.size() < 64 && (t >> a.size()) != 0) return zero();
+  Wire acc = one();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const bool bit = (i < 64) && ((t >> i) & 1);
+    acc = And(acc, bit ? a[i] : Not(a[i]));
+  }
+  return acc;
+}
+
+WireVec CircuitBuilder::popcount(std::span<const Wire> bits) {
+  if (bits.empty()) return constant_bits(0, 1);
+  std::vector<WireVec> values;
+  values.reserve(bits.size());
+  for (const Wire b : bits) values.push_back(WireVec{b});
+  return sum_tree(std::move(values));
+}
+
+WireVec CircuitBuilder::sum_tree(std::vector<WireVec> values) {
+  require(!values.empty(), "CircuitBuilder: sum_tree of nothing");
+  // Balanced binary reduction keeps both size and depth logarithmic.
+  while (values.size() > 1) {
+    std::vector<WireVec> next;
+    next.reserve((values.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < values.size(); i += 2) {
+      next.push_back(add_expand(values[i], values[i + 1]));
+    }
+    if (values.size() % 2 == 1) next.push_back(std::move(values.back()));
+    values = std::move(next);
+  }
+  return values[0];
+}
+
+WireVec CircuitBuilder::mux_vec(Wire sel, const WireVec& a, const WireVec& b) {
+  require(a.size() == b.size(), "CircuitBuilder: mux_vec width mismatch");
+  WireVec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = Mux(sel, a[i], b[i]);
+  return out;
+}
+
+void CircuitBuilder::output(Wire w) {
+  require(w < circuit_.gates_.size(), "CircuitBuilder: bad output wire");
+  circuit_.outputs_.push_back(w);
+}
+
+void CircuitBuilder::output_vec(const WireVec& v) {
+  for (const Wire w : v) output(w);
+}
+
+Circuit CircuitBuilder::take() { return std::move(circuit_); }
+
+}  // namespace eppi::mpc

@@ -1,0 +1,279 @@
+#include "mpc/garbled.h"
+
+#include "common/error.h"
+#include "common/serialize.h"
+
+namespace eppi::mpc {
+
+namespace {
+
+using eppi::net::MessageTag;
+using eppi::net::PartyContext;
+
+constexpr std::uint32_t kTagGarbled = eppi::net::kUserBase + 20;
+constexpr std::uint32_t kTagOt = eppi::net::kUserBase + 21;
+constexpr std::uint32_t kTagOutputs = eppi::net::kUserBase + 22;
+
+// Non-cryptographic stand-in for the garbling PRF (see header).
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t gate_prf(std::uint64_t key_a, std::uint64_t key_b,
+                       std::uint64_t gate_id) noexcept {
+  return mix64(mix64(key_a ^ 0x6a09e667f3bcc909ULL) +
+               mix64(key_b ^ 0xbb67ae8584caa73bULL) + gate_id);
+}
+
+struct GarblerState {
+  std::uint64_t delta = 0;               // global free-XOR offset (LSB = 1)
+  std::vector<std::uint64_t> label0;     // zero-label per wire
+  std::vector<std::uint64_t> tables;     // 4 entries per AND gate, in order
+};
+
+GarblerState garble(const Circuit& circuit, eppi::Rng& rng) {
+  GarblerState st;
+  st.delta = rng.next() | 1;  // permute bits of the two labels must differ
+  const auto& gates = circuit.gates();
+  st.label0.resize(gates.size());
+  st.tables.reserve(4 * circuit.stats().and_gates);
+
+  for (std::size_t w = 0; w < gates.size(); ++w) {
+    const Gate& g = gates[w];
+    switch (g.op) {
+      case GateOp::kInput:
+      case GateOp::kConstZero:
+      case GateOp::kConstOne:
+        st.label0[w] = rng.next();
+        break;
+      case GateOp::kXor:
+        st.label0[w] = st.label0[g.a] ^ st.label0[g.b];  // free XOR
+        break;
+      case GateOp::kNot:
+        st.label0[w] = st.label0[g.a] ^ st.delta;  // label swap
+        break;
+      case GateOp::kAnd: {
+        const std::uint64_t out0 = rng.next();
+        st.label0[w] = out0;
+        std::uint64_t rows[4];
+        for (int va = 0; va <= 1; ++va) {
+          for (int vb = 0; vb <= 1; ++vb) {
+            const std::uint64_t ka =
+                st.label0[g.a] ^ (va ? st.delta : 0);
+            const std::uint64_t kb =
+                st.label0[g.b] ^ (vb ? st.delta : 0);
+            const std::uint64_t out =
+                out0 ^ ((va && vb) ? st.delta : 0);
+            const auto row_index =
+                static_cast<std::size_t>(((ka & 1) << 1) | (kb & 1));
+            rows[row_index] = gate_prf(ka, kb, w) ^ out;
+          }
+        }
+        for (const std::uint64_t row : rows) st.tables.push_back(row);
+        break;
+      }
+    }
+  }
+  return st;
+}
+
+}  // namespace
+
+std::uint64_t garbled_table_bytes(const Circuit& circuit) noexcept {
+  return 4 * 8 * circuit.stats().and_gates;
+}
+
+std::vector<bool> run_garbled_party(PartyContext& ctx,
+                                    const GarbledSession& session,
+                                    const Circuit& circuit,
+                                    const std::vector<bool>& my_inputs) {
+  require(session.garbler != session.evaluator,
+          "garbled: need two distinct parties");
+  const bool is_garbler = ctx.id() == session.garbler;
+  const bool is_evaluator = ctx.id() == session.evaluator;
+  require(is_garbler || is_evaluator, "garbled: not a session party");
+
+  const auto& gates = circuit.gates();
+  const auto garbler_inputs = circuit.inputs_of(0);
+  const auto evaluator_inputs = circuit.inputs_of(1);
+  for (const Wire w : circuit.inputs()) {
+    require(circuit.input_owner(w) <= 1,
+            "garbled: two-party circuits only (owners 0 and 1)");
+  }
+
+  if (is_garbler) {
+    require(my_inputs.size() == garbler_inputs.size(),
+            "garbled: wrong garbler input count");
+    const GarblerState st = garble(circuit, ctx.rng());
+
+    // Message 1: tables, garbler's active input labels, const-wire labels,
+    // output permute bits.
+    eppi::BinaryWriter w;
+    w.write_varint(st.tables.size());
+    for (const std::uint64_t row : st.tables) w.write_u64(row);
+    w.write_varint(garbler_inputs.size());
+    for (std::size_t k = 0; k < garbler_inputs.size(); ++k) {
+      const Wire wire = garbler_inputs[k];
+      w.write_varint(wire);
+      w.write_u64(st.label0[wire] ^ (my_inputs[k] ? st.delta : 0));
+    }
+    // Constant wires: ship the active label for the fixed value.
+    std::vector<std::pair<Wire, std::uint64_t>> const_labels;
+    for (std::size_t wi = 0; wi < gates.size(); ++wi) {
+      if (gates[wi].op == GateOp::kConstZero) {
+        const_labels.emplace_back(static_cast<Wire>(wi), st.label0[wi]);
+      } else if (gates[wi].op == GateOp::kConstOne) {
+        const_labels.emplace_back(static_cast<Wire>(wi),
+                                  st.label0[wi] ^ st.delta);
+      }
+    }
+    w.write_varint(const_labels.size());
+    for (const auto& [wire, label] : const_labels) {
+      w.write_varint(wire);
+      w.write_u64(label);
+    }
+    w.write_varint(circuit.outputs().size());
+    for (const Wire wire : circuit.outputs()) {
+      w.write_u8(static_cast<std::uint8_t>(st.label0[wire] & 1));
+    }
+    ctx.send(session.evaluator, kTagGarbled, session.seq_base, w.take());
+    ctx.mark_round();
+
+    // Message 2 (ideal OT): both labels for every evaluator input wire.
+    eppi::BinaryWriter ot;
+    ot.write_varint(evaluator_inputs.size());
+    for (const Wire wire : evaluator_inputs) {
+      ot.write_varint(wire);
+      ot.write_u64(st.label0[wire]);
+      ot.write_u64(st.label0[wire] ^ st.delta);
+    }
+    ctx.send(session.evaluator, kTagOt, session.seq_base, ot.take());
+    ctx.mark_round();
+
+    // Message 3: opened outputs back from the evaluator.
+    const auto payload =
+        ctx.recv(session.evaluator, kTagOutputs, session.seq_base);
+    eppi::BinaryReader r(payload);
+    const std::uint64_t n_out = r.read_varint();
+    if (n_out != circuit.outputs().size()) {
+      throw eppi::ProtocolError("garbled: output count mismatch");
+    }
+    std::vector<bool> outputs(n_out);
+    for (std::uint64_t k = 0; k < n_out; ++k) outputs[k] = r.read_u8() != 0;
+    ctx.mark_round();
+    return outputs;
+  }
+
+  // --- evaluator ------------------------------------------------------------
+  require(my_inputs.size() == evaluator_inputs.size(),
+          "garbled: wrong evaluator input count");
+  std::vector<std::uint64_t> active(gates.size(), 0);
+  std::vector<std::uint8_t> have(gates.size(), 0);
+
+  std::vector<std::uint64_t> tables;
+  std::vector<std::uint8_t> out_perm;
+  {
+    const auto payload =
+        ctx.recv(session.garbler, kTagGarbled, session.seq_base);
+    eppi::BinaryReader r(payload);
+    const std::uint64_t n_rows = r.read_varint();
+    if (n_rows != 4 * circuit.stats().and_gates) {
+      throw eppi::ProtocolError("garbled: table size mismatch");
+    }
+    tables.resize(n_rows);
+    for (auto& row : tables) row = r.read_u64();
+    const std::uint64_t n_glabels = r.read_varint();
+    for (std::uint64_t k = 0; k < n_glabels; ++k) {
+      const auto wire = static_cast<Wire>(r.read_varint());
+      if (wire >= gates.size()) {
+        throw eppi::ProtocolError("garbled: bad label wire");
+      }
+      active[wire] = r.read_u64();
+      have[wire] = 1;
+    }
+    const std::uint64_t n_consts = r.read_varint();
+    for (std::uint64_t k = 0; k < n_consts; ++k) {
+      const auto wire = static_cast<Wire>(r.read_varint());
+      if (wire >= gates.size()) {
+        throw eppi::ProtocolError("garbled: bad const wire");
+      }
+      active[wire] = r.read_u64();
+      have[wire] = 1;
+    }
+    const std::uint64_t n_out = r.read_varint();
+    if (n_out != circuit.outputs().size()) {
+      throw eppi::ProtocolError("garbled: output perm size mismatch");
+    }
+    out_perm.resize(n_out);
+    for (auto& p : out_perm) p = r.read_u8();
+  }
+  {
+    const auto payload = ctx.recv(session.garbler, kTagOt, session.seq_base);
+    eppi::BinaryReader r(payload);
+    const std::uint64_t n = r.read_varint();
+    if (n != evaluator_inputs.size()) {
+      throw eppi::ProtocolError("garbled: OT batch size mismatch");
+    }
+    for (std::uint64_t k = 0; k < n; ++k) {
+      const auto wire = static_cast<Wire>(r.read_varint());
+      const std::uint64_t l0 = r.read_u64();
+      const std::uint64_t l1 = r.read_u64();
+      if (wire >= gates.size()) {
+        throw eppi::ProtocolError("garbled: bad OT wire");
+      }
+      // Ideal OT: keep the chosen label, discard the other.
+      active[wire] = my_inputs[k] ? l1 : l0;
+      have[wire] = 1;
+    }
+  }
+
+  // Evaluate in topological order.
+  std::size_t and_cursor = 0;
+  for (std::size_t w = 0; w < gates.size(); ++w) {
+    const Gate& g = gates[w];
+    switch (g.op) {
+      case GateOp::kInput:
+      case GateOp::kConstZero:
+      case GateOp::kConstOne:
+        if (!have[w]) {
+          throw eppi::ProtocolError("garbled: missing label for wire");
+        }
+        break;
+      case GateOp::kXor:
+        active[w] = active[g.a] ^ active[g.b];
+        break;
+      case GateOp::kNot:
+        active[w] = active[g.a];  // semantics carried by the label mapping
+        break;
+      case GateOp::kAnd: {
+        const std::uint64_t ka = active[g.a];
+        const std::uint64_t kb = active[g.b];
+        const auto row_index =
+            static_cast<std::size_t>(((ka & 1) << 1) | (kb & 1));
+        active[w] =
+            tables[4 * and_cursor + row_index] ^ gate_prf(ka, kb, w);
+        ++and_cursor;
+        break;
+      }
+    }
+  }
+
+  // NOT gates carry the swap in the *zero-label*, which the evaluator does
+  // not see; decode via permute bits sent by the garbler. For NOT wires the
+  // garbler's permute bit already accounts for the swap (label0 of the NOT
+  // wire is label1 of its source), so plain decoding is uniform.
+  std::vector<bool> outputs(circuit.outputs().size());
+  eppi::BinaryWriter w;
+  w.write_varint(outputs.size());
+  for (std::size_t k = 0; k < outputs.size(); ++k) {
+    const Wire wire = circuit.outputs()[k];
+    outputs[k] = static_cast<bool>((active[wire] & 1) ^ out_perm[k]);
+    w.write_u8(outputs[k] ? 1 : 0);
+  }
+  ctx.send(session.garbler, kTagOutputs, session.seq_base, w.take());
+  return outputs;
+}
+
+}  // namespace eppi::mpc

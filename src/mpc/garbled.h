@@ -1,0 +1,56 @@
+// Yao-style garbled-circuit two-party evaluation.
+//
+// The paper's MPC lineage starts at Fairplay [15], a *two-party* garbled-
+// circuit system; FairplayMP [16] generalized it to many parties. This
+// engine implements the two-party model over the same Circuit IR as the GMW
+// engine, with the classic optimizations:
+//
+//  * free XOR: a global offset R relates the two labels of every wire
+//    (label1 = label0 ^ R), so XOR gates cost nothing;
+//  * NOT gates are label swaps (label0' = label0 ^ R), also free;
+//  * point-and-permute: the low bit of a label indexes the garbled table,
+//    so the evaluator decrypts exactly one of the 4 rows per AND gate.
+//
+// Party 0 of the session garbles and sends one message (tables + its own
+// active input labels + output permute bits); party 1 obtains its input
+// labels through an oblivious-transfer step and evaluates, then returns the
+// opened outputs. Rounds are CONSTANT in circuit depth — the structural
+// contrast with GMW (rounds = AND-depth + 3) that bench_ablation_mpc
+// measures.
+//
+// SUBSTITUTION NOTES (see DESIGN.md §2): the "encryption" H(kA, kB, gate)
+// is a 64-bit splitmix-style mixer, not a cryptographic PRF, and the OT
+// step is the ideal functionality (the garbler ships both labels, the
+// evaluator keeps its choice and discards the other — semi-honest
+// simulation). Correctness, message pattern, round count and byte volumes
+// match the real protocol; only the cryptographic hardness is simulated.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mpc/circuit.h"
+#include "net/cluster.h"
+
+namespace eppi::mpc {
+
+struct GarbledSession {
+  eppi::net::PartyId garbler = 0;
+  eppi::net::PartyId evaluator = 1;
+  std::uint64_t seq_base = 0;
+};
+
+// Runs the session body for one party. Circuit input owner 0 = garbler,
+// owner 1 = evaluator. Both parties return the opened output bits.
+// Total communication rounds: 3 (garble+labels, OT labels, outputs),
+// independent of circuit depth.
+std::vector<bool> run_garbled_party(eppi::net::PartyContext& ctx,
+                                    const GarbledSession& session,
+                                    const Circuit& circuit,
+                                    const std::vector<bool>& my_inputs);
+
+// Size in bytes of the garbled-circuit message for `circuit` (4 rows of 8
+// bytes per AND gate) — the Yao counterpart of GMW's per-round openings.
+std::uint64_t garbled_table_bytes(const Circuit& circuit) noexcept;
+
+}  // namespace eppi::mpc

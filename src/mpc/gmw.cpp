@@ -1,0 +1,268 @@
+#include "mpc/gmw.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/serialize.h"
+#include "mpc/beaver.h"
+
+namespace eppi::mpc {
+
+namespace {
+
+using eppi::net::MessageTag;
+using eppi::net::PartyContext;
+using eppi::net::PartyId;
+
+// Sequence-number layout within a session's namespace.
+constexpr std::uint64_t kSeqTriples = 0;
+constexpr std::uint64_t kSeqInputs = 1;
+constexpr std::uint64_t kSeqLayerBase = 2;  // + layer index (1-based)
+
+std::size_t session_index(const GmwSession& session, PartyId id) {
+  const auto it =
+      std::find(session.parties.begin(), session.parties.end(), id);
+  require(it != session.parties.end(),
+          "GMW: calling party is not a session member");
+  return static_cast<std::size_t>(it - session.parties.begin());
+}
+
+}  // namespace
+
+std::uint64_t gmw_round_count(const Circuit& circuit) noexcept {
+  // triples + inputs + one per AND layer + outputs.
+  return 3 + circuit.stats().and_depth;
+}
+
+std::vector<bool> run_gmw_party(PartyContext& ctx, const GmwSession& session,
+                                const Circuit& circuit,
+                                const std::vector<bool>& my_inputs) {
+  const std::size_t n = session.parties.size();
+  require(n >= 2, "GMW: need at least two parties");
+  const std::size_t me = session_index(session, ctx.id());
+  const bool is_lead = me == 0;
+  const std::uint64_t base = session.seq_base;
+
+  // --- Preprocessing: Beaver triples from the dealer ------------------------
+  const std::uint64_t n_triples = circuit.stats().and_gates;
+  TripleShares triples;
+  if (is_lead) {
+    auto dealt = deal_triples(n, n_triples, ctx.rng());
+    for (std::size_t p = 1; p < n; ++p) {
+      eppi::BinaryWriter w;
+      w.write_varint(dealt[p].count);
+      w.write_bytes(dealt[p].a);
+      w.write_bytes(dealt[p].b);
+      w.write_bytes(dealt[p].c);
+      ctx.send(session.parties[p], MessageTag::kBeaverTriple, base + kSeqTriples,
+               w.take());
+    }
+    triples = std::move(dealt[0]);
+    ctx.mark_round();
+  } else {
+    const auto payload =
+        ctx.recv(session.parties[0], MessageTag::kBeaverTriple,
+                 base + kSeqTriples);
+    eppi::BinaryReader r(payload);
+    triples.count = r.read_varint();
+    triples.a = r.read_bytes();
+    triples.b = r.read_bytes();
+    triples.c = r.read_bytes();
+    if (triples.count != n_triples) {
+      throw eppi::ProtocolError("GMW: triple batch size mismatch");
+    }
+  }
+
+  // --- Input sharing ---------------------------------------------------------
+  // share[w] = my XOR share of wire w once evaluated.
+  std::vector<std::uint8_t> share(circuit.n_wires(), 0);
+  std::vector<std::uint8_t> evaluated(circuit.n_wires(), 0);
+
+  // Input wires per session party, in declaration order.
+  std::vector<WireVec> inputs_by_party(n);
+  for (const Wire w : circuit.inputs()) {
+    const std::uint32_t owner = circuit.input_owner(w);
+    require(owner < n, "GMW: input owner outside session");
+    inputs_by_party[owner].push_back(w);
+  }
+  require(my_inputs.size() == inputs_by_party[me].size(),
+          "GMW: wrong number of input bits supplied");
+
+  {
+    // Split my input bits into n XOR shares; send one packed vector per peer.
+    const std::uint64_t mine = inputs_by_party[me].size();
+    std::vector<std::vector<std::uint8_t>> out_shares(
+        n, std::vector<std::uint8_t>(packed_size(mine), 0));
+    for (std::uint64_t i = 0; i < mine; ++i) {
+      bool acc = false;
+      for (std::size_t p = 0; p < n; ++p) {
+        if (p == me) continue;
+        const bool s = ctx.rng().bernoulli(0.5);
+        set_packed_bit(out_shares[p], i, s);
+        acc ^= s;
+      }
+      set_packed_bit(out_shares[me], i, acc != my_inputs[i]);
+    }
+    for (std::size_t p = 0; p < n; ++p) {
+      if (p == me) {
+        for (std::uint64_t i = 0; i < mine; ++i) {
+          const Wire w = inputs_by_party[me][i];
+          share[w] = get_packed_bit(out_shares[me], i);
+          evaluated[w] = 1;
+        }
+        continue;
+      }
+      if (mine == 0) continue;
+      ctx.send(session.parties[p], MessageTag::kMpcInputShare,
+               base + kSeqInputs, std::move(out_shares[p]));
+    }
+    for (std::size_t p = 0; p < n; ++p) {
+      if (p == me || inputs_by_party[p].empty()) continue;
+      const auto payload = ctx.recv(session.parties[p],
+                                    MessageTag::kMpcInputShare,
+                                    base + kSeqInputs);
+      if (payload.size() != packed_size(inputs_by_party[p].size())) {
+        throw eppi::ProtocolError("GMW: bad input-share payload size");
+      }
+      for (std::uint64_t i = 0; i < inputs_by_party[p].size(); ++i) {
+        const Wire w = inputs_by_party[p][i];
+        share[w] = get_packed_bit(payload, i);
+        evaluated[w] = 1;
+      }
+    }
+    if (is_lead) ctx.mark_round();
+  }
+
+  // --- Local evaluation helpers ----------------------------------------------
+  const auto& gates = circuit.gates();
+  std::size_t eval_cursor = 0;  // wires before this are all evaluated
+  const auto eval_up_to = [&](std::uint32_t layer_limit) {
+    for (std::size_t w = eval_cursor; w < gates.size(); ++w) {
+      if (evaluated[w]) continue;
+      if (circuit.layer(static_cast<Wire>(w)) > layer_limit) continue;
+      const Gate& g = gates[w];
+      switch (g.op) {
+        case GateOp::kInput:
+          throw eppi::ProtocolError("GMW: unshared input wire");
+        case GateOp::kConstZero:
+          share[w] = 0;
+          break;
+        case GateOp::kConstOne:
+          share[w] = me == 0 ? 1 : 0;
+          break;
+        case GateOp::kXor:
+          share[w] = share[g.a] ^ share[g.b];
+          break;
+        case GateOp::kNot:
+          share[w] = me == 0 ? (share[g.a] ^ 1) : share[g.a];
+          break;
+        case GateOp::kAnd:
+          // AND gates are evaluated by the round loop.
+          continue;
+      }
+      evaluated[w] = 1;
+    }
+    // Advance the cursor past the fully-evaluated prefix.
+    while (eval_cursor < gates.size() && evaluated[eval_cursor]) ++eval_cursor;
+  };
+
+  // Group AND gates by layer; triple indices follow wire order.
+  const auto depth = static_cast<std::uint32_t>(circuit.stats().and_depth);
+  std::vector<std::vector<Wire>> and_by_layer(depth + 1);
+  {
+    for (std::size_t w = 0; w < gates.size(); ++w) {
+      if (gates[w].op == GateOp::kAnd) {
+        and_by_layer[circuit.layer(static_cast<Wire>(w))].push_back(
+            static_cast<Wire>(w));
+      }
+    }
+  }
+  std::uint64_t triple_cursor = 0;
+
+  // --- Round loop: one masked opening per AND layer ---------------------------
+  for (std::uint32_t layer = 1; layer <= depth; ++layer) {
+    eval_up_to(layer - 1);
+    const auto& layer_gates = and_by_layer[layer];
+    const std::uint64_t k = layer_gates.size();
+    const std::uint64_t first_triple = triple_cursor;
+
+    // My masked shares: 2 bits per gate (d_i, e_i).
+    std::vector<std::uint8_t> masked(packed_size(2 * k), 0);
+    for (std::uint64_t i = 0; i < k; ++i) {
+      const Gate& g = gates[layer_gates[i]];
+      const std::uint64_t t = first_triple + i;
+      set_packed_bit(masked, 2 * i,
+                     (share[g.a] != 0) != triples.a_bit(t));
+      set_packed_bit(masked, 2 * i + 1,
+                     (share[g.b] != 0) != triples.b_bit(t));
+    }
+    for (std::size_t p = 0; p < n; ++p) {
+      if (p == me) continue;
+      ctx.send(session.parties[p], MessageTag::kMpcOpen,
+               base + kSeqLayerBase + layer, masked);
+    }
+    // Opened (d, e) = XOR over all parties' masked shares.
+    std::vector<std::uint8_t> opened = masked;
+    for (std::size_t p = 0; p < n; ++p) {
+      if (p == me) continue;
+      const auto payload = ctx.recv(session.parties[p], MessageTag::kMpcOpen,
+                                    base + kSeqLayerBase + layer);
+      if (payload.size() != opened.size()) {
+        throw eppi::ProtocolError("GMW: bad opening payload size");
+      }
+      for (std::size_t byte = 0; byte < opened.size(); ++byte) {
+        opened[byte] ^= payload[byte];
+      }
+    }
+    for (std::uint64_t i = 0; i < k; ++i) {
+      const Wire w = layer_gates[i];
+      const std::uint64_t t = first_triple + i;
+      const bool d = get_packed_bit(opened, 2 * i);
+      const bool e = get_packed_bit(opened, 2 * i + 1);
+      bool z = triples.c_bit(t);
+      if (d) z ^= triples.b_bit(t);
+      if (e) z ^= triples.a_bit(t);
+      if (me == 0 && d && e) z ^= true;
+      share[w] = z ? 1 : 0;
+      evaluated[w] = 1;
+    }
+    triple_cursor += k;
+    if (is_lead) ctx.mark_round();
+  }
+  eval_up_to(depth);
+
+  // --- Output opening ----------------------------------------------------------
+  const auto& outs = circuit.outputs();
+  std::vector<std::uint8_t> out_shares(packed_size(outs.size()), 0);
+  for (std::size_t i = 0; i < outs.size(); ++i) {
+    require(evaluated[outs[i]] != 0, "GMW: output wire not evaluated");
+    set_packed_bit(out_shares, i, share[outs[i]] != 0);
+  }
+  const std::uint64_t out_seq = base + kSeqLayerBase + depth + 1;
+  for (std::size_t p = 0; p < n; ++p) {
+    if (p == me) continue;
+    ctx.send(session.parties[p], MessageTag::kMpcOutputShare, out_seq,
+             out_shares);
+  }
+  std::vector<std::uint8_t> opened_out = out_shares;
+  for (std::size_t p = 0; p < n; ++p) {
+    if (p == me) continue;
+    const auto payload = ctx.recv(session.parties[p],
+                                  MessageTag::kMpcOutputShare, out_seq);
+    if (payload.size() != opened_out.size()) {
+      throw eppi::ProtocolError("GMW: bad output payload size");
+    }
+    for (std::size_t byte = 0; byte < opened_out.size(); ++byte) {
+      opened_out[byte] ^= payload[byte];
+    }
+  }
+  if (is_lead) ctx.mark_round();
+
+  std::vector<bool> result(outs.size());
+  for (std::size_t i = 0; i < outs.size(); ++i) {
+    result[i] = get_packed_bit(opened_out, i);
+  }
+  return result;
+}
+
+}  // namespace eppi::mpc

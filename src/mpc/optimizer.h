@@ -1,0 +1,35 @@
+// Circuit optimization passes.
+//
+// The circuit builder already folds constants; this pass cleans up what
+// structural construction leaves behind — the same role FairplayMP's SFDL
+// compiler optimizations play for the paper's prototype (circuit size is
+// the paper's scalability currency, Fig. 6b):
+//
+//  * dead-gate elimination: gates not reachable from any output are dropped
+//    (input wires are always kept so the party-facing interface is stable);
+//  * common-subexpression elimination: structurally identical gates are
+//    merged (XOR/AND operands are order-normalized first);
+//  * double-negation collapse: NOT(NOT(x)) becomes x.
+//
+// The result computes the same outputs for every input assignment
+// (property-tested against random circuits in tests/mpc/optimizer_test.cpp).
+#pragma once
+
+#include "mpc/circuit.h"
+
+namespace eppi::mpc {
+
+struct OptimizeStats {
+  std::uint64_t dead_removed = 0;
+  std::uint64_t cse_merged = 0;
+  std::uint64_t not_collapsed = 0;
+};
+
+struct OptimizeResult {
+  Circuit circuit;
+  OptimizeStats stats;
+};
+
+OptimizeResult optimize_circuit(const Circuit& input);
+
+}  // namespace eppi::mpc

@@ -1,0 +1,58 @@
+#include "mpc/plain_eval.h"
+
+#include "common/error.h"
+
+namespace eppi::mpc {
+
+std::vector<bool> evaluate_plain(const Circuit& circuit,
+                                 const std::vector<bool>& inputs) {
+  require(inputs.size() == circuit.inputs().size(),
+          "evaluate_plain: input count mismatch");
+  std::vector<bool> values(circuit.n_wires(), false);
+  std::size_t next_input = 0;
+  const auto& gates = circuit.gates();
+  for (std::size_t w = 0; w < gates.size(); ++w) {
+    const Gate& g = gates[w];
+    switch (g.op) {
+      case GateOp::kInput:
+        values[w] = inputs[next_input++];
+        break;
+      case GateOp::kConstZero:
+        values[w] = false;
+        break;
+      case GateOp::kConstOne:
+        values[w] = true;
+        break;
+      case GateOp::kXor:
+        values[w] = values[g.a] != values[g.b];
+        break;
+      case GateOp::kAnd:
+        values[w] = values[g.a] && values[g.b];
+        break;
+      case GateOp::kNot:
+        values[w] = !values[g.a];
+        break;
+    }
+  }
+  std::vector<bool> outputs;
+  outputs.reserve(circuit.outputs().size());
+  for (const Wire w : circuit.outputs()) outputs.push_back(values[w]);
+  return outputs;
+}
+
+std::uint64_t bits_to_u64(const std::vector<bool>& bits) {
+  require(bits.size() <= 64, "bits_to_u64: too many bits");
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) v |= std::uint64_t{1} << i;
+  }
+  return v;
+}
+
+std::vector<bool> u64_to_bits(std::uint64_t value, unsigned width) {
+  std::vector<bool> bits(width);
+  for (unsigned i = 0; i < width; ++i) bits[i] = (value >> i) & 1;
+  return bits;
+}
+
+}  // namespace eppi::mpc

@@ -1,0 +1,28 @@
+// Cleartext circuit evaluation.
+//
+// Used as the correctness reference for the secure GMW engine (every circuit
+// test evaluates both ways and compares) and by unit tests of the arithmetic
+// block library.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mpc/circuit.h"
+
+namespace eppi::mpc {
+
+// `inputs` holds one bit per input wire, in circuit input-declaration order
+// (interleaved across parties exactly as declared). Returns output bits in
+// output-declaration order.
+std::vector<bool> evaluate_plain(const Circuit& circuit,
+                                 const std::vector<bool>& inputs);
+
+// Packs little-endian bits into an integer (first bit = LSB).
+std::uint64_t bits_to_u64(const std::vector<bool>& bits);
+
+// Unpacks `width` little-endian bits of `value`.
+std::vector<bool> u64_to_bits(std::uint64_t value, unsigned width);
+
+}  // namespace eppi::mpc

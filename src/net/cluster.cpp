@@ -1,0 +1,96 @@
+#include "net/cluster.h"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/error.h"
+
+namespace eppi::net {
+
+void PartyContext::send(PartyId to, std::uint32_t tag, std::uint64_t seq,
+                        std::vector<std::uint8_t> payload) {
+  Message msg;
+  msg.from = id_;
+  msg.to = to;
+  msg.tag = tag;
+  msg.seq = seq;
+  msg.payload = std::move(payload);
+  transport_.send(std::move(msg));
+}
+
+std::vector<std::uint8_t> PartyContext::recv(PartyId from, std::uint32_t tag,
+                                             std::uint64_t seq) {
+  if (recv_timeout_ == std::chrono::milliseconds::zero()) {
+    return inbox_.recv(from, tag, seq).payload;
+  }
+  auto result = recv_for(from, tag, seq, recv_timeout_);
+  if (!result) {
+    throw ProtocolError("recv timed out waiting for party " +
+                        std::to_string(from) + " tag " + std::to_string(tag));
+  }
+  return std::move(*result);
+}
+
+std::optional<std::vector<std::uint8_t>> PartyContext::recv_for(
+    PartyId from, std::uint32_t tag, std::uint64_t seq,
+    std::chrono::milliseconds timeout) {
+  // Polling with a short sleep keeps Mailbox's interface minimal; this path
+  // is used only by failure-injection tests, never on the hot path.
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  Message msg;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (inbox_.try_recv(from, tag, seq, msg)) return std::move(msg.payload);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  if (inbox_.try_recv(from, tag, seq, msg)) return std::move(msg.payload);
+  return std::nullopt;
+}
+
+Cluster::Cluster(std::size_t n_parties, std::uint64_t seed)
+    : mailboxes_(n_parties), seed_(seed) {
+  require(n_parties >= 1, "Cluster: need at least one party");
+  base_transport_ = std::make_unique<InMemoryTransport>(mailboxes_, meter_);
+  active_transport_ = base_transport_.get();
+}
+
+void Cluster::run(const std::function<void(PartyContext&)>& body) {
+  std::vector<std::function<void(PartyContext&)>> bodies(mailboxes_.size(),
+                                                         body);
+  run(bodies);
+}
+
+void Cluster::run(const std::vector<std::function<void(PartyContext&)>>& bodies) {
+  require(bodies.size() == mailboxes_.size(),
+          "Cluster: one body per party required");
+  std::vector<std::thread> threads;
+  threads.reserve(bodies.size());
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  Rng seeder(seed_);
+  std::vector<Rng> party_rngs;
+  party_rngs.reserve(bodies.size());
+  for (std::size_t i = 0; i < bodies.size(); ++i) {
+    party_rngs.push_back(seeder.fork());
+  }
+
+  for (std::size_t i = 0; i < bodies.size(); ++i) {
+    threads.emplace_back([this, i, &bodies, &party_rngs, &first_error,
+                          &error_mutex] {
+      PartyContext ctx(static_cast<PartyId>(i), mailboxes_.size(),
+                       *active_transport_, mailboxes_[i], meter_,
+                       party_rngs[i], recv_timeout_);
+      try {
+        bodies[i](ctx);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace eppi::net

@@ -1,0 +1,5 @@
+#include "net/cost_meter.h"
+
+// Header-only implementation; this translation unit exists so the library has
+// a stable archive member for the component and a place for future
+// non-inline additions.

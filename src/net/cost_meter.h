@@ -1,0 +1,57 @@
+// Communication cost accounting.
+//
+// The paper's performance experiments (Fig. 6) are driven by protocol-level
+// quantities: messages, bytes, communication rounds, and MPC circuit size.
+// The meter records the first three at the transport layer; circuit size is
+// recorded by the MPC engine. CostModel (cost_model.h) converts these counts
+// into modeled wall-clock time for an Emulab-like testbed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace eppi::net {
+
+struct CostSnapshot {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t rounds = 0;
+
+  CostSnapshot operator-(const CostSnapshot& other) const noexcept {
+    return {messages - other.messages, bytes - other.bytes,
+            rounds - other.rounds};
+  }
+};
+
+class CostMeter {
+ public:
+  void record_message(std::size_t wire_bytes) noexcept {
+    messages_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(wire_bytes, std::memory_order_relaxed);
+  }
+
+  // Protocol code calls this once per synchronous communication round (from a
+  // single designated party, so rounds are not multiply counted).
+  void record_round(std::uint64_t n = 1) noexcept {
+    rounds_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  CostSnapshot snapshot() const noexcept {
+    return {messages_.load(std::memory_order_relaxed),
+            bytes_.load(std::memory_order_relaxed),
+            rounds_.load(std::memory_order_relaxed)};
+  }
+
+  void reset() noexcept {
+    messages_.store(0, std::memory_order_relaxed);
+    bytes_.store(0, std::memory_order_relaxed);
+    rounds_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> messages_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::uint64_t> rounds_{0};
+};
+
+}  // namespace eppi::net

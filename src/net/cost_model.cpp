@@ -1,0 +1,36 @@
+#include "net/cost_model.h"
+
+#include <algorithm>
+
+namespace eppi::net {
+
+McpuCosts emulab_fairplaymp_costs() noexcept {
+  McpuCosts costs;
+  // FairplayMP (Java, BMR-style) evaluates on the order of a few hundred
+  // secure gates per second on 2008-2014-era hardware; the paper's
+  // single-identity CountBelow runs land around a second.
+  costs.per_and_gate_s = 2.0e-2;
+  costs.per_xor_gate_s = 2.0e-4;
+  costs.rtt_s = 0.2e-3;          // Emulab LAN
+  costs.bandwidth_bps = 100e6 / 8.0;  // 100 Mbps links
+  costs.per_party_setup_s = 0.05;
+  return costs;
+}
+
+double CostModel::modeled_seconds(std::uint64_t and_gates,
+                                  std::uint64_t xor_gates,
+                                  const CostSnapshot& comm,
+                                  std::size_t parties,
+                                  std::size_t mpc_parties) const noexcept {
+  const double gate_scale =
+      std::max(1.0, static_cast<double>(mpc_parties) /
+                        costs_.reference_mpc_parties);
+  return (static_cast<double>(and_gates) * costs_.per_and_gate_s +
+          static_cast<double>(xor_gates) * costs_.per_xor_gate_s) *
+             gate_scale +
+         static_cast<double>(comm.rounds) * costs_.rtt_s +
+         static_cast<double>(comm.bytes) / costs_.bandwidth_bps +
+         static_cast<double>(parties) * costs_.per_party_setup_s;
+}
+
+}  // namespace eppi::net

@@ -1,0 +1,40 @@
+#include "net/mailbox.h"
+
+namespace eppi::net {
+
+void Mailbox::deliver(Message msg) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const Key key{msg.from, msg.tag, msg.seq};
+    buffer_.emplace(key, std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+Message Mailbox::recv(PartyId from, std::uint32_t tag, std::uint64_t seq) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const Key key{from, tag, seq};
+  cv_.wait(lock, [&] { return buffer_.find(key) != buffer_.end(); });
+  const auto it = buffer_.find(key);
+  Message msg = std::move(it->second);
+  buffer_.erase(it);
+  return msg;
+}
+
+bool Mailbox::try_recv(PartyId from, std::uint32_t tag, std::uint64_t seq,
+                       Message& out) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const Key key{from, tag, seq};
+  const auto it = buffer_.find(key);
+  if (it == buffer_.end()) return false;
+  out = std::move(it->second);
+  buffer_.erase(it);
+  return true;
+}
+
+std::size_t Mailbox::pending() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return buffer_.size();
+}
+
+}  // namespace eppi::net

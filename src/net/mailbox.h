@@ -1,0 +1,41 @@
+// Per-party inbox with blocking, selective receive.
+//
+// recv(from, tag, seq) blocks until a message with that exact key arrives.
+// Messages arriving out of order are buffered, which lets protocol code be
+// written in straight-line style (send everything, then receive everything)
+// without deadlocking on delivery interleavings.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <tuple>
+
+#include "net/message.h"
+
+namespace eppi::net {
+
+class Mailbox {
+ public:
+  void deliver(Message msg);
+
+  // Blocks until a message from `from` with tag `tag` and sequence `seq`
+  // arrives; removes and returns it.
+  Message recv(PartyId from, std::uint32_t tag, std::uint64_t seq);
+
+  // Non-blocking variant; returns true and fills `out` if present.
+  bool try_recv(PartyId from, std::uint32_t tag, std::uint64_t seq,
+                Message& out);
+
+  std::size_t pending() const;
+
+ private:
+  using Key = std::tuple<PartyId, std::uint32_t, std::uint64_t>;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::multimap<Key, Message> buffer_;
+};
+
+}  // namespace eppi::net

@@ -1,0 +1,11 @@
+#include "net/message.h"
+
+namespace eppi::net {
+
+std::size_t Message::wire_size() const noexcept {
+  // 4 (from) + 4 (to) + 4 (tag) + 8 (seq) + 4 (length) bytes of framing.
+  constexpr std::size_t kHeaderBytes = 24;
+  return kHeaderBytes + payload.size();
+}
+
+}  // namespace eppi::net

@@ -1,0 +1,41 @@
+// Wire message between protocol parties.
+//
+// A message carries a (from, to) pair, a protocol-defined tag that
+// disambiguates concurrent protocol stages (share distribution, super-share
+// aggregation, MPC gate openings, ...), and an opaque serialized payload.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace eppi::net {
+
+using PartyId = std::uint32_t;
+
+// Well-known tags. Protocols may also use their own tag ranges >= kUserBase.
+enum MessageTag : std::uint32_t {
+  kShareDistribute = 1,   // SecSumShare step 2: share to ring successor
+  kSuperShare = 2,        // SecSumShare step 4: super-share to coordinator
+  kMpcInputShare = 3,     // GMW: input-wire share delivery
+  kMpcOpen = 4,           // GMW: masked-value opening for AND gates
+  kMpcOutputShare = 5,    // GMW: output-wire share delivery
+  kBeaverTriple = 6,      // preprocessing: Beaver triple share delivery
+  kBroadcast = 7,         // coordinator broadcast (beta vector, lambda, ...)
+  kUserBase = 1000,
+};
+
+struct Message {
+  PartyId from = 0;
+  PartyId to = 0;
+  std::uint32_t tag = 0;
+  // Sub-tag sequencing within one (from, to, tag) stream: receivers match on
+  // (from, tag, seq) so that pipelined protocol rounds cannot be confused.
+  std::uint64_t seq = 0;
+  std::vector<std::uint8_t> payload;
+
+  // Wire size in bytes under our framing (header + payload), used by the
+  // network cost model.
+  std::size_t wire_size() const noexcept;
+};
+
+}  // namespace eppi::net

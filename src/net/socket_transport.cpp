@@ -1,0 +1,265 @@
+#include "net/socket_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <mutex>
+
+#include "common/error.h"
+#include "common/logging.h"
+
+namespace eppi::net {
+
+namespace {
+
+void write_all(int fd, const void* data, std::size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::write(fd, p, len);
+    if (n <= 0) throw eppi::ProtocolError("socket write failed");
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+bool read_all(int fd, void* data, std::size_t len) {
+  char* p = static_cast<char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::read(fd, p, len);
+    if (n <= 0) return false;  // peer closed or error
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+sockaddr_in make_addr(const Endpoint& ep) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(ep.port);
+  require(::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) == 1,
+          "SocketRuntime: bad host address " + ep.host);
+  return addr;
+}
+
+struct FrameHeader {
+  std::uint32_t from;
+  std::uint32_t to;
+  std::uint32_t tag;
+  std::uint64_t seq;
+  std::uint32_t len;
+};
+
+constexpr std::size_t kHeaderBytes = 4 + 4 + 4 + 8 + 4;
+
+void encode_header(const FrameHeader& h, unsigned char* out) {
+  auto put32 = [&out](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) *out++ = static_cast<unsigned char>(v >> (8 * i));
+  };
+  auto put64 = [&out](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) *out++ = static_cast<unsigned char>(v >> (8 * i));
+  };
+  put32(h.from);
+  put32(h.to);
+  put32(h.tag);
+  put64(h.seq);
+  put32(h.len);
+}
+
+FrameHeader decode_header(const unsigned char* in) {
+  auto get32 = [&in] {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(*in++) << (8 * i);
+    return v;
+  };
+  auto get64 = [&in] {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(*in++) << (8 * i);
+    return v;
+  };
+  FrameHeader h;
+  h.from = get32();
+  h.to = get32();
+  h.tag = get32();
+  h.seq = get64();
+  h.len = get32();
+  return h;
+}
+
+}  // namespace
+
+// Transport implementation writing frames onto the per-peer sockets.
+class SocketRuntime::SocketSender final : public Transport {
+ public:
+  explicit SocketSender(SocketRuntime& runtime) : runtime_(runtime) {}
+
+  // Pre-creates the per-peer write mutex (called once at mesh setup so no
+  // rehashing happens under concurrency).
+  void prepare(PartyId peer) { write_mutex_[peer]; }
+
+  void send(Message msg) override {
+    require(msg.to < runtime_.peer_fds_.size(),
+            "SocketSender: bad destination");
+    runtime_.meter_.record_message(msg.wire_size());
+    if (msg.to == runtime_.self_) {  // loopback
+      runtime_.inbox_.deliver(std::move(msg));
+      return;
+    }
+    const int fd = runtime_.peer_fds_[msg.to];
+    require(fd >= 0, "SocketSender: no connection to peer");
+    FrameHeader h{msg.from, msg.to, msg.tag, msg.seq,
+                  static_cast<std::uint32_t>(msg.payload.size())};
+    unsigned char header[kHeaderBytes];
+    encode_header(h, header);
+    const auto it = write_mutex_.find(msg.to);
+    require(it != write_mutex_.end(), "SocketSender: unprepared peer");
+    const std::lock_guard<std::mutex> lock(it->second);
+    write_all(fd, header, sizeof(header));
+    if (!msg.payload.empty()) {
+      write_all(fd, msg.payload.data(), msg.payload.size());
+    }
+  }
+
+ private:
+  SocketRuntime& runtime_;
+  // One mutex per peer keeps frames atomic under concurrent sends.
+  std::map<PartyId, std::mutex> write_mutex_;
+};
+
+SocketRuntime::SocketRuntime(PartyId self, std::vector<Endpoint> endpoints,
+                             std::uint64_t rng_seed, int connect_timeout_ms)
+    : self_(self), endpoints_(std::move(endpoints)) {
+  const std::size_t m = endpoints_.size();
+  require(self < m, "SocketRuntime: self id out of range");
+  peer_fds_.assign(m, -1);
+
+  // Listen socket.
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  require(listen_fd_ >= 0, "SocketRuntime: cannot create listen socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = make_addr(endpoints_[self]);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    throw eppi::ProtocolError("SocketRuntime: bind failed on port " +
+                              std::to_string(endpoints_[self].port));
+  }
+  require(::listen(listen_fd_, static_cast<int>(m)) == 0,
+          "SocketRuntime: listen failed");
+
+  // Actively connect to lower ids (they are listening or will be).
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(connect_timeout_ms);
+  for (PartyId j = 0; j < self; ++j) {
+    int fd = -1;
+    for (;;) {
+      fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      require(fd >= 0, "SocketRuntime: cannot create socket");
+      sockaddr_in peer = make_addr(endpoints_[j]);
+      if (::connect(fd, reinterpret_cast<sockaddr*>(&peer), sizeof(peer)) ==
+          0) {
+        break;
+      }
+      ::close(fd);
+      fd = -1;
+      if (std::chrono::steady_clock::now() > deadline) {
+        throw eppi::ProtocolError("SocketRuntime: cannot reach party " +
+                                  std::to_string(j));
+      }
+      EPPI_DEBUG("party " << self << " waiting for party " << j << " at "
+                          << endpoints_[j].host << ':'
+                          << endpoints_[j].port);
+      ::usleep(20000);
+    }
+    const int nodelay = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+    // Handshake: announce who we are.
+    const std::uint32_t my_id = self;
+    write_all(fd, &my_id, sizeof(my_id));
+    peer_fds_[j] = fd;
+  }
+
+  // Accept connections from higher ids.
+  for (PartyId expected = 0; expected + self + 1 < m; ++expected) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) throw eppi::ProtocolError("SocketRuntime: accept failed");
+    const int nodelay = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+    std::uint32_t peer_id = 0;
+    if (!read_all(fd, &peer_id, sizeof(peer_id)) || peer_id <= self ||
+        peer_id >= m || peer_fds_[peer_id] != -1) {
+      ::close(fd);
+      throw eppi::ProtocolError("SocketRuntime: bad handshake");
+    }
+    peer_fds_[peer_id] = fd;
+  }
+
+  sender_ = std::make_unique<SocketSender>(*this);
+  for (PartyId j = 0; j < m; ++j) {
+    if (j != self) sender_->prepare(j);
+  }
+  context_ = std::make_unique<PartyContext>(
+      self, m, *sender_, inbox_, meter_, Rng(rng_seed * 1000003 + self));
+
+  for (PartyId j = 0; j < m; ++j) {
+    if (peer_fds_[j] >= 0) {
+      readers_.emplace_back([this, fd = peer_fds_[j]] { reader_loop(fd); });
+    }
+  }
+}
+
+void SocketRuntime::reader_loop(int fd) {
+  for (;;) {
+    unsigned char header[kHeaderBytes];
+    if (!read_all(fd, header, sizeof(header))) return;  // peer closed
+    const FrameHeader h = decode_header(header);
+    constexpr std::uint32_t kMaxPayload = 1u << 30;
+    if (h.len > kMaxPayload) {
+      EPPI_WARN("dropping connection: frame of " << h.len
+                                                 << " bytes exceeds limit");
+      return;
+    }
+    Message msg;
+    msg.from = h.from;
+    msg.to = h.to;
+    msg.tag = h.tag;
+    msg.seq = h.seq;
+    msg.payload.resize(h.len);
+    if (h.len > 0 && !read_all(fd, msg.payload.data(), h.len)) return;
+    inbox_.deliver(std::move(msg));
+  }
+}
+
+void SocketRuntime::shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  // Wake blocked readers first, join them, and only then close the fds —
+  // closing while a reader is inside read() races on the descriptor.
+  for (const int fd : peer_fds_) {
+    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (auto& t : readers_) {
+    if (t.joinable()) t.join();
+  }
+  readers_.clear();
+  for (int& fd : peer_fds_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+SocketRuntime::~SocketRuntime() { shutdown(); }
+
+}  // namespace eppi::net

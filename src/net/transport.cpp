@@ -1,0 +1,22 @@
+#include "net/transport.h"
+
+#include "common/error.h"
+
+namespace eppi::net {
+
+void InMemoryTransport::send(Message msg) {
+  require(msg.to < mailboxes_.size(), "InMemoryTransport: bad destination");
+  meter_.record_message(msg.wire_size());
+  mailboxes_[msg.to].deliver(std::move(msg));
+}
+
+void DroppingTransport::send(Message msg) {
+  const std::uint64_t n = counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (drop_every_ != 0 && n % drop_every_ == 0) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  inner_.send(std::move(msg));
+}
+
+}  // namespace eppi::net

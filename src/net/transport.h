@@ -1,0 +1,58 @@
+// Transport abstraction and the in-memory implementation.
+//
+// The paper's prototype used Netty over Emulab machines; here the transport
+// routes messages between party threads through per-party mailboxes while
+// metering every message for the cost model (DESIGN.md §2). The interface is
+// narrow so alternative transports (e.g. loss-injecting, delaying) can be
+// substituted in tests.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/cost_meter.h"
+#include "net/mailbox.h"
+#include "net/message.h"
+
+namespace eppi::net {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual void send(Message msg) = 0;
+};
+
+// Routes messages to per-party mailboxes; thread-safe. Owns neither the
+// mailboxes nor the meter.
+class InMemoryTransport final : public Transport {
+ public:
+  InMemoryTransport(std::vector<Mailbox>& mailboxes, CostMeter& meter)
+      : mailboxes_(mailboxes), meter_(meter) {}
+
+  void send(Message msg) override;
+
+ private:
+  std::vector<Mailbox>& mailboxes_;
+  CostMeter& meter_;
+};
+
+// A transport decorator that drops every k-th message; used by failure
+// injection tests to verify protocols detect (rather than silently absorb)
+// lost messages via recv timeouts at the cluster layer.
+class DroppingTransport final : public Transport {
+ public:
+  DroppingTransport(Transport& inner, std::uint64_t drop_every)
+      : inner_(inner), drop_every_(drop_every) {}
+
+  void send(Message msg) override;
+
+  std::uint64_t dropped() const noexcept { return dropped_; }
+
+ private:
+  Transport& inner_;
+  std::uint64_t drop_every_;
+  std::atomic<std::uint64_t> counter_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace eppi::net

@@ -1,0 +1,38 @@
+#include "secret/additive_share.h"
+
+#include "common/error.h"
+
+namespace eppi::secret {
+
+std::vector<std::uint64_t> split_additive(std::uint64_t value, std::size_t c,
+                                          const ModRing& ring,
+                                          eppi::Rng& rng) {
+  require(c >= 1, "split_additive: need at least one share");
+  std::vector<std::uint64_t> shares(c);
+  std::uint64_t partial = 0;
+  for (std::size_t k = 0; k + 1 < c; ++k) {
+    shares[k] = rng.next_below(ring.q());
+    partial = ring.add(partial, shares[k]);
+  }
+  shares[c - 1] = ring.sub(value, partial);
+  return shares;
+}
+
+std::uint64_t reconstruct_additive(std::span<const std::uint64_t> shares,
+                                   const ModRing& ring) {
+  require(!shares.empty(), "reconstruct_additive: no shares");
+  std::uint64_t total = 0;
+  for (const std::uint64_t s : shares) total = ring.add(total, s);
+  return total;
+}
+
+std::vector<std::uint64_t> add_share_vectors(
+    std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
+    const ModRing& ring) {
+  require(a.size() == b.size(), "add_share_vectors: size mismatch");
+  std::vector<std::uint64_t> out(a.size());
+  for (std::size_t k = 0; k < a.size(); ++k) out[k] = ring.add(a[k], b[k]);
+  return out;
+}
+
+}  // namespace eppi::secret

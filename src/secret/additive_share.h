@@ -1,0 +1,34 @@
+// (c, c) additive secret sharing over Z_q.
+//
+// A value v is split into c shares, the first c-1 uniform in Z_q and the last
+// chosen so the shares sum to v mod q. This is the sharing scheme underlying
+// SecSumShare (paper §IV-B.1 step 1 and Theorem 4.1): recoverable from all c
+// shares, and any c-1 shares reveal nothing (the conditional distribution of
+// v given fewer than c shares equals the prior — verified empirically in
+// tests/secret/additive_share_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "secret/mod_ring.h"
+
+namespace eppi::secret {
+
+// Splits `value` (reduced mod q) into `c` shares. Throws ConfigError if c==0.
+std::vector<std::uint64_t> split_additive(std::uint64_t value, std::size_t c,
+                                          const ModRing& ring, eppi::Rng& rng);
+
+// Reconstructs the secret from all shares.
+std::uint64_t reconstruct_additive(std::span<const std::uint64_t> shares,
+                                   const ModRing& ring);
+
+// Pointwise sum of two share vectors (the additive homomorphism that makes
+// the secure-sum protocol work: sharing(a) + sharing(b) = sharing(a+b)).
+std::vector<std::uint64_t> add_share_vectors(
+    std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
+    const ModRing& ring);
+
+}  // namespace eppi::secret

@@ -1,0 +1,43 @@
+#include "secret/mod_ring.h"
+
+#include <bit>
+
+#include "common/error.h"
+
+namespace eppi::secret {
+
+ModRing::ModRing(std::uint64_t q) : q_(q) {
+  require(q >= 2, "ModRing: modulus must be at least 2");
+}
+
+bool ModRing::is_power_of_two() const noexcept {
+  return std::has_single_bit(q_);
+}
+
+std::uint64_t ModRing::add(std::uint64_t a, std::uint64_t b) const noexcept {
+  // a, b are residues < q <= 2^63 in practice; guard against wrap anyway via
+  // 128-bit intermediate.
+  const auto sum = static_cast<unsigned __int128>(a) + b;
+  return static_cast<std::uint64_t>(sum % q_);
+}
+
+std::uint64_t ModRing::sub(std::uint64_t a, std::uint64_t b) const noexcept {
+  return add(a % q_, neg(b));
+}
+
+std::uint64_t ModRing::neg(std::uint64_t a) const noexcept {
+  const std::uint64_t r = a % q_;
+  return r == 0 ? 0 : q_ - r;
+}
+
+unsigned ModRing::bit_width() const noexcept {
+  return static_cast<unsigned>(std::bit_width(q_ - 1));
+}
+
+ModRing ModRing::power_of_two_for(std::uint64_t max_sum) {
+  std::uint64_t q = 2;
+  while (q <= max_sum) q <<= 1;
+  return ModRing(q);
+}
+
+}  // namespace eppi::secret

@@ -1,0 +1,39 @@
+// Arithmetic in the ring Z_q.
+//
+// SecSumShare (paper §IV-B.1) works over Z_q for any q larger than the
+// maximum possible sum (the paper's walkthrough uses q = 5 for 5 providers).
+// The distributed constructor defaults to q = 2^k because a power-of-two
+// modulus makes the downstream CountBelow circuit a carry-free mod-2^k adder
+// (an optimization ablated in bench_ablation_mpc), but the sharing layer is
+// correct for arbitrary q and the paper's q = 5 example is reproduced in
+// tests.
+#pragma once
+
+#include <cstdint>
+
+namespace eppi::secret {
+
+class ModRing {
+ public:
+  // Throws ConfigError if q < 2.
+  explicit ModRing(std::uint64_t q);
+
+  std::uint64_t q() const noexcept { return q_; }
+  bool is_power_of_two() const noexcept;
+
+  std::uint64_t reduce(std::uint64_t x) const noexcept { return x % q_; }
+  std::uint64_t add(std::uint64_t a, std::uint64_t b) const noexcept;
+  std::uint64_t sub(std::uint64_t a, std::uint64_t b) const noexcept;
+  std::uint64_t neg(std::uint64_t a) const noexcept;
+
+  // Number of bits needed to represent any residue; equals k when q = 2^k.
+  unsigned bit_width() const noexcept;
+
+  // Smallest power-of-two ring that can hold sums of up to `max_sum`.
+  static ModRing power_of_two_for(std::uint64_t max_sum);
+
+ private:
+  std::uint64_t q_;
+};
+
+}  // namespace eppi::secret

@@ -1,0 +1,58 @@
+#include "secret/reshare.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/serialize.h"
+
+namespace eppi::secret {
+
+namespace {
+constexpr std::uint32_t kTagReshare = eppi::net::kUserBase + 30;
+}  // namespace
+
+std::vector<std::uint64_t> run_reshare_party(
+    eppi::net::PartyContext& ctx,
+    const std::vector<eppi::net::PartyId>& parties,
+    const std::vector<std::uint64_t>& my_shares, const ModRing& ring,
+    std::uint64_t seq_base) {
+  const std::size_t c = parties.size();
+  require(c >= 2, "reshare: need at least two coordinators");
+  const auto self = std::find(parties.begin(), parties.end(), ctx.id());
+  require(self != parties.end(), "reshare: not a session party");
+  const auto me = static_cast<std::size_t>(self - parties.begin());
+  const std::size_t n = my_shares.size();
+  require(n >= 1, "reshare: empty share vector");
+
+  std::vector<std::uint64_t> updated = my_shares;
+
+  // Draw and send a mask vector to every peer; subtract what I send, add
+  // what I receive — a fresh sharing of zero overall.
+  for (std::size_t p = 0; p < c; ++p) {
+    if (p == me) continue;
+    std::vector<std::uint64_t> mask(n);
+    for (auto& v : mask) v = ctx.rng().next_below(ring.q());
+    for (std::size_t j = 0; j < n; ++j) {
+      updated[j] = ring.sub(updated[j], mask[j]);
+    }
+    eppi::BinaryWriter w;
+    w.write_u64_vector(mask);
+    ctx.send(parties[p], kTagReshare, seq_base, w.take());
+  }
+  if (me == 0) ctx.mark_round();
+  for (std::size_t p = 0; p < c; ++p) {
+    if (p == me) continue;
+    const auto payload = ctx.recv(parties[p], kTagReshare, seq_base);
+    eppi::BinaryReader r(payload);
+    const auto mask = r.read_u64_vector();
+    if (mask.size() != n) {
+      throw eppi::ProtocolError("reshare: mask vector size mismatch");
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      updated[j] = ring.add(updated[j], mask[j]);
+    }
+  }
+  return updated;
+}
+
+}  // namespace eppi::secret

@@ -1,0 +1,36 @@
+// Proactive re-randomization of coordinator share vectors.
+//
+// SecSumShare's (c,c)-secrecy holds against coalitions formed at one point
+// in time; a *mobile* adversary that compromises different coordinators in
+// different epochs could eventually collect all c views of the same sharing
+// and reconstruct every frequency. The classic defense is proactive
+// resharing: between epochs the coordinators re-randomize their shares by
+// jointly adding a fresh sharing of zero —
+//
+//   coordinator i draws masks r_{i,k} for every peer k, sends r_{i,k} to k,
+//   and updates  s'(i,·) = s(i,·) + Σ_k r_{k,i} − Σ_k r_{i,k}  (mod q).
+//
+// The per-identity sums are unchanged (each mask enters once positively and
+// once negatively), but the new share vectors are independent of the old
+// ones, so views stolen in different epochs do not combine. One round,
+// c·(c−1) messages.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/cluster.h"
+#include "secret/mod_ring.h"
+
+namespace eppi::secret {
+
+// Runs the resharing body for one coordinator. `parties` are the cluster
+// ids of all coordinators (must include the caller); `my_shares` is this
+// coordinator's current vector. Returns the re-randomized vector.
+std::vector<std::uint64_t> run_reshare_party(
+    eppi::net::PartyContext& ctx,
+    const std::vector<eppi::net::PartyId>& parties,
+    const std::vector<std::uint64_t>& my_shares, const ModRing& ring,
+    std::uint64_t seq_base = 0);
+
+}  // namespace eppi::secret

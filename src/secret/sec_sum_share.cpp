@@ -1,0 +1,110 @@
+#include "secret/sec_sum_share.h"
+
+#include "common/error.h"
+#include "common/serialize.h"
+#include "secret/additive_share.h"
+
+namespace eppi::secret {
+
+namespace {
+
+std::vector<std::uint8_t> encode_vector(
+    std::span<const std::uint64_t> values) {
+  eppi::BinaryWriter writer;
+  writer.write_u64_vector(values);
+  return writer.take();
+}
+
+std::vector<std::uint64_t> decode_vector(std::span<const std::uint8_t> bytes,
+                                         std::size_t expected) {
+  eppi::BinaryReader reader(bytes);
+  auto values = reader.read_u64_vector();
+  if (values.size() != expected) {
+    throw eppi::ProtocolError("SecSumShare: share vector length mismatch");
+  }
+  return values;
+}
+
+}  // namespace
+
+ModRing resolve_ring(const SecSumShareParams& params, std::size_t m) {
+  if (params.q != 0) return ModRing(params.q);
+  return ModRing::power_of_two_for(m);
+}
+
+std::vector<std::uint64_t> plain_frequency_sums(
+    std::span<const std::vector<std::uint8_t>> provider_inputs,
+    std::size_t n) {
+  std::vector<std::uint64_t> sums(n, 0);
+  for (const auto& row : provider_inputs) {
+    require(row.size() == n, "plain_frequency_sums: row length mismatch");
+    for (std::size_t j = 0; j < n; ++j) sums[j] += row[j];
+  }
+  return sums;
+}
+
+std::optional<std::vector<std::uint64_t>> run_sec_sum_share_party(
+    eppi::net::PartyContext& ctx, const SecSumShareParams& params,
+    std::span<const std::uint8_t> inputs) {
+  using eppi::net::MessageTag;
+  using eppi::net::PartyId;
+
+  const std::size_t m = ctx.n_parties();
+  const std::size_t c = params.c;
+  const std::size_t n = params.n;
+  require(c >= 2, "SecSumShare: c must be at least 2");
+  require(c <= m, "SecSumShare: c cannot exceed the number of providers");
+  require(inputs.size() == n, "SecSumShare: input vector length mismatch");
+
+  const ModRing ring = resolve_ring(params, m);
+  const PartyId me = ctx.id();
+
+  // Step 1: split every input bit into c shares. shares_by_hop[k][j] is the
+  // share of identity j destined for the k-th successor.
+  std::vector<std::vector<std::uint64_t>> shares_by_hop(
+      c, std::vector<std::uint64_t>(n));
+  for (std::size_t j = 0; j < n; ++j) {
+    require(inputs[j] <= 1, "SecSumShare: inputs must be Boolean");
+    const auto shares = split_additive(inputs[j], c, ring, ctx.rng());
+    for (std::size_t k = 0; k < c; ++k) shares_by_hop[k][j] = shares[k];
+  }
+
+  // Step 2: share k -> k-th ring successor (k = 1..c-1); share 0 stays local.
+  for (std::size_t k = 1; k < c; ++k) {
+    const auto to = static_cast<PartyId>((me + k) % m);
+    ctx.send(to, MessageTag::kShareDistribute, k, encode_vector(shares_by_hop[k]));
+  }
+  if (me == 0) ctx.mark_round();
+
+  // Step 3: super-share = own share 0 + the k-th share of each k-th ring
+  // predecessor.
+  std::vector<std::uint64_t> super_share = std::move(shares_by_hop[0]);
+  for (std::size_t k = 1; k < c; ++k) {
+    const auto from = static_cast<PartyId>((me + m - k) % m);
+    const auto payload = ctx.recv(from, MessageTag::kShareDistribute, k);
+    const auto incoming = decode_vector(payload, n);
+    for (std::size_t j = 0; j < n; ++j) {
+      super_share[j] = ring.add(super_share[j], incoming[j]);
+    }
+  }
+
+  // Step 4: super-share -> coordinator p_{i mod c}; coordinators aggregate.
+  const auto coordinator = static_cast<PartyId>(me % c);
+  ctx.send(coordinator, MessageTag::kSuperShare, 0, encode_vector(super_share));
+  if (me == 0) ctx.mark_round();
+
+  if (me >= c) return std::nullopt;
+
+  std::vector<std::uint64_t> aggregated(n, 0);
+  for (std::size_t i = me; i < m; i += c) {
+    const auto payload =
+        ctx.recv(static_cast<PartyId>(i), MessageTag::kSuperShare, 0);
+    const auto incoming = decode_vector(payload, n);
+    for (std::size_t j = 0; j < n; ++j) {
+      aggregated[j] = ring.add(aggregated[j], incoming[j]);
+    }
+  }
+  return aggregated;
+}
+
+}  // namespace eppi::secret

@@ -1,0 +1,63 @@
+// SecSumShare: the parallel secure-sum protocol of paper §IV-B.1.
+//
+// Given m providers each holding a private Boolean vector M_i(·) over n
+// identities, SecSumShare outputs, on c coordinator providers (p_0..p_{c-1}),
+// c share vectors s(0,·)..s(c-1,·) whose per-identity sum over Z_q equals the
+// identity frequency sum_i M(i,j) — without revealing any provider's input
+// or the sum itself (Theorem 4.1: (c,c)-secret output; (2c-3)-secrecy of
+// inputs).
+//
+// The four steps, exactly as in the paper's Fig. 3 walkthrough:
+//   1. Generating shares: each provider splits each input bit into c
+//      additive shares mod q.
+//   2. Distributing shares: the k-th share goes to the k-th ring successor
+//      p_{(i+k) mod m}; share 0 stays local.
+//   3. Summing shares: each provider adds the c shares it holds (its own
+//      share 0 plus one from each of its c-1 ring predecessors) into a
+//      super-share.
+//   4. Aggregating super-shares: provider i sends its super-share vector to
+//      coordinator p_{i mod c}; each coordinator adds what it receives.
+//
+// The protocol runs in 2 communication rounds regardless of m, and each
+// provider sends exactly c-1 share messages plus 1 super-share message —
+// this is what keeps the expensive generic MPC confined to c parties.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/cluster.h"
+#include "secret/mod_ring.h"
+
+namespace eppi::secret {
+
+struct SecSumShareParams {
+  std::size_t c = 3;       // number of shares / coordinators
+  std::uint64_t q = 0;     // ring modulus; 0 = auto power-of-two > m
+  std::size_t n = 0;       // number of identities (vector length)
+};
+
+// Runs the protocol body for one party inside a Cluster whose first
+// `m = ctx.n_parties()` parties are the providers. `inputs` is this
+// provider's Boolean membership vector (length params.n, values 0/1).
+//
+// Returns the coordinator's aggregated share vector s(i,·) if this party is
+// a coordinator (id < c), std::nullopt otherwise.
+//
+// Throws ConfigError when c < 2, c > m, or input sizes mismatch.
+std::optional<std::vector<std::uint64_t>> run_sec_sum_share_party(
+    eppi::net::PartyContext& ctx, const SecSumShareParams& params,
+    std::span<const std::uint8_t> inputs);
+
+// Resolves params.q: the explicit modulus, or the smallest power of two
+// exceeding m (so sums of m bits cannot wrap).
+ModRing resolve_ring(const SecSumShareParams& params, std::size_t m);
+
+// Centralized reference: what the coordinators' share vectors must sum to.
+// Used by tests to validate the distributed run.
+std::vector<std::uint64_t> plain_frequency_sums(
+    std::span<const std::vector<std::uint8_t>> provider_inputs, std::size_t n);
+
+}  // namespace eppi::secret

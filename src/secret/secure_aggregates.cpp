@@ -1,0 +1,73 @@
+#include "secret/secure_aggregates.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "mpc/arith.h"
+
+namespace eppi::secret {
+
+ModRing aggregates_ring_for(std::size_t m, std::size_t n) {
+  const auto m64 = static_cast<std::uint64_t>(m);
+  const auto n64 = static_cast<std::uint64_t>(n);
+  require(m64 == 0 || n64 <= (~std::uint64_t{0}) / (m64 * m64),
+          "aggregates_ring_for: network too large for 64-bit ring");
+  return ModRing::power_of_two_for(n64 * m64 * m64);
+}
+
+AggregateResult plain_aggregates(
+    std::span<const std::uint64_t> frequencies) {
+  AggregateResult result;
+  result.identities = frequencies.size();
+  for (const std::uint64_t f : frequencies) {
+    result.total += f;
+    result.total_squares += f * f;
+  }
+  if (result.identities > 0) {
+    const auto n = static_cast<double>(result.identities);
+    result.mean = static_cast<double>(result.total) / n;
+    result.variance =
+        static_cast<double>(result.total_squares) / n -
+        result.mean * result.mean;
+    result.variance = std::max(0.0, result.variance);
+  }
+  return result;
+}
+
+AggregateResult run_secure_aggregates_party(
+    eppi::net::PartyContext& ctx,
+    const std::vector<eppi::net::PartyId>& parties,
+    std::span<const std::uint64_t> my_shares, const ModRing& ring,
+    std::uint64_t seq_base) {
+  const std::size_t n = my_shares.size();
+  require(n >= 1, "secure_aggregates: empty share vector");
+
+  // SecSumShare outputs *are* arithmetic shares, so the generic engine
+  // (mpc/arith.h) consumes them directly: squares via one batched Beaver
+  // multiplication, then a single batched opening of the two scalar sums.
+  eppi::mpc::ArithSession session(ctx, parties, ring, seq_base);
+
+  eppi::mpc::ArithSession::Share sum_share = 0;
+  for (const auto x : my_shares) sum_share = session.add(sum_share, x);
+
+  const auto squares = session.mul_batch(my_shares, my_shares);
+  eppi::mpc::ArithSession::Share sq_share = 0;
+  for (const auto z : squares) sq_share = session.add(sq_share, z);
+
+  const std::vector<eppi::mpc::ArithSession::Share> scalars{sum_share,
+                                                            sq_share};
+  const auto opened = session.open_batch(scalars);
+
+  AggregateResult result;
+  result.identities = n;
+  result.total = opened[0];
+  result.total_squares = opened[1];
+  const auto dn = static_cast<double>(n);
+  result.mean = static_cast<double>(result.total) / dn;
+  result.variance = std::max(
+      0.0, static_cast<double>(result.total_squares) / dn -
+               result.mean * result.mean);
+  return result;
+}
+
+}  // namespace eppi::secret

@@ -1,0 +1,61 @@
+// Secure aggregate statistics over SecSumShare outputs.
+//
+// After SecSumShare, the c coordinators hold additive shares of every
+// identity's frequency. Network operators legitimately want aggregate
+// health metrics — total memberships, mean and variance of the frequency
+// distribution (e.g. to pick Zipf parameters, capacity-plan the PPI server,
+// or sanity-check a construction run) — but opening per-identity
+// frequencies would leak exactly what ε-PPI protects.
+//
+// This protocol computes Σ f_j and Σ f_j² *under the sharing* and opens
+// only those two scalars:
+//   * Σ f_j: each party sums its own share vector (additive homomorphism),
+//     then the scalar shares are opened — one round, no preprocessing.
+//   * Σ f_j²: squaring needs multiplication of shared values; we use
+//     arithmetic Beaver triples (a, b, ab) dealt in a preprocessing round
+//     (same semi-honest dealer simulation as the Boolean engine,
+//     mpc/beaver.h), one masked opening round for all identities, then a
+//     scalar opening of the summed squares.
+// Mean and variance derive publicly from the two scalars.
+//
+// Ring caveat: the arithmetic wraps mod q, so the caller must have run
+// SecSumShare over a ring large enough for Σ f_j² (q > n·m²); see
+// aggregates_ring_for().
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/cluster.h"
+#include "secret/mod_ring.h"
+
+namespace eppi::secret {
+
+struct AggregateResult {
+  std::uint64_t identities = 0;
+  std::uint64_t total = 0;        // Σ f_j
+  std::uint64_t total_squares = 0;  // Σ f_j²
+  double mean = 0.0;
+  double variance = 0.0;  // population variance over identities
+};
+
+// Smallest power-of-two ring that keeps Σ f_j² from wrapping for a network
+// of m providers and n identities.
+ModRing aggregates_ring_for(std::size_t m, std::size_t n);
+
+// Runs the protocol body for one session party. `parties` are the cluster
+// ids of the coordinators (my id must be among them); `my_shares` is this
+// coordinator's SecSumShare output vector over `ring`. All parties learn
+// the result. seq_base namespaces the messages (use distinct bases for
+// consecutive protocols in one cluster).
+AggregateResult run_secure_aggregates_party(
+    eppi::net::PartyContext& ctx,
+    const std::vector<eppi::net::PartyId>& parties,
+    std::span<const std::uint64_t> my_shares, const ModRing& ring,
+    std::uint64_t seq_base = 0);
+
+// Plain reference over raw frequencies.
+AggregateResult plain_aggregates(std::span<const std::uint64_t> frequencies);
+
+}  // namespace eppi::secret

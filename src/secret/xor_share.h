@@ -1,0 +1,34 @@
+// (n, n) XOR (Boolean) secret sharing.
+//
+// The Boolean counterpart of additive_share.h: a bit (or packed bit vector)
+// splits into n shares whose XOR is the secret; any n−1 shares are jointly
+// uniform. This is the wire-sharing the GMW engine uses internally
+// (mpc/gmw.cpp); it is exposed here as a first-class primitive so protocol
+// code outside the circuit engine (input pre-sharing, tests, custom
+// protocols) can use the same scheme.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace eppi::secret {
+
+// Splits one bit into n XOR shares.
+std::vector<bool> split_xor_bit(bool value, std::size_t n, eppi::Rng& rng);
+
+// Reconstructs a bit from all its shares.
+bool reconstruct_xor_bit(const std::vector<bool>& shares);
+
+// Packed-vector variants: `bits` is a packed bit buffer (bit_count valid
+// bits); returns one packed share buffer per party.
+std::vector<std::vector<std::uint8_t>> split_xor_packed(
+    std::span<const std::uint8_t> bits, std::uint64_t bit_count,
+    std::size_t n, eppi::Rng& rng);
+
+std::vector<std::uint8_t> reconstruct_xor_packed(
+    std::span<const std::vector<std::uint8_t>> shares);
+
+}  // namespace eppi::secret

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "attack/collusion.h"
+#include "attack/common_identity_attack.h"
+#include "attack/primary_attack.h"
+#include "attack/privacy_degree.h"
+#include "common/error.h"
+#include "core/constructor.h"
+#include "core/publisher.h"
+#include "dataset/synthetic.h"
+#include "secret/sec_sum_share.h"
+
+namespace eppi::attack {
+namespace {
+
+TEST(PrimaryAttackTest, NoNoiseMeansCertainSuccess) {
+  eppi::Rng rng(1);
+  const auto net = eppi::dataset::make_network_with_frequencies(
+      20, std::vector<std::uint64_t>{5}, rng);
+  // Publishing the truth directly (NoProtect scenario).
+  const auto result =
+      primary_attack(net.membership, net.membership, 0, 100, rng);
+  EXPECT_EQ(result.trials, 100u);
+  EXPECT_EQ(result.successes, 100u);
+  EXPECT_DOUBLE_EQ(exact_confidence(net.membership, net.membership, 0), 1.0);
+}
+
+TEST(PrimaryAttackTest, NoiseBoundsConfidence) {
+  eppi::Rng rng(2);
+  constexpr std::size_t kM = 500;
+  const auto net = eppi::dataset::make_network_with_frequencies(
+      kM, std::vector<std::uint64_t>{50}, rng);
+  // Publish with β chosen for ε = 0.8.
+  const std::vector<double> betas{
+      eppi::core::beta_chernoff(0.1, 0.8, 0.95, kM)};
+  const auto published =
+      eppi::core::publish_matrix(net.membership, betas, rng);
+  const double confidence = exact_confidence(net.membership, published, 0);
+  EXPECT_LE(confidence, 0.25);  // 1 − ε with slack
+  const auto empirical =
+      primary_attack(net.membership, published, 0, 4000, rng);
+  EXPECT_NEAR(empirical.empirical_confidence(), confidence, 0.03);
+}
+
+TEST(PrimaryAttackTest, UnclaimedIdentityYieldsNoTrials) {
+  eppi::Rng rng(3);
+  const eppi::BitMatrix truth(5, 1);
+  const auto result = primary_attack(truth, truth, 0, 50, rng);
+  EXPECT_EQ(result.trials, 0u);
+  EXPECT_EQ(result.empirical_confidence(), 0.0);
+}
+
+TEST(PrimaryAttackTest, ExactConfidencesPerIdentity) {
+  eppi::BitMatrix truth(4, 2);
+  truth.set(0, 0, true);
+  eppi::BitMatrix claims(4, 2);
+  claims.set(0, 0, true);
+  claims.set(1, 0, true);
+  const auto confs = exact_confidences(truth, claims);
+  EXPECT_DOUBLE_EQ(confs[0], 0.5);
+  EXPECT_EQ(confs[1], 0.0);
+}
+
+TEST(CommonAttackTest, ExactKnowledgeIdentifiesPerfectly) {
+  // SS-PPI scenario: attacker knows exact frequencies.
+  eppi::Rng rng(4);
+  std::vector<std::uint64_t> freqs(20, 2);
+  freqs[0] = 19;
+  freqs[1] = 18;
+  const auto net =
+      eppi::dataset::make_network_with_frequencies(20, freqs, rng);
+  const auto result =
+      common_identity_attack(net.membership, freqs, 15, 50, rng);
+  EXPECT_EQ(result.candidates, 2u);
+  EXPECT_EQ(result.identity_hits, 2u);
+  EXPECT_DOUBLE_EQ(result.identification_confidence(), 1.0);
+  // Claims against near-ubiquitous identities almost always succeed.
+  EXPECT_GT(result.claim_confidence(), 0.8);
+}
+
+TEST(CommonAttackTest, MixedDecoysDiluteConfidence) {
+  // ε-PPI scenario: the attacker only sees the apparent-common set, which
+  // contains λ-mixed decoys.
+  eppi::Rng rng(5);
+  std::vector<std::uint64_t> freqs(40, 2);
+  freqs[0] = 39;
+  const auto net =
+      eppi::dataset::make_network_with_frequencies(40, freqs, rng);
+  // Apparent knowledge: true common + 3 decoys all look maximal.
+  std::vector<std::uint64_t> knowledge(40, 2);
+  knowledge[0] = 40;
+  knowledge[5] = 40;
+  knowledge[6] = 40;
+  knowledge[7] = 40;
+  const auto result =
+      common_identity_attack(net.membership, knowledge, 35, 10, rng);
+  EXPECT_EQ(result.candidates, 4u);
+  EXPECT_EQ(result.identity_hits, 1u);
+  EXPECT_DOUBLE_EQ(result.identification_confidence(), 0.25);
+}
+
+TEST(CommonAttackTest, TrulyCommonFlags) {
+  eppi::Rng rng(6);
+  const auto net = eppi::dataset::make_network_with_frequencies(
+      10, std::vector<std::uint64_t>{9, 3}, rng);
+  const auto flags = truly_common_flags(net.membership, 8);
+  EXPECT_TRUE(flags[0]);
+  EXPECT_FALSE(flags[1]);
+}
+
+TEST(PrivacyDegreeTest, ClassifiesEpsPrivate) {
+  const std::vector<double> confidences{0.2, 0.3, 0.1};
+  const std::vector<double> epsilons{0.7, 0.6, 0.8};
+  EXPECT_EQ(classify_degree(confidences, epsilons),
+            PrivacyDegree::kEpsPrivate);
+}
+
+TEST(PrivacyDegreeTest, ClassifiesNoProtect) {
+  const std::vector<double> confidences{1.0, 1.0, 0.9999};
+  const std::vector<double> epsilons{0.7, 0.6, 0.8};
+  EXPECT_EQ(classify_degree(confidences, epsilons),
+            PrivacyDegree::kNoProtect);
+}
+
+TEST(PrivacyDegreeTest, ClassifiesNoGuarantee) {
+  const std::vector<double> confidences{0.9, 0.1, 0.95, 0.2};
+  const std::vector<double> epsilons{0.8, 0.8, 0.8, 0.8};
+  EXPECT_EQ(classify_degree(confidences, epsilons),
+            PrivacyDegree::kNoGuarantee);
+}
+
+TEST(PrivacyDegreeTest, EmptyIsUnleaked) {
+  EXPECT_EQ(classify_degree({}, {}), PrivacyDegree::kUnleaked);
+}
+
+TEST(PrivacyDegreeTest, BoundSatisfactionFraction) {
+  const std::vector<double> confidences{0.2, 0.9};
+  const std::vector<double> epsilons{0.5, 0.5};
+  EXPECT_DOUBLE_EQ(bound_satisfaction(confidences, epsilons), 0.5);
+}
+
+TEST(PrivacyDegreeTest, ToStringNames) {
+  EXPECT_EQ(to_string(PrivacyDegree::kEpsPrivate), "eps-PRIVATE");
+  EXPECT_EQ(to_string(PrivacyDegree::kNoProtect), "NoProtect");
+  EXPECT_EQ(to_string(PrivacyDegree::kNoGuarantee), "NoGuarantee");
+  EXPECT_EQ(to_string(PrivacyDegree::kUnleaked), "Unleaked");
+}
+
+TEST(CollusionObserverTest, FewerThanCSharesLookUniform) {
+  // Run SecSumShare over a network whose identity frequencies are all equal;
+  // if partial views leaked the sum, the pooled statistic would concentrate.
+  constexpr std::size_t kM = 12;
+  constexpr std::size_t kC = 3;
+  constexpr std::size_t kN = 512;
+  std::vector<std::vector<std::uint8_t>> inputs(
+      kM, std::vector<std::uint8_t>(kN, 1));  // every frequency = 12
+  eppi::net::Cluster cluster(kM, 7);
+  std::vector<std::vector<std::uint64_t>> views(kC);
+  const eppi::secret::SecSumShareParams params{kC, 0, kN};
+  cluster.run([&](eppi::net::PartyContext& ctx) {
+    const auto result =
+        eppi::secret::run_sec_sum_share_party(ctx, params, inputs[ctx.id()]);
+    if (ctx.id() < kC) views[ctx.id()] = *result;
+  });
+  const auto ring = eppi::secret::resolve_ring(params, kM);
+  const CollusionObserver observer(views, ring.q());
+
+  // Any 2-of-3 coalition: partial sums spread over Z_q (chi2 below a loose
+  // 4x-buckets bound); with all 3 views the sum is constant (=12).
+  const std::size_t coalition_a[] = {0, 1};
+  const std::size_t coalition_b[] = {1, 2};
+  EXPECT_LT(observer.uniformity_chi2(coalition_a, 4), 30.0);
+  EXPECT_LT(observer.uniformity_chi2(coalition_b, 4), 30.0);
+  const std::size_t all[] = {0, 1, 2};
+  for (std::size_t j = 0; j < kN; ++j) {
+    EXPECT_EQ(observer.partial_sum(all, j), 12u);
+  }
+}
+
+TEST(CollusionObserverTest, Validates) {
+  EXPECT_THROW(CollusionObserver({}, 8), eppi::ConfigError);
+  std::vector<std::vector<std::uint64_t>> views{{1, 2}, {3}};
+  EXPECT_THROW(CollusionObserver(views, 8), eppi::ConfigError);
+}
+
+}  // namespace
+}  // namespace eppi::attack

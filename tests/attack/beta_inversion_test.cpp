@@ -1,0 +1,103 @@
+#include "attack/beta_inversion.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/constructor.h"
+#include "dataset/synthetic.h"
+
+namespace eppi::attack {
+namespace {
+
+using eppi::core::BetaPolicy;
+
+TEST(BetaInversionTest, BasicClosedFormRoundTrip) {
+  const BetaPolicy policy = BetaPolicy::basic();
+  for (const double sigma : {0.01, 0.05, 0.2, 0.4}) {
+    for (const double eps : {0.3, 0.5, 0.8}) {
+      const double beta = eppi::core::beta_raw(policy, sigma, eps, 1000);
+      if (beta >= 1.0) continue;
+      const auto recovered = invert_beta(policy, beta, eps, 1000);
+      ASSERT_TRUE(recovered.has_value());
+      EXPECT_NEAR(*recovered, sigma, 1e-9)
+          << "sigma=" << sigma << " eps=" << eps;
+    }
+  }
+}
+
+TEST(BetaInversionTest, IncExpRoundTrip) {
+  const BetaPolicy policy = BetaPolicy::inc_exp(0.02);
+  const double beta = eppi::core::beta_raw(policy, 0.1, 0.5, 500);
+  const auto recovered = invert_beta(policy, beta, 0.5, 500);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_NEAR(*recovered, 0.1, 1e-9);
+}
+
+TEST(BetaInversionTest, ChernoffBisectionRoundTrip) {
+  const BetaPolicy policy = BetaPolicy::chernoff(0.9);
+  for (const double sigma : {0.02, 0.1, 0.3}) {
+    const double beta = eppi::core::beta_raw(policy, sigma, 0.5, 2000);
+    if (beta >= 1.0) continue;
+    const auto recovered = invert_beta(policy, beta, 0.5, 2000);
+    ASSERT_TRUE(recovered.has_value());
+    EXPECT_NEAR(*recovered, sigma, 1e-6) << "sigma=" << sigma;
+  }
+}
+
+TEST(BetaInversionTest, FrequencyRecoveryIsExact) {
+  const BetaPolicy policy = BetaPolicy::chernoff(0.9);
+  constexpr std::size_t kM = 1000;
+  for (const std::uint64_t freq : {7ull, 42ull, 150ull}) {
+    const double sigma = static_cast<double>(freq) / kM;
+    const double beta = eppi::core::beta_raw(policy, sigma, 0.6, kM);
+    if (beta >= 1.0) continue;
+    const auto recovered = invert_beta_frequency(policy, beta, 0.6, kM);
+    ASSERT_TRUE(recovered.has_value());
+    EXPECT_EQ(*recovered, freq);
+  }
+}
+
+TEST(BetaInversionTest, SaturatedBetaIsUninvertible) {
+  // β = 1 (mixed / common) has no point preimage — the defense.
+  const BetaPolicy policy = BetaPolicy::basic();
+  EXPECT_FALSE(invert_beta(policy, 1.0, 0.5, 100).has_value());
+  EXPECT_FALSE(invert_beta(policy, 1.7, 0.5, 100).has_value());
+  EXPECT_FALSE(invert_beta(policy, 0.0, 0.5, 100).has_value());
+}
+
+TEST(BetaInversionTest, ValidatesInput) {
+  EXPECT_THROW(invert_beta(BetaPolicy::basic(), 0.5, 1.5, 100),
+               eppi::ConfigError);
+  EXPECT_THROW(invert_beta(BetaPolicy::basic(), 0.5, 0.5, 0),
+               eppi::ConfigError);
+}
+
+// End-to-end: the β vector released by construction reveals unmixed
+// frequencies exactly, and nothing about mixed ones — the quantitative
+// version of §IV-C's "β does not carry any private information" claim.
+TEST(BetaInversionTest, ConstructionBetasInvertOnlyForUnmixed) {
+  eppi::Rng rng(9);
+  constexpr std::size_t kM = 400;
+  std::vector<std::uint64_t> freqs(50, 0);
+  for (auto& f : freqs) f = 1 + rng.next_below(40);
+  freqs[0] = 399;  // common
+  const auto net = eppi::dataset::make_network_with_frequencies(kM, freqs, rng);
+  const std::vector<double> eps(50, 0.7);
+  eppi::core::ConstructionOptions options;
+  options.policy = eppi::core::BetaPolicy::chernoff(0.9);
+  const auto info =
+      eppi::core::calculate_betas(net.membership, eps, options, rng);
+  for (std::size_t j = 0; j < 50; ++j) {
+    const auto recovered =
+        invert_beta_frequency(options.policy, info.betas[j], eps[j], kM);
+    if (info.is_apparent_common[j]) {
+      EXPECT_FALSE(recovered.has_value()) << "identity " << j;
+    } else {
+      ASSERT_TRUE(recovered.has_value()) << "identity " << j;
+      EXPECT_EQ(*recovered, freqs[j]) << "identity " << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eppi::attack

@@ -1,0 +1,100 @@
+#include "attack/collusion_attack.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/beta_policy.h"
+#include "core/publisher.h"
+#include "dataset/synthetic.h"
+
+namespace eppi::attack {
+namespace {
+
+struct AttackSetup {
+  eppi::BitMatrix truth;
+  eppi::BitMatrix published;
+};
+
+AttackSetup make_setup(std::size_t m, std::size_t freq, double eps,
+                 std::uint64_t seed) {
+  eppi::Rng rng(seed);
+  const auto net = eppi::dataset::make_network_with_frequencies(
+      m, std::vector<std::uint64_t>{freq}, rng);
+  const double sigma = static_cast<double>(freq) / static_cast<double>(m);
+  const std::vector<double> betas{eppi::core::beta_clamped(
+      eppi::core::BetaPolicy::chernoff(0.9), sigma, eps, m)};
+  AttackSetup s{net.membership,
+          eppi::core::publish_matrix(net.membership, betas, rng)};
+  return s;
+}
+
+TEST(CollusionAttackTest, EmptyCoalitionEqualsPrimaryAttack) {
+  const AttackSetup s = make_setup(500, 25, 0.6, 1);
+  const auto result =
+      colluding_primary_attack(s.truth, s.published, 0, {});
+  std::size_t claims = 0;
+  std::size_t true_pos = 0;
+  for (std::size_t i = 0; i < 500; ++i) {
+    if (!s.published.get(i, 0)) continue;
+    ++claims;
+    if (s.truth.get(i, 0)) ++true_pos;
+  }
+  EXPECT_EQ(result.outside_claims, claims);
+  EXPECT_EQ(result.outside_true, true_pos);
+  EXPECT_EQ(result.coalition_claims, 0u);
+}
+
+TEST(CollusionAttackTest, FullCoalitionLeavesNoOutsideClaims) {
+  const AttackSetup s = make_setup(100, 10, 0.5, 2);
+  std::vector<std::size_t> everyone(100);
+  for (std::size_t i = 0; i < 100; ++i) everyone[i] = i;
+  const auto result =
+      colluding_primary_attack(s.truth, s.published, 0, everyone);
+  EXPECT_EQ(result.outside_claims, 0u);
+  EXPECT_EQ(result.outside_confidence(), 0.0);
+}
+
+TEST(CollusionAttackTest, IndependentNoiseKeepsOutsideConfidenceBounded) {
+  // The paper's independence argument: because providers flip coins
+  // independently, excluding a random coalition leaves the remaining
+  // false-positive rate at ~eps, so outside confidence stays ~1 - eps.
+  const AttackSetup s = make_setup(2000, 40, 0.7, 3);
+  eppi::Rng rng(4);
+  const std::vector<std::size_t> sizes{0, 100, 500, 1000};
+  const auto curve = collusion_confidence_curve(s.truth, s.published, 0,
+                                                sizes, 10, rng);
+  for (std::size_t k = 0; k < sizes.size(); ++k) {
+    EXPECT_LE(curve[k], 0.3 + 0.1) << "coalition size " << sizes[k];
+  }
+}
+
+TEST(CollusionAttackTest, TargetedCoalitionOfTruePositivesRaisesNothing) {
+  // Even a coalition containing every true positive only learns its own
+  // records; claims against outsiders are then *always* wrong.
+  const AttackSetup s = make_setup(300, 15, 0.5, 5);
+  std::vector<std::size_t> holders;
+  for (std::size_t i = 0; i < 300; ++i) {
+    if (s.truth.get(i, 0)) holders.push_back(i);
+  }
+  const auto result =
+      colluding_primary_attack(s.truth, s.published, 0, holders);
+  EXPECT_EQ(result.outside_true, 0u);
+  EXPECT_EQ(result.outside_confidence(), 0.0);
+}
+
+TEST(CollusionAttackTest, Validates) {
+  const AttackSetup s = make_setup(50, 5, 0.5, 6);
+  const std::vector<std::size_t> bad{50};
+  EXPECT_THROW(colluding_primary_attack(s.truth, s.published, 0, bad),
+               eppi::ConfigError);
+  EXPECT_THROW(colluding_primary_attack(s.truth, s.published, 1, {}),
+               eppi::ConfigError);
+  eppi::Rng rng(7);
+  const std::vector<std::size_t> too_big{51};
+  EXPECT_THROW(collusion_confidence_curve(s.truth, s.published, 0, too_big,
+                                          1, rng),
+               eppi::ConfigError);
+}
+
+}  // namespace
+}  // namespace eppi::attack

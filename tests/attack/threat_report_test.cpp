@@ -1,0 +1,104 @@
+#include "attack/threat_report.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/constructor.h"
+#include "dataset/synthetic.h"
+
+namespace eppi::attack {
+namespace {
+
+struct World {
+  eppi::dataset::Network network;
+  std::vector<double> epsilons;
+  eppi::core::ConstructionResult eppi_result;
+};
+
+World make_world(std::uint64_t seed) {
+  eppi::Rng rng(seed);
+  World w;
+  std::vector<std::uint64_t> freqs(100, 2);
+  // Six true common identities so the expected decoy count
+  // (xi/(1-xi) * |common|) is large enough to concentrate.
+  for (std::size_t j = 0; j < 6; ++j) freqs[j] = 195 - j;
+  w.network = eppi::dataset::make_network_with_frequencies(200, freqs, rng);
+  w.epsilons = eppi::dataset::random_epsilons(100, rng, 0.4, 0.8);
+  eppi::core::ConstructionOptions options;
+  options.policy = eppi::core::BetaPolicy::chernoff(0.95);
+  w.eppi_result = eppi::core::construct_centralized(w.network.membership,
+                                                    w.epsilons, options, rng);
+  return w;
+}
+
+TEST(ThreatReportTest, EpsPpiAuditsAsEpsPrivate) {
+  World w = make_world(1);
+  eppi::Rng rng(2);
+  const auto report =
+      audit_index(w.network.membership, w.eppi_result.index.matrix(),
+                  w.epsilons, w.eppi_result.info.is_common, rng);
+  EXPECT_EQ(report.primary_degree, PrivacyDegree::kEpsPrivate);
+  EXPECT_EQ(report.common_degree, PrivacyDegree::kEpsPrivate);
+  EXPECT_GE(report.bound_satisfaction, 0.95);
+  EXPECT_LE(report.common_identification_confidence,
+            1.0 - report.xi + 0.15);
+  EXPECT_GT(report.common_candidates, report.common_hits);
+}
+
+TEST(ThreatReportTest, NaiveIndexAuditsAsNoProtect) {
+  World w = make_world(3);
+  eppi::Rng rng(4);
+  // Publishing the truth: every primary attack succeeds with certainty.
+  const auto report =
+      audit_index(w.network.membership, w.network.membership, w.epsilons,
+                  w.eppi_result.info.is_common, rng);
+  EXPECT_EQ(report.primary_degree, PrivacyDegree::kNoProtect);
+  EXPECT_NEAR(report.primary_mean_confidence, 1.0, 1e-9);
+  // Only the true commons have (nearly) full columns: identification is
+  // certain.
+  EXPECT_EQ(report.common_degree, PrivacyDegree::kUnleaked);
+}
+
+TEST(ThreatReportTest, InfeasibleOwnersAreExcluded) {
+  World w = make_world(5);
+  eppi::Rng rng(6);
+  const auto with_filter =
+      audit_index(w.network.membership, w.eppi_result.index.matrix(),
+                  w.epsilons, w.eppi_result.info.is_common, rng);
+  ThreatReportOptions no_filter;
+  no_filter.exclude_infeasible = false;
+  const auto without_filter =
+      audit_index(w.network.membership, w.eppi_result.index.matrix(),
+                  w.epsilons, w.eppi_result.info.is_common, rng, no_filter);
+  EXPECT_LE(with_filter.owners_classified,
+            without_filter.owners_classified);
+  EXPECT_EQ(without_filter.owners_classified, 100u);
+}
+
+TEST(ThreatReportTest, XiIsMaxEpsilonOverCommons) {
+  World w = make_world(7);
+  eppi::Rng rng(8);
+  const auto report =
+      audit_index(w.network.membership, w.eppi_result.index.matrix(),
+                  w.epsilons, w.eppi_result.info.is_common, rng);
+  double expected = 0.0;
+  for (std::size_t j = 0; j < 100; ++j) {
+    if (w.eppi_result.info.is_common[j]) {
+      expected = std::max(expected, w.epsilons[j]);
+    }
+  }
+  EXPECT_DOUBLE_EQ(report.xi, expected);
+}
+
+TEST(ThreatReportTest, ValidatesShapes) {
+  World w = make_world(9);
+  eppi::Rng rng(10);
+  const std::vector<double> wrong_eps(3, 0.5);
+  EXPECT_THROW(audit_index(w.network.membership,
+                           w.eppi_result.index.matrix(), wrong_eps,
+                           w.eppi_result.info.is_common, rng),
+               eppi::ConfigError);
+}
+
+}  // namespace
+}  // namespace eppi::attack

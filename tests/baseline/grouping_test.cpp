@@ -1,0 +1,140 @@
+#include "baseline/grouping_ppi.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+#include "dataset/synthetic.h"
+
+namespace eppi::baseline {
+namespace {
+
+eppi::BitMatrix sample_truth(eppi::Rng& rng, std::size_t m = 20,
+                             std::size_t n = 10) {
+  eppi::BitMatrix truth(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (rng.bernoulli(0.15)) truth.set(i, j, true);
+    }
+  }
+  return truth;
+}
+
+TEST(GroupingPpiTest, GroupSizesAreBalanced) {
+  eppi::Rng rng(1);
+  const auto truth = sample_truth(rng, 23, 5);
+  const GroupingPpi ppi(truth, 5, rng);
+  std::vector<std::size_t> sizes(5, 0);
+  for (std::size_t i = 0; i < 23; ++i) ++sizes[ppi.group_of(i)];
+  for (const std::size_t s : sizes) {
+    EXPECT_GE(s, 4u);
+    EXPECT_LE(s, 5u);
+  }
+}
+
+TEST(GroupingPpiTest, QueryCoversAllTruePositives) {
+  eppi::Rng rng(2);
+  const auto truth = sample_truth(rng);
+  const GroupingPpi ppi(truth, 4, rng);
+  for (std::size_t j = 0; j < truth.cols(); ++j) {
+    const auto result = ppi.query(static_cast<eppi::core::IdentityId>(j));
+    const std::set<eppi::core::ProviderId> contacted(result.begin(),
+                                                     result.end());
+    for (std::size_t i = 0; i < truth.rows(); ++i) {
+      if (truth.get(i, j)) {
+        EXPECT_TRUE(contacted.count(static_cast<eppi::core::ProviderId>(i)))
+            << "provider " << i << " identity " << j;
+      }
+    }
+  }
+}
+
+TEST(GroupingPpiTest, QueryReturnsWholeGroups) {
+  eppi::Rng rng(3);
+  const auto truth = sample_truth(rng);
+  const GroupingPpi ppi(truth, 4, rng);
+  for (std::size_t j = 0; j < truth.cols(); ++j) {
+    const auto result = ppi.query(static_cast<eppi::core::IdentityId>(j));
+    const std::set<eppi::core::ProviderId> contacted(result.begin(),
+                                                     result.end());
+    // If any member of a group is contacted, all members are.
+    for (const auto p : result) {
+      for (std::size_t i = 0; i < truth.rows(); ++i) {
+        if (ppi.group_of(i) == ppi.group_of(p)) {
+          EXPECT_TRUE(contacted.count(static_cast<eppi::core::ProviderId>(i)));
+        }
+      }
+    }
+  }
+}
+
+TEST(GroupingPpiTest, ProviderViewMatchesQueries) {
+  eppi::Rng rng(4);
+  const auto truth = sample_truth(rng);
+  const GroupingPpi ppi(truth, 4, rng);
+  const auto& view = ppi.provider_view();
+  for (std::size_t j = 0; j < truth.cols(); ++j) {
+    const auto result = ppi.query(static_cast<eppi::core::IdentityId>(j));
+    const std::set<eppi::core::ProviderId> contacted(result.begin(),
+                                                     result.end());
+    for (std::size_t i = 0; i < truth.rows(); ++i) {
+      EXPECT_EQ(view.get(i, j),
+                contacted.count(static_cast<eppi::core::ProviderId>(i)) > 0);
+    }
+  }
+}
+
+TEST(GroupingPpiTest, SingleGroupBroadcastsEverything) {
+  eppi::Rng rng(5);
+  const auto truth = sample_truth(rng);
+  const GroupingPpi ppi(truth, 1, rng);
+  for (std::size_t j = 0; j < truth.cols(); ++j) {
+    if (truth.col_count(j) > 0) {
+      EXPECT_EQ(ppi.query(static_cast<eppi::core::IdentityId>(j)).size(),
+                truth.rows());
+    }
+  }
+}
+
+TEST(GroupingPpiTest, GroupsOfOneLeakEverything) {
+  // Degenerate grouping (m groups): the view equals the truth — the privacy
+  // failure mode of grouping taken to the limit.
+  eppi::Rng rng(6);
+  const auto truth = sample_truth(rng);
+  const GroupingPpi ppi(truth, truth.rows(), rng);
+  EXPECT_EQ(ppi.provider_view(), truth);
+}
+
+TEST(GroupingPpiTest, ValidatesParameters) {
+  eppi::Rng rng(7);
+  const auto truth = sample_truth(rng);
+  EXPECT_THROW(GroupingPpi(truth, 0, rng), eppi::ConfigError);
+  EXPECT_THROW(GroupingPpi(truth, truth.rows() + 1, rng), eppi::ConfigError);
+  const GroupingPpi ppi(truth, 4, rng);
+  EXPECT_THROW(ppi.group_of(truth.rows()), eppi::ConfigError);
+  EXPECT_THROW(ppi.query(static_cast<eppi::core::IdentityId>(truth.cols())),
+               eppi::ConfigError);
+}
+
+TEST(SsPpiTest, LeaksExactFrequencies) {
+  eppi::Rng rng(8);
+  const auto truth = sample_truth(rng);
+  const SsPpi ppi(truth, 4, rng);
+  for (std::size_t j = 0; j < truth.cols(); ++j) {
+    EXPECT_EQ(ppi.leaked_frequencies[j], truth.col_count(j));
+  }
+}
+
+TEST(GroupingPpiTest, ApparentFrequencyNeverBelowTrue) {
+  eppi::Rng rng(9);
+  const auto truth = sample_truth(rng);
+  const GroupingPpi ppi(truth, 5, rng);
+  for (std::size_t j = 0; j < truth.cols(); ++j) {
+    EXPECT_GE(ppi.apparent_frequency(static_cast<eppi::core::IdentityId>(j)),
+              truth.col_count(j));
+  }
+}
+
+}  // namespace
+}  // namespace eppi::baseline

@@ -1,0 +1,72 @@
+#include "baseline/pure_mpc_runner.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "dataset/synthetic.h"
+#include "mpc/gmw.h"
+
+namespace eppi::baseline {
+namespace {
+
+TEST(PureMpcRunnerTest, ComputesCorrectCountAndFrequencies) {
+  eppi::Rng rng(1);
+  const auto net = eppi::dataset::make_network_with_frequencies(
+      5, std::vector<std::uint64_t>{4, 1, 2}, rng);
+  const std::vector<std::uint64_t> thresholds{3, 3, 3};
+  PureMpcRunOptions options;
+  options.lambda = 0.0;
+  const auto result = run_pure_mpc(net.membership, thresholds, options);
+  EXPECT_EQ(result.output.common_count, 1u);
+  ASSERT_EQ(result.output.identities.size(), 3u);
+  EXPECT_TRUE(result.output.identities[0].mixed);
+  EXPECT_EQ(result.output.identities[0].frequency, 0u);  // hidden
+  EXPECT_FALSE(result.output.identities[1].mixed);
+  EXPECT_EQ(result.output.identities[1].frequency, 1u);
+  EXPECT_EQ(result.output.identities[2].frequency, 2u);
+}
+
+TEST(PureMpcRunnerTest, CostGrowsWithProviders) {
+  eppi::Rng rng(2);
+  const std::vector<std::uint64_t> thresholds{2};
+  PureMpcRunOptions options;
+  const auto small = run_pure_mpc(
+      eppi::dataset::make_network_with_frequencies(
+          3, std::vector<std::uint64_t>{1}, rng)
+          .membership,
+      thresholds, options);
+  const auto large = run_pure_mpc(
+      eppi::dataset::make_network_with_frequencies(
+          9, std::vector<std::uint64_t>{1}, rng)
+          .membership,
+      thresholds, options);
+  EXPECT_GT(large.stats.total_gates(), small.stats.total_gates());
+  EXPECT_GT(large.cost.messages, small.cost.messages);
+  EXPECT_GT(large.cost.bytes, small.cost.bytes);
+}
+
+TEST(PureMpcRunnerTest, ValidatesInput) {
+  eppi::Rng rng(3);
+  const auto net = eppi::dataset::make_network_with_frequencies(
+      4, std::vector<std::uint64_t>{1}, rng);
+  const std::vector<std::uint64_t> wrong_thresholds{1, 2};
+  EXPECT_THROW(run_pure_mpc(net.membership, wrong_thresholds, {}),
+               eppi::ConfigError);
+}
+
+TEST(PureMpcRunnerTest, LambdaOneMixesEverything) {
+  eppi::Rng rng(4);
+  const auto net = eppi::dataset::make_network_with_frequencies(
+      4, std::vector<std::uint64_t>{1, 2}, rng);
+  const std::vector<std::uint64_t> thresholds{4, 4};
+  PureMpcRunOptions options;
+  options.lambda = 1.0;
+  const auto result = run_pure_mpc(net.membership, thresholds, options);
+  for (const auto& id : result.output.identities) {
+    EXPECT_TRUE(id.mixed);
+    EXPECT_EQ(id.frequency, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace eppi::baseline

@@ -1,0 +1,99 @@
+#include "common/bit_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace eppi {
+namespace {
+
+TEST(BitMatrixTest, StartsAllZero) {
+  const BitMatrix m(4, 70);  // spans two words per row
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 70; ++j) {
+      EXPECT_FALSE(m.get(i, j));
+    }
+  }
+  EXPECT_EQ(m.popcount(), 0u);
+}
+
+TEST(BitMatrixTest, SetAndClear) {
+  BitMatrix m(3, 65);
+  m.set(1, 64, true);
+  EXPECT_TRUE(m.get(1, 64));
+  EXPECT_FALSE(m.get(0, 64));
+  EXPECT_FALSE(m.get(1, 63));
+  m.set(1, 64, false);
+  EXPECT_FALSE(m.get(1, 64));
+}
+
+TEST(BitMatrixTest, CountsAreConsistent) {
+  BitMatrix m(10, 100);
+  Rng rng(99);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = 0; j < 100; ++j) {
+      if (rng.bernoulli(0.3)) {
+        m.set(i, j, true);
+        ++total;
+      }
+    }
+  }
+  EXPECT_EQ(m.popcount(), total);
+  std::size_t via_rows = 0;
+  for (std::size_t i = 0; i < 10; ++i) via_rows += m.row_count(i);
+  EXPECT_EQ(via_rows, total);
+  std::size_t via_cols = 0;
+  for (std::size_t j = 0; j < 100; ++j) via_cols += m.col_count(j);
+  EXPECT_EQ(via_cols, total);
+}
+
+TEST(BitMatrixTest, OutOfRangeThrows) {
+  BitMatrix m(2, 3);
+  EXPECT_THROW(m.get(2, 0), ConfigError);
+  EXPECT_THROW(m.get(0, 3), ConfigError);
+  EXPECT_THROW(m.set(5, 5, true), ConfigError);
+  EXPECT_THROW(m.col_count(3), ConfigError);
+  EXPECT_THROW(m.row_count(2), ConfigError);
+}
+
+TEST(BitMatrixTest, OrWithMergesBits) {
+  BitMatrix a(2, 10);
+  BitMatrix b(2, 10);
+  a.set(0, 1, true);
+  b.set(1, 2, true);
+  b.set(0, 1, true);
+  a.or_with(b);
+  EXPECT_TRUE(a.get(0, 1));
+  EXPECT_TRUE(a.get(1, 2));
+  EXPECT_EQ(a.popcount(), 2u);
+}
+
+TEST(BitMatrixTest, OrWithShapeMismatchThrows) {
+  BitMatrix a(2, 10);
+  BitMatrix b(2, 11);
+  EXPECT_THROW(a.or_with(b), ConfigError);
+}
+
+TEST(BitMatrixTest, EqualityComparesContent) {
+  BitMatrix a(2, 10);
+  BitMatrix b(2, 10);
+  EXPECT_EQ(a, b);
+  a.set(1, 9, true);
+  EXPECT_NE(a, b);
+  b.set(1, 9, true);
+  EXPECT_EQ(a, b);
+}
+
+TEST(BitMatrixTest, RowWordsExposePackedBits) {
+  BitMatrix m(1, 128);
+  m.set(0, 0, true);
+  m.set(0, 64, true);
+  EXPECT_EQ(m.words_per_row(), 2u);
+  EXPECT_EQ(m.row_words(0)[0], 1u);
+  EXPECT_EQ(m.row_words(0)[1], 1u);
+}
+
+}  // namespace
+}  // namespace eppi

@@ -1,0 +1,147 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace eppi {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 5ull, 100ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBelowOneIsAlwaysZero) {
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(RngTest, NextBelowIsRoughlyUniform) {
+  Rng rng(13);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kTrials = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kTrials; ++i) ++counts[rng.next_below(kBound)];
+  const double expected = static_cast<double>(kTrials) / kBound;
+  for (const int c : counts) {
+    EXPECT_NEAR(c, expected, expected * 0.1);
+  }
+}
+
+TEST(RngTest, NextInInclusiveRange) {
+  Rng rng(17);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit over 1000 draws
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(19);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(29);
+  for (const double p : {0.1, 0.5, 0.9}) {
+    int hits = 0;
+    constexpr int kTrials = 50000;
+    for (int i = 0; i < kTrials; ++i) hits += rng.bernoulli(p) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / kTrials, p, 0.01);
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.fork();
+  // Child stream differs from the parent's continuing stream.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.next() == child.next()) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(RngTest, ForkIsDeterministic) {
+  Rng a(37);
+  Rng b(37);
+  Rng ca = a.fork();
+  Rng cb = b.fork();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(ca.next(), cb.next());
+}
+
+TEST(RngTest, FillBytesFillsExactly) {
+  Rng rng(41);
+  std::vector<std::uint8_t> buf(13, 0xEE);
+  rng.fill_bytes(buf.data(), buf.size());
+  // Very unlikely all bytes stay 0xEE.
+  int unchanged = 0;
+  for (const auto b : buf) unchanged += b == 0xEE ? 1 : 0;
+  EXPECT_LT(unchanged, 13);
+}
+
+class RngBoundSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngBoundSweep, MeanNearHalfBound) {
+  const std::uint64_t bound = GetParam();
+  Rng rng(bound);
+  double sum = 0.0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    sum += static_cast<double>(rng.next_below(bound));
+  }
+  const double mean = sum / kTrials;
+  const double expected = (static_cast<double>(bound) - 1.0) / 2.0;
+  EXPECT_NEAR(mean, expected, static_cast<double>(bound) * 0.02 + 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundSweep,
+                         ::testing::Values(2, 5, 16, 100, 1024, 65536));
+
+}  // namespace
+}  // namespace eppi

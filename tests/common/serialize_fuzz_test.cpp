@@ -1,0 +1,115 @@
+// Robustness fuzzing for every binary decoder: random corruption of valid
+// payloads must produce SerializeError (or a successful parse of a
+// different value) — never a crash, hang, or unbounded allocation.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "core/index_io.h"
+#include "mpc/circuit_builder.h"
+#include "mpc/circuit_io.h"
+
+namespace eppi {
+namespace {
+
+template <typename ParseFn>
+void fuzz_decoder(std::vector<std::uint8_t> valid, ParseFn parse,
+                  std::uint64_t seed, int mutations = 300) {
+  Rng rng(seed);
+  for (int round = 0; round < mutations; ++round) {
+    std::vector<std::uint8_t> corrupted = valid;
+    switch (rng.next_below(3)) {
+      case 0: {  // flip random bytes
+        const int flips = 1 + static_cast<int>(rng.next_below(4));
+        for (int f = 0; f < flips && !corrupted.empty(); ++f) {
+          corrupted[rng.next_below(corrupted.size())] ^=
+              static_cast<std::uint8_t>(1u << rng.next_below(8));
+        }
+        break;
+      }
+      case 1: {  // truncate
+        if (!corrupted.empty()) {
+          corrupted.resize(rng.next_below(corrupted.size()));
+        }
+        break;
+      }
+      default: {  // append garbage
+        const int extra = 1 + static_cast<int>(rng.next_below(16));
+        for (int e = 0; e < extra; ++e) {
+          corrupted.push_back(static_cast<std::uint8_t>(rng.next()));
+        }
+        break;
+      }
+    }
+    try {
+      parse(corrupted);  // either parses or throws SerializeError
+    } catch (const SerializeError&) {
+      // expected for malformed input
+    }
+  }
+}
+
+TEST(SerializeFuzzTest, BinaryReaderSurvivesCorruption) {
+  BinaryWriter w;
+  w.write_varint(17);
+  const std::vector<std::uint64_t> values{1, 2, 3, 1000000};
+  w.write_u64_vector(values);
+  const std::vector<std::uint8_t> bytes{9, 8, 7};
+  w.write_bytes(bytes);
+  w.write_u64(0xDEADBEEF);
+  fuzz_decoder(w.take(),
+               [](const std::vector<std::uint8_t>& bytes) {
+                 BinaryReader r(bytes);
+                 (void)r.read_varint();
+                 (void)r.read_u64_vector();
+                 (void)r.read_bytes();
+                 (void)r.read_u64();
+               },
+               101);
+}
+
+TEST(SerializeFuzzTest, IndexLoaderSurvivesCorruption) {
+  Rng rng(5);
+  BitMatrix matrix(9, 70);
+  for (std::size_t i = 0; i < 9; ++i) {
+    for (std::size_t j = 0; j < 70; ++j) {
+      if (rng.bernoulli(0.3)) matrix.set(i, j, true);
+    }
+  }
+  std::stringstream ss;
+  core::save_index(ss, core::PpiIndex(std::move(matrix)));
+  const std::string str = ss.str();
+  std::vector<std::uint8_t> valid(str.begin(), str.end());
+  fuzz_decoder(valid,
+               [](const std::vector<std::uint8_t>& bytes) {
+                 std::stringstream in(
+                     std::string(bytes.begin(), bytes.end()));
+                 (void)core::load_index(in);
+               },
+               102);
+}
+
+TEST(SerializeFuzzTest, CircuitLoaderSurvivesCorruption) {
+  mpc::CircuitBuilder cb;
+  const auto a = cb.input_bits(0, 6);
+  const auto b = cb.input_bits(1, 6);
+  cb.output_vec(cb.add_trunc(a, b));
+  cb.output(cb.lt(a, b));
+  std::stringstream ss;
+  mpc::save_circuit(ss, cb.take());
+  const std::string str = ss.str();
+  std::vector<std::uint8_t> valid(str.begin(), str.end());
+  fuzz_decoder(valid,
+               [](const std::vector<std::uint8_t>& bytes) {
+                 std::stringstream in(
+                     std::string(bytes.begin(), bytes.end()));
+                 (void)mpc::load_circuit(in);
+               },
+               103);
+}
+
+}  // namespace
+}  // namespace eppi

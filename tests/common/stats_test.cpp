@@ -1,0 +1,71 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+
+namespace eppi {
+namespace {
+
+TEST(StatsTest, MeanOfEmptyIsZero) {
+  EXPECT_EQ(mean({}), 0.0);
+}
+
+TEST(StatsTest, MeanAndVariance) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_NEAR(variance(xs), 5.0 / 3.0, 1e-12);
+  EXPECT_NEAR(stddev(xs), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(StatsTest, VarianceOfSingletonIsZero) {
+  const std::vector<double> xs{7.0};
+  EXPECT_EQ(variance(xs), 0.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 25.0);
+}
+
+TEST(StatsTest, PercentileValidatesInput) {
+  EXPECT_THROW(percentile({}, 0.5), ConfigError);
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW(percentile(xs, 1.5), ConfigError);
+  EXPECT_THROW(percentile(xs, -0.1), ConfigError);
+}
+
+TEST(StatsTest, RunningStatMatchesBatch) {
+  const std::vector<double> xs{3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  RunningStat rs;
+  for (const double x : xs) rs.add(x);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-12);
+  EXPECT_NEAR(rs.variance(), variance(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 1.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(StatsTest, RunningStatEmpty) {
+  const RunningStat rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+}
+
+TEST(StatsTest, FractionTrue) {
+  const std::vector<bool> storage{true, false, true, true};
+  // span<const bool> cannot bind to vector<bool>; use a plain array.
+  const bool xs[] = {true, false, true, true};
+  EXPECT_DOUBLE_EQ(fraction_true(std::span<const bool>(xs, 4)), 0.75);
+  EXPECT_EQ(fraction_true({}), 0.0);
+  (void)storage;
+}
+
+}  // namespace
+}  // namespace eppi

@@ -1,0 +1,64 @@
+#include "common/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+
+namespace eppi {
+namespace {
+
+TEST(ZipfTest, RejectsBadParameters) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), ConfigError);
+  EXPECT_THROW(ZipfSampler(10, -0.1), ConfigError);
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  const ZipfSampler zipf(100, 1.0);
+  double total = 0.0;
+  for (std::size_t r = 0; r < zipf.size(); ++r) total += zipf.pmf(r);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, PmfIsMonotoneDecreasing) {
+  const ZipfSampler zipf(50, 1.2);
+  for (std::size_t r = 1; r < zipf.size(); ++r) {
+    EXPECT_LE(zipf.pmf(r), zipf.pmf(r - 1) + 1e-12);
+  }
+}
+
+TEST(ZipfTest, ExponentZeroIsUniform) {
+  const ZipfSampler zipf(10, 0.0);
+  for (std::size_t r = 0; r < 10; ++r) {
+    EXPECT_NEAR(zipf.pmf(r), 0.1, 1e-9);
+  }
+}
+
+TEST(ZipfTest, PmfRankOutOfRangeThrows) {
+  const ZipfSampler zipf(10, 1.0);
+  EXPECT_THROW(zipf.pmf(10), ConfigError);
+}
+
+TEST(ZipfTest, SamplingMatchesPmf) {
+  const ZipfSampler zipf(20, 1.0);
+  Rng rng(123);
+  constexpr int kTrials = 200000;
+  std::vector<int> counts(20, 0);
+  for (int i = 0; i < kTrials; ++i) ++counts[zipf.sample(rng)];
+  for (std::size_t r = 0; r < 20; ++r) {
+    const double observed = static_cast<double>(counts[r]) / kTrials;
+    EXPECT_NEAR(observed, zipf.pmf(r), 0.01) << "rank " << r;
+  }
+}
+
+TEST(ZipfTest, SampleAlwaysInRange) {
+  const ZipfSampler zipf(7, 2.0);
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.sample(rng), 7u);
+  }
+}
+
+}  // namespace
+}  // namespace eppi

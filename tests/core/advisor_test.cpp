@@ -1,0 +1,84 @@
+#include "core/advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/publisher.h"
+#include "dataset/synthetic.h"
+
+namespace eppi::core {
+namespace {
+
+TEST(AdvisorTest, EpsilonForConfidenceBound) {
+  EXPECT_DOUBLE_EQ(epsilon_for_confidence_bound(0.2), 0.8);
+  EXPECT_DOUBLE_EQ(epsilon_for_confidence_bound(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(epsilon_for_confidence_bound(0.0), 1.0);
+  EXPECT_THROW(epsilon_for_confidence_bound(1.2), eppi::ConfigError);
+}
+
+TEST(AdvisorTest, OverheadGrowsWithEpsilon) {
+  const BetaPolicy policy = BetaPolicy::chernoff(0.9);
+  double prev = -1.0;
+  for (const double eps : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const double overhead = expected_overhead(policy, 0.01, eps, 1000);
+    EXPECT_GT(overhead, prev);
+    prev = overhead;
+  }
+}
+
+TEST(AdvisorTest, OverheadCapsAtBroadcast) {
+  // A common identity is mixed to β = 1: overhead = every negative provider.
+  const double overhead =
+      expected_overhead(BetaPolicy::basic(), 0.6, 0.9, 100);
+  EXPECT_DOUBLE_EQ(overhead, 40.0);
+}
+
+TEST(AdvisorTest, ResultSizeIsTruePlusNoise) {
+  const BetaPolicy policy = BetaPolicy::basic();
+  const double size = expected_result_size(policy, 0.1, 0.5, 1000);
+  const double overhead = expected_overhead(policy, 0.1, 0.5, 1000);
+  EXPECT_DOUBLE_EQ(size, 100.0 + overhead);
+}
+
+TEST(AdvisorTest, OverheadPredictionMatchesSimulation) {
+  // The advisor's expectation should match the measured average list size.
+  constexpr std::size_t kM = 2000;
+  constexpr double kSigma = 0.02;
+  constexpr double kEps = 0.6;
+  const BetaPolicy policy = BetaPolicy::chernoff(0.9);
+  eppi::Rng rng(3);
+  eppi::BitMatrix truth(kM, 1);
+  for (std::size_t i = 0; i < kM * kSigma; ++i) truth.set(i, 0, true);
+  const std::vector<double> betas{
+      beta_clamped(policy, kSigma, kEps, kM)};
+  double total = 0.0;
+  constexpr int kRuns = 20;
+  for (int run = 0; run < kRuns; ++run) {
+    const auto published = publish_matrix(truth, betas, rng);
+    total += static_cast<double>(published.col_count(0)) -
+             static_cast<double>(kM) * kSigma;
+  }
+  const double measured = total / kRuns;
+  const double predicted = expected_overhead(policy, kSigma, kEps, kM);
+  EXPECT_NEAR(measured, predicted, predicted * 0.1);
+}
+
+TEST(AdvisorTest, PriceReflectsTariff) {
+  const Tariff tariff{10.0, 0.5};
+  const BetaPolicy policy = BetaPolicy::basic();
+  const double price = delegation_price(tariff, policy, 0.1, 0.5, 1000);
+  EXPECT_DOUBLE_EQ(price,
+                   10.0 + 0.5 * expected_overhead(policy, 0.1, 0.5, 1000));
+  // Footnote 3: more privacy costs more.
+  EXPECT_GT(delegation_price(tariff, policy, 0.1, 0.9, 1000), price);
+}
+
+TEST(AdvisorTest, NegativeTariffRejected) {
+  const Tariff bad{-1.0, 0.5};
+  EXPECT_THROW(delegation_price(bad, BetaPolicy::basic(), 0.1, 0.5, 100),
+               eppi::ConfigError);
+}
+
+}  // namespace
+}  // namespace eppi::core

@@ -1,0 +1,152 @@
+#include "core/constructor.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/mixing.h"
+#include "core/publisher.h"
+#include "dataset/synthetic.h"
+
+namespace eppi::core {
+namespace {
+
+TEST(CalculateBetasTest, DetectsCommonIdentities) {
+  // 10 providers; identity 0 at 9 of them (common for ε=0.5 under basic),
+  // identity 1 at 2 (non-common).
+  eppi::Rng rng(1);
+  const auto net = eppi::dataset::make_network_with_frequencies(
+      10, std::vector<std::uint64_t>{9, 2}, rng);
+  const std::vector<double> eps{0.5, 0.5};
+  ConstructionOptions options;
+  options.policy = BetaPolicy::basic();
+  // Mixing disabled so the decoy coin cannot push the rare identity to
+  // β = 1 (with one common out of two identities, λ would be 1).
+  options.enable_mixing = false;
+  const auto info = calculate_betas(net.membership, eps, options, rng);
+  EXPECT_TRUE(info.is_common[0]);
+  EXPECT_FALSE(info.is_common[1]);
+  EXPECT_EQ(info.betas[0], 1.0);
+  EXPECT_LT(info.betas[1], 1.0);
+  EXPECT_DOUBLE_EQ(info.xi, 0.5);
+}
+
+TEST(CalculateBetasTest, MixingDisabledKeepsRawBetas) {
+  eppi::Rng rng(2);
+  const auto net = eppi::dataset::make_network_with_frequencies(
+      20, std::vector<std::uint64_t>{19, 3, 3, 3}, rng);
+  const std::vector<double> eps(4, 0.9);
+  ConstructionOptions options;
+  options.policy = BetaPolicy::basic();
+  options.enable_mixing = false;
+  const auto info = calculate_betas(net.membership, eps, options, rng);
+  EXPECT_EQ(info.lambda, 0.0);
+  // Without mixing the apparent-common set equals the true common set.
+  EXPECT_EQ(info.is_apparent_common, info.is_common);
+}
+
+TEST(CalculateBetasTest, MixingCreatesDecoys) {
+  // Lots of non-common identities and one high-ε common identity: λ should
+  // mix in decoys so the common identity hides.
+  eppi::Rng rng(3);
+  std::vector<std::uint64_t> freqs(200, 2);
+  freqs[0] = 99;  // common
+  const auto net =
+      eppi::dataset::make_network_with_frequencies(100, freqs, rng);
+  std::vector<double> eps(200, 0.8);
+  ConstructionOptions options;
+  options.policy = BetaPolicy::basic();
+  const auto info = calculate_betas(net.membership, eps, options, rng);
+  ASSERT_TRUE(info.is_common[0]);
+  EXPECT_GT(info.lambda, 0.0);
+  std::size_t decoys = 0;
+  for (std::size_t j = 1; j < 200; ++j) {
+    if (info.is_apparent_common[j]) ++decoys;
+  }
+  EXPECT_GT(decoys, 0u);
+  // Every apparent-common identity must publish with β == 1.
+  for (std::size_t j = 0; j < 200; ++j) {
+    if (info.is_apparent_common[j]) {
+      EXPECT_EQ(info.betas[j], 1.0);
+    }
+  }
+}
+
+TEST(CalculateBetasTest, ValidatesInput) {
+  eppi::Rng rng(4);
+  const eppi::BitMatrix truth(5, 2);
+  const std::vector<double> wrong_count{0.5};
+  EXPECT_THROW(calculate_betas(truth, wrong_count, {}, rng),
+               eppi::ConfigError);
+  const std::vector<double> bad_eps{0.5, 1.5};
+  EXPECT_THROW(calculate_betas(truth, bad_eps, {}, rng), eppi::ConfigError);
+}
+
+TEST(ConstructCentralizedTest, IndexHasFullRecall) {
+  eppi::Rng rng(5);
+  eppi::dataset::SyntheticConfig config;
+  config.providers = 60;
+  config.identities = 40;
+  const auto net = eppi::dataset::make_zipf_network(config, rng);
+  const auto eps = eppi::dataset::random_epsilons(40, rng);
+  const auto result =
+      construct_centralized(net.membership, eps, {}, rng);
+  EXPECT_TRUE(full_recall(net.membership, result.index.matrix()));
+}
+
+TEST(ConstructCentralizedTest, ChernoffMeetsEpsilonBoundsForMost) {
+  eppi::Rng rng(6);
+  constexpr std::size_t kM = 600;
+  constexpr std::size_t kN = 80;
+  std::vector<std::uint64_t> freqs(kN);
+  for (auto& f : freqs) f = 1 + rng.next_below(30);
+  const auto net = eppi::dataset::make_network_with_frequencies(kM, freqs, rng);
+  const std::vector<double> eps(kN, 0.5);
+  ConstructionOptions options;
+  options.policy = BetaPolicy::chernoff(0.9);
+  const auto result = construct_centralized(net.membership, eps, options, rng);
+  const auto rates =
+      false_positive_rates(net.membership, result.index.matrix());
+  std::size_t met = 0;
+  for (std::size_t j = 0; j < kN; ++j) {
+    if (result.info.is_apparent_common[j] || rates[j] >= eps[j]) ++met;
+  }
+  EXPECT_GE(static_cast<double>(met) / kN, 0.85);
+}
+
+TEST(ConstructCentralizedTest, ApparentCommonColumnIsFull) {
+  // Identities published with β = 1 must appear at every provider.
+  eppi::Rng rng(7);
+  const auto net = eppi::dataset::make_network_with_frequencies(
+      30, std::vector<std::uint64_t>{29, 2}, rng);
+  const std::vector<double> eps{0.5, 0.5};
+  ConstructionOptions options;
+  options.policy = BetaPolicy::basic();
+  const auto result = construct_centralized(net.membership, eps, options, rng);
+  ASSERT_TRUE(result.info.is_apparent_common[0]);
+  EXPECT_EQ(result.index.matrix().col_count(0), 30u);
+}
+
+TEST(ConstructCentralizedTest, CommonFrequencyHiddenFromApparentView) {
+  // After mixing, an apparent-common identity's published column is all-1s
+  // regardless of its true frequency — the attacker cannot read σ off M'.
+  eppi::Rng rng(8);
+  std::vector<std::uint64_t> freqs(50, 3);
+  freqs[0] = 48;
+  const auto net =
+      eppi::dataset::make_network_with_frequencies(50, freqs, rng);
+  std::vector<double> eps(50, 0.7);
+  ConstructionOptions options;
+  options.policy = BetaPolicy::basic();
+  const auto result = construct_centralized(net.membership, eps, options, rng);
+  std::size_t full_columns = 0;
+  for (std::size_t j = 0; j < 50; ++j) {
+    if (result.info.is_apparent_common[j]) {
+      EXPECT_EQ(result.index.matrix().col_count(j), 50u);
+      ++full_columns;
+    }
+  }
+  EXPECT_GE(full_columns, 1u);
+}
+
+}  // namespace
+}  // namespace eppi::core

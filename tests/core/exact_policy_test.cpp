@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "core/advisor.h"
+#include "core/beta_policy.h"
+#include "core/guarantee.h"
+
+namespace eppi::core {
+namespace {
+
+TEST(ExactPolicyTest, MeetsGammaAnalytically) {
+  for (const double gamma : {0.8, 0.9, 0.95}) {
+    const BetaPolicy policy = BetaPolicy::exact(gamma);
+    for (const std::size_t m : {500u, 2000u, 10000u}) {
+      for (const double sigma : {0.01, 0.05, 0.1}) {
+        for (const double eps : {0.3, 0.5, 0.8}) {
+          if (beta_raw(policy, sigma, eps, m) >= 1.0) continue;
+          const auto f = static_cast<std::uint64_t>(sigma * m);
+          const double p = policy_success_probability(policy, m, f, eps);
+          EXPECT_GE(p, gamma - 1e-6)
+              << "gamma=" << gamma << " m=" << m << " sigma=" << sigma;
+        }
+      }
+    }
+  }
+}
+
+TEST(ExactPolicyTest, NeverExceedsChernoff) {
+  // The Chernoff bound is conservative; the exact policy returns its slack.
+  for (const double gamma : {0.8, 0.9, 0.95}) {
+    for (const std::size_t m : {500u, 2000u, 10000u}) {
+      for (const double sigma : {0.01, 0.05, 0.1}) {
+        for (const double eps : {0.3, 0.5, 0.8}) {
+          const double bc = beta_chernoff(sigma, eps, gamma, m);
+          const double be = beta_exact(sigma, eps, gamma, m);
+          if (bc >= 1.0 || be >= 1.0) continue;
+          EXPECT_LE(be, bc + 1e-9)
+              << "gamma=" << gamma << " m=" << m << " sigma=" << sigma
+              << " eps=" << eps;
+        }
+      }
+    }
+  }
+}
+
+TEST(ExactPolicyTest, StrictlyCheaperInOverhead) {
+  // The saved noise is material: at least a few percent fewer expected
+  // noise contacts in a representative configuration.
+  const std::size_t m = 10000;
+  const double sigma = 0.01;
+  const double eps = 0.5;
+  const double chernoff_cost =
+      expected_overhead(BetaPolicy::chernoff(0.9), sigma, eps, m);
+  const double exact_cost =
+      expected_overhead(BetaPolicy::exact(0.9), sigma, eps, m);
+  EXPECT_LT(exact_cost, chernoff_cost * 0.97);
+  // But never below the expectation floor (basic policy).
+  EXPECT_GE(exact_cost,
+            expected_overhead(BetaPolicy::basic(), sigma, eps, m) * 0.999);
+}
+
+TEST(ExactPolicyTest, EdgeCases) {
+  EXPECT_EQ(beta_exact(0.0, 0.5, 0.9, 100), 0.0);
+  EXPECT_EQ(beta_exact(0.5, 0.0, 0.9, 100), 0.0);
+  EXPECT_TRUE(std::isinf(beta_exact(1.0, 0.5, 0.9, 100)));
+  EXPECT_THROW(beta_exact(0.1, 0.5, 0.4, 100), eppi::ConfigError);
+  // Saturation: requirement unreachable even by broadcast.
+  EXPECT_GE(beta_exact(0.9, 0.9, 0.9, 100), 1.0);
+}
+
+TEST(ExactPolicyTest, ThresholdSearchStillWorks) {
+  // common_threshold relies on monotonicity of beta_raw in sigma.
+  const BetaPolicy policy = BetaPolicy::exact(0.9);
+  const std::size_t m = 200;
+  const auto t = common_threshold(policy, 0.6, m);
+  EXPECT_GT(t, 0u);
+  EXPECT_LE(t, m);
+  // Below the threshold the policy is not saturated; at it, it is.
+  if (t > 0 && t <= m) {
+    const double below = beta_raw(
+        policy, static_cast<double>(t - 1) / m, 0.6, m);
+    const double at = beta_raw(policy, static_cast<double>(t) / m, 0.6, m);
+    EXPECT_LT(below, 1.0);
+    EXPECT_GE(at, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace eppi::core

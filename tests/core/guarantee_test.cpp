@@ -1,0 +1,110 @@
+#include "core/guarantee.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace eppi::core {
+namespace {
+
+TEST(BinomialTailTest, SmallExactValues) {
+  // X ~ Binomial(3, 0.5): P[X>=2] = (3 + 1)/8 = 0.5.
+  EXPECT_NEAR(binomial_tail_at_least(3, 0.5, 2), 0.5, 1e-12);
+  // P[X>=0] = 1, P[X>=4] = 0.
+  EXPECT_EQ(binomial_tail_at_least(3, 0.5, 0), 1.0);
+  EXPECT_EQ(binomial_tail_at_least(3, 0.5, 4), 0.0);
+  // P[X>=3] = 1/8.
+  EXPECT_NEAR(binomial_tail_at_least(3, 0.5, 3), 0.125, 1e-12);
+}
+
+TEST(BinomialTailTest, EdgeProbabilities) {
+  EXPECT_EQ(binomial_tail_at_least(10, 0.0, 1), 0.0);
+  EXPECT_EQ(binomial_tail_at_least(10, 1.0, 10), 1.0);
+  EXPECT_THROW(binomial_tail_at_least(10, 1.5, 1), eppi::ConfigError);
+}
+
+TEST(BinomialTailTest, MatchesSimulationAtScale) {
+  constexpr std::uint64_t kTrials = 5000;
+  constexpr double kP = 0.03;
+  constexpr std::uint64_t kThreshold = 160;
+  const double exact = binomial_tail_at_least(kTrials, kP, kThreshold);
+  eppi::Rng rng(1);
+  int hits = 0;
+  constexpr int kRuns = 4000;
+  for (int r = 0; r < kRuns; ++r) {
+    std::uint64_t x = 0;
+    for (std::uint64_t t = 0; t < kTrials; ++t) x += rng.bernoulli(kP);
+    if (x >= kThreshold) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kRuns, exact, 0.03);
+}
+
+TEST(GuaranteeTest, BasicPolicyIsAboutHalf) {
+  // The analytic counterpart of the simulation test in beta_policy_test.
+  const double p =
+      policy_success_probability(BetaPolicy::basic(), 2000, 100, 0.5);
+  EXPECT_NEAR(p, 0.5, 0.06);
+}
+
+TEST(GuaranteeTest, ChernoffMeetsGammaAnalytically) {
+  // Theorem 3.1 verified in closed form across a grid: the exact success
+  // probability is at least gamma wherever beta has not saturated.
+  for (const double gamma : {0.8, 0.9, 0.95}) {
+    const BetaPolicy policy = BetaPolicy::chernoff(gamma);
+    for (const std::size_t m : {500u, 2000u, 10000u}) {
+      for (const double sigma : {0.01, 0.05, 0.1}) {
+        for (const double eps : {0.3, 0.5, 0.8}) {
+          const auto f = static_cast<std::uint64_t>(sigma * m);
+          if (beta_raw(policy, sigma, eps, m) >= 1.0) continue;
+          const double p = policy_success_probability(policy, m, f, eps);
+          EXPECT_GE(p, gamma - 1e-9)
+              << "gamma=" << gamma << " m=" << m << " sigma=" << sigma
+              << " eps=" << eps;
+        }
+      }
+    }
+  }
+}
+
+TEST(GuaranteeTest, ChernoffBoundIsNotWildlyLoose) {
+  // The exact probability should exceed gamma but not be pinned at 1 for
+  // every configuration (the bound has bite).
+  const BetaPolicy policy = BetaPolicy::chernoff(0.9);
+  const double p = policy_success_probability(policy, 10000, 500, 0.5);
+  EXPECT_GE(p, 0.9);
+  EXPECT_LE(p, 0.99999);
+}
+
+TEST(GuaranteeTest, DegenerateCases) {
+  // eps = 0: always satisfied.
+  EXPECT_EQ(publication_success_probability(100, 10, 0.0, 0.0), 1.0);
+  // frequency == m: no negatives, cannot meet eps > 0.
+  EXPECT_EQ(publication_success_probability(100, 100, 0.5, 1.0), 0.0);
+  // frequency == 0 with beta > 0: success iff at least one noise bit.
+  const double p = publication_success_probability(100, 0, 0.5, 0.02);
+  EXPECT_NEAR(p, 1.0 - std::pow(0.98, 100), 1e-9);
+}
+
+TEST(GuaranteeTest, MonotoneInBeta) {
+  double prev = -1.0;
+  for (const double beta : {0.05, 0.1, 0.2, 0.4, 0.8}) {
+    const double p = publication_success_probability(2000, 50, 0.5, beta);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(GuaranteeTest, Validates) {
+  EXPECT_THROW(publication_success_probability(0, 0, 0.5, 0.5),
+               eppi::ConfigError);
+  EXPECT_THROW(publication_success_probability(10, 11, 0.5, 0.5),
+               eppi::ConfigError);
+  EXPECT_THROW(publication_success_probability(10, 5, 1.5, 0.5),
+               eppi::ConfigError);
+}
+
+}  // namespace
+}  // namespace eppi::core

@@ -1,0 +1,84 @@
+#include "core/index_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "dataset/synthetic.h"
+
+namespace eppi::core {
+namespace {
+
+PpiIndex sample_index(std::size_t m, std::size_t n, std::uint64_t seed) {
+  eppi::Rng rng(seed);
+  eppi::BitMatrix matrix(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (rng.bernoulli(0.3)) matrix.set(i, j, true);
+    }
+  }
+  return PpiIndex(std::move(matrix));
+}
+
+TEST(IndexIoTest, RoundTripPreservesMatrix) {
+  const PpiIndex original = sample_index(17, 130, 1);  // cols span 3 words
+  std::stringstream ss;
+  save_index(ss, original);
+  const PpiIndex loaded = load_index(ss);
+  EXPECT_EQ(loaded.matrix(), original.matrix());
+}
+
+TEST(IndexIoTest, RoundTripEmptyIndex) {
+  const PpiIndex original{eppi::BitMatrix(3, 4)};
+  std::stringstream ss;
+  save_index(ss, original);
+  const PpiIndex loaded = load_index(ss);
+  EXPECT_EQ(loaded.providers(), 3u);
+  EXPECT_EQ(loaded.identities(), 4u);
+  EXPECT_EQ(loaded.matrix().popcount(), 0u);
+}
+
+TEST(IndexIoTest, QueriesSurviveRoundTrip) {
+  const PpiIndex original = sample_index(20, 10, 2);
+  std::stringstream ss;
+  save_index(ss, original);
+  const PpiIndex loaded = load_index(ss);
+  for (IdentityId j = 0; j < 10; ++j) {
+    EXPECT_EQ(loaded.query(j), original.query(j));
+  }
+}
+
+TEST(IndexIoTest, BadMagicRejected) {
+  std::stringstream ss("not-an-index-file-at-all");
+  EXPECT_THROW(load_index(ss), eppi::SerializeError);
+}
+
+TEST(IndexIoTest, TruncatedFileRejected) {
+  const PpiIndex original = sample_index(8, 8, 3);
+  std::stringstream ss;
+  save_index(ss, original);
+  const std::string full = ss.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(load_index(truncated), eppi::SerializeError);
+}
+
+TEST(IndexIoTest, ImplausibleDimensionsRejected) {
+  std::stringstream ss;
+  ss.write("eppiidx1", 8);
+  // rows = 2^40, cols = 1: must be rejected before allocation.
+  const std::uint64_t rows = std::uint64_t{1} << 40;
+  const std::uint64_t cols = 1;
+  for (int i = 0; i < 8; ++i) ss.put(static_cast<char>(rows >> (8 * i)));
+  for (int i = 0; i < 8; ++i) ss.put(static_cast<char>(cols >> (8 * i)));
+  EXPECT_THROW(load_index(ss), eppi::SerializeError);
+}
+
+TEST(IndexIoTest, EmptyStreamRejected) {
+  std::stringstream ss;
+  EXPECT_THROW(load_index(ss), eppi::SerializeError);
+}
+
+}  // namespace
+}  // namespace eppi::core

@@ -1,0 +1,138 @@
+#include "core/locator_service.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace eppi::core {
+namespace {
+
+LocatorService::Options fast_options(bool distributed = false) {
+  LocatorService::Options options;
+  options.distributed = distributed;
+  options.policy = BetaPolicy::chernoff(0.9);
+  options.seed = 7;
+  return options;
+}
+
+void populate_hie(LocatorService& service) {
+  service.delegate("alice", 0.4, "general");
+  service.delegate("alice", 0.4, "mercy");
+  service.delegate("bob", 0.3, "general");
+  service.delegate("carol", 0.9, "general");
+  service.delegate("carol", 0.9, "mercy");
+  service.delegate("carol", 0.9, "lakeside");
+  service.delegate("carol", 0.9, "county");
+  service.delegate("dave", 0.5, "county");
+}
+
+TEST(LocatorServiceTest, RegistrationIsIdempotent) {
+  LocatorService service{fast_options()};
+  const auto p1 = service.register_provider("general");
+  const auto p2 = service.register_provider("general");
+  EXPECT_EQ(p1, p2);
+  EXPECT_EQ(service.n_providers(), 1u);
+  const auto t1 = service.register_owner("alice");
+  const auto t2 = service.register_owner("alice");
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(service.provider_name(p1), "general");
+  EXPECT_EQ(service.owner_name(t1), "alice");
+}
+
+TEST(LocatorServiceTest, DelegateValidatesEpsilon) {
+  LocatorService service{fast_options()};
+  EXPECT_THROW(service.delegate("a", 1.5, "p"), eppi::ConfigError);
+  EXPECT_THROW(service.delegate("a", -0.1, "p"), eppi::ConfigError);
+}
+
+TEST(LocatorServiceTest, QueryBeforeConstructionThrows) {
+  LocatorService service{fast_options()};
+  service.delegate("alice", 0.5, "general");
+  EXPECT_THROW(service.query_ppi("alice"), eppi::ConfigError);
+  EXPECT_THROW(service.index(), eppi::ConfigError);
+}
+
+TEST(LocatorServiceTest, ConstructionRequiresDelegations) {
+  LocatorService service{fast_options()};
+  EXPECT_THROW(service.construct_ppi(), eppi::ConfigError);
+}
+
+TEST(LocatorServiceTest, QueryIncludesEveryTrueProvider) {
+  LocatorService service{fast_options()};
+  populate_hie(service);
+  service.construct_ppi();
+  const auto result = service.query_ppi("alice");
+  EXPECT_NE(std::find(result.begin(), result.end(), "general"), result.end());
+  EXPECT_NE(std::find(result.begin(), result.end(), "mercy"), result.end());
+}
+
+TEST(LocatorServiceTest, SearchSeparatesMatchesFromNoise) {
+  LocatorService service{fast_options()};
+  populate_hie(service);
+  service.construct_ppi();
+  const auto result = service.search("dr-jones", "bob");
+  ASSERT_EQ(result.matched, (std::vector<std::string>{"general"}));
+  EXPECT_GE(result.contacted.size(), result.matched.size());
+  EXPECT_TRUE(result.denied.empty());
+}
+
+TEST(LocatorServiceTest, AuthorizerGatesAccess) {
+  LocatorService service{fast_options()};
+  populate_hie(service);
+  service.construct_ppi();
+  const auto result = service.search(
+      "intruder", "alice",
+      [](const std::string&, const std::string& provider) {
+        return provider == "mercy";  // only mercy trusts this searcher
+      });
+  EXPECT_EQ(result.matched, (std::vector<std::string>{"mercy"}));
+  EXPECT_FALSE(result.denied.empty());
+}
+
+TEST(LocatorServiceTest, UnknownOwnerQueryThrows) {
+  LocatorService service{fast_options()};
+  populate_hie(service);
+  service.construct_ppi();
+  EXPECT_THROW(service.query_ppi("mallory"), eppi::ConfigError);
+  EXPECT_THROW(service.search("s", "mallory"), eppi::ConfigError);
+}
+
+TEST(LocatorServiceTest, DelegationInvalidatesIndex) {
+  LocatorService service{fast_options()};
+  populate_hie(service);
+  service.construct_ppi();
+  EXPECT_TRUE(service.constructed());
+  service.delegate("erin", 0.5, "general");
+  EXPECT_FALSE(service.constructed());
+  service.construct_ppi();
+  EXPECT_FALSE(service.query_ppi("erin").empty());
+}
+
+TEST(LocatorServiceTest, DistributedModeProducesReport) {
+  LocatorService service{fast_options(/*distributed=*/true)};
+  populate_hie(service);
+  service.construct_ppi();
+  ASSERT_TRUE(service.last_report().has_value());
+  EXPECT_GT(service.last_report()->total_cost.messages, 0u);
+  // Searches still find everything through the securely built index.
+  const auto result = service.search("er-doc", "carol");
+  EXPECT_EQ(result.matched.size(), 4u);
+}
+
+TEST(LocatorServiceTest, CentralizedModeHasNoReport) {
+  LocatorService service{fast_options(/*distributed=*/false)};
+  populate_hie(service);
+  service.construct_ppi();
+  EXPECT_FALSE(service.last_report().has_value());
+}
+
+TEST(LocatorServiceTest, DistributedNeedsEnoughProviders) {
+  LocatorService service{fast_options(/*distributed=*/true)};
+  service.delegate("alice", 0.5, "general");  // 1 provider < c = 3
+  EXPECT_THROW(service.construct_ppi(), eppi::ConfigError);
+}
+
+}  // namespace
+}  // namespace eppi::core

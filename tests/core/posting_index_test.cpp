@@ -1,0 +1,75 @@
+#include "core/posting_index.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "dataset/synthetic.h"
+
+namespace eppi::core {
+namespace {
+
+PpiIndex sample_index(std::size_t m, std::size_t n, std::uint64_t seed,
+                      double density = 0.25) {
+  eppi::Rng rng(seed);
+  eppi::BitMatrix matrix(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (rng.bernoulli(density)) matrix.set(i, j, true);
+    }
+  }
+  return PpiIndex(std::move(matrix));
+}
+
+TEST(PostingIndexTest, AnswersMatchMatrixIndex) {
+  const PpiIndex matrix_index = sample_index(40, 130, 1);  // 3 words/row
+  const PostingIndex postings(matrix_index);
+  EXPECT_EQ(postings.providers(), 40u);
+  EXPECT_EQ(postings.identities(), 130u);
+  for (IdentityId j = 0; j < 130; ++j) {
+    EXPECT_EQ(postings.query(j), matrix_index.query(j)) << "identity " << j;
+    EXPECT_EQ(postings.apparent_frequency(j),
+              matrix_index.apparent_frequency(j));
+  }
+}
+
+TEST(PostingIndexTest, PostingsAreSorted) {
+  const PpiIndex matrix_index = sample_index(60, 20, 2);
+  const PostingIndex postings(matrix_index);
+  for (IdentityId j = 0; j < 20; ++j) {
+    const auto& list = postings.query(j);
+    for (std::size_t k = 1; k < list.size(); ++k) {
+      EXPECT_LT(list[k - 1], list[k]);
+    }
+  }
+}
+
+TEST(PostingIndexTest, RoundTripsToMatrixForm) {
+  const PpiIndex original = sample_index(25, 70, 3);
+  const PostingIndex postings(original);
+  const PpiIndex back = postings.to_matrix_index();
+  EXPECT_EQ(back.matrix(), original.matrix());
+}
+
+TEST(PostingIndexTest, EmptyIndex) {
+  const PpiIndex empty{eppi::BitMatrix(5, 4)};
+  const PostingIndex postings(empty);
+  for (IdentityId j = 0; j < 4; ++j) {
+    EXPECT_TRUE(postings.query(j).empty());
+  }
+  EXPECT_EQ(postings.posting_bytes(), 0u);
+}
+
+TEST(PostingIndexTest, UnknownIdentityThrows) {
+  const PostingIndex postings(sample_index(5, 4, 4));
+  EXPECT_THROW(postings.query(4), eppi::ConfigError);
+}
+
+TEST(PostingIndexTest, PostingBytesReflectDensity) {
+  const PostingIndex sparse(sample_index(100, 50, 5, 0.05));
+  const PostingIndex dense(sample_index(100, 50, 5, 0.8));
+  EXPECT_LT(sparse.posting_bytes(), dense.posting_bytes());
+}
+
+}  // namespace
+}  // namespace eppi::core

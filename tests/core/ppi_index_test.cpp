@@ -1,0 +1,88 @@
+#include "core/ppi_index.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/auth_search.h"
+
+namespace eppi::core {
+namespace {
+
+eppi::BitMatrix sample_matrix() {
+  // 4 providers x 3 identities.
+  eppi::BitMatrix m(4, 3);
+  m.set(0, 0, true);
+  m.set(2, 0, true);
+  m.set(1, 1, true);
+  return m;
+}
+
+TEST(PpiIndexTest, QueryReturnsClaimingProviders) {
+  const PpiIndex index(sample_matrix());
+  EXPECT_EQ(index.query(0), (std::vector<ProviderId>{0, 2}));
+  EXPECT_EQ(index.query(1), (std::vector<ProviderId>{1}));
+  EXPECT_TRUE(index.query(2).empty());
+}
+
+TEST(PpiIndexTest, ApparentFrequency) {
+  const PpiIndex index(sample_matrix());
+  EXPECT_EQ(index.apparent_frequency(0), 2u);
+  EXPECT_EQ(index.apparent_frequency(2), 0u);
+}
+
+TEST(PpiIndexTest, UnknownIdentityThrows) {
+  const PpiIndex index(sample_matrix());
+  EXPECT_THROW(index.query(3), eppi::ConfigError);
+  EXPECT_THROW(index.apparent_frequency(3), eppi::ConfigError);
+}
+
+TEST(PpiIndexTest, Dimensions) {
+  const PpiIndex index(sample_matrix());
+  EXPECT_EQ(index.providers(), 4u);
+  EXPECT_EQ(index.identities(), 3u);
+}
+
+TEST(TwoPhaseSearchTest, FindsTrueProvidersThroughNoise) {
+  // Truth: identity 0 at providers {0, 2}; published adds noise at 1, 3.
+  const eppi::BitMatrix truth = sample_matrix();
+  eppi::BitMatrix published = truth;
+  published.set(1, 0, true);
+  published.set(3, 0, true);
+  const PpiIndex index(std::move(published));
+  const SearchOutcome outcome = two_phase_search(index, truth, 0);
+  EXPECT_EQ(outcome.contacted.size(), 4u);
+  EXPECT_EQ(outcome.matched, (std::vector<ProviderId>{0, 2}));
+  EXPECT_EQ(outcome.wasted_contacts(), 2u);
+}
+
+TEST(TwoPhaseSearchTest, AuthorizationGatesAccess) {
+  const eppi::BitMatrix truth = sample_matrix();
+  const PpiIndex index(sample_matrix());
+  // Searcher 7 is only authorized at provider 2.
+  const SearchOutcome outcome = two_phase_search(
+      index, truth, 0, 7,
+      [](std::uint32_t searcher, ProviderId p) {
+        return searcher == 7 && p == 2;
+      });
+  EXPECT_EQ(outcome.contacted.size(), 2u);
+  EXPECT_EQ(outcome.authorized, (std::vector<ProviderId>{2}));
+  EXPECT_EQ(outcome.matched, (std::vector<ProviderId>{2}));
+}
+
+TEST(TwoPhaseSearchTest, ShapeMismatchThrows) {
+  const PpiIndex index(sample_matrix());
+  const eppi::BitMatrix wrong(2, 3);
+  EXPECT_THROW(two_phase_search(index, wrong, 0), eppi::ConfigError);
+}
+
+TEST(TwoPhaseSearchTest, EmptyResultList) {
+  const eppi::BitMatrix truth = sample_matrix();
+  const PpiIndex index(sample_matrix());
+  const SearchOutcome outcome = two_phase_search(index, truth, 2);
+  EXPECT_TRUE(outcome.contacted.empty());
+  EXPECT_TRUE(outcome.matched.empty());
+  EXPECT_EQ(outcome.wasted_contacts(), 0u);
+}
+
+}  // namespace
+}  // namespace eppi::core

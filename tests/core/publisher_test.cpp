@@ -1,0 +1,127 @@
+#include "core/publisher.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/stats.h"
+#include "core/beta_policy.h"
+
+namespace eppi::core {
+namespace {
+
+eppi::BitMatrix random_truth(std::size_t m, std::size_t n, double density,
+                             eppi::Rng& rng) {
+  eppi::BitMatrix truth(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (rng.bernoulli(density)) truth.set(i, j, true);
+    }
+  }
+  return truth;
+}
+
+TEST(PublishRowTest, TruthfulBitsAlwaysPublished) {
+  eppi::Rng rng(1);
+  const std::vector<std::uint8_t> local{1, 0, 1, 0};
+  const std::vector<double> betas{0.0, 0.0, 1.0, 0.0};
+  const auto row = publish_row(local, betas, rng);
+  EXPECT_EQ(row[0], 1);  // 1 -> 1 even with β = 0
+  EXPECT_EQ(row[1], 0);  // 0 with β = 0 stays 0
+  EXPECT_EQ(row[2], 1);
+  EXPECT_EQ(row[3], 0);
+}
+
+TEST(PublishRowTest, BetaOneFlipsAllNegatives) {
+  eppi::Rng rng(2);
+  const std::vector<std::uint8_t> local{0, 0, 0};
+  const std::vector<double> betas{1.0, 1.0, 1.0};
+  const auto row = publish_row(local, betas, rng);
+  for (const auto bit : row) EXPECT_EQ(bit, 1);
+}
+
+TEST(PublishRowTest, ValidatesInput) {
+  eppi::Rng rng(3);
+  const std::vector<std::uint8_t> local{2};
+  const std::vector<double> betas{0.5};
+  EXPECT_THROW(publish_row(local, betas, rng), eppi::ConfigError);
+  const std::vector<std::uint8_t> ok{1};
+  const std::vector<double> wrong_size{0.5, 0.5};
+  EXPECT_THROW(publish_row(ok, wrong_size, rng), eppi::ConfigError);
+}
+
+TEST(PublishMatrixTest, FullRecallAlwaysHolds) {
+  eppi::Rng rng(4);
+  const auto truth = random_truth(50, 30, 0.2, rng);
+  for (const double beta : {0.0, 0.3, 0.9}) {
+    const std::vector<double> betas(30, beta);
+    const auto published = publish_matrix(truth, betas, rng);
+    EXPECT_TRUE(full_recall(truth, published)) << "beta=" << beta;
+  }
+}
+
+TEST(PublishMatrixTest, BetaZeroPublishesTruthExactly) {
+  eppi::Rng rng(5);
+  const auto truth = random_truth(20, 10, 0.3, rng);
+  const std::vector<double> betas(10, 0.0);
+  const auto published = publish_matrix(truth, betas, rng);
+  EXPECT_EQ(published, truth);
+}
+
+TEST(PublishMatrixTest, FalsePositiveCountMatchesBeta) {
+  eppi::Rng rng(6);
+  constexpr std::size_t kM = 4000;
+  eppi::BitMatrix truth(kM, 1);  // identity held by nobody
+  const std::vector<double> betas{0.25};
+  const auto published = publish_matrix(truth, betas, rng);
+  const double rate =
+      static_cast<double>(published.col_count(0)) / static_cast<double>(kM);
+  EXPECT_NEAR(rate, 0.25, 0.03);
+}
+
+TEST(FalsePositiveRatesTest, ComputesPerIdentityRates) {
+  eppi::BitMatrix truth(4, 2);
+  truth.set(0, 0, true);
+  eppi::BitMatrix published(4, 2);
+  published.set(0, 0, true);
+  published.set(1, 0, true);  // false positive
+  published.set(2, 0, true);  // false positive
+  // Identity 0: 2 fp of 3 claims -> 2/3. Identity 1: nothing published -> 0.
+  const auto rates = false_positive_rates(truth, published);
+  EXPECT_NEAR(rates[0], 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(rates[1], 0.0);
+}
+
+TEST(FalsePositiveRatesTest, PerfectIndexHasZeroRates) {
+  eppi::Rng rng(7);
+  const auto truth = random_truth(10, 5, 0.4, rng);
+  const auto rates = false_positive_rates(truth, truth);
+  for (const double r : rates) EXPECT_EQ(r, 0.0);
+}
+
+TEST(FullRecallTest, DetectsDroppedPositive) {
+  eppi::BitMatrix truth(2, 2);
+  truth.set(0, 0, true);
+  eppi::BitMatrix published(2, 2);  // missing the positive
+  EXPECT_FALSE(full_recall(truth, published));
+}
+
+TEST(PublishMatrixTest, AchievedRateTracksEqThreeTarget) {
+  // End-to-end check of Eq. 3: with β = β_b the expected false-positive
+  // rate equals ε.
+  eppi::Rng rng(8);
+  constexpr std::size_t kM = 5000;
+  constexpr double kSigma = 0.1;
+  constexpr double kEps = 0.5;
+  eppi::BitMatrix truth(kM, 1);
+  for (std::size_t i = 0; i < kM * kSigma; ++i) truth.set(i, 0, true);
+  const std::vector<double> betas{beta_basic(kSigma, kEps)};
+  eppi::RunningStat achieved;
+  for (int run = 0; run < 20; ++run) {
+    const auto published = publish_matrix(truth, betas, rng);
+    achieved.add(false_positive_rates(truth, published)[0]);
+  }
+  EXPECT_NEAR(achieved.mean(), kEps, 0.03);
+}
+
+}  // namespace
+}  // namespace eppi::core

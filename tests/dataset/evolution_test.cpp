@@ -1,0 +1,72 @@
+#include "dataset/evolution.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "dataset/synthetic.h"
+
+namespace eppi::dataset {
+namespace {
+
+TEST(EvolutionTest, StepsAddDelegations) {
+  eppi::Rng rng(1);
+  auto net = make_network_with_frequencies(
+      20, std::vector<std::uint64_t>(10, 2), rng);
+  const std::size_t before = net.membership.popcount();
+  EvolutionConfig config;
+  config.new_delegations_per_step = 4.0;
+  config.purge_probability = 0.0;
+  NetworkEvolution evolution(net.membership, config, eppi::Rng(2));
+  std::size_t reported = 0;
+  for (int s = 0; s < 10; ++s) reported += evolution.step().added.size();
+  EXPECT_EQ(net.membership.popcount(), before + reported);
+  EXPECT_GE(reported, 30u);  // ~4 per step
+  EXPECT_EQ(evolution.steps_applied(), 10u);
+}
+
+TEST(EvolutionTest, ReportedChangesMatchMatrix) {
+  eppi::Rng rng(3);
+  auto net = make_network_with_frequencies(
+      15, std::vector<std::uint64_t>(8, 5), rng);
+  eppi::BitMatrix snapshot = net.membership;
+  EvolutionConfig config;
+  config.new_delegations_per_step = 2.0;
+  config.purge_probability = 0.5;
+  NetworkEvolution evolution(net.membership, config, eppi::Rng(4));
+  const auto step = evolution.step();
+  for (const auto& [i, j] : step.added) {
+    EXPECT_FALSE(snapshot.get(i, j));
+    EXPECT_TRUE(net.membership.get(i, j));
+    snapshot.set(i, j, true);
+  }
+  for (const auto& [i, j] : step.removed) {
+    EXPECT_TRUE(snapshot.get(i, j));
+    EXPECT_FALSE(net.membership.get(i, j));
+    snapshot.set(i, j, false);
+  }
+  EXPECT_EQ(snapshot, net.membership);  // nothing else moved
+}
+
+TEST(EvolutionTest, DeterministicUnderSeed) {
+  eppi::Rng rng(5);
+  auto net_a = make_network_with_frequencies(
+      10, std::vector<std::uint64_t>(5, 1), rng);
+  auto net_b = net_a;
+  EvolutionConfig config;
+  NetworkEvolution ea(net_a.membership, config, eppi::Rng(7));
+  NetworkEvolution eb(net_b.membership, config, eppi::Rng(7));
+  for (int s = 0; s < 5; ++s) {
+    (void)ea.step();
+    (void)eb.step();
+  }
+  EXPECT_EQ(net_a.membership, net_b.membership);
+}
+
+TEST(EvolutionTest, EmptyNetworkRejected) {
+  eppi::BitMatrix empty;
+  NetworkEvolution evolution(empty, {}, eppi::Rng(1));
+  EXPECT_THROW(evolution.step(), eppi::ConfigError);
+}
+
+}  // namespace
+}  // namespace eppi::dataset

@@ -1,0 +1,97 @@
+#include "dataset/hie_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/constructor.h"
+#include "core/publisher.h"
+
+namespace eppi::dataset {
+namespace {
+
+TEST(HieModelTest, ShapesAndVisitCounts) {
+  eppi::Rng rng(1);
+  HieModelConfig config;
+  config.providers = 50;
+  config.patients = 200;
+  config.mean_visits = 3.0;
+  const auto world = make_hie_world(config, rng);
+  EXPECT_EQ(world.network.providers(), 50u);
+  EXPECT_EQ(world.network.identities(), 200u);
+  // Every patient visits at least one provider.
+  double total_visits = 0.0;
+  for (std::size_t j = 0; j < 200; ++j) {
+    const auto f = world.network.membership.col_count(j);
+    EXPECT_GE(f, 1u);
+    total_visits += static_cast<double>(f);
+  }
+  // Mean visit count in the ballpark of the configured mean.
+  EXPECT_NEAR(total_visits / 200.0, 3.0, 1.2);
+}
+
+TEST(HieModelTest, LocalityControlsClustering) {
+  eppi::Rng rng_a(2);
+  eppi::Rng rng_b(2);
+  HieModelConfig clustered;
+  clustered.providers = 60;
+  clustered.patients = 300;
+  clustered.locality = 0.05;
+  clustered.traveler_fraction = 0.0;
+  HieModelConfig spread = clustered;
+  spread.locality = 10.0;  // effectively uniform
+  const auto tight = make_hie_world(clustered, rng_a);
+  const auto loose = make_hie_world(spread, rng_b);
+  EXPECT_LT(tight.mean_visit_spread(), loose.mean_visit_spread() * 0.7);
+}
+
+TEST(HieModelTest, TravelersAreCommonIdentities) {
+  eppi::Rng rng(3);
+  HieModelConfig config;
+  config.providers = 40;
+  config.patients = 100;
+  config.traveler_fraction = 0.1;
+  config.traveler_visit_fraction = 0.9;
+  const auto world = make_hie_world(config, rng);
+  for (std::size_t j = 0; j < 100; ++j) {
+    if (world.traveler[j]) {
+      EXPECT_GE(world.network.membership.col_count(j), 36u);
+    }
+  }
+}
+
+TEST(HieModelTest, EpsilonPpiGuaranteesHoldUnderClustering) {
+  // β policies are frequency-based, so correlated placement must not break
+  // the per-owner bound.
+  eppi::Rng rng(4);
+  HieModelConfig config;
+  config.providers = 300;
+  config.patients = 150;
+  config.locality = 0.05;  // strongly clustered
+  config.mean_visits = 4.0;
+  const auto world = make_hie_world(config, rng);
+  const std::vector<double> epsilons(150, 0.6);
+  eppi::core::ConstructionOptions options;
+  options.policy = eppi::core::BetaPolicy::chernoff(0.9);
+  const auto result = eppi::core::construct_centralized(
+      world.network.membership, epsilons, options, rng);
+  const auto rates = eppi::core::false_positive_rates(
+      world.network.membership, result.index.matrix());
+  std::size_t met = 0;
+  for (std::size_t j = 0; j < 150; ++j) {
+    if (result.info.is_apparent_common[j] || rates[j] >= 0.6) ++met;
+  }
+  EXPECT_GE(static_cast<double>(met) / 150.0, 0.85);
+}
+
+TEST(HieModelTest, Validates) {
+  eppi::Rng rng(5);
+  HieModelConfig bad;
+  bad.providers = 1;
+  EXPECT_THROW(make_hie_world(bad, rng), eppi::ConfigError);
+  bad = HieModelConfig{};
+  bad.locality = 0.0;
+  EXPECT_THROW(make_hie_world(bad, rng), eppi::ConfigError);
+}
+
+}  // namespace
+}  // namespace eppi::dataset

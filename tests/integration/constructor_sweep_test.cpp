@@ -1,0 +1,145 @@
+// Parameterized sweep of the distributed constructor across network sizes,
+// coordinator counts and policies: the structural invariants must hold for
+// every combination.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/error.h"
+#include "core/beta_policy.h"
+#include "baseline/grouping_ppi.h"
+#include "core/constructor.h"
+#include "core/distributed_constructor.h"
+#include "core/publisher.h"
+#include "dataset/synthetic.h"
+
+namespace eppi::core {
+namespace {
+
+using SweepParam = std::tuple<std::size_t /*m*/, std::size_t /*c*/,
+                              PolicyKind, bool /*mixing*/>;
+
+class ConstructorSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(ConstructorSweep, InvariantsHold) {
+  const auto [m, c, kind, mixing] = GetParam();
+  eppi::Rng rng(m * 1000 + c * 10 + static_cast<int>(kind));
+  constexpr std::size_t kN = 9;
+  std::vector<std::uint64_t> freqs(kN);
+  for (std::size_t j = 0; j < kN; ++j) {
+    freqs[j] = j == 0 ? m - 1 : rng.next_below(m / 2 + 1);
+  }
+  const auto net = eppi::dataset::make_network_with_frequencies(m, freqs, rng);
+  const auto epsilons = eppi::dataset::random_epsilons(kN, rng, 0.2, 0.8);
+
+  DistributedOptions options;
+  options.c = c;
+  options.enable_mixing = mixing;
+  options.seed = m + c;
+  switch (kind) {
+    case PolicyKind::kBasic:
+      options.policy = BetaPolicy::basic();
+      break;
+    case PolicyKind::kIncExp:
+      options.policy = BetaPolicy::inc_exp(0.02);
+      break;
+    case PolicyKind::kChernoff:
+      options.policy = BetaPolicy::chernoff(0.9);
+      break;
+    case PolicyKind::kExact:
+      options.policy = BetaPolicy::exact(0.9);
+      break;
+  }
+  const auto result = construct_distributed(net.membership, epsilons, options);
+
+  // 1. 100% recall.
+  EXPECT_TRUE(full_recall(net.membership, result.index.matrix()));
+  // 2. Common identities are mixed and their frequencies hidden.
+  const auto thresholds = common_thresholds(options.policy, epsilons, m);
+  for (std::size_t j = 0; j < kN; ++j) {
+    if (net.membership.col_count(j) >= thresholds[j]) {
+      EXPECT_TRUE(result.report.mixed[j]) << "identity " << j;
+      EXPECT_EQ(result.report.revealed_frequencies[j], 0u);
+    }
+  }
+  // 3. Mixed identities publish full columns.
+  for (std::size_t j = 0; j < kN; ++j) {
+    if (result.report.mixed[j]) {
+      EXPECT_EQ(result.index.matrix().col_count(j), m) << "identity " << j;
+      EXPECT_DOUBLE_EQ(result.report.betas[j], 1.0);
+    } else {
+      EXPECT_EQ(result.report.revealed_frequencies[j],
+                net.membership.col_count(j));
+    }
+  }
+  // 4. Betas stay in [0, 1].
+  for (const double beta : result.report.betas) {
+    EXPECT_GE(beta, 0.0);
+    EXPECT_LE(beta, 1.0);
+  }
+  // 5. Without mixing, apparent commons == true commons.
+  if (!mixing) {
+    for (std::size_t j = 0; j < kN; ++j) {
+      EXPECT_EQ(result.report.mixed[j],
+                net.membership.col_count(j) >= thresholds[j]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ConstructorSweep,
+    ::testing::Values(
+        std::make_tuple(4, 2, PolicyKind::kBasic, true),
+        std::make_tuple(4, 2, PolicyKind::kChernoff, false),
+        std::make_tuple(6, 3, PolicyKind::kBasic, true),
+        std::make_tuple(6, 3, PolicyKind::kIncExp, true),
+        std::make_tuple(8, 3, PolicyKind::kChernoff, true),
+        std::make_tuple(8, 5, PolicyKind::kBasic, false),
+        std::make_tuple(10, 4, PolicyKind::kChernoff, true),
+        std::make_tuple(12, 3, PolicyKind::kIncExp, false),
+        std::make_tuple(12, 6, PolicyKind::kChernoff, true),
+        std::make_tuple(16, 2, PolicyKind::kBasic, true),
+        std::make_tuple(8, 3, PolicyKind::kExact, true),
+        std::make_tuple(10, 2, PolicyKind::kExact, false)));
+
+// The paper's Appendix B counterexample, verbatim: one owner at 100% of
+// providers, every other owner at exactly one provider; any grouping with
+// more than two groups exposes the common owner with certainty, while ε-PPI
+// hides it behind decoys.
+TEST(AppendixBExampleTest, GroupingExposesTheOnlyCommonTerm) {
+  eppi::Rng rng(2014);
+  constexpr std::size_t kM = 60;
+  constexpr std::size_t kN = 40;
+  std::vector<std::uint64_t> freqs(kN, 1);
+  freqs[0] = kM;  // the 100%-frequency common term
+  const auto net = eppi::dataset::make_network_with_frequencies(kM, freqs, rng);
+
+  // Grouping with > 2 groups: only the true common term can appear in every
+  // group, so its column in the provider view is the only full one.
+  const eppi::baseline::GroupingPpi grouping(net.membership, 6, rng);
+  std::size_t full_columns = 0;
+  bool common_is_full = false;
+  for (std::size_t j = 0; j < kN; ++j) {
+    if (grouping.apparent_frequency(static_cast<IdentityId>(j)) == kM) {
+      ++full_columns;
+      if (j == 0) common_is_full = true;
+    }
+  }
+  EXPECT_TRUE(common_is_full);
+  EXPECT_EQ(full_columns, 1u);  // attacker identifies it with certainty
+
+  // ε-PPI: mixing makes other columns full too.
+  std::vector<double> epsilons(kN, 0.8);
+  ConstructionOptions options;
+  options.policy = BetaPolicy::basic();
+  const auto eppi_result =
+      construct_centralized(net.membership, epsilons, options, rng);
+  std::size_t eppi_full = 0;
+  for (std::size_t j = 0; j < kN; ++j) {
+    if (eppi_result.index.matrix().col_count(j) == kM) ++eppi_full;
+  }
+  EXPECT_GT(eppi_full, 1u);  // the common term has company
+}
+
+}  // namespace
+}  // namespace eppi::core

@@ -1,0 +1,226 @@
+// Integration tests: the whole pipeline — synthetic network, distributed
+// secure construction, query serving, two-phase search, and the paper's
+// attacks — exercised together, the way examples/ and bench/ drive it.
+#include <gtest/gtest.h>
+
+#include "attack/common_identity_attack.h"
+#include "attack/primary_attack.h"
+#include "attack/privacy_degree.h"
+#include "baseline/grouping_ppi.h"
+#include "core/auth_search.h"
+#include "core/constructor.h"
+#include "core/distributed_constructor.h"
+#include "core/mixing.h"
+#include "core/publisher.h"
+#include "dataset/synthetic.h"
+
+namespace eppi {
+namespace {
+
+struct Scenario {
+  dataset::Network network;
+  std::vector<double> epsilons;
+};
+
+Scenario make_scenario(std::uint64_t seed, std::size_t m = 12,
+                       std::size_t n = 10) {
+  Rng rng(seed);
+  dataset::SyntheticConfig config;
+  config.providers = m;
+  config.identities = n;
+  config.zipf_exponent = 0.8;
+  config.max_fraction = 0.95;
+  Scenario s;
+  s.network = dataset::make_zipf_network(config, rng);
+  s.epsilons = dataset::random_epsilons(n, rng, 0.2, 0.8);
+  return s;
+}
+
+TEST(EndToEndTest, DistributedConstructionServesCompleteSearches) {
+  const Scenario s = make_scenario(101);
+  core::DistributedOptions options;
+  options.c = 3;
+  options.policy = core::BetaPolicy::chernoff(0.9);
+  const auto result =
+      core::construct_distributed(s.network.membership, s.epsilons, options);
+
+  // Every search through the index finds every true provider.
+  for (std::size_t j = 0; j < s.network.identities(); ++j) {
+    const auto outcome = core::two_phase_search(
+        result.index, s.network.membership,
+        static_cast<core::IdentityId>(j));
+    std::size_t expected = s.network.membership.col_count(j);
+    EXPECT_EQ(outcome.matched.size(), expected) << "identity " << j;
+  }
+}
+
+TEST(EndToEndTest, HigherEpsilonMeansMoreSearchOverhead) {
+  Rng rng(102);
+  constexpr std::size_t kM = 400;
+  const auto net = dataset::make_network_with_frequencies(
+      kM, std::vector<std::uint64_t>(8, 10), rng);
+  double low_overhead = 0.0;
+  double high_overhead = 0.0;
+  for (const double eps : {0.2, 0.9}) {
+    const std::vector<double> epsilons(8, eps);
+    core::ConstructionOptions options;
+    options.policy = core::BetaPolicy::chernoff(0.9);
+    Rng crng(103);
+    const auto result = core::construct_centralized(net.membership, epsilons,
+                                                    options, crng);
+    double total = 0.0;
+    for (std::size_t j = 0; j < 8; ++j) {
+      const auto outcome = core::two_phase_search(
+          result.index, net.membership, static_cast<core::IdentityId>(j));
+      total += static_cast<double>(outcome.wasted_contacts());
+    }
+    (eps < 0.5 ? low_overhead : high_overhead) = total;
+  }
+  EXPECT_GT(high_overhead, low_overhead);
+}
+
+TEST(EndToEndTest, EpsilonPpiResistsPrimaryAttack) {
+  Rng rng(104);
+  constexpr std::size_t kM = 800;
+  constexpr std::size_t kN = 30;
+  std::vector<std::uint64_t> freqs(kN);
+  for (auto& f : freqs) f = 5 + rng.next_below(40);
+  const auto net = dataset::make_network_with_frequencies(kM, freqs, rng);
+  const std::vector<double> epsilons(kN, 0.6);
+  core::ConstructionOptions options;
+  options.policy = core::BetaPolicy::chernoff(0.95);
+  const auto result =
+      core::construct_centralized(net.membership, epsilons, options, rng);
+  const auto confidences =
+      attack::exact_confidences(net.membership, result.index.matrix());
+  EXPECT_EQ(attack::classify_degree(confidences, epsilons),
+            attack::PrivacyDegree::kEpsPrivate);
+}
+
+TEST(EndToEndTest, GroupingPpiFailsPersonalizedBounds) {
+  Rng rng(105);
+  constexpr std::size_t kM = 400;
+  constexpr std::size_t kN = 40;
+  std::vector<std::uint64_t> freqs(kN);
+  for (auto& f : freqs) f = 2 + rng.next_below(10);
+  const auto net = dataset::make_network_with_frequencies(kM, freqs, rng);
+  // Demanding, heterogeneous requirements: grouping cannot personalize.
+  const auto epsilons = dataset::random_epsilons(kN, rng, 0.85, 0.999);
+  const baseline::GroupingPpi grouping(net.membership, 100, rng);
+  const auto confidences =
+      attack::exact_confidences(net.membership, grouping.provider_view());
+  EXPECT_NE(attack::classify_degree(confidences, epsilons),
+            attack::PrivacyDegree::kEpsPrivate);
+}
+
+TEST(EndToEndTest, CommonIdentityAttackDefeatedByMixing) {
+  Rng rng(106);
+  constexpr std::size_t kM = 60;
+  constexpr std::size_t kN = 120;
+  std::vector<std::uint64_t> freqs(kN, 2);
+  freqs[0] = 58;  // one true common identity
+  const auto net = dataset::make_network_with_frequencies(kM, freqs, rng);
+  std::vector<double> epsilons(kN, 0.8);
+  core::ConstructionOptions options;
+  options.policy = core::BetaPolicy::basic();
+  const auto result =
+      core::construct_centralized(net.membership, epsilons, options, rng);
+  ASSERT_TRUE(result.info.is_common[0]);
+  // The attacker reads apparent frequencies off the published matrix and
+  // flags full columns as common.
+  std::vector<std::uint64_t> knowledge(kN);
+  for (std::size_t j = 0; j < kN; ++j) {
+    knowledge[j] = result.index.matrix().col_count(j);
+  }
+  const auto outcome = attack::common_identity_attack(
+      net.membership, knowledge, kM, result.info.is_common, 10, rng);
+  // The decoy fraction bounds identification confidence by 1 − ξ.
+  EXPECT_LE(outcome.identification_confidence(), 1.0 - result.info.xi + 0.1);
+  // And the decoy set achieved at least ξ.
+  EXPECT_GE(core::achieved_decoy_fraction(result.info.is_common,
+                                          result.info.is_apparent_common),
+            result.info.xi - 0.1);
+}
+
+TEST(EndToEndTest, MixingAblationLeavesCommonsExposed) {
+  Rng rng(107);
+  constexpr std::size_t kM = 60;
+  constexpr std::size_t kN = 120;
+  std::vector<std::uint64_t> freqs(kN, 2);
+  freqs[0] = 58;
+  const auto net = dataset::make_network_with_frequencies(kM, freqs, rng);
+  std::vector<double> epsilons(kN, 0.8);
+  core::ConstructionOptions options;
+  options.policy = core::BetaPolicy::basic();
+  options.enable_mixing = false;
+  const auto result =
+      core::construct_centralized(net.membership, epsilons, options, rng);
+  std::vector<std::uint64_t> knowledge(kN);
+  for (std::size_t j = 0; j < kN; ++j) {
+    knowledge[j] = result.index.matrix().col_count(j);
+  }
+  const auto outcome = attack::common_identity_attack(
+      net.membership, knowledge, kM, result.info.is_common, 10, rng);
+  // Without mixing, only the truly common column is full: identification is
+  // certain — exactly the common-identity vulnerability.
+  EXPECT_DOUBLE_EQ(outcome.identification_confidence(), 1.0);
+}
+
+TEST(EndToEndTest, DistributedAndCentralizedAgreeStatistically) {
+  // Same network, same policy: per-identity achieved false-positive rates
+  // from the two constructors must match in distribution. We compare means
+  // over repeated runs for a few representative identities.
+  Rng rng(108);
+  const auto net = dataset::make_network_with_frequencies(
+      10, std::vector<std::uint64_t>{3, 5, 1}, rng);
+  const std::vector<double> epsilons{0.5, 0.4, 0.6};
+  core::DistributedOptions dopt;
+  dopt.c = 3;
+  dopt.policy = core::BetaPolicy::basic();
+
+  core::ConstructionOptions copt;
+  copt.policy = dopt.policy;
+
+  std::vector<double> dist_rates(3, 0.0);
+  std::vector<double> cent_rates(3, 0.0);
+  constexpr int kRuns = 15;
+  for (int run = 0; run < kRuns; ++run) {
+    dopt.seed = 1000 + run;
+    const auto d =
+        core::construct_distributed(net.membership, epsilons, dopt);
+    const auto dr =
+        core::false_positive_rates(net.membership, d.index.matrix());
+    Rng crng(2000 + run);
+    const auto c = core::construct_centralized(net.membership, epsilons,
+                                               copt, crng);
+    const auto cr =
+        core::false_positive_rates(net.membership, c.index.matrix());
+    for (std::size_t j = 0; j < 3; ++j) {
+      dist_rates[j] += dr[j] / kRuns;
+      cent_rates[j] += cr[j] / kRuns;
+    }
+  }
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(dist_rates[j], cent_rates[j], 0.25) << "identity " << j;
+  }
+}
+
+TEST(EndToEndTest, PerOwnerEpsilonIsActuallyPersonalized) {
+  // Two identities with identical frequency but different ε must end with
+  // different amounts of published noise.
+  Rng rng(109);
+  constexpr std::size_t kM = 2000;
+  const auto net = dataset::make_network_with_frequencies(
+      kM, std::vector<std::uint64_t>{20, 20}, rng);
+  const std::vector<double> epsilons{0.2, 0.9};
+  core::ConstructionOptions options;
+  options.policy = core::BetaPolicy::chernoff(0.9);
+  const auto result =
+      core::construct_centralized(net.membership, epsilons, options, rng);
+  const auto low = result.index.apparent_frequency(0);
+  const auto high = result.index.apparent_frequency(1);
+  EXPECT_LT(low * 3, high);  // far more noise for the ε = 0.9 owner
+}
+
+}  // namespace
+}  // namespace eppi

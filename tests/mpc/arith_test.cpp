@@ -1,0 +1,143 @@
+#include "mpc/arith.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "net/cluster.h"
+
+namespace eppi::mpc {
+namespace {
+
+using eppi::net::Cluster;
+using eppi::net::PartyContext;
+using eppi::net::PartyId;
+using eppi::secret::ModRing;
+
+// Runs `body` as a c-party arithmetic session; every party gets the same
+// session parameters.
+void run_session(std::size_t c, std::uint64_t q,
+                 const std::function<void(ArithSession&, std::size_t)>& body,
+                 std::uint64_t seed = 1) {
+  Cluster cluster(c, seed);
+  cluster.run([&](PartyContext& ctx) {
+    std::vector<PartyId> parties;
+    for (std::size_t i = 0; i < c; ++i) {
+      parties.push_back(static_cast<PartyId>(i));
+    }
+    ArithSession session(ctx, parties, ModRing(q));
+    body(session, ctx.id());
+  });
+}
+
+TEST(ArithSessionTest, InputAndOpenRoundTrip) {
+  const std::vector<std::uint64_t> secrets{3, 141, 59, 0, 1023};
+  run_session(3, 1024, [&](ArithSession& s, std::size_t) {
+    const auto shares = s.input_vector(0, secrets, secrets.size());
+    const auto opened = s.open_batch(shares);
+    EXPECT_EQ(opened, secrets);
+  });
+}
+
+TEST(ArithSessionTest, LinearOpsAreLocalAndCorrect) {
+  run_session(2, 1 << 16, [&](ArithSession& s, std::size_t) {
+    const std::vector<std::uint64_t> xs{100, 200};
+    const auto shares = s.input_vector(0, xs, 2);
+    const auto sum = s.add(shares[0], shares[1]);
+    const auto diff = s.sub(shares[1], shares[0]);
+    const auto scaled = s.scalar_mul(shares[0], 7);
+    const auto bumped = s.add_public(shares[0], 11);
+    const std::vector<ArithSession::Share> all{sum, diff, scaled, bumped};
+    const auto opened = s.open_batch(all);
+    EXPECT_EQ(opened[0], 300u);
+    EXPECT_EQ(opened[1], 100u);
+    EXPECT_EQ(opened[2], 700u);
+    EXPECT_EQ(opened[3], 111u);
+  });
+}
+
+TEST(ArithSessionTest, MultiplicationMatchesPlain) {
+  eppi::Rng rng(5);
+  constexpr std::uint64_t kQ = 1 << 20;
+  std::vector<std::uint64_t> xs(16), ys(16);
+  for (auto& x : xs) x = rng.next_below(kQ);
+  for (auto& y : ys) y = rng.next_below(kQ);
+  for (const std::size_t c : {2u, 3u, 5u}) {
+    run_session(c, kQ, [&](ArithSession& s, std::size_t) {
+      const auto sx = s.input_vector(0, xs, xs.size());
+      const auto sy = s.input_vector(s.n_parties() > 1 ? 1 : 0, ys, ys.size());
+      const auto products = s.mul_batch(sx, sy);
+      const auto opened = s.open_batch(products);
+      for (std::size_t j = 0; j < xs.size(); ++j) {
+        const auto expected = static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(xs[j]) * ys[j]) % kQ);
+        EXPECT_EQ(opened[j], expected) << "j=" << j << " c=" << c;
+      }
+    });
+  }
+}
+
+TEST(ArithSessionTest, InnerProductUnderSharing) {
+  // sum_j x_j * y_j computed securely.
+  const std::vector<std::uint64_t> xs{2, 3, 5, 7};
+  const std::vector<std::uint64_t> ys{11, 13, 17, 19};
+  run_session(3, 1 << 12, [&](ArithSession& s, std::size_t) {
+    const auto sx = s.input_vector(0, xs, 4);
+    const auto sy = s.input_vector(1, ys, 4);
+    const auto products = s.mul_batch(sx, sy);
+    ArithSession::Share acc = 0;
+    for (const auto p : products) acc = s.add(acc, p);
+    EXPECT_EQ(s.open(acc), 2u * 11 + 3 * 13 + 5 * 17 + 7 * 19);
+  });
+}
+
+TEST(ArithSessionTest, PolynomialEvaluation) {
+  // f(x) = x^3 + 2x + 5 at a shared x.
+  constexpr std::uint64_t kX = 9;
+  run_session(2, 1 << 16, [&](ArithSession& s, std::size_t) {
+    const std::vector<std::uint64_t> input{kX};
+    const auto x = s.input_vector(0, input, 1)[0];
+    const auto x2 = s.mul(x, x);
+    const auto x3 = s.mul(x2, x);
+    auto acc = s.add(x3, s.scalar_mul(x, 2));
+    acc = s.add_public(acc, 5);
+    EXPECT_EQ(s.open(acc), kX * kX * kX + 2 * kX + 5);
+  });
+}
+
+TEST(ArithSessionTest, SharesAloneRevealNothing) {
+  // A single party's share of a constant input is uniform across seeds.
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    run_session(
+        3, 1 << 10,
+        [&](ArithSession& s, std::size_t id) {
+          const std::vector<std::uint64_t> secret{777};
+          const auto shares = s.input_vector(0, secret, 1);
+          if (id == 1) seen.insert(shares[0]);
+        },
+        seed);
+  }
+  EXPECT_GT(seen.size(), 6u);
+}
+
+TEST(ArithSessionTest, Validates) {
+  Cluster cluster(2);
+  EXPECT_THROW(cluster.run([&](PartyContext& ctx) {
+                 const std::vector<PartyId> parties{0};
+                 ArithSession session(ctx, parties, ModRing(16));
+               }),
+               eppi::ConfigError);
+  Cluster cluster2(3);
+  EXPECT_THROW(cluster2.run([&](PartyContext& ctx) {
+                 if (ctx.id() != 2) return;
+                 const std::vector<PartyId> parties{0, 1};
+                 ArithSession session(ctx, parties, ModRing(16));
+               }),
+               eppi::ConfigError);
+}
+
+}  // namespace
+}  // namespace eppi::mpc

@@ -1,0 +1,308 @@
+#include "mpc/circuit_builder.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "mpc/plain_eval.h"
+
+namespace eppi::mpc {
+namespace {
+
+// Builds a circuit with a single party owning `width` input bits, applies
+// `body`, and evaluates it on `value`.
+template <typename Body>
+std::uint64_t eval_unary(unsigned width, std::uint64_t value, Body body) {
+  CircuitBuilder cb;
+  const WireVec in = cb.input_bits(0, width);
+  cb.output_vec(body(cb, in));
+  const Circuit circuit = cb.take();
+  return bits_to_u64(evaluate_plain(circuit, u64_to_bits(value, width)));
+}
+
+template <typename Body>
+std::uint64_t eval_binary(unsigned width, std::uint64_t a, std::uint64_t b,
+                          Body body) {
+  CircuitBuilder cb;
+  const WireVec wa = cb.input_bits(0, width);
+  const WireVec wb = cb.input_bits(0, width);
+  cb.output_vec(body(cb, wa, wb));
+  const Circuit circuit = cb.take();
+  std::vector<bool> inputs = u64_to_bits(a, width);
+  const auto bbits = u64_to_bits(b, width);
+  inputs.insert(inputs.end(), bbits.begin(), bbits.end());
+  return bits_to_u64(evaluate_plain(circuit, inputs));
+}
+
+TEST(BitWidthForTest, Values) {
+  EXPECT_EQ(bit_width_for(0), 1u);
+  EXPECT_EQ(bit_width_for(1), 1u);
+  EXPECT_EQ(bit_width_for(2), 2u);
+  EXPECT_EQ(bit_width_for(7), 3u);
+  EXPECT_EQ(bit_width_for(8), 4u);
+}
+
+TEST(CircuitBuilderTest, ConstantsAreShared) {
+  CircuitBuilder cb;
+  const Wire z1 = cb.zero();
+  const Wire z2 = cb.zero();
+  const Wire o1 = cb.one();
+  EXPECT_EQ(z1, z2);
+  EXPECT_NE(z1, o1);
+}
+
+TEST(CircuitBuilderTest, ConstantFoldingEliminatesGates) {
+  CircuitBuilder cb;
+  const Wire a = cb.input_bit(0);
+  // AND with constant 0 -> constant; no AND gate materialized.
+  (void)cb.And(a, cb.zero());
+  // XOR with constant 0 -> passthrough.
+  EXPECT_EQ(cb.Xor(a, cb.zero()), a);
+  // AND with constant 1 -> passthrough.
+  EXPECT_EQ(cb.And(a, cb.one()), a);
+  // a AND a -> a.
+  EXPECT_EQ(cb.And(a, a), a);
+  // a XOR a -> 0.
+  EXPECT_EQ(cb.Xor(a, a), cb.zero());
+  EXPECT_EQ(cb.stats().and_gates, 0u);
+  EXPECT_EQ(cb.stats().xor_gates, 0u);
+}
+
+TEST(CircuitBuilderTest, NotOfConstantFolds) {
+  CircuitBuilder cb;
+  EXPECT_EQ(cb.Not(cb.zero()), cb.one());
+  EXPECT_EQ(cb.Not(cb.one()), cb.zero());
+  EXPECT_EQ(cb.stats().not_gates, 0u);
+}
+
+TEST(CircuitBuilderTest, GateStatsCountMaterializedGates) {
+  CircuitBuilder cb;
+  const Wire a = cb.input_bit(0);
+  const Wire b = cb.input_bit(0);
+  (void)cb.And(a, b);
+  (void)cb.Xor(a, b);
+  (void)cb.Not(a);
+  EXPECT_EQ(cb.stats().and_gates, 1u);
+  EXPECT_EQ(cb.stats().xor_gates, 1u);
+  EXPECT_EQ(cb.stats().not_gates, 1u);
+  EXPECT_EQ(cb.stats().input_wires, 2u);
+  EXPECT_EQ(cb.stats().and_depth, 1u);
+}
+
+TEST(CircuitBuilderTest, AndDepthTracksChains) {
+  CircuitBuilder cb;
+  Wire acc = cb.input_bit(0);
+  for (int i = 0; i < 5; ++i) acc = cb.And(acc, cb.input_bit(0));
+  EXPECT_EQ(cb.stats().and_depth, 5u);
+}
+
+TEST(CircuitBuilderTest, SingleBitGateTruthTables) {
+  for (const bool a : {false, true}) {
+    for (const bool b : {false, true}) {
+      CircuitBuilder cb;
+      const Wire wa = cb.input_bit(0);
+      const Wire wb = cb.input_bit(0);
+      cb.output(cb.Xor(wa, wb));
+      cb.output(cb.And(wa, wb));
+      cb.output(cb.Or(wa, wb));
+      cb.output(cb.Not(wa));
+      cb.output(cb.Mux(wa, wb, cb.zero()));  // a ? b : 0 == a & b
+      const Circuit circuit = cb.take();
+      const auto out = evaluate_plain(circuit, {a, b});
+      EXPECT_EQ(out[0], a != b);
+      EXPECT_EQ(out[1], a && b);
+      EXPECT_EQ(out[2], a || b);
+      EXPECT_EQ(out[3], !a);
+      EXPECT_EQ(out[4], a && b);
+    }
+  }
+}
+
+class ArithmeticSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint64_t>> {
+ protected:
+  static constexpr unsigned kWidth = 6;  // values in [0, 64)
+};
+
+TEST_P(ArithmeticSweep, AddTruncMatchesModularAdd) {
+  const auto [a, b] = GetParam();
+  const std::uint64_t got = eval_binary(
+      kWidth, a, b,
+      [](CircuitBuilder& cb, const WireVec& x, const WireVec& y) {
+        return cb.add_trunc(x, y);
+      });
+  EXPECT_EQ(got, (a + b) % 64);
+}
+
+TEST_P(ArithmeticSweep, AddExpandMatchesFullAdd) {
+  const auto [a, b] = GetParam();
+  const std::uint64_t got = eval_binary(
+      kWidth, a, b,
+      [](CircuitBuilder& cb, const WireVec& x, const WireVec& y) {
+        return cb.add_expand(x, y);
+      });
+  EXPECT_EQ(got, a + b);
+}
+
+TEST_P(ArithmeticSweep, ComparatorsMatch) {
+  const auto [a, b] = GetParam();
+  CircuitBuilder cb;
+  const WireVec wa = cb.input_bits(0, kWidth);
+  const WireVec wb = cb.input_bits(0, kWidth);
+  cb.output(cb.lt(wa, wb));
+  cb.output(cb.ge(wa, wb));
+  const Circuit circuit = cb.take();
+  std::vector<bool> inputs = u64_to_bits(a, kWidth);
+  const auto bbits = u64_to_bits(b, kWidth);
+  inputs.insert(inputs.end(), bbits.begin(), bbits.end());
+  const auto out = evaluate_plain(circuit, inputs);
+  EXPECT_EQ(out[0], a < b);
+  EXPECT_EQ(out[1], a >= b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, ArithmeticSweep,
+    ::testing::Combine(::testing::Values<std::uint64_t>(0, 1, 7, 31, 32, 63),
+                       ::testing::Values<std::uint64_t>(0, 1, 7, 31, 32, 63)));
+
+TEST(CircuitBuilderTest, AddModGeneralModulus) {
+  eppi::Rng rng(2024);
+  for (const std::uint64_t q : {5ull, 7ull, 12ull, 100ull}) {
+    const unsigned width = bit_width_for(q - 1);
+    for (int trial = 0; trial < 30; ++trial) {
+      const std::uint64_t a = rng.next_below(q);
+      const std::uint64_t b = rng.next_below(q);
+      const std::uint64_t got = eval_binary(
+          width, a, b,
+          [q](CircuitBuilder& cb, const WireVec& x, const WireVec& y) {
+            return cb.add_mod(x, y, q);
+          });
+      EXPECT_EQ(got, (a + b) % q) << "q=" << q << " a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(CircuitBuilderTest, AddModPowerOfTwoUsesNoComparator) {
+  CircuitBuilder cb;
+  const WireVec a = cb.input_bits(0, 3);
+  const WireVec b = cb.input_bits(0, 3);
+  cb.output_vec(cb.add_mod(a, b, 8));
+  // A 3-bit truncated adder needs at most 2 ANDs per bit; the conditional-
+  // subtract path would need far more.
+  EXPECT_LE(cb.stats().and_gates, 6u);
+}
+
+TEST(CircuitBuilderTest, ConstantComparisonsFoldAggressively) {
+  CircuitBuilder cb;
+  const WireVec a = cb.input_bits(0, 8);
+  (void)cb.ge_const(a, 0);  // always true -> fully folded
+  EXPECT_EQ(cb.stats().and_gates, 0u);
+}
+
+TEST(CircuitBuilderTest, LtConstMatchesPlain) {
+  for (const std::uint64_t t : {0ull, 1ull, 5ull, 8ull, 15ull, 16ull, 200ull}) {
+    for (std::uint64_t v = 0; v < 16; ++v) {
+      const std::uint64_t got = eval_unary(
+          4, v, [t](CircuitBuilder& cb, const WireVec& x) {
+            return WireVec{cb.lt_const(x, t)};
+          });
+      EXPECT_EQ(got, v < t ? 1u : 0u) << "v=" << v << " t=" << t;
+    }
+  }
+}
+
+TEST(CircuitBuilderTest, EqConstMatchesPlain) {
+  for (const std::uint64_t t : {0ull, 3ull, 15ull, 16ull, 99ull}) {
+    for (std::uint64_t v = 0; v < 16; ++v) {
+      const std::uint64_t got = eval_unary(
+          4, v, [t](CircuitBuilder& cb, const WireVec& x) {
+            return WireVec{cb.eq_const(x, t)};
+          });
+      EXPECT_EQ(got, v == t ? 1u : 0u) << "v=" << v << " t=" << t;
+    }
+  }
+}
+
+TEST(CircuitBuilderTest, PopcountMatchesPlain) {
+  eppi::Rng rng(55);
+  for (const std::size_t n : {1u, 2u, 3u, 7u, 8u, 20u, 33u}) {
+    CircuitBuilder cb;
+    std::vector<Wire> bits;
+    for (std::size_t i = 0; i < n; ++i) bits.push_back(cb.input_bit(0));
+    cb.output_vec(cb.popcount(bits));
+    const Circuit circuit = cb.take();
+    for (int trial = 0; trial < 20; ++trial) {
+      std::vector<bool> inputs(n);
+      std::size_t expected = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        inputs[i] = rng.bernoulli(0.5);
+        expected += inputs[i] ? 1 : 0;
+      }
+      EXPECT_EQ(bits_to_u64(evaluate_plain(circuit, inputs)), expected);
+    }
+  }
+}
+
+TEST(CircuitBuilderTest, SumTreeMatchesPlain) {
+  eppi::Rng rng(66);
+  CircuitBuilder cb;
+  std::vector<WireVec> values;
+  std::vector<bool> inputs;
+  std::uint64_t expected = 0;
+  for (int k = 0; k < 5; ++k) {
+    values.push_back(cb.input_bits(0, 4));
+    const std::uint64_t v = rng.next_below(16);
+    const auto bits = u64_to_bits(v, 4);
+    inputs.insert(inputs.end(), bits.begin(), bits.end());
+    expected += v;
+  }
+  cb.output_vec(cb.sum_tree(values));
+  const Circuit circuit = cb.take();
+  EXPECT_EQ(bits_to_u64(evaluate_plain(circuit, inputs)), expected);
+}
+
+TEST(CircuitBuilderTest, MuxVecSelects) {
+  CircuitBuilder cb;
+  const Wire sel = cb.input_bit(0);
+  const WireVec a = cb.input_bits(0, 3);
+  const WireVec b = cb.input_bits(0, 3);
+  cb.output_vec(cb.mux_vec(sel, a, b));
+  const Circuit circuit = cb.take();
+  for (const bool s : {false, true}) {
+    std::vector<bool> inputs{s};
+    const auto abits = u64_to_bits(5, 3);
+    const auto bbits = u64_to_bits(2, 3);
+    inputs.insert(inputs.end(), abits.begin(), abits.end());
+    inputs.insert(inputs.end(), bbits.begin(), bbits.end());
+    EXPECT_EQ(bits_to_u64(evaluate_plain(circuit, inputs)), s ? 5u : 2u);
+  }
+}
+
+TEST(CircuitBuilderTest, ZextCannotNarrow) {
+  CircuitBuilder cb;
+  WireVec v = cb.input_bits(0, 4);
+  EXPECT_THROW(cb.zext(v, 2), eppi::ConfigError);
+}
+
+TEST(CircuitBuilderTest, BadOutputWireRejected) {
+  CircuitBuilder cb;
+  EXPECT_THROW(cb.output(1234), eppi::ConfigError);
+}
+
+TEST(CircuitTest, InputsOfFiltersByOwner) {
+  CircuitBuilder cb;
+  const Wire a0 = cb.input_bit(0);
+  const Wire b0 = cb.input_bit(1);
+  const Wire a1 = cb.input_bit(0);
+  cb.output(cb.Xor(cb.Xor(a0, b0), a1));
+  const Circuit circuit = cb.take();
+  EXPECT_EQ(circuit.inputs_of(0), (WireVec{a0, a1}));
+  EXPECT_EQ(circuit.inputs_of(1), (WireVec{b0}));
+  EXPECT_EQ(circuit.input_owner(b0), 1u);
+  EXPECT_THROW(circuit.input_owner(circuit.outputs()[0]), eppi::ConfigError);
+}
+
+}  // namespace
+}  // namespace eppi::mpc

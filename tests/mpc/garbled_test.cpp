@@ -1,0 +1,217 @@
+#include "mpc/garbled.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "mpc/circuit_builder.h"
+#include "mpc/gmw.h"
+#include "mpc/plain_eval.h"
+#include "net/cluster.h"
+
+namespace eppi::mpc {
+namespace {
+
+using eppi::net::Cluster;
+using eppi::net::PartyContext;
+
+// Runs the two-party garbled protocol; returns garbler's outputs and checks
+// both parties agree.
+std::vector<bool> run_garbled(const Circuit& circuit,
+                              const std::vector<bool>& garbler_inputs,
+                              const std::vector<bool>& evaluator_inputs,
+                              std::uint64_t seed = 1) {
+  Cluster cluster(2, seed);
+  std::vector<std::vector<bool>> outputs(2);
+  cluster.run([&](PartyContext& ctx) {
+    GarbledSession session;
+    outputs[ctx.id()] = run_garbled_party(
+        ctx, session, circuit,
+        ctx.id() == 0 ? garbler_inputs : evaluator_inputs);
+  });
+  EXPECT_EQ(outputs[0], outputs[1]);
+  return outputs[0];
+}
+
+TEST(GarbledTest, AndGateTruthTable) {
+  CircuitBuilder cb;
+  const Wire a = cb.input_bit(0);
+  const Wire b = cb.input_bit(1);
+  cb.output(cb.And(a, b));
+  const Circuit circuit = cb.take();
+  for (const bool va : {false, true}) {
+    for (const bool vb : {false, true}) {
+      const auto out = run_garbled(circuit, {va}, {vb});
+      EXPECT_EQ(out[0], va && vb) << va << " & " << vb;
+    }
+  }
+}
+
+TEST(GarbledTest, XorNotAndConstants) {
+  CircuitBuilder cb;
+  const Wire a = cb.input_bit(0);
+  const Wire b = cb.input_bit(1);
+  cb.output(cb.Xor(a, b));
+  cb.output(cb.Not(a));
+  cb.output(cb.one());
+  cb.output(cb.zero());
+  cb.output(cb.Or(a, b));
+  const Circuit circuit = cb.take();
+  for (const bool va : {false, true}) {
+    for (const bool vb : {false, true}) {
+      const auto out = run_garbled(circuit, {va}, {vb});
+      EXPECT_EQ(out[0], va != vb);
+      EXPECT_EQ(out[1], !va);
+      EXPECT_TRUE(out[2]);
+      EXPECT_FALSE(out[3]);
+      EXPECT_EQ(out[4], va || vb);
+    }
+  }
+}
+
+TEST(GarbledTest, AdderMatchesPlain) {
+  CircuitBuilder cb;
+  const WireVec a = cb.input_bits(0, 6);
+  const WireVec b = cb.input_bits(1, 6);
+  cb.output_vec(cb.add_expand(a, b));
+  const Circuit circuit = cb.take();
+  eppi::Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::uint64_t va = rng.next_below(64);
+    const std::uint64_t vb = rng.next_below(64);
+    const auto out = run_garbled(circuit, u64_to_bits(va, 6),
+                                 u64_to_bits(vb, 6), trial + 1);
+    EXPECT_EQ(bits_to_u64(out), va + vb);
+  }
+}
+
+class GarbledEquivalenceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GarbledEquivalenceSweep, MatchesPlainOnRandomCircuits) {
+  eppi::Rng rng(static_cast<std::uint64_t>(GetParam()) * 41 + 5);
+  CircuitBuilder cb;
+  std::vector<Wire> pool;
+  std::vector<bool> g_inputs, e_inputs;
+  for (int k = 0; k < 5; ++k) {
+    pool.push_back(cb.input_bit(0));
+    g_inputs.push_back(rng.bernoulli(0.5));
+    pool.push_back(cb.input_bit(1));
+    e_inputs.push_back(rng.bernoulli(0.5));
+  }
+  for (int g = 0; g < 50; ++g) {
+    const Wire a = pool[rng.next_below(pool.size())];
+    const Wire b = pool[rng.next_below(pool.size())];
+    switch (rng.next_below(4)) {
+      case 0:
+        pool.push_back(cb.And(a, b));
+        break;
+      case 1:
+        pool.push_back(cb.Xor(a, b));
+        break;
+      case 2:
+        pool.push_back(cb.Not(a));
+        break;
+      default:
+        pool.push_back(cb.Mux(a, b, pool[rng.next_below(pool.size())]));
+        break;
+    }
+  }
+  for (int o = 0; o < 6; ++o) cb.output(pool[pool.size() - 1 - o]);
+  const Circuit circuit = cb.take();
+
+  // Plain inputs interleave in declaration order (g, e, g, e, ...).
+  std::vector<bool> flat;
+  for (std::size_t k = 0; k < g_inputs.size(); ++k) {
+    flat.push_back(g_inputs[k]);
+    flat.push_back(e_inputs[k]);
+  }
+  const auto expected = evaluate_plain(circuit, flat);
+  const auto got = run_garbled(circuit, g_inputs, e_inputs, GetParam() + 1);
+  EXPECT_EQ(got, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GarbledEquivalenceSweep,
+                         ::testing::Range(0, 10));
+
+TEST(GarbledTest, AgreesWithGmwOnSameCircuit) {
+  CircuitBuilder cb;
+  const WireVec a = cb.input_bits(0, 5);
+  const WireVec b = cb.input_bits(1, 5);
+  cb.output(cb.lt(a, b));
+  cb.output(cb.ge(a, b));
+  const Circuit circuit = cb.take();
+  eppi::Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::uint64_t va = rng.next_below(32);
+    const std::uint64_t vb = rng.next_below(32);
+    const auto garbled = run_garbled(circuit, u64_to_bits(va, 5),
+                                     u64_to_bits(vb, 5), trial + 1);
+    Cluster cluster(2, trial + 1);
+    std::vector<bool> gmw_out;
+    cluster.run([&](PartyContext& ctx) {
+      GmwSession session;
+      session.parties = {0, 1};
+      auto out = run_gmw_party(
+          ctx, session, circuit,
+          ctx.id() == 0 ? u64_to_bits(va, 5) : u64_to_bits(vb, 5));
+      if (ctx.id() == 0) gmw_out = std::move(out);
+    });
+    EXPECT_EQ(garbled, gmw_out) << va << " vs " << vb;
+  }
+}
+
+TEST(GarbledTest, ConstantRoundsRegardlessOfDepth) {
+  // A deep AND chain: GMW pays one round per level; Yao stays at 3.
+  CircuitBuilder cb;
+  Wire acc = cb.input_bit(0);
+  for (int i = 0; i < 20; ++i) acc = cb.And(acc, cb.input_bit(1));
+  cb.output(acc);
+  const Circuit circuit = cb.take();
+  ASSERT_EQ(circuit.stats().and_depth, 20u);
+
+  Cluster cluster(2);
+  cluster.run([&](PartyContext& ctx) {
+    GarbledSession session;
+    const std::vector<bool> inputs(ctx.id() == 0 ? 1 : 20, true);
+    (void)run_garbled_party(ctx, session, circuit, inputs);
+  });
+  EXPECT_EQ(cluster.meter().snapshot().rounds, 3u);
+}
+
+TEST(GarbledTest, TableBytesMatchAndCount) {
+  CircuitBuilder cb;
+  const Wire a = cb.input_bit(0);
+  const Wire b = cb.input_bit(1);
+  cb.output(cb.And(cb.And(a, b), cb.Xor(a, b)));
+  const Circuit circuit = cb.take();
+  EXPECT_EQ(garbled_table_bytes(circuit),
+            4u * 8u * circuit.stats().and_gates);
+}
+
+TEST(GarbledTest, RejectsThreePartyCircuits) {
+  CircuitBuilder cb;
+  cb.output(cb.And(cb.input_bit(0), cb.input_bit(2)));
+  const Circuit circuit = cb.take();
+  Cluster cluster(2);
+  EXPECT_THROW(cluster.run([&](PartyContext& ctx) {
+                 GarbledSession session;
+                 (void)run_garbled_party(ctx, session, circuit, {true});
+               }),
+               eppi::ConfigError);
+}
+
+TEST(GarbledTest, WrongInputCountThrows) {
+  CircuitBuilder cb;
+  cb.output(cb.And(cb.input_bit(0), cb.input_bit(1)));
+  const Circuit circuit = cb.take();
+  Cluster cluster(2);
+  EXPECT_THROW(cluster.run([&](PartyContext& ctx) {
+                 GarbledSession session;
+                 const std::vector<bool> too_many{true, false};
+                 (void)run_garbled_party(ctx, session, circuit, too_many);
+               }),
+               eppi::ConfigError);
+}
+
+}  // namespace
+}  // namespace eppi::mpc

@@ -1,0 +1,249 @@
+#include "mpc/gmw.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "mpc/circuit_builder.h"
+#include "mpc/plain_eval.h"
+#include "net/cluster.h"
+
+namespace eppi::mpc {
+namespace {
+
+using eppi::net::Cluster;
+using eppi::net::PartyContext;
+using eppi::net::PartyId;
+
+// Runs `circuit` under GMW with `n_parties` parties; inputs_by_party[i] are
+// party i's input bits. Returns party 0's opened outputs (and checks all
+// parties agree).
+std::vector<bool> run_secure(const Circuit& circuit,
+                             const std::vector<std::vector<bool>>& inputs,
+                             std::uint64_t seed = 1) {
+  const std::size_t n = inputs.size();
+  Cluster cluster(n, seed);
+  std::vector<std::vector<bool>> outputs(n);
+  cluster.run([&](PartyContext& ctx) {
+    GmwSession session;
+    for (std::size_t i = 0; i < n; ++i) {
+      session.parties.push_back(static_cast<PartyId>(i));
+    }
+    outputs[ctx.id()] =
+        run_gmw_party(ctx, session, circuit, inputs[ctx.id()]);
+  });
+  for (std::size_t i = 1; i < n; ++i) {
+    EXPECT_EQ(outputs[i], outputs[0]) << "party " << i << " disagrees";
+  }
+  return outputs[0];
+}
+
+TEST(GmwTest, TwoPartyAnd) {
+  CircuitBuilder cb;
+  const Wire a = cb.input_bit(0);
+  const Wire b = cb.input_bit(1);
+  cb.output(cb.And(a, b));
+  const Circuit circuit = cb.take();
+  for (const bool va : {false, true}) {
+    for (const bool vb : {false, true}) {
+      const auto out = run_secure(circuit, {{va}, {vb}});
+      EXPECT_EQ(out[0], va && vb) << va << " & " << vb;
+    }
+  }
+}
+
+TEST(GmwTest, XorOnlyCircuitNeedsNoAndRounds) {
+  CircuitBuilder cb;
+  const Wire a = cb.input_bit(0);
+  const Wire b = cb.input_bit(1);
+  cb.output(cb.Xor(a, b));
+  const Circuit circuit = cb.take();
+  EXPECT_EQ(gmw_round_count(circuit), 3u);  // triples + inputs + outputs
+  const auto out = run_secure(circuit, {{true}, {false}});
+  EXPECT_TRUE(out[0]);
+}
+
+TEST(GmwTest, ConstantAndNotGates) {
+  CircuitBuilder cb;
+  const Wire a = cb.input_bit(0);
+  (void)cb.input_bit(1);  // unused second-party input keeps both engaged
+  cb.output(cb.Not(a));
+  cb.output(cb.one());
+  cb.output(cb.zero());
+  const Circuit circuit = cb.take();
+  const auto out = run_secure(circuit, {{false}, {true}});
+  EXPECT_TRUE(out[0]);
+  EXPECT_TRUE(out[1]);
+  EXPECT_FALSE(out[2]);
+}
+
+// Randomized equivalence: GMW result must equal plain evaluation for random
+// mixed circuits, across party counts.
+class GmwEquivalenceSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GmwEquivalenceSweep, MatchesPlainEvaluationOnRandomCircuits) {
+  const std::size_t n_parties = GetParam();
+  eppi::Rng rng(n_parties * 31 + 7);
+  for (int trial = 0; trial < 5; ++trial) {
+    CircuitBuilder cb;
+    // Random pool of wires seeded by per-party inputs.
+    std::vector<Wire> pool;
+    std::vector<std::vector<bool>> inputs(n_parties);
+    std::vector<bool> flat_inputs;
+    for (std::size_t p = 0; p < n_parties; ++p) {
+      for (int k = 0; k < 4; ++k) {
+        pool.push_back(cb.input_bit(static_cast<std::uint32_t>(p)));
+        const bool v = rng.bernoulli(0.5);
+        inputs[p].push_back(v);
+      }
+    }
+    // NOTE: plain evaluation consumes inputs in declaration order, which is
+    // party-major here.
+    for (std::size_t p = 0; p < n_parties; ++p) {
+      flat_inputs.insert(flat_inputs.end(), inputs[p].begin(),
+                         inputs[p].end());
+    }
+    for (int g = 0; g < 40; ++g) {
+      const Wire a = pool[rng.next_below(pool.size())];
+      const Wire b = pool[rng.next_below(pool.size())];
+      switch (rng.next_below(4)) {
+        case 0:
+          pool.push_back(cb.And(a, b));
+          break;
+        case 1:
+          pool.push_back(cb.Xor(a, b));
+          break;
+        case 2:
+          pool.push_back(cb.Not(a));
+          break;
+        default:
+          pool.push_back(cb.Or(a, b));
+          break;
+      }
+    }
+    for (int o = 0; o < 8; ++o) {
+      cb.output(pool[pool.size() - 1 - o]);
+    }
+    const Circuit circuit = cb.take();
+    const auto expected = evaluate_plain(circuit, flat_inputs);
+    const auto got = run_secure(circuit, inputs, /*seed=*/trial + 1);
+    EXPECT_EQ(got, expected) << "parties=" << n_parties << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Parties, GmwEquivalenceSweep,
+                         ::testing::Values(2, 3, 4, 5));
+
+TEST(GmwTest, MultiBitAdderAcrossParties) {
+  // Party 0 and party 1 each contribute a 5-bit number; compute the sum.
+  CircuitBuilder cb;
+  const WireVec a = cb.input_bits(0, 5);
+  const WireVec b = cb.input_bits(1, 5);
+  cb.output_vec(cb.add_expand(a, b));
+  const Circuit circuit = cb.take();
+  eppi::Rng rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::uint64_t va = rng.next_below(32);
+    const std::uint64_t vb = rng.next_below(32);
+    const auto out = run_secure(circuit, {u64_to_bits(va, 5), u64_to_bits(vb, 5)},
+                                trial + 1);
+    EXPECT_EQ(bits_to_u64(out), va + vb);
+  }
+}
+
+TEST(GmwTest, RoundCountMatchesAndDepth) {
+  CircuitBuilder cb;
+  Wire acc = cb.input_bit(0);
+  for (int i = 0; i < 4; ++i) acc = cb.And(acc, cb.input_bit(1));
+  cb.output(acc);
+  const Circuit circuit = cb.take();
+  EXPECT_EQ(circuit.stats().and_depth, 4u);
+
+  Cluster cluster(2);
+  cluster.run([&](PartyContext& ctx) {
+    GmwSession session;
+    session.parties = {0, 1};
+    const std::vector<bool> inputs(ctx.id() == 0 ? 1 : 4, true);
+    (void)run_gmw_party(ctx, session, circuit, inputs);
+  });
+  EXPECT_EQ(cluster.meter().snapshot().rounds, gmw_round_count(circuit));
+}
+
+TEST(GmwTest, SubsetSessionInsideLargerCluster) {
+  // 5-party cluster; only parties 2 and 4 run the MPC.
+  CircuitBuilder cb;
+  const Wire a = cb.input_bit(0);
+  const Wire b = cb.input_bit(1);
+  cb.output(cb.And(a, b));
+  const Circuit circuit = cb.take();
+
+  Cluster cluster(5);
+  std::vector<bool> result;
+  cluster.run([&](PartyContext& ctx) {
+    if (ctx.id() != 2 && ctx.id() != 4) return;
+    GmwSession session;
+    session.parties = {2, 4};
+    const std::vector<bool> inputs{true};
+    auto out = run_gmw_party(ctx, session, circuit, inputs);
+    if (ctx.id() == 2) result = std::move(out);
+  });
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_TRUE(result[0]);
+}
+
+TEST(GmwTest, ConsecutiveSessionsWithDistinctSeqBases) {
+  CircuitBuilder cb;
+  const Wire a = cb.input_bit(0);
+  const Wire b = cb.input_bit(1);
+  cb.output(cb.And(a, b));
+  const Circuit circuit = cb.take();
+
+  Cluster cluster(2);
+  std::vector<bool> first, second;
+  cluster.run([&](PartyContext& ctx) {
+    GmwSession s1;
+    s1.parties = {0, 1};
+    s1.seq_base = 0;
+    GmwSession s2 = s1;
+    s2.seq_base = GmwSession::kSeqStride;
+    auto o1 = run_gmw_party(ctx, s1, circuit, {true});
+    auto o2 = run_gmw_party(ctx, s2, circuit, {ctx.id() == 0});
+    if (ctx.id() == 0) {
+      first = std::move(o1);
+      second = std::move(o2);
+    }
+  });
+  EXPECT_TRUE(first[0]);    // 1 & 1
+  EXPECT_FALSE(second[0]);  // 1 & 0
+}
+
+TEST(GmwTest, WrongInputCountThrows) {
+  CircuitBuilder cb;
+  cb.output(cb.And(cb.input_bit(0), cb.input_bit(1)));
+  const Circuit circuit = cb.take();
+  Cluster cluster(2);
+  EXPECT_THROW(cluster.run([&](PartyContext& ctx) {
+                 GmwSession session;
+                 session.parties = {0, 1};
+                 const std::vector<bool> too_many{true, false};
+                 (void)run_gmw_party(ctx, session, circuit, too_many);
+               }),
+               eppi::ConfigError);
+}
+
+TEST(GmwTest, NonMemberCallerRejected) {
+  CircuitBuilder cb;
+  cb.output(cb.And(cb.input_bit(0), cb.input_bit(1)));
+  const Circuit circuit = cb.take();
+  Cluster cluster(3);
+  EXPECT_THROW(cluster.run([&](PartyContext& ctx) {
+                 if (ctx.id() != 2) return;  // only the outsider calls in
+                 GmwSession session;
+                 session.parties = {0, 1};
+                 (void)run_gmw_party(ctx, session, circuit, {true});
+               }),
+               eppi::ConfigError);
+}
+
+}  // namespace
+}  // namespace eppi::mpc

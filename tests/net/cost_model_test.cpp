@@ -1,0 +1,67 @@
+#include "net/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace eppi::net {
+namespace {
+
+TEST(CostModelTest, ZeroWorkCostsOnlySetup) {
+  const CostModel model;
+  const double t = model.modeled_seconds(0, 0, {}, 3, 3);
+  EXPECT_DOUBLE_EQ(t, 3 * model.costs().per_party_setup_s);
+}
+
+TEST(CostModelTest, MonotoneInEveryInput) {
+  const CostModel model;
+  const CostSnapshot comm{10, 1000, 5};
+  const double base = model.modeled_seconds(100, 1000, comm, 3, 3);
+  EXPECT_GT(model.modeled_seconds(200, 1000, comm, 3, 3), base);
+  EXPECT_GT(model.modeled_seconds(100, 5000, comm, 3, 3), base);
+  EXPECT_GT(model.modeled_seconds(100, 1000, {10, 99999, 5}, 3, 3), base);
+  EXPECT_GT(model.modeled_seconds(100, 1000, {10, 1000, 50}, 3, 3), base);
+  EXPECT_GT(model.modeled_seconds(100, 1000, comm, 9, 3), base);
+}
+
+TEST(CostModelTest, GateCostScalesWithMpcParties) {
+  const CostModel model;
+  const double at_ref = model.modeled_seconds(1000, 0, {}, 0, 3);
+  const double at_nine = model.modeled_seconds(1000, 0, {}, 0, 9);
+  EXPECT_NEAR(at_nine, 3.0 * at_ref, 1e-9);
+  // Below the reference there is no discount.
+  EXPECT_DOUBLE_EQ(model.modeled_seconds(1000, 0, {}, 0, 2), at_ref);
+}
+
+TEST(CostModelTest, AndGatesDominateXorGates) {
+  const CostModel model;
+  const double and_cost = model.modeled_seconds(1000, 0, {}, 0, 3);
+  const double xor_cost = model.modeled_seconds(0, 1000, {}, 0, 3);
+  EXPECT_GT(and_cost, 10.0 * xor_cost);
+}
+
+TEST(CostSnapshotTest, SubtractionGivesDeltas) {
+  const CostSnapshot before{5, 100, 2};
+  const CostSnapshot after{9, 350, 7};
+  const CostSnapshot delta = after - before;
+  EXPECT_EQ(delta.messages, 4u);
+  EXPECT_EQ(delta.bytes, 250u);
+  EXPECT_EQ(delta.rounds, 5u);
+}
+
+TEST(CostMeterTest, RecordAndReset) {
+  CostMeter meter;
+  meter.record_message(100);
+  meter.record_message(50);
+  meter.record_round(2);
+  CostSnapshot snap = meter.snapshot();
+  EXPECT_EQ(snap.messages, 2u);
+  EXPECT_EQ(snap.bytes, 150u);
+  EXPECT_EQ(snap.rounds, 2u);
+  meter.reset();
+  snap = meter.snapshot();
+  EXPECT_EQ(snap.messages, 0u);
+  EXPECT_EQ(snap.bytes, 0u);
+  EXPECT_EQ(snap.rounds, 0u);
+}
+
+}  // namespace
+}  // namespace eppi::net

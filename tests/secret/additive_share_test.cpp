@@ -1,0 +1,100 @@
+#include "secret/additive_share.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace eppi::secret {
+namespace {
+
+// Property sweep over (modulus, share count): Theorem 4.1 recoverability.
+class SplitSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t>> {
+};
+
+TEST_P(SplitSweep, SplitReconstructRoundTrip) {
+  const auto [q, c] = GetParam();
+  const ModRing ring(q);
+  eppi::Rng rng(q * 1000 + c);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t value = rng.next_below(q);
+    const auto shares = split_additive(value, c, ring, rng);
+    ASSERT_EQ(shares.size(), c);
+    for (const auto s : shares) EXPECT_LT(s, q);
+    EXPECT_EQ(reconstruct_additive(shares, ring), value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, SplitSweep,
+    ::testing::Combine(::testing::Values<std::uint64_t>(2, 5, 8, 97, 1024),
+                       ::testing::Values<std::size_t>(1, 2, 3, 5, 8)));
+
+TEST(AdditiveShareTest, ZeroSharesRejected) {
+  const ModRing ring(8);
+  eppi::Rng rng(1);
+  EXPECT_THROW(split_additive(1, 0, ring, rng), eppi::ConfigError);
+  EXPECT_THROW(reconstruct_additive({}, ring), eppi::ConfigError);
+}
+
+TEST(AdditiveShareTest, AdditiveHomomorphism) {
+  const ModRing ring(64);
+  eppi::Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::uint64_t a = rng.next_below(64);
+    const std::uint64_t b = rng.next_below(64);
+    const auto sa = split_additive(a, 3, ring, rng);
+    const auto sb = split_additive(b, 3, ring, rng);
+    const auto sum = add_share_vectors(sa, sb, ring);
+    EXPECT_EQ(reconstruct_additive(sum, ring), ring.add(a, b));
+  }
+}
+
+TEST(AdditiveShareTest, AddShareVectorsSizeMismatchThrows) {
+  const ModRing ring(8);
+  const std::vector<std::uint64_t> a{1, 2};
+  const std::vector<std::uint64_t> b{1};
+  EXPECT_THROW(add_share_vectors(a, b, ring), eppi::ConfigError);
+}
+
+// Theorem 4.1 secrecy, empirically: given c-1 shares, the distribution of
+// the first share is uniform regardless of the secret.
+TEST(AdditiveShareTest, PartialSharesLookUniform) {
+  const ModRing ring(16);
+  eppi::Rng rng(42);
+  constexpr int kTrials = 32000;
+  // Two very different secrets; compare first-share histograms.
+  std::vector<int> hist0(16, 0), hist15(16, 0);
+  for (int t = 0; t < kTrials; ++t) {
+    hist0[split_additive(0, 3, ring, rng)[0]]++;
+    hist15[split_additive(15, 3, ring, rng)[0]]++;
+  }
+  const double expected = kTrials / 16.0;
+  for (int v = 0; v < 16; ++v) {
+    EXPECT_NEAR(hist0[v], expected, expected * 0.15);
+    EXPECT_NEAR(hist15[v], expected, expected * 0.15);
+  }
+}
+
+// With c == 1 the single "share" is the value itself (degenerate but legal).
+TEST(AdditiveShareTest, SingleShareIsValue) {
+  const ModRing ring(8);
+  eppi::Rng rng(3);
+  const auto shares = split_additive(5, 1, ring, rng);
+  ASSERT_EQ(shares.size(), 1u);
+  EXPECT_EQ(shares[0], 5u);
+}
+
+TEST(AdditiveShareTest, ValueReducedModQ) {
+  const ModRing ring(5);
+  eppi::Rng rng(9);
+  const auto shares = split_additive(7, 3, ring, rng);  // 7 ≡ 2 (mod 5)
+  EXPECT_EQ(reconstruct_additive(shares, ring), 2u);
+}
+
+}  // namespace
+}  // namespace eppi::secret

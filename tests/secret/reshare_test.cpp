@@ -1,0 +1,127 @@
+#include "secret/reshare.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "secret/additive_share.h"
+#include "secret/sec_sum_share.h"
+
+namespace eppi::secret {
+namespace {
+
+using eppi::net::Cluster;
+using eppi::net::PartyContext;
+using eppi::net::PartyId;
+
+TEST(ReshareTest, SumsAreUnchanged) {
+  constexpr std::size_t kC = 3;
+  constexpr std::size_t kN = 16;
+  const ModRing ring(1 << 10);
+  eppi::Rng rng(1);
+  // Fabricate share vectors for known sums.
+  std::vector<std::uint64_t> sums(kN);
+  std::vector<std::vector<std::uint64_t>> shares(
+      kC, std::vector<std::uint64_t>(kN));
+  for (std::size_t j = 0; j < kN; ++j) {
+    sums[j] = rng.next_below(ring.q());
+    const auto split = split_additive(sums[j], kC, ring, rng);
+    for (std::size_t i = 0; i < kC; ++i) shares[i][j] = split[i];
+  }
+
+  Cluster cluster(kC, 9);
+  std::vector<std::vector<std::uint64_t>> updated(kC);
+  cluster.run([&](PartyContext& ctx) {
+    const std::vector<PartyId> parties{0, 1, 2};
+    updated[ctx.id()] =
+        run_reshare_party(ctx, parties, shares[ctx.id()], ring);
+  });
+
+  for (std::size_t j = 0; j < kN; ++j) {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < kC; ++i) {
+      total = ring.add(total, updated[i][j]);
+    }
+    EXPECT_EQ(total, sums[j]) << "identity " << j;
+  }
+}
+
+TEST(ReshareTest, SharesActuallyChange) {
+  constexpr std::size_t kC = 2;
+  const ModRing ring(1 << 12);
+  const std::vector<std::vector<std::uint64_t>> shares{
+      std::vector<std::uint64_t>(64, 7),
+      std::vector<std::uint64_t>(64, 11)};
+  Cluster cluster(kC, 3);
+  std::vector<std::vector<std::uint64_t>> updated(kC);
+  cluster.run([&](PartyContext& ctx) {
+    const std::vector<PartyId> parties{0, 1};
+    updated[ctx.id()] =
+        run_reshare_party(ctx, parties, shares[ctx.id()], ring);
+  });
+  std::size_t unchanged = 0;
+  for (std::size_t j = 0; j < 64; ++j) {
+    if (updated[0][j] == shares[0][j]) ++unchanged;
+  }
+  EXPECT_LT(unchanged, 3u);  // re-randomization touches ~every entry
+}
+
+TEST(ReshareTest, OldAndNewViewsAreIndependent) {
+  // A mobile adversary pooling coordinator 0's OLD share and coordinator
+  // 1's NEW share must still see uniform noise: old + new-of-other should
+  // not reconstruct the secret.
+  constexpr std::size_t kC = 2;
+  constexpr std::size_t kN = 4096;
+  const ModRing ring(1 << 8);
+  eppi::Rng rng(5);
+  const std::uint64_t secret = 42;
+  std::vector<std::vector<std::uint64_t>> shares(
+      kC, std::vector<std::uint64_t>(kN));
+  for (std::size_t j = 0; j < kN; ++j) {
+    const auto split = split_additive(secret, kC, ring, rng);
+    shares[0][j] = split[0];
+    shares[1][j] = split[1];
+  }
+  Cluster cluster(kC, 11);
+  std::vector<std::vector<std::uint64_t>> updated(kC);
+  cluster.run([&](PartyContext& ctx) {
+    const std::vector<PartyId> parties{0, 1};
+    updated[ctx.id()] =
+        run_reshare_party(ctx, parties, shares[ctx.id()], ring);
+  });
+  // Histogram of old_0 + new_1 mod q: uniform if resharing decorrelated
+  // the epochs (it would be constant = secret without resharing).
+  std::vector<std::size_t> hist(ring.q(), 0);
+  for (std::size_t j = 0; j < kN; ++j) {
+    ++hist[ring.add(shares[0][j], updated[1][j])];
+  }
+  // Chi-squared against uniform: with q-1 = 255 degrees of freedom the
+  // statistic concentrates near 255; without resharing the histogram is a
+  // point mass (chi2 ~ kN * q). Check the aggregate, not per-bucket noise.
+  const double expected = static_cast<double>(kN) / static_cast<double>(ring.q());
+  double chi2 = 0.0;
+  std::size_t max_bucket = 0;
+  for (const std::size_t count : hist) {
+    const double diff = static_cast<double>(count) - expected;
+    chi2 += diff * diff / expected;
+    max_bucket = std::max(max_bucket, count);
+  }
+  EXPECT_LT(chi2, 2.0 * static_cast<double>(ring.q()));
+  EXPECT_LT(max_bucket, kN / 16);  // nowhere near a point mass
+}
+
+TEST(ReshareTest, Validates) {
+  const ModRing ring(16);
+  Cluster cluster(2);
+  EXPECT_THROW(cluster.run([&](PartyContext& ctx) {
+                 const std::vector<PartyId> parties{0, 1};
+                 const std::vector<std::uint64_t> empty;
+                 (void)run_reshare_party(ctx, parties, empty, ring);
+               }),
+               eppi::ConfigError);
+}
+
+}  // namespace
+}  // namespace eppi::secret

@@ -1,0 +1,183 @@
+#include "secret/sec_sum_share.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "secret/additive_share.h"
+
+namespace eppi::secret {
+namespace {
+
+using eppi::net::Cluster;
+using eppi::net::PartyContext;
+
+struct RunOutput {
+  std::vector<std::vector<std::uint64_t>> coordinator_shares;  // c vectors
+  eppi::net::CostSnapshot cost;
+};
+
+RunOutput run_protocol(const std::vector<std::vector<std::uint8_t>>& inputs,
+                       const SecSumShareParams& params,
+                       std::uint64_t seed = 1) {
+  const std::size_t m = inputs.size();
+  Cluster cluster(m, seed);
+  RunOutput out;
+  out.coordinator_shares.resize(params.c);
+  cluster.run([&](PartyContext& ctx) {
+    const auto result =
+        run_sec_sum_share_party(ctx, params, inputs[ctx.id()]);
+    if (ctx.id() < params.c) {
+      ASSERT_TRUE(result.has_value());
+      out.coordinator_shares[ctx.id()] = *result;
+    } else {
+      EXPECT_FALSE(result.has_value());
+    }
+  });
+  out.cost = cluster.meter().snapshot();
+  return out;
+}
+
+std::vector<std::uint64_t> reconstruct_sums(const RunOutput& out,
+                                            const ModRing& ring,
+                                            std::size_t n) {
+  std::vector<std::uint64_t> sums(n, 0);
+  for (const auto& vec : out.coordinator_shares) {
+    for (std::size_t j = 0; j < n; ++j) sums[j] = ring.add(sums[j], vec[j]);
+  }
+  return sums;
+}
+
+// The paper's Fig. 3 walkthrough: m=5 providers, c=3, q=5, identity held by
+// p1 and p2; the reconstructed frequency must be 2.
+TEST(SecSumShareTest, PaperFigure3Example) {
+  const std::vector<std::vector<std::uint8_t>> inputs{{0}, {1}, {1}, {0}, {0}};
+  const SecSumShareParams params{3, 5, 1};
+  const auto out = run_protocol(inputs, params);
+  const ModRing ring(5);
+  EXPECT_EQ(reconstruct_sums(out, ring, 1)[0], 2u);
+}
+
+class SecSumSweep
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t /*m*/, std::size_t /*c*/, std::size_t /*n*/>> {
+};
+
+TEST_P(SecSumSweep, ReconstructedSumsMatchPlainFrequencies) {
+  const auto [m, c, n] = GetParam();
+  eppi::Rng rng(static_cast<std::uint64_t>(m * 1000 + c * 10 + n));
+  std::vector<std::vector<std::uint8_t>> inputs(m,
+                                                std::vector<std::uint8_t>(n));
+  for (auto& row : inputs) {
+    for (auto& bit : row) bit = rng.bernoulli(0.4) ? 1 : 0;
+  }
+  const SecSumShareParams params{c, 0, n};
+  const auto out = run_protocol(inputs, params);
+  const ModRing ring = resolve_ring(params, m);
+  EXPECT_GT(ring.q(), m);
+  const auto sums = reconstruct_sums(out, ring, n);
+  const auto expected = plain_frequency_sums(inputs, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    EXPECT_EQ(sums[j], expected[j]) << "identity " << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, SecSumSweep,
+    ::testing::Values(std::make_tuple(2, 2, 3), std::make_tuple(3, 3, 1),
+                      std::make_tuple(5, 3, 8), std::make_tuple(8, 3, 16),
+                      std::make_tuple(16, 5, 4), std::make_tuple(12, 2, 10),
+                      std::make_tuple(7, 7, 5), std::make_tuple(20, 4, 32)));
+
+TEST(SecSumShareTest, TwoRoundsRegardlessOfNetworkSize) {
+  for (const std::size_t m : {4u, 8u, 16u}) {
+    std::vector<std::vector<std::uint8_t>> inputs(
+        m, std::vector<std::uint8_t>(2, 1));
+    const SecSumShareParams params{3, 0, 2};
+    const auto out = run_protocol(inputs, params);
+    EXPECT_EQ(out.cost.rounds, 2u) << "m=" << m;
+  }
+}
+
+TEST(SecSumShareTest, MessageCountIsLinearInProviders) {
+  // Each provider sends c-1 share messages plus 1 super-share message.
+  constexpr std::size_t kM = 10;
+  constexpr std::size_t kC = 3;
+  std::vector<std::vector<std::uint8_t>> inputs(kM,
+                                                std::vector<std::uint8_t>(1));
+  const SecSumShareParams params{kC, 0, 1};
+  const auto out = run_protocol(inputs, params);
+  EXPECT_EQ(out.cost.messages, kM * kC);
+}
+
+TEST(SecSumShareTest, CoordinatorShareIsNotThePlainFrequency) {
+  // Coordinators individually learn nothing: with a fixed all-ones input,
+  // coordinator 0's share should vary across seeds (it is masked), rather
+  // than equal the true frequency.
+  std::vector<std::vector<std::uint8_t>> inputs(6,
+                                                std::vector<std::uint8_t>(1, 1));
+  const SecSumShareParams params{3, 0, 1};
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const auto out = run_protocol(inputs, params, seed);
+    seen.insert(out.coordinator_shares[0][0]);
+  }
+  EXPECT_GT(seen.size(), 3u);
+}
+
+TEST(SecSumShareTest, RejectsInvalidParameters) {
+  std::vector<std::vector<std::uint8_t>> inputs(4,
+                                                std::vector<std::uint8_t>(1));
+  {
+    Cluster cluster(4);
+    const SecSumShareParams params{1, 0, 1};  // c < 2
+    EXPECT_THROW(cluster.run([&](PartyContext& ctx) {
+                   (void)run_sec_sum_share_party(ctx, params,
+                                                 inputs[ctx.id()]);
+                 }),
+                 eppi::ConfigError);
+  }
+  {
+    Cluster cluster(4);
+    const SecSumShareParams params{5, 0, 1};  // c > m
+    EXPECT_THROW(cluster.run([&](PartyContext& ctx) {
+                   (void)run_sec_sum_share_party(ctx, params,
+                                                 inputs[ctx.id()]);
+                 }),
+                 eppi::ConfigError);
+  }
+}
+
+TEST(SecSumShareTest, RejectsNonBooleanInput) {
+  Cluster cluster(3);
+  const SecSumShareParams params{2, 0, 1};
+  EXPECT_THROW(cluster.run([&](PartyContext& ctx) {
+                 const std::vector<std::uint8_t> bad{2};
+                 (void)run_sec_sum_share_party(ctx, params, bad);
+               }),
+               eppi::ConfigError);
+}
+
+TEST(SecSumShareTest, GeneralModulusWorks) {
+  // Non-power-of-two modulus, paper style.
+  std::vector<std::vector<std::uint8_t>> inputs(6,
+                                                std::vector<std::uint8_t>(4));
+  eppi::Rng rng(77);
+  for (auto& row : inputs) {
+    for (auto& bit : row) bit = rng.bernoulli(0.5) ? 1 : 0;
+  }
+  const SecSumShareParams params{3, 7, 4};
+  const auto out = run_protocol(inputs, params);
+  const ModRing ring(7);
+  const auto sums = reconstruct_sums(out, ring, 4);
+  const auto expected = plain_frequency_sums(inputs, 4);
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_EQ(sums[j], expected[j] % 7);
+  }
+}
+
+}  // namespace
+}  // namespace eppi::secret

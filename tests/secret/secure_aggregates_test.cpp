@@ -1,0 +1,126 @@
+#include "secret/secure_aggregates.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "secret/sec_sum_share.h"
+
+namespace eppi::secret {
+namespace {
+
+using eppi::net::Cluster;
+using eppi::net::PartyContext;
+using eppi::net::PartyId;
+
+// Full pipeline: SecSumShare over m providers, then the aggregates protocol
+// among the c coordinators; returns the coordinators' agreed result.
+AggregateResult run_pipeline(
+    const std::vector<std::vector<std::uint8_t>>& inputs, std::size_t c,
+    const ModRing& ring, std::uint64_t seed = 1) {
+  const std::size_t m = inputs.size();
+  const std::size_t n = inputs[0].size();
+  Cluster cluster(m, seed);
+  std::vector<AggregateResult> results(c);
+  const SecSumShareParams params{c, ring.q(), n};
+  cluster.run([&](PartyContext& ctx) {
+    const auto shares =
+        run_sec_sum_share_party(ctx, params, inputs[ctx.id()]);
+    if (ctx.id() >= c) return;
+    std::vector<PartyId> parties;
+    for (std::size_t i = 0; i < c; ++i) {
+      parties.push_back(static_cast<PartyId>(i));
+    }
+    results[ctx.id()] =
+        run_secure_aggregates_party(ctx, parties, *shares, ring);
+  });
+  for (std::size_t i = 1; i < c; ++i) {
+    EXPECT_EQ(results[i].total, results[0].total);
+    EXPECT_EQ(results[i].total_squares, results[0].total_squares);
+  }
+  return results[0];
+}
+
+TEST(AggregatesRingTest, HoldsSumOfSquares) {
+  const ModRing ring = aggregates_ring_for(100, 50);
+  EXPECT_GT(ring.q(), 50ull * 100 * 100);
+  EXPECT_TRUE(ring.is_power_of_two());
+}
+
+TEST(PlainAggregatesTest, ComputesMoments) {
+  const std::vector<std::uint64_t> freqs{2, 4, 6};
+  const auto result = plain_aggregates(freqs);
+  EXPECT_EQ(result.total, 12u);
+  EXPECT_EQ(result.total_squares, 4u + 16u + 36u);
+  EXPECT_DOUBLE_EQ(result.mean, 4.0);
+  EXPECT_NEAR(result.variance, 8.0 / 3.0, 1e-12);
+}
+
+TEST(PlainAggregatesTest, EmptyInput) {
+  const auto result = plain_aggregates({});
+  EXPECT_EQ(result.identities, 0u);
+  EXPECT_EQ(result.total, 0u);
+  EXPECT_EQ(result.mean, 0.0);
+}
+
+class AggregatesSweep
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t /*m*/, std::size_t /*c*/, std::size_t /*n*/>> {
+};
+
+TEST_P(AggregatesSweep, SecureResultMatchesPlain) {
+  const auto [m, c, n] = GetParam();
+  eppi::Rng rng(static_cast<std::uint64_t>(m * 131 + c * 17 + n));
+  std::vector<std::vector<std::uint8_t>> inputs(m,
+                                                std::vector<std::uint8_t>(n));
+  std::vector<std::uint64_t> freqs(n, 0);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      inputs[i][j] = rng.bernoulli(0.4) ? 1 : 0;
+      freqs[j] += inputs[i][j];
+    }
+  }
+  const ModRing ring = aggregates_ring_for(m, n);
+  const auto secure = run_pipeline(inputs, c, ring);
+  const auto plain = plain_aggregates(freqs);
+  EXPECT_EQ(secure.total, plain.total);
+  EXPECT_EQ(secure.total_squares, plain.total_squares);
+  EXPECT_DOUBLE_EQ(secure.mean, plain.mean);
+  EXPECT_NEAR(secure.variance, plain.variance, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, AggregatesSweep,
+    ::testing::Values(std::make_tuple(4, 2, 3), std::make_tuple(6, 3, 8),
+                      std::make_tuple(10, 3, 16), std::make_tuple(9, 5, 4),
+                      std::make_tuple(12, 4, 32)));
+
+TEST(SecureAggregatesTest, RejectsNonMember) {
+  Cluster cluster(3);
+  const ModRing ring(1 << 10);
+  EXPECT_THROW(cluster.run([&](PartyContext& ctx) {
+                 if (ctx.id() != 2) return;
+                 const std::vector<std::uint64_t> shares{1, 2};
+                 const std::vector<PartyId> parties{0, 1};
+                 (void)run_secure_aggregates_party(ctx, parties, shares,
+                                                   ring);
+               }),
+               eppi::ConfigError);
+}
+
+TEST(SecureAggregatesTest, RejectsEmptyShares) {
+  Cluster cluster(2);
+  const ModRing ring(1 << 10);
+  EXPECT_THROW(cluster.run([&](PartyContext& ctx) {
+                 const std::vector<std::uint64_t> shares;
+                 const std::vector<PartyId> parties{0, 1};
+                 (void)run_secure_aggregates_party(ctx, parties, shares,
+                                                   ring);
+               }),
+               eppi::ConfigError);
+}
+
+}  // namespace
+}  // namespace eppi::secret

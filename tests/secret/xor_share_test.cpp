@@ -1,0 +1,78 @@
+#include "secret/xor_share.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace eppi::secret {
+namespace {
+
+TEST(XorShareTest, BitRoundTrip) {
+  eppi::Rng rng(1);
+  for (const bool value : {false, true}) {
+    for (const std::size_t n : {1u, 2u, 3u, 8u}) {
+      for (int trial = 0; trial < 50; ++trial) {
+        const auto shares = split_xor_bit(value, n, rng);
+        ASSERT_EQ(shares.size(), n);
+        EXPECT_EQ(reconstruct_xor_bit(shares), value);
+      }
+    }
+  }
+}
+
+TEST(XorShareTest, ReconstructBitApi) {
+  EXPECT_EQ(reconstruct_xor_bit({true, false, true}), false);
+  EXPECT_EQ(reconstruct_xor_bit({true}), true);
+  EXPECT_THROW(reconstruct_xor_bit({}), eppi::ConfigError);
+}
+
+TEST(XorShareTest, SingleShareIsValue) {
+  eppi::Rng rng(3);
+  const auto shares = split_xor_bit(true, 1, rng);
+  EXPECT_TRUE(shares[0]);
+}
+
+TEST(XorShareTest, PartialSharesAreBalanced) {
+  eppi::Rng rng(4);
+  int ones = 0;
+  constexpr int kTrials = 20000;
+  for (int t = 0; t < kTrials; ++t) {
+    ones += split_xor_bit(true, 3, rng)[0] ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / kTrials, 0.5, 0.02);
+}
+
+TEST(XorSharePackedTest, RoundTrip) {
+  eppi::Rng rng(5);
+  const std::vector<std::uint8_t> bits{0xDE, 0xAD, 0xBE, 0xEF};
+  for (const std::size_t n : {1u, 2u, 5u}) {
+    const auto shares = split_xor_packed(bits, 32, n, rng);
+    ASSERT_EQ(shares.size(), n);
+    EXPECT_EQ(reconstruct_xor_packed(shares), bits);
+  }
+}
+
+TEST(XorSharePackedTest, TailBitsMasked) {
+  eppi::Rng rng(6);
+  const std::vector<std::uint8_t> bits{0xFF, 0x07};  // 11 valid bits
+  const auto shares = split_xor_packed(bits, 11, 3, rng);
+  const auto back = reconstruct_xor_packed(shares);
+  EXPECT_EQ(back[0], 0xFF);
+  EXPECT_EQ(back[1] & 0x07, 0x07);
+  EXPECT_EQ(back[1] & 0xF8, 0x00);  // tail stays zero
+  for (const auto& share : shares) {
+    EXPECT_EQ(share[1] & 0xF8, 0x00);  // shares carry no stray tail bits
+  }
+}
+
+TEST(XorSharePackedTest, Validates) {
+  eppi::Rng rng(7);
+  const std::vector<std::uint8_t> bits{0x01};
+  EXPECT_THROW(split_xor_packed(bits, 16, 2, rng), eppi::ConfigError);
+  EXPECT_THROW(reconstruct_xor_packed({}), eppi::ConfigError);
+  std::vector<std::vector<std::uint8_t>> ragged{{1, 2}, {3}};
+  EXPECT_THROW(reconstruct_xor_packed(ragged), eppi::ConfigError);
+}
+
+}  // namespace
+}  // namespace eppi::secret

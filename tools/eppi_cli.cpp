@@ -1,0 +1,427 @@
+// eppi_cli — command-line front end for the ε-PPI library.
+//
+//   eppi_cli build <collection.csv> <out.idx> [options]
+//       Builds the ε-PPI for a provider,identity membership table and saves
+//       the published index. Options:
+//         --eps <x>          default privacy degree (default 0.6)
+//         --eps-file <f>     per-owner degrees: lines of identity,eps
+//                            (owners not listed use --eps)
+//         --policy <name>    basic | incexp | chernoff (default chernoff)
+//         --gamma <x>        Chernoff success ratio (default 0.9)
+//         --delta <x>        inc-exp increment (default 0.02)
+//         --distributed      run the trust-free multi-party construction
+//         --c <n>            coordinator count for --distributed (default 3)
+//         --seed <n>         RNG seed (default 1)
+//         --no-mixing        disable the common-identity defense (ablation)
+//
+//   eppi_cli query <index.idx> <collection.csv> <identity> [identity ...]
+//       Loads a saved index and answers QueryPPI using the CSV for names.
+//
+//   eppi_cli stats <index.idx>
+//       Prints dimensions, density and the apparent-frequency profile.
+//
+//   eppi_cli audit <index.idx> <collection.csv> [--eps x]
+//       Privacy audit of a published index against the ground-truth table:
+//       measured attacker confidences under the primary and common-identity
+//       attacks, per-owner bound satisfaction, and the resulting privacy
+//       degrees (eps-PRIVATE / NoGuarantee / NoProtect).
+//
+//   eppi_cli party <collection.csv> --id I --port-base P [options]
+//       Runs ONE provider of the distributed construction as a real network
+//       process: provider I (by CSV order) listens on 127.0.0.1:P+I and
+//       meshes with the other providers at P+j. Start one process per
+//       provider; each learns only its own row and the protocol's public
+//       outputs. Prints this provider's published row as CSV claims.
+//       Additional options: --eps x, --c n, --host-file f (one host:port
+//       per line overrides the loopback mesh).
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "attack/threat_report.h"
+#include "core/constructor.h"
+#include "core/distributed_constructor.h"
+#include "core/construction_party.h"
+#include "core/index_io.h"
+#include "core/posting_index.h"
+#include "dataset/collection_table.h"
+#include "net/socket_transport.h"
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+         "  eppi_cli build <collection.csv> <out.idx> [--eps x] "
+         "[--policy basic|incexp|chernoff]\n"
+         "           [--gamma x] [--delta x] [--distributed] [--c n] "
+         "[--seed n] [--no-mixing]\n"
+         "  eppi_cli query <index.idx> <collection.csv> <identity> "
+         "[identity ...]\n"
+         "  eppi_cli stats <index.idx>\n"
+         "  eppi_cli party <collection.csv> --id I --port-base P "
+         "[--eps x] [--c n] [--host-file f]\n"
+         "  eppi_cli audit <index.idx> <collection.csv> [--eps x]\n";
+  return 2;
+}
+
+eppi::dataset::CollectionTable load_csv(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw eppi::ConfigError("cannot open " + path);
+  return eppi::dataset::load_collection_table(file);
+}
+
+// Per-owner privacy degrees: `identity,eps` lines override the default.
+std::vector<double> load_epsilons(
+    const eppi::dataset::CollectionTable& table, double default_eps,
+    const std::string& eps_file) {
+  std::vector<double> epsilons(table.network.identities(), default_eps);
+  if (eps_file.empty()) return epsilons;
+  std::ifstream file(eps_file);
+  if (!file) throw eppi::ConfigError("cannot open " + eps_file);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(file, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    const auto comma = line.rfind(',');
+    if (comma == std::string::npos) {
+      throw eppi::ConfigError("eps file: malformed line " +
+                              std::to_string(line_no));
+    }
+    const std::string name = line.substr(0, comma);
+    const double eps = std::stod(line.substr(comma + 1));
+    if (eps < 0.0 || eps > 1.0) {
+      throw eppi::ConfigError("eps file: epsilon out of [0,1] on line " +
+                              std::to_string(line_no));
+    }
+    const auto it = std::find(table.identity_names.begin(),
+                              table.identity_names.end(), name);
+    if (it == table.identity_names.end()) {
+      throw eppi::ConfigError("eps file: unknown identity " + name);
+    }
+    epsilons[static_cast<std::size_t>(it - table.identity_names.begin())] =
+        eps;
+  }
+  return epsilons;
+}
+
+eppi::core::PpiIndex load_idx(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw eppi::ConfigError("cannot open " + path);
+  return eppi::core::load_index(file);
+}
+
+int cmd_build(const std::vector<std::string>& args) {
+  if (args.size() < 2) return usage();
+  const std::string csv_path = args[0];
+  const std::string out_path = args[1];
+  double eps = 0.6;
+  std::string eps_file;
+  std::string policy_name = "chernoff";
+  double gamma = 0.9;
+  double delta = 0.02;
+  bool distributed = false;
+  bool mixing = true;
+  std::size_t c = 3;
+  std::uint64_t seed = 1;
+  for (std::size_t a = 2; a < args.size(); ++a) {
+    const std::string& arg = args[a];
+    const auto next = [&]() -> const std::string& {
+      if (a + 1 >= args.size()) throw eppi::ConfigError(arg + " needs a value");
+      return args[++a];
+    };
+    if (arg == "--eps") {
+      eps = std::stod(next());
+    } else if (arg == "--eps-file") {
+      eps_file = next();
+    } else if (arg == "--policy") {
+      policy_name = next();
+    } else if (arg == "--gamma") {
+      gamma = std::stod(next());
+    } else if (arg == "--delta") {
+      delta = std::stod(next());
+    } else if (arg == "--distributed") {
+      distributed = true;
+    } else if (arg == "--no-mixing") {
+      mixing = false;
+    } else if (arg == "--c") {
+      c = std::stoul(next());
+    } else if (arg == "--seed") {
+      seed = std::stoull(next());
+    } else {
+      throw eppi::ConfigError("unknown option " + arg);
+    }
+  }
+
+  eppi::core::BetaPolicy policy;
+  if (policy_name == "basic") {
+    policy = eppi::core::BetaPolicy::basic();
+  } else if (policy_name == "incexp") {
+    policy = eppi::core::BetaPolicy::inc_exp(delta);
+  } else if (policy_name == "chernoff") {
+    policy = eppi::core::BetaPolicy::chernoff(gamma);
+  } else {
+    throw eppi::ConfigError("unknown policy " + policy_name);
+  }
+
+  const auto table = load_csv(csv_path);
+  const auto& net = table.network;
+  const std::vector<double> epsilons = load_epsilons(table, eps, eps_file);
+  std::cerr << "building index over " << net.providers() << " providers / "
+            << net.identities() << " identities (" << policy_name
+            << ", eps=" << eps << (distributed ? ", distributed" : "")
+            << ")\n";
+
+  eppi::core::PpiIndex index;
+  if (distributed) {
+    eppi::core::DistributedOptions options;
+    options.policy = policy;
+    options.enable_mixing = mixing;
+    options.c = c;
+    options.seed = seed;
+    auto result = eppi::core::construct_distributed(net.membership,
+                                                    epsilons, options);
+    std::cerr << "protocol: " << result.report.total_cost.messages
+              << " messages, " << result.report.total_cost.rounds
+              << " rounds; " << result.report.common_count
+              << " common identities, lambda=" << result.report.lambda
+              << '\n';
+    index = std::move(result.index);
+  } else {
+    eppi::core::ConstructionOptions options;
+    options.policy = policy;
+    options.enable_mixing = mixing;
+    eppi::Rng rng(seed);
+    auto result = eppi::core::construct_centralized(net.membership, epsilons,
+                                                    options, rng);
+    std::cerr << "lambda=" << result.info.lambda << ", xi=" << result.info.xi
+              << '\n';
+    index = std::move(result.index);
+  }
+
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) throw eppi::ConfigError("cannot write " + out_path);
+  eppi::core::save_index(out, index);
+  std::cerr << "wrote " << out_path << '\n';
+  return 0;
+}
+
+int cmd_query(const std::vector<std::string>& args) {
+  if (args.size() < 3) return usage();
+  const auto index = load_idx(args[0]);
+  const auto table = load_csv(args[1]);
+  if (index.providers() != table.network.providers() ||
+      index.identities() != table.network.identities()) {
+    throw eppi::ConfigError("index and collection table shapes differ");
+  }
+  const eppi::core::PostingIndex postings(index);
+  for (std::size_t a = 2; a < args.size(); ++a) {
+    const std::string& name = args[a];
+    const auto it = std::find(table.identity_names.begin(),
+                              table.identity_names.end(), name);
+    if (it == table.identity_names.end()) {
+      std::cout << name << ": unknown identity\n";
+      continue;
+    }
+    const auto id = static_cast<eppi::core::IdentityId>(
+        it - table.identity_names.begin());
+    std::cout << name << ':';
+    for (const auto p : postings.query(id)) {
+      std::cout << ' ' << table.provider_names[p];
+    }
+    std::cout << '\n';
+  }
+  return 0;
+}
+
+int cmd_audit(const std::vector<std::string>& args) {
+  if (args.size() < 2) return usage();
+  const auto index = load_idx(args[0]);
+  const auto table = load_csv(args[1]);
+  double eps = 0.6;
+  for (std::size_t a = 2; a < args.size(); ++a) {
+    if (args[a] == "--eps" && a + 1 < args.size()) {
+      eps = std::stod(args[++a]);
+    } else {
+      throw eppi::ConfigError("unknown option " + args[a]);
+    }
+  }
+  const auto& net = table.network;
+  if (index.providers() != net.providers() ||
+      index.identities() != net.identities()) {
+    throw eppi::ConfigError("index and collection table shapes differ");
+  }
+  const std::vector<double> epsilons(net.identities(), eps);
+  // Ground-truth common flags under the default policy.
+  const auto policy = eppi::core::BetaPolicy::chernoff(0.9);
+  const auto thresholds = eppi::core::common_thresholds(
+      policy, epsilons, net.providers());
+  std::vector<bool> common(net.identities());
+  for (std::size_t j = 0; j < net.identities(); ++j) {
+    common[j] = net.membership.col_count(j) >= thresholds[j];
+  }
+  eppi::Rng rng(1);
+  const auto report = eppi::attack::audit_index(
+      net.membership, index.matrix(), epsilons, common, rng);
+  std::cout << "primary attack:\n"
+            << "  mean confidence:    " << report.primary_mean_confidence
+            << "\n  bound satisfaction: " << report.bound_satisfaction
+            << " over " << report.owners_classified << " feasible owners\n"
+            << "  degree:             "
+            << eppi::attack::to_string(report.primary_degree) << '\n';
+  std::cout << "common-identity attack:\n"
+            << "  candidates flagged: " << report.common_candidates
+            << " (true commons among them: " << report.common_hits << ")\n"
+            << "  identification confidence: "
+            << report.common_identification_confidence
+            << " (xi = " << report.xi << ")\n"
+            << "  degree:             "
+            << eppi::attack::to_string(report.common_degree) << '\n';
+  return 0;
+}
+
+int cmd_party(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const std::string csv_path = args[0];
+  std::size_t id = 0;
+  bool have_id = false;
+  std::uint16_t port_base = 0;
+  double eps = 0.6;
+  std::string eps_file;
+  std::size_t c = 2;
+  std::string host_file;
+  for (std::size_t a = 1; a < args.size(); ++a) {
+    const std::string& arg = args[a];
+    const auto next = [&]() -> const std::string& {
+      if (a + 1 >= args.size()) throw eppi::ConfigError(arg + " needs a value");
+      return args[++a];
+    };
+    if (arg == "--id") {
+      id = std::stoul(next());
+      have_id = true;
+    } else if (arg == "--port-base") {
+      port_base = static_cast<std::uint16_t>(std::stoul(next()));
+    } else if (arg == "--eps") {
+      eps = std::stod(next());
+    } else if (arg == "--eps-file") {
+      eps_file = next();
+    } else if (arg == "--c") {
+      c = std::stoul(next());
+    } else if (arg == "--host-file") {
+      host_file = next();
+    } else {
+      throw eppi::ConfigError("unknown option " + arg);
+    }
+  }
+  if (!have_id || (port_base == 0 && host_file.empty())) return usage();
+
+  const auto table = load_csv(csv_path);
+  const auto& net = table.network;
+  const std::size_t m = net.providers();
+  if (id >= m) throw eppi::ConfigError("--id out of range for this table");
+
+  std::vector<eppi::net::Endpoint> endpoints(m);
+  if (!host_file.empty()) {
+    std::ifstream hosts(host_file);
+    if (!hosts) throw eppi::ConfigError("cannot open " + host_file);
+    std::string line;
+    std::size_t k = 0;
+    while (std::getline(hosts, line) && k < m) {
+      const auto colon = line.rfind(':');
+      if (colon == std::string::npos) {
+        throw eppi::ConfigError("host file line needs host:port");
+      }
+      endpoints[k].host = line.substr(0, colon);
+      endpoints[k].port =
+          static_cast<std::uint16_t>(std::stoul(line.substr(colon + 1)));
+      ++k;
+    }
+    if (k != m) throw eppi::ConfigError("host file must list one endpoint per provider");
+  } else {
+    for (std::size_t k = 0; k < m; ++k) {
+      endpoints[k].port = static_cast<std::uint16_t>(port_base + k);
+    }
+  }
+
+  // My private input: this provider's row only.
+  std::vector<std::uint8_t> my_row(net.identities());
+  for (std::size_t j = 0; j < net.identities(); ++j) {
+    my_row[j] = net.membership.get(id, j) ? 1 : 0;
+  }
+  const std::vector<double> epsilons = load_epsilons(table, eps, eps_file);
+
+  eppi::core::DistributedOptions options;
+  options.policy = eppi::core::BetaPolicy::chernoff(0.9);
+  options.c = c;
+  std::cerr << "party " << id << "/" << m << " ("
+            << table.provider_names[id] << ") joining mesh...\n";
+  eppi::net::SocketRuntime runtime(
+      static_cast<eppi::net::PartyId>(id), endpoints, 1);
+  const auto result = eppi::core::run_construction_party(
+      runtime.context(), my_row, epsilons, options);
+  runtime.shutdown();
+
+  std::cerr << "construction complete; published claims:\n";
+  for (std::size_t j = 0; j < net.identities(); ++j) {
+    if (result.published_row[j] != 0) {
+      std::cout << table.provider_names[id] << ','
+                << table.identity_names[j] << '\n';
+    }
+  }
+  if (result.coordinator) {
+    std::cerr << "coordinator view: " << result.coordinator->common_count
+              << " common identities, lambda="
+              << result.coordinator->lambda << '\n';
+  }
+  return 0;
+}
+
+int cmd_stats(const std::vector<std::string>& args) {
+  if (args.size() != 1) return usage();
+  const auto index = load_idx(args[0]);
+  const auto& matrix = index.matrix();
+  const std::size_t cells = matrix.rows() * matrix.cols();
+  std::cout << "providers:  " << matrix.rows() << '\n'
+            << "identities: " << matrix.cols() << '\n'
+            << "claims:     " << matrix.popcount() << " ("
+            << (cells == 0
+                    ? 0.0
+                    : 100.0 * static_cast<double>(matrix.popcount()) /
+                          static_cast<double>(cells))
+            << "% dense)\n";
+  std::size_t full = 0;
+  std::size_t max_freq = 0;
+  for (std::size_t j = 0; j < matrix.cols(); ++j) {
+    const std::size_t f = matrix.col_count(j);
+    max_freq = std::max(max_freq, f);
+    if (f == matrix.rows()) ++full;
+  }
+  std::cout << "max apparent frequency: " << max_freq << '\n'
+            << "broadcast (apparent-common) identities: " << full << '\n';
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (command == "build") return cmd_build(args);
+    if (command == "query") return cmd_query(args);
+    if (command == "stats") return cmd_stats(args);
+    if (command == "party") return cmd_party(args);
+    if (command == "audit") return cmd_audit(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
