@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mixing.dir/bench_ablation_mixing.cpp.o"
+  "CMakeFiles/bench_ablation_mixing.dir/bench_ablation_mixing.cpp.o.d"
+  "bench_ablation_mixing"
+  "bench_ablation_mixing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mixing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

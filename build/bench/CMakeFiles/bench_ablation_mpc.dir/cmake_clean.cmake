@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mpc.dir/bench_ablation_mpc.cpp.o"
+  "CMakeFiles/bench_ablation_mpc.dir/bench_ablation_mpc.cpp.o.d"
+  "bench_ablation_mpc"
+  "bench_ablation_mpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4a.dir/bench_fig4a.cpp.o"
+  "CMakeFiles/bench_fig4a.dir/bench_fig4a.cpp.o.d"
+  "bench_fig4a"
+  "bench_fig4a.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig6c.cpp" "bench/CMakeFiles/bench_fig6c.dir/bench_fig6c.cpp.o" "gcc" "bench/CMakeFiles/bench_fig6c.dir/bench_fig6c.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eppi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/eppi_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/secret/CMakeFiles/eppi_secret.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpc/CMakeFiles/eppi_mpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/eppi_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/eppi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/eppi_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/eppi_attack.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

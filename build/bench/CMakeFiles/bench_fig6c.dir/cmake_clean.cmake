@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6c.dir/bench_fig6c.cpp.o"
+  "CMakeFiles/bench_fig6c.dir/bench_fig6c.cpp.o.d"
+  "bench_fig6c"
+  "bench_fig6c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_search_overhead.dir/bench_search_overhead.cpp.o"
+  "CMakeFiles/bench_search_overhead.dir/bench_search_overhead.cpp.o.d"
+  "bench_search_overhead"
+  "bench_search_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_search_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

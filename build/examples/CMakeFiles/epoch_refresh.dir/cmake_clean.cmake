@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epoch_refresh.dir/epoch_refresh.cpp.o"
+  "CMakeFiles/epoch_refresh.dir/epoch_refresh.cpp.o.d"
+  "epoch_refresh"
+  "epoch_refresh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epoch_refresh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federated_search.dir/federated_search.cpp.o"
+  "CMakeFiles/federated_search.dir/federated_search.cpp.o.d"
+  "federated_search"
+  "federated_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federated_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hie_network.dir/hie_network.cpp.o"
+  "CMakeFiles/hie_network.dir/hie_network.cpp.o.d"
+  "hie_network"
+  "hie_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hie_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

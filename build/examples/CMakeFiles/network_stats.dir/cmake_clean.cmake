@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_stats.dir/network_stats.cpp.o"
+  "CMakeFiles/network_stats.dir/network_stats.cpp.o.d"
+  "network_stats"
+  "network_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

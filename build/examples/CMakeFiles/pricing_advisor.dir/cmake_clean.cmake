@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pricing_advisor.dir/pricing_advisor.cpp.o"
+  "CMakeFiles/pricing_advisor.dir/pricing_advisor.cpp.o.d"
+  "pricing_advisor"
+  "pricing_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pricing_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

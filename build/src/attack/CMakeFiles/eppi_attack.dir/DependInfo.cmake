@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/beta_inversion.cpp" "src/attack/CMakeFiles/eppi_attack.dir/beta_inversion.cpp.o" "gcc" "src/attack/CMakeFiles/eppi_attack.dir/beta_inversion.cpp.o.d"
+  "/root/repo/src/attack/collusion.cpp" "src/attack/CMakeFiles/eppi_attack.dir/collusion.cpp.o" "gcc" "src/attack/CMakeFiles/eppi_attack.dir/collusion.cpp.o.d"
+  "/root/repo/src/attack/collusion_attack.cpp" "src/attack/CMakeFiles/eppi_attack.dir/collusion_attack.cpp.o" "gcc" "src/attack/CMakeFiles/eppi_attack.dir/collusion_attack.cpp.o.d"
+  "/root/repo/src/attack/common_identity_attack.cpp" "src/attack/CMakeFiles/eppi_attack.dir/common_identity_attack.cpp.o" "gcc" "src/attack/CMakeFiles/eppi_attack.dir/common_identity_attack.cpp.o.d"
+  "/root/repo/src/attack/primary_attack.cpp" "src/attack/CMakeFiles/eppi_attack.dir/primary_attack.cpp.o" "gcc" "src/attack/CMakeFiles/eppi_attack.dir/primary_attack.cpp.o.d"
+  "/root/repo/src/attack/privacy_degree.cpp" "src/attack/CMakeFiles/eppi_attack.dir/privacy_degree.cpp.o" "gcc" "src/attack/CMakeFiles/eppi_attack.dir/privacy_degree.cpp.o.d"
+  "/root/repo/src/attack/threat_report.cpp" "src/attack/CMakeFiles/eppi_attack.dir/threat_report.cpp.o" "gcc" "src/attack/CMakeFiles/eppi_attack.dir/threat_report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eppi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/eppi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/secret/CMakeFiles/eppi_secret.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpc/CMakeFiles/eppi_mpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/eppi_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

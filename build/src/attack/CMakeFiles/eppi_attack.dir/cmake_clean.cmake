@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eppi_attack.dir/beta_inversion.cpp.o"
+  "CMakeFiles/eppi_attack.dir/beta_inversion.cpp.o.d"
+  "CMakeFiles/eppi_attack.dir/collusion.cpp.o"
+  "CMakeFiles/eppi_attack.dir/collusion.cpp.o.d"
+  "CMakeFiles/eppi_attack.dir/collusion_attack.cpp.o"
+  "CMakeFiles/eppi_attack.dir/collusion_attack.cpp.o.d"
+  "CMakeFiles/eppi_attack.dir/common_identity_attack.cpp.o"
+  "CMakeFiles/eppi_attack.dir/common_identity_attack.cpp.o.d"
+  "CMakeFiles/eppi_attack.dir/primary_attack.cpp.o"
+  "CMakeFiles/eppi_attack.dir/primary_attack.cpp.o.d"
+  "CMakeFiles/eppi_attack.dir/privacy_degree.cpp.o"
+  "CMakeFiles/eppi_attack.dir/privacy_degree.cpp.o.d"
+  "CMakeFiles/eppi_attack.dir/threat_report.cpp.o"
+  "CMakeFiles/eppi_attack.dir/threat_report.cpp.o.d"
+  "libeppi_attack.a"
+  "libeppi_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eppi_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

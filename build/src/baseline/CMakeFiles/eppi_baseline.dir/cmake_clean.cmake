@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eppi_baseline.dir/grouping_ppi.cpp.o"
+  "CMakeFiles/eppi_baseline.dir/grouping_ppi.cpp.o.d"
+  "CMakeFiles/eppi_baseline.dir/pure_mpc_runner.cpp.o"
+  "CMakeFiles/eppi_baseline.dir/pure_mpc_runner.cpp.o.d"
+  "libeppi_baseline.a"
+  "libeppi_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eppi_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eppi_common.dir/bit_matrix.cpp.o"
+  "CMakeFiles/eppi_common.dir/bit_matrix.cpp.o.d"
+  "CMakeFiles/eppi_common.dir/logging.cpp.o"
+  "CMakeFiles/eppi_common.dir/logging.cpp.o.d"
+  "CMakeFiles/eppi_common.dir/rng.cpp.o"
+  "CMakeFiles/eppi_common.dir/rng.cpp.o.d"
+  "CMakeFiles/eppi_common.dir/serialize.cpp.o"
+  "CMakeFiles/eppi_common.dir/serialize.cpp.o.d"
+  "CMakeFiles/eppi_common.dir/stats.cpp.o"
+  "CMakeFiles/eppi_common.dir/stats.cpp.o.d"
+  "CMakeFiles/eppi_common.dir/zipf.cpp.o"
+  "CMakeFiles/eppi_common.dir/zipf.cpp.o.d"
+  "libeppi_common.a"
+  "libeppi_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eppi_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeppi_common.a"
+)

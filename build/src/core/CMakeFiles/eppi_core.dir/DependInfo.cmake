@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/advisor.cpp" "src/core/CMakeFiles/eppi_core.dir/advisor.cpp.o" "gcc" "src/core/CMakeFiles/eppi_core.dir/advisor.cpp.o.d"
+  "/root/repo/src/core/auth_search.cpp" "src/core/CMakeFiles/eppi_core.dir/auth_search.cpp.o" "gcc" "src/core/CMakeFiles/eppi_core.dir/auth_search.cpp.o.d"
+  "/root/repo/src/core/beta_policy.cpp" "src/core/CMakeFiles/eppi_core.dir/beta_policy.cpp.o" "gcc" "src/core/CMakeFiles/eppi_core.dir/beta_policy.cpp.o.d"
+  "/root/repo/src/core/construction_party.cpp" "src/core/CMakeFiles/eppi_core.dir/construction_party.cpp.o" "gcc" "src/core/CMakeFiles/eppi_core.dir/construction_party.cpp.o.d"
+  "/root/repo/src/core/constructor.cpp" "src/core/CMakeFiles/eppi_core.dir/constructor.cpp.o" "gcc" "src/core/CMakeFiles/eppi_core.dir/constructor.cpp.o.d"
+  "/root/repo/src/core/distributed_constructor.cpp" "src/core/CMakeFiles/eppi_core.dir/distributed_constructor.cpp.o" "gcc" "src/core/CMakeFiles/eppi_core.dir/distributed_constructor.cpp.o.d"
+  "/root/repo/src/core/epoch_manager.cpp" "src/core/CMakeFiles/eppi_core.dir/epoch_manager.cpp.o" "gcc" "src/core/CMakeFiles/eppi_core.dir/epoch_manager.cpp.o.d"
+  "/root/repo/src/core/guarantee.cpp" "src/core/CMakeFiles/eppi_core.dir/guarantee.cpp.o" "gcc" "src/core/CMakeFiles/eppi_core.dir/guarantee.cpp.o.d"
+  "/root/repo/src/core/index_io.cpp" "src/core/CMakeFiles/eppi_core.dir/index_io.cpp.o" "gcc" "src/core/CMakeFiles/eppi_core.dir/index_io.cpp.o.d"
+  "/root/repo/src/core/locator_service.cpp" "src/core/CMakeFiles/eppi_core.dir/locator_service.cpp.o" "gcc" "src/core/CMakeFiles/eppi_core.dir/locator_service.cpp.o.d"
+  "/root/repo/src/core/mixing.cpp" "src/core/CMakeFiles/eppi_core.dir/mixing.cpp.o" "gcc" "src/core/CMakeFiles/eppi_core.dir/mixing.cpp.o.d"
+  "/root/repo/src/core/posting_index.cpp" "src/core/CMakeFiles/eppi_core.dir/posting_index.cpp.o" "gcc" "src/core/CMakeFiles/eppi_core.dir/posting_index.cpp.o.d"
+  "/root/repo/src/core/ppi_index.cpp" "src/core/CMakeFiles/eppi_core.dir/ppi_index.cpp.o" "gcc" "src/core/CMakeFiles/eppi_core.dir/ppi_index.cpp.o.d"
+  "/root/repo/src/core/publisher.cpp" "src/core/CMakeFiles/eppi_core.dir/publisher.cpp.o" "gcc" "src/core/CMakeFiles/eppi_core.dir/publisher.cpp.o.d"
+  "/root/repo/src/core/sticky_publisher.cpp" "src/core/CMakeFiles/eppi_core.dir/sticky_publisher.cpp.o" "gcc" "src/core/CMakeFiles/eppi_core.dir/sticky_publisher.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eppi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/eppi_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/secret/CMakeFiles/eppi_secret.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpc/CMakeFiles/eppi_mpc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

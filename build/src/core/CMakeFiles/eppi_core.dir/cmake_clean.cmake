@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eppi_core.dir/advisor.cpp.o"
+  "CMakeFiles/eppi_core.dir/advisor.cpp.o.d"
+  "CMakeFiles/eppi_core.dir/auth_search.cpp.o"
+  "CMakeFiles/eppi_core.dir/auth_search.cpp.o.d"
+  "CMakeFiles/eppi_core.dir/beta_policy.cpp.o"
+  "CMakeFiles/eppi_core.dir/beta_policy.cpp.o.d"
+  "CMakeFiles/eppi_core.dir/construction_party.cpp.o"
+  "CMakeFiles/eppi_core.dir/construction_party.cpp.o.d"
+  "CMakeFiles/eppi_core.dir/constructor.cpp.o"
+  "CMakeFiles/eppi_core.dir/constructor.cpp.o.d"
+  "CMakeFiles/eppi_core.dir/distributed_constructor.cpp.o"
+  "CMakeFiles/eppi_core.dir/distributed_constructor.cpp.o.d"
+  "CMakeFiles/eppi_core.dir/epoch_manager.cpp.o"
+  "CMakeFiles/eppi_core.dir/epoch_manager.cpp.o.d"
+  "CMakeFiles/eppi_core.dir/guarantee.cpp.o"
+  "CMakeFiles/eppi_core.dir/guarantee.cpp.o.d"
+  "CMakeFiles/eppi_core.dir/index_io.cpp.o"
+  "CMakeFiles/eppi_core.dir/index_io.cpp.o.d"
+  "CMakeFiles/eppi_core.dir/locator_service.cpp.o"
+  "CMakeFiles/eppi_core.dir/locator_service.cpp.o.d"
+  "CMakeFiles/eppi_core.dir/mixing.cpp.o"
+  "CMakeFiles/eppi_core.dir/mixing.cpp.o.d"
+  "CMakeFiles/eppi_core.dir/posting_index.cpp.o"
+  "CMakeFiles/eppi_core.dir/posting_index.cpp.o.d"
+  "CMakeFiles/eppi_core.dir/ppi_index.cpp.o"
+  "CMakeFiles/eppi_core.dir/ppi_index.cpp.o.d"
+  "CMakeFiles/eppi_core.dir/publisher.cpp.o"
+  "CMakeFiles/eppi_core.dir/publisher.cpp.o.d"
+  "CMakeFiles/eppi_core.dir/sticky_publisher.cpp.o"
+  "CMakeFiles/eppi_core.dir/sticky_publisher.cpp.o.d"
+  "libeppi_core.a"
+  "libeppi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eppi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

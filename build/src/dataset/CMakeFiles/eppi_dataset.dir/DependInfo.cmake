@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataset/collection_table.cpp" "src/dataset/CMakeFiles/eppi_dataset.dir/collection_table.cpp.o" "gcc" "src/dataset/CMakeFiles/eppi_dataset.dir/collection_table.cpp.o.d"
+  "/root/repo/src/dataset/evolution.cpp" "src/dataset/CMakeFiles/eppi_dataset.dir/evolution.cpp.o" "gcc" "src/dataset/CMakeFiles/eppi_dataset.dir/evolution.cpp.o.d"
+  "/root/repo/src/dataset/hie_model.cpp" "src/dataset/CMakeFiles/eppi_dataset.dir/hie_model.cpp.o" "gcc" "src/dataset/CMakeFiles/eppi_dataset.dir/hie_model.cpp.o.d"
+  "/root/repo/src/dataset/synthetic.cpp" "src/dataset/CMakeFiles/eppi_dataset.dir/synthetic.cpp.o" "gcc" "src/dataset/CMakeFiles/eppi_dataset.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eppi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eppi_dataset.dir/collection_table.cpp.o"
+  "CMakeFiles/eppi_dataset.dir/collection_table.cpp.o.d"
+  "CMakeFiles/eppi_dataset.dir/evolution.cpp.o"
+  "CMakeFiles/eppi_dataset.dir/evolution.cpp.o.d"
+  "CMakeFiles/eppi_dataset.dir/hie_model.cpp.o"
+  "CMakeFiles/eppi_dataset.dir/hie_model.cpp.o.d"
+  "CMakeFiles/eppi_dataset.dir/synthetic.cpp.o"
+  "CMakeFiles/eppi_dataset.dir/synthetic.cpp.o.d"
+  "libeppi_dataset.a"
+  "libeppi_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eppi_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

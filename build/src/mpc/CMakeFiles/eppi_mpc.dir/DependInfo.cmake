@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpc/arith.cpp" "src/mpc/CMakeFiles/eppi_mpc.dir/arith.cpp.o" "gcc" "src/mpc/CMakeFiles/eppi_mpc.dir/arith.cpp.o.d"
+  "/root/repo/src/mpc/beaver.cpp" "src/mpc/CMakeFiles/eppi_mpc.dir/beaver.cpp.o" "gcc" "src/mpc/CMakeFiles/eppi_mpc.dir/beaver.cpp.o.d"
+  "/root/repo/src/mpc/circuit.cpp" "src/mpc/CMakeFiles/eppi_mpc.dir/circuit.cpp.o" "gcc" "src/mpc/CMakeFiles/eppi_mpc.dir/circuit.cpp.o.d"
+  "/root/repo/src/mpc/circuit_builder.cpp" "src/mpc/CMakeFiles/eppi_mpc.dir/circuit_builder.cpp.o" "gcc" "src/mpc/CMakeFiles/eppi_mpc.dir/circuit_builder.cpp.o.d"
+  "/root/repo/src/mpc/circuit_io.cpp" "src/mpc/CMakeFiles/eppi_mpc.dir/circuit_io.cpp.o" "gcc" "src/mpc/CMakeFiles/eppi_mpc.dir/circuit_io.cpp.o.d"
+  "/root/repo/src/mpc/eppi_circuits.cpp" "src/mpc/CMakeFiles/eppi_mpc.dir/eppi_circuits.cpp.o" "gcc" "src/mpc/CMakeFiles/eppi_mpc.dir/eppi_circuits.cpp.o.d"
+  "/root/repo/src/mpc/garbled.cpp" "src/mpc/CMakeFiles/eppi_mpc.dir/garbled.cpp.o" "gcc" "src/mpc/CMakeFiles/eppi_mpc.dir/garbled.cpp.o.d"
+  "/root/repo/src/mpc/gmw.cpp" "src/mpc/CMakeFiles/eppi_mpc.dir/gmw.cpp.o" "gcc" "src/mpc/CMakeFiles/eppi_mpc.dir/gmw.cpp.o.d"
+  "/root/repo/src/mpc/optimizer.cpp" "src/mpc/CMakeFiles/eppi_mpc.dir/optimizer.cpp.o" "gcc" "src/mpc/CMakeFiles/eppi_mpc.dir/optimizer.cpp.o.d"
+  "/root/repo/src/mpc/plain_eval.cpp" "src/mpc/CMakeFiles/eppi_mpc.dir/plain_eval.cpp.o" "gcc" "src/mpc/CMakeFiles/eppi_mpc.dir/plain_eval.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eppi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/eppi_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/secret/CMakeFiles/eppi_secret.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eppi_mpc.dir/arith.cpp.o"
+  "CMakeFiles/eppi_mpc.dir/arith.cpp.o.d"
+  "CMakeFiles/eppi_mpc.dir/beaver.cpp.o"
+  "CMakeFiles/eppi_mpc.dir/beaver.cpp.o.d"
+  "CMakeFiles/eppi_mpc.dir/circuit.cpp.o"
+  "CMakeFiles/eppi_mpc.dir/circuit.cpp.o.d"
+  "CMakeFiles/eppi_mpc.dir/circuit_builder.cpp.o"
+  "CMakeFiles/eppi_mpc.dir/circuit_builder.cpp.o.d"
+  "CMakeFiles/eppi_mpc.dir/circuit_io.cpp.o"
+  "CMakeFiles/eppi_mpc.dir/circuit_io.cpp.o.d"
+  "CMakeFiles/eppi_mpc.dir/eppi_circuits.cpp.o"
+  "CMakeFiles/eppi_mpc.dir/eppi_circuits.cpp.o.d"
+  "CMakeFiles/eppi_mpc.dir/garbled.cpp.o"
+  "CMakeFiles/eppi_mpc.dir/garbled.cpp.o.d"
+  "CMakeFiles/eppi_mpc.dir/gmw.cpp.o"
+  "CMakeFiles/eppi_mpc.dir/gmw.cpp.o.d"
+  "CMakeFiles/eppi_mpc.dir/optimizer.cpp.o"
+  "CMakeFiles/eppi_mpc.dir/optimizer.cpp.o.d"
+  "CMakeFiles/eppi_mpc.dir/plain_eval.cpp.o"
+  "CMakeFiles/eppi_mpc.dir/plain_eval.cpp.o.d"
+  "libeppi_mpc.a"
+  "libeppi_mpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eppi_mpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

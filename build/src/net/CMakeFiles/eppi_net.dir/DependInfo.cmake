@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/cluster.cpp" "src/net/CMakeFiles/eppi_net.dir/cluster.cpp.o" "gcc" "src/net/CMakeFiles/eppi_net.dir/cluster.cpp.o.d"
+  "/root/repo/src/net/cost_meter.cpp" "src/net/CMakeFiles/eppi_net.dir/cost_meter.cpp.o" "gcc" "src/net/CMakeFiles/eppi_net.dir/cost_meter.cpp.o.d"
+  "/root/repo/src/net/cost_model.cpp" "src/net/CMakeFiles/eppi_net.dir/cost_model.cpp.o" "gcc" "src/net/CMakeFiles/eppi_net.dir/cost_model.cpp.o.d"
+  "/root/repo/src/net/mailbox.cpp" "src/net/CMakeFiles/eppi_net.dir/mailbox.cpp.o" "gcc" "src/net/CMakeFiles/eppi_net.dir/mailbox.cpp.o.d"
+  "/root/repo/src/net/message.cpp" "src/net/CMakeFiles/eppi_net.dir/message.cpp.o" "gcc" "src/net/CMakeFiles/eppi_net.dir/message.cpp.o.d"
+  "/root/repo/src/net/socket_transport.cpp" "src/net/CMakeFiles/eppi_net.dir/socket_transport.cpp.o" "gcc" "src/net/CMakeFiles/eppi_net.dir/socket_transport.cpp.o.d"
+  "/root/repo/src/net/transport.cpp" "src/net/CMakeFiles/eppi_net.dir/transport.cpp.o" "gcc" "src/net/CMakeFiles/eppi_net.dir/transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eppi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

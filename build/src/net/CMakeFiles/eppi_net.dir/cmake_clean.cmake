@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eppi_net.dir/cluster.cpp.o"
+  "CMakeFiles/eppi_net.dir/cluster.cpp.o.d"
+  "CMakeFiles/eppi_net.dir/cost_meter.cpp.o"
+  "CMakeFiles/eppi_net.dir/cost_meter.cpp.o.d"
+  "CMakeFiles/eppi_net.dir/cost_model.cpp.o"
+  "CMakeFiles/eppi_net.dir/cost_model.cpp.o.d"
+  "CMakeFiles/eppi_net.dir/mailbox.cpp.o"
+  "CMakeFiles/eppi_net.dir/mailbox.cpp.o.d"
+  "CMakeFiles/eppi_net.dir/message.cpp.o"
+  "CMakeFiles/eppi_net.dir/message.cpp.o.d"
+  "CMakeFiles/eppi_net.dir/socket_transport.cpp.o"
+  "CMakeFiles/eppi_net.dir/socket_transport.cpp.o.d"
+  "CMakeFiles/eppi_net.dir/transport.cpp.o"
+  "CMakeFiles/eppi_net.dir/transport.cpp.o.d"
+  "libeppi_net.a"
+  "libeppi_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eppi_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

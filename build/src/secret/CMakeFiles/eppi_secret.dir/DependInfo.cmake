@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/secret/additive_share.cpp" "src/secret/CMakeFiles/eppi_secret.dir/additive_share.cpp.o" "gcc" "src/secret/CMakeFiles/eppi_secret.dir/additive_share.cpp.o.d"
+  "/root/repo/src/secret/mod_ring.cpp" "src/secret/CMakeFiles/eppi_secret.dir/mod_ring.cpp.o" "gcc" "src/secret/CMakeFiles/eppi_secret.dir/mod_ring.cpp.o.d"
+  "/root/repo/src/secret/reshare.cpp" "src/secret/CMakeFiles/eppi_secret.dir/reshare.cpp.o" "gcc" "src/secret/CMakeFiles/eppi_secret.dir/reshare.cpp.o.d"
+  "/root/repo/src/secret/sec_sum_share.cpp" "src/secret/CMakeFiles/eppi_secret.dir/sec_sum_share.cpp.o" "gcc" "src/secret/CMakeFiles/eppi_secret.dir/sec_sum_share.cpp.o.d"
+  "/root/repo/src/secret/secure_aggregates.cpp" "src/secret/CMakeFiles/eppi_secret.dir/secure_aggregates.cpp.o" "gcc" "src/secret/CMakeFiles/eppi_secret.dir/secure_aggregates.cpp.o.d"
+  "/root/repo/src/secret/xor_share.cpp" "src/secret/CMakeFiles/eppi_secret.dir/xor_share.cpp.o" "gcc" "src/secret/CMakeFiles/eppi_secret.dir/xor_share.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eppi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/eppi_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpc/CMakeFiles/eppi_mpc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eppi_secret.dir/additive_share.cpp.o"
+  "CMakeFiles/eppi_secret.dir/additive_share.cpp.o.d"
+  "CMakeFiles/eppi_secret.dir/mod_ring.cpp.o"
+  "CMakeFiles/eppi_secret.dir/mod_ring.cpp.o.d"
+  "CMakeFiles/eppi_secret.dir/reshare.cpp.o"
+  "CMakeFiles/eppi_secret.dir/reshare.cpp.o.d"
+  "CMakeFiles/eppi_secret.dir/sec_sum_share.cpp.o"
+  "CMakeFiles/eppi_secret.dir/sec_sum_share.cpp.o.d"
+  "CMakeFiles/eppi_secret.dir/secure_aggregates.cpp.o"
+  "CMakeFiles/eppi_secret.dir/secure_aggregates.cpp.o.d"
+  "CMakeFiles/eppi_secret.dir/xor_share.cpp.o"
+  "CMakeFiles/eppi_secret.dir/xor_share.cpp.o.d"
+  "libeppi_secret.a"
+  "libeppi_secret.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eppi_secret.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

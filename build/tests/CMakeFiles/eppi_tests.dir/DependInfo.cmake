@@ -1,0 +1,78 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/attack/attack_test.cpp" "tests/CMakeFiles/eppi_tests.dir/attack/attack_test.cpp.o" "gcc" "tests/CMakeFiles/eppi_tests.dir/attack/attack_test.cpp.o.d"
+  "/root/repo/tests/attack/beta_inversion_test.cpp" "tests/CMakeFiles/eppi_tests.dir/attack/beta_inversion_test.cpp.o" "gcc" "tests/CMakeFiles/eppi_tests.dir/attack/beta_inversion_test.cpp.o.d"
+  "/root/repo/tests/attack/collusion_attack_test.cpp" "tests/CMakeFiles/eppi_tests.dir/attack/collusion_attack_test.cpp.o" "gcc" "tests/CMakeFiles/eppi_tests.dir/attack/collusion_attack_test.cpp.o.d"
+  "/root/repo/tests/attack/threat_report_test.cpp" "tests/CMakeFiles/eppi_tests.dir/attack/threat_report_test.cpp.o" "gcc" "tests/CMakeFiles/eppi_tests.dir/attack/threat_report_test.cpp.o.d"
+  "/root/repo/tests/baseline/grouping_test.cpp" "tests/CMakeFiles/eppi_tests.dir/baseline/grouping_test.cpp.o" "gcc" "tests/CMakeFiles/eppi_tests.dir/baseline/grouping_test.cpp.o.d"
+  "/root/repo/tests/baseline/pure_mpc_test.cpp" "tests/CMakeFiles/eppi_tests.dir/baseline/pure_mpc_test.cpp.o" "gcc" "tests/CMakeFiles/eppi_tests.dir/baseline/pure_mpc_test.cpp.o.d"
+  "/root/repo/tests/common/bit_matrix_test.cpp" "tests/CMakeFiles/eppi_tests.dir/common/bit_matrix_test.cpp.o" "gcc" "tests/CMakeFiles/eppi_tests.dir/common/bit_matrix_test.cpp.o.d"
+  "/root/repo/tests/common/rng_test.cpp" "tests/CMakeFiles/eppi_tests.dir/common/rng_test.cpp.o" "gcc" "tests/CMakeFiles/eppi_tests.dir/common/rng_test.cpp.o.d"
+  "/root/repo/tests/common/serialize_fuzz_test.cpp" "tests/CMakeFiles/eppi_tests.dir/common/serialize_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/eppi_tests.dir/common/serialize_fuzz_test.cpp.o.d"
+  "/root/repo/tests/common/serialize_test.cpp" "tests/CMakeFiles/eppi_tests.dir/common/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/eppi_tests.dir/common/serialize_test.cpp.o.d"
+  "/root/repo/tests/common/stats_test.cpp" "tests/CMakeFiles/eppi_tests.dir/common/stats_test.cpp.o" "gcc" "tests/CMakeFiles/eppi_tests.dir/common/stats_test.cpp.o.d"
+  "/root/repo/tests/common/zipf_test.cpp" "tests/CMakeFiles/eppi_tests.dir/common/zipf_test.cpp.o" "gcc" "tests/CMakeFiles/eppi_tests.dir/common/zipf_test.cpp.o.d"
+  "/root/repo/tests/core/advisor_test.cpp" "tests/CMakeFiles/eppi_tests.dir/core/advisor_test.cpp.o" "gcc" "tests/CMakeFiles/eppi_tests.dir/core/advisor_test.cpp.o.d"
+  "/root/repo/tests/core/beta_policy_test.cpp" "tests/CMakeFiles/eppi_tests.dir/core/beta_policy_test.cpp.o" "gcc" "tests/CMakeFiles/eppi_tests.dir/core/beta_policy_test.cpp.o.d"
+  "/root/repo/tests/core/constructor_test.cpp" "tests/CMakeFiles/eppi_tests.dir/core/constructor_test.cpp.o" "gcc" "tests/CMakeFiles/eppi_tests.dir/core/constructor_test.cpp.o.d"
+  "/root/repo/tests/core/distributed_test.cpp" "tests/CMakeFiles/eppi_tests.dir/core/distributed_test.cpp.o" "gcc" "tests/CMakeFiles/eppi_tests.dir/core/distributed_test.cpp.o.d"
+  "/root/repo/tests/core/epoch_manager_test.cpp" "tests/CMakeFiles/eppi_tests.dir/core/epoch_manager_test.cpp.o" "gcc" "tests/CMakeFiles/eppi_tests.dir/core/epoch_manager_test.cpp.o.d"
+  "/root/repo/tests/core/exact_policy_test.cpp" "tests/CMakeFiles/eppi_tests.dir/core/exact_policy_test.cpp.o" "gcc" "tests/CMakeFiles/eppi_tests.dir/core/exact_policy_test.cpp.o.d"
+  "/root/repo/tests/core/guarantee_test.cpp" "tests/CMakeFiles/eppi_tests.dir/core/guarantee_test.cpp.o" "gcc" "tests/CMakeFiles/eppi_tests.dir/core/guarantee_test.cpp.o.d"
+  "/root/repo/tests/core/index_io_test.cpp" "tests/CMakeFiles/eppi_tests.dir/core/index_io_test.cpp.o" "gcc" "tests/CMakeFiles/eppi_tests.dir/core/index_io_test.cpp.o.d"
+  "/root/repo/tests/core/locator_service_test.cpp" "tests/CMakeFiles/eppi_tests.dir/core/locator_service_test.cpp.o" "gcc" "tests/CMakeFiles/eppi_tests.dir/core/locator_service_test.cpp.o.d"
+  "/root/repo/tests/core/mixing_test.cpp" "tests/CMakeFiles/eppi_tests.dir/core/mixing_test.cpp.o" "gcc" "tests/CMakeFiles/eppi_tests.dir/core/mixing_test.cpp.o.d"
+  "/root/repo/tests/core/posting_index_test.cpp" "tests/CMakeFiles/eppi_tests.dir/core/posting_index_test.cpp.o" "gcc" "tests/CMakeFiles/eppi_tests.dir/core/posting_index_test.cpp.o.d"
+  "/root/repo/tests/core/ppi_index_test.cpp" "tests/CMakeFiles/eppi_tests.dir/core/ppi_index_test.cpp.o" "gcc" "tests/CMakeFiles/eppi_tests.dir/core/ppi_index_test.cpp.o.d"
+  "/root/repo/tests/core/publisher_test.cpp" "tests/CMakeFiles/eppi_tests.dir/core/publisher_test.cpp.o" "gcc" "tests/CMakeFiles/eppi_tests.dir/core/publisher_test.cpp.o.d"
+  "/root/repo/tests/core/sticky_publisher_test.cpp" "tests/CMakeFiles/eppi_tests.dir/core/sticky_publisher_test.cpp.o" "gcc" "tests/CMakeFiles/eppi_tests.dir/core/sticky_publisher_test.cpp.o.d"
+  "/root/repo/tests/dataset/dataset_test.cpp" "tests/CMakeFiles/eppi_tests.dir/dataset/dataset_test.cpp.o" "gcc" "tests/CMakeFiles/eppi_tests.dir/dataset/dataset_test.cpp.o.d"
+  "/root/repo/tests/dataset/evolution_test.cpp" "tests/CMakeFiles/eppi_tests.dir/dataset/evolution_test.cpp.o" "gcc" "tests/CMakeFiles/eppi_tests.dir/dataset/evolution_test.cpp.o.d"
+  "/root/repo/tests/dataset/hie_model_test.cpp" "tests/CMakeFiles/eppi_tests.dir/dataset/hie_model_test.cpp.o" "gcc" "tests/CMakeFiles/eppi_tests.dir/dataset/hie_model_test.cpp.o.d"
+  "/root/repo/tests/integration/constructor_sweep_test.cpp" "tests/CMakeFiles/eppi_tests.dir/integration/constructor_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/eppi_tests.dir/integration/constructor_sweep_test.cpp.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cpp" "tests/CMakeFiles/eppi_tests.dir/integration/end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/eppi_tests.dir/integration/end_to_end_test.cpp.o.d"
+  "/root/repo/tests/integration/lifecycle_test.cpp" "tests/CMakeFiles/eppi_tests.dir/integration/lifecycle_test.cpp.o" "gcc" "tests/CMakeFiles/eppi_tests.dir/integration/lifecycle_test.cpp.o.d"
+  "/root/repo/tests/integration/metamorphic_test.cpp" "tests/CMakeFiles/eppi_tests.dir/integration/metamorphic_test.cpp.o" "gcc" "tests/CMakeFiles/eppi_tests.dir/integration/metamorphic_test.cpp.o.d"
+  "/root/repo/tests/mpc/arith_test.cpp" "tests/CMakeFiles/eppi_tests.dir/mpc/arith_test.cpp.o" "gcc" "tests/CMakeFiles/eppi_tests.dir/mpc/arith_test.cpp.o.d"
+  "/root/repo/tests/mpc/beaver_test.cpp" "tests/CMakeFiles/eppi_tests.dir/mpc/beaver_test.cpp.o" "gcc" "tests/CMakeFiles/eppi_tests.dir/mpc/beaver_test.cpp.o.d"
+  "/root/repo/tests/mpc/circuit_builder_test.cpp" "tests/CMakeFiles/eppi_tests.dir/mpc/circuit_builder_test.cpp.o" "gcc" "tests/CMakeFiles/eppi_tests.dir/mpc/circuit_builder_test.cpp.o.d"
+  "/root/repo/tests/mpc/circuit_io_test.cpp" "tests/CMakeFiles/eppi_tests.dir/mpc/circuit_io_test.cpp.o" "gcc" "tests/CMakeFiles/eppi_tests.dir/mpc/circuit_io_test.cpp.o.d"
+  "/root/repo/tests/mpc/eppi_circuits_test.cpp" "tests/CMakeFiles/eppi_tests.dir/mpc/eppi_circuits_test.cpp.o" "gcc" "tests/CMakeFiles/eppi_tests.dir/mpc/eppi_circuits_test.cpp.o.d"
+  "/root/repo/tests/mpc/garbled_test.cpp" "tests/CMakeFiles/eppi_tests.dir/mpc/garbled_test.cpp.o" "gcc" "tests/CMakeFiles/eppi_tests.dir/mpc/garbled_test.cpp.o.d"
+  "/root/repo/tests/mpc/gmw_test.cpp" "tests/CMakeFiles/eppi_tests.dir/mpc/gmw_test.cpp.o" "gcc" "tests/CMakeFiles/eppi_tests.dir/mpc/gmw_test.cpp.o.d"
+  "/root/repo/tests/mpc/optimizer_test.cpp" "tests/CMakeFiles/eppi_tests.dir/mpc/optimizer_test.cpp.o" "gcc" "tests/CMakeFiles/eppi_tests.dir/mpc/optimizer_test.cpp.o.d"
+  "/root/repo/tests/net/cluster_test.cpp" "tests/CMakeFiles/eppi_tests.dir/net/cluster_test.cpp.o" "gcc" "tests/CMakeFiles/eppi_tests.dir/net/cluster_test.cpp.o.d"
+  "/root/repo/tests/net/cost_model_test.cpp" "tests/CMakeFiles/eppi_tests.dir/net/cost_model_test.cpp.o" "gcc" "tests/CMakeFiles/eppi_tests.dir/net/cost_model_test.cpp.o.d"
+  "/root/repo/tests/net/failure_injection_test.cpp" "tests/CMakeFiles/eppi_tests.dir/net/failure_injection_test.cpp.o" "gcc" "tests/CMakeFiles/eppi_tests.dir/net/failure_injection_test.cpp.o.d"
+  "/root/repo/tests/net/mailbox_test.cpp" "tests/CMakeFiles/eppi_tests.dir/net/mailbox_test.cpp.o" "gcc" "tests/CMakeFiles/eppi_tests.dir/net/mailbox_test.cpp.o.d"
+  "/root/repo/tests/net/socket_transport_test.cpp" "tests/CMakeFiles/eppi_tests.dir/net/socket_transport_test.cpp.o" "gcc" "tests/CMakeFiles/eppi_tests.dir/net/socket_transport_test.cpp.o.d"
+  "/root/repo/tests/secret/additive_share_test.cpp" "tests/CMakeFiles/eppi_tests.dir/secret/additive_share_test.cpp.o" "gcc" "tests/CMakeFiles/eppi_tests.dir/secret/additive_share_test.cpp.o.d"
+  "/root/repo/tests/secret/mod_ring_test.cpp" "tests/CMakeFiles/eppi_tests.dir/secret/mod_ring_test.cpp.o" "gcc" "tests/CMakeFiles/eppi_tests.dir/secret/mod_ring_test.cpp.o.d"
+  "/root/repo/tests/secret/reshare_test.cpp" "tests/CMakeFiles/eppi_tests.dir/secret/reshare_test.cpp.o" "gcc" "tests/CMakeFiles/eppi_tests.dir/secret/reshare_test.cpp.o.d"
+  "/root/repo/tests/secret/sec_sum_share_test.cpp" "tests/CMakeFiles/eppi_tests.dir/secret/sec_sum_share_test.cpp.o" "gcc" "tests/CMakeFiles/eppi_tests.dir/secret/sec_sum_share_test.cpp.o.d"
+  "/root/repo/tests/secret/secure_aggregates_test.cpp" "tests/CMakeFiles/eppi_tests.dir/secret/secure_aggregates_test.cpp.o" "gcc" "tests/CMakeFiles/eppi_tests.dir/secret/secure_aggregates_test.cpp.o.d"
+  "/root/repo/tests/secret/xor_share_test.cpp" "tests/CMakeFiles/eppi_tests.dir/secret/xor_share_test.cpp.o" "gcc" "tests/CMakeFiles/eppi_tests.dir/secret/xor_share_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eppi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/eppi_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/secret/CMakeFiles/eppi_secret.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpc/CMakeFiles/eppi_mpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/eppi_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/eppi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/eppi_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/eppi_attack.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

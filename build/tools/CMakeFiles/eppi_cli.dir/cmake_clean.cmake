@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eppi_cli.dir/eppi_cli.cpp.o"
+  "CMakeFiles/eppi_cli.dir/eppi_cli.cpp.o.d"
+  "eppi_cli"
+  "eppi_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eppi_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_build "/root/repo/build/tools/eppi_cli" "build" "/root/repo/build/tools/cli_sample.csv" "/root/repo/build/tools/cli.idx" "--eps" "0.6" "--seed" "3")
+set_tests_properties(cli_build PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_build_distributed "/root/repo/build/tools/eppi_cli" "build" "/root/repo/build/tools/cli_sample.csv" "/root/repo/build/tools/cli_dist.idx" "--distributed" "--c" "3" "--eps" "0.5")
+set_tests_properties(cli_build_distributed PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_stats "/root/repo/build/tools/eppi_cli" "stats" "/root/repo/build/tools/cli.idx")
+set_tests_properties(cli_stats PROPERTIES  DEPENDS "cli_build" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_query "/root/repo/build/tools/eppi_cli" "query" "/root/repo/build/tools/cli.idx" "/root/repo/build/tools/cli_sample.csv" "alice" "carol")
+set_tests_properties(cli_query PROPERTIES  DEPENDS "cli_build" PASS_REGULAR_EXPRESSION "alice:.*general" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_bad_input "/root/repo/build/tools/eppi_cli" "build" "/nonexistent.csv" "/tmp/x.idx")
+set_tests_properties(cli_rejects_bad_input PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_party_mesh "bash" "-c" "set -e; csv=/root/repo/build/tools/cli_sample.csv; base=\$((20000 + RANDOM % 20000)); /root/repo/build/tools/eppi_cli party \$csv --id 1 --port-base \$base --c 2 > /root/repo/build/tools/party1.out & p1=\$!; /root/repo/build/tools/eppi_cli party \$csv --id 2 --port-base \$base --c 2 > /root/repo/build/tools/party2.out & p2=\$!; /root/repo/build/tools/eppi_cli party \$csv --id 3 --port-base \$base --c 2 > /root/repo/build/tools/party3.out & p3=\$!; /root/repo/build/tools/eppi_cli party \$csv --id 4 --port-base \$base --c 2 > /root/repo/build/tools/party4.out & p4=\$!; /root/repo/build/tools/eppi_cli party \$csv --id 0 --port-base \$base --c 2 > /root/repo/build/tools/party0.out; wait \$p1 \$p2 \$p3 \$p4; grep -q 'general,alice' /root/repo/build/tools/party0.out; grep -q 'mercy,alice' /root/repo/build/tools/party1.out")
+set_tests_properties(cli_party_mesh PROPERTIES  DEPENDS "cli_build" TIMEOUT "60" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;26;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_audit "/root/repo/build/tools/eppi_cli" "audit" "/root/repo/build/tools/cli.idx" "/root/repo/build/tools/cli_sample.csv" "--eps" "0.6")
+set_tests_properties(cli_audit PROPERTIES  DEPENDS "cli_build" PASS_REGULAR_EXPRESSION "primary attack" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;41;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_build_eps_file "/root/repo/build/tools/eppi_cli" "build" "/root/repo/build/tools/cli_sample.csv" "/root/repo/build/tools/cli_eps.idx" "--eps" "0.5" "--eps-file" "/root/repo/build/tools/cli_eps.csv" "--seed" "4")
+set_tests_properties(cli_build_eps_file PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;48;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_build_eps_file_rejects_unknown "/root/repo/build/tools/eppi_cli" "build" "/root/repo/build/tools/cli_sample.csv" "/tmp/never.idx" "--eps-file" "/root/repo/build/tools/cli_bad_eps.csv")
+set_tests_properties(cli_build_eps_file_rejects_unknown PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;51;add_test;/root/repo/tools/CMakeLists.txt;0;")
