@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus sanitizer sweeps.
+#
+# Usage: scripts/check.sh [stage]
+#   plain   build + full ctest in ./build (the tier-1 gate)        [default]
+#   fault   plain build, but only the fault-injection matrix (ctest -L fault)
+#   asan    ASan+UBSan build in ./build-asan, full ctest
+#   tsan    TSan build in ./build-tsan, fault-labeled tests (the threaded
+#           cluster/reliability/fault paths are where races would live)
+#   all     plain, then asan, then tsan
+#
+# JOBS=<n> overrides the build/test parallelism (default: nproc).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="${JOBS:-$(nproc)}"
+stage="${1:-plain}"
+
+run_preset() {
+  local preset="$1"
+  shift
+  cmake --preset "$preset"
+  cmake --build --preset "$preset" -j "$jobs"
+  ctest --preset "$preset" -j "$jobs" "$@"
+}
+
+case "$stage" in
+  plain)
+    run_preset default
+    ;;
+  fault)
+    run_preset default -L fault
+    ;;
+  asan)
+    run_preset asan
+    ;;
+  tsan)
+    # TSAN_OPTIONS halt_on_error keeps a race from scrolling past unnoticed.
+    TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" run_preset tsan
+    ;;
+  all)
+    "$0" plain
+    "$0" asan
+    "$0" tsan
+    ;;
+  *)
+    echo "usage: $0 [plain|fault|asan|tsan|all]" >&2
+    exit 2
+    ;;
+esac

@@ -6,6 +6,7 @@
 // round, missing share); ConfigError for invalid user-supplied parameters.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
@@ -21,6 +22,27 @@ class ConfigError : public std::invalid_argument {
 class ProtocolError : public std::runtime_error {
  public:
   explicit ProtocolError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// A peer stopped responding (crash, partition, or message loss past the
+// delivery deadline). Derives from ProtocolError so existing catch sites and
+// tests that treat any protocol failure uniformly keep working; fault-aware
+// callers (dropout recovery, EpochManager degradation) catch PartyFailure
+// specifically and can ask which party went silent.
+class PartyFailure : public ProtocolError {
+ public:
+  static constexpr std::uint32_t kUnknownParty = 0xffffffffu;
+
+  explicit PartyFailure(const std::string& what,
+                        std::uint32_t party = kUnknownParty)
+      : ProtocolError(what), party_(party) {}
+
+  // The party believed to have failed; kUnknownParty when the failure could
+  // not be attributed (e.g. a missed broadcast with several candidates).
+  std::uint32_t party() const noexcept { return party_; }
+
+ private:
+  std::uint32_t party_;
 };
 
 // Malformed serialized data.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "common/error.h"
 #include "common/serialize.h"
@@ -108,19 +109,42 @@ ConstructionPartyResult run_construction_party(
 
   // Public, deterministic pre-computation (identical on every party).
   const eppi::secret::SecSumShareParams ss_params{options.c, options.q, n};
-  const eppi::secret::ModRing ring = eppi::secret::resolve_ring(ss_params, m);
-  const unsigned width = ring.bit_width();
-  const auto thresholds = common_thresholds(options.policy, epsilons, m);
   const EpsilonRanks er = rank_epsilons(epsilons);
 
   const PartyId me = ctx.id();
   const bool coordinator = me < options.c;
-
-  // Phase 1.1: SecSumShare over all m providers.
-  const auto my_shares =
-      eppi::secret::run_sec_sum_share_party(ctx, ss_params, my_row);
+  const FaultToleranceOptions& ft = options.fault_tolerance;
 
   ConstructionPartyResult result;
+
+  // Phase 1.1: SecSumShare over all m providers. In fault-tolerant mode the
+  // commit may cover fewer providers; every public parameter that depends on
+  // the provider count (ring, thresholds, β denominator) is derived from the
+  // committed survivor set so all survivors still agree on it.
+  std::optional<std::vector<std::uint64_t>> my_shares;
+  std::uint64_t committed_q = 0;
+  if (ft.enabled) {
+    eppi::secret::SecSumShareFtOptions ss_ft;
+    ss_ft.stage_timeout = ft.stage_timeout;
+    ss_ft.max_attempts = ft.max_attempts;
+    auto outcome =
+        eppi::secret::run_sec_sum_share_party_ft(ctx, ss_params, my_row, ss_ft);
+    my_shares = std::move(outcome.shares);
+    result.survivors = std::move(outcome.survivors);
+    result.secsum_attempts = outcome.attempts;
+    committed_q = outcome.q;
+  } else {
+    my_shares = eppi::secret::run_sec_sum_share_party(ctx, ss_params, my_row);
+    result.survivors.resize(m);
+    std::iota(result.survivors.begin(), result.survivors.end(),
+              PartyId{0});
+    committed_q = eppi::secret::resolve_ring(ss_params, m).q();
+  }
+  const std::size_t m_eff = result.survivors.size();
+  const eppi::secret::ModRing ring(committed_q);
+  const unsigned width = ring.bit_width();
+  const auto thresholds = common_thresholds(options.policy, epsilons, m_eff);
+
   OpenedMix opened;
   if (coordinator) {
     eppi::mpc::CountBelowSpec cb_spec;
@@ -199,10 +223,12 @@ ConstructionPartyResult run_construction_party(
     result.coordinator = std::move(view);
 
     if (me == 0) {
-      // Phase 2 prologue: broadcast the opened vector to non-coordinators.
+      // Phase 2 prologue: broadcast the opened vector to the surviving
+      // non-coordinators (in the plain path, survivors == all m parties).
       const auto payload = encode_opened(opened);
-      for (std::size_t p = options.c; p < m; ++p) {
-        ctx.send(static_cast<PartyId>(p), MessageTag::kBroadcast, 0, payload);
+      for (const PartyId p : result.survivors) {
+        if (p < options.c) continue;
+        ctx.send(p, MessageTag::kBroadcast, 0, payload);
       }
       ctx.mark_round();
     }
@@ -218,9 +244,9 @@ ConstructionPartyResult run_construction_party(
       result.betas[j] = 1.0;
     } else {
       const double sigma = static_cast<double>(opened.frequencies[j]) /
-                           static_cast<double>(m);
+                           static_cast<double>(m_eff);
       result.betas[j] =
-          std::clamp(beta_raw(options.policy, sigma, epsilons[j], m), 0.0,
+          std::clamp(beta_raw(options.policy, sigma, epsilons[j], m_eff), 0.0,
                      1.0);
     }
   }

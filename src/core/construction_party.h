@@ -36,6 +36,10 @@ struct ConstructionPartyResult {
   std::vector<double> betas;  // final per-identity β (identical on parties)
   // Present on coordinators (party id < options.c).
   std::optional<CoordinatorView> coordinator;
+  // Committed provider set (sorted; all m parties unless fault tolerance
+  // evicted dropouts) and the SecSumShare attempts the commit took.
+  std::vector<eppi::net::PartyId> survivors;
+  std::size_t secsum_attempts = 1;
 };
 
 // `my_row` is this provider's private membership vector (one Boolean per

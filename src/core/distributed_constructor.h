@@ -23,8 +23,10 @@
 // statistics that drive the Fig. 6 benchmarks.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/bit_matrix.h"
@@ -32,6 +34,8 @@
 #include "core/ppi_index.h"
 #include "mpc/circuit.h"
 #include "net/cost_meter.h"
+#include "net/message.h"
+#include "net/reliable_transport.h"
 
 namespace eppi::core {
 
@@ -39,6 +43,34 @@ namespace eppi::core {
 enum class MpcBackend {
   kGmw,      // any c; rounds proportional to circuit depth
   kGarbled,  // c == 2 only; constant rounds (Yao garbled circuits)
+};
+
+// Dropout tolerance for the distributed construction. Defaults are
+// paper-faithful: everything off, receives unbounded, exactly the §IV
+// protocol. Enabling `enabled` turns on bounded receives, the SecSumShare
+// failure detector with restart-over-survivors, and typed PartyFailure
+// aborts when a coordinator dies (docs/fault_tolerance.md).
+struct FaultToleranceOptions {
+  bool enabled = false;
+  // Bound on each SecSumShare-stage receive (suspicion threshold).
+  std::chrono::milliseconds stage_timeout{250};
+  // Bound on every other receive (MPC openings, broadcast); must cover the
+  // coordinators' circuit-evaluation time.
+  std::chrono::milliseconds mpc_timeout{2000};
+  // SecSumShare restarts over shrinking survivor sets before giving up.
+  std::size_t max_attempts = 3;
+
+  // Reliable delivery (acks + retransmission + per-message deadline) under
+  // the protocol; turns transient loss into latency so the failure detector
+  // only fires on genuinely dead parties.
+  bool reliable_delivery = false;
+  eppi::net::ReliableOptions reliable;
+
+  // Fault injection for tests/benches: a FaultScenario DSL string (see
+  // net/fault.h) applied to the in-process transport, deterministic under
+  // fault_seed. Empty = no injected faults.
+  std::string fault_scenario;
+  std::uint64_t fault_seed = 1;
 };
 
 struct DistributedOptions {
@@ -49,6 +81,7 @@ struct DistributedOptions {
   unsigned coin_bits = 16;    // λ-coin resolution inside the MPC
   std::uint64_t seed = 1;     // drives all party RNG streams
   MpcBackend backend = MpcBackend::kGmw;
+  FaultToleranceOptions fault_tolerance;
 };
 
 struct DistributedReport {
@@ -61,6 +94,13 @@ struct DistributedReport {
   eppi::mpc::CircuitStats count_below_stats;
   eppi::mpc::CircuitStats mix_reveal_stats;
   eppi::net::CostSnapshot total_cost;         // messages/bytes/rounds
+  // Dropout accounting (fault-tolerant mode; trivial otherwise): providers
+  // whose inputs the committed construction covers, providers that crashed
+  // mid-protocol (their rows are all-zero in the index), and how many
+  // SecSumShare attempts the commit took.
+  std::vector<eppi::net::PartyId> survivors;
+  std::vector<eppi::net::PartyId> crashed;
+  std::size_t secsum_attempts = 1;
 };
 
 struct DistributedResult {

@@ -99,4 +99,47 @@ EpochManager::EpochResult EpochManager::rebuild(
   return result;
 }
 
+EpochManager::DistributedEpochResult EpochManager::rebuild_distributed(
+    const eppi::BitMatrix& truth, std::span<const double> epsilons,
+    const DistributedOptions& options) {
+  DistributedEpochResult result;
+  DistributedResult built;
+  try {
+    built = construct_distributed(truth, epsilons, options);
+  } catch (const eppi::ProtocolError& failure) {
+    // Degraded mode: the rebuild aborted (a PartyFailure names the dead
+    // party). Keep serving the last good epoch rather than going dark; the
+    // stale index is correct for the previous network state and strictly
+    // better than no locator service.
+    if (!has_previous_) throw;  // nothing to fall back to
+    ++failed_rebuilds_;
+    last_failure_ = failure.what();
+    result.index = PpiIndex(previous_);
+    result.epoch = epoch_;
+    result.degraded = true;
+    result.failure = last_failure_;
+    return result;
+  }
+
+  const eppi::BitMatrix& published = built.index.matrix();
+  result.epoch = ++epoch_;
+  if (has_previous_ && previous_.rows() == published.rows() &&
+      previous_.cols() == published.cols()) {
+    std::size_t churn = 0;
+    for (std::size_t i = 0; i < published.rows(); ++i) {
+      for (std::size_t j = 0; j < published.cols(); ++j) {
+        if (previous_.get(i, j) != published.get(i, j)) ++churn;
+      }
+    }
+    result.churn = churn;
+  } else {
+    result.churn = published.rows() * published.cols();
+  }
+  previous_ = published;
+  has_previous_ = true;
+  result.report = std::move(built.report);
+  result.index = std::move(built.index);
+  return result;
+}
+
 }  // namespace eppi::core

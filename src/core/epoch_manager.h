@@ -20,11 +20,13 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/bit_matrix.h"
 #include "core/beta_policy.h"
 #include "core/constructor.h"
+#include "core/distributed_constructor.h"
 #include "core/ppi_index.h"
 
 namespace eppi::core {
@@ -56,7 +58,31 @@ class EpochManager {
   EpochResult rebuild(const eppi::BitMatrix& truth,
                       std::span<const double> epsilons);
 
+  struct DistributedEpochResult {
+    PpiIndex index;             // fresh on success; the previous epoch's
+                                // index when degraded
+    DistributedReport report;   // meaningful only when !degraded
+    std::size_t epoch = 0;      // advances only on success
+    std::size_t churn = 0;      // as EpochResult::churn; 0 when degraded
+    // The distributed rebuild aborted (e.g. a coordinator died mid-MPC);
+    // the manager keeps serving the previous epoch's index and records the
+    // failure instead of propagating it.
+    bool degraded = false;
+    std::string failure;        // what() of the aborting error when degraded
+  };
+
+  // Builds the next epoch via the secure distributed constructor, degrading
+  // gracefully on protocol failure: if a rebuild aborts (PartyFailure or any
+  // ProtocolError) and a previous epoch exists, the previous index is
+  // returned with `degraded` set and the failure recorded. A failure with no
+  // previous epoch to fall back to propagates.
+  DistributedEpochResult rebuild_distributed(const eppi::BitMatrix& truth,
+                                             std::span<const double> epsilons,
+                                             const DistributedOptions& options);
+
   std::size_t epochs_built() const noexcept { return epoch_; }
+  std::size_t failed_rebuilds() const noexcept { return failed_rebuilds_; }
+  const std::string& last_failure() const noexcept { return last_failure_; }
 
  private:
   std::uint64_t provider_key(std::size_t provider) const noexcept;
@@ -66,6 +92,8 @@ class EpochManager {
   std::size_t epoch_ = 0;
   eppi::BitMatrix previous_;
   bool has_previous_ = false;
+  std::size_t failed_rebuilds_ = 0;
+  std::string last_failure_;
 };
 
 }  // namespace eppi::core

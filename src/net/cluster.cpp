@@ -1,10 +1,12 @@
 #include "net/cluster.h"
 
+#include <algorithm>
 #include <exception>
 #include <mutex>
 #include <thread>
 
 #include "common/error.h"
+#include "net/fault.h"
 
 namespace eppi::net {
 
@@ -26,8 +28,10 @@ std::vector<std::uint8_t> PartyContext::recv(PartyId from, std::uint32_t tag,
   }
   auto result = recv_for(from, tag, seq, recv_timeout_);
   if (!result) {
-    throw ProtocolError("recv timed out waiting for party " +
-                        std::to_string(from) + " tag " + std::to_string(tag));
+    throw eppi::PartyFailure("recv timed out waiting for party " +
+                                 std::to_string(from) + " tag " +
+                                 std::to_string(tag),
+                             from);
   }
   return std::move(*result);
 }
@@ -35,8 +39,9 @@ std::vector<std::uint8_t> PartyContext::recv(PartyId from, std::uint32_t tag,
 std::optional<std::vector<std::uint8_t>> PartyContext::recv_for(
     PartyId from, std::uint32_t tag, std::uint64_t seq,
     std::chrono::milliseconds timeout) {
-  // Polling with a short sleep keeps Mailbox's interface minimal; this path
-  // is used only by failure-injection tests, never on the hot path.
+  // Polling with a short sleep keeps Mailbox's interface minimal; bounded
+  // receives sit on failure-detection paths, never on the loss-free hot
+  // path.
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   Message msg;
   while (std::chrono::steady_clock::now() < deadline) {
@@ -54,6 +59,37 @@ Cluster::Cluster(std::size_t n_parties, std::uint64_t seed)
   active_transport_ = base_transport_.get();
 }
 
+Cluster::~Cluster() {
+  // The reliability layer's retransmit thread touches mailboxes_; stop it
+  // before members are torn down.
+  if (reliable_layer_) reliable_layer_->stop();
+  if (fault_layer_) fault_layer_->drain();
+}
+
+FaultyTransport& Cluster::inject_faults(FaultScenario scenario,
+                                        std::uint64_t seed) {
+  require(fault_layer_ == nullptr,
+          "Cluster: fault injection already installed");
+  fault_layer_ = std::make_unique<FaultyTransport>(*active_transport_,
+                                                   std::move(scenario), seed);
+  active_transport_ = fault_layer_.get();
+  return *fault_layer_;
+}
+
+ReliableTransport& Cluster::enable_reliability(ReliableOptions options) {
+  require(reliable_layer_ == nullptr, "Cluster: reliability already enabled");
+  reliable_layer_ = std::make_unique<ReliableTransport>(*active_transport_,
+                                                        mailboxes_, options);
+  // Acks traverse the full chain below the reliability layer (so they are
+  // subject to injected faults) but are never themselves retransmitted.
+  for (std::size_t i = 0; i < mailboxes_.size(); ++i) {
+    mailboxes_[i].enable_reliable(reliable_layer_.get(),
+                                  static_cast<PartyId>(i));
+  }
+  active_transport_ = reliable_layer_.get();
+  return *reliable_layer_;
+}
+
 void Cluster::run(const std::function<void(PartyContext&)>& body) {
   std::vector<std::function<void(PartyContext&)>> bodies(mailboxes_.size(),
                                                          body);
@@ -67,6 +103,7 @@ void Cluster::run(const std::vector<std::function<void(PartyContext&)>>& bodies)
   threads.reserve(bodies.size());
   std::exception_ptr first_error;
   std::mutex error_mutex;
+  crashed_.clear();
 
   Rng seeder(seed_);
   std::vector<Rng> party_rngs;
@@ -83,6 +120,11 @@ void Cluster::run(const std::vector<std::function<void(PartyContext&)>>& bodies)
                        party_rngs[i], recv_timeout_);
       try {
         bodies[i](ctx);
+      } catch (const SimulatedCrash&) {
+        // Injected dropout, not a failure of the code under test: record it
+        // so callers can assert which parties died.
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        crashed_.push_back(static_cast<PartyId>(i));
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
@@ -90,6 +132,7 @@ void Cluster::run(const std::vector<std::function<void(PartyContext&)>>& bodies)
     });
   }
   for (auto& t : threads) t.join();
+  std::sort(crashed_.begin(), crashed_.end());
   if (first_error) std::rethrow_exception(first_error);
 }
 

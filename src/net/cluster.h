@@ -7,7 +7,9 @@
 //
 // Exceptions thrown inside any party are captured and rethrown from run() on
 // the caller's thread, so test assertions inside protocol code surface
-// normally.
+// normally. A SimulatedCrash (fault injection) is the one exception treated
+// differently: the party is recorded as crashed and run() completes, letting
+// the surviving parties' dropout-recovery logic be exercised end to end.
 #pragma once
 
 #include <chrono>
@@ -18,7 +20,9 @@
 
 #include "common/rng.h"
 #include "net/cost_meter.h"
+#include "net/faulty_transport.h"
 #include "net/mailbox.h"
+#include "net/reliable_transport.h"
 #include "net/transport.h"
 
 namespace eppi::net {
@@ -48,15 +52,22 @@ class PartyContext {
 
   // Blocks until the matching message arrives and returns its payload.
   // When the cluster configured a receive timeout, waiting longer than the
-  // deadline throws ProtocolError instead of hanging — protocols fail
-  // cleanly under message loss or a crashed peer.
+  // deadline throws PartyFailure (a ProtocolError) naming the silent party
+  // instead of hanging — protocols fail cleanly under message loss or a
+  // crashed peer.
   std::vector<std::uint8_t> recv(PartyId from, std::uint32_t tag,
                                  std::uint64_t seq);
 
-  // Bounded receive used by failure-injection tests; std::nullopt on timeout.
+  // Bounded receive used by failure detectors and fault-injection tests;
+  // std::nullopt on timeout.
   std::optional<std::vector<std::uint8_t>> recv_for(
       PartyId from, std::uint32_t tag, std::uint64_t seq,
       std::chrono::milliseconds timeout);
+
+  // The cluster-wide receive timeout (zero = unbounded).
+  std::chrono::milliseconds recv_timeout() const noexcept {
+    return recv_timeout_;
+  }
 
   // Marks one synchronous communication round. By convention only party 0 of
   // a protocol instance calls this, so the meter counts protocol rounds, not
@@ -79,8 +90,9 @@ class Cluster {
  public:
   // n_parties parties; `seed` drives the per-party RNG streams. An optional
   // transport decorator factory lets tests wrap the metered transport (e.g.
-  // DroppingTransport).
+  // FaultyTransport).
   explicit Cluster(std::size_t n_parties, std::uint64_t seed = 1);
+  ~Cluster();
 
   std::size_t n_parties() const noexcept { return mailboxes_.size(); }
   CostMeter& meter() noexcept { return meter_; }
@@ -96,20 +108,38 @@ class Cluster {
   }
   Transport& base_transport() noexcept { return *base_transport_; }
 
+  // Installs a FaultyTransport over the currently active transport and makes
+  // it active. Convenience for tests/benches driving scenarios by DSL.
+  FaultyTransport& inject_faults(FaultScenario scenario,
+                                 std::uint64_t seed = 1);
+
+  // Wraps the currently active transport in a ReliableTransport (acks,
+  // retransmission, per-message deadline) and switches every mailbox to
+  // ack-and-dedup mode. Call after set_transport/inject_faults so the
+  // reliability layer sits above the lossy one.
+  ReliableTransport& enable_reliability(ReliableOptions options = {});
+
   // Runs `body(ctx)` on every party concurrently and joins. Rethrows the
-  // first party exception.
+  // first party exception; SimulatedCrash is not an error — the party is
+  // recorded in crashed() instead.
   void run(const std::function<void(PartyContext&)>& body);
 
   // Heterogeneous variant: bodies[i] runs as party i.
   void run(const std::vector<std::function<void(PartyContext&)>>& bodies);
 
+  // Parties that ended the last run() with a SimulatedCrash.
+  const std::vector<PartyId>& crashed() const noexcept { return crashed_; }
+
  private:
   std::vector<Mailbox> mailboxes_;
   CostMeter meter_;
   std::unique_ptr<InMemoryTransport> base_transport_;
+  std::unique_ptr<FaultyTransport> fault_layer_;
+  std::unique_ptr<ReliableTransport> reliable_layer_;
   Transport* active_transport_;
   std::uint64_t seed_;
   std::chrono::milliseconds recv_timeout_ = std::chrono::milliseconds::zero();
+  std::vector<PartyId> crashed_;
 };
 
 }  // namespace eppi::net

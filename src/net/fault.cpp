@@ -1,0 +1,158 @@
+#include "net/fault.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <vector>
+
+#include "common/error.h"
+
+namespace eppi::net {
+
+namespace {
+
+// Minimal hand-rolled scanner; the DSL is a single line, so errors carry the
+// offending statement verbatim instead of positions.
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char ch : s) {
+    if (ch == sep) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(ch);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+double parse_prob(const std::string& text, const std::string& stmt) {
+  char* end = nullptr;
+  const double p = std::strtod(text.c_str(), &end);
+  require(end == text.c_str() + text.size() && p >= 0.0 && p <= 1.0,
+          "FaultScenario: bad probability in '" + stmt + "'");
+  return p;
+}
+
+std::uint64_t parse_uint(const std::string& text, const std::string& stmt) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  require(end == text.c_str() + text.size() && !text.empty(),
+          "FaultScenario: bad integer in '" + stmt + "'");
+  return static_cast<std::uint64_t>(v);
+}
+
+// "1..5ms" -> [1000us, 5000us]; bare "3ms" -> [3000us, 3000us].
+void parse_delay(const std::string& text, const std::string& stmt,
+                 LinkFault& fault) {
+  std::string spec = text;
+  require(spec.size() > 2 && spec.substr(spec.size() - 2) == "ms",
+          "FaultScenario: delay needs an 'ms' suffix in '" + stmt + "'");
+  spec = spec.substr(0, spec.size() - 2);
+  const auto dots = spec.find("..");
+  std::uint64_t lo, hi;
+  if (dots == std::string::npos) {
+    lo = hi = parse_uint(spec, stmt);
+  } else {
+    lo = parse_uint(spec.substr(0, dots), stmt);
+    hi = parse_uint(spec.substr(dots + 2), stmt);
+  }
+  require(lo <= hi, "FaultScenario: delay range inverted in '" + stmt + "'");
+  fault.delay_min = std::chrono::milliseconds(lo);
+  fault.delay_max = std::chrono::milliseconds(hi);
+}
+
+LinkFault parse_faults(const std::string& text, const std::string& stmt) {
+  LinkFault fault;
+  for (const auto& raw : split(text, ',')) {
+    const std::string item = trim(raw);
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    require(eq != std::string::npos,
+            "FaultScenario: expected key=value in '" + stmt + "'");
+    const std::string key = trim(item.substr(0, eq));
+    const std::string value = trim(item.substr(eq + 1));
+    if (key == "drop") {
+      fault.drop_prob = parse_prob(value, stmt);
+    } else if (key == "dup") {
+      fault.dup_prob = parse_prob(value, stmt);
+    } else if (key == "reorder") {
+      fault.reorder_prob = parse_prob(value, stmt);
+    } else if (key == "delay") {
+      parse_delay(value, stmt, fault);
+    } else {
+      require(false, "FaultScenario: unknown fault '" + key + "' in '" +
+                         stmt + "'");
+    }
+  }
+  return fault;
+}
+
+void parse_crash(const std::string& body, const std::string& stmt,
+                 FaultScenario& scenario) {
+  // body: "<P> after <N> sends" | "<P> at tag <T>"
+  const auto words_raw = split(body, ' ');
+  std::vector<std::string> words;
+  for (const auto& w : words_raw) {
+    if (!trim(w).empty()) words.push_back(trim(w));
+  }
+  require(words.size() >= 3, "FaultScenario: malformed crash in '" + stmt +
+                                 "'");
+  const auto party = static_cast<PartyId>(parse_uint(words[0], stmt));
+  CrashPoint point;
+  if (words[1] == "after") {
+    require(words.size() == 4 && words[3] == "sends",
+            "FaultScenario: expected 'crash P after N sends' in '" + stmt +
+                "'");
+    point.after_sends = parse_uint(words[2], stmt);
+  } else if (words[1] == "at") {
+    require(words.size() == 4 && words[2] == "tag",
+            "FaultScenario: expected 'crash P at tag T' in '" + stmt + "'");
+    point.at_tag = static_cast<std::uint32_t>(parse_uint(words[3], stmt));
+  } else {
+    require(false, "FaultScenario: malformed crash in '" + stmt + "'");
+  }
+  scenario.crashes[party] = point;
+}
+
+}  // namespace
+
+FaultScenario FaultScenario::parse(const std::string& spec) {
+  FaultScenario scenario;
+  for (const auto& raw : split(spec, ';')) {
+    const std::string stmt = trim(raw);
+    if (stmt.empty()) continue;
+    if (stmt.rfind("all:", 0) == 0) {
+      scenario.default_fault = parse_faults(stmt.substr(4), stmt);
+    } else if (stmt.rfind("link", 0) == 0) {
+      const auto colon = stmt.find(':');
+      require(colon != std::string::npos,
+              "FaultScenario: link statement needs ':' in '" + stmt + "'");
+      const std::string ends = trim(stmt.substr(4, colon - 4));
+      const auto arrow = ends.find("->");
+      require(arrow != std::string::npos,
+              "FaultScenario: link needs 'A->B' in '" + stmt + "'");
+      const auto from =
+          static_cast<PartyId>(parse_uint(trim(ends.substr(0, arrow)), stmt));
+      const auto to =
+          static_cast<PartyId>(parse_uint(trim(ends.substr(arrow + 2)), stmt));
+      scenario.link_faults[{from, to}] =
+          parse_faults(stmt.substr(colon + 1), stmt);
+    } else if (stmt.rfind("crash", 0) == 0) {
+      parse_crash(trim(stmt.substr(5)), stmt, scenario);
+    } else {
+      require(false, "FaultScenario: unknown statement '" + stmt + "'");
+    }
+  }
+  return scenario;
+}
+
+}  // namespace eppi::net

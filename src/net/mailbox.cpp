@@ -1,14 +1,37 @@
 #include "net/mailbox.h"
 
+#include "net/transport.h"
+
 namespace eppi::net {
 
 void Mailbox::deliver(Message msg) {
+  msg.tag &= ~kRetransmitBit;  // receivers match on the original tag
+  const Key key{msg.from, msg.tag, msg.seq};
+
+  // Capture ack routing fields before msg is moved into the buffer. The ack
+  // itself is sent outside the mailbox lock: it traverses the full transport
+  // chain and ends in the sender's mailbox, and two parties delivering to
+  // each other concurrently would otherwise deadlock on crossed locks.
+  Message ack;
+  bool send_ack = false;
+
+  bool deliver_to_party = true;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    const Key key{msg.from, msg.tag, msg.seq};
-    buffer_.emplace(key, std::move(msg));
+    if (ack_via_ != nullptr && !is_ack_tag(msg.tag)) {
+      ack.from = owner_;
+      ack.to = msg.from;
+      ack.tag = msg.tag | kAckBit;
+      ack.seq = msg.seq;
+      send_ack = true;
+      // Dedup: a retransmission whose original got through (the ack was
+      // lost) must be re-acked but not delivered twice.
+      if (!seen_.insert(key).second) deliver_to_party = false;
+    }
+    if (deliver_to_party) buffer_.emplace(key, std::move(msg));
   }
-  cv_.notify_all();
+  if (deliver_to_party) cv_.notify_all();
+  if (send_ack) ack_via_->send(std::move(ack));
 }
 
 Message Mailbox::recv(PartyId from, std::uint32_t tag, std::uint64_t seq) {
@@ -35,6 +58,12 @@ bool Mailbox::try_recv(PartyId from, std::uint32_t tag, std::uint64_t seq,
 std::size_t Mailbox::pending() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return buffer_.size();
+}
+
+void Mailbox::enable_reliable(Transport* ack_via, PartyId owner) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ack_via_ = ack_via;
+  owner_ = owner;
 }
 
 }  // namespace eppi::net

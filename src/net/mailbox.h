@@ -4,17 +4,26 @@
 // Messages arriving out of order are buffered, which lets protocol code be
 // written in straight-line style (send everything, then receive everything)
 // without deadlocking on delivery interleavings.
+//
+// When the cluster enables reliable delivery the mailbox additionally
+// acknowledges every data frame on delivery (through the configured ack
+// transport) and suppresses duplicate frames — retransmissions and
+// fault-injected duplicates are re-acked but delivered to the party at most
+// once per (from, tag, seq) key.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <set>
 #include <tuple>
 
 #include "net/message.h"
 
 namespace eppi::net {
+
+class Transport;
 
 class Mailbox {
  public:
@@ -30,12 +39,21 @@ class Mailbox {
 
   std::size_t pending() const;
 
+  // Reliable-delivery mode: `owner` is this mailbox's party id; every
+  // delivered data frame is acked back to its sender through `ack_via`
+  // (which must outlive the mailbox or be cleared with nullptr), and
+  // duplicate data frames are suppressed after re-acking.
+  void enable_reliable(Transport* ack_via, PartyId owner);
+
  private:
   using Key = std::tuple<PartyId, std::uint32_t, std::uint64_t>;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::multimap<Key, Message> buffer_;
+  std::set<Key> seen_;  // reliable mode: data keys already delivered
+  Transport* ack_via_ = nullptr;
+  PartyId owner_ = 0;
 };
 
 }  // namespace eppi::net

@@ -21,8 +21,27 @@ enum MessageTag : std::uint32_t {
   kMpcOutputShare = 5,    // GMW: output-wire share delivery
   kBeaverTriple = 6,      // preprocessing: Beaver triple share delivery
   kBroadcast = 7,         // coordinator broadcast (beta vector, lambda, ...)
+  kFailureReport = 8,     // dropout recovery: suspect list to party 0
+  kViewChange = 9,        // dropout recovery: commit/restart/abort decision
   kUserBase = 1000,
 };
+
+// High tag bit reserved for transport-level acknowledgements: the ack for a
+// data message (from, to, tag, seq) is (to, from, tag | kAckBit, seq). No
+// protocol tag may set this bit; the reliable-delivery layer uses it to keep
+// ack streams out of the protocol's selective-receive key space.
+inline constexpr std::uint32_t kAckBit = 0x80000000u;
+
+inline constexpr bool is_ack_tag(std::uint32_t tag) noexcept {
+  return (tag & kAckBit) != 0;
+}
+
+// Second-highest tag bit marks a retransmitted frame. Mailboxes strip it on
+// delivery (receivers match on the original tag); the fault-injection layer
+// uses it to keep party crash points deterministic — a crash point counts
+// only first-time sends issued by the party's own thread, never the
+// wall-clock-timed retransmissions issued on its behalf.
+inline constexpr std::uint32_t kRetransmitBit = 0x40000000u;
 
 struct Message {
   PartyId from = 0;

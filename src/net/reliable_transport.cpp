@@ -1,0 +1,141 @@
+#include "net/reliable_transport.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace eppi::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::chrono::microseconds to_us(std::chrono::milliseconds ms) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(ms);
+}
+
+}  // namespace
+
+ReliableTransport::ReliableTransport(Transport& inner,
+                                     std::vector<Mailbox>& mailboxes,
+                                     ReliableOptions options)
+    : inner_(inner),
+      mailboxes_(mailboxes),
+      options_(options),
+      jitter_(options.jitter_seed) {
+  retransmitter_ = std::thread([this] { retransmit_loop(); });
+}
+
+ReliableTransport::~ReliableTransport() { stop(); }
+
+void ReliableTransport::send(Message msg) {
+  // Acks are fire-and-forget: never registered, never retransmitted (a lost
+  // ack is recovered by the data frame's own retransmission).
+  if (is_ack_tag(msg.tag)) {
+    inner_.send(std::move(msg));
+    return;
+  }
+
+  const auto now = Clock::now();
+  Pending entry;
+  entry.msg = msg;  // keep a copy for retransmission
+  entry.deadline = now + options_.deadline;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    entry.rto = to_us(options_.rto);
+    entry.next_retry =
+        now + entry.rto +
+        std::chrono::microseconds(jitter_.next_below(
+            static_cast<std::uint64_t>(entry.rto.count()) / 4 + 1));
+    pending_.push_back(std::move(entry));
+    ++stats_.sent;
+  }
+  try {
+    inner_.send(std::move(msg));
+  } catch (...) {
+    // The sending party crashed mid-send (SimulatedCrash) or the transport
+    // rejected the frame; a dead party gets no retransmissions on its
+    // behalf, so withdraw the registration before propagating.
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      if (it->msg.from == entry.msg.from && it->msg.to == entry.msg.to &&
+          it->msg.tag == entry.msg.tag && it->msg.seq == entry.msg.seq) {
+        pending_.erase(it);
+        break;
+      }
+    }
+    throw;
+  }
+}
+
+void ReliableTransport::retransmit_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    const auto now = Clock::now();
+    std::vector<Message> resend;
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      Message ack;
+      if (mailboxes_[it->msg.from].try_recv(
+              it->msg.to, it->msg.tag | kAckBit, it->msg.seq, ack)) {
+        ++stats_.acked;
+        it = pending_.erase(it);
+        continue;
+      }
+      if (now >= it->deadline) {
+        ++stats_.expired;
+        it = pending_.erase(it);
+        continue;
+      }
+      if (now >= it->next_retry) {
+        const auto max_rto = to_us(options_.max_rto);
+        it->rto = std::min(
+            std::chrono::microseconds(static_cast<std::int64_t>(
+                static_cast<double>(it->rto.count()) * options_.backoff)),
+            max_rto);
+        it->next_retry =
+            now + it->rto +
+            std::chrono::microseconds(jitter_.next_below(
+                static_cast<std::uint64_t>(it->rto.count()) / 4 + 1));
+        Message copy = it->msg;
+        copy.tag |= kRetransmitBit;
+        resend.push_back(std::move(copy));
+        ++stats_.retransmits;
+      }
+      ++it;
+    }
+    lock.unlock();
+    for (auto& msg : resend) {
+      try {
+        inner_.send(std::move(msg));
+      } catch (const std::exception&) {
+        // A retransmission on behalf of a crashed party is swallowed by the
+        // fault layer or rejected; either way the entry ages out at its
+        // deadline.
+      }
+    }
+    lock.lock();
+    if (!stopping_) {
+      lock.unlock();
+      std::this_thread::sleep_for(options_.tick);
+      lock.lock();
+    }
+  }
+}
+
+void ReliableTransport::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      if (!retransmitter_.joinable()) return;
+    }
+    stopping_ = true;
+  }
+  if (retransmitter_.joinable()) retransmitter_.join();
+}
+
+ReliableStats ReliableTransport::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace eppi::net

@@ -1,0 +1,90 @@
+// Reliable delivery on top of an unreliable Transport.
+//
+// The paper's protocols assume every message arrives; real federations see
+// loss. Rather than hand-rolling timeouts at every call site, this decorator
+// gives the cluster at-most-once, usually-exactly-once delivery:
+//
+//  * every data frame a party sends is registered as pending and forwarded;
+//  * a background thread polls the *sender's* mailbox for the matching ack
+//    (tag | kAckBit, same seq — mailboxes ack on delivery, see mailbox.h)
+//    and retransmits unacked frames with exponential backoff plus seeded
+//    jitter, the retransmission marked with kRetransmitBit;
+//  * a frame unacked past its per-message deadline is abandoned and counted,
+//    at which point the receiver's bounded recv surfaces a PartyFailure —
+//    reliability turns loss into latency, and only persistent silence
+//    (a crashed peer, a fully dead link) into a typed failure.
+//
+// Acks themselves are fire-and-forget: a lost ack triggers a retransmission,
+// which the receiving mailbox deduplicates and re-acks.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/mailbox.h"
+#include "net/transport.h"
+
+namespace eppi::net {
+
+struct ReliableOptions {
+  std::chrono::milliseconds rto{5};         // initial retransmit timeout
+  double backoff = 2.0;                     // rto multiplier per retry
+  std::chrono::milliseconds max_rto{50};
+  std::chrono::milliseconds deadline{1000}; // per-message delivery bound
+  std::chrono::microseconds tick{500};      // retransmit-thread poll period
+  std::uint64_t jitter_seed = 7;            // de-synchronizes retry bursts
+};
+
+struct ReliableStats {
+  std::uint64_t sent = 0;         // data frames registered
+  std::uint64_t acked = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t expired = 0;      // frames abandoned at the deadline
+};
+
+class ReliableTransport final : public Transport {
+ public:
+  // `mailboxes` are the cluster's per-party inboxes, used to poll acks on
+  // the sending party's behalf; both references must outlive this object.
+  ReliableTransport(Transport& inner, std::vector<Mailbox>& mailboxes,
+                    ReliableOptions options = {});
+  ~ReliableTransport() override;
+
+  ReliableTransport(const ReliableTransport&) = delete;
+  ReliableTransport& operator=(const ReliableTransport&) = delete;
+
+  void send(Message msg) override;
+
+  // Joins the retransmit thread; pending frames are abandoned (idempotent).
+  void stop();
+
+  ReliableStats stats() const;
+
+ private:
+  struct Pending {
+    Message msg;
+    std::chrono::steady_clock::time_point deadline;
+    std::chrono::steady_clock::time_point next_retry;
+    std::chrono::microseconds rto;
+  };
+
+  void retransmit_loop();
+
+  Transport& inner_;
+  std::vector<Mailbox>& mailboxes_;
+  const ReliableOptions options_;
+
+  mutable std::mutex mutex_;
+  std::list<Pending> pending_;
+  ReliableStats stats_;
+  Rng jitter_;
+  std::thread retransmitter_;
+  bool stopping_ = false;
+};
+
+}  // namespace eppi::net

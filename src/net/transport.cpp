@@ -10,13 +10,4 @@ void InMemoryTransport::send(Message msg) {
   mailboxes_[msg.to].deliver(std::move(msg));
 }
 
-void DroppingTransport::send(Message msg) {
-  const std::uint64_t n = counter_.fetch_add(1, std::memory_order_relaxed) + 1;
-  if (drop_every_ != 0 && n % drop_every_ == 0) {
-    dropped_.fetch_add(1, std::memory_order_relaxed);
-    return;
-  }
-  inner_.send(std::move(msg));
-}
-
 }  // namespace eppi::net

@@ -36,23 +36,7 @@ class InMemoryTransport final : public Transport {
   CostMeter& meter_;
 };
 
-// A transport decorator that drops every k-th message; used by failure
-// injection tests to verify protocols detect (rather than silently absorb)
-// lost messages via recv timeouts at the cluster layer.
-class DroppingTransport final : public Transport {
- public:
-  DroppingTransport(Transport& inner, std::uint64_t drop_every)
-      : inner_(inner), drop_every_(drop_every) {}
-
-  void send(Message msg) override;
-
-  std::uint64_t dropped() const noexcept { return dropped_; }
-
- private:
-  Transport& inner_;
-  std::uint64_t drop_every_;
-  std::atomic<std::uint64_t> counter_{0};
-  std::atomic<std::uint64_t> dropped_{0};
-};
+// DroppingTransport (the every-k-th-message fault injector) migrated to a
+// thin alias over the composable FaultyTransport; see faulty_transport.h.
 
 }  // namespace eppi::net

@@ -21,8 +21,16 @@
 // The protocol runs in 2 communication rounds regardless of m, and each
 // provider sends exactly c-1 share messages plus 1 super-share message —
 // this is what keeps the expensive generic MPC confined to c parties.
+// Dropout tolerance (this reproduction's extension): the paper assumes all m
+// providers stay up; run_sec_sum_share_party_ft adds bounded receives, a
+// coordinator-led failure detector, and a restart path that re-runs the
+// round over the survivors (recomputing ring successors and re-resolving the
+// modulus) as long as all c coordinators and at least c providers survive.
+// A dead coordinator is unrecoverable — the (c,c) output sharing needs every
+// coordinator's share — so that case aborts fast with a typed PartyFailure.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -59,5 +67,45 @@ ModRing resolve_ring(const SecSumShareParams& params, std::size_t m);
 // Used by tests to validate the distributed run.
 std::vector<std::uint64_t> plain_frequency_sums(
     std::span<const std::vector<std::uint8_t>> provider_inputs, std::size_t n);
+
+// --- Dropout-tolerant variant -------------------------------------------
+
+struct SecSumShareFtOptions {
+  // Bound on every receive within one protocol stage; a peer silent past
+  // this is suspected dead.
+  std::chrono::milliseconds stage_timeout{250};
+  // Restarts (over shrinking survivor sets) before giving up.
+  std::size_t max_attempts = 3;
+};
+
+struct SecSumShareOutcome {
+  // Aggregated share vector on coordinators (id < c), nullopt otherwise —
+  // identical contract to run_sec_sum_share_party, plus the committed view.
+  std::optional<std::vector<std::uint64_t>> shares;
+  // Sorted ids of the providers whose inputs the committed attempt covers;
+  // all survivors agree on this list. The first c entries are always
+  // 0..c-1.
+  std::vector<eppi::net::PartyId> survivors;
+  // The ring the committed attempt used (re-resolved from the survivor
+  // count when params.q is auto).
+  std::uint64_t q = 0;
+  std::size_t attempts = 1;
+};
+
+// Fault-tolerant SecSumShare. Differences from the plain variant:
+//  * every receive is bounded by options.stage_timeout;
+//  * after steps 1-4 each party reports its suspect set to party 0, which
+//    aggregates, decides COMMIT / RESTART(survivors) / ABORT, and broadcasts
+//    the decision (a silent party 0 means coordinator death: PartyFailure);
+//  * RESTART re-runs the whole round over the survivor list with fresh
+//    shares, survivor-relative ring successors, and a re-resolved modulus;
+//  * ABORT (a coordinator among the suspects, fewer than c survivors, or
+//    max_attempts exhausted) throws PartyFailure naming a failed party.
+// An alive party evicted on a false suspicion learns its eviction from the
+// view broadcast and throws PartyFailure for itself (it cannot rejoin the
+// committed view).
+SecSumShareOutcome run_sec_sum_share_party_ft(
+    eppi::net::PartyContext& ctx, const SecSumShareParams& params,
+    std::span<const std::uint8_t> inputs, const SecSumShareFtOptions& options);
 
 }  // namespace eppi::secret

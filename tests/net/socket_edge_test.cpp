@@ -1,0 +1,183 @@
+// SocketRuntime edge cases: a peer disconnecting mid-frame, an oversized
+// frame header, and a malformed handshake must all be contained — the reader
+// drops the connection, the runtime stays usable, and nothing hangs.
+#include "net/socket_transport.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <optional>
+#include <thread>
+
+#include "common/error.h"
+
+namespace eppi::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+// Same free-range probing as socket_transport_test.cpp (separate TU).
+std::uint16_t next_port_base() {
+  static std::atomic<std::uint16_t> cursor{static_cast<std::uint16_t>(
+      24000 + (::getpid() * 137) % 20000)};
+  for (int attempts = 0; attempts < 200; ++attempts) {
+    const std::uint16_t base = cursor.fetch_add(16);
+    bool all_free = true;
+    for (int k = 0; k < 16 && all_free; ++k) {
+      const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd < 0) {
+        all_free = false;
+        break;
+      }
+      const int one = 1;
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      addr.sin_port = htons(static_cast<std::uint16_t>(base + k));
+      if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+        all_free = false;
+      }
+      ::close(fd);
+    }
+    if (all_free) return base;
+  }
+  throw eppi::ProtocolError("no free port range found for socket tests");
+}
+
+std::vector<Endpoint> loopback_mesh(std::size_t m, std::uint16_t base) {
+  std::vector<Endpoint> endpoints(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    endpoints[i].port = static_cast<std::uint16_t>(base + i);
+  }
+  return endpoints;
+}
+
+// Raw TCP client standing in for a (mis)behaving peer.
+int connect_with_retry(std::uint16_t port) {
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  for (;;) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      return fd;
+    }
+    ::close(fd);
+    if (std::chrono::steady_clock::now() > deadline) {
+      throw eppi::ProtocolError("raw peer: cannot reach runtime under test");
+    }
+    ::usleep(10000);
+  }
+}
+
+void write_exact(int fd, const void* data, std::size_t len) {
+  ASSERT_EQ(::write(fd, data, len), static_cast<ssize_t>(len));
+}
+
+// Little-endian frame header matching SocketRuntime's wire format:
+// [from u32, to u32, tag u32, seq u64, len u32].
+std::vector<unsigned char> make_header(std::uint32_t from, std::uint32_t to,
+                                       std::uint32_t tag, std::uint64_t seq,
+                                       std::uint32_t len) {
+  std::vector<unsigned char> out;
+  const auto put32 = [&out](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out.push_back(static_cast<unsigned char>(v >> (8 * i)));
+  };
+  put32(from);
+  put32(to);
+  put32(tag);
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<unsigned char>(seq >> (8 * i)));
+  put32(len);
+  return out;
+}
+
+TEST(SocketEdgeTest, PeerDisconnectMidFrameIsContained) {
+  const auto endpoints = loopback_mesh(2, next_port_base());
+  std::optional<bool> got_message;
+  std::thread host([&] {
+    SocketRuntime runtime(0, endpoints, 7);
+    got_message = runtime.context()
+                      .recv_for(1, MessageTag::kUserBase, 0, 500ms)
+                      .has_value();
+  });
+
+  const int fd = connect_with_retry(endpoints[0].port);
+  const std::uint32_t my_id = 1;
+  write_exact(fd, &my_id, sizeof(my_id));  // valid handshake: mesh forms
+  // First 10 bytes of a 24-byte header, then vanish.
+  const auto header = make_header(1, 0, MessageTag::kUserBase, 0, 4);
+  write_exact(fd, header.data(), 10);
+  ::close(fd);
+
+  host.join();
+  ASSERT_TRUE(got_message.has_value());
+  EXPECT_FALSE(*got_message);  // truncated frame never delivered, no hang
+}
+
+TEST(SocketEdgeTest, OversizedFrameDropsConnectionNotRuntime) {
+  const auto endpoints = loopback_mesh(2, next_port_base());
+  std::optional<std::vector<std::uint8_t>> first;
+  std::optional<bool> second_arrived;
+  std::thread host([&] {
+    SocketRuntime runtime(0, endpoints, 7);
+    first = runtime.context().recv_for(1, MessageTag::kUserBase, 0, 2000ms);
+    second_arrived = runtime.context()
+                         .recv_for(1, MessageTag::kUserBase, 1, 300ms)
+                         .has_value();
+  });
+
+  const int fd = connect_with_retry(endpoints[0].port);
+  const std::uint32_t my_id = 1;
+  write_exact(fd, &my_id, sizeof(my_id));
+  // A valid frame first: must be delivered.
+  const auto ok = make_header(1, 0, MessageTag::kUserBase, 0, 2);
+  write_exact(fd, ok.data(), ok.size());
+  const unsigned char payload[2] = {0xab, 0xcd};
+  write_exact(fd, payload, sizeof(payload));
+  // Then a header claiming a > 1 GiB payload: the reader must drop the
+  // connection (EPPI_WARN path) instead of allocating.
+  const auto huge =
+      make_header(1, 0, MessageTag::kUserBase, 1, (1u << 30) + 1);
+  write_exact(fd, huge.data(), huge.size());
+
+  host.join();
+  ::close(fd);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, (std::vector<std::uint8_t>{0xab, 0xcd}));
+  ASSERT_TRUE(second_arrived.has_value());
+  EXPECT_FALSE(*second_arrived);  // connection was dropped, runtime survived
+}
+
+TEST(SocketEdgeTest, BadHandshakeRejectsMesh) {
+  const auto endpoints = loopback_mesh(2, next_port_base());
+  std::atomic<bool> threw_protocol_error{false};
+  std::thread host([&] {
+    try {
+      SocketRuntime runtime(0, endpoints, 7);
+    } catch (const eppi::ProtocolError&) {
+      threw_protocol_error = true;
+    }
+  });
+
+  const int fd = connect_with_retry(endpoints[0].port);
+  const std::uint32_t impostor = 0;  // claims to be the listener itself
+  write_exact(fd, &impostor, sizeof(impostor));
+
+  host.join();
+  ::close(fd);
+  EXPECT_TRUE(threw_protocol_error);
+}
+
+}  // namespace
+}  // namespace eppi::net

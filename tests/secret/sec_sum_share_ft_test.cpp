@@ -1,0 +1,175 @@
+// Dropout-tolerant SecSumShare: commit equals the plain protocol when
+// nothing fails, provider crashes trigger a restart over the survivors, and
+// coordinator crashes abort fast with a typed PartyFailure.
+#include "secret/sec_sum_share.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <numeric>
+
+#include "common/error.h"
+#include "net/cluster.h"
+#include "net/fault.h"
+
+namespace eppi::secret {
+namespace {
+
+using eppi::net::Cluster;
+using eppi::net::FaultScenario;
+using eppi::net::PartyContext;
+using eppi::net::PartyId;
+using namespace std::chrono_literals;
+
+SecSumShareFtOptions fast_ft() {
+  SecSumShareFtOptions options;
+  options.stage_timeout = 150ms;
+  options.max_attempts = 3;
+  return options;
+}
+
+const std::vector<std::vector<std::uint8_t>> kInputs{
+    {1, 0, 1, 0, 1}, {1, 1, 0, 0, 0}, {1, 0, 0, 1, 0},
+    {0, 1, 1, 0, 0}, {1, 0, 0, 0, 1}};
+constexpr std::size_t kM = 5;
+constexpr std::size_t kN = 5;
+
+std::vector<std::uint64_t> committed_sums(
+    const std::vector<SecSumShareOutcome>& outcomes, std::size_t c) {
+  const ModRing ring(outcomes[0].q);
+  std::vector<std::uint64_t> sums(kN, 0);
+  for (std::size_t i = 0; i < c; ++i) {
+    for (std::size_t j = 0; j < kN; ++j) {
+      sums[j] = ring.add(sums[j], (*outcomes[i].shares)[j]);
+    }
+  }
+  return sums;
+}
+
+TEST(SecSumShareFtTest, FaultFreeRunCommitsFirstAttempt) {
+  const SecSumShareParams params{3, 0, kN};
+  Cluster cluster(kM);
+  std::vector<SecSumShareOutcome> outcomes(kM);
+  cluster.run([&](PartyContext& ctx) {
+    outcomes[ctx.id()] = run_sec_sum_share_party_ft(
+        ctx, params, kInputs[ctx.id()], fast_ft());
+  });
+
+  std::vector<PartyId> everyone(kM);
+  std::iota(everyone.begin(), everyone.end(), PartyId{0});
+  for (const auto& outcome : outcomes) {
+    EXPECT_EQ(outcome.survivors, everyone);
+    EXPECT_EQ(outcome.attempts, 1u);
+    EXPECT_EQ(outcome.q, resolve_ring(params, kM).q());
+  }
+  EXPECT_EQ(committed_sums(outcomes, params.c),
+            plain_frequency_sums(kInputs, kN));
+}
+
+TEST(SecSumShareFtTest, ProviderCrashRestartsOverSurvivors) {
+  const SecSumShareParams params{3, 0, kN};
+  Cluster cluster(kM);
+  // Party 4 distributes its c-1 = 2 ring shares, then dies on the
+  // super-share send: mid-protocol, after partially participating.
+  cluster.inject_faults(FaultScenario::parse("crash 4 after 2 sends"));
+  std::vector<SecSumShareOutcome> outcomes(kM);
+  cluster.run([&](PartyContext& ctx) {
+    outcomes[ctx.id()] = run_sec_sum_share_party_ft(
+        ctx, params, kInputs[ctx.id()], fast_ft());
+  });
+
+  EXPECT_EQ(cluster.crashed(), std::vector<PartyId>{4});
+  const std::vector<PartyId> expected_survivors{0, 1, 2, 3};
+  for (std::size_t i = 0; i + 1 < kM; ++i) {
+    EXPECT_EQ(outcomes[i].survivors, expected_survivors) << "party " << i;
+    EXPECT_EQ(outcomes[i].attempts, 2u) << "party " << i;
+  }
+  // The committed sums cover exactly the survivors' inputs: the crashed
+  // party's abandoned attempt-1 shares contribute nothing.
+  const std::vector<std::vector<std::uint8_t>> survivor_inputs(
+      kInputs.begin(), kInputs.begin() + 4);
+  EXPECT_EQ(committed_sums(outcomes, params.c),
+            plain_frequency_sums(survivor_inputs, kN));
+}
+
+TEST(SecSumShareFtTest, CoordinatorCrashAbortsWithTypedFailure) {
+  const SecSumShareParams params{3, 0, kN};
+  Cluster cluster(kM);
+  cluster.inject_faults(FaultScenario::parse("crash 1 after 0 sends"));
+  try {
+    cluster.run([&](PartyContext& ctx) {
+      (void)run_sec_sum_share_party_ft(ctx, params, kInputs[ctx.id()],
+                                       fast_ft());
+    });
+    FAIL() << "expected PartyFailure";
+  } catch (const eppi::PartyFailure& failure) {
+    EXPECT_EQ(failure.party(), PartyId{1});
+  }
+  EXPECT_EQ(cluster.crashed(), std::vector<PartyId>{1});
+}
+
+TEST(SecSumShareFtTest, ViewLeaderCrashSurfacesAsPartyFailure) {
+  // Party 0 doubles as the view leader; its death must not hang the others.
+  const SecSumShareParams params{3, 0, kN};
+  Cluster cluster(kM);
+  cluster.inject_faults(FaultScenario::parse("crash 0 after 1 sends"));
+  EXPECT_THROW(cluster.run([&](PartyContext& ctx) {
+                 (void)run_sec_sum_share_party_ft(ctx, params,
+                                                  kInputs[ctx.id()],
+                                                  fast_ft());
+               }),
+               eppi::PartyFailure);
+  EXPECT_EQ(cluster.crashed(), std::vector<PartyId>{0});
+}
+
+TEST(SecSumShareFtTest, AttemptBudgetExhaustionAborts) {
+  const SecSumShareParams params{3, 0, kN};
+  Cluster cluster(kM);
+  cluster.inject_faults(FaultScenario::parse("crash 4 after 2 sends"));
+  SecSumShareFtOptions options = fast_ft();
+  options.max_attempts = 1;  // no restart budget: the dropout is fatal
+  try {
+    cluster.run([&](PartyContext& ctx) {
+      (void)run_sec_sum_share_party_ft(ctx, params, kInputs[ctx.id()],
+                                       options);
+    });
+    FAIL() << "expected PartyFailure";
+  } catch (const eppi::PartyFailure& failure) {
+    EXPECT_EQ(failure.party(), PartyId{4});
+  }
+}
+
+TEST(SecSumShareFtTest, TooFewSurvivorsAborts) {
+  // c == m: losing any provider leaves fewer than c survivors.
+  const SecSumShareParams params{3, 0, kN};
+  Cluster cluster(3);
+  cluster.inject_faults(FaultScenario::parse("crash 2 after 2 sends"));
+  EXPECT_THROW(cluster.run([&](PartyContext& ctx) {
+                 (void)run_sec_sum_share_party_ft(ctx, params,
+                                                  kInputs[ctx.id()],
+                                                  fast_ft());
+               }),
+               eppi::PartyFailure);
+}
+
+TEST(SecSumShareFtTest, PaperModulusIsHonoredAcrossRestart) {
+  // Explicit q = 7 (cf. the paper's q = 5 walkthrough) must survive the
+  // restart path unchanged — only auto moduli re-resolve.
+  const SecSumShareParams params{2, 7, kN};
+  Cluster cluster(4);
+  cluster.inject_faults(FaultScenario::parse("crash 3 after 1 sends"));
+  std::vector<SecSumShareOutcome> outcomes(4);
+  cluster.run([&](PartyContext& ctx) {
+    outcomes[ctx.id()] = run_sec_sum_share_party_ft(
+        ctx, params, kInputs[ctx.id()], fast_ft());
+  });
+  EXPECT_EQ(outcomes[0].q, 7u);
+  EXPECT_EQ(outcomes[0].attempts, 2u);
+  const std::vector<std::vector<std::uint8_t>> survivor_inputs(
+      kInputs.begin(), kInputs.begin() + 3);
+  EXPECT_EQ(committed_sums(outcomes, params.c),
+            plain_frequency_sums(survivor_inputs, kN));
+}
+
+}  // namespace
+}  // namespace eppi::secret
