@@ -72,7 +72,10 @@ int main() {
     cluster.run([&](eppi::net::PartyContext& ctx) {
       const auto result = eppi::secret::run_sec_sum_share_party(
           ctx, params, inputs[ctx.id()]);
-      if (ctx.id() < kC) views[ctx.id()] = *result;
+      // Colluding coordinators pool their views: a deliberate opening.
+      if (ctx.id() < kC) {
+        views[ctx.id()] = eppi::secret::reveal_shares(*result);
+      }
     });
     const auto ring = eppi::secret::resolve_ring(params, kM);
     const eppi::attack::CollusionObserver observer(views, ring.q());

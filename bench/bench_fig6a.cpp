@@ -62,13 +62,7 @@ EppiStageResult run_eppi_stage(const eppi::BitMatrix& truth,
     const auto shares =
         eppi::secret::run_sec_sum_share_party(ctx, ss_params, row);
     if (ctx.id() >= c) return;
-    std::vector<bool> bits;
-    bits.reserve(n * ring.bit_width());
-    for (const std::uint64_t s : *shares) {
-      for (unsigned b = 0; b < ring.bit_width(); ++b) {
-        bits.push_back((s >> b) & 1);
-      }
-    }
+    const auto bits = eppi::mpc::share_input_bits(*shares, ring.bit_width());
     eppi::mpc::GmwSession session;
     for (std::size_t i = 0; i < c; ++i) {
       session.parties.push_back(static_cast<eppi::net::PartyId>(i));

@@ -142,10 +142,11 @@ void BM_Reshare(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const eppi::secret::ModRing ring(1 << 14);
   eppi::Rng rng(9);
-  std::vector<std::vector<std::uint64_t>> shares(
-      3, std::vector<std::uint64_t>(n));
+  std::vector<std::vector<eppi::SecretU64>> shares(3);
   for (auto& vec : shares) {
-    for (auto& v : vec) v = rng.next_below(ring.q());
+    std::vector<std::uint64_t> raw(n);
+    for (auto& v : raw) v = rng.next_below(ring.q());
+    vec = eppi::secret::wrap_shares(raw);
   }
   for (auto _ : state) {
     eppi::net::Cluster cluster(3);

@@ -7,7 +7,11 @@
 #   asan    ASan+UBSan build in ./build-asan, full ctest
 #   tsan    TSan build in ./build-tsan, fault-labeled tests (the threaded
 #           cluster/reliability/fault paths are where races would live)
-#   all     plain, then asan, then tsan
+#   lint    static-analysis gate: eppi_lint.py + compile-fail probes
+#           (ctest -L lint in ./build); adds clang-tidy and the clang
+#           thread-safety -Werror build when clang is installed
+#   all     plain, then asan, then tsan, then lint
+# Stages may also be spelled --lint / --asan / etc.
 #
 # JOBS=<n> overrides the build/test parallelism (default: nproc).
 set -euo pipefail
@@ -15,6 +19,7 @@ cd "$(dirname "$0")/.."
 
 jobs="${JOBS:-$(nproc)}"
 stage="${1:-plain}"
+stage="${stage#--}"  # accept --lint as well as lint
 
 run_preset() {
   local preset="$1"
@@ -38,13 +43,43 @@ case "$stage" in
     # TSAN_OPTIONS halt_on_error keeps a race from scrolling past unnoticed.
     TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" run_preset tsan
     ;;
+  lint)
+    # Local gate first: the pure-Python linter needs no toolchain and exits
+    # nonzero on any violation, failing this script via `set -e`.
+    python3 tools/eppi_lint.py --self-test
+    python3 tools/eppi_lint.py
+
+    # Compile-fail probes + the lint-labeled ctest entries (uses the default
+    # build tree so a prior `plain` run is reused).
+    cmake --preset default
+    cmake --build --preset default -j "$jobs"
+    ctest --preset default -L lint
+
+    # Clang-only layers: thread-safety -Werror build and clang-tidy. Skipped
+    # with a notice when clang is not installed (the CI lint job has it).
+    if command -v clang++ >/dev/null 2>&1; then
+      cmake --preset lint
+      cmake --build --preset lint -j "$jobs"
+      ctest --preset lint -j "$jobs"
+      if command -v clang-tidy >/dev/null 2>&1; then
+        mapfile -t tidy_sources < <(git ls-files 'src/**/*.cpp')
+        clang-tidy -p build-lint "${tidy_sources[@]}"
+      else
+        echo "check.sh: clang-tidy not installed; skipping (CI runs it)" >&2
+      fi
+    else
+      echo "check.sh: clang++ not installed; skipping thread-safety" \
+           "-Werror build and clang-tidy (CI runs them)" >&2
+    fi
+    ;;
   all)
     "$0" plain
     "$0" asan
     "$0" tsan
+    "$0" lint
     ;;
   *)
-    echo "usage: $0 [plain|fault|asan|tsan|all]" >&2
+    echo "usage: $0 [plain|fault|asan|tsan|lint|all]" >&2
     exit 2
     ;;
 esac

@@ -1,14 +1,13 @@
 #include "common/logging.h"
 
-#include <atomic>
 #include <iostream>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace eppi {
 namespace {
 
-std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
-std::mutex g_mutex;
+Mutex g_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -26,17 +25,9 @@ const char* level_name(LogLevel level) {
 
 }  // namespace
 
-void set_log_level(LogLevel level) noexcept {
-  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
-}
-
-LogLevel log_level() noexcept {
-  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
-}
-
 namespace detail {
 void log_line(LogLevel level, const std::string& msg) {
-  const std::lock_guard<std::mutex> lock(g_mutex);
+  const MutexLock lock(g_mutex);
   std::cerr << "[eppi " << level_name(level) << "] " << msg << '\n';
 }
 }  // namespace detail

@@ -2,8 +2,14 @@
 //
 // Benchmarks and examples print structured result rows on stdout; diagnostic
 // logging goes to stderr through this logger so result streams stay clean.
+//
+// Cost discipline: the level gate is an inline relaxed atomic load, so a
+// disabled EPPI_DEBUG in a hot protocol loop costs one load + branch and the
+// stream expression is NEVER evaluated (no side effects, no allocations).
+// logging_test.cpp pins this.
 #pragma once
 
+#include <atomic>
 #include <sstream>
 #include <string>
 
@@ -11,23 +17,42 @@ namespace eppi {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-// Global minimum level; messages below it are dropped. Default: kWarn so
-// tests and benches are quiet unless something is wrong.
-void set_log_level(LogLevel level) noexcept;
-LogLevel log_level() noexcept;
-
 namespace detail {
+// Inline so the EPPI_LOG gate compiles to a relaxed load in every TU instead
+// of a call into logging.cpp. Default: kWarn so tests and benches are quiet
+// unless something is wrong.
+inline std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarn)};
+
 void log_line(LogLevel level, const std::string& msg);
+}  // namespace detail
+
+// Global minimum level; messages below it are dropped.
+inline void set_log_level(LogLevel level) noexcept {
+  detail::g_log_level.store(static_cast<int>(level),
+                            std::memory_order_relaxed);
 }
 
-#define EPPI_LOG(level, expr)                                   \
-  do {                                                          \
-    if (static_cast<int>(level) >=                              \
-        static_cast<int>(::eppi::log_level())) {                \
-      std::ostringstream eppi_log_stream;                       \
-      eppi_log_stream << expr;                                  \
-      ::eppi::detail::log_line(level, eppi_log_stream.str());   \
-    }                                                           \
+inline LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(
+      detail::g_log_level.load(std::memory_order_relaxed));
+}
+
+// True iff a message at `level` would actually be emitted.
+inline bool log_enabled(LogLevel level) noexcept {
+  return static_cast<int>(level) >=
+         detail::g_log_level.load(std::memory_order_relaxed);
+}
+
+// `expr` is evaluated only after log_enabled passes: side effects inside a
+// suppressed log statement do not fire, and the disabled path builds no
+// ostringstream.
+#define EPPI_LOG(level, expr)                                 \
+  do {                                                        \
+    if (::eppi::log_enabled(level)) {                         \
+      std::ostringstream eppi_log_stream;                     \
+      eppi_log_stream << expr;                                \
+      ::eppi::detail::log_line(level, eppi_log_stream.str()); \
+    }                                                         \
   } while (0)
 
 #define EPPI_DEBUG(expr) EPPI_LOG(::eppi::LogLevel::kDebug, expr)

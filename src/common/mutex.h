@@ -1,0 +1,112 @@
+// Annotated mutex primitives for clang thread-safety analysis.
+//
+// libstdc++'s std::mutex / std::condition_variable carry no capability
+// attributes, so code locking them directly is invisible to
+// -Wthread-safety. These thin wrappers (same idea as absl::Mutex /
+// absl::MutexLock) add the attributes and nothing else: zero-overhead
+// forwarding to the std types underneath.
+//
+// CondVar::wait takes the Mutex wrapper directly and re-asserts the
+// capability, so `while (!ready_) cv_.wait(mutex_);` analyzes cleanly.
+// Note the analysis is intraprocedural: predicate-lambda overloads like
+// std::condition_variable::wait(lock, pred) would NOT see the caller's
+// capabilities inside the lambda, so waits here are written as explicit
+// while loops.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace eppi {
+
+class CondVar;
+
+// A std::mutex with the `capability` attribute so EPPI_GUARDED_BY fields can
+// name it.
+class EPPI_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() EPPI_ACQUIRE() { inner_.lock(); }
+  void unlock() EPPI_RELEASE() { inner_.unlock(); }
+  bool try_lock() EPPI_TRY_ACQUIRE(true) { return inner_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex inner_;
+};
+
+// RAII guard; also supports mid-scope unlock()/lock() cycles (the reliable
+// and faulty transports drop the lock around inner sends and sleeps).
+class EPPI_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) EPPI_ACQUIRE(mu) : mu_(mu), owned_(true) {
+    mu_.lock();
+  }
+  ~MutexLock() EPPI_RELEASE() {
+    if (owned_) mu_.unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void unlock() EPPI_RELEASE() {
+    mu_.unlock();
+    owned_ = false;
+  }
+  void lock() EPPI_ACQUIRE() {
+    mu_.lock();
+    owned_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool owned_;
+};
+
+// Condition variable working directly on eppi::Mutex. The wait methods
+// require (and preserve) the caller's hold on the mutex.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) EPPI_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.inner_, std::adopt_lock);
+    cv_.wait(lk);
+    lk.release();  // caller still owns the mutex; don't unlock on destruction
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(Mutex& mu,
+                          const std::chrono::duration<Rep, Period>& dur)
+      EPPI_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.inner_, std::adopt_lock);
+    std::cv_status st = cv_.wait_for(lk, dur);
+    lk.release();
+    return st;
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(Mutex& mu,
+                            const std::chrono::time_point<Clock, Duration>& tp)
+      EPPI_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.inner_, std::adopt_lock);
+    std::cv_status st = cv_.wait_until(lk, tp);
+    lk.release();
+    return st;
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace eppi

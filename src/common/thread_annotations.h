@@ -1,0 +1,66 @@
+// Clang thread-safety-analysis annotation macros.
+//
+// These wrap clang's `-Wthread-safety` attributes
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) so the net layer's
+// mutex discipline — which PR 1 could only check dynamically with TSan — is
+// verified at compile time: a field marked EPPI_GUARDED_BY(mutex_) read or
+// written without the mutex held is a build error under the clang presets
+// (`cmake --preset lint`, CI), and a no-op everywhere else. Use together
+// with the annotated eppi::Mutex / eppi::MutexLock / eppi::CondVar wrappers
+// in common/mutex.h (std::mutex itself carries no capability attributes on
+// libstdc++, so locking through the std types would leave the analysis
+// blind).
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define EPPI_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define EPPI_THREAD_ANNOTATION_(x)  // no-op off clang
+#endif
+
+// Type annotations ----------------------------------------------------------
+
+// Marks a class as a lockable capability (e.g. a mutex wrapper).
+#define EPPI_CAPABILITY(x) EPPI_THREAD_ANNOTATION_(capability(x))
+
+// Marks an RAII guard whose constructor acquires and destructor releases.
+#define EPPI_SCOPED_CAPABILITY EPPI_THREAD_ANNOTATION_(scoped_lockable)
+
+// Data-member annotations ---------------------------------------------------
+
+// The member may only be accessed while holding capability `x`.
+#define EPPI_GUARDED_BY(x) EPPI_THREAD_ANNOTATION_(guarded_by(x))
+
+// The pointed-to data (not the pointer itself) is guarded by `x`.
+#define EPPI_PT_GUARDED_BY(x) EPPI_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// Function annotations ------------------------------------------------------
+
+// Caller must hold the capabilities on entry (held, not acquired).
+#define EPPI_REQUIRES(...) \
+  EPPI_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+// Function acquires the capabilities and holds them on return.
+#define EPPI_ACQUIRE(...) \
+  EPPI_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+// Function releases the capabilities; they must be held on entry.
+#define EPPI_RELEASE(...) \
+  EPPI_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+// Function acquires the capability iff it returns `ret`.
+#define EPPI_TRY_ACQUIRE(ret, ...) \
+  EPPI_THREAD_ANNOTATION_(try_acquire_capability(ret, __VA_ARGS__))
+
+// Caller must NOT hold the capabilities (deadlock prevention).
+#define EPPI_EXCLUDES(...) \
+  EPPI_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+// Function returns a reference to the named capability.
+#define EPPI_RETURN_CAPABILITY(x) \
+  EPPI_THREAD_ANNOTATION_(lock_returned(x))
+
+// Escape hatch for code the analysis cannot follow; use sparingly and leave
+// a comment explaining why the access is in fact safe.
+#define EPPI_NO_THREAD_SAFETY_ANALYSIS \
+  EPPI_THREAD_ANNOTATION_(no_thread_safety_analysis)

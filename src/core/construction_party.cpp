@@ -51,18 +51,6 @@ EpsilonRanks rank_epsilons(std::span<const double> epsilons) {
   return er;
 }
 
-// Flattens a coordinator's share vector into MPC input bits (identity-major,
-// low bit first — must match declare_share_inputs in eppi_circuits.cpp).
-std::vector<bool> share_input_bits(std::span<const std::uint64_t> shares,
-                                   unsigned width) {
-  std::vector<bool> bits;
-  bits.reserve(shares.size() * width);
-  for (const std::uint64_t s : shares) {
-    for (unsigned b = 0; b < width; ++b) bits.push_back((s >> b) & 1);
-  }
-  return bits;
-}
-
 struct OpenedMix {
   std::vector<bool> mixed;
   std::vector<std::uint64_t> frequencies;
@@ -121,7 +109,7 @@ ConstructionPartyResult run_construction_party(
   // commit may cover fewer providers; every public parameter that depends on
   // the provider count (ring, thresholds, β denominator) is derived from the
   // committed survivor set so all survivors still agree on it.
-  std::optional<std::vector<std::uint64_t>> my_shares;
+  std::optional<std::vector<eppi::SecretU64>> my_shares;
   std::uint64_t committed_q = 0;
   if (ft.enabled) {
     eppi::secret::SecSumShareFtOptions ss_ft;
@@ -174,7 +162,7 @@ ConstructionPartyResult run_construction_party(
     };
 
     // Phase 1.2a: CountBelow.
-    const auto cb_bits = share_input_bits(*my_shares, width);
+    const auto cb_bits = eppi::mpc::share_input_bits(*my_shares, width);
     const auto cb_out = run_secure(cb_circuit, cb_bits, 0);
     const auto counted = eppi::mpc::decode_count_below(cb_spec, cb_out);
 
@@ -194,7 +182,7 @@ ConstructionPartyResult run_construction_party(
     mr_spec.coin_bits = options.coin_bits;
     const auto mr_circuit = eppi::mpc::build_mix_reveal_circuit(mr_spec);
 
-    std::vector<bool> mr_bits = share_input_bits(*my_shares, width);
+    std::vector<bool> mr_bits = eppi::mpc::share_input_bits(*my_shares, width);
     mr_bits.reserve(mr_bits.size() + n * options.coin_bits);
     for (std::size_t j = 0; j < n; ++j) {
       for (unsigned b = 0; b < options.coin_bits; ++b) {

@@ -12,20 +12,32 @@ namespace {
 
 constexpr std::uint32_t kTagArith = eppi::net::kUserBase + 40;
 
-std::vector<std::uint8_t> encode(std::span<const std::uint64_t> values) {
+std::vector<std::uint8_t> encode_raw(std::span<const std::uint64_t> values) {
   eppi::BinaryWriter w;
   w.write_u64_vector(values);
   return w.take();
 }
 
-std::vector<std::uint64_t> decode(std::span<const std::uint8_t> bytes,
-                                  std::size_t expected) {
+// Wire path for share vectors: untaint only to serialize toward the party
+// that is supposed to hold them.
+std::vector<std::uint8_t> encode_shares(
+    std::span<const eppi::SecretU64> values) {
+  return encode_raw(eppi::wire_shares(values));
+}
+
+std::vector<std::uint64_t> decode_raw(std::span<const std::uint8_t> bytes,
+                                      std::size_t expected) {
   eppi::BinaryReader r(bytes);
   auto values = r.read_u64_vector();
   if (values.size() != expected) {
     throw eppi::ProtocolError("ArithSession: vector size mismatch");
   }
   return values;
+}
+
+std::vector<eppi::SecretU64> decode_shares(std::span<const std::uint8_t> bytes,
+                                           std::size_t expected) {
+  return eppi::wrap_shares(decode_raw(bytes, expected));
 }
 
 }  // namespace
@@ -42,14 +54,15 @@ ArithSession::ArithSession(eppi::net::PartyContext& ctx,
   me_ = static_cast<std::size_t>(self - parties_.begin());
 }
 
-ArithSession::Share ArithSession::add_public(Share a, std::uint64_t k) const {
+ArithSession::Share ArithSession::add_public(const Share& a,
+                                             std::uint64_t k) const {
   // Public constants are carried by party 0's share only.
-  return me_ == 0 ? ring_.add(a, k) : a;
+  return me_ == 0 ? a.add_public(k, ring_) : a;
 }
 
-ArithSession::Share ArithSession::scalar_mul(Share a, std::uint64_t k) const {
-  return static_cast<Share>(
-      (static_cast<unsigned __int128>(a) * ring_.reduce(k)) % ring_.q());
+ArithSession::Share ArithSession::scalar_mul(const Share& a,
+                                             std::uint64_t k) const {
+  return a.scale(k, ring_);
 }
 
 std::vector<ArithSession::Share> ArithSession::input_vector(
@@ -59,8 +72,7 @@ std::vector<ArithSession::Share> ArithSession::input_vector(
   const std::size_t c = parties_.size();
   if (ctx_.id() == owner) {
     require(values.size() == count, "ArithSession: input size mismatch");
-    std::vector<std::vector<std::uint64_t>> per_party(
-        c, std::vector<std::uint64_t>(count));
+    std::vector<std::vector<Share>> per_party(c, std::vector<Share>(count));
     for (std::size_t j = 0; j < count; ++j) {
       const auto shares =
           eppi::secret::split_additive(values[j], c, ring_, ctx_.rng());
@@ -68,7 +80,7 @@ std::vector<ArithSession::Share> ArithSession::input_vector(
     }
     for (std::size_t p = 0; p < c; ++p) {
       if (parties_[p] == owner) continue;
-      ctx_.send(parties_[p], kTagArith, seq, encode(per_party[p]));
+      ctx_.send(parties_[p], kTagArith, seq, encode_shares(per_party[p]));
     }
     if (me_ == 0) ctx_.mark_round();
     // My own share is at my session index.
@@ -76,21 +88,23 @@ std::vector<ArithSession::Share> ArithSession::input_vector(
   }
   const auto payload = ctx_.recv(owner, kTagArith, seq);
   if (me_ == 0) ctx_.mark_round();
-  return decode(payload, count);
+  return decode_shares(payload, count);
 }
 
 std::vector<std::uint64_t> ArithSession::exchange_sum(
-    std::span<const std::uint64_t> mine, std::uint64_t seq) {
+    std::span<const Share> mine, std::uint64_t seq) {
+  const auto encoded = encode_shares(mine);
   for (std::size_t p = 0; p < parties_.size(); ++p) {
     if (p == me_) continue;
-    ctx_.send(parties_[p], kTagArith, seq,
-              encode(std::vector<std::uint64_t>(mine.begin(), mine.end())));
+    ctx_.send(parties_[p], kTagArith, seq, encoded);
   }
-  std::vector<std::uint64_t> total(mine.begin(), mine.end());
+  // Every party broadcast its share: from here the values are public by
+  // protocol design, so this reveal is the audited opening.
+  std::vector<std::uint64_t> total = eppi::reveal_shares(mine);
   for (std::size_t p = 0; p < parties_.size(); ++p) {
     if (p == me_) continue;
     const auto payload = ctx_.recv(parties_[p], kTagArith, seq);
-    const auto incoming = decode(payload, mine.size());
+    const auto incoming = decode_raw(payload, mine.size());
     for (std::size_t j = 0; j < total.size(); ++j) {
       total[j] = ring_.add(total[j], incoming[j]);
     }
@@ -108,17 +122,15 @@ std::vector<ArithSession::Share> ArithSession::mul_batch(
 
   // Preprocessing: dealer generates and distributes arithmetic triples.
   const std::uint64_t triple_seq = next_seq();
-  std::vector<std::uint64_t> a_sh(n), b_sh(n), c_sh(n);
+  std::vector<Share> a_sh(n), b_sh(n), c_sh(n);
   if (me_ == 0) {
-    std::vector<std::vector<std::uint64_t>> a_parts(
-        c, std::vector<std::uint64_t>(n));
+    std::vector<std::vector<Share>> a_parts(c, std::vector<Share>(n));
     auto b_parts = a_parts;
     auto c_parts = a_parts;
     for (std::size_t j = 0; j < n; ++j) {
       const std::uint64_t a = ctx_.rng().next_below(ring_.q());
       const std::uint64_t b = ctx_.rng().next_below(ring_.q());
-      const auto prod = static_cast<std::uint64_t>(
-          (static_cast<unsigned __int128>(a) * b) % ring_.q());
+      const std::uint64_t prod = ring_.mul(a, b);
       const auto sa = eppi::secret::split_additive(a, c, ring_, ctx_.rng());
       const auto sb = eppi::secret::split_additive(b, c, ring_, ctx_.rng());
       const auto sc =
@@ -131,9 +143,9 @@ std::vector<ArithSession::Share> ArithSession::mul_batch(
     }
     for (std::size_t p = 1; p < c; ++p) {
       eppi::BinaryWriter w;
-      w.write_u64_vector(a_parts[p]);
-      w.write_u64_vector(b_parts[p]);
-      w.write_u64_vector(c_parts[p]);
+      w.write_u64_vector(eppi::wire_shares(a_parts[p]));
+      w.write_u64_vector(eppi::wire_shares(b_parts[p]));
+      w.write_u64_vector(eppi::wire_shares(c_parts[p]));
       ctx_.send(parties_[p], kTagArith, triple_seq, w.take());
     }
     a_sh = std::move(a_parts[0]);
@@ -143,40 +155,40 @@ std::vector<ArithSession::Share> ArithSession::mul_batch(
   } else {
     const auto payload = ctx_.recv(parties_[0], kTagArith, triple_seq);
     eppi::BinaryReader r(payload);
-    a_sh = r.read_u64_vector();
-    b_sh = r.read_u64_vector();
-    c_sh = r.read_u64_vector();
-    if (a_sh.size() != n || b_sh.size() != n || c_sh.size() != n) {
+    const auto raw_a = r.read_u64_vector();
+    const auto raw_b = r.read_u64_vector();
+    const auto raw_c = r.read_u64_vector();
+    if (raw_a.size() != n || raw_b.size() != n || raw_c.size() != n) {
       throw eppi::ProtocolError("ArithSession: bad triple batch");
     }
+    a_sh = eppi::wrap_shares(raw_a);
+    b_sh = eppi::wrap_shares(raw_b);
+    c_sh = eppi::wrap_shares(raw_c);
   }
 
-  // Open d = x - a and e = y - b, batched.
-  std::vector<std::uint64_t> masked(2 * n);
+  // Open d = x - a and e = y - b, batched. The masked differences are still
+  // shares until every party's contribution is summed in exchange_sum.
+  std::vector<Share> masked(2 * n);
   for (std::size_t j = 0; j < n; ++j) {
-    masked[2 * j] = ring_.sub(lhs[j], a_sh[j]);
-    masked[2 * j + 1] = ring_.sub(rhs[j], b_sh[j]);
+    masked[2 * j] = lhs[j].sub(a_sh[j], ring_);
+    masked[2 * j + 1] = rhs[j].sub(b_sh[j], ring_);
   }
   const auto opened = exchange_sum(masked, next_seq());
 
-  // z = c + d*b + e*a (+ d*e on party 0).
+  // z = c + d*b + e*a (+ d*e on party 0); d, e are public.
   std::vector<Share> out(n);
-  const auto mul_mod = [&](std::uint64_t x, std::uint64_t y) {
-    return static_cast<std::uint64_t>(
-        (static_cast<unsigned __int128>(x) * y) % ring_.q());
-  };
   for (std::size_t j = 0; j < n; ++j) {
     const std::uint64_t d = opened[2 * j];
     const std::uint64_t e = opened[2 * j + 1];
-    std::uint64_t z = ring_.add(c_sh[j], mul_mod(d, b_sh[j]));
-    z = ring_.add(z, mul_mod(e, a_sh[j]));
-    if (me_ == 0) z = ring_.add(z, mul_mod(d, e));
+    Share z = c_sh[j].add(b_sh[j].scale(d, ring_), ring_);
+    z = z.add(a_sh[j].scale(e, ring_), ring_);
+    if (me_ == 0) z = z.add_public(ring_.mul(d, e), ring_);
     out[j] = z;
   }
   return out;
 }
 
-ArithSession::Share ArithSession::mul(Share a, Share b) {
+ArithSession::Share ArithSession::mul(const Share& a, const Share& b) {
   const Share lhs[1] = {a};
   const Share rhs[1] = {b};
   return mul_batch(lhs, rhs)[0];
@@ -191,7 +203,7 @@ std::vector<std::uint64_t> ArithSession::open_batch(
   return exchange_sum(shares, next_seq());
 }
 
-std::uint64_t ArithSession::open(Share share) {
+std::uint64_t ArithSession::open(const Share& share) {
   const Share one[1] = {share};
   return open_batch(one)[0];
 }

@@ -22,14 +22,18 @@
 
 #include "net/cluster.h"
 #include "secret/mod_ring.h"
+#include "secret/secret.h"
 
 namespace eppi::mpc {
 
 class ArithSession {
  public:
-  // A party's handle to a shared value: its own additive share. Handles are
-  // only meaningful within the session that produced them.
-  using Share = std::uint64_t;
+  // A party's handle to a shared value: its own additive share, carrying the
+  // Secret taint (secret/secret.h) so it cannot be logged, compared, or
+  // branched on. Handles are only meaningful within the session that
+  // produced them; open()/open_batch() are the audited way back to plain
+  // values.
+  using Share = eppi::SecretU64;
 
   // Every session party constructs this with identical (parties, ring,
   // seq_base); my id must be in `parties`.
@@ -49,24 +53,26 @@ class ArithSession {
                                   std::size_t count);
 
   // --- local linear algebra --------------------------------------------------
-  Share add(Share a, Share b) const { return ring_.add(a, b); }
-  Share sub(Share a, Share b) const { return ring_.sub(a, b); }
-  Share add_public(Share a, std::uint64_t k) const;
-  Share scalar_mul(Share a, std::uint64_t k) const;
+  Share add(const Share& a, const Share& b) const { return a.add(b, ring_); }
+  Share sub(const Share& a, const Share& b) const { return a.sub(b, ring_); }
+  Share add_public(const Share& a, std::uint64_t k) const;
+  Share scalar_mul(const Share& a, std::uint64_t k) const;
 
   // --- multiplication (batched: one triple round + one opening round) --------
   std::vector<Share> mul_batch(std::span<const Share> lhs,
                                std::span<const Share> rhs);
-  Share mul(Share a, Share b);
+  Share mul(const Share& a, const Share& b);
 
   // --- opening ----------------------------------------------------------------
   std::vector<std::uint64_t> open_batch(std::span<const Share> shares);
-  std::uint64_t open(Share share);
+  std::uint64_t open(const Share& share);
 
  private:
   std::uint64_t next_seq() { return seq_base_ + seq_counter_++; }
-  std::vector<std::uint64_t> exchange_sum(
-      std::span<const std::uint64_t> mine, std::uint64_t seq);
+  // Deliberate opening primitive: every party contributes `mine` and learns
+  // the share-wise sum (the reconstructed values).
+  std::vector<std::uint64_t> exchange_sum(std::span<const Share> mine,
+                                          std::uint64_t seq);
 
   eppi::net::PartyContext& ctx_;
   std::vector<eppi::net::PartyId> parties_;

@@ -21,14 +21,12 @@ bool get_packed_bit(const std::vector<std::uint8_t>& v,
 
 std::vector<TripleShares> deal_triples(std::size_t n_parties,
                                        std::uint64_t count, eppi::Rng& rng) {
-  std::vector<TripleShares> shares(n_parties);
   const std::size_t bytes = packed_size(count);
-  for (auto& s : shares) {
-    s.a.assign(bytes, 0);
-    s.b.assign(bytes, 0);
-    s.c.assign(bytes, 0);
-    s.count = count;
-  }
+  // Generate into raw packed buffers, then seal them under the Secret taint.
+  std::vector<std::vector<std::uint8_t>> a_raw(
+      n_parties, std::vector<std::uint8_t>(bytes, 0));
+  auto b_raw = a_raw;
+  auto c_raw = a_raw;
   for (std::uint64_t i = 0; i < count; ++i) {
     const bool a = rng.bernoulli(0.5);
     const bool b = rng.bernoulli(0.5);
@@ -40,16 +38,23 @@ std::vector<TripleShares> deal_triples(std::size_t n_parties,
       const bool sa = rng.bernoulli(0.5);
       const bool sb = rng.bernoulli(0.5);
       const bool sc = rng.bernoulli(0.5);
-      set_packed_bit(shares[p].a, i, sa);
-      set_packed_bit(shares[p].b, i, sb);
-      set_packed_bit(shares[p].c, i, sc);
+      set_packed_bit(a_raw[p], i, sa);
+      set_packed_bit(b_raw[p], i, sb);
+      set_packed_bit(c_raw[p], i, sc);
       a_acc ^= sa;
       b_acc ^= sb;
       c_acc ^= sc;
     }
-    set_packed_bit(shares[n_parties - 1].a, i, a_acc != a);
-    set_packed_bit(shares[n_parties - 1].b, i, b_acc != b);
-    set_packed_bit(shares[n_parties - 1].c, i, c_acc != c);
+    set_packed_bit(a_raw[n_parties - 1], i, a_acc != a);
+    set_packed_bit(b_raw[n_parties - 1], i, b_acc != b);
+    set_packed_bit(c_raw[n_parties - 1], i, c_acc != c);
+  }
+  std::vector<TripleShares> shares(n_parties);
+  for (std::size_t p = 0; p < n_parties; ++p) {
+    shares[p].a = eppi::SecretBytes(std::move(a_raw[p]));
+    shares[p].b = eppi::SecretBytes(std::move(b_raw[p]));
+    shares[p].c = eppi::SecretBytes(std::move(c_raw[p]));
+    shares[p].count = count;
   }
   return shares;
 }

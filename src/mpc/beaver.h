@@ -19,24 +19,30 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "secret/secret.h"
 
 namespace eppi::mpc {
 
-// One party's XOR shares of a batch of bit triples, packed bitwise.
+// One party's XOR shares of a batch of bit triples, packed bitwise. The
+// buffers carry the Secret taint; bit accessors hand out tainted SecretBit
+// values, so triple material cannot be logged or compared either.
 struct TripleShares {
-  std::vector<std::uint8_t> a;  // packed bits, count bits valid
-  std::vector<std::uint8_t> b;
-  std::vector<std::uint8_t> c;
+  eppi::SecretBytes a;  // packed bits, count bits valid
+  eppi::SecretBytes b;
+  eppi::SecretBytes c;
   std::uint64_t count = 0;
 
-  bool a_bit(std::uint64_t i) const noexcept { return bit(a, i); }
-  bool b_bit(std::uint64_t i) const noexcept { return bit(b, i); }
-  bool c_bit(std::uint64_t i) const noexcept { return bit(c, i); }
+  eppi::SecretBit a_bit(std::uint64_t i) const noexcept { return bit(a, i); }
+  eppi::SecretBit b_bit(std::uint64_t i) const noexcept { return bit(b, i); }
+  eppi::SecretBit c_bit(std::uint64_t i) const noexcept { return bit(c, i); }
 
  private:
-  static bool bit(const std::vector<std::uint8_t>& v,
-                  std::uint64_t i) noexcept {
-    return (v[i / 8] >> (i % 8)) & 1;
+  // Share-local unpacking, not a leak: the bit goes straight back under
+  // taint as a SecretBit.
+  static eppi::SecretBit bit(const eppi::SecretBytes& v,
+                             std::uint64_t i) noexcept {
+    const std::vector<std::uint8_t>& buf = v.unwrap_for_wire();
+    return eppi::SecretBit(((buf[i / 8] >> (i % 8)) & 1) != 0);
   }
 };
 

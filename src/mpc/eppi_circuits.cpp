@@ -9,6 +9,19 @@
 
 namespace eppi::mpc {
 
+std::vector<bool> share_input_bits(std::span<const eppi::SecretU64> shares,
+                                   unsigned width) {
+  std::vector<bool> bits;
+  bits.reserve(shares.size() * width);
+  for (const eppi::SecretU64& s : shares) {
+    // The circuit engine XOR-shares these bits before anything leaves the
+    // party, so this unwrap feeds the MPC input path, not a log or branch.
+    const std::uint64_t v = s.unwrap_for_wire();
+    for (unsigned b = 0; b < width; ++b) bits.push_back(((v >> b) & 1) != 0);
+  }
+  return bits;
+}
+
 namespace {
 
 // Declares the share inputs for all parties (party-major) and returns

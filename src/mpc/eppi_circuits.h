@@ -29,8 +29,17 @@
 #include <vector>
 
 #include "mpc/circuit.h"
+#include "secret/secret.h"
 
 namespace eppi::mpc {
+
+// Flattens a coordinator's SecSumShare share vector into MPC input bits
+// (identity-major, low bit first — must match declare_share_inputs in
+// eppi_circuits.cpp). This is the sanctioned share→circuit transition: the
+// returned bits are consumed by the MPC engine's input phase, which XOR-
+// shares them before anything leaves the party.
+std::vector<bool> share_input_bits(std::span<const eppi::SecretU64> shares,
+                                   unsigned width);
 
 struct CountBelowSpec {
   std::size_t c = 3;                     // MPC parties (coordinators)

@@ -5,11 +5,15 @@
 #include "common/error.h"
 #include "common/serialize.h"
 #include "mpc/beaver.h"
+#include "secret/secret.h"
+#include "secret/xor_share.h"
 
 namespace eppi::mpc {
 
 namespace {
 
+using eppi::SecretBit;
+using eppi::SecretBytes;
 using eppi::net::MessageTag;
 using eppi::net::PartyContext;
 using eppi::net::PartyId;
@@ -49,11 +53,12 @@ std::vector<bool> run_gmw_party(PartyContext& ctx, const GmwSession& session,
   if (is_lead) {
     auto dealt = deal_triples(n, n_triples, ctx.rng());
     for (std::size_t p = 1; p < n; ++p) {
+      // Wire path: party p's triple shares, serialized toward party p.
       eppi::BinaryWriter w;
       w.write_varint(dealt[p].count);
-      w.write_bytes(dealt[p].a);
-      w.write_bytes(dealt[p].b);
-      w.write_bytes(dealt[p].c);
+      w.write_bytes(dealt[p].a.unwrap_for_wire());
+      w.write_bytes(dealt[p].b.unwrap_for_wire());
+      w.write_bytes(dealt[p].c.unwrap_for_wire());
       ctx.send(session.parties[p], MessageTag::kBeaverTriple, base + kSeqTriples,
                w.take());
     }
@@ -65,17 +70,18 @@ std::vector<bool> run_gmw_party(PartyContext& ctx, const GmwSession& session,
                  base + kSeqTriples);
     eppi::BinaryReader r(payload);
     triples.count = r.read_varint();
-    triples.a = r.read_bytes();
-    triples.b = r.read_bytes();
-    triples.c = r.read_bytes();
+    triples.a = SecretBytes(r.read_bytes());
+    triples.b = SecretBytes(r.read_bytes());
+    triples.c = SecretBytes(r.read_bytes());
     if (triples.count != n_triples) {
       throw eppi::ProtocolError("GMW: triple batch size mismatch");
     }
   }
 
   // --- Input sharing ---------------------------------------------------------
-  // share[w] = my XOR share of wire w once evaluated.
-  std::vector<std::uint8_t> share(circuit.n_wires(), 0);
+  // share[w] = my XOR share of wire w once evaluated (tainted: wire shares
+  // leave this vector only through masked/output openings).
+  std::vector<SecretBit> share(circuit.n_wires());
   std::vector<std::uint8_t> evaluated(circuit.n_wires(), 0);
 
   // Input wires per session party, in declaration order.
@@ -89,32 +95,28 @@ std::vector<bool> run_gmw_party(PartyContext& ctx, const GmwSession& session,
           "GMW: wrong number of input bits supplied");
 
   {
-    // Split my input bits into n XOR shares; send one packed vector per peer.
+    // Split my input bits into n XOR shares via the first-class primitive;
+    // send one packed share buffer to the peer that is supposed to hold it.
     const std::uint64_t mine = inputs_by_party[me].size();
-    std::vector<std::vector<std::uint8_t>> out_shares(
-        n, std::vector<std::uint8_t>(packed_size(mine), 0));
+    std::vector<std::uint8_t> packed_inputs(packed_size(mine), 0);
     for (std::uint64_t i = 0; i < mine; ++i) {
-      bool acc = false;
-      for (std::size_t p = 0; p < n; ++p) {
-        if (p == me) continue;
-        const bool s = ctx.rng().bernoulli(0.5);
-        set_packed_bit(out_shares[p], i, s);
-        acc ^= s;
-      }
-      set_packed_bit(out_shares[me], i, acc != my_inputs[i]);
+      set_packed_bit(packed_inputs, i, my_inputs[i]);
     }
+    const auto out_shares =
+        eppi::secret::split_xor_packed(packed_inputs, mine, n, ctx.rng());
     for (std::size_t p = 0; p < n; ++p) {
       if (p == me) {
         for (std::uint64_t i = 0; i < mine; ++i) {
           const Wire w = inputs_by_party[me][i];
-          share[w] = get_packed_bit(out_shares[me], i);
+          share[w] = SecretBit(
+              get_packed_bit(out_shares[me].unwrap_for_wire(), i));
           evaluated[w] = 1;
         }
         continue;
       }
       if (mine == 0) continue;
       ctx.send(session.parties[p], MessageTag::kMpcInputShare,
-               base + kSeqInputs, std::move(out_shares[p]));
+               base + kSeqInputs, out_shares[p].unwrap_for_wire());
     }
     for (std::size_t p = 0; p < n; ++p) {
       if (p == me || inputs_by_party[p].empty()) continue;
@@ -126,7 +128,7 @@ std::vector<bool> run_gmw_party(PartyContext& ctx, const GmwSession& session,
       }
       for (std::uint64_t i = 0; i < inputs_by_party[p].size(); ++i) {
         const Wire w = inputs_by_party[p][i];
-        share[w] = get_packed_bit(payload, i);
+        share[w] = SecretBit(get_packed_bit(payload, i));
         evaluated[w] = 1;
       }
     }
@@ -145,16 +147,17 @@ std::vector<bool> run_gmw_party(PartyContext& ctx, const GmwSession& session,
         case GateOp::kInput:
           throw eppi::ProtocolError("GMW: unshared input wire");
         case GateOp::kConstZero:
-          share[w] = 0;
+          share[w] = SecretBit(false);
           break;
         case GateOp::kConstOne:
-          share[w] = me == 0 ? 1 : 0;
+          share[w] = SecretBit(me == 0);
           break;
         case GateOp::kXor:
           share[w] = share[g.a] ^ share[g.b];
           break;
         case GateOp::kNot:
-          share[w] = me == 0 ? (share[g.a] ^ 1) : share[g.a];
+          // Public constant enters through party 0's share only.
+          share[w] = me == 0 ? (share[g.a] ^ true) : share[g.a];
           break;
         case GateOp::kAnd:
           // AND gates are evaluated by the round loop.
@@ -186,15 +189,17 @@ std::vector<bool> run_gmw_party(PartyContext& ctx, const GmwSession& session,
     const std::uint64_t k = layer_gates.size();
     const std::uint64_t first_triple = triple_cursor;
 
-    // My masked shares: 2 bits per gate (d_i, e_i).
+    // My masked shares: 2 bits per gate (d_i, e_i). The masked share
+    // d = x ⊕ a stays secret until every party's contribution is XORed in;
+    // broadcasting it is the wire path of the masked-opening round.
     std::vector<std::uint8_t> masked(packed_size(2 * k), 0);
     for (std::uint64_t i = 0; i < k; ++i) {
       const Gate& g = gates[layer_gates[i]];
       const std::uint64_t t = first_triple + i;
-      set_packed_bit(masked, 2 * i,
-                     (share[g.a] != 0) != triples.a_bit(t));
-      set_packed_bit(masked, 2 * i + 1,
-                     (share[g.b] != 0) != triples.b_bit(t));
+      const SecretBit d_share = share[g.a] ^ triples.a_bit(t);
+      const SecretBit e_share = share[g.b] ^ triples.b_bit(t);
+      set_packed_bit(masked, 2 * i, d_share.unwrap_for_wire());
+      set_packed_bit(masked, 2 * i + 1, e_share.unwrap_for_wire());
     }
     for (std::size_t p = 0; p < n; ++p) {
       if (p == me) continue;
@@ -217,13 +222,13 @@ std::vector<bool> run_gmw_party(PartyContext& ctx, const GmwSession& session,
     for (std::uint64_t i = 0; i < k; ++i) {
       const Wire w = layer_gates[i];
       const std::uint64_t t = first_triple + i;
+      // d, e are public (fully opened); z stays a tainted share.
       const bool d = get_packed_bit(opened, 2 * i);
       const bool e = get_packed_bit(opened, 2 * i + 1);
-      bool z = triples.c_bit(t);
-      if (d) z ^= triples.b_bit(t);
-      if (e) z ^= triples.a_bit(t);
-      if (me == 0 && d && e) z ^= true;
-      share[w] = z ? 1 : 0;
+      SecretBit z = triples.c_bit(t) ^ (triples.b_bit(t) & d) ^
+                    (triples.a_bit(t) & e);
+      if (me == 0 && d && e) z = z ^ true;
+      share[w] = z;
       evaluated[w] = 1;
     }
     triple_cursor += k;
@@ -236,7 +241,8 @@ std::vector<bool> run_gmw_party(PartyContext& ctx, const GmwSession& session,
   std::vector<std::uint8_t> out_shares(packed_size(outs.size()), 0);
   for (std::size_t i = 0; i < outs.size(); ++i) {
     require(evaluated[outs[i]] != 0, "GMW: output wire not evaluated");
-    set_packed_bit(out_shares, i, share[outs[i]] != 0);
+    // Output opening: every party broadcasts its output-wire shares.
+    set_packed_bit(out_shares, i, share[outs[i]].unwrap_for_wire());
   }
   const std::uint64_t out_seq = base + kSeqLayerBase + depth + 1;
   for (std::size_t p = 0; p < n; ++p) {

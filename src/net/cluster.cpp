@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <exception>
-#include <mutex>
 #include <thread>
 
 #include "common/error.h"
+#include "common/mutex.h"
 #include "net/fault.h"
 
 namespace eppi::net {
@@ -101,8 +101,11 @@ void Cluster::run(const std::vector<std::function<void(PartyContext&)>>& bodies)
           "Cluster: one body per party required");
   std::vector<std::thread> threads;
   threads.reserve(bodies.size());
+  // error_mutex guards first_error and crashed_ for the duration of this
+  // call only; once the joins below complete, crashed_ is again owned by the
+  // caller's thread (which is why the member carries no EPPI_GUARDED_BY).
   std::exception_ptr first_error;
-  std::mutex error_mutex;
+  Mutex error_mutex;
   crashed_.clear();
 
   Rng seeder(seed_);
@@ -123,10 +126,10 @@ void Cluster::run(const std::vector<std::function<void(PartyContext&)>>& bodies)
       } catch (const SimulatedCrash&) {
         // Injected dropout, not a failure of the code under test: record it
         // so callers can assert which parties died.
-        const std::lock_guard<std::mutex> lock(error_mutex);
+        const MutexLock lock(error_mutex);
         crashed_.push_back(static_cast<PartyId>(i));
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
+        const MutexLock lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }
     });

@@ -23,6 +23,11 @@ struct CostSnapshot {
   }
 };
 
+// Thread safety: lock-free. Counters are relaxed atomics — per-counter
+// totals are exact, but a snapshot() concurrent with recording may observe
+// the counters at slightly different instants. That tearing is acceptable
+// for cost accounting and keeps the meter off every send's critical path,
+// which is why this class has no mutex (and no capability annotations).
 class CostMeter {
  public:
   void record_message(std::size_t wire_bytes) noexcept {

@@ -38,7 +38,7 @@ void FaultyTransport::send(Message msg) {
   bool duplicate = false;
   std::chrono::microseconds delay{0};
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const PartyId from = msg.from;
     if (crashed_[from]) {
       ++stats_.swallowed;
@@ -129,17 +129,19 @@ void FaultyTransport::enqueue_delayed(Message msg,
 }
 
 void FaultyTransport::scheduler_loop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   while (true) {
     if (stopping_ && delayed_.empty()) return;
     if (delayed_.empty()) {
-      cv_.wait(lock, [this] { return stopping_ || !delayed_.empty(); });
+      // Explicit wait loop: thread-safety analysis is intraprocedural and
+      // cannot see through a predicate lambda's capture of guarded fields.
+      while (!stopping_ && delayed_.empty()) cv_.wait(mutex_);
       continue;
     }
     const auto due = delayed_.top().due;
     const auto now = std::chrono::steady_clock::now();
     if (now < due && !stopping_) {
-      cv_.wait_until(lock, due);
+      cv_.wait_until(mutex_, due);
       continue;
     }
     Message msg = std::move(const_cast<Delayed&>(delayed_.top()).msg);
@@ -158,25 +160,25 @@ void FaultyTransport::scheduler_loop() {
 
 void FaultyTransport::drain() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
   if (scheduler_.joinable()) scheduler_.join();
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     scheduler_started_ = false;
     stopping_ = false;
   }
 }
 
 FaultStats FaultyTransport::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return stats_;
 }
 
 bool FaultyTransport::crashed(PartyId party) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   const auto it = crashed_.find(party);
   return it != crashed_.end() && it->second;
 }

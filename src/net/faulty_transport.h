@@ -16,15 +16,15 @@
 // transport.h for the existing failure-injection tests.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "net/fault.h"
 #include "net/transport.h"
 
@@ -47,16 +47,16 @@ class FaultyTransport final : public Transport {
   FaultyTransport(const FaultyTransport&) = delete;
   FaultyTransport& operator=(const FaultyTransport&) = delete;
 
-  void send(Message msg) override;
+  void send(Message msg) override EPPI_EXCLUDES(mutex_);
 
-  FaultStats stats() const;
+  FaultStats stats() const EPPI_EXCLUDES(mutex_);
 
   // True once the party's crash point has tripped.
-  bool crashed(PartyId party) const;
+  bool crashed(PartyId party) const EPPI_EXCLUDES(mutex_);
 
   // Delivers any still-held delayed messages immediately and joins the
   // scheduler (also done by the destructor). Idempotent.
-  void drain();
+  void drain() EPPI_EXCLUDES(mutex_);
 
  private:
   struct Delayed {
@@ -68,28 +68,32 @@ class FaultyTransport final : public Transport {
     }
   };
 
-  Rng& link_rng(PartyId from, PartyId to);
-  void scheduler_loop();
-  void enqueue_delayed(Message msg, std::chrono::microseconds delay);
+  Rng& link_rng(PartyId from, PartyId to) EPPI_REQUIRES(mutex_);
+  void scheduler_loop() EPPI_EXCLUDES(mutex_);
+  void enqueue_delayed(Message msg, std::chrono::microseconds delay)
+      EPPI_REQUIRES(mutex_);
 
   Transport& inner_;
   const FaultScenario scenario_;
   const std::uint64_t seed_;
 
-  mutable std::mutex mutex_;
-  std::map<std::pair<PartyId, PartyId>, Rng> link_rngs_;
-  std::map<PartyId, std::uint64_t> sends_by_party_;
-  std::map<PartyId, bool> crashed_;
-  std::uint64_t every_k_count_ = 0;
-  FaultStats stats_;
+  mutable Mutex mutex_;
+  std::map<std::pair<PartyId, PartyId>, Rng> link_rngs_
+      EPPI_GUARDED_BY(mutex_);
+  std::map<PartyId, std::uint64_t> sends_by_party_ EPPI_GUARDED_BY(mutex_);
+  std::map<PartyId, bool> crashed_ EPPI_GUARDED_BY(mutex_);
+  std::uint64_t every_k_count_ EPPI_GUARDED_BY(mutex_) = 0;
+  FaultStats stats_ EPPI_GUARDED_BY(mutex_);
 
   std::priority_queue<Delayed, std::vector<Delayed>, std::greater<Delayed>>
-      delayed_;
-  std::uint64_t delay_order_ = 0;
-  std::condition_variable cv_;
+      delayed_ EPPI_GUARDED_BY(mutex_);
+  std::uint64_t delay_order_ EPPI_GUARDED_BY(mutex_) = 0;
+  CondVar cv_;
+  // Started under mutex_ in enqueue_delayed, but only joined in drain()
+  // after the stopping_ handshake, so the handle itself needs no guard.
   std::thread scheduler_;
-  bool stopping_ = false;
-  bool scheduler_started_ = false;
+  bool stopping_ EPPI_GUARDED_BY(mutex_) = false;
+  bool scheduler_started_ EPPI_GUARDED_BY(mutex_) = false;
 };
 
 // Legacy decorator kept for existing failure-injection tests: drops every

@@ -13,17 +13,17 @@ void Mailbox::deliver(Message msg) {
   // chain and ends in the sender's mailbox, and two parties delivering to
   // each other concurrently would otherwise deadlock on crossed locks.
   Message ack;
-  bool send_ack = false;
+  Transport* ack_via = nullptr;
 
   bool deliver_to_party = true;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     if (ack_via_ != nullptr && !is_ack_tag(msg.tag)) {
       ack.from = owner_;
       ack.to = msg.from;
       ack.tag = msg.tag | kAckBit;
       ack.seq = msg.seq;
-      send_ack = true;
+      ack_via = ack_via_;
       // Dedup: a retransmission whose original got through (the ack was
       // lost) must be re-acked but not delivered twice.
       if (!seen_.insert(key).second) deliver_to_party = false;
@@ -31,13 +31,13 @@ void Mailbox::deliver(Message msg) {
     if (deliver_to_party) buffer_.emplace(key, std::move(msg));
   }
   if (deliver_to_party) cv_.notify_all();
-  if (send_ack) ack_via_->send(std::move(ack));
+  if (ack_via != nullptr) ack_via->send(std::move(ack));
 }
 
 Message Mailbox::recv(PartyId from, std::uint32_t tag, std::uint64_t seq) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   const Key key{from, tag, seq};
-  cv_.wait(lock, [&] { return buffer_.find(key) != buffer_.end(); });
+  while (buffer_.find(key) == buffer_.end()) cv_.wait(mutex_);
   const auto it = buffer_.find(key);
   Message msg = std::move(it->second);
   buffer_.erase(it);
@@ -46,7 +46,7 @@ Message Mailbox::recv(PartyId from, std::uint32_t tag, std::uint64_t seq) {
 
 bool Mailbox::try_recv(PartyId from, std::uint32_t tag, std::uint64_t seq,
                        Message& out) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   const Key key{from, tag, seq};
   const auto it = buffer_.find(key);
   if (it == buffer_.end()) return false;
@@ -56,12 +56,12 @@ bool Mailbox::try_recv(PartyId from, std::uint32_t tag, std::uint64_t seq,
 }
 
 std::size_t Mailbox::pending() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return buffer_.size();
 }
 
 void Mailbox::enable_reliable(Transport* ack_via, PartyId owner) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   ack_via_ = ack_via;
   owner_ = owner;
 }

@@ -12,13 +12,13 @@
 // once per (from, tag, seq) key.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <set>
 #include <tuple>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "net/message.h"
 
 namespace eppi::net {
@@ -27,33 +27,35 @@ class Transport;
 
 class Mailbox {
  public:
-  void deliver(Message msg);
+  void deliver(Message msg) EPPI_EXCLUDES(mutex_);
 
   // Blocks until a message from `from` with tag `tag` and sequence `seq`
   // arrives; removes and returns it.
-  Message recv(PartyId from, std::uint32_t tag, std::uint64_t seq);
+  Message recv(PartyId from, std::uint32_t tag, std::uint64_t seq)
+      EPPI_EXCLUDES(mutex_);
 
   // Non-blocking variant; returns true and fills `out` if present.
   bool try_recv(PartyId from, std::uint32_t tag, std::uint64_t seq,
-                Message& out);
+                Message& out) EPPI_EXCLUDES(mutex_);
 
-  std::size_t pending() const;
+  std::size_t pending() const EPPI_EXCLUDES(mutex_);
 
   // Reliable-delivery mode: `owner` is this mailbox's party id; every
   // delivered data frame is acked back to its sender through `ack_via`
   // (which must outlive the mailbox or be cleared with nullptr), and
   // duplicate data frames are suppressed after re-acking.
-  void enable_reliable(Transport* ack_via, PartyId owner);
+  void enable_reliable(Transport* ack_via, PartyId owner)
+      EPPI_EXCLUDES(mutex_);
 
  private:
   using Key = std::tuple<PartyId, std::uint32_t, std::uint64_t>;
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::multimap<Key, Message> buffer_;
-  std::set<Key> seen_;  // reliable mode: data keys already delivered
-  Transport* ack_via_ = nullptr;
-  PartyId owner_ = 0;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  std::multimap<Key, Message> buffer_ EPPI_GUARDED_BY(mutex_);
+  std::set<Key> seen_ EPPI_GUARDED_BY(mutex_);  // reliable: keys delivered
+  Transport* ack_via_ EPPI_GUARDED_BY(mutex_) = nullptr;
+  PartyId owner_ EPPI_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace eppi::net

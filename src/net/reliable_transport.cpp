@@ -41,7 +41,7 @@ void ReliableTransport::send(Message msg) {
   entry.msg = msg;  // keep a copy for retransmission
   entry.deadline = now + options_.deadline;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     entry.rto = to_us(options_.rto);
     entry.next_retry =
         now + entry.rto +
@@ -56,7 +56,7 @@ void ReliableTransport::send(Message msg) {
     // The sending party crashed mid-send (SimulatedCrash) or the transport
     // rejected the frame; a dead party gets no retransmissions on its
     // behalf, so withdraw the registration before propagating.
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     for (auto it = pending_.begin(); it != pending_.end(); ++it) {
       if (it->msg.from == entry.msg.from && it->msg.to == entry.msg.to &&
           it->msg.tag == entry.msg.tag && it->msg.seq == entry.msg.seq) {
@@ -69,7 +69,7 @@ void ReliableTransport::send(Message msg) {
 }
 
 void ReliableTransport::retransmit_loop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   while (!stopping_) {
     const auto now = Clock::now();
     std::vector<Message> resend;
@@ -124,7 +124,7 @@ void ReliableTransport::retransmit_loop() {
 
 void ReliableTransport::stop() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     if (stopping_) {
       if (!retransmitter_.joinable()) return;
     }
@@ -134,7 +134,7 @@ void ReliableTransport::stop() {
 }
 
 ReliableStats ReliableTransport::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return stats_;
 }
 

@@ -21,11 +21,12 @@
 #include <chrono>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "net/mailbox.h"
 #include "net/transport.h"
 
@@ -58,12 +59,12 @@ class ReliableTransport final : public Transport {
   ReliableTransport(const ReliableTransport&) = delete;
   ReliableTransport& operator=(const ReliableTransport&) = delete;
 
-  void send(Message msg) override;
+  void send(Message msg) override EPPI_EXCLUDES(mutex_);
 
   // Joins the retransmit thread; pending frames are abandoned (idempotent).
-  void stop();
+  void stop() EPPI_EXCLUDES(mutex_);
 
-  ReliableStats stats() const;
+  ReliableStats stats() const EPPI_EXCLUDES(mutex_);
 
  private:
   struct Pending {
@@ -73,18 +74,18 @@ class ReliableTransport final : public Transport {
     std::chrono::microseconds rto;
   };
 
-  void retransmit_loop();
+  void retransmit_loop() EPPI_EXCLUDES(mutex_);
 
   Transport& inner_;
   std::vector<Mailbox>& mailboxes_;
   const ReliableOptions options_;
 
-  mutable std::mutex mutex_;
-  std::list<Pending> pending_;
-  ReliableStats stats_;
-  Rng jitter_;
-  std::thread retransmitter_;
-  bool stopping_ = false;
+  mutable Mutex mutex_;
+  std::list<Pending> pending_ EPPI_GUARDED_BY(mutex_);
+  ReliableStats stats_ EPPI_GUARDED_BY(mutex_);
+  Rng jitter_ EPPI_GUARDED_BY(mutex_);
+  std::thread retransmitter_;  // set in ctor, joined in stop(); not shared
+  bool stopping_ EPPI_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace eppi::net

@@ -4,34 +4,34 @@
 
 namespace eppi::secret {
 
-std::vector<std::uint64_t> split_additive(std::uint64_t value, std::size_t c,
-                                          const ModRing& ring,
-                                          eppi::Rng& rng) {
+std::vector<SecretU64> split_additive(std::uint64_t value, std::size_t c,
+                                      const ModRing& ring, eppi::Rng& rng) {
   require(c >= 1, "split_additive: need at least one share");
-  std::vector<std::uint64_t> shares(c);
-  std::uint64_t partial = 0;
+  std::vector<SecretU64> shares(c);
+  SecretU64 partial;
   for (std::size_t k = 0; k + 1 < c; ++k) {
-    shares[k] = rng.next_below(ring.q());
-    partial = ring.add(partial, shares[k]);
+    shares[k] = SecretU64(rng.next_below(ring.q()));
+    partial = partial.add(shares[k], ring);
   }
-  shares[c - 1] = ring.sub(value, partial);
+  shares[c - 1] = SecretU64(value).sub(partial, ring);
   return shares;
 }
 
-std::uint64_t reconstruct_additive(std::span<const std::uint64_t> shares,
+std::uint64_t reconstruct_additive(std::span<const SecretU64> shares,
                                    const ModRing& ring) {
   require(!shares.empty(), "reconstruct_additive: no shares");
-  std::uint64_t total = 0;
-  for (const std::uint64_t s : shares) total = ring.add(total, s);
-  return total;
+  SecretU64 total;
+  for (const SecretU64& s : shares) total = total.add(s, ring);
+  // All c shares combined: this is the opening the scheme is built for.
+  return total.reveal();
 }
 
-std::vector<std::uint64_t> add_share_vectors(
-    std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
-    const ModRing& ring) {
+std::vector<SecretU64> add_share_vectors(std::span<const SecretU64> a,
+                                         std::span<const SecretU64> b,
+                                         const ModRing& ring) {
   require(a.size() == b.size(), "add_share_vectors: size mismatch");
-  std::vector<std::uint64_t> out(a.size());
-  for (std::size_t k = 0; k < a.size(); ++k) out[k] = ring.add(a[k], b[k]);
+  std::vector<SecretU64> out(a.size());
+  for (std::size_t k = 0; k < a.size(); ++k) out[k] = a[k].add(b[k], ring);
   return out;
 }
 

@@ -6,6 +6,10 @@
 // shares, and any c-1 shares reveal nothing (the conditional distribution of
 // v given fewer than c shares equals the prior — verified empirically in
 // tests/secret/additive_share_test.cpp).
+//
+// Shares are tainted SecretU64 values (secret/secret.h): they cannot be
+// logged, compared, or implicitly converted; reconstruction is the audited
+// opening.
 #pragma once
 
 #include <cstdint>
@@ -14,21 +18,22 @@
 
 #include "common/rng.h"
 #include "secret/mod_ring.h"
+#include "secret/secret.h"
 
 namespace eppi::secret {
 
 // Splits `value` (reduced mod q) into `c` shares. Throws ConfigError if c==0.
-std::vector<std::uint64_t> split_additive(std::uint64_t value, std::size_t c,
-                                          const ModRing& ring, eppi::Rng& rng);
+std::vector<SecretU64> split_additive(std::uint64_t value, std::size_t c,
+                                      const ModRing& ring, eppi::Rng& rng);
 
-// Reconstructs the secret from all shares.
-std::uint64_t reconstruct_additive(std::span<const std::uint64_t> shares,
+// Reconstructs the secret from all shares (a deliberate protocol opening).
+std::uint64_t reconstruct_additive(std::span<const SecretU64> shares,
                                    const ModRing& ring);
 
 // Pointwise sum of two share vectors (the additive homomorphism that makes
 // the secure-sum protocol work: sharing(a) + sharing(b) = sharing(a+b)).
-std::vector<std::uint64_t> add_share_vectors(
-    std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
-    const ModRing& ring);
+std::vector<SecretU64> add_share_vectors(std::span<const SecretU64> a,
+                                         std::span<const SecretU64> b,
+                                         const ModRing& ring);
 
 }  // namespace eppi::secret

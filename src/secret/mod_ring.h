@@ -26,10 +26,17 @@ class ModRing {
   std::uint64_t sub(std::uint64_t a, std::uint64_t b) const noexcept;
   std::uint64_t neg(std::uint64_t a) const noexcept;
 
+  // (a * b) mod q without overflow: the product is formed in 128 bits before
+  // reduction. Centralizes what used to be ad-hoc __int128 lambdas in the MPC
+  // layer (and keeps the narrowing in one audited place).
+  std::uint64_t mul(std::uint64_t a, std::uint64_t b) const noexcept;
+
   // Number of bits needed to represent any residue; equals k when q = 2^k.
   unsigned bit_width() const noexcept;
 
   // Smallest power-of-two ring that can hold sums of up to `max_sum`.
+  // Throws ConfigError if max_sum >= 2^63 (the next power of two would
+  // overflow uint64; the old implementation looped forever on such inputs).
   static ModRing power_of_two_for(std::uint64_t max_sum);
 
  private:

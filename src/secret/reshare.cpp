@@ -11,10 +11,10 @@ namespace {
 constexpr std::uint32_t kTagReshare = eppi::net::kUserBase + 30;
 }  // namespace
 
-std::vector<std::uint64_t> run_reshare_party(
+std::vector<SecretU64> run_reshare_party(
     eppi::net::PartyContext& ctx,
     const std::vector<eppi::net::PartyId>& parties,
-    const std::vector<std::uint64_t>& my_shares, const ModRing& ring,
+    const std::vector<SecretU64>& my_shares, const ModRing& ring,
     std::uint64_t seq_base) {
   const std::size_t c = parties.size();
   require(c >= 2, "reshare: need at least two coordinators");
@@ -24,19 +24,21 @@ std::vector<std::uint64_t> run_reshare_party(
   const std::size_t n = my_shares.size();
   require(n >= 1, "reshare: empty share vector");
 
-  std::vector<std::uint64_t> updated = my_shares;
+  std::vector<SecretU64> updated = my_shares;
 
   // Draw and send a mask vector to every peer; subtract what I send, add
-  // what I receive — a fresh sharing of zero overall.
+  // what I receive — a fresh sharing of zero overall. Masks carry the
+  // Secret taint (each is the complement of a share adjustment) and leave
+  // it only on the wire toward the peer that is supposed to hold it.
   for (std::size_t p = 0; p < c; ++p) {
     if (p == me) continue;
-    std::vector<std::uint64_t> mask(n);
-    for (auto& v : mask) v = ctx.rng().next_below(ring.q());
+    std::vector<SecretU64> mask(n);
+    for (auto& v : mask) v = SecretU64(ctx.rng().next_below(ring.q()));
     for (std::size_t j = 0; j < n; ++j) {
-      updated[j] = ring.sub(updated[j], mask[j]);
+      updated[j] = updated[j].sub(mask[j], ring);
     }
     eppi::BinaryWriter w;
-    w.write_u64_vector(mask);
+    w.write_u64_vector(wire_shares(mask));
     ctx.send(parties[p], kTagReshare, seq_base, w.take());
   }
   if (me == 0) ctx.mark_round();
@@ -49,7 +51,7 @@ std::vector<std::uint64_t> run_reshare_party(
       throw eppi::ProtocolError("reshare: mask vector size mismatch");
     }
     for (std::size_t j = 0; j < n; ++j) {
-      updated[j] = ring.add(updated[j], mask[j]);
+      updated[j] = updated[j].add(SecretU64(mask[j]), ring);
     }
   }
   return updated;

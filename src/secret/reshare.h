@@ -21,16 +21,17 @@
 
 #include "net/cluster.h"
 #include "secret/mod_ring.h"
+#include "secret/secret.h"
 
 namespace eppi::secret {
 
 // Runs the resharing body for one coordinator. `parties` are the cluster
 // ids of all coordinators (must include the caller); `my_shares` is this
 // coordinator's current vector. Returns the re-randomized vector.
-std::vector<std::uint64_t> run_reshare_party(
+std::vector<SecretU64> run_reshare_party(
     eppi::net::PartyContext& ctx,
     const std::vector<eppi::net::PartyId>& parties,
-    const std::vector<std::uint64_t>& my_shares, const ModRing& ring,
+    const std::vector<SecretU64>& my_shares, const ModRing& ring,
     std::uint64_t seq_base = 0);
 
 }  // namespace eppi::secret

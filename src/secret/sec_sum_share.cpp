@@ -11,21 +11,22 @@ namespace eppi::secret {
 
 namespace {
 
-std::vector<std::uint8_t> encode_vector(
-    std::span<const std::uint64_t> values) {
+// Wire path: shares leave the taint only to be serialized toward the party
+// that is supposed to hold them, and are re-tainted on arrival.
+std::vector<std::uint8_t> encode_vector(std::span<const SecretU64> values) {
   eppi::BinaryWriter writer;
-  writer.write_u64_vector(values);
+  writer.write_u64_vector(wire_shares(values));
   return writer.take();
 }
 
-std::vector<std::uint64_t> decode_vector(std::span<const std::uint8_t> bytes,
-                                         std::size_t expected) {
+std::vector<SecretU64> decode_vector(std::span<const std::uint8_t> bytes,
+                                     std::size_t expected) {
   eppi::BinaryReader reader(bytes);
-  auto values = reader.read_u64_vector();
+  const auto values = reader.read_u64_vector();
   if (values.size() != expected) {
     throw eppi::ProtocolError("SecSumShare: share vector length mismatch");
   }
-  return values;
+  return wrap_shares(values);
 }
 
 }  // namespace
@@ -46,7 +47,7 @@ std::vector<std::uint64_t> plain_frequency_sums(
   return sums;
 }
 
-std::optional<std::vector<std::uint64_t>> run_sec_sum_share_party(
+std::optional<std::vector<SecretU64>> run_sec_sum_share_party(
     eppi::net::PartyContext& ctx, const SecSumShareParams& params,
     std::span<const std::uint8_t> inputs) {
   using eppi::net::MessageTag;
@@ -64,8 +65,8 @@ std::optional<std::vector<std::uint64_t>> run_sec_sum_share_party(
 
   // Step 1: split every input bit into c shares. shares_by_hop[k][j] is the
   // share of identity j destined for the k-th successor.
-  std::vector<std::vector<std::uint64_t>> shares_by_hop(
-      c, std::vector<std::uint64_t>(n));
+  std::vector<std::vector<SecretU64>> shares_by_hop(
+      c, std::vector<SecretU64>(n));
   for (std::size_t j = 0; j < n; ++j) {
     require(inputs[j] <= 1, "SecSumShare: inputs must be Boolean");
     const auto shares = split_additive(inputs[j], c, ring, ctx.rng());
@@ -81,13 +82,13 @@ std::optional<std::vector<std::uint64_t>> run_sec_sum_share_party(
 
   // Step 3: super-share = own share 0 + the k-th share of each k-th ring
   // predecessor.
-  std::vector<std::uint64_t> super_share = std::move(shares_by_hop[0]);
+  std::vector<SecretU64> super_share = std::move(shares_by_hop[0]);
   for (std::size_t k = 1; k < c; ++k) {
     const auto from = static_cast<PartyId>((me + m - k) % m);
     const auto payload = ctx.recv(from, MessageTag::kShareDistribute, k);
     const auto incoming = decode_vector(payload, n);
     for (std::size_t j = 0; j < n; ++j) {
-      super_share[j] = ring.add(super_share[j], incoming[j]);
+      super_share[j] = super_share[j].add(incoming[j], ring);
     }
   }
 
@@ -98,13 +99,13 @@ std::optional<std::vector<std::uint64_t>> run_sec_sum_share_party(
 
   if (me >= c) return std::nullopt;
 
-  std::vector<std::uint64_t> aggregated(n, 0);
+  std::vector<SecretU64> aggregated(n);
   for (std::size_t i = me; i < m; i += c) {
     const auto payload =
         ctx.recv(static_cast<PartyId>(i), MessageTag::kSuperShare, 0);
     const auto incoming = decode_vector(payload, n);
     for (std::size_t j = 0; j < n; ++j) {
-      aggregated[j] = ring.add(aggregated[j], incoming[j]);
+      aggregated[j] = aggregated[j].add(incoming[j], ring);
     }
   }
   return aggregated;
@@ -208,8 +209,8 @@ SecSumShareOutcome run_sec_sum_share_party_ft(
     // Steps 1-2: fresh shares (new randomness per attempt — shares from an
     // abandoned attempt reveal nothing on their own) to survivor-relative
     // ring successors.
-    std::vector<std::vector<std::uint64_t>> shares_by_hop(
-        c, std::vector<std::uint64_t>(n));
+    std::vector<std::vector<SecretU64>> shares_by_hop(
+        c, std::vector<SecretU64>(n));
     for (std::size_t j = 0; j < n; ++j) {
       require(inputs[j] <= 1, "SecSumShare: inputs must be Boolean");
       const auto shares = split_additive(inputs[j], c, ring, ctx.rng());
@@ -223,7 +224,7 @@ SecSumShareOutcome run_sec_sum_share_party_ft(
     if (me == 0) ctx.mark_round();
 
     // Step 3: bounded receives from ring predecessors; silence = suspicion.
-    std::vector<std::uint64_t> super_share = std::move(shares_by_hop[0]);
+    std::vector<SecretU64> super_share = std::move(shares_by_hop[0]);
     for (std::size_t k = 1; k < c; ++k) {
       const PartyId from = alive[(pos + m - k) % m];
       auto payload = ctx.recv_for(from, MessageTag::kShareDistribute,
@@ -234,7 +235,7 @@ SecSumShareOutcome run_sec_sum_share_party_ft(
       }
       const auto incoming = decode_vector(*payload, n);
       for (std::size_t j = 0; j < n; ++j) {
-        super_share[j] = ring.add(super_share[j], incoming[j]);
+        super_share[j] = super_share[j].add(incoming[j], ring);
       }
     }
 
@@ -245,9 +246,9 @@ SecSumShareOutcome run_sec_sum_share_party_ft(
              encode_vector(super_share));
     if (me == 0) ctx.mark_round();
 
-    std::vector<std::uint64_t> aggregated;
+    std::vector<SecretU64> aggregated;
     if (me < c) {
-      aggregated.assign(n, 0);
+      aggregated.assign(n, SecretU64());
       for (std::size_t i = pos; i < m; i += c) {
         const PartyId from = alive[i];
         auto payload = ctx.recv_for(from, MessageTag::kSuperShare, seqb,
@@ -258,7 +259,7 @@ SecSumShareOutcome run_sec_sum_share_party_ft(
         }
         const auto incoming = decode_vector(*payload, n);
         for (std::size_t j = 0; j < n; ++j) {
-          aggregated[j] = ring.add(aggregated[j], incoming[j]);
+          aggregated[j] = aggregated[j].add(incoming[j], ring);
         }
       }
     }

@@ -38,6 +38,7 @@
 
 #include "net/cluster.h"
 #include "secret/mod_ring.h"
+#include "secret/secret.h"
 
 namespace eppi::secret {
 
@@ -51,11 +52,12 @@ struct SecSumShareParams {
 // `m = ctx.n_parties()` parties are the providers. `inputs` is this
 // provider's Boolean membership vector (length params.n, values 0/1).
 //
-// Returns the coordinator's aggregated share vector s(i,·) if this party is
-// a coordinator (id < c), std::nullopt otherwise.
+// Returns the coordinator's aggregated share vector s(i,·) — tainted
+// SecretU64 values — if this party is a coordinator (id < c), std::nullopt
+// otherwise.
 //
 // Throws ConfigError when c < 2, c > m, or input sizes mismatch.
-std::optional<std::vector<std::uint64_t>> run_sec_sum_share_party(
+std::optional<std::vector<SecretU64>> run_sec_sum_share_party(
     eppi::net::PartyContext& ctx, const SecSumShareParams& params,
     std::span<const std::uint8_t> inputs);
 
@@ -81,7 +83,7 @@ struct SecSumShareFtOptions {
 struct SecSumShareOutcome {
   // Aggregated share vector on coordinators (id < c), nullopt otherwise —
   // identical contract to run_sec_sum_share_party, plus the committed view.
-  std::optional<std::vector<std::uint64_t>> shares;
+  std::optional<std::vector<SecretU64>> shares;
   // Sorted ids of the providers whose inputs the committed attempt covers;
   // all survivors agree on this list. The first c entries are always
   // 0..c-1.

@@ -37,7 +37,7 @@ AggregateResult plain_aggregates(
 AggregateResult run_secure_aggregates_party(
     eppi::net::PartyContext& ctx,
     const std::vector<eppi::net::PartyId>& parties,
-    std::span<const std::uint64_t> my_shares, const ModRing& ring,
+    std::span<const SecretU64> my_shares, const ModRing& ring,
     std::uint64_t seq_base) {
   const std::size_t n = my_shares.size();
   require(n >= 1, "secure_aggregates: empty share vector");
@@ -47,12 +47,12 @@ AggregateResult run_secure_aggregates_party(
   // multiplication, then a single batched opening of the two scalar sums.
   eppi::mpc::ArithSession session(ctx, parties, ring, seq_base);
 
-  eppi::mpc::ArithSession::Share sum_share = 0;
-  for (const auto x : my_shares) sum_share = session.add(sum_share, x);
+  eppi::mpc::ArithSession::Share sum_share;
+  for (const auto& x : my_shares) sum_share = session.add(sum_share, x);
 
   const auto squares = session.mul_batch(my_shares, my_shares);
-  eppi::mpc::ArithSession::Share sq_share = 0;
-  for (const auto z : squares) sq_share = session.add(sq_share, z);
+  eppi::mpc::ArithSession::Share sq_share;
+  for (const auto& z : squares) sq_share = session.add(sq_share, z);
 
   const std::vector<eppi::mpc::ArithSession::Share> scalars{sum_share,
                                                             sq_share};

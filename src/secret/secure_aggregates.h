@@ -29,6 +29,7 @@
 
 #include "net/cluster.h"
 #include "secret/mod_ring.h"
+#include "secret/secret.h"
 
 namespace eppi::secret {
 
@@ -52,7 +53,7 @@ ModRing aggregates_ring_for(std::size_t m, std::size_t n);
 AggregateResult run_secure_aggregates_party(
     eppi::net::PartyContext& ctx,
     const std::vector<eppi::net::PartyId>& parties,
-    std::span<const std::uint64_t> my_shares, const ModRing& ring,
+    std::span<const SecretU64> my_shares, const ModRing& ring,
     std::uint64_t seq_base = 0);
 
 // Plain reference over raw frequencies.

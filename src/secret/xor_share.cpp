@@ -10,67 +10,77 @@ std::size_t packed_size(std::uint64_t bits) noexcept {
 }
 }  // namespace
 
-std::vector<bool> split_xor_bit(bool value, std::size_t n, eppi::Rng& rng) {
+std::vector<SecretBit> split_xor_bit(bool value, std::size_t n,
+                                     eppi::Rng& rng) {
   require(n >= 1, "split_xor_bit: need at least one share");
-  std::vector<bool> shares(n);
+  std::vector<bool> raw(n);
   bool acc = false;
   for (std::size_t i = 0; i + 1 < n; ++i) {
-    shares[i] = rng.bernoulli(0.5);
-    acc = acc != shares[i];
+    raw[i] = rng.bernoulli(0.5);
+    acc = acc != raw[i];
   }
-  shares[n - 1] = acc != value;
+  raw[n - 1] = acc != value;
+  std::vector<SecretBit> shares;
+  shares.reserve(n);
+  for (const bool b : raw) shares.emplace_back(b);
   return shares;
 }
 
-bool reconstruct_xor_bit(const std::vector<bool>& shares) {
+bool reconstruct_xor_bit(std::span<const SecretBit> shares) {
   require(!shares.empty(), "reconstruct_xor_bit: no shares");
-  bool value = false;
-  for (const bool s : shares) value = value != s;
-  return value;
+  SecretBit value;
+  for (const SecretBit& s : shares) value ^= s;
+  // All n shares combined: the opening the scheme is built for.
+  return value.reveal();
 }
 
-std::vector<std::vector<std::uint8_t>> split_xor_packed(
-    std::span<const std::uint8_t> bits, std::uint64_t bit_count,
-    std::size_t n, eppi::Rng& rng) {
+std::vector<SecretBytes> split_xor_packed(std::span<const std::uint8_t> bits,
+                                          std::uint64_t bit_count,
+                                          std::size_t n, eppi::Rng& rng) {
   require(n >= 1, "split_xor_packed: need at least one share");
   require(bits.size() >= packed_size(bit_count),
           "split_xor_packed: buffer smaller than bit_count");
   const std::size_t bytes = packed_size(bit_count);
-  std::vector<std::vector<std::uint8_t>> shares(
+  std::vector<std::vector<std::uint8_t>> raw(
       n, std::vector<std::uint8_t>(bytes, 0));
   for (std::size_t byte = 0; byte < bytes; ++byte) {
     std::uint8_t acc = 0;
     for (std::size_t i = 0; i + 1 < n; ++i) {
       std::uint8_t r;
       rng.fill_bytes(&r, 1);
-      shares[i][byte] = r;
+      raw[i][byte] = r;
       acc ^= r;
     }
-    shares[n - 1][byte] = acc ^ bits[byte];
+    raw[n - 1][byte] = acc ^ bits[byte];
   }
   // Mask tail bits beyond bit_count so shares carry no stray information.
   const unsigned tail = bit_count % 8;
   if (bytes > 0 && tail != 0) {
     const auto mask = static_cast<std::uint8_t>((1u << tail) - 1);
-    for (auto& share : shares) share[bytes - 1] &= mask;
+    for (auto& share : raw) share[bytes - 1] &= mask;
     // Re-fix the last share so the XOR still matches the masked input.
     std::uint8_t acc = 0;
-    for (std::size_t i = 0; i + 1 < n; ++i) acc ^= shares[i][bytes - 1];
-    shares[n - 1][bytes - 1] =
+    for (std::size_t i = 0; i + 1 < n; ++i) acc ^= raw[i][bytes - 1];
+    raw[n - 1][bytes - 1] =
         static_cast<std::uint8_t>((acc ^ bits[bytes - 1]) & mask);
   }
+  std::vector<SecretBytes> shares;
+  shares.reserve(n);
+  for (auto& buf : raw) shares.emplace_back(std::move(buf));
   return shares;
 }
 
 std::vector<std::uint8_t> reconstruct_xor_packed(
-    std::span<const std::vector<std::uint8_t>> shares) {
+    std::span<const SecretBytes> shares) {
   require(!shares.empty(), "reconstruct_xor_packed: no shares");
-  std::vector<std::uint8_t> value = shares[0];
+  // All n shares combined: the opening the scheme is built for.
+  std::vector<std::uint8_t> value = shares[0].reveal();
   for (std::size_t i = 1; i < shares.size(); ++i) {
-    require(shares[i].size() == value.size(),
+    const std::vector<std::uint8_t>& s = shares[i].unwrap_for_wire();
+    require(s.size() == value.size(),
             "reconstruct_xor_packed: share size mismatch");
     for (std::size_t byte = 0; byte < value.size(); ++byte) {
-      value[byte] ^= shares[i][byte];
+      value[byte] ^= s[byte];
     }
   }
   return value;

@@ -6,6 +6,9 @@
 // (mpc/gmw.cpp); it is exposed here as a first-class primitive so protocol
 // code outside the circuit engine (input pre-sharing, tests, custom
 // protocols) can use the same scheme.
+//
+// Shares carry the Secret taint (secret/secret.h): SecretBit for single
+// bits, SecretBytes for packed buffers.
 #pragma once
 
 #include <cstdint>
@@ -13,22 +16,24 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "secret/secret.h"
 
 namespace eppi::secret {
 
 // Splits one bit into n XOR shares.
-std::vector<bool> split_xor_bit(bool value, std::size_t n, eppi::Rng& rng);
+std::vector<SecretBit> split_xor_bit(bool value, std::size_t n,
+                                     eppi::Rng& rng);
 
-// Reconstructs a bit from all its shares.
-bool reconstruct_xor_bit(const std::vector<bool>& shares);
+// Reconstructs a bit from all its shares (a deliberate opening).
+bool reconstruct_xor_bit(std::span<const SecretBit> shares);
 
 // Packed-vector variants: `bits` is a packed bit buffer (bit_count valid
 // bits); returns one packed share buffer per party.
-std::vector<std::vector<std::uint8_t>> split_xor_packed(
-    std::span<const std::uint8_t> bits, std::uint64_t bit_count,
-    std::size_t n, eppi::Rng& rng);
+std::vector<SecretBytes> split_xor_packed(std::span<const std::uint8_t> bits,
+                                          std::uint64_t bit_count,
+                                          std::size_t n, eppi::Rng& rng);
 
 std::vector<std::uint8_t> reconstruct_xor_packed(
-    std::span<const std::vector<std::uint8_t>> shares);
+    std::span<const SecretBytes> shares);
 
 }  // namespace eppi::secret

@@ -160,7 +160,9 @@ TEST(CollusionObserverTest, FewerThanCSharesLookUniform) {
   cluster.run([&](eppi::net::PartyContext& ctx) {
     const auto result =
         eppi::secret::run_sec_sum_share_party(ctx, params, inputs[ctx.id()]);
-    if (ctx.id() < kC) views[ctx.id()] = *result;
+    // The observer models an adversary pooling coordinator views: a
+    // deliberate opening of each colluder's shares.
+    if (ctx.id() < kC) views[ctx.id()] = eppi::secret::reveal_shares(*result);
   });
   const auto ring = eppi::secret::resolve_ring(params, kM);
   const CollusionObserver observer(views, ring.q());

@@ -1,0 +1,84 @@
+// Pins the EPPI_LOG cost/semantics contract (logging.h):
+//   - the stream expression is evaluated only when the level passes, so side
+//     effects inside a suppressed log statement never fire;
+//   - level filtering is a total order over kDebug < kInfo < kWarn < kError;
+//   - set_log_level is observed by subsequent log statements.
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace eppi {
+namespace {
+
+// Restores the global level, since tests in this binary share it.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = log_level(); }
+  void TearDown() override { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+int noisy_counter = 0;
+int noisy() { return ++noisy_counter; }
+
+TEST_F(LoggingTest, SuppressedStatementHasNoSideEffects) {
+  set_log_level(LogLevel::kError);
+  noisy_counter = 0;
+  EPPI_DEBUG("value " << noisy());
+  EPPI_INFO("value " << noisy());
+  EPPI_WARN("value " << noisy());
+  EXPECT_EQ(noisy_counter, 0) << "suppressed EPPI_LOG evaluated its argument";
+}
+
+TEST_F(LoggingTest, EnabledStatementEvaluatesOnce) {
+  set_log_level(LogLevel::kDebug);
+  noisy_counter = 0;
+  ::testing::internal::CaptureStderr();
+  EPPI_DEBUG("value " << noisy());
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(noisy_counter, 1);
+  EXPECT_NE(err.find("value 1"), std::string::npos);
+}
+
+TEST_F(LoggingTest, LevelFilteringIsAtLeastSemantics) {
+  set_log_level(LogLevel::kWarn);
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug));
+  EXPECT_FALSE(log_enabled(LogLevel::kInfo));
+  EXPECT_TRUE(log_enabled(LogLevel::kWarn));
+  EXPECT_TRUE(log_enabled(LogLevel::kError));
+
+  ::testing::internal::CaptureStderr();
+  EPPI_INFO("below");
+  EPPI_WARN("at");
+  EPPI_ERROR("above");
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err.find("below"), std::string::npos);
+  EXPECT_NE(err.find("at"), std::string::npos);
+  EXPECT_NE(err.find("above"), std::string::npos);
+}
+
+TEST_F(LoggingTest, SetLevelTakesEffectImmediately) {
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  EPPI_WARN("hidden");
+  set_log_level(LogLevel::kDebug);
+  EPPI_WARN("shown");
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err.find("hidden"), std::string::npos);
+  EXPECT_NE(err.find("shown"), std::string::npos);
+}
+
+TEST_F(LoggingTest, MessagesCarryLevelPrefix) {
+  set_log_level(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  EPPI_ERROR("boom");
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("[eppi "), std::string::npos);
+  EXPECT_NE(err.find("boom"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eppi

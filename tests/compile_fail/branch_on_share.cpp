@@ -1,0 +1,12 @@
+// MUST NOT COMPILE: using a share as a branch condition (deleted conversion
+// to bool). Control flow that depends on a share value is a timing /
+// trace side channel.
+#include "secret/secret.h"
+
+int main() {
+  const eppi::SecretBit share(true);
+  if (share) {  // use of deleted function
+    return 1;
+  }
+  return 0;
+}

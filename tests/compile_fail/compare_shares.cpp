@@ -1,0 +1,9 @@
+// MUST NOT COMPILE: comparing shares (deleted friend comparisons). Branching
+// on share order leaks one bit per comparison; protocols that need ordering
+// go through the GMW comparison circuits instead.
+#include "secret/secret.h"
+
+int main() {
+  const eppi::SecretU64 a(1), b(2);
+  return a < b ? 0 : 1;  // use of deleted function
+}

@@ -1,0 +1,18 @@
+// Positive control for the compile-fail harness: this file uses the same
+// headers and flags as the probes and MUST compile. If it stops compiling,
+// the WILL_FAIL probes would "pass" for the wrong reason (broken include
+// paths instead of the taint type doing its job).
+#include <cstdint>
+
+#include "common/logging.h"
+#include "secret/secret.h"
+
+int main() {
+  const eppi::SecretU64 share(41);
+  const eppi::secret::ModRing ring(1 << 10);
+  const eppi::SecretU64 sum = share.add(eppi::SecretU64(1), ring);
+  // Logging the *public* opening is fine; logging the share is not (see
+  // log_share.cpp).
+  EPPI_DEBUG("opened value " << sum.reveal());
+  return sum.reveal() == 42 ? 0 : 1;
+}

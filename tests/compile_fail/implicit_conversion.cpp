@@ -1,0 +1,12 @@
+// MUST NOT COMPILE: implicit conversion of a share back to its payload type
+// (deleted catch-all conversion operator). The only exits from the taint are
+// the audited unwrap_for_wire()/reveal() escape hatches.
+#include <cstdint>
+
+#include "secret/secret.h"
+
+int main() {
+  const eppi::SecretU64 share(7);
+  const std::uint64_t leaked = share;  // use of deleted function
+  return static_cast<int>(leaked);
+}

@@ -1,0 +1,13 @@
+// MUST NOT COMPILE: implicitly wrapping a public value as a share (explicit
+// constructor). Taint must be introduced deliberately — a public value that
+// silently becomes a "share" would corrupt the protocol's secrecy ledger.
+#include "secret/secret.h"
+
+eppi::SecretU64 f() {
+  return 42;  // explicit constructor: no implicit conversion
+}
+
+int main() {
+  (void)f();
+  return 0;
+}

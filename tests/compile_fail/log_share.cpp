@@ -1,0 +1,11 @@
+// MUST NOT COMPILE: streaming a Secret share into EPPI_LOG is the exact
+// leak the taint type exists to prevent (deleted friend operator<<).
+#include "common/logging.h"
+#include "secret/secret.h"
+
+int main() {
+  const eppi::SecretU64 share(7);
+  // use of deleted function — the deliberate violation under test
+  EPPI_INFO("my share is " << share);  // eppi-lint: allow(secret-logging)
+  return 0;
+}

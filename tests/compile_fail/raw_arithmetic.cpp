@@ -1,0 +1,10 @@
+// MUST NOT COMPILE: raw built-in arithmetic on shares (deleted friend
+// operator+). Share math must go through Secret::add(..., ring) so the mod-q
+// reduction cannot be forgotten.
+#include "secret/secret.h"
+
+int main() {
+  const eppi::SecretU64 a(1), b(2);
+  const eppi::SecretU64 c = a + b;  // use of deleted function
+  return static_cast<int>(c.reveal());
+}

@@ -87,8 +87,8 @@ TEST(ArithSessionTest, InnerProductUnderSharing) {
     const auto sx = s.input_vector(0, xs, 4);
     const auto sy = s.input_vector(1, ys, 4);
     const auto products = s.mul_batch(sx, sy);
-    ArithSession::Share acc = 0;
-    for (const auto p : products) acc = s.add(acc, p);
+    ArithSession::Share acc;  // zero share
+    for (const auto& p : products) acc = s.add(acc, p);
     EXPECT_EQ(s.open(acc), 2u * 11 + 3 * 13 + 5 * 17 + 7 * 19);
   });
 }
@@ -116,7 +116,7 @@ TEST(ArithSessionTest, SharesAloneRevealNothing) {
         [&](ArithSession& s, std::size_t id) {
           const std::vector<std::uint64_t> secret{777};
           const auto shares = s.input_vector(0, secret, 1);
-          if (id == 1) seen.insert(shares[0]);
+          if (id == 1) seen.insert(shares[0].reveal());
         },
         seed);
   }

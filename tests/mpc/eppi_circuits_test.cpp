@@ -23,7 +23,9 @@ std::vector<std::vector<std::uint64_t>> share_out(
   for (std::size_t j = 0; j < values.size(); ++j) {
     const auto shares =
         eppi::secret::split_additive(values[j], c, ring, rng);
-    for (std::size_t i = 0; i < c; ++i) per_party[i][j] = shares[i];
+    // Opened immediately: this helper feeds the *plain* circuit evaluator,
+    // which stands in for all c parties at once.
+    for (std::size_t i = 0; i < c; ++i) per_party[i][j] = shares[i].reveal();
   }
   return per_party;
 }

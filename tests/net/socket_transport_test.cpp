@@ -123,15 +123,17 @@ TEST(SocketTransportTest, SecSumShareOverTcp) {
       {1, 0, 0, 1, 0, 0}, {1, 0, 0, 0, 0, 1}};
   const eppi::secret::SecSumShareParams params{2, 0, kN};
   const auto ring = eppi::secret::resolve_ring(params, kM);
-  std::vector<std::vector<std::uint64_t>> views(2);
+  std::vector<std::vector<eppi::SecretU64>> views(2);
   run_over_sockets(kM, next_port_base(), [&](PartyContext& ctx, std::size_t i) {
     const auto result =
         eppi::secret::run_sec_sum_share_party(ctx, params, inputs[i]);
     if (i < 2) views[i] = *result;
   });
+  // Both coordinators' views are opened by the test to check the total.
   const std::vector<std::uint64_t> expected{4, 1, 1, 1, 1, 1};
   for (std::size_t j = 0; j < kN; ++j) {
-    EXPECT_EQ(ring.add(views[0][j], views[1][j]), expected[j]);
+    EXPECT_EQ(ring.add(views[0][j].reveal(), views[1][j].reveal()),
+              expected[j]);
   }
 }
 

@@ -24,7 +24,8 @@ TEST_P(SplitSweep, SplitReconstructRoundTrip) {
     const std::uint64_t value = rng.next_below(q);
     const auto shares = split_additive(value, c, ring, rng);
     ASSERT_EQ(shares.size(), c);
-    for (const auto s : shares) EXPECT_LT(s, q);
+    // reveal() is the audited opening: the test plays all c holders at once.
+    for (const auto& s : shares) EXPECT_LT(s.reveal(), q);
     EXPECT_EQ(reconstruct_additive(shares, ring), value);
   }
 }
@@ -56,8 +57,8 @@ TEST(AdditiveShareTest, AdditiveHomomorphism) {
 
 TEST(AdditiveShareTest, AddShareVectorsSizeMismatchThrows) {
   const ModRing ring(8);
-  const std::vector<std::uint64_t> a{1, 2};
-  const std::vector<std::uint64_t> b{1};
+  const auto a = wrap_shares(std::vector<std::uint64_t>{1, 2});
+  const auto b = wrap_shares(std::vector<std::uint64_t>{1});
   EXPECT_THROW(add_share_vectors(a, b, ring), eppi::ConfigError);
 }
 
@@ -70,8 +71,8 @@ TEST(AdditiveShareTest, PartialSharesLookUniform) {
   // Two very different secrets; compare first-share histograms.
   std::vector<int> hist0(16, 0), hist15(16, 0);
   for (int t = 0; t < kTrials; ++t) {
-    hist0[split_additive(0, 3, ring, rng)[0]]++;
-    hist15[split_additive(15, 3, ring, rng)[0]]++;
+    hist0[split_additive(0, 3, ring, rng)[0].reveal()]++;
+    hist15[split_additive(15, 3, ring, rng)[0].reveal()]++;
   }
   const double expected = kTrials / 16.0;
   for (int v = 0; v < 16; ++v) {
@@ -86,7 +87,7 @@ TEST(AdditiveShareTest, SingleShareIsValue) {
   eppi::Rng rng(3);
   const auto shares = split_additive(5, 1, ring, rng);
   ASSERT_EQ(shares.size(), 1u);
-  EXPECT_EQ(shares[0], 5u);
+  EXPECT_EQ(shares[0].reveal(), 5u);
 }
 
 TEST(AdditiveShareTest, ValueReducedModQ) {

@@ -23,8 +23,7 @@ TEST(ReshareTest, SumsAreUnchanged) {
   eppi::Rng rng(1);
   // Fabricate share vectors for known sums.
   std::vector<std::uint64_t> sums(kN);
-  std::vector<std::vector<std::uint64_t>> shares(
-      kC, std::vector<std::uint64_t>(kN));
+  std::vector<std::vector<SecretU64>> shares(kC, std::vector<SecretU64>(kN));
   for (std::size_t j = 0; j < kN; ++j) {
     sums[j] = rng.next_below(ring.q());
     const auto split = split_additive(sums[j], kC, ring, rng);
@@ -32,17 +31,18 @@ TEST(ReshareTest, SumsAreUnchanged) {
   }
 
   Cluster cluster(kC, 9);
-  std::vector<std::vector<std::uint64_t>> updated(kC);
+  std::vector<std::vector<SecretU64>> updated(kC);
   cluster.run([&](PartyContext& ctx) {
     const std::vector<PartyId> parties{0, 1, 2};
     updated[ctx.id()] =
         run_reshare_party(ctx, parties, shares[ctx.id()], ring);
   });
 
+  // The test plays all coordinators, so opening every share is legitimate.
   for (std::size_t j = 0; j < kN; ++j) {
     std::uint64_t total = 0;
     for (std::size_t i = 0; i < kC; ++i) {
-      total = ring.add(total, updated[i][j]);
+      total = ring.add(total, updated[i][j].reveal());
     }
     EXPECT_EQ(total, sums[j]) << "identity " << j;
   }
@@ -51,11 +51,11 @@ TEST(ReshareTest, SumsAreUnchanged) {
 TEST(ReshareTest, SharesActuallyChange) {
   constexpr std::size_t kC = 2;
   const ModRing ring(1 << 12);
-  const std::vector<std::vector<std::uint64_t>> shares{
-      std::vector<std::uint64_t>(64, 7),
-      std::vector<std::uint64_t>(64, 11)};
+  const std::vector<std::vector<SecretU64>> shares{
+      wrap_shares(std::vector<std::uint64_t>(64, 7)),
+      wrap_shares(std::vector<std::uint64_t>(64, 11))};
   Cluster cluster(kC, 3);
-  std::vector<std::vector<std::uint64_t>> updated(kC);
+  std::vector<std::vector<SecretU64>> updated(kC);
   cluster.run([&](PartyContext& ctx) {
     const std::vector<PartyId> parties{0, 1};
     updated[ctx.id()] =
@@ -63,7 +63,7 @@ TEST(ReshareTest, SharesActuallyChange) {
   });
   std::size_t unchanged = 0;
   for (std::size_t j = 0; j < 64; ++j) {
-    if (updated[0][j] == shares[0][j]) ++unchanged;
+    if (updated[0][j].reveal() == shares[0][j].reveal()) ++unchanged;
   }
   EXPECT_LT(unchanged, 3u);  // re-randomization touches ~every entry
 }
@@ -77,15 +77,14 @@ TEST(ReshareTest, OldAndNewViewsAreIndependent) {
   const ModRing ring(1 << 8);
   eppi::Rng rng(5);
   const std::uint64_t secret = 42;
-  std::vector<std::vector<std::uint64_t>> shares(
-      kC, std::vector<std::uint64_t>(kN));
+  std::vector<std::vector<SecretU64>> shares(kC, std::vector<SecretU64>(kN));
   for (std::size_t j = 0; j < kN; ++j) {
     const auto split = split_additive(secret, kC, ring, rng);
     shares[0][j] = split[0];
     shares[1][j] = split[1];
   }
   Cluster cluster(kC, 11);
-  std::vector<std::vector<std::uint64_t>> updated(kC);
+  std::vector<std::vector<SecretU64>> updated(kC);
   cluster.run([&](PartyContext& ctx) {
     const std::vector<PartyId> parties{0, 1};
     updated[ctx.id()] =
@@ -93,9 +92,10 @@ TEST(ReshareTest, OldAndNewViewsAreIndependent) {
   });
   // Histogram of old_0 + new_1 mod q: uniform if resharing decorrelated
   // the epochs (it would be constant = secret without resharing).
+  // The adversary's pooled view, opened deliberately for the histogram.
   std::vector<std::size_t> hist(ring.q(), 0);
   for (std::size_t j = 0; j < kN; ++j) {
-    ++hist[ring.add(shares[0][j], updated[1][j])];
+    ++hist[ring.add(shares[0][j].reveal(), updated[1][j].reveal())];
   }
   // Chi-squared against uniform: with q-1 = 255 degrees of freedom the
   // statistic concentrates near 255; without resharing the histogram is a
@@ -117,7 +117,7 @@ TEST(ReshareTest, Validates) {
   Cluster cluster(2);
   EXPECT_THROW(cluster.run([&](PartyContext& ctx) {
                  const std::vector<PartyId> parties{0, 1};
-                 const std::vector<std::uint64_t> empty;
+                 const std::vector<SecretU64> empty;
                  (void)run_reshare_party(ctx, parties, empty, ring);
                }),
                eppi::ConfigError);

@@ -40,7 +40,7 @@ std::vector<std::uint64_t> committed_sums(
   std::vector<std::uint64_t> sums(kN, 0);
   for (std::size_t i = 0; i < c; ++i) {
     for (std::size_t j = 0; j < kN; ++j) {
-      sums[j] = ring.add(sums[j], (*outcomes[i].shares)[j]);
+      sums[j] = ring.add(sums[j], (*outcomes[i].shares)[j].reveal());
     }
   }
   return sums;

@@ -102,7 +102,8 @@ TEST(SecureAggregatesTest, RejectsNonMember) {
   const ModRing ring(1 << 10);
   EXPECT_THROW(cluster.run([&](PartyContext& ctx) {
                  if (ctx.id() != 2) return;
-                 const std::vector<std::uint64_t> shares{1, 2};
+                 const auto shares =
+                     wrap_shares(std::vector<std::uint64_t>{1, 2});
                  const std::vector<PartyId> parties{0, 1};
                  (void)run_secure_aggregates_party(ctx, parties, shares,
                                                    ring);
@@ -114,7 +115,7 @@ TEST(SecureAggregatesTest, RejectsEmptyShares) {
   Cluster cluster(2);
   const ModRing ring(1 << 10);
   EXPECT_THROW(cluster.run([&](PartyContext& ctx) {
-                 const std::vector<std::uint64_t> shares;
+                 const std::vector<SecretU64> shares;
                  const std::vector<PartyId> parties{0, 1};
                  (void)run_secure_aggregates_party(ctx, parties, shares,
                                                    ring);

@@ -21,15 +21,18 @@ TEST(XorShareTest, BitRoundTrip) {
 }
 
 TEST(XorShareTest, ReconstructBitApi) {
-  EXPECT_EQ(reconstruct_xor_bit({true, false, true}), false);
-  EXPECT_EQ(reconstruct_xor_bit({true}), true);
+  const std::vector<SecretBit> three{SecretBit(true), SecretBit(false),
+                                     SecretBit(true)};
+  const std::vector<SecretBit> one{SecretBit(true)};
+  EXPECT_EQ(reconstruct_xor_bit(three), false);
+  EXPECT_EQ(reconstruct_xor_bit(one), true);
   EXPECT_THROW(reconstruct_xor_bit({}), eppi::ConfigError);
 }
 
 TEST(XorShareTest, SingleShareIsValue) {
   eppi::Rng rng(3);
   const auto shares = split_xor_bit(true, 1, rng);
-  EXPECT_TRUE(shares[0]);
+  EXPECT_TRUE(shares[0].reveal());
 }
 
 TEST(XorShareTest, PartialSharesAreBalanced) {
@@ -37,7 +40,7 @@ TEST(XorShareTest, PartialSharesAreBalanced) {
   int ones = 0;
   constexpr int kTrials = 20000;
   for (int t = 0; t < kTrials; ++t) {
-    ones += split_xor_bit(true, 3, rng)[0] ? 1 : 0;
+    ones += split_xor_bit(true, 3, rng)[0].reveal() ? 1 : 0;
   }
   EXPECT_NEAR(static_cast<double>(ones) / kTrials, 0.5, 0.02);
 }
@@ -61,7 +64,8 @@ TEST(XorSharePackedTest, TailBitsMasked) {
   EXPECT_EQ(back[1] & 0x07, 0x07);
   EXPECT_EQ(back[1] & 0xF8, 0x00);  // tail stays zero
   for (const auto& share : shares) {
-    EXPECT_EQ(share[1] & 0xF8, 0x00);  // shares carry no stray tail bits
+    // shares carry no stray tail bits
+    EXPECT_EQ(share.reveal()[1] & 0xF8, 0x00);
   }
 }
 
@@ -70,7 +74,9 @@ TEST(XorSharePackedTest, Validates) {
   const std::vector<std::uint8_t> bits{0x01};
   EXPECT_THROW(split_xor_packed(bits, 16, 2, rng), eppi::ConfigError);
   EXPECT_THROW(reconstruct_xor_packed({}), eppi::ConfigError);
-  std::vector<std::vector<std::uint8_t>> ragged{{1, 2}, {3}};
+  std::vector<SecretBytes> ragged;
+  ragged.emplace_back(std::vector<std::uint8_t>{1, 2});
+  ragged.emplace_back(std::vector<std::uint8_t>{3});
   EXPECT_THROW(reconstruct_xor_packed(ragged), eppi::ConfigError);
 }
 

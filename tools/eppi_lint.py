@@ -1,0 +1,377 @@
+#!/usr/bin/env python3
+"""Project-specific secret-hygiene linter for the e-PPI codebase.
+
+Pure-Python (stdlib only) so the gate runs anywhere the tests run — no
+clang-tidy required. Registered as `ctest -L lint` and wired into
+`scripts/check.sh --lint` and CI. Exit status: 0 clean, 1 violations,
+2 usage error.
+
+Rules (suppress a single line with `// eppi-lint: allow(<rule>)`):
+
+  rng-construction   std::mt19937 / std::random_device / rand() / srand()
+                     constructed outside src/common/rng.h. All randomness
+                     must flow through eppi::Rng so runs are seeded and
+                     reproducible, and so tests can fork deterministic
+                     per-party streams.
+
+  secret-logging     EPPI_LOG/EPPI_DEBUG/... or an iostream insertion whose
+                     argument mentions a share/secret identifier. The type
+                     system already rejects streaming Secret<T>; this rule
+                     catches the pre-taint pattern of logging a *raw* share
+                     value that was just unwrapped.
+
+  unbounded-recv     `while (true)` / `for (;;)` loops containing a blocking
+                     ctx.recv(...) in protocol code (src/secret, src/mpc):
+                     a lost message would hang the party forever. Protocol
+                     loops must be bounded by counts or use recv_for.
+
+  escape-hatch       .reveal() / .unwrap_for_wire() / reveal_shares( /
+                     wire_shares( outside the audited zones (src/secret,
+                     src/mpc, src/attack, tests, bench, examples, tools).
+                     src/core and src/net must stay taint-only.
+
+  build-artifact     build directories, object files, or binaries committed
+                     to the repository.
+
+Usage:
+  tools/eppi_lint.py [--root DIR] [--list-rules] [paths...]
+  tools/eppi_lint.py --self-test
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+from dataclasses import dataclass
+
+# --------------------------------------------------------------------------
+# Shared helpers
+
+SOURCE_EXTENSIONS = (".cpp", ".h", ".hpp", ".cc")
+
+ALLOW_RE = re.compile(r"//\s*eppi-lint:\s*allow\(([a-z-]+)\)")
+
+# Paths (relative, '/'-separated) scanned for source rules.
+SOURCE_DIRS = ("src", "tests", "bench", "examples", "tools")
+
+
+@dataclass
+class Violation:
+    rule: str
+    path: str
+    line: int  # 1-based; 0 = whole file
+    message: str
+
+    def format(self) -> str:
+        where = f"{self.path}:{self.line}" if self.line else self.path
+        return f"{where}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Crude single-line scrub so rules don't fire inside comments/strings.
+
+    Good enough for a line-oriented linter: removes // comments, "..." and
+    '...' literals. Block comments are handled by the caller's state.
+    """
+    line = re.sub(r'"(\\.|[^"\\])*"', '""', line)
+    line = re.sub(r"'(\\.|[^'\\])*'", "''", line)
+    comment = line.find("//")
+    if comment != -1:
+        line = line[:comment]
+    return line
+
+
+def iter_code_lines(text: str):
+    """Yields (lineno, raw_line, scrubbed_line) with block comments blanked."""
+    in_block = False
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw
+        if in_block:
+            end = line.find("*/")
+            if end == -1:
+                yield lineno, raw, ""
+                continue
+            line = line[end + 2:]
+            in_block = False
+        # Blank any block comments that open (and maybe close) on this line.
+        while True:
+            start = line.find("/*")
+            if start == -1:
+                break
+            end = line.find("*/", start + 2)
+            if end == -1:
+                line = line[:start]
+                in_block = True
+                break
+            line = line[:start] + line[end + 2:]
+        yield lineno, raw, strip_comments_and_strings(line)
+
+
+def allowed(raw_line: str, rule: str) -> bool:
+    m = ALLOW_RE.search(raw_line)
+    return bool(m) and m.group(1) == rule
+
+
+# --------------------------------------------------------------------------
+# Rule: rng-construction
+
+RNG_RE = re.compile(
+    r"\bstd\s*::\s*(mt19937(_64)?|minstd_rand0?|random_device|"
+    r"default_random_engine|ranlux\w+|knuth_b)\b"
+    r"|(?<![\w:])s?rand\s*\(")
+
+RNG_EXEMPT = ("src/common/rng.h", "src/common/rng.cpp")
+
+
+def check_rng(path: str, text: str, out: list):
+    if path in RNG_EXEMPT:
+        return
+    for lineno, raw, code in iter_code_lines(text):
+        if RNG_RE.search(code) and not allowed(raw, "rng-construction"):
+            out.append(Violation(
+                "rng-construction", path, lineno,
+                "construct randomness via eppi::Rng (src/common/rng.h), not "
+                "std engines or rand()"))
+
+
+# --------------------------------------------------------------------------
+# Rule: secret-logging
+
+LOG_MACRO_RE = re.compile(r"\bEPPI_(LOG|DEBUG|INFO|WARN|ERROR)\s*\(")
+STREAM_RE = re.compile(r"\b(std\s*::\s*)?(cout|cerr|clog)\b[^;]*<<")
+# Identifiers that smell like share material when streamed.
+SECRET_IDENT_RE = re.compile(
+    r"<<[^;]*\b(share|shares|secret|triple|mask|my_share|super_share)\w*\b",
+    re.IGNORECASE)
+
+
+def check_secret_logging(path: str, text: str, out: list):
+    lines = list(iter_code_lines(text))
+    for i, (lineno, raw, code) in enumerate(lines):
+        if not (LOG_MACRO_RE.search(code) or STREAM_RE.search(code)):
+            continue
+        # A log statement may span lines; inspect a small window.
+        window = " ".join(c for _, _, c in lines[i:i + 3])
+        if SECRET_IDENT_RE.search(window) and not allowed(raw, "secret-logging"):
+            out.append(Violation(
+                "secret-logging", path, lineno,
+                "log statement streams a share/secret-named value; log the "
+                "public opening (reveal()) or counts instead"))
+
+
+# --------------------------------------------------------------------------
+# Rule: unbounded-recv (protocol code only)
+
+UNBOUNDED_LOOP_RE = re.compile(r"\bwhile\s*\(\s*(true|1)\s*\)|\bfor\s*\(\s*;;")
+BLOCKING_RECV_RE = re.compile(r"\bctx\s*[.\-]>?\s*recv\s*\(|\binbox_?\.recv\s*\(")
+
+PROTOCOL_DIRS = ("src/secret/", "src/mpc/")
+
+
+def check_unbounded_recv(path: str, text: str, out: list):
+    if not path.startswith(PROTOCOL_DIRS):
+        return
+    lines = list(iter_code_lines(text))
+    for i, (lineno, raw, code) in enumerate(lines):
+        if not UNBOUNDED_LOOP_RE.search(code):
+            continue
+        # Scan the loop body: to the matching close brace, tracked naively by
+        # depth from the loop's opening brace.
+        depth = 0
+        opened = False
+        for lineno2, raw2, code2 in lines[i:]:
+            depth += code2.count("{") - code2.count("}")
+            if "{" in code2:
+                opened = True
+            if opened and BLOCKING_RECV_RE.search(code2) \
+                    and not allowed(raw2, "unbounded-recv") \
+                    and not allowed(raw, "unbounded-recv"):
+                out.append(Violation(
+                    "unbounded-recv", path, lineno2,
+                    "blocking recv inside an unbounded loop in protocol "
+                    "code: bound the loop or use recv_for with a timeout"))
+                break
+            if opened and depth <= 0:
+                break
+
+
+# --------------------------------------------------------------------------
+# Rule: escape-hatch confinement
+
+ESCAPE_RE = re.compile(
+    r"\.\s*(reveal|unwrap_for_wire)\s*\(|\b(reveal_shares|wire_shares)\s*\(")
+
+# Zones where opening/serializing shares is part of the audited design.
+ESCAPE_ZONES = ("src/secret/", "src/mpc/", "src/attack/",
+                "tests/", "bench/", "examples/", "tools/")
+
+
+def check_escape_hatch(path: str, text: str, out: list):
+    if path.startswith(ESCAPE_ZONES):
+        return
+    for lineno, raw, code in iter_code_lines(text):
+        if ESCAPE_RE.search(code) and not allowed(raw, "escape-hatch"):
+            out.append(Violation(
+                "escape-hatch", path, lineno,
+                "reveal()/unwrap_for_wire() outside the audited zones "
+                "(src/secret, src/mpc, src/attack, tests, bench, examples, "
+                "tools); keep src/core and src/net taint-only"))
+
+
+# --------------------------------------------------------------------------
+# Rule: build-artifact (repo hygiene; checks the git index, not file text)
+
+ARTIFACT_RE = re.compile(
+    r"(^|/)(build[^/]*|cmake-build[^/]*)/"
+    r"|\.(o|obj|a|so|dylib|exe|gch|pch)$"
+    r"|(^|/)CMakeCache\.txt$|(^|/)CMakeFiles/")
+
+
+def check_build_artifacts(root: str, out: list):
+    try:
+        proc = subprocess.run(
+            ["git", "ls-files"], cwd=root, capture_output=True, text=True,
+            timeout=30, check=True)
+    except (OSError, subprocess.SubprocessError):
+        return  # not a git checkout (e.g. an exported tarball): skip
+    for path in proc.stdout.splitlines():
+        if ARTIFACT_RE.search(path):
+            out.append(Violation(
+                "build-artifact", path, 0,
+                "build artifact committed to the repository"))
+
+
+# --------------------------------------------------------------------------
+# Driver
+
+SOURCE_CHECKS = (check_rng, check_secret_logging, check_unbounded_recv,
+                 check_escape_hatch)
+
+RULES = ("rng-construction", "secret-logging", "unbounded-recv",
+         "escape-hatch", "build-artifact")
+
+
+def collect_files(root: str, explicit):
+    if explicit:
+        for p in explicit:
+            rel = os.path.relpath(os.path.abspath(p), root).replace(os.sep, "/")
+            yield rel
+        return
+    for base in SOURCE_DIRS:
+        top = os.path.join(root, base)
+        for dirpath, dirnames, filenames in os.walk(top):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_EXTENSIONS):
+                    full = os.path.join(dirpath, name)
+                    yield os.path.relpath(full, root).replace(os.sep, "/")
+
+
+def run_lint(root: str, explicit=None) -> list:
+    violations: list = []
+    for rel in collect_files(root, explicit):
+        full = os.path.join(root, rel)
+        try:
+            with open(full, encoding="utf-8", errors="replace") as f:
+                text = f.read()
+        except OSError:
+            continue
+        for check in SOURCE_CHECKS:
+            check(rel, text, violations)
+    if not explicit:
+        check_build_artifacts(root, violations)
+    return violations
+
+
+# --------------------------------------------------------------------------
+# Self-test: every rule must fire on a seeded violation and stay quiet on a
+# clean equivalent. Keeps the linter itself honest (`--self-test` is run by
+# the lint ctest alongside the tree scan).
+
+SELF_TEST_CASES = [
+    # (rule, path, snippet, should_fire)
+    ("rng-construction", "src/core/x.cpp",
+     "std::mt19937 gen(42);\n", True),
+    ("rng-construction", "src/core/x.cpp",
+     "eppi::Rng rng(42);\n", False),
+    ("rng-construction", "src/core/x.cpp",
+     "std::mt19937 gen(42);  // eppi-lint: allow(rng-construction)\n", False),
+    ("rng-construction", "src/common/rng.h",
+     "std::mt19937_64 engine_;\n", False),
+    ("secret-logging", "src/core/x.cpp",
+     'EPPI_DEBUG("share = " << my_share);\n', True),
+    ("secret-logging", "src/core/x.cpp",
+     'EPPI_DEBUG("rounds = " << n_rounds);\n', False),
+    ("secret-logging", "src/core/x.cpp",
+     'std::cout << "super_share " << super_share;\n', True),
+    ("unbounded-recv", "src/secret/x.cpp",
+     "while (true) {\n  auto m = ctx.recv(p, tag, seq);\n}\n", True),
+    ("unbounded-recv", "src/secret/x.cpp",
+     "for (std::size_t i = 0; i < n; ++i) {\n"
+     "  auto m = ctx.recv(p, tag, seq);\n}\n", False),
+    ("unbounded-recv", "src/core/x.cpp",  # outside protocol dirs
+     "while (true) {\n  auto m = ctx.recv(p, tag, seq);\n}\n", False),
+    ("escape-hatch", "src/core/x.cpp",
+     "auto v = share.reveal();\n", True),
+    ("escape-hatch", "src/net/x.cpp",
+     "auto v = wire_shares(mine);\n", True),
+    ("escape-hatch", "src/mpc/x.cpp",
+     "auto v = share.reveal();\n", False),
+    ("escape-hatch", "tests/secret/x.cpp",
+     "auto v = share.reveal();\n", False),
+]
+
+
+def self_test() -> int:
+    failures = 0
+    for rule, path, snippet, should_fire in SELF_TEST_CASES:
+        out: list = []
+        for check in SOURCE_CHECKS:
+            check(path, snippet, out)
+        fired = any(v.rule == rule for v in out)
+        if fired != should_fire:
+            failures += 1
+            want = "fire" if should_fire else "stay quiet"
+            print(f"self-test FAIL: rule {rule} on {path!r} should {want}\n"
+                  f"  snippet: {snippet!r}", file=sys.stderr)
+    if failures:
+        print(f"self-test: {failures} case(s) failed", file=sys.stderr)
+        return 1
+    print(f"self-test: all {len(SELF_TEST_CASES)} cases passed")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: parent of tools/)")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("--self-test", action="store_true")
+    parser.add_argument("paths", nargs="*",
+                        help="restrict the scan to these files")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES:
+            print(rule)
+        return 0
+    if args.self_test:
+        return self_test()
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    violations = run_lint(root, args.paths or None)
+    for v in violations:
+        print(v.format())
+    if violations:
+        print(f"eppi-lint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print("eppi-lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
