@@ -4,6 +4,8 @@
 # Usage: scripts/check.sh [stage]
 #   plain   build + full ctest in ./build (the tier-1 gate)        [default]
 #   fault   plain build, but only the fault-injection matrix (ctest -L fault)
+#   storage plain build, but only the durable-store recovery matrix
+#           (ctest -L storage)
 #   asan    ASan+UBSan build in ./build-asan, full ctest
 #   tsan    TSan build in ./build-tsan, fault-labeled tests (the threaded
 #           cluster/reliability/fault paths are where races would live)
@@ -35,6 +37,9 @@ case "$stage" in
     ;;
   fault)
     run_preset default -L fault
+    ;;
+  storage)
+    run_preset default -L storage
     ;;
   asan)
     run_preset asan
@@ -79,7 +84,7 @@ case "$stage" in
     "$0" lint
     ;;
   *)
-    echo "usage: $0 [plain|fault|asan|tsan|lint|all]" >&2
+    echo "usage: $0 [plain|fault|storage|asan|tsan|lint|all]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,62 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace eppi {
+
+namespace {
+
+constexpr std::uint32_t kPoly = 0x82f63b78u;  // reflected Castagnoli
+
+struct Tables {
+  std::array<std::array<std::uint32_t, 256>, 4> t{};
+
+  constexpr Tables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+      }
+      t[0][i] = crc;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xffu];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xffu];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xffu];
+    }
+  }
+};
+
+constexpr Tables kTables{};
+
+}  // namespace
+
+std::uint32_t crc32c(std::span<const std::uint8_t> data,
+                     std::uint32_t seed) noexcept {
+  std::uint32_t crc = ~seed;
+  std::size_t i = 0;
+  const std::size_t n = data.size();
+  for (; i + 4 <= n; i += 4) {
+    crc ^= static_cast<std::uint32_t>(data[i]) |
+           (static_cast<std::uint32_t>(data[i + 1]) << 8) |
+           (static_cast<std::uint32_t>(data[i + 2]) << 16) |
+           (static_cast<std::uint32_t>(data[i + 3]) << 24);
+    crc = kTables.t[3][crc & 0xffu] ^ kTables.t[2][(crc >> 8) & 0xffu] ^
+          kTables.t[1][(crc >> 16) & 0xffu] ^ kTables.t[0][crc >> 24];
+  }
+  for (; i < n; ++i) {
+    crc = (crc >> 8) ^ kTables.t[0][(crc ^ data[i]) & 0xffu];
+  }
+  return ~crc;
+}
+
+std::uint32_t crc32c_mask(std::uint32_t crc) noexcept {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+
+std::uint32_t crc32c_unmask(std::uint32_t masked) noexcept {
+  const std::uint32_t rot = masked - 0xa282ead8u;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace eppi

@@ -1,6 +1,7 @@
 #include "core/epoch_manager.h"
 
 #include "common/error.h"
+#include "core/epoch_store.h"
 #include "core/mixing.h"
 #include "core/sticky_publisher.h"
 
@@ -78,25 +79,91 @@ EpochManager::EpochResult EpochManager::rebuild(
   eppi::BitMatrix published =
       sticky_publish_matrix(truth, info.betas, keys);
 
+  const std::size_t churn = churn_against_previous(published);
+  // Commit first (durable), then mutate: if the store throws, the manager
+  // keeps serving the old epoch unchanged and a retry is safe.
+  adopt_epoch(published, info.lambda);
+
   EpochResult result;
   result.info = std::move(info);
-  result.epoch = ++epoch_;
-  if (has_previous_ && previous_.rows() == published.rows() &&
-      previous_.cols() == published.cols()) {
-    std::size_t churn = 0;
-    for (std::size_t i = 0; i < m; ++i) {
-      for (std::size_t j = 0; j < n; ++j) {
-        if (previous_.get(i, j) != published.get(i, j)) ++churn;
-      }
+  result.epoch = epoch_;
+  result.churn = churn;
+  result.index = PpiIndex(std::move(published));
+  return result;
+}
+
+std::size_t EpochManager::churn_against_previous(
+    const eppi::BitMatrix& published) const {
+  if (!has_previous_ || previous_.rows() != published.rows() ||
+      previous_.cols() != published.cols()) {
+    return published.rows() * published.cols();
+  }
+  std::size_t churn = 0;
+  for (std::size_t i = 0; i < published.rows(); ++i) {
+    for (std::size_t j = 0; j < published.cols(); ++j) {
+      if (previous_.get(i, j) != published.get(i, j)) ++churn;
     }
-    result.churn = churn;
-  } else {
-    result.churn = m * n;
+  }
+  return churn;
+}
+
+void EpochManager::adopt_epoch(const eppi::BitMatrix& published,
+                               double lambda) {
+  if (store_ != nullptr) {
+    store_->commit_epoch(epoch_ + 1, PpiIndex(published), lambda);
   }
   previous_ = published;
   has_previous_ = true;
-  result.index = PpiIndex(std::move(published));
-  return result;
+  ++epoch_;
+  served_epoch_ = epoch_;
+  failed_since_commit_ = 0;
+  epoch_time_ = std::chrono::steady_clock::now();
+  has_epoch_time_ = true;
+}
+
+void EpochManager::attach_store(EpochStore& store) {
+  store_ = &store;
+  if (store.has_sticky_state()) {
+    // The recorded lineage wins: deriving noise from a *new* key would
+    // rotate every sticky decision and reopen the intersection attacks.
+    options_.master_key = store.sticky_state().master_key;
+    options_.enable_mixing = store.sticky_state().enable_mixing;
+  } else {
+    store.record_sticky_state(
+        {options_.master_key, options_.enable_mixing});
+  }
+  if (!store.lineage().empty()) {
+    // Never reuse an epoch number, even one whose file was quarantined.
+    epoch_ = static_cast<std::size_t>(store.lineage().back().epoch);
+  }
+  if (const auto latest = store.latest_epoch()) {
+    // The epoch *served* is the newest intact one, which can be older than
+    // the newest committed id when recovery quarantined a rotted file.
+    previous_ = store.load_epoch(*latest).matrix();
+    has_previous_ = true;
+    served_epoch_ = static_cast<std::size_t>(*latest);
+    epoch_time_ = std::chrono::steady_clock::now();
+    has_epoch_time_ = true;
+  }
+}
+
+EpochManager::ServingStatus EpochManager::serving_status() const {
+  ServingStatus status;
+  status.epoch = served_epoch_;
+  status.serving = has_previous_;
+  status.degraded = failed_since_commit_ > 0;
+  status.rebuilds_behind = failed_since_commit_;
+  if (has_epoch_time_) {
+    status.age_seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - epoch_time_)
+                             .count();
+  }
+  return status;
+}
+
+PpiIndex EpochManager::current_index() const {
+  require(has_previous_, "EpochManager: no epoch has been built yet");
+  return PpiIndex(previous_);
 }
 
 EpochManager::DistributedEpochResult EpochManager::rebuild_distributed(
@@ -113,30 +180,20 @@ EpochManager::DistributedEpochResult EpochManager::rebuild_distributed(
     // better than no locator service.
     if (!has_previous_) throw;  // nothing to fall back to
     ++failed_rebuilds_;
+    ++failed_since_commit_;
     last_failure_ = failure.what();
     result.index = PpiIndex(previous_);
-    result.epoch = epoch_;
+    result.epoch = served_epoch_;
     result.degraded = true;
     result.failure = last_failure_;
     return result;
   }
 
   const eppi::BitMatrix& published = built.index.matrix();
-  result.epoch = ++epoch_;
-  if (has_previous_ && previous_.rows() == published.rows() &&
-      previous_.cols() == published.cols()) {
-    std::size_t churn = 0;
-    for (std::size_t i = 0; i < published.rows(); ++i) {
-      for (std::size_t j = 0; j < published.cols(); ++j) {
-        if (previous_.get(i, j) != published.get(i, j)) ++churn;
-      }
-    }
-    result.churn = churn;
-  } else {
-    result.churn = published.rows() * published.cols();
-  }
-  previous_ = published;
-  has_previous_ = true;
+  const std::size_t churn = churn_against_previous(published);
+  adopt_epoch(published, built.report.lambda);
+  result.epoch = epoch_;
+  result.churn = churn;
   result.report = std::move(built.report);
   result.index = std::move(built.index);
   return result;

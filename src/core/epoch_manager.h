@@ -18,6 +18,7 @@
 // only where the data or the privacy requirements actually changed.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -30,6 +31,8 @@
 #include "core/ppi_index.h"
 
 namespace eppi::core {
+
+class EpochStore;
 
 class EpochManager {
  public:
@@ -84,16 +87,51 @@ class EpochManager {
   std::size_t failed_rebuilds() const noexcept { return failed_rebuilds_; }
   const std::string& last_failure() const noexcept { return last_failure_; }
 
+  // Attaches a durable store (core/epoch_store.h) and resumes from it.
+  //
+  // The store's recorded sticky state WINS over the configured options: after
+  // a restart the manager must derive the exact same provider noise keys and
+  // mixing coins as before, even if the process was relaunched with a
+  // different configured master key (re-rolling sticky randomness is the
+  // cross-epoch leak this class exists to prevent). A fresh store records the
+  // configured state instead. The last committed epoch (if any) is loaded so
+  // serving resumes where the previous process stopped, and every subsequent
+  // successful rebuild is committed durably before it takes effect.
+  void attach_store(EpochStore& store);
+
+  // What the manager is currently serving, for staleness-aware callers.
+  struct ServingStatus {
+    std::size_t epoch = 0;        // epoch of the index being served
+    bool serving = false;         // an index is available at all
+    bool degraded = false;        // most recent rebuild attempt failed
+    std::size_t rebuilds_behind = 0;  // consecutive failed rebuilds since
+                                      // the served epoch was built
+    double age_seconds = 0.0;     // time since the served epoch was built
+                                  // (or restored from the store)
+  };
+  ServingStatus serving_status() const;
+
+  bool serving() const noexcept { return has_previous_; }
+  PpiIndex current_index() const;  // requires serving()
+
  private:
   std::uint64_t provider_key(std::size_t provider) const noexcept;
   bool sticky_mix_coin(std::size_t identity, double lambda) const noexcept;
+  std::size_t churn_against_previous(const eppi::BitMatrix& published) const;
+  void adopt_epoch(const eppi::BitMatrix& published, double lambda);
 
   Options options_;
-  std::size_t epoch_ = 0;
+  std::size_t epoch_ = 0;         // newest *committed* epoch id (never reused)
+  std::size_t served_epoch_ = 0;  // epoch of previous_ — older than epoch_
+                                  // when recovery quarantined newer files
   eppi::BitMatrix previous_;
   bool has_previous_ = false;
   std::size_t failed_rebuilds_ = 0;
   std::string last_failure_;
+  EpochStore* store_ = nullptr;
+  std::size_t failed_since_commit_ = 0;
+  bool has_epoch_time_ = false;
+  std::chrono::steady_clock::time_point epoch_time_{};
 };
 
 }  // namespace eppi::core

@@ -3,71 +3,110 @@
 #include <algorithm>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
-#include "common/error.h"
+#include "common/crc32c.h"
 
 namespace eppi::core {
 
 namespace {
 
-constexpr char kMagic[8] = {'e', 'p', 'p', 'i', 'i', 'd', 'x', '1'};
+constexpr char kMagicV1[8] = {'e', 'p', 'p', 'i', 'i', 'd', 'x', '1'};
+constexpr char kMagicV2[8] = {'e', 'p', 'p', 'i', 'i', 'd', 'x', '2'};
+constexpr char kSealMagic[8] = {'e', 'p', 'p', 'i', 's', 'e', 'a', 'l'};
 
-void write_u64(std::ostream& out, std::uint64_t v) {
-  char bytes[8];
-  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<char>(v >> (8 * i));
-  out.write(bytes, 8);
+constexpr std::size_t kDimsOffset = sizeof(kMagicV2);
+constexpr std::size_t kHeaderBytes = kDimsOffset + 16;       // magic + dims
+constexpr std::size_t kHeaderEnd = kHeaderBytes + 4;         // + header CRC
+constexpr std::size_t kFooterBytes = sizeof(kSealMagic) + 4;
+
+// Dimension bounds checked before any allocation: a hostile header must not
+// drive an n*m overflow or a multi-gigabyte allocation.
+constexpr std::uint64_t kMaxDim = std::uint64_t{1} << 32;
+constexpr std::uint64_t kMaxCells = std::uint64_t{1} << 34;  // 2 Gib of bits
+
+void append_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
 }
 
-std::uint64_t read_u64(std::istream& in) {
-  char bytes[8];
-  in.read(bytes, 8);
-  if (!in) throw SerializeError("load_index: truncated input");
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint64_t get_u64(std::span<const std::uint8_t> bytes, std::size_t at) {
   std::uint64_t v = 0;
   for (int i = 0; i < 8; ++i) {
-    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(bytes[i]))
-         << (8 * i);
+    v |= static_cast<std::uint64_t>(bytes[at + i]) << (8 * i);
   }
   return v;
 }
 
-}  // namespace
+std::uint32_t get_u32(std::span<const std::uint8_t> bytes, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(bytes[at + i]) << (8 * i);
+  }
+  return v;
+}
 
-void save_index(std::ostream& out, const PpiIndex& index) {
-  out.write(kMagic, sizeof(kMagic));
+bool magic_is(std::span<const std::uint8_t> bytes, const char (&magic)[8],
+              std::size_t at = 0) {
+  return bytes.size() >= at + 8 &&
+         std::equal(magic, magic + 8, bytes.begin() + at,
+                    [](char c, std::uint8_t b) {
+                      return static_cast<std::uint8_t>(c) == b;
+                    });
+}
+
+// Validates rows/cols and computes the exact payload size. Returns a
+// non-empty error string on implausible dimensions.
+struct Dims {
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+  std::size_t words_per_row = 0;
+  std::size_t payload_bytes = 0;
+};
+
+std::string check_dims(std::uint64_t rows, std::uint64_t cols, Dims& dims) {
+  if (rows > kMaxDim || cols > kMaxDim ||
+      (rows != 0 && cols > kMaxCells / rows)) {
+    return "implausible dimensions (" + std::to_string(rows) + " x " +
+           std::to_string(cols) + ")";
+  }
+  dims.rows = rows;
+  dims.cols = cols;
+  dims.words_per_row = static_cast<std::size_t>((cols + 63) / 64);
+  dims.payload_bytes =
+      static_cast<std::size_t>(rows) * dims.words_per_row * 8;
+  return {};
+}
+
+void append_payload(std::vector<std::uint8_t>& out, const PpiIndex& index) {
   const auto& matrix = index.matrix();
-  write_u64(out, matrix.rows());
-  write_u64(out, matrix.cols());
   for (std::size_t i = 0; i < matrix.rows(); ++i) {
     const std::uint64_t* words = matrix.row_words(i);
     for (std::size_t w = 0; w < matrix.words_per_row(); ++w) {
-      write_u64(out, words[w]);
+      append_u64(out, words[w]);
     }
   }
 }
 
-PpiIndex load_index(std::istream& in) {
-  char magic[sizeof(kMagic)];
-  in.read(magic, sizeof(magic));
-  if (!in || !std::equal(magic, magic + sizeof(kMagic), kMagic)) {
-    throw SerializeError("load_index: bad magic or version");
-  }
-  const std::uint64_t rows = read_u64(in);
-  const std::uint64_t cols = read_u64(in);
-  // Guard against hostile headers before allocating.
-  constexpr std::uint64_t kMaxDim = std::uint64_t{1} << 32;
-  constexpr std::uint64_t kMaxCells = std::uint64_t{1} << 34;  // 2 GiB of bits
-  if (rows > kMaxDim || cols > kMaxDim ||
-      (rows != 0 && cols > kMaxCells / rows)) {
-    throw SerializeError("load_index: implausible dimensions");
-  }
-  eppi::BitMatrix matrix(static_cast<std::size_t>(rows),
-                         static_cast<std::size_t>(cols));
-  for (std::uint64_t i = 0; i < rows; ++i) {
-    for (std::uint64_t w = 0; w < matrix.words_per_row(); ++w) {
-      const std::uint64_t word = read_u64(in);
+PpiIndex build_matrix(std::span<const std::uint8_t> payload,
+                      const Dims& dims) {
+  eppi::BitMatrix matrix(static_cast<std::size_t>(dims.rows),
+                         static_cast<std::size_t>(dims.cols));
+  for (std::uint64_t i = 0; i < dims.rows; ++i) {
+    for (std::size_t w = 0; w < dims.words_per_row; ++w) {
+      const std::uint64_t word =
+          get_u64(payload, (static_cast<std::size_t>(i) * dims.words_per_row +
+                            w) * 8);
       for (unsigned b = 0; b < 64; ++b) {
         const std::uint64_t col = w * 64 + b;
-        if (col < cols && ((word >> b) & 1)) {
+        if (col < dims.cols && ((word >> b) & 1)) {
           matrix.set(static_cast<std::size_t>(i),
                      static_cast<std::size_t>(col), true);
         }
@@ -75,6 +114,174 @@ PpiIndex load_index(std::istream& in) {
     }
   }
   return PpiIndex(std::move(matrix));
+}
+
+void add_check(IndexValidation& v, IndexSection section, bool ok,
+               std::string detail) {
+  v.sections.push_back({section, ok, ok ? std::string{} : std::move(detail)});
+}
+
+void validate_v1(std::span<const std::uint8_t> bytes, IndexValidation& v) {
+  add_check(v, IndexSection::kMagic, true, {});
+  if (bytes.size() < 24) {
+    add_check(v, IndexSection::kHeader, false, "truncated header");
+    return;
+  }
+  Dims dims;
+  const std::string dim_err = check_dims(get_u64(bytes, 8), get_u64(bytes, 16),
+                                         dims);
+  if (!dim_err.empty()) {
+    add_check(v, IndexSection::kHeader, false, dim_err);
+    return;
+  }
+  add_check(v, IndexSection::kHeader, true, {});
+  if (bytes.size() < 24 + dims.payload_bytes) {
+    add_check(v, IndexSection::kPayload, false, "truncated payload");
+    return;
+  }
+  add_check(v, IndexSection::kPayload, true, {});
+  if (bytes.size() > 24 + dims.payload_bytes) {
+    add_check(v, IndexSection::kTrailing, false,
+              "trailing garbage after payload");
+  }
+}
+
+void validate_v2(std::span<const std::uint8_t> bytes, IndexValidation& v) {
+  add_check(v, IndexSection::kMagic, true, {});
+  if (bytes.size() < kHeaderEnd) {
+    add_check(v, IndexSection::kHeader, false, "truncated header");
+    return;
+  }
+  const std::uint32_t want_header =
+      crc32c_unmask(get_u32(bytes, kHeaderBytes));
+  if (crc32c(bytes.subspan(0, kHeaderBytes)) != want_header) {
+    add_check(v, IndexSection::kHeader, false, "header checksum mismatch");
+    return;  // dimensions untrustworthy; later offsets are meaningless
+  }
+  Dims dims;
+  const std::string dim_err =
+      check_dims(get_u64(bytes, kDimsOffset), get_u64(bytes, kDimsOffset + 8),
+                 dims);
+  if (!dim_err.empty()) {
+    add_check(v, IndexSection::kHeader, false, dim_err);
+    return;
+  }
+  add_check(v, IndexSection::kHeader, true, {});
+
+  const std::size_t payload_end = kHeaderEnd + dims.payload_bytes;
+  const std::size_t sealed_end = payload_end + 4;  // through payload CRC
+  if (bytes.size() < sealed_end) {
+    add_check(v, IndexSection::kPayload, false, "truncated payload");
+    add_check(v, IndexSection::kFooter, false,
+              "missing footer (torn write)");
+    return;
+  }
+  const std::uint32_t want_payload = crc32c_unmask(get_u32(bytes, payload_end));
+  add_check(v, IndexSection::kPayload,
+            crc32c(bytes.subspan(kHeaderEnd, dims.payload_bytes)) ==
+                want_payload,
+            "payload checksum mismatch");
+
+  if (bytes.size() < sealed_end + kFooterBytes ||
+      !magic_is(bytes, kSealMagic, sealed_end)) {
+    add_check(v, IndexSection::kFooter, false, "missing footer (torn write)");
+    return;
+  }
+  const std::uint32_t want_seal =
+      crc32c_unmask(get_u32(bytes, sealed_end + sizeof(kSealMagic)));
+  add_check(v, IndexSection::kFooter,
+            crc32c(bytes.subspan(0, sealed_end)) == want_seal,
+            "seal checksum mismatch");
+  if (bytes.size() > sealed_end + kFooterBytes) {
+    add_check(v, IndexSection::kTrailing, false,
+              "trailing garbage after footer");
+  }
+}
+
+}  // namespace
+
+const char* to_string(IndexSection section) noexcept {
+  switch (section) {
+    case IndexSection::kMagic: return "magic";
+    case IndexSection::kHeader: return "header";
+    case IndexSection::kPayload: return "payload";
+    case IndexSection::kFooter: return "footer";
+    case IndexSection::kTrailing: return "trailing";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> save_index_bytes(const PpiIndex& index) {
+  std::vector<std::uint8_t> out;
+  out.insert(out.end(), kMagicV2, kMagicV2 + sizeof(kMagicV2));
+  append_u64(out, index.matrix().rows());
+  append_u64(out, index.matrix().cols());
+  append_u32(out, crc32c_mask(crc32c(out)));
+  const std::size_t payload_begin = out.size();
+  append_payload(out, index);
+  append_u32(out, crc32c_mask(crc32c(std::span(out).subspan(payload_begin))));
+  const std::uint32_t seal = crc32c(out);
+  out.insert(out.end(), kSealMagic, kSealMagic + sizeof(kSealMagic));
+  append_u32(out, crc32c_mask(seal));
+  return out;
+}
+
+void save_index(std::ostream& out, const PpiIndex& index) {
+  const auto bytes = save_index_bytes(index);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+void save_index_v1(std::ostream& out, const PpiIndex& index) {
+  std::vector<std::uint8_t> bytes;
+  bytes.insert(bytes.end(), kMagicV1, kMagicV1 + sizeof(kMagicV1));
+  append_u64(bytes, index.matrix().rows());
+  append_u64(bytes, index.matrix().cols());
+  append_payload(bytes, index);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+IndexValidation validate_index(std::span<const std::uint8_t> bytes) {
+  IndexValidation v;
+  if (magic_is(bytes, kMagicV1)) {
+    v.version = 1;
+    validate_v1(bytes, v);
+  } else if (magic_is(bytes, kMagicV2)) {
+    v.version = 2;
+    validate_v2(bytes, v);
+  } else {
+    add_check(v, IndexSection::kMagic, false, "bad magic or version");
+  }
+  v.ok = std::all_of(v.sections.begin(), v.sections.end(),
+                     [](const IndexSectionCheck& c) { return c.ok; });
+  return v;
+}
+
+PpiIndex load_index_bytes(std::span<const std::uint8_t> bytes) {
+  const IndexValidation v = validate_index(bytes);
+  for (const auto& check : v.sections) {
+    if (!check.ok) {
+      throw CorruptIndexError(
+          check.section, "load_index: " + check.detail + " [" +
+                             to_string(check.section) + " section]");
+    }
+  }
+  Dims dims;
+  const std::size_t dims_at = v.version == 2 ? kDimsOffset : std::size_t{8};
+  (void)check_dims(get_u64(bytes, dims_at), get_u64(bytes, dims_at + 8), dims);
+  const std::size_t payload_at = v.version == 2 ? kHeaderEnd : std::size_t{24};
+  return build_matrix(bytes.subspan(payload_at, dims.payload_bytes), dims);
+}
+
+PpiIndex load_index(std::istream& in) {
+  std::vector<std::uint8_t> bytes;
+  char chunk[4096];
+  while (in.read(chunk, sizeof(chunk)) || in.gcount() > 0) {
+    bytes.insert(bytes.end(), chunk, chunk + in.gcount());
+    if (in.eof()) break;
+  }
+  return load_index_bytes(bytes);
 }
 
 }  // namespace eppi::core

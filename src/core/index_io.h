@@ -1,22 +1,95 @@
 // Binary persistence for the published PPI.
 //
 // The PPI server hands the constructed index to its serving tier (and ships
-// it to replicas); this module defines the on-disk/wire format: a small
-// header (magic, version, dimensions) followed by the packed row words of
-// the published matrix. The format is versioned and validated on load.
+// it to replicas); this module defines the on-disk/wire format. Two versions
+// exist:
+//
+//   eppi-index-v1  magic + dimensions + packed row words. No integrity
+//                  metadata: a torn write or bit flip loads as a silently
+//                  different index. Still readable (and writable, for
+//                  compatibility tests), never written by default.
+//
+//   eppi-index-v2  the durable-store format. Three checksummed sections:
+//                    header  magic "eppiidx2", u64 rows, u64 cols,
+//                            masked CRC32C of the preceding 24 bytes;
+//                    payload packed row words, masked CRC32C;
+//                    footer  seal magic "eppiseal" + masked CRC32C of every
+//                            preceding byte. The footer is written last, so
+//                            its absence identifies a torn (partially
+//                            written) file as opposed to bit rot.
+//                  Trailing bytes after the footer are rejected.
+//
+// Loads validate magic, dimensions (bounded before any allocation) and, for
+// v2, every section checksum; failures throw CorruptIndexError naming the
+// failing section. fsck-style callers use validate_index for a no-throw
+// section-by-section report of the same checks.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
 
+#include "common/error.h"
 #include "core/ppi_index.h"
 
 namespace eppi::core {
 
-// Writes the index in the eppi-index-v1 format.
-void save_index(std::ostream& out, const PpiIndex& index);
+// The file regions validated independently on load.
+enum class IndexSection {
+  kMagic,     // version/magic bytes
+  kHeader,    // dimensions + header checksum
+  kPayload,   // packed matrix words + payload checksum
+  kFooter,    // seal magic + whole-file checksum (absent in a torn write)
+  kTrailing,  // bytes after the end of the format
+};
 
-// Reads an index back; throws SerializeError on bad magic/version/shape or
-// truncated input.
+const char* to_string(IndexSection section) noexcept;
+
+// A load failed integrity validation: checksum mismatch, truncation, torn
+// write, implausible dimensions or trailing garbage. Derives from
+// SerializeError so pre-v2 catch sites keep working; recovery code switches
+// on section() (a missing footer is a torn commit; a payload mismatch is
+// corruption worth quarantining).
+class CorruptIndexError : public SerializeError {
+ public:
+  CorruptIndexError(IndexSection section, const std::string& what)
+      : SerializeError(what), section_(section) {}
+  IndexSection section() const noexcept { return section_; }
+
+ private:
+  IndexSection section_;
+};
+
+// Writes the index in the eppi-index-v2 format (checksummed, sealed).
+void save_index(std::ostream& out, const PpiIndex& index);
+std::vector<std::uint8_t> save_index_bytes(const PpiIndex& index);
+
+// Legacy writer for the unchecksummed eppi-index-v1 format; kept so
+// cross-version loads stay testable and old tooling can be fed.
+void save_index_v1(std::ostream& out, const PpiIndex& index);
+
+// Reads an index in either format; throws CorruptIndexError (a
+// SerializeError) on bad magic/version/shape, checksum mismatch, truncated
+// input or trailing garbage.
 PpiIndex load_index(std::istream& in);
+PpiIndex load_index_bytes(std::span<const std::uint8_t> bytes);
+
+// No-throw validation for fsck: runs the same checks as load_index but
+// reports every failing section instead of stopping at the first.
+struct IndexSectionCheck {
+  IndexSection section;
+  bool ok = false;
+  std::string detail;  // non-empty iff !ok
+};
+
+struct IndexValidation {
+  int version = 0;  // 1, 2, or 0 when the magic itself is unrecognized
+  bool ok = false;
+  std::vector<IndexSectionCheck> sections;
+};
+
+IndexValidation validate_index(std::span<const std::uint8_t> bytes);
 
 }  // namespace eppi::core

@@ -2,10 +2,26 @@
 
 #include "common/error.h"
 #include "core/constructor.h"
+#include "core/epoch_store.h"
 
 namespace eppi::core {
 
+namespace {
+
+EpochManager::Options manager_options(const LocatorService::Options& o) {
+  EpochManager::Options mo;
+  mo.policy = o.policy;
+  mo.enable_mixing = o.enable_mixing;
+  mo.master_key = o.seed;
+  return mo;
+}
+
+}  // namespace
+
 LocatorService::LocatorService() : LocatorService(Options{}) {}
+
+LocatorService::LocatorService(Options options)
+    : options_(std::move(options)), manager_(manager_options(options_)) {}
 
 ProviderId LocatorService::register_provider(const std::string& name) {
   const auto [it, inserted] = provider_ids_.try_emplace(
@@ -70,18 +86,42 @@ void LocatorService::construct_ppi() {
     dopt.enable_mixing = options_.enable_mixing;
     dopt.c = options_.c;
     dopt.seed = options_.seed;
-    auto result = construct_distributed(truth, epsilons_, dopt);
+    dopt.fault_tolerance = options_.fault_tolerance;
+    auto result = manager_.rebuild_distributed(truth, epsilons_, dopt);
     index_ = std::move(result.index);
+    if (result.degraded) {
+      // The rebuild aborted; we are serving the last committed epoch.
+      // serving_status() carries the failure — the stale report (if any)
+      // still describes the epoch actually being served.
+      return;
+    }
     report_ = std::move(result.report);
   } else {
-    ConstructionOptions copt;
-    copt.policy = options_.policy;
-    copt.enable_mixing = options_.enable_mixing;
-    eppi::Rng rng(options_.seed);
-    auto result = construct_centralized(truth, epsilons_, copt, rng);
+    auto result = manager_.rebuild(truth, epsilons_);
     index_ = std::move(result.index);
     report_.reset();
   }
+}
+
+void LocatorService::attach_store(EpochStore& store) {
+  manager_.attach_store(store);
+  if (manager_.serving() && !index_.has_value()) {
+    // Resume answering from the recovered epoch right away; a later
+    // construct_ppi() replaces it with a fresh one.
+    index_ = manager_.current_index();
+  }
+}
+
+LocatorService::QueryResult LocatorService::query_ppi_with_status(
+    const std::string& owner) const {
+  QueryResult result;
+  result.providers = query_ppi(owner);
+  const auto status = manager_.serving_status();
+  result.epoch = status.epoch;
+  result.degraded = status.degraded;
+  result.rebuilds_behind = status.rebuilds_behind;
+  result.age_seconds = status.age_seconds;
+  return result;
 }
 
 const PpiIndex& LocatorService::index() const {

@@ -28,9 +28,12 @@
 #include "common/rng.h"
 #include "core/beta_policy.h"
 #include "core/distributed_constructor.h"
+#include "core/epoch_manager.h"
 #include "core/ppi_index.h"
 
 namespace eppi::core {
+
+class EpochStore;
 
 class LocatorService {
  public:
@@ -44,10 +47,13 @@ class LocatorService {
     std::uint64_t seed = 1;
     // If an owner never stated a degree, this one applies.
     double default_epsilon = 0.5;
+    // Dropout tolerance for distributed construction (timeouts, reliable
+    // delivery, injected fault scenarios for tests).
+    FaultToleranceOptions fault_tolerance;
   };
 
   LocatorService();  // default options
-  explicit LocatorService(Options options) : options_(std::move(options)) {}
+  explicit LocatorService(Options options);
 
   // --- registration -----------------------------------------------------
   // Registering is idempotent; both return the stable numeric id.
@@ -70,20 +76,57 @@ class LocatorService {
   // (Re)builds the index over everything delegated so far. Invalidates any
   // previous index. Throws ConfigError if nothing was delegated or the
   // distributed mode lacks providers for the chosen c.
+  //
+  // Construction runs through an internal EpochManager, so repeated rebuilds
+  // keep publication noise and mixing decisions sticky, and a distributed
+  // rebuild that aborts mid-protocol degrades gracefully: the service keeps
+  // answering from the last successful epoch (see serving_status()) instead
+  // of going dark.
   void construct_ppi();
 
   bool constructed() const noexcept { return index_.has_value(); }
   const PpiIndex& index() const;
+
+  // Adjusts the dropout-tolerance knobs for subsequent construct_ppi()
+  // runs (epoch state and sticky randomness are untouched).
+  void set_fault_tolerance(const FaultToleranceOptions& ft) {
+    options_.fault_tolerance = ft;
+  }
   // Construction diagnostics of the last distributed run (nullopt in
   // centralized mode).
   const std::optional<DistributedReport>& last_report() const noexcept {
     return report_;
   }
 
+  // --- durability ----------------------------------------------------------
+  // Attaches a durable epoch store (core/epoch_store.h). The store's
+  // recorded sticky state overrides the configured seed-derived one, every
+  // successful construction is committed before it is served, and if the
+  // store holds a committed epoch the service resumes serving it immediately
+  // (degraded-mode answers survive a process restart).
+  void attach_store(EpochStore& store);
+
+  // Epoch/staleness of what queries are currently answered from.
+  EpochManager::ServingStatus serving_status() const {
+    return manager_.serving_status();
+  }
+
   // --- QueryPPI(t) ---------------------------------------------------------
   // Provider names that may hold the owner's records. Throws ConfigError if
   // not constructed or the owner is unknown.
   std::vector<std::string> query_ppi(const std::string& owner) const;
+
+  // query_ppi plus the staleness of the answer: which epoch served it,
+  // whether the service is degraded (a rebuild failed since), how many
+  // rebuilds behind the answer is, and its age.
+  struct QueryResult {
+    std::vector<std::string> providers;
+    std::size_t epoch = 0;
+    bool degraded = false;
+    std::size_t rebuilds_behind = 0;
+    double age_seconds = 0.0;
+  };
+  QueryResult query_ppi_with_status(const std::string& owner) const;
 
   // --- AuthSearch(s, {p}, t) -----------------------------------------------
   struct SearchResult {
@@ -110,6 +153,7 @@ class LocatorService {
   const eppi::BitMatrix& rebuild_matrix() const;
 
   Options options_;
+  EpochManager manager_;
   std::vector<std::string> provider_names_;
   std::vector<std::string> owner_names_;
   std::unordered_map<std::string, ProviderId> provider_ids_;

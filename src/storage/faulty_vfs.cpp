@@ -1,0 +1,72 @@
+#include "storage/faulty_vfs.h"
+
+namespace eppi::storage {
+
+bool FaultyVfs::gate(bool is_write) {
+  const std::uint64_t op = ops_++;
+  if (scenario_.crash_at_op && op == *scenario_.crash_at_op) {
+    throw SimulatedStorageCrash(op);
+  }
+  if (scenario_.fail_at_op && op == *scenario_.fail_at_op) {
+    throw StorageError("injected storage failure at op " +
+                       std::to_string(op));
+  }
+  if (scenario_.torn_at_op && op == *scenario_.torn_at_op) {
+    if (is_write) return true;
+    throw SimulatedStorageCrash(op);
+  }
+  return false;
+}
+
+void FaultyVfs::make_dir(const std::string& dir) {
+  gate(false);
+  inner_.make_dir(dir);
+}
+
+void FaultyVfs::write_file(const std::string& path,
+                           std::span<const std::uint8_t> data) {
+  if (gate(true)) {
+    inner_.write_file(path,
+                      data.subspan(0, std::min(scenario_.torn_bytes,
+                                               data.size())));
+    // The cut happens after the partial sectors reached the platter: flush
+    // them so the torn prefix is what recovery finds, not a clean absence.
+    inner_.fsync_file(path);
+    throw SimulatedStorageCrash(ops_ - 1);
+  }
+  inner_.write_file(path, data);
+}
+
+void FaultyVfs::append_file(const std::string& path,
+                            std::span<const std::uint8_t> data) {
+  if (gate(true)) {
+    inner_.append_file(path,
+                       data.subspan(0, std::min(scenario_.torn_bytes,
+                                                data.size())));
+    inner_.fsync_file(path);
+    throw SimulatedStorageCrash(ops_ - 1);
+  }
+  inner_.append_file(path, data);
+}
+
+void FaultyVfs::fsync_file(const std::string& path) {
+  gate(false);
+  inner_.fsync_file(path);
+}
+
+void FaultyVfs::fsync_dir(const std::string& dir) {
+  gate(false);
+  inner_.fsync_dir(dir);
+}
+
+void FaultyVfs::rename_file(const std::string& from, const std::string& to) {
+  gate(false);
+  inner_.rename_file(from, to);
+}
+
+void FaultyVfs::remove_file(const std::string& path) {
+  gate(false);
+  inner_.remove_file(path);
+}
+
+}  // namespace eppi::storage

@@ -1,0 +1,101 @@
+// Storage fault injection, mirroring the network FaultScenario framework.
+//
+// FaultyVfs decorates any Vfs and interprets a StorageFaultScenario against
+// a deterministic count of *mutating* operations (write, append, fsync,
+// rename, remove, make_dir — reads are free), so a recovery test can kill
+// the commit protocol at every boundary:
+//
+//   for (k = 0; k < total_ops; ++k) {
+//     MemVfs disk;
+//     FaultyVfs faulty(disk, StorageFaultScenario::crash_at(k));
+//     try { run_commit(faulty); } catch (const SimulatedStorageCrash&) {}
+//     disk.crash();              // power loss: drop un-fsynced state
+//     recover_and_check(disk);   // must find a valid store
+//   }
+//
+// Besides kill points, scenarios model torn writes (a write persists only a
+// prefix, then the machine dies — what a sector-level power cut does to an
+// in-place write) and transient fsync failures (the op throws StorageError
+// and does not take effect; the caller must treat the commit as failed).
+#pragma once
+
+#include <optional>
+
+#include "storage/vfs.h"
+
+namespace eppi::storage {
+
+struct StorageFaultScenario {
+  // Kill before executing mutating op #k (0-based): ops [0, k) succeed,
+  // op k throws SimulatedStorageCrash without taking effect.
+  std::optional<std::uint64_t> crash_at_op;
+
+  // Torn write: if mutating op #k is a write/append, only the first
+  // `torn_bytes` bytes reach the file, then SimulatedStorageCrash. For any
+  // other op kind this behaves like crash_at_op.
+  std::optional<std::uint64_t> torn_at_op;
+  std::size_t torn_bytes = 0;
+
+  // Transient failure: mutating op #k throws StorageError and does not take
+  // effect. No crash — the caller survives and must handle a failed commit.
+  std::optional<std::uint64_t> fail_at_op;
+
+  static StorageFaultScenario crash_at(std::uint64_t op) {
+    StorageFaultScenario s;
+    s.crash_at_op = op;
+    return s;
+  }
+
+  static StorageFaultScenario torn_at(std::uint64_t op, std::size_t bytes) {
+    StorageFaultScenario s;
+    s.torn_at_op = op;
+    s.torn_bytes = bytes;
+    return s;
+  }
+
+  static StorageFaultScenario fail_at(std::uint64_t op) {
+    StorageFaultScenario s;
+    s.fail_at_op = op;
+    return s;
+  }
+};
+
+class FaultyVfs final : public Vfs {
+ public:
+  explicit FaultyVfs(Vfs& inner, StorageFaultScenario scenario = {})
+      : inner_(inner), scenario_(scenario) {}
+
+  bool exists(const std::string& path) const override {
+    return inner_.exists(path);
+  }
+  std::vector<std::uint8_t> read_file(const std::string& path) const override {
+    return inner_.read_file(path);
+  }
+  std::vector<std::string> list_dir(const std::string& dir) const override {
+    return inner_.list_dir(dir);
+  }
+  void make_dir(const std::string& dir) override;
+  void write_file(const std::string& path,
+                  std::span<const std::uint8_t> data) override;
+  void append_file(const std::string& path,
+                   std::span<const std::uint8_t> data) override;
+  void fsync_file(const std::string& path) override;
+  void fsync_dir(const std::string& dir) override;
+  void rename_file(const std::string& from, const std::string& to) override;
+  void remove_file(const std::string& path) override;
+
+  // Mutating ops performed (or attempted) so far; run a workload once
+  // fault-free to size a kill-at-every-op matrix.
+  std::uint64_t ops() const noexcept { return ops_; }
+
+ private:
+  // Returns true if this op should be torn (write/append only); throws for
+  // crash/fail points. Advances the op counter.
+  bool gate(bool is_write);
+
+  Vfs& inner_;
+  StorageFaultScenario scenario_;
+  std::uint64_t ops_ = 0;
+};
+
+}  // namespace eppi::storage

@@ -1,0 +1,130 @@
+#include "storage/mem_vfs.h"
+
+#include <algorithm>
+
+namespace eppi::storage {
+
+namespace {
+
+void check_parent(const std::set<std::string>& dirs, const std::string& path,
+                  const char* op) {
+  const std::string parent = parent_dir(path);
+  if (!parent.empty() && !dirs.count(parent)) {
+    throw StorageError(std::string(op) + " " + path +
+                       ": parent directory does not exist");
+  }
+}
+
+}  // namespace
+
+bool MemVfs::exists(const std::string& path) const {
+  return cache_.count(path) != 0 || dirs_.count(path) != 0;
+}
+
+std::vector<std::uint8_t> MemVfs::read_file(const std::string& path) const {
+  const auto it = cache_.find(path);
+  if (it == cache_.end()) {
+    throw StorageError("read " + path + ": no such file");
+  }
+  return it->second.content;
+}
+
+std::vector<std::string> MemVfs::list_dir(const std::string& dir) const {
+  if (!dirs_.count(dir)) {
+    throw StorageError("list_dir " + dir + ": no such directory");
+  }
+  std::vector<std::string> names;
+  for (const auto& [path, file] : cache_) {
+    if (parent_dir(path) == dir) {
+      names.push_back(path.substr(dir.size() + 1));
+    }
+  }
+  return names;  // std::map iteration is already sorted
+}
+
+void MemVfs::make_dir(const std::string& dir) {
+  // mkdir -p: create every ancestor. Directory creation is modelled as
+  // immediately durable (see header).
+  std::string prefix;
+  for (std::size_t i = 0; i <= dir.size(); ++i) {
+    if (i == dir.size() || dir[i] == '/') {
+      prefix = dir.substr(0, i);
+      if (!prefix.empty()) dirs_.insert(prefix);
+    }
+  }
+}
+
+void MemVfs::write_file(const std::string& path,
+                        std::span<const std::uint8_t> data) {
+  check_parent(dirs_, path, "write");
+  cache_[path] = File{{data.begin(), data.end()}, {}};
+  removed_.erase(path);
+}
+
+void MemVfs::append_file(const std::string& path,
+                         std::span<const std::uint8_t> data) {
+  check_parent(dirs_, path, "append");
+  File& f = cache_[path];  // O_CREAT semantics
+  f.content.insert(f.content.end(), data.begin(), data.end());
+  removed_.erase(path);
+}
+
+void MemVfs::fsync_file(const std::string& path) {
+  const auto it = cache_.find(path);
+  if (it == cache_.end()) {
+    throw StorageError("fsync " + path + ": no such file");
+  }
+  it->second.synced_content = it->second.content;
+  // Data reaches the inode; the *entry* is durable only if it already was
+  // (a brand-new or renamed entry still needs fsync_dir on the parent).
+  if (durable_.count(path)) durable_[path] = it->second.content;
+}
+
+void MemVfs::fsync_dir(const std::string& dir) {
+  if (!dirs_.count(dir)) {
+    throw StorageError("fsync dir " + dir + ": no such directory");
+  }
+  for (auto it = removed_.begin(); it != removed_.end();) {
+    if (parent_dir(*it) == dir) {
+      durable_.erase(*it);
+      it = removed_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const auto& [path, file] : cache_) {
+    // The entry is now durable, carrying whatever content was fsynced to
+    // the inode — possibly nothing, if fsync_file was skipped.
+    if (parent_dir(path) == dir) durable_[path] = file.synced_content;
+  }
+}
+
+void MemVfs::rename_file(const std::string& from, const std::string& to) {
+  const auto it = cache_.find(from);
+  if (it == cache_.end()) {
+    throw StorageError("rename " + from + ": no such file");
+  }
+  check_parent(dirs_, to, "rename");
+  cache_[to] = std::move(it->second);
+  cache_.erase(from);
+  removed_.insert(from);
+  removed_.erase(to);
+  // durable_ is untouched: until fsync_dir, a crash reverts the rename.
+}
+
+void MemVfs::remove_file(const std::string& path) {
+  if (cache_.erase(path) == 0) {
+    throw StorageError("unlink " + path + ": no such file");
+  }
+  removed_.insert(path);
+}
+
+void MemVfs::crash() {
+  cache_.clear();
+  for (const auto& [path, bytes] : durable_) {
+    cache_[path] = File{bytes, bytes};
+  }
+  removed_.clear();
+}
+
+}  // namespace eppi::storage

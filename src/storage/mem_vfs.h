@@ -1,0 +1,65 @@
+// In-memory Vfs with power-loss semantics, for crash-recovery tests.
+//
+// MemVfs models the OS page cache the way crash-consistency harnesses
+// (ALICE, CrashMonkey) do: every mutation lands in a volatile cache, and a
+// separate durable image only advances on fsync. crash() discards the cache
+// and reverts to the durable image — the state a machine would reboot with
+// after power loss. The model is deliberately strict where it matters for
+// the commit protocol:
+//
+//  * fsync_file makes a file's *content* durable, but a newly created (or
+//    renamed) directory entry only becomes durable on fsync_dir of the
+//    parent — skipping the directory fsync loses the whole file on crash;
+//  * fsync_dir persists entries but only the content that was fsynced:
+//    an entry synced before its data models as an empty file after crash
+//    (metadata landed, data was still in cache);
+//  * rename is atomic in the cache but durable only after fsync_dir.
+//
+// Simplifications (noted, conservative for our protocol): make_dir is
+// durable immediately, and remove+recreate of the same path between dir
+// fsyncs collapses to the new inode.
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "storage/vfs.h"
+
+namespace eppi::storage {
+
+class MemVfs final : public Vfs {
+ public:
+  bool exists(const std::string& path) const override;
+  std::vector<std::uint8_t> read_file(const std::string& path) const override;
+  std::vector<std::string> list_dir(const std::string& dir) const override;
+  void make_dir(const std::string& dir) override;
+  void write_file(const std::string& path,
+                  std::span<const std::uint8_t> data) override;
+  void append_file(const std::string& path,
+                   std::span<const std::uint8_t> data) override;
+  void fsync_file(const std::string& path) override;
+  void fsync_dir(const std::string& dir) override;
+  void rename_file(const std::string& from, const std::string& to) override;
+  void remove_file(const std::string& path) override;
+
+  // Power loss: every un-fsynced mutation is gone; the filesystem reverts
+  // to the durable image. Call after catching SimulatedStorageCrash to see
+  // what a rebooted process would find.
+  void crash();
+
+  // Introspection for tests.
+  std::size_t file_count() const { return cache_.size(); }
+
+ private:
+  struct File {
+    std::vector<std::uint8_t> content;         // current (cached) content
+    std::vector<std::uint8_t> synced_content;  // durably on the inode
+  };
+
+  std::map<std::string, File> cache_;
+  std::map<std::string, std::vector<std::uint8_t>> durable_;  // post-crash view
+  std::set<std::string> removed_;  // cache removals not yet durable
+  std::set<std::string> dirs_;
+};
+
+}  // namespace eppi::storage

@@ -1,0 +1,128 @@
+#include "storage/posix_vfs.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+namespace eppi::storage {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+[[noreturn]] void fail(const std::string& op, const std::string& path) {
+  throw StorageError(op + " " + path + ": " + std::strerror(errno));
+}
+
+void write_all(int fd, std::span<const std::uint8_t> data,
+               const std::string& path) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + done, data.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      fail("write", path);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+void open_write_close(const std::string& path, int flags,
+                      std::span<const std::uint8_t> data) {
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) fail("open", path);
+  write_all(fd, data, path);
+  if (::close(fd) != 0) fail("close", path);
+}
+
+}  // namespace
+
+bool PosixVfs::exists(const std::string& path) const {
+  std::error_code ec;
+  return fs::exists(path, ec);
+}
+
+std::vector<std::uint8_t> PosixVfs::read_file(const std::string& path) const {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) fail("open", path);
+  std::vector<std::uint8_t> out;
+  std::uint8_t chunk[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      fail("read", path);
+    }
+    if (n == 0) break;
+    out.insert(out.end(), chunk, chunk + n);
+  }
+  ::close(fd);
+  return out;
+}
+
+std::vector<std::string> PosixVfs::list_dir(const std::string& dir) const {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file()) {
+      names.push_back(entry.path().filename().string());
+    }
+  }
+  if (ec) throw StorageError("list_dir " + dir + ": " + ec.message());
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+void PosixVfs::make_dir(const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) throw StorageError("make_dir " + dir + ": " + ec.message());
+}
+
+void PosixVfs::write_file(const std::string& path,
+                          std::span<const std::uint8_t> data) {
+  open_write_close(path, O_WRONLY | O_CREAT | O_TRUNC, data);
+}
+
+void PosixVfs::append_file(const std::string& path,
+                           std::span<const std::uint8_t> data) {
+  open_write_close(path, O_WRONLY | O_CREAT | O_APPEND, data);
+}
+
+void PosixVfs::fsync_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) fail("open", path);
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    fail("fsync", path);
+  }
+  if (::close(fd) != 0) fail("close", path);
+}
+
+void PosixVfs::fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) fail("open dir", dir);
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    fail("fsync dir", dir);
+  }
+  if (::close(fd) != 0) fail("close dir", dir);
+}
+
+void PosixVfs::rename_file(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) fail("rename", from);
+}
+
+void PosixVfs::remove_file(const std::string& path) {
+  if (::unlink(path.c_str()) != 0) fail("unlink", path);
+}
+
+}  // namespace eppi::storage

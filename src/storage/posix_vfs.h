@@ -1,0 +1,28 @@
+// Real-filesystem Vfs backed by POSIX file descriptors.
+//
+// Used by the CLI and any production embedding. fsync_file/fsync_dir issue
+// real fsync(2) calls — fsyncing the parent directory after a rename is what
+// makes the epoch commit survive power loss, not just process death.
+#pragma once
+
+#include "storage/vfs.h"
+
+namespace eppi::storage {
+
+class PosixVfs final : public Vfs {
+ public:
+  bool exists(const std::string& path) const override;
+  std::vector<std::uint8_t> read_file(const std::string& path) const override;
+  std::vector<std::string> list_dir(const std::string& dir) const override;
+  void make_dir(const std::string& dir) override;
+  void write_file(const std::string& path,
+                  std::span<const std::uint8_t> data) override;
+  void append_file(const std::string& path,
+                   std::span<const std::uint8_t> data) override;
+  void fsync_file(const std::string& path) override;
+  void fsync_dir(const std::string& dir) override;
+  void rename_file(const std::string& from, const std::string& to) override;
+  void remove_file(const std::string& path) override;
+};
+
+}  // namespace eppi::storage

@@ -1,0 +1,28 @@
+#include "storage/vfs.h"
+
+namespace eppi::storage {
+
+Vfs::~Vfs() = default;
+
+std::string parent_dir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string{} : path.substr(0, slash);
+}
+
+void atomic_write_file(Vfs& vfs, const std::string& path,
+                       std::span<const std::uint8_t> data) {
+  const std::string tmp = path + ".tmp";
+  vfs.write_file(tmp, data);
+  vfs.fsync_file(tmp);
+  vfs.rename_file(tmp, path);
+  const std::string dir = parent_dir(path);
+  if (!dir.empty()) vfs.fsync_dir(dir);
+}
+
+void durable_append(Vfs& vfs, const std::string& path,
+                    std::span<const std::uint8_t> data) {
+  vfs.append_file(path, data);
+  vfs.fsync_file(path);
+}
+
+}  // namespace eppi::storage

@@ -1,0 +1,95 @@
+// Storage abstraction for the durable epoch store.
+//
+// All raw index/manifest file writes in the library go through a Vfs (the
+// eppi-lint `raw-file-write` rule enforces this), for two reasons:
+//
+//  * crash-safety is a protocol over primitive operations — write temp,
+//    fsync file, rename, fsync directory — and centralizing the primitives
+//    makes the commit protocol auditable in one place
+//    (atomic_write_file / durable_append below);
+//  * the same protocol must be testable under injected storage faults.
+//    MemVfs (mem_vfs.h) models an OS page cache whose un-fsynced state is
+//    lost on power failure, and FaultyVfs (faulty_vfs.h) injects short
+//    writes, torn writes, fsync failures and kill-at-op-k crashes, so the
+//    recovery tests can kill the commit at every boundary.
+//
+// PosixVfs (posix_vfs.h) is the real implementation used by the CLI and any
+// production embedding.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace eppi::storage {
+
+// An I/O operation failed (disk full, permission, fsync error...). Distinct
+// from corruption: a StorageError means the operation did not take effect
+// and may be retried; corruption is detected at load time by checksums.
+class StorageError : public std::runtime_error {
+ public:
+  explicit StorageError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Thrown by FaultyVfs at a configured kill point. Deliberately NOT derived
+// from StorageError: a simulated crash is part of the test harness, and no
+// recovery code may catch-and-continue past it (mirrors net::SimulatedCrash).
+class SimulatedStorageCrash : public std::exception {
+ public:
+  explicit SimulatedStorageCrash(std::uint64_t op) {
+    what_ = "simulated storage crash at op " + std::to_string(op);
+  }
+  const char* what() const noexcept override { return what_.c_str(); }
+
+ private:
+  std::string what_;
+};
+
+// Minimal filesystem surface needed by the epoch store. Paths use '/'
+// separators; relative paths are resolved by the implementation (PosixVfs:
+// process cwd; MemVfs: a flat namespace).
+class Vfs {
+ public:
+  virtual ~Vfs();
+
+  virtual bool exists(const std::string& path) const = 0;
+  virtual std::vector<std::uint8_t> read_file(const std::string& path)
+      const = 0;  // throws StorageError if unreadable
+  // Names (not full paths) of regular files in `dir`, sorted.
+  virtual std::vector<std::string> list_dir(const std::string& dir) const = 0;
+
+  virtual void make_dir(const std::string& dir) = 0;  // mkdir -p, idempotent
+  // Creates or truncates `path`. NOT durable until fsync_file + a parent
+  // fsync_dir; a crash before then may leave the file absent or partial.
+  virtual void write_file(const std::string& path,
+                          std::span<const std::uint8_t> data) = 0;
+  virtual void append_file(const std::string& path,
+                           std::span<const std::uint8_t> data) = 0;
+  virtual void fsync_file(const std::string& path) = 0;
+  virtual void fsync_dir(const std::string& dir) = 0;
+  // Atomic replace (POSIX rename semantics). Durable after fsync_dir on the
+  // parent of `to`.
+  virtual void rename_file(const std::string& from, const std::string& to) = 0;
+  virtual void remove_file(const std::string& path) = 0;
+};
+
+// The sanctioned crash-safe full-file write: write `path`.tmp, fsync it,
+// rename over `path`, fsync the parent directory. After it returns the new
+// content is durable; if it throws (or the process dies inside it), recovery
+// sees either the old content or a quarantinable .tmp — never a half-written
+// `path`.
+void atomic_write_file(Vfs& vfs, const std::string& path,
+                       std::span<const std::uint8_t> data);
+
+// Appends `data` and fsyncs the file: used for journal records. A crash can
+// leave a torn tail record (detected by the record CRC at recovery), but
+// never damages previously synced records.
+void durable_append(Vfs& vfs, const std::string& path,
+                    std::span<const std::uint8_t> data);
+
+// Parent directory of `path` ("" when none).
+std::string parent_dir(const std::string& path);
+
+}  // namespace eppi::storage

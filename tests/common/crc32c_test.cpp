@@ -1,0 +1,56 @@
+#include "common/crc32c.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace eppi {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const char* s) {
+  return {s, s + std::strlen(s)};
+}
+
+TEST(Crc32cTest, StandardCheckValue) {
+  // The published check value for the Castagnoli polynomial.
+  EXPECT_EQ(crc32c(bytes_of("123456789")), 0xE3069283u);
+}
+
+TEST(Crc32cTest, EmptyInputIsZero) {
+  EXPECT_EQ(crc32c({}), 0u);
+}
+
+TEST(Crc32cTest, SensitiveToEveryBit) {
+  const auto base = bytes_of("the quick brown fox");
+  const std::uint32_t reference = crc32c(base);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto flipped = base;
+      flipped[i] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_NE(crc32c(flipped), reference) << "byte " << i << " bit " << bit;
+    }
+  }
+}
+
+TEST(Crc32cTest, ChainingMatchesOneShot) {
+  const auto data = bytes_of("split me anywhere and the crc must agree");
+  const std::uint32_t whole = crc32c(data);
+  for (std::size_t cut = 0; cut <= data.size(); ++cut) {
+    const std::span<const std::uint8_t> all(data);
+    const std::uint32_t chained =
+        crc32c(all.subspan(cut), crc32c(all.subspan(0, cut)));
+    EXPECT_EQ(chained, whole) << "cut at " << cut;
+  }
+}
+
+TEST(Crc32cTest, MaskRoundTrips) {
+  for (const std::uint32_t crc :
+       {0u, 1u, 0xE3069283u, 0xFFFFFFFFu, 0xDEADBEEFu}) {
+    EXPECT_EQ(crc32c_unmask(crc32c_mask(crc)), crc);
+    EXPECT_NE(crc32c_mask(crc), crc);  // stored form differs from raw CRC
+  }
+}
+
+}  // namespace
+}  // namespace eppi

@@ -80,5 +80,93 @@ TEST(IndexIoTest, EmptyStreamRejected) {
   EXPECT_THROW(load_index(ss), eppi::SerializeError);
 }
 
+// --- eppi-index-v2 integrity sections --------------------------------------
+
+IndexSection section_of(const std::vector<std::uint8_t>& bytes) {
+  try {
+    (void)load_index_bytes(bytes);
+  } catch (const CorruptIndexError& e) {
+    return e.section();
+  }
+  ADD_FAILURE() << "expected CorruptIndexError";
+  return IndexSection::kMagic;
+}
+
+TEST(IndexIoTest, V2BytesRoundTrip) {
+  const PpiIndex original = sample_index(9, 70, 4);
+  const auto bytes = save_index_bytes(original);
+  const PpiIndex loaded = load_index_bytes(bytes);
+  EXPECT_EQ(loaded.matrix(), original.matrix());
+  const IndexValidation v = validate_index(bytes);
+  EXPECT_TRUE(v.ok);
+  EXPECT_EQ(v.version, 2);
+}
+
+TEST(IndexIoTest, V1StillLoads) {
+  const PpiIndex original = sample_index(6, 40, 5);
+  std::stringstream ss;
+  save_index_v1(ss, original);
+  const PpiIndex loaded = load_index(ss);
+  EXPECT_EQ(loaded.matrix(), original.matrix());
+}
+
+TEST(IndexIoTest, V2HeaderBitFlipNamesHeaderSection) {
+  auto bytes = save_index_bytes(sample_index(5, 9, 6));
+  bytes[10] ^= 0x01;  // inside the dimension fields
+  EXPECT_EQ(section_of(bytes), IndexSection::kHeader);
+}
+
+TEST(IndexIoTest, V2PayloadBitFlipNamesPayloadSection) {
+  auto bytes = save_index_bytes(sample_index(5, 9, 6));
+  bytes[30] ^= 0x80;  // inside the packed matrix words
+  EXPECT_EQ(section_of(bytes), IndexSection::kPayload);
+}
+
+TEST(IndexIoTest, V2TornWriteNamesFooterSection) {
+  const auto bytes = save_index_bytes(sample_index(5, 9, 6));
+  // Cut inside the footer: header and payload verify, the seal is missing —
+  // the signature of a partially flushed write.
+  const std::vector<std::uint8_t> torn(bytes.begin(), bytes.end() - 6);
+  EXPECT_EQ(section_of(torn), IndexSection::kFooter);
+}
+
+TEST(IndexIoTest, V2TrailingGarbageRejected) {
+  auto bytes = save_index_bytes(sample_index(5, 9, 6));
+  bytes.push_back(0x00);
+  EXPECT_EQ(section_of(bytes), IndexSection::kTrailing);
+}
+
+TEST(IndexIoTest, V1TrailingGarbageRejected) {
+  const PpiIndex original = sample_index(6, 40, 5);
+  std::stringstream ss;
+  save_index_v1(ss, original);
+  ss << "extra";
+  EXPECT_THROW(load_index(ss), eppi::SerializeError);
+}
+
+TEST(IndexIoTest, ValidateReportsEverySection) {
+  auto bytes = save_index_bytes(sample_index(4, 17, 7));
+  bytes[30] ^= 0x01;                      // corrupt the payload...
+  bytes[bytes.size() - 1] ^= 0x01;        // ...and the seal checksum
+  const IndexValidation v = validate_index(bytes);
+  EXPECT_FALSE(v.ok);
+  bool payload_bad = false;
+  bool footer_bad = false;
+  for (const auto& check : v.sections) {
+    if (check.section == IndexSection::kPayload && !check.ok)
+      payload_bad = true;
+    if (check.section == IndexSection::kFooter && !check.ok) footer_bad = true;
+  }
+  EXPECT_TRUE(payload_bad);
+  EXPECT_TRUE(footer_bad);
+}
+
+TEST(IndexIoTest, ValidateUnrecognizedMagic) {
+  const std::vector<std::uint8_t> junk{'n', 'o', 'p', 'e'};
+  const IndexValidation v = validate_index(junk);
+  EXPECT_FALSE(v.ok);
+  EXPECT_EQ(v.version, 0);
+}
+
 }  // namespace
 }  // namespace eppi::core

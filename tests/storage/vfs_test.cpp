@@ -1,0 +1,196 @@
+// Storage-layer semantics: the MemVfs power-loss model, the FaultyVfs
+// injector, and a PosixVfs smoke test against a real temp directory. The
+// MemVfs tests double as documentation of the crash model every recovery
+// test relies on.
+#include "storage/vfs.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "storage/faulty_vfs.h"
+#include "storage/mem_vfs.h"
+#include "storage/posix_vfs.h"
+
+namespace eppi::storage {
+namespace {
+
+std::vector<std::uint8_t> bytes(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+std::string text(const std::vector<std::uint8_t>& b) {
+  return {b.begin(), b.end()};
+}
+
+TEST(MemVfsTest, UnsyncedWriteDiesWithPower) {
+  MemVfs vfs;
+  vfs.make_dir("d");
+  vfs.write_file("d/f", bytes("hello"));
+  EXPECT_EQ(text(vfs.read_file("d/f")), "hello");
+  vfs.crash();
+  EXPECT_FALSE(vfs.exists("d/f"));
+}
+
+TEST(MemVfsTest, FsyncFileAloneDoesNotPersistANewEntry) {
+  // Classic pitfall: fsync the file but not the directory — the inode data
+  // is on disk but nothing references it after a crash.
+  MemVfs vfs;
+  vfs.make_dir("d");
+  vfs.write_file("d/f", bytes("hello"));
+  vfs.fsync_file("d/f");
+  vfs.crash();
+  EXPECT_FALSE(vfs.exists("d/f"));
+}
+
+TEST(MemVfsTest, EntryBeforeDataSurvivesAsEmptyFile) {
+  // The converse pitfall: the directory entry lands before the data does.
+  MemVfs vfs;
+  vfs.make_dir("d");
+  vfs.write_file("d/f", bytes("hello"));
+  vfs.fsync_dir("d");
+  vfs.crash();
+  ASSERT_TRUE(vfs.exists("d/f"));
+  EXPECT_TRUE(vfs.read_file("d/f").empty());
+}
+
+TEST(MemVfsTest, FullSyncSurvivesCrash) {
+  MemVfs vfs;
+  vfs.make_dir("d");
+  vfs.write_file("d/f", bytes("hello"));
+  vfs.fsync_file("d/f");
+  vfs.fsync_dir("d");
+  vfs.crash();
+  EXPECT_EQ(text(vfs.read_file("d/f")), "hello");
+}
+
+TEST(MemVfsTest, RenameRevertsWithoutDirFsync) {
+  MemVfs vfs;
+  vfs.make_dir("d");
+  vfs.write_file("d/old", bytes("old"));
+  vfs.fsync_file("d/old");
+  vfs.fsync_dir("d");
+
+  vfs.write_file("d/new.tmp", bytes("new"));
+  vfs.fsync_file("d/new.tmp");
+  vfs.rename_file("d/new.tmp", "d/old");
+  EXPECT_EQ(text(vfs.read_file("d/old")), "new");  // cache view
+  vfs.crash();
+  EXPECT_EQ(text(vfs.read_file("d/old")), "old");  // durable view reverted
+}
+
+TEST(MemVfsTest, AtomicWriteFileIsDurableAndAllOrNothing) {
+  MemVfs vfs;
+  vfs.make_dir("d");
+  atomic_write_file(vfs, "d/f", bytes("v1"));
+  vfs.crash();
+  EXPECT_EQ(text(vfs.read_file("d/f")), "v1");
+
+  atomic_write_file(vfs, "d/f", bytes("v2"));
+  vfs.crash();
+  EXPECT_EQ(text(vfs.read_file("d/f")), "v2");
+  EXPECT_FALSE(vfs.exists("d/f.tmp"));
+}
+
+TEST(MemVfsTest, DurableAppendSurvivesOnExistingEntry) {
+  MemVfs vfs;
+  vfs.make_dir("d");
+  atomic_write_file(vfs, "d/log", bytes("head|"));
+  durable_append(vfs, "d/log", bytes("rec1|"));
+  durable_append(vfs, "d/log", bytes("rec2|"));
+  vfs.crash();
+  EXPECT_EQ(text(vfs.read_file("d/log")), "head|rec1|rec2|");
+}
+
+TEST(MemVfsTest, ListDirIsSortedAndShallow) {
+  MemVfs vfs;
+  vfs.make_dir("d/sub");
+  vfs.write_file("d/b", bytes("x"));
+  vfs.write_file("d/a", bytes("x"));
+  vfs.write_file("d/sub/c", bytes("x"));
+  EXPECT_EQ(vfs.list_dir("d"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_THROW(vfs.list_dir("nope"), StorageError);
+}
+
+TEST(MemVfsTest, WriteIntoMissingDirectoryFails) {
+  MemVfs vfs;
+  EXPECT_THROW(vfs.write_file("nodir/f", bytes("x")), StorageError);
+}
+
+// --- FaultyVfs --------------------------------------------------------------
+
+TEST(FaultyVfsTest, CountsMutatingOpsOnly) {
+  MemVfs mem;
+  FaultyVfs vfs(mem);
+  vfs.make_dir("d");                     // op 0
+  vfs.write_file("d/f", bytes("data"));  // op 1
+  vfs.fsync_file("d/f");                 // op 2
+  (void)vfs.read_file("d/f");            // reads are free
+  (void)vfs.exists("d/f");
+  EXPECT_EQ(vfs.ops(), 3u);
+}
+
+TEST(FaultyVfsTest, CrashAtKillsOpKWithoutEffect) {
+  MemVfs mem;
+  FaultyVfs vfs(mem, StorageFaultScenario::crash_at(1));
+  vfs.make_dir("d");  // op 0 succeeds
+  EXPECT_THROW(vfs.write_file("d/f", bytes("data")), SimulatedStorageCrash);
+  mem.crash();
+  EXPECT_TRUE(mem.exists("d"));    // make_dir modelled as durable
+  EXPECT_FALSE(mem.exists("d/f"));  // the killed write never happened
+}
+
+TEST(FaultyVfsTest, TornWriteLeavesDurablePrefix) {
+  MemVfs mem;
+  FaultyVfs vfs(mem, StorageFaultScenario::torn_at(1, 3));
+  vfs.make_dir("d");
+  EXPECT_THROW(vfs.write_file("d/f", bytes("hello world")),
+               SimulatedStorageCrash);
+  // The torn prefix reached the platter; the entry needs the dir to already
+  // know it, so make it durable the way a later fsync_dir would.
+  mem.fsync_dir("d");
+  mem.crash();
+  EXPECT_EQ(text(mem.read_file("d/f")), "hel");
+}
+
+TEST(FaultyVfsTest, TransientFailureIsRetryable) {
+  MemVfs mem;
+  FaultyVfs vfs(mem, StorageFaultScenario::fail_at(1));
+  vfs.make_dir("d");
+  EXPECT_THROW(vfs.write_file("d/f", bytes("data")), StorageError);
+  EXPECT_FALSE(mem.exists("d/f"));  // failed op had no effect
+  vfs.write_file("d/f", bytes("data"));  // later ops succeed
+  EXPECT_EQ(text(vfs.read_file("d/f")), "data");
+}
+
+// --- PosixVfs ---------------------------------------------------------------
+
+TEST(PosixVfsTest, RealFilesystemRoundTrip) {
+  PosixVfs vfs;
+  const std::string dir = ::testing::TempDir() + "eppi_posix_vfs_test";
+  std::filesystem::remove_all(dir);  // leftovers from an interrupted run
+  vfs.make_dir(dir + "/sub");
+  EXPECT_TRUE(vfs.exists(dir));
+
+  atomic_write_file(vfs, dir + "/a.idx", bytes("alpha"));
+  durable_append(vfs, dir + "/log", bytes("one|"));
+  durable_append(vfs, dir + "/log", bytes("two|"));
+  EXPECT_EQ(text(vfs.read_file(dir + "/a.idx")), "alpha");
+  EXPECT_EQ(text(vfs.read_file(dir + "/log")), "one|two|");
+
+  vfs.rename_file(dir + "/a.idx", dir + "/b.idx");
+  vfs.fsync_dir(dir);
+  EXPECT_FALSE(vfs.exists(dir + "/a.idx"));
+  EXPECT_EQ(text(vfs.read_file(dir + "/b.idx")), "alpha");
+  EXPECT_EQ(vfs.list_dir(dir), (std::vector<std::string>{"b.idx", "log"}));
+
+  EXPECT_THROW((void)vfs.read_file(dir + "/nope"), StorageError);
+  vfs.remove_file(dir + "/b.idx");
+  vfs.remove_file(dir + "/log");
+  EXPECT_EQ(vfs.list_dir(dir), std::vector<std::string>{});
+}
+
+}  // namespace
+}  // namespace eppi::storage

@@ -20,6 +20,13 @@
 //   eppi_cli stats <index.idx>
 //       Prints dimensions, density and the apparent-frequency profile.
 //
+//   eppi_cli fsck <path>
+//       Integrity check with section-level reporting. <path> may be a single
+//       index file (either format version) or an epoch-store directory
+//       (manifest framing, sticky record, every referenced epoch file,
+//       orphan detection). Exit 0 when clean, 1 when corruption or crash
+//       artifacts are found — suitable as a CI gate.
+//
 //   eppi_cli audit <index.idx> <collection.csv> [--eps x]
 //       Privacy audit of a published index against the ground-truth table:
 //       measured attacker confidences under the primary and common-identity
@@ -36,6 +43,7 @@
 //       per line overrides the loopback mesh).
 #include <algorithm>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -47,10 +55,12 @@
 #include "core/constructor.h"
 #include "core/distributed_constructor.h"
 #include "core/construction_party.h"
+#include "core/epoch_store.h"
 #include "core/index_io.h"
 #include "core/posting_index.h"
 #include "dataset/collection_table.h"
 #include "net/socket_transport.h"
+#include "storage/posix_vfs.h"
 
 namespace {
 
@@ -64,6 +74,7 @@ int usage() {
          "  eppi_cli query <index.idx> <collection.csv> <identity> "
          "[identity ...]\n"
          "  eppi_cli stats <index.idx>\n"
+         "  eppi_cli fsck <index.idx | store-dir>\n"
          "  eppi_cli party <collection.csv> --id I --port-base P "
          "[--eps x] [--c n] [--host-file f]\n"
          "  eppi_cli audit <index.idx> <collection.csv> [--eps x]\n";
@@ -205,11 +216,34 @@ int cmd_build(const std::vector<std::string>& args) {
     index = std::move(result.index);
   }
 
-  std::ofstream out(out_path, std::ios::binary);
-  if (!out) throw eppi::ConfigError("cannot write " + out_path);
-  eppi::core::save_index(out, index);
+  // Crash-safe write: a killed build leaves either the previous index or a
+  // quarantinable .tmp, never a torn file that later loads half-garbage.
+  eppi::storage::PosixVfs vfs;
+  eppi::storage::atomic_write_file(vfs, out_path,
+                                   eppi::core::save_index_bytes(index));
   std::cerr << "wrote " << out_path << '\n';
   return 0;
+}
+
+int cmd_fsck(const std::vector<std::string>& args) {
+  if (args.size() != 1) return usage();
+  const std::string& path = args[0];
+  eppi::storage::PosixVfs vfs;
+  const eppi::core::FsckReport report =
+      std::filesystem::is_directory(path)
+          ? eppi::core::fsck_store(vfs, path)
+          : eppi::core::fsck_index_file(vfs, path);
+  for (const auto& note : report.notes) {
+    std::cout << "note: " << note << '\n';
+  }
+  for (const auto& issue : report.issues) {
+    std::cout << "CORRUPT " << issue.file << " [" << issue.section
+              << "]: " << issue.message << '\n';
+  }
+  std::cout << (report.ok ? "clean" : "corrupt") << " ("
+            << report.files_checked << " file(s) checked, "
+            << report.issues.size() << " issue(s))\n";
+  return report.ok ? 0 : 1;
 }
 
 int cmd_query(const std::vector<std::string>& args) {
@@ -417,6 +451,7 @@ int main(int argc, char** argv) {
     if (command == "build") return cmd_build(args);
     if (command == "query") return cmd_query(args);
     if (command == "stats") return cmd_stats(args);
+    if (command == "fsck") return cmd_fsck(args);
     if (command == "party") return cmd_party(args);
     if (command == "audit") return cmd_audit(args);
     return usage();

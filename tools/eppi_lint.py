@@ -30,6 +30,12 @@ Rules (suppress a single line with `// eppi-lint: allow(<rule>)`):
                      src/mpc, src/attack, tests, bench, examples, tools).
                      src/core and src/net must stay taint-only.
 
+  raw-file-write     std::ofstream / fopen() / ::open() in library or tool
+                     code outside src/storage/. Durable state must go
+                     through storage::Vfs (atomic_write_file/durable_append)
+                     so every write follows the crash-safe commit protocol
+                     and is testable under injected storage faults.
+
   build-artifact     build directories, object files, or binaries committed
                      to the repository.
 
@@ -222,6 +228,32 @@ def check_escape_hatch(path: str, text: str, out: list):
 
 
 # --------------------------------------------------------------------------
+# Rule: raw-file-write confinement
+
+RAW_WRITE_RE = re.compile(
+    r"\bstd\s*::\s*ofstream\b|\bfopen\s*\(|(?<![\w.])::open\s*\(")
+
+# Library and tool code must write through storage::Vfs; tests, benches and
+# examples may write scratch files directly.
+RAW_WRITE_SCOPES = ("src/", "tools/")
+RAW_WRITE_EXEMPT = ("src/storage/",)
+
+
+def check_raw_file_write(path: str, text: str, out: list):
+    if not path.startswith(RAW_WRITE_SCOPES):
+        return
+    if path.startswith(RAW_WRITE_EXEMPT):
+        return
+    for lineno, raw, code in iter_code_lines(text):
+        if RAW_WRITE_RE.search(code) and not allowed(raw, "raw-file-write"):
+            out.append(Violation(
+                "raw-file-write", path, lineno,
+                "raw file write outside src/storage/; durable state must go "
+                "through storage::Vfs (atomic_write_file / durable_append) "
+                "so writes are crash-safe and fault-injectable"))
+
+
+# --------------------------------------------------------------------------
 # Rule: build-artifact (repo hygiene; checks the git index, not file text)
 
 ARTIFACT_RE = re.compile(
@@ -248,10 +280,10 @@ def check_build_artifacts(root: str, out: list):
 # Driver
 
 SOURCE_CHECKS = (check_rng, check_secret_logging, check_unbounded_recv,
-                 check_escape_hatch)
+                 check_escape_hatch, check_raw_file_write)
 
 RULES = ("rng-construction", "secret-logging", "unbounded-recv",
-         "escape-hatch", "build-artifact")
+         "escape-hatch", "raw-file-write", "build-artifact")
 
 
 def collect_files(root: str, explicit):
@@ -322,6 +354,18 @@ SELF_TEST_CASES = [
      "auto v = share.reveal();\n", False),
     ("escape-hatch", "tests/secret/x.cpp",
      "auto v = share.reveal();\n", False),
+    ("raw-file-write", "src/core/x.cpp",
+     "std::ofstream out(path, std::ios::binary);\n", True),
+    ("raw-file-write", "tools/x.cpp",
+     "FILE* f = fopen(path, \"wb\");\n", True),
+    ("raw-file-write", "src/storage/posix_vfs.cpp",  # the sanctioned zone
+     "const int fd = ::open(path.c_str(), O_WRONLY);\n", False),
+    ("raw-file-write", "tests/core/x.cpp",  # tests may write scratch files
+     "std::ofstream out(path);\n", False),
+    ("raw-file-write", "src/core/x.cpp",
+     "std::ofstream out(p);  // eppi-lint: allow(raw-file-write)\n", False),
+    ("raw-file-write", "src/core/x.cpp",
+     "std::ifstream in(path, std::ios::binary);\n", False),
 ]
 
 
