@@ -134,14 +134,14 @@ void EpochManager::attach_store(EpochStore& store) {
   }
   if (!store.lineage().empty()) {
     // Never reuse an epoch number, even one whose file was quarantined.
-    epoch_ = static_cast<std::size_t>(store.lineage().back().epoch);
+    epoch_ = store.lineage().back().epoch;
   }
   if (const auto latest = store.latest_epoch()) {
     // The epoch *served* is the newest intact one, which can be older than
     // the newest committed id when recovery quarantined a rotted file.
     previous_ = store.load_epoch(*latest).matrix();
     has_previous_ = true;
-    served_epoch_ = static_cast<std::size_t>(*latest);
+    served_epoch_ = *latest;
     epoch_time_ = std::chrono::steady_clock::now();
     has_epoch_time_ = true;
   }

@@ -50,7 +50,7 @@ class EpochManager {
   struct EpochResult {
     PpiIndex index;
     ConstructionInfo info;
-    std::size_t epoch = 0;
+    std::uint64_t epoch = 0;
     // Cells that differ from the previous epoch's published matrix
     // (0 when data and requirements are unchanged); the full matrix size on
     // the first epoch or after a shape change.
@@ -65,7 +65,7 @@ class EpochManager {
     PpiIndex index;             // fresh on success; the previous epoch's
                                 // index when degraded
     DistributedReport report;   // meaningful only when !degraded
-    std::size_t epoch = 0;      // advances only on success
+    std::uint64_t epoch = 0;    // advances only on success
     std::size_t churn = 0;      // as EpochResult::churn; 0 when degraded
     // The distributed rebuild aborted (e.g. a coordinator died mid-MPC);
     // the manager keeps serving the previous epoch's index and records the
@@ -83,7 +83,7 @@ class EpochManager {
                                              std::span<const double> epsilons,
                                              const DistributedOptions& options);
 
-  std::size_t epochs_built() const noexcept { return epoch_; }
+  std::uint64_t epochs_built() const noexcept { return epoch_; }
   std::size_t failed_rebuilds() const noexcept { return failed_rebuilds_; }
   const std::string& last_failure() const noexcept { return last_failure_; }
 
@@ -101,7 +101,7 @@ class EpochManager {
 
   // What the manager is currently serving, for staleness-aware callers.
   struct ServingStatus {
-    std::size_t epoch = 0;        // epoch of the index being served
+    std::uint64_t epoch = 0;      // epoch of the index being served
     bool serving = false;         // an index is available at all
     bool degraded = false;        // most recent rebuild attempt failed
     std::size_t rebuilds_behind = 0;  // consecutive failed rebuilds since
@@ -121,9 +121,13 @@ class EpochManager {
   void adopt_epoch(const eppi::BitMatrix& published, double lambda);
 
   Options options_;
-  std::size_t epoch_ = 0;         // newest *committed* epoch id (never reused)
-  std::size_t served_epoch_ = 0;  // epoch of previous_ — older than epoch_
-                                  // when recovery quarantined newer files
+  // uint64_t to match EpochStore::EpochRecord::epoch — size_t would
+  // truncate restored epoch ids on 32-bit builds and could then break the
+  // monotone-lineage invariant in commit_epoch.
+  std::uint64_t epoch_ = 0;         // newest *committed* epoch id (never
+                                    // reused)
+  std::uint64_t served_epoch_ = 0;  // epoch of previous_ — older than epoch_
+                                    // when recovery quarantined newer files
   eppi::BitMatrix previous_;
   bool has_previous_ = false;
   std::size_t failed_rebuilds_ = 0;

@@ -1,0 +1,465 @@
+#include "core/epoch_store.h"
+
+#include <algorithm>
+#include <bit>
+#include <set>
+
+#include "common/crc32c.h"
+#include "common/error.h"
+#include "common/serialize.h"
+#include "core/index_io.h"
+
+namespace eppi::core {
+
+namespace {
+
+constexpr char kManifestMagic[8] = {'e', 'p', 'p', 'i', 'm', 'a', 'n', '1'};
+constexpr char kManifestName[] = "MANIFEST";
+constexpr char kQuarantineDir[] = "quarantine";
+
+constexpr std::uint8_t kRecordSticky = 1;
+constexpr std::uint8_t kRecordEpoch = 2;
+
+// Journal records cannot plausibly exceed this; a larger length field is a
+// torn/corrupt tail, not a record.
+constexpr std::uint32_t kMaxRecordBytes = 1u << 20;
+
+std::string epoch_file_name(std::uint64_t epoch) {
+  return "epoch-" + std::to_string(epoch) + ".idx";
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint32_t take_u32(std::span<const std::uint8_t> bytes, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(bytes[at + i]) << (8 * i);
+  }
+  return v;
+}
+
+bool manifest_magic_ok(std::span<const std::uint8_t> bytes) {
+  return bytes.size() >= sizeof(kManifestMagic) &&
+         std::equal(kManifestMagic, kManifestMagic + sizeof(kManifestMagic),
+                    bytes.begin(), [](char c, std::uint8_t b) {
+                      return static_cast<std::uint8_t>(c) == b;
+                    });
+}
+
+// Result of a read-only journal scan, shared by recovery and fsck.
+struct ManifestScan {
+  std::optional<EpochStore::StickyState> sticky;
+  bool conflicting_sticky = false;
+  std::vector<EpochStore::EpochRecord> epochs;
+  std::size_t valid_prefix = 0;  // bytes up to the last good record
+  bool torn_tail = false;
+  std::vector<std::string> notes;
+};
+
+ManifestScan scan_manifest(std::span<const std::uint8_t> bytes) {
+  ManifestScan scan;
+  std::size_t pos = sizeof(kManifestMagic);
+  scan.valid_prefix = pos;
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < 8) {
+      scan.torn_tail = true;
+      scan.notes.push_back("torn journal tail: short frame header");
+      break;
+    }
+    const std::uint32_t len = take_u32(bytes, pos);
+    const std::uint32_t want_crc = crc32c_unmask(take_u32(bytes, pos + 4));
+    if (len > kMaxRecordBytes || bytes.size() - pos - 8 < len) {
+      scan.torn_tail = true;
+      scan.notes.push_back("torn journal tail: short or implausible record");
+      break;
+    }
+    const auto payload = bytes.subspan(pos + 8, len);
+    if (crc32c(payload) != want_crc) {
+      scan.torn_tail = true;
+      scan.notes.push_back("torn journal tail: record checksum mismatch");
+      break;
+    }
+    try {
+      BinaryReader r(payload);
+      const std::uint8_t type = r.read_u8();
+      if (type == kRecordSticky) {
+        EpochStore::StickyState state;
+        state.master_key = r.read_u64();
+        state.enable_mixing = r.read_u8() != 0;
+        if (!scan.sticky) {
+          scan.sticky = state;
+        } else if (*scan.sticky != state) {
+          // First record wins; a differing duplicate is recorded for fsck.
+          scan.conflicting_sticky = true;
+          scan.notes.push_back(
+              "conflicting sticky-state record ignored (first wins)");
+        }
+      } else if (type == kRecordEpoch) {
+        EpochStore::EpochRecord rec;
+        rec.epoch = r.read_u64();
+        const auto name = r.read_bytes();
+        rec.file.assign(name.begin(), name.end());
+        rec.rows = r.read_u64();
+        rec.cols = r.read_u64();
+        rec.lambda = std::bit_cast<double>(r.read_u64());
+        if (!scan.epochs.empty() && rec.epoch <= scan.epochs.back().epoch) {
+          scan.notes.push_back("non-monotone epoch record " +
+                               std::to_string(rec.epoch) + " skipped");
+        } else {
+          scan.epochs.push_back(std::move(rec));
+        }
+      }
+      // Unknown record types are skipped (forward compatibility); their CRC
+      // already proved they were written whole.
+    } catch (const SerializeError&) {
+      scan.torn_tail = true;
+      scan.notes.push_back("malformed journal record; truncating here");
+      break;
+    }
+    pos += 8 + len;
+    scan.valid_prefix = pos;
+  }
+  return scan;
+}
+
+std::vector<std::uint8_t> frame_record(std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> out;
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, crc32c_mask(crc32c(payload)));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::vector<std::uint8_t> sticky_payload(const EpochStore::StickyState& s) {
+  BinaryWriter w;
+  w.write_u8(kRecordSticky);
+  w.write_u64(s.master_key);
+  w.write_u8(s.enable_mixing ? 1 : 0);
+  return w.take();
+}
+
+std::vector<std::uint8_t> epoch_payload(const EpochStore::EpochRecord& r) {
+  BinaryWriter w;
+  w.write_u8(kRecordEpoch);
+  w.write_u64(r.epoch);
+  w.write_bytes(std::span(
+      reinterpret_cast<const std::uint8_t*>(r.file.data()), r.file.size()));
+  w.write_u64(r.rows);
+  w.write_u64(r.cols);
+  w.write_u64(std::bit_cast<std::uint64_t>(r.lambda));
+  return w.take();
+}
+
+}  // namespace
+
+EpochStore::EpochStore(storage::Vfs& vfs, std::string dir)
+    : vfs_(vfs), dir_(std::move(dir)) {
+  recover();
+}
+
+std::string EpochStore::path_of(const std::string& name) const {
+  return dir_ + "/" + name;
+}
+
+void EpochStore::quarantine(const std::string& name, const std::string& why) {
+  const std::string qdir = path_of(kQuarantineDir);
+  vfs_.make_dir(qdir);
+  std::string target = qdir + "/" + name;
+  for (int i = 1; vfs_.exists(target); ++i) {
+    target = qdir + "/" + name + "." + std::to_string(i);
+  }
+  vfs_.rename_file(path_of(name), target);
+  vfs_.fsync_dir(qdir);
+  vfs_.fsync_dir(dir_);
+  ++report_.quarantined;
+  report_.notes.push_back("quarantined " + name + ": " + why);
+}
+
+void EpochStore::append_record(std::span<const std::uint8_t> payload) {
+  if (journal_dirty_) {
+    throw storage::StorageError(
+        "epoch store journal has an unrepaired torn tail; reopen the store "
+        "to recover before appending");
+  }
+  const std::vector<std::uint8_t> frame = frame_record(payload);
+  try {
+    storage::durable_append(vfs_, path_of(kManifestName), frame);
+  } catch (const storage::StorageError&) {
+    // The append may have landed partially (ENOSPC mid-write, fsync
+    // failure), leaving torn bytes at the tail. A later append after that
+    // garbage would make the *next* commit unreadable at recovery, so cut
+    // the journal back to the last known-good record boundary now.
+    try {
+      const auto bytes = vfs_.read_file(path_of(kManifestName));
+      if (bytes.size() > journal_len_) {
+        storage::atomic_write_file(
+            vfs_, path_of(kManifestName),
+            std::span(bytes).subspan(0, journal_len_));
+      }
+    } catch (const storage::StorageError&) {
+      // Rollback itself failed; refuse further appends until reopened.
+      journal_dirty_ = true;
+    }
+    throw;
+  }
+  journal_len_ += frame.size();
+}
+
+void EpochStore::recover() {
+  vfs_.make_dir(dir_);
+  const std::string manifest = path_of(kManifestName);
+
+  if (!vfs_.exists(manifest)) {
+    // Fresh store (or a crash before the manifest became durable — in which
+    // case nothing else was either). Initialize atomically so the manifest
+    // entry itself can never be torn.
+    if (vfs_.exists(manifest + std::string(".tmp"))) {
+      quarantine(std::string(kManifestName) + ".tmp",
+                 "crash during store initialization");
+    }
+    const std::vector<std::uint8_t> magic(kManifestMagic,
+                                          kManifestMagic +
+                                              sizeof(kManifestMagic));
+    storage::atomic_write_file(vfs_, manifest, magic);
+    report_.notes.push_back("initialized empty store");
+  }
+
+  const auto bytes = vfs_.read_file(manifest);
+  if (!manifest_magic_ok(bytes)) {
+    // Not a crash artifact (initialization is atomic): the journal header
+    // itself is damaged, and with it the sticky-key lineage. Refuse to
+    // guess — re-rolling sticky keys silently would be a privacy violation.
+    throw storage::StorageError(
+        "epoch store manifest corrupt (bad magic): " + manifest);
+  }
+
+  ManifestScan scan = scan_manifest(bytes);
+  for (auto& note : scan.notes) report_.notes.push_back(std::move(note));
+  if (scan.torn_tail) {
+    // Physically cut the torn tail so future appends start at a clean
+    // record boundary (an append after garbage would be unreadable).
+    storage::atomic_write_file(
+        vfs_, manifest,
+        std::span(bytes).subspan(0, scan.valid_prefix));
+    report_.manifest_truncated = true;
+  }
+  journal_len_ = scan.valid_prefix;
+  journal_dirty_ = false;
+  sticky_ = scan.sticky;
+  epochs_ = std::move(scan.epochs);
+
+  // Validate every referenced index file; quarantine what fails checksums.
+  std::set<std::string> referenced{kManifestName};
+  for (auto& rec : epochs_) {
+    referenced.insert(rec.file);
+    if (!vfs_.exists(path_of(rec.file))) {
+      report_.notes.push_back("epoch " + std::to_string(rec.epoch) +
+                              ": index file missing (" + rec.file + ")");
+      continue;
+    }
+    const auto idx_bytes = vfs_.read_file(path_of(rec.file));
+    const IndexValidation v = validate_index(idx_bytes);
+    if (!v.ok) {
+      std::string sections;
+      for (const auto& c : v.sections) {
+        if (!c.ok) {
+          sections += std::string(sections.empty() ? "" : ", ") +
+                      to_string(c.section) + ": " + c.detail;
+        }
+      }
+      quarantine(rec.file, sections);
+      continue;
+    }
+    const IndexShape shape = index_shape(idx_bytes);
+    if (shape.rows != rec.rows || shape.cols != rec.cols) {
+      quarantine(rec.file, "shape differs from journal record");
+      continue;
+    }
+    rec.file_intact = true;
+  }
+
+  // Orphans: crash artifacts (a .tmp that never got renamed, an index file
+  // whose commit record never landed). Quarantined, never deleted.
+  for (const auto& name : vfs_.list_dir(dir_)) {
+    if (referenced.count(name)) continue;
+    if (name.ends_with(".tmp") || name.ends_with(".idx")) {
+      quarantine(name, "not referenced by the journal");
+    } else {
+      report_.notes.push_back("ignoring unknown file " + name);
+    }
+  }
+}
+
+const EpochStore::StickyState& EpochStore::sticky_state() const {
+  require(sticky_.has_value(), "EpochStore: no sticky state recorded");
+  return *sticky_;
+}
+
+void EpochStore::record_sticky_state(const StickyState& state) {
+  if (sticky_) {
+    require(*sticky_ == state,
+            "EpochStore: refusing to replace the recorded sticky state — "
+            "rotating sticky keys re-enables cross-epoch intersection");
+    return;
+  }
+  append_record(sticky_payload(state));
+  sticky_ = state;
+}
+
+std::vector<double> EpochStore::lambda_history() const {
+  std::vector<double> history;
+  history.reserve(epochs_.size());
+  for (const auto& rec : epochs_) history.push_back(rec.lambda);
+  return history;
+}
+
+std::optional<std::uint64_t> EpochStore::latest_epoch() const {
+  for (auto it = epochs_.rbegin(); it != epochs_.rend(); ++it) {
+    if (it->file_intact) return it->epoch;
+  }
+  return std::nullopt;
+}
+
+PpiIndex EpochStore::load_epoch(std::uint64_t epoch) const {
+  const auto it = std::find_if(
+      epochs_.begin(), epochs_.end(),
+      [&](const EpochRecord& r) { return r.epoch == epoch; });
+  require(it != epochs_.end(), "EpochStore: unknown epoch " +
+                                   std::to_string(epoch));
+  PpiIndex index = load_index_bytes(vfs_.read_file(path_of(it->file)));
+  if (index.providers() != it->rows || index.identities() != it->cols) {
+    throw CorruptIndexError(IndexSection::kHeader,
+                            "epoch file shape differs from journal record");
+  }
+  return index;
+}
+
+void EpochStore::commit_epoch(std::uint64_t epoch, const PpiIndex& index,
+                              double lambda) {
+  require(epochs_.empty() || epoch > epochs_.back().epoch,
+          "EpochStore: epoch must advance the lineage");
+  EpochRecord rec;
+  rec.epoch = epoch;
+  rec.file = epoch_file_name(epoch);
+  rec.rows = index.providers();
+  rec.cols = index.identities();
+  rec.lambda = lambda;
+  rec.file_intact = true;
+
+  // Index first, journal second: the record must never reference a file
+  // that is not fully durable.
+  storage::atomic_write_file(vfs_, path_of(rec.file),
+                             save_index_bytes(index));
+  append_record(epoch_payload(rec));
+  epochs_.push_back(std::move(rec));
+}
+
+// --- fsck ------------------------------------------------------------------
+
+namespace {
+
+IndexValidation check_index_bytes(const std::string& file,
+                                  std::span<const std::uint8_t> bytes,
+                                  FsckReport& report) {
+  ++report.files_checked;
+  IndexValidation v = validate_index(bytes);
+  if (v.ok) {
+    report.notes.push_back(file + ": v" + std::to_string(v.version) + " ok");
+  } else {
+    report.ok = false;
+    for (const auto& c : v.sections) {
+      if (!c.ok) {
+        report.issues.push_back({file, to_string(c.section), c.detail});
+      }
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+FsckReport fsck_index_file(storage::Vfs& vfs, const std::string& path) {
+  FsckReport report;
+  if (!vfs.exists(path)) {
+    report.ok = false;
+    report.issues.push_back({path, "store", "no such file"});
+    return report;
+  }
+  check_index_bytes(path, vfs.read_file(path), report);
+  return report;
+}
+
+FsckReport fsck_store(storage::Vfs& vfs, const std::string& dir) {
+  FsckReport report;
+  const std::string manifest = dir + "/" + kManifestName;
+  if (!vfs.exists(manifest)) {
+    report.ok = false;
+    report.issues.push_back({kManifestName, "store", "no manifest"});
+    return report;
+  }
+  const auto bytes = vfs.read_file(manifest);
+  ++report.files_checked;
+  if (!manifest_magic_ok(bytes)) {
+    report.ok = false;
+    report.issues.push_back({kManifestName, "manifest", "bad magic"});
+    return report;
+  }
+  const ManifestScan scan = scan_manifest(bytes);
+  if (scan.torn_tail) {
+    report.ok = false;
+    report.issues.push_back(
+        {kManifestName, "manifest",
+         "torn journal tail (recovery would truncate at byte " +
+             std::to_string(scan.valid_prefix) + ")"});
+  }
+  if (scan.conflicting_sticky) {
+    report.ok = false;
+    report.issues.push_back(
+        {kManifestName, "manifest", "conflicting sticky-state records"});
+  }
+  if (!scan.sticky && !scan.epochs.empty()) {
+    report.ok = false;
+    report.issues.push_back(
+        {kManifestName, "manifest",
+         "epochs committed but no sticky-state record: a restart would "
+         "re-roll publication noise"});
+  }
+
+  std::set<std::string> referenced{kManifestName};
+  for (const auto& rec : scan.epochs) {
+    referenced.insert(rec.file);
+    if (!vfs.exists(dir + "/" + rec.file)) {
+      report.notes.push_back("epoch " + std::to_string(rec.epoch) +
+                             ": file missing (quarantined or lost)");
+      continue;
+    }
+    const auto idx = vfs.read_file(dir + "/" + rec.file);
+    const IndexValidation v = check_index_bytes(rec.file, idx, report);
+    if (v.ok) {
+      const IndexShape shape = index_shape(idx);
+      if (shape.rows != rec.rows || shape.cols != rec.cols) {
+        report.ok = false;
+        report.issues.push_back(
+            {rec.file, "header", "shape differs from journal record"});
+      }
+    }
+  }
+
+  for (const auto& name : vfs.list_dir(dir)) {
+    if (referenced.count(name)) continue;
+    if (name.ends_with(".tmp") || name.ends_with(".idx")) {
+      report.ok = false;
+      report.issues.push_back(
+          {name, "store",
+           "orphan file not referenced by the journal (crash artifact; "
+           "recovery quarantines it)"});
+    }
+  }
+  return report;
+}
+
+}  // namespace eppi::core

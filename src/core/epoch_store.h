@@ -1,0 +1,153 @@
+// Durable, crash-safe persistence for the epoch lifecycle.
+//
+// The epoch design (core/epoch_manager.h) is only privacy-safe if its sticky
+// decisions — provider publication-noise keys and the λ-mixing PRF key, both
+// derived from the master key — survive a process restart. A crash that
+// silently re-rolled them would rotate the published noise and re-enable the
+// exact cross-epoch intersection attacks the EpochManager exists to prevent.
+// EpochStore therefore persists, in one directory:
+//
+//   MANIFEST        an append-only journal: a magic header followed by
+//                   CRC32C-framed records — the sticky state (written once,
+//                   first record wins forever) and one commit record per
+//                   epoch (id, file name, shape, λ). The journal is the
+//                   source of truth: an index file not referenced by a
+//                   record was never committed.
+//   epoch-<N>.idx   the published index of epoch N in the checksummed
+//                   eppi-index-v2 format (core/index_io.h).
+//   quarantine/     corrupt or orphaned files moved aside by recovery, kept
+//                   for post-mortems instead of deleted.
+//
+// Commit protocol (all I/O via storage::Vfs, so it is fault-injectable):
+//   1. write epoch-<N>.idx.tmp, fsync, rename to epoch-<N>.idx, fsync dir;
+//   2. append the commit record to MANIFEST, fsync.
+// A crash between 1 and 2 leaves an unreferenced index file that recovery
+// quarantines; the epoch is simply not committed, and a re-run rebuild
+// regenerates byte-identical content (sticky noise). A torn journal append
+// is detected by the record CRC and truncated away.
+//
+// Opening a store runs recovery: scan the journal, stop at the first torn or
+// corrupt record (physically truncating the tail so future appends land on a
+// clean boundary), validate every referenced index file's checksums,
+// quarantine corrupt ones, and open at the newest epoch whose file is fully
+// intact.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/ppi_index.h"
+#include "storage/vfs.h"
+
+namespace eppi::core {
+
+class EpochStore {
+ public:
+  // The restart-critical randomness: everything the EpochManager derives
+  // noise and mixing coins from. Recorded once; later attempts to record a
+  // *different* state throw (the first key wins for the store's lifetime).
+  struct StickyState {
+    std::uint64_t master_key = 0;
+    bool enable_mixing = true;
+
+    bool operator==(const StickyState&) const = default;
+  };
+
+  struct EpochRecord {
+    std::uint64_t epoch = 0;
+    std::string file;  // name within the store directory
+    std::uint64_t rows = 0;
+    std::uint64_t cols = 0;
+    double lambda = 0.0;  // the λ-history entry for this epoch
+    bool file_intact = false;  // validated at open (or just committed)
+  };
+
+  struct RecoveryReport {
+    std::vector<std::string> notes;   // human-readable recovery actions
+    std::size_t quarantined = 0;      // files moved to quarantine/
+    bool manifest_truncated = false;  // a torn journal tail was cut off
+  };
+
+  // Opens (creating if necessary) the store at `dir`, running recovery.
+  // Throws storage::StorageError if the manifest is damaged beyond the torn
+  // tail that recovery can repair (e.g. a corrupted header) — losing the
+  // journal means losing the sticky-key lineage, which must never happen
+  // silently.
+  EpochStore(storage::Vfs& vfs, std::string dir);
+
+  const RecoveryReport& recovery_report() const noexcept { return report_; }
+  const std::string& dir() const noexcept { return dir_; }
+
+  // --- sticky state -------------------------------------------------------
+  bool has_sticky_state() const noexcept { return sticky_.has_value(); }
+  const StickyState& sticky_state() const;  // requires has_sticky_state()
+  // Durably records the sticky state. Idempotent for an equal state; throws
+  // ConfigError if a different state is already recorded (replacing sticky
+  // keys mid-lineage is a privacy violation, not a configuration change).
+  void record_sticky_state(const StickyState& state);
+
+  // --- epoch lineage ------------------------------------------------------
+  const std::vector<EpochRecord>& lineage() const noexcept { return epochs_; }
+  // λ per committed epoch, oldest first.
+  std::vector<double> lambda_history() const;
+  // Newest epoch whose index file is intact; nullopt for an empty store.
+  std::optional<std::uint64_t> latest_epoch() const;
+
+  // Loads a committed epoch's index, re-validating its checksums. Throws
+  // ConfigError for an unknown epoch, CorruptIndexError if the file rotted
+  // since recovery, storage::StorageError if it is missing.
+  PpiIndex load_epoch(std::uint64_t epoch) const;
+
+  // Atomically commits the next epoch (must be greater than every committed
+  // epoch). On return the index and its journal record are durable.
+  void commit_epoch(std::uint64_t epoch, const PpiIndex& index,
+                    double lambda);
+
+ private:
+  std::string path_of(const std::string& name) const;
+  void quarantine(const std::string& name, const std::string& why);
+  void append_record(std::span<const std::uint8_t> payload);
+  void recover();
+
+  storage::Vfs& vfs_;
+  std::string dir_;
+  RecoveryReport report_;
+  std::optional<StickyState> sticky_;
+  std::vector<EpochRecord> epochs_;
+  // Journal length up to the last record known durable; a failed append is
+  // rolled back to this boundary so a retry never lands after torn bytes.
+  std::size_t journal_len_ = 0;
+  // Set when rolling back a failed append itself failed: the journal tail
+  // may hold garbage, so further appends are refused until the store is
+  // reopened (recovery truncates the tail).
+  bool journal_dirty_ = false;
+};
+
+// --- fsck ------------------------------------------------------------------
+// Offline validation with section-level reporting, used by `eppi_cli fsck`
+// and CI. Unlike recovery, fsck never modifies anything: a crashed store
+// that recovery *would* repair is reported as unclean.
+
+struct FsckIssue {
+  std::string file;     // file the issue is in
+  std::string section;  // index section / "manifest" / "store"
+  std::string message;
+};
+
+struct FsckReport {
+  bool ok = true;
+  std::vector<FsckIssue> issues;
+  std::vector<std::string> notes;  // non-fatal observations
+  std::size_t files_checked = 0;
+};
+
+// Validates a single index file (either format version).
+FsckReport fsck_index_file(storage::Vfs& vfs, const std::string& path);
+
+// Validates a whole store directory: manifest framing, sticky record
+// presence, every referenced index file's checksums, and orphan detection.
+FsckReport fsck_store(storage::Vfs& vfs, const std::string& dir);
+
+}  // namespace eppi::core

@@ -258,6 +258,15 @@ IndexValidation validate_index(std::span<const std::uint8_t> bytes) {
   return v;
 }
 
+IndexShape index_shape(std::span<const std::uint8_t> bytes) {
+  // v1 and v2 both put u64 rows, u64 cols right after the 8-byte magic.
+  if (bytes.size() < 24) {
+    throw CorruptIndexError(IndexSection::kHeader,
+                            "index_shape: truncated header");
+  }
+  return {get_u64(bytes, 8), get_u64(bytes, 16)};
+}
+
 PpiIndex load_index_bytes(std::span<const std::uint8_t> bytes) {
   const IndexValidation v = validate_index(bytes);
   for (const auto& check : v.sections) {

@@ -92,4 +92,15 @@ struct IndexValidation {
 
 IndexValidation validate_index(std::span<const std::uint8_t> bytes);
 
+// The dimensions an index file declares in its header (both versions store
+// them in the same place). Read verbatim, without decoding the payload —
+// callers must have validated `bytes` first (validate_index / load); a span
+// too short to hold a header throws CorruptIndexError.
+struct IndexShape {
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+};
+
+IndexShape index_shape(std::span<const std::uint8_t> bytes);
+
 }  // namespace eppi::core

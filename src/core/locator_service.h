@@ -121,7 +121,7 @@ class LocatorService {
   // rebuilds behind the answer is, and its age.
   struct QueryResult {
     std::vector<std::string> providers;
-    std::size_t epoch = 0;
+    std::uint64_t epoch = 0;
     bool degraded = false;
     std::size_t rebuilds_behind = 0;
     double age_seconds = 0.0;

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -188,6 +189,125 @@ TEST(EpochStoreTest, TornJournalTailIsTruncatedRecordsKept) {
   vfs.crash();
   EpochStore again(vfs, kDir);
   EXPECT_EQ(again.latest_epoch(), std::uint64_t{2});
+}
+
+// Models an in-process partial append (ENOSPC mid-write / fsync failure):
+// the armed append persists only a prefix of the data, then throws
+// StorageError — the process survives and may retry, unlike FaultyVfs's
+// torn writes, which always end in a simulated crash.
+class PartialAppendVfs final : public storage::Vfs {
+ public:
+  explicit PartialAppendVfs(storage::Vfs& inner) : inner_(inner) {}
+
+  // The next append persists `keep_bytes` bytes, then fails.
+  void arm(std::size_t keep_bytes) {
+    armed_ = true;
+    keep_ = keep_bytes;
+  }
+  // The next write to the manifest (or its .tmp) fails outright — used to
+  // make the store's own rollback rewrite fail.
+  void fail_next_manifest_write() { fail_manifest_write_ = true; }
+
+  bool exists(const std::string& path) const override {
+    return inner_.exists(path);
+  }
+  std::vector<std::uint8_t> read_file(const std::string& path) const override {
+    return inner_.read_file(path);
+  }
+  std::vector<std::string> list_dir(const std::string& dir) const override {
+    return inner_.list_dir(dir);
+  }
+  void make_dir(const std::string& dir) override { inner_.make_dir(dir); }
+  void write_file(const std::string& path,
+                  std::span<const std::uint8_t> data) override {
+    if (fail_manifest_write_ &&
+        path.find("MANIFEST") != std::string::npos) {
+      fail_manifest_write_ = false;
+      throw StorageError("injected: manifest rewrite failure");
+    }
+    inner_.write_file(path, data);
+  }
+  void append_file(const std::string& path,
+                   std::span<const std::uint8_t> data) override {
+    if (armed_) {
+      armed_ = false;
+      inner_.append_file(path, data.subspan(0, std::min(keep_, data.size())));
+      throw StorageError("injected: device full mid-append");
+    }
+    inner_.append_file(path, data);
+  }
+  void fsync_file(const std::string& path) override {
+    inner_.fsync_file(path);
+  }
+  void fsync_dir(const std::string& dir) override { inner_.fsync_dir(dir); }
+  void rename_file(const std::string& from, const std::string& to) override {
+    inner_.rename_file(from, to);
+  }
+  void remove_file(const std::string& path) override {
+    inner_.remove_file(path);
+  }
+
+ private:
+  storage::Vfs& inner_;
+  bool armed_ = false;
+  std::size_t keep_ = 0;
+  bool fail_manifest_write_ = false;
+};
+
+TEST(EpochStoreTest, PartialAppendIsRolledBackSoRetryCommitsDurably) {
+  MemVfs disk;
+  PartialAppendVfs vfs(disk);
+  EpochStore store(vfs, kDir);
+  store.record_sticky_state({1, true});
+  store.commit_epoch(1, sample_index(3, 10, 1), 0.1);
+
+  // The commit record for epoch 2 lands only partially before the append
+  // fails; the store must cut the journal back to the last good boundary.
+  vfs.arm(5);
+  EXPECT_THROW(store.commit_epoch(2, sample_index(3, 10, 2), 0.2),
+               StorageError);
+  EXPECT_EQ(store.latest_epoch(), std::uint64_t{1});
+
+  // The retry must land on a clean record boundary, not after garbage.
+  store.commit_epoch(2, sample_index(3, 10, 2), 0.2);
+  EXPECT_EQ(store.latest_epoch(), std::uint64_t{2});
+  EXPECT_TRUE(fsck_store(vfs, kDir).ok);
+
+  // The regression this pins: with torn bytes left in place, recovery
+  // truncated the journal at the garbage and the retried "committed"
+  // epoch 2 silently vanished across a restart.
+  disk.crash();
+  EpochStore reopened(disk, kDir);
+  EXPECT_FALSE(reopened.recovery_report().manifest_truncated);
+  EXPECT_EQ(reopened.latest_epoch(), std::uint64_t{2});
+  EXPECT_EQ(reopened.load_epoch(2).matrix(), sample_index(3, 10, 2).matrix());
+}
+
+TEST(EpochStoreTest, UnrepairableTornTailRefusesAppendsUntilReopened) {
+  MemVfs disk;
+  PartialAppendVfs vfs(disk);
+  EpochStore store(vfs, kDir);
+  store.record_sticky_state({1, true});
+  store.commit_epoch(1, sample_index(3, 10, 1), 0.1);
+
+  // Both the append and the rollback rewrite fail: the journal tail may
+  // hold garbage the store could not remove.
+  vfs.arm(5);
+  vfs.fail_next_manifest_write();
+  EXPECT_THROW(store.commit_epoch(2, sample_index(3, 10, 2), 0.2),
+               StorageError);
+
+  // Appending after unremoved garbage would corrupt the next record, so
+  // the store refuses until recovery has truncated the tail.
+  EXPECT_THROW(store.commit_epoch(2, sample_index(3, 10, 2), 0.2),
+               StorageError);
+
+  EpochStore reopened(vfs, kDir);
+  EXPECT_TRUE(reopened.recovery_report().manifest_truncated);
+  EXPECT_EQ(reopened.latest_epoch(), std::uint64_t{1});
+  reopened.commit_epoch(2, sample_index(3, 10, 2), 0.2);
+  EXPECT_EQ(reopened.latest_epoch(), std::uint64_t{2});
+  EXPECT_TRUE(fsck_store(vfs, kDir).ok);
 }
 
 TEST(EpochStoreTest, DamagedManifestHeaderRefusesToOpen) {
