@@ -2,17 +2,21 @@
 # Tier-1 verification plus sanitizer sweeps.
 #
 # Usage: scripts/check.sh [stage]
-#   plain   build + full ctest in ./build (the tier-1 gate)        [default]
-#   fault   plain build, but only the fault-injection matrix (ctest -L fault)
-#   storage plain build, but only the durable-store recovery matrix
-#           (ctest -L storage)
-#   asan    ASan+UBSan build in ./build-asan, full ctest
-#   tsan    TSan build in ./build-tsan, fault-labeled tests (the threaded
-#           cluster/reliability/fault paths are where races would live)
-#   lint    static-analysis gate: eppi_lint.py + compile-fail probes
-#           (ctest -L lint in ./build); adds clang-tidy and the clang
-#           thread-safety -Werror build when clang is installed
-#   all     plain, then asan, then tsan, then lint
+#   plain       build + full ctest in ./build (the tier-1 gate)    [default]
+#   fault       plain build, but only the fault-injection matrix
+#               (ctest -L fault)
+#   storage     plain build, but only the durable-store recovery matrix
+#               (ctest -L storage)
+#   concurrency plain build, but only the serving-tier reader/writer storms
+#               (ctest -L concurrency; the tsan stage reruns them raced)
+#   asan        ASan+UBSan build in ./build-asan, full ctest
+#   tsan        TSan build in ./build-tsan, fault- and concurrency-labeled
+#               tests (the threaded cluster/reliability paths and the
+#               epoch-snapshot serving tier are where races would live)
+#   lint        static-analysis gate: eppi_lint.py + compile-fail probes
+#               (ctest -L lint in ./build); adds clang-tidy and the clang
+#               thread-safety -Werror build when clang is installed
+#   all         plain, then asan, then tsan, then lint
 # Stages may also be spelled --lint / --asan / etc.
 #
 # JOBS=<n> overrides the build/test parallelism (default: nproc).
@@ -40,6 +44,9 @@ case "$stage" in
     ;;
   storage)
     run_preset default -L storage
+    ;;
+  concurrency)
+    run_preset default -L concurrency
     ;;
   asan)
     run_preset asan
@@ -84,7 +91,7 @@ case "$stage" in
     "$0" lint
     ;;
   *)
-    echo "usage: $0 [plain|fault|storage|asan|tsan|lint|all]" >&2
+    echo "usage: $0 [plain|fault|storage|concurrency|asan|tsan|lint|all]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,86 @@
+#include "common/metrics.h"
+
+#include <bit>
+#include <cmath>
+
+namespace eppi {
+
+namespace {
+
+std::size_t bucket_for(double us) noexcept {
+  if (!(us > 1.0)) return 0;  // sub-microsecond, negative or NaN
+  const auto n = static_cast<std::uint64_t>(us);
+  const auto b = static_cast<std::size_t>(std::bit_width(n) - 1);
+  return b < LatencyHistogram::kBuckets ? b : LatencyHistogram::kBuckets - 1;
+}
+
+}  // namespace
+
+void LatencyHistogram::record(double us) noexcept {
+  counts_[bucket_for(us)].fetch_add(1, std::memory_order_relaxed);
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::snapshot() const noexcept {
+  Snapshot snap;
+  for (std::size_t k = 0; k < kBuckets; ++k) {
+    snap.counts[k] = counts_[k].load(std::memory_order_relaxed);
+    snap.total += snap.counts[k];
+  }
+  return snap;
+}
+
+double LatencyHistogram::Snapshot::quantile_us(double q) const noexcept {
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-th sample (1-based, ceil), walked over bucket counts.
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  std::uint64_t seen = 0;
+  for (std::size_t k = 0; k < counts.size(); ++k) {
+    seen += counts[k];
+    if (seen >= rank) {
+      return static_cast<double>(std::uint64_t{1} << (k + 1));  // upper edge
+    }
+  }
+  return static_cast<double>(std::uint64_t{1} << counts.size());
+}
+
+void ServingMetrics::record_query(double latency_us) noexcept {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  owners_resolved_.fetch_add(1, std::memory_order_relaxed);
+  latency_.record(latency_us);
+}
+
+void ServingMetrics::record_batch(std::size_t owners,
+                                  double latency_us) noexcept {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  owners_resolved_.fetch_add(owners, std::memory_order_relaxed);
+  latency_.record(latency_us);
+}
+
+void ServingMetrics::record_unknown_owner() noexcept {
+  unknown_owners_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServingMetrics::record_epoch_swap() noexcept {
+  epoch_swaps_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServingMetrics::record_degraded_serve() noexcept {
+  degraded_serves_.fetch_add(1, std::memory_order_relaxed);
+}
+
+ServingMetrics::Snapshot ServingMetrics::snapshot() const noexcept {
+  Snapshot snap;
+  snap.queries = queries_.load(std::memory_order_relaxed);
+  snap.batches = batches_.load(std::memory_order_relaxed);
+  snap.owners_resolved = owners_resolved_.load(std::memory_order_relaxed);
+  snap.unknown_owners = unknown_owners_.load(std::memory_order_relaxed);
+  snap.epoch_swaps = epoch_swaps_.load(std::memory_order_relaxed);
+  snap.degraded_serves = degraded_serves_.load(std::memory_order_relaxed);
+  snap.latency = latency_.snapshot();
+  return snap;
+}
+
+}  // namespace eppi

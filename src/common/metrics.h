@@ -1,0 +1,86 @@
+// Lock-free serving-tier metrics.
+//
+// The concurrent read path (core/locator_service.h) is wait-free by design:
+// readers acquire an immutable epoch snapshot and never block on the writer.
+// Its observability must not reintroduce a lock, so ServingMetrics is built
+// entirely from relaxed atomics — any number of reader threads record
+// queries concurrently with the writer recording epoch swaps, and snapshot()
+// can be taken from any thread at any time. Relaxed ordering is sufficient:
+// the counters are statistics, not synchronization; nothing is published
+// *through* them. (This is also what keeps them invisible to TSan — there is
+// genuinely no ordering requirement to violate.)
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace eppi {
+
+// Fixed log2-bucketed latency histogram over microseconds. Bucket k counts
+// samples in [2^k, 2^(k+1)) µs (bucket 0 also takes sub-microsecond
+// samples); 32 buckets reach ~71 minutes, far past any serving latency.
+// Recording is one relaxed fetch_add; quantiles are estimated at read time
+// from the bucket counts (upper bucket edge, so estimates err pessimistic).
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 32;
+
+  void record(double us) noexcept;
+
+  struct Snapshot {
+    std::array<std::uint64_t, kBuckets> counts{};
+    std::uint64_t total = 0;
+
+    // q in [0,1]; 0 when no samples were recorded.
+    double quantile_us(double q) const noexcept;
+  };
+  Snapshot snapshot() const noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
+};
+
+// Counters + latency for the QueryPPI serving tier. One instance per
+// LocatorService; every method is safe to call from any thread.
+class ServingMetrics {
+ public:
+  ServingMetrics() = default;
+  ServingMetrics(const ServingMetrics&) = delete;
+  ServingMetrics& operator=(const ServingMetrics&) = delete;
+
+  // One query_ppi / query_ppi_with_status call that resolved successfully.
+  void record_query(double latency_us) noexcept;
+  // One query_ppi_many call resolving `owners` owners in one snapshot
+  // acquisition (the batch counts once in the latency histogram).
+  void record_batch(std::size_t owners, double latency_us) noexcept;
+  // A lookup that failed because the owner is not in the served epoch.
+  void record_unknown_owner() noexcept;
+  // The writer published a new epoch snapshot (swap or staleness update).
+  void record_epoch_swap() noexcept;
+  // A query was answered from a degraded (stale) epoch.
+  void record_degraded_serve() noexcept;
+
+  struct Snapshot {
+    std::uint64_t queries = 0;         // single-owner query calls
+    std::uint64_t batches = 0;         // query_ppi_many calls
+    std::uint64_t owners_resolved = 0; // owners answered, single + batched
+    std::uint64_t unknown_owners = 0;
+    std::uint64_t epoch_swaps = 0;
+    std::uint64_t degraded_serves = 0;
+    LatencyHistogram::Snapshot latency;
+  };
+  Snapshot snapshot() const noexcept;
+
+ private:
+  std::atomic<std::uint64_t> queries_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> owners_resolved_{0};
+  std::atomic<std::uint64_t> unknown_owners_{0};
+  std::atomic<std::uint64_t> epoch_swaps_{0};
+  std::atomic<std::uint64_t> degraded_serves_{0};
+  LatencyHistogram latency_;
+};
+
+}  // namespace eppi

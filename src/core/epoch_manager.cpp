@@ -166,6 +166,11 @@ PpiIndex EpochManager::current_index() const {
   return PpiIndex(previous_);
 }
 
+const eppi::BitMatrix& EpochManager::current_matrix() const {
+  require(has_previous_, "EpochManager: no epoch has been built yet");
+  return previous_;
+}
+
 EpochManager::DistributedEpochResult EpochManager::rebuild_distributed(
     const eppi::BitMatrix& truth, std::span<const double> epsilons,
     const DistributedOptions& options) {

@@ -16,6 +16,12 @@
 // against the current λ. Both decisions are *monotone* (raising β or λ only
 // adds noise/decoys), so an epoch's snapshot differs from the previous one
 // only where the data or the privacy requirements actually changed.
+//
+// Concurrency: EpochManager is the build/commit side of the serving tier
+// and is single-threaded by contract — one writer at a time calls
+// rebuild*/attach_store. Concurrent readers never touch it; they read the
+// immutable EpochSnapshot a LocatorService publishes after each successful
+// rebuild (core/epoch_snapshot.h).
 #pragma once
 
 #include <chrono>
@@ -112,7 +118,12 @@ class EpochManager {
   ServingStatus serving_status() const;
 
   bool serving() const noexcept { return has_previous_; }
-  PpiIndex current_index() const;  // requires serving()
+  PpiIndex current_index() const;  // requires serving(); copies
+  // The served epoch's published matrix without the PpiIndex copy — the
+  // serving tier inverts it straight into a PostingIndex snapshot. The
+  // reference is invalidated by the next successful rebuild/attach_store
+  // (writer-side use only; readers go through LocatorService's snapshots).
+  const eppi::BitMatrix& current_matrix() const;  // requires serving()
 
  private:
   std::uint64_t provider_key(std::size_t provider) const noexcept;

@@ -1,5 +1,7 @@
 #include "core/locator_service.h"
 
+#include <chrono>
+
 #include "common/error.h"
 #include "core/constructor.h"
 #include "core/epoch_store.h"
@@ -14,6 +16,12 @@ EpochManager::Options manager_options(const LocatorService::Options& o) {
   mo.enable_mixing = o.enable_mixing;
   mo.master_key = o.seed;
   return mo;
+}
+
+double elapsed_us(std::chrono::steady_clock::time_point start) noexcept {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
 }
 
 }  // namespace
@@ -63,7 +71,9 @@ void LocatorService::delegate(const std::string& owner, double epsilon,
   epsilons_[t] = epsilon;
   facts_.emplace_back(p, t);
   matrix_dirty_ = true;
-  index_.reset();  // the published index no longer reflects the data
+  // The builder's index no longer reflects the data; the *published*
+  // snapshot stays up for readers until the next construct_ppi() swap.
+  index_.reset();
   report_.reset();
 }
 
@@ -92,7 +102,9 @@ void LocatorService::construct_ppi() {
     if (result.degraded) {
       // The rebuild aborted; we are serving the last committed epoch.
       // serving_status() carries the failure — the stale report (if any)
-      // still describes the epoch actually being served.
+      // still describes the epoch actually being served. Readers get the
+      // updated staleness accounting without an index copy.
+      publish_staleness_update();
       return;
     }
     report_ = std::move(result.report);
@@ -101,26 +113,136 @@ void LocatorService::construct_ppi() {
     index_ = std::move(result.index);
     report_.reset();
   }
+  publish_snapshot();
 }
 
 void LocatorService::attach_store(EpochStore& store) {
   manager_.attach_store(store);
-  if (manager_.serving() && !index_.has_value()) {
-    // Resume answering from the recovered epoch right away; a later
-    // construct_ppi() replaces it with a fresh one.
-    index_ = manager_.current_index();
+  if (manager_.serving()) {
+    // Resume answering from the recovered epoch right away (the manager has
+    // adopted the store's lineage); a later construct_ppi() replaces it
+    // with a fresh one.
+    index_ = PpiIndex(manager_.current_matrix());
+    publish_snapshot();
   }
+}
+
+void LocatorService::publish_snapshot() {
+  auto snap = std::make_shared<EpochSnapshot>();
+  snap->postings = std::make_shared<const PostingIndex>(index_->matrix());
+  snap->owner_ids = std::make_shared<
+      const std::unordered_map<std::string, IdentityId>>(owner_ids_);
+  snap->provider_names =
+      std::make_shared<const std::vector<std::string>>(provider_names_);
+  const auto status = manager_.serving_status();
+  snap->epoch = status.epoch;
+  snap->degraded = status.degraded;
+  snap->rebuilds_behind = status.rebuilds_behind;
+  snap->built_at = std::chrono::steady_clock::now();
+  snapshot_.publish(std::move(snap));
+  metrics_.record_epoch_swap();
+}
+
+void LocatorService::publish_staleness_update() {
+  const auto prev = snapshot_.acquire();
+  if (prev == nullptr) return;  // nothing published to re-label
+  auto snap = std::make_shared<EpochSnapshot>(*prev);
+  const auto status = manager_.serving_status();
+  snap->epoch = status.epoch;
+  snap->degraded = status.degraded;
+  snap->rebuilds_behind = status.rebuilds_behind;
+  // built_at is kept: the served content is unchanged and keeps aging.
+  snapshot_.publish(std::move(snap));
+  metrics_.record_epoch_swap();
+}
+
+std::shared_ptr<const EpochSnapshot> LocatorService::acquire_serving() const {
+  auto snap = snapshot_.acquire();
+  require(snap != nullptr, "LocatorService: ConstructPPI has not been run");
+  return snap;
+}
+
+std::vector<std::string> LocatorService::resolve(const EpochSnapshot& snap,
+                                                 const std::string& owner) {
+  const auto it = snap.owner_ids->find(owner);
+  require(it != snap.owner_ids->end(), "LocatorService: unknown owner");
+  const auto& list = snap.postings->query(it->second);
+  std::vector<std::string> result;
+  result.reserve(list.size());
+  for (const ProviderId p : list) {
+    result.push_back((*snap.provider_names)[p]);
+  }
+  return result;
+}
+
+EpochManager::ServingStatus LocatorService::serving_status() const {
+  const auto snap = snapshot_.acquire();
+  EpochManager::ServingStatus status;
+  if (snap == nullptr) return status;  // serving = false
+  status.epoch = snap->epoch;
+  status.serving = true;
+  status.degraded = snap->degraded;
+  status.rebuilds_behind = snap->rebuilds_behind;
+  status.age_seconds = snap->age_seconds();
+  return status;
+}
+
+std::vector<std::string> LocatorService::query_ppi(
+    const std::string& owner) const {
+  const auto start = std::chrono::steady_clock::now();
+  const auto snap = acquire_serving();
+  std::vector<std::string> result;
+  try {
+    result = resolve(*snap, owner);
+  } catch (const eppi::ConfigError&) {
+    metrics_.record_unknown_owner();
+    throw;
+  }
+  if (snap->degraded) metrics_.record_degraded_serve();
+  metrics_.record_query(elapsed_us(start));
+  return result;
 }
 
 LocatorService::QueryResult LocatorService::query_ppi_with_status(
     const std::string& owner) const {
+  const auto start = std::chrono::steady_clock::now();
+  const auto snap = acquire_serving();
   QueryResult result;
-  result.providers = query_ppi(owner);
-  const auto status = manager_.serving_status();
-  result.epoch = status.epoch;
-  result.degraded = status.degraded;
-  result.rebuilds_behind = status.rebuilds_behind;
-  result.age_seconds = status.age_seconds;
+  try {
+    result.providers = resolve(*snap, owner);
+  } catch (const eppi::ConfigError&) {
+    metrics_.record_unknown_owner();
+    throw;
+  }
+  result.epoch = snap->epoch;
+  result.degraded = snap->degraded;
+  result.rebuilds_behind = snap->rebuilds_behind;
+  result.age_seconds = snap->age_seconds();
+  if (snap->degraded) metrics_.record_degraded_serve();
+  metrics_.record_query(elapsed_us(start));
+  return result;
+}
+
+LocatorService::BatchQueryResult LocatorService::query_ppi_many(
+    std::span<const std::string> owners) const {
+  const auto start = std::chrono::steady_clock::now();
+  const auto snap = acquire_serving();
+  BatchQueryResult result;
+  result.providers.reserve(owners.size());
+  try {
+    for (const auto& owner : owners) {
+      result.providers.push_back(resolve(*snap, owner));
+    }
+  } catch (const eppi::ConfigError&) {
+    metrics_.record_unknown_owner();
+    throw;
+  }
+  result.epoch = snap->epoch;
+  result.degraded = snap->degraded;
+  result.rebuilds_behind = snap->rebuilds_behind;
+  result.age_seconds = snap->age_seconds();
+  if (snap->degraded) metrics_.record_degraded_serve();
+  metrics_.record_batch(owners.size(), elapsed_us(start));
   return result;
 }
 
@@ -128,17 +250,6 @@ const PpiIndex& LocatorService::index() const {
   require(index_.has_value(),
           "LocatorService: ConstructPPI has not been run");
   return *index_;
-}
-
-std::vector<std::string> LocatorService::query_ppi(
-    const std::string& owner) const {
-  const auto it = owner_ids_.find(owner);
-  require(it != owner_ids_.end(), "LocatorService: unknown owner");
-  std::vector<std::string> result;
-  for (const ProviderId p : index().query(it->second)) {
-    result.push_back(provider_names_[p]);
-  }
-  return result;
 }
 
 LocatorService::SearchResult LocatorService::search(

@@ -14,21 +14,46 @@
 // registration by name, delegation with an ε knob, construction via either
 // the centralized reference path or the trust-free distributed protocol,
 // and the two-phase search with pluggable per-provider access control.
+//
+// Concurrency model (single writer / wait-free readers):
+//
+//   * The QUERY tier — query_ppi, query_ppi_with_status, query_ppi_many,
+//     serving_status, metrics — is safe from any number of threads,
+//     concurrently with the mutation tier. Readers resolve against an
+//     immutable EpochSnapshot acquired with one atomic load
+//     (core/epoch_snapshot.h); a rebuild never invalidates an answer in
+//     flight, and an epoch stays alive until its last reader drops it.
+//   * The MUTATION tier — register_*, delegate, construct_ppi,
+//     attach_store, set_fault_tolerance — plus the builder-state accessors
+//     (index, last_report, search, membership_for_testing) is
+//     single-threaded: callers serialize writers externally, as everywhere
+//     else in the library. A successful rebuild is committed to readers by
+//     a single snapshot-pointer swap; until that instant they keep
+//     answering from the previous epoch.
+//   * Delegating does NOT unpublish: readers keep getting the last built
+//     epoch (with its honest epoch/staleness labels) until the next
+//     construct_ppi() swaps the fresh one in. constructed()/index() still
+//     describe the builder's view, where a delegation invalidates the
+//     index until it is rebuilt.
 #pragma once
 
 #include <cstdint>
 #include <utility>
 #include <functional>
+#include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/bit_matrix.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "core/beta_policy.h"
 #include "core/distributed_constructor.h"
 #include "core/epoch_manager.h"
+#include "core/epoch_snapshot.h"
 #include "core/ppi_index.h"
 
 namespace eppi::core {
@@ -68,14 +93,16 @@ class LocatorService {
   // --- Delegate(<t, eps>, p) ---------------------------------------------
   // Records the membership fact and the owner's privacy degree. Repeating a
   // delegation updates ε. Unknown names auto-register. Throws ConfigError
-  // for ε outside [0,1].
+  // for ε outside [0,1]. Concurrent readers keep being served from the last
+  // published epoch, which does not yet reflect this delegation.
   void delegate(const std::string& owner, double epsilon,
                 const std::string& provider);
 
   // --- ConstructPPI -------------------------------------------------------
-  // (Re)builds the index over everything delegated so far. Invalidates any
-  // previous index. Throws ConfigError if nothing was delegated or the
-  // distributed mode lacks providers for the chosen c.
+  // (Re)builds the index over everything delegated so far and publishes it
+  // to concurrent readers with one atomic snapshot swap. Throws ConfigError
+  // if nothing was delegated or the distributed mode lacks providers for
+  // the chosen c.
   //
   // Construction runs through an internal EpochManager, so repeated rebuilds
   // keep publication noise and mixing decisions sticky, and a distributed
@@ -103,17 +130,19 @@ class LocatorService {
   // recorded sticky state overrides the configured seed-derived one, every
   // successful construction is committed before it is served, and if the
   // store holds a committed epoch the service resumes serving it immediately
-  // (degraded-mode answers survive a process restart).
+  // (degraded-mode answers survive a process restart): the recovered epoch
+  // is published to readers the same way a rebuilt one is.
   void attach_store(EpochStore& store);
 
-  // Epoch/staleness of what queries are currently answered from.
-  EpochManager::ServingStatus serving_status() const {
-    return manager_.serving_status();
-  }
+  // Epoch/staleness of what queries are currently answered from. Reader-
+  // safe: derived from the published snapshot, so it describes exactly what
+  // a concurrent query_ppi would be answered from.
+  EpochManager::ServingStatus serving_status() const;
 
   // --- QueryPPI(t) ---------------------------------------------------------
   // Provider names that may hold the owner's records. Throws ConfigError if
-  // not constructed or the owner is unknown.
+  // nothing has been published yet or the owner is unknown to the served
+  // epoch. Wait-free with respect to concurrent rebuilds.
   std::vector<std::string> query_ppi(const std::string& owner) const;
 
   // query_ppi plus the staleness of the answer: which epoch served it,
@@ -128,6 +157,27 @@ class LocatorService {
   };
   QueryResult query_ppi_with_status(const std::string& owner) const;
 
+  // Batched QueryPPI: resolves every owner against ONE snapshot
+  // acquisition, amortizing the atomic load and guaranteeing the whole
+  // batch is answered from a single consistent epoch even while a rebuild
+  // swaps snapshots mid-flight. providers[k] answers owners[k]. Throws
+  // ConfigError (before returning any answers) if any owner is unknown to
+  // the served epoch.
+  struct BatchQueryResult {
+    std::vector<std::vector<std::string>> providers;
+    std::uint64_t epoch = 0;
+    bool degraded = false;
+    std::size_t rebuilds_behind = 0;
+    double age_seconds = 0.0;
+  };
+  BatchQueryResult query_ppi_many(std::span<const std::string> owners) const;
+
+  // Serving-tier counters and latency distribution (lock-free; safe from
+  // any thread).
+  eppi::ServingMetrics::Snapshot metrics() const {
+    return metrics_.snapshot();
+  }
+
   // --- AuthSearch(s, {p}, t) -----------------------------------------------
   struct SearchResult {
     std::vector<std::string> contacted;
@@ -140,6 +190,8 @@ class LocatorService {
                          const std::string& provider)>;
 
   // Runs the full two-phase search. The default authorizer grants access.
+  // Builder-side (consults the ground-truth membership): not safe
+  // concurrently with mutations.
   SearchResult search(const std::string& searcher, const std::string& owner,
                       const Authorizer& authorize = {}) const;
 
@@ -151,6 +203,16 @@ class LocatorService {
 
  private:
   const eppi::BitMatrix& rebuild_matrix() const;
+  // Writer side: freeze the current builder state + manager staleness into
+  // a new immutable snapshot and swap it in.
+  void publish_snapshot();
+  // Writer side, degraded rebuild: republish the already-served epoch with
+  // updated staleness accounting (shares the served postings; no copy).
+  void publish_staleness_update();
+  // Reader side: the served snapshot, or ConfigError if none is published.
+  std::shared_ptr<const EpochSnapshot> acquire_serving() const;
+  static std::vector<std::string> resolve(const EpochSnapshot& snap,
+                                          const std::string& owner);
 
   Options options_;
   EpochManager manager_;
@@ -164,6 +226,8 @@ class LocatorService {
   mutable bool matrix_dirty_ = true;
   std::optional<PpiIndex> index_;
   std::optional<DistributedReport> report_;
+  SnapshotSlot snapshot_;
+  mutable eppi::ServingMetrics metrics_;
 };
 
 }  // namespace eppi::core

@@ -4,9 +4,15 @@
 
 namespace eppi::core {
 
-PostingIndex::PostingIndex(const PpiIndex& index)
-    : providers_(index.providers()), postings_(index.identities()) {
-  const auto& matrix = index.matrix();
+PostingIndex::PostingIndex(const eppi::BitMatrix& matrix)
+    : providers_(matrix.rows()), postings_(matrix.cols()) {
+  // First pass: exact per-list sizes, so each posting list is allocated
+  // once with zero slack (a long-lived serving snapshot should not carry
+  // push_back growth headroom for its whole lifetime).
+  std::vector<std::size_t> sizes(matrix.cols(), 0);
+  for (std::size_t j = 0; j < matrix.cols(); ++j) sizes[j] = matrix.col_count(j);
+  for (std::size_t j = 0; j < matrix.cols(); ++j) postings_[j].reserve(sizes[j]);
+
   for (std::size_t i = 0; i < matrix.rows(); ++i) {
     // Walk the packed words so construction is O(set bits + words).
     const std::uint64_t* words = matrix.row_words(i);
@@ -31,12 +37,16 @@ std::size_t PostingIndex::apparent_frequency(IdentityId identity) const {
   return query(identity).size();
 }
 
-std::size_t PostingIndex::posting_bytes() const noexcept {
-  std::size_t total = 0;
+PostingIndex::MemoryFootprint PostingIndex::memory_footprint() const noexcept {
+  MemoryFootprint fp;
   for (const auto& list : postings_) {
-    total += list.size() * sizeof(ProviderId);
+    fp.payload_bytes += list.size() * sizeof(ProviderId);
+    fp.resident_bytes += list.capacity() * sizeof(ProviderId);
   }
-  return total;
+  // The control blocks are resident whether or not the lists hold anything.
+  fp.resident_bytes +=
+      postings_.capacity() * sizeof(std::vector<ProviderId>);
+  return fp;
 }
 
 PpiIndex PostingIndex::to_matrix_index() const {

@@ -7,6 +7,11 @@
 // QueryPPI an O(answer) copy. PostingIndex is that serving-tier view; it is
 // constructed from (and convertible back to) the canonical PpiIndex and
 // answers queries identically (property-tested).
+//
+// A constructed PostingIndex is logically immutable — every member is
+// const — which is what lets the concurrent serving tier
+// (core/epoch_snapshot.h) share one instance across reader threads without
+// synchronization.
 #pragma once
 
 #include <cstdint>
@@ -19,19 +24,38 @@ namespace eppi::core {
 class PostingIndex {
  public:
   PostingIndex() = default;
-  explicit PostingIndex(const PpiIndex& index);
+  explicit PostingIndex(const PpiIndex& index)
+      : PostingIndex(index.matrix()) {}
+  // Directly from a published matrix (avoids wrapping a BitMatrix copy in a
+  // temporary PpiIndex just to invert it).
+  explicit PostingIndex(const eppi::BitMatrix& published);
 
   std::size_t providers() const noexcept { return providers_; }
   std::size_t identities() const noexcept { return postings_.size(); }
 
-  // QueryPPI: the posting list (sorted, ascending provider ids).
+  // QueryPPI: the posting list (sorted, ascending provider ids). Throws
+  // ConfigError for an identity the index was not built over.
   const std::vector<ProviderId>& query(IdentityId identity) const;
 
   // Apparent frequency without materializing the list.
   std::size_t apparent_frequency(IdentityId identity) const;
 
-  // Total memory the postings occupy (for capacity planning).
-  std::size_t posting_bytes() const noexcept;
+  // Memory accounting for capacity planning. `payload_bytes` is the posting
+  // entries alone; `resident_bytes` additionally counts what the process
+  // actually holds for them: per-list allocation capacity (slack) and the
+  // std::vector control blocks. Quoting payload alone undercounts — an
+  // all-empty index still keeps one control block per identity resident.
+  struct MemoryFootprint {
+    std::size_t payload_bytes = 0;
+    std::size_t resident_bytes = 0;
+  };
+  MemoryFootprint memory_footprint() const noexcept;
+
+  // Payload bytes only (kept for existing callers; see memory_footprint for
+  // what a capacity plan should use).
+  std::size_t posting_bytes() const noexcept {
+    return memory_footprint().payload_bytes;
+  }
 
   // Back-conversion (exact inverse of the constructor).
   PpiIndex to_matrix_index() const;

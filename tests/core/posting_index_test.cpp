@@ -71,5 +71,89 @@ TEST(PostingIndexTest, PostingBytesReflectDensity) {
   EXPECT_LT(sparse.posting_bytes(), dense.posting_bytes());
 }
 
+// Identity ids straddling the packed 64-bit word boundary: the last id of
+// the first word (63), the first id of the second word (64), and one past
+// it (65) must all invert correctly — the bit-walk in the constructor does
+// word * 64 + ctz arithmetic that is easy to get off by one.
+TEST(PostingIndexTest, WordBoundaryIdentities) {
+  for (const std::size_t n : {63u, 64u, 65u}) {
+    eppi::BitMatrix matrix(7, n);
+    // Claims only at the boundary columns and the very first one.
+    for (std::size_t j : {std::size_t{0}, n - 1}) {
+      for (std::size_t i = 0; i < 7; i += 2) matrix.set(i, j, true);
+    }
+    if (n > 64) matrix.set(3, 63, true);
+    const PostingIndex postings{matrix};
+    ASSERT_EQ(postings.identities(), n) << "n=" << n;
+    EXPECT_EQ(postings.query(static_cast<IdentityId>(n - 1)),
+              (std::vector<ProviderId>{0, 2, 4, 6}))
+        << "n=" << n;
+    if (n > 64) {
+      EXPECT_EQ(postings.query(63), (std::vector<ProviderId>{3}));
+      EXPECT_TRUE(postings.query(1).empty());
+    }
+    // Out-of-range rejection exactly at the boundary.
+    EXPECT_THROW(postings.query(static_cast<IdentityId>(n)),
+                 eppi::ConfigError)
+        << "n=" << n;
+    EXPECT_EQ(postings.to_matrix_index().matrix(), matrix) << "n=" << n;
+  }
+}
+
+// Property: for random sparse-to-dense indexes, the posting form agrees
+// with the matrix form on every answer and round-trips exactly.
+TEST(PostingIndexTest, RoundTripPropertyOnRandomIndexes) {
+  const std::pair<std::size_t, std::size_t> shapes[] = {
+      {3, 63}, {7, 64}, {9, 65}, {33, 130}};
+  for (const double density : {0.0, 0.02, 0.5, 0.97}) {
+    for (const auto& [m, n] : shapes) {
+      const std::uint64_t seed =
+          static_cast<std::uint64_t>(m * 1000 + n + density * 100);
+      const PpiIndex original = sample_index(m, n, seed, density);
+      const PostingIndex postings(original);
+      for (IdentityId j = 0; j < n; ++j) {
+        ASSERT_EQ(postings.query(j), original.query(j))
+            << m << "x" << n << " d=" << density << " j=" << j;
+        ASSERT_EQ(postings.apparent_frequency(j),
+                  original.matrix().col_count(j));
+      }
+      EXPECT_EQ(postings.to_matrix_index().matrix(), original.matrix());
+    }
+  }
+}
+
+// Construction from a PpiIndex and from its raw matrix are the same index.
+TEST(PostingIndexTest, MatrixConstructorMatchesPpiIndexConstructor) {
+  const PpiIndex index = sample_index(20, 90, 11);
+  const PostingIndex from_index(index);
+  const PostingIndex from_matrix(index.matrix());
+  ASSERT_EQ(from_index.identities(), from_matrix.identities());
+  for (IdentityId j = 0; j < 90; ++j) {
+    EXPECT_EQ(from_index.query(j), from_matrix.query(j));
+  }
+}
+
+TEST(PostingIndexTest, MemoryFootprintSeparatesPayloadFromResident) {
+  const PostingIndex postings(sample_index(100, 50, 5, 0.3));
+  const auto fp = postings.memory_footprint();
+  std::size_t expected_payload = 0;
+  for (IdentityId j = 0; j < 50; ++j) {
+    expected_payload += postings.query(j).size() * sizeof(ProviderId);
+  }
+  EXPECT_EQ(fp.payload_bytes, expected_payload);
+  EXPECT_EQ(postings.posting_bytes(), expected_payload);
+  // Resident must count the per-list control blocks on top of the payload
+  // (capacity slack is zero by construction: lists are reserved exactly).
+  EXPECT_GE(fp.resident_bytes,
+            fp.payload_bytes + 50 * sizeof(std::vector<ProviderId>));
+}
+
+TEST(PostingIndexTest, EmptyIndexStillHasResidentFootprint) {
+  const PostingIndex postings(PpiIndex{eppi::BitMatrix(5, 64)});
+  const auto fp = postings.memory_footprint();
+  EXPECT_EQ(fp.payload_bytes, 0u);
+  EXPECT_GE(fp.resident_bytes, 64 * sizeof(std::vector<ProviderId>));
+}
+
 }  // namespace
 }  // namespace eppi::core

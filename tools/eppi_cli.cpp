@@ -41,12 +41,28 @@
 //       outputs. Prints this provider's published row as CSV claims.
 //       Additional options: --eps x, --c n, --host-file f (one host:port
 //       per line overrides the loopback mesh).
+//
+//   eppi_cli serve <collection.csv> [options]
+//       Exercises the concurrent serving tier (docs/serving.md): builds a
+//       LocatorService from the table, then hammers QueryPPI from reader
+//       threads — optionally while a writer thread rebuilds and swaps
+//       epochs — and prints the ServingMetrics counters and latency
+//       quantiles. Options:
+//         --eps <x>        privacy degree for every owner (default 0.6)
+//         --threads <T>    reader threads (default 2)
+//         --queries <N>    query calls per reader (default 10000)
+//         --batch <B>      owners per call; B>1 uses QueryPPI-many (default 1)
+//         --rebuilds <R>   concurrent epoch rebuild/swaps (default 0)
+//         --seed <n>       RNG seed (default 1)
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/error.h"
@@ -57,6 +73,7 @@
 #include "core/construction_party.h"
 #include "core/epoch_store.h"
 #include "core/index_io.h"
+#include "core/locator_service.h"
 #include "core/posting_index.h"
 #include "dataset/collection_table.h"
 #include "net/socket_transport.h"
@@ -77,7 +94,10 @@ int usage() {
          "  eppi_cli fsck <index.idx | store-dir>\n"
          "  eppi_cli party <collection.csv> --id I --port-base P "
          "[--eps x] [--c n] [--host-file f]\n"
-         "  eppi_cli audit <index.idx> <collection.csv> [--eps x]\n";
+         "  eppi_cli audit <index.idx> <collection.csv> [--eps x]\n"
+         "  eppi_cli serve <collection.csv> [--eps x] [--threads T] "
+         "[--queries N] [--batch B]\n"
+         "           [--rebuilds R] [--seed n]\n";
   return 2;
 }
 
@@ -416,6 +436,123 @@ int cmd_party(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_serve(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const std::string csv_path = args[0];
+  double eps = 0.6;
+  std::size_t threads = 2;
+  std::size_t queries = 10000;
+  std::size_t batch = 1;
+  std::size_t rebuilds = 0;
+  std::uint64_t seed = 1;
+  for (std::size_t a = 1; a < args.size(); ++a) {
+    const std::string& arg = args[a];
+    const auto next = [&]() -> const std::string& {
+      if (a + 1 >= args.size()) throw eppi::ConfigError(arg + " needs a value");
+      return args[++a];
+    };
+    if (arg == "--eps") {
+      eps = std::stod(next());
+    } else if (arg == "--threads") {
+      threads = std::stoul(next());
+    } else if (arg == "--queries") {
+      queries = std::stoul(next());
+    } else if (arg == "--batch") {
+      batch = std::stoul(next());
+    } else if (arg == "--rebuilds") {
+      rebuilds = std::stoul(next());
+    } else if (arg == "--seed") {
+      seed = std::stoull(next());
+    } else {
+      throw eppi::ConfigError("unknown option " + arg);
+    }
+  }
+  if (threads == 0 || batch == 0) {
+    throw eppi::ConfigError("--threads and --batch must be positive");
+  }
+
+  const auto table = load_csv(csv_path);
+  const auto& net = table.network;
+  if (net.identities() == 0) throw eppi::ConfigError("table has no identities");
+
+  eppi::core::LocatorService::Options options;
+  options.distributed = false;
+  options.policy = eppi::core::BetaPolicy::chernoff(0.9);
+  options.seed = seed;
+  eppi::core::LocatorService service(options);
+  for (std::size_t i = 0; i < net.providers(); ++i) {
+    for (std::size_t j = 0; j < net.identities(); ++j) {
+      if (net.membership.get(i, j)) {
+        service.delegate(table.identity_names[j], eps,
+                         table.provider_names[i]);
+      }
+    }
+  }
+  service.construct_ppi();
+  std::cerr << "serving " << net.identities() << " owners across "
+            << net.providers() << " providers; " << threads
+            << " reader thread(s) x " << queries << " call(s), batch="
+            << batch << ", concurrent rebuilds=" << rebuilds << '\n';
+
+  // Readers hammer the snapshot; one optional writer swaps epochs under
+  // them by toggling owner 0's privacy degree (serving never pauses).
+  std::atomic<std::size_t> readers_left{threads};
+  std::thread writer;
+  if (rebuilds > 0) {
+    writer = std::thread([&] {
+      for (std::size_t k = 0; k < rebuilds; ++k) {
+        if (readers_left.load(std::memory_order_acquire) == 0) break;
+        service.delegate(table.identity_names[0],
+                         (k % 2 == 0) ? 0.9 : 0.1, table.provider_names[0]);
+        service.construct_ppi();
+      }
+    });
+  }
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> readers;
+  for (std::size_t r = 0; r < threads; ++r) {
+    readers.emplace_back([&, r] {
+      std::vector<std::string> owners(batch);
+      for (std::size_t q = 0; q < queries; ++q) {
+        if (batch == 1) {
+          (void)service.query_ppi(
+              table.identity_names[(r + q) % net.identities()]);
+        } else {
+          for (std::size_t b = 0; b < batch; ++b) {
+            owners[b] = table.identity_names[(r + q + b) % net.identities()];
+          }
+          (void)service.query_ppi_many(owners);
+        }
+      }
+      readers_left.fetch_sub(1, std::memory_order_release);
+    });
+  }
+  for (auto& t : readers) t.join();
+  const double seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  if (writer.joinable()) writer.join();
+
+  const auto status = service.serving_status();
+  const auto metrics = service.metrics();
+  std::cout << "epoch:            " << status.epoch
+            << (status.degraded ? " (degraded)" : "") << '\n'
+            << "queries:          " << metrics.queries << " single, "
+            << metrics.batches << " batched\n"
+            << "owners resolved:  " << metrics.owners_resolved << " ("
+            << static_cast<std::uint64_t>(
+                   seconds > 0.0
+                       ? static_cast<double>(metrics.owners_resolved) / seconds
+                       : 0.0)
+            << "/s)\n"
+            << "latency p50/p99:  " << metrics.latency.quantile_us(0.5)
+            << " / " << metrics.latency.quantile_us(0.99) << " us per call\n"
+            << "epoch swaps:      " << metrics.epoch_swaps << '\n'
+            << "degraded serves:  " << metrics.degraded_serves << '\n'
+            << "unknown owners:   " << metrics.unknown_owners << '\n';
+  return 0;
+}
+
 int cmd_stats(const std::vector<std::string>& args) {
   if (args.size() != 1) return usage();
   const auto index = load_idx(args[0]);
@@ -454,6 +591,7 @@ int main(int argc, char** argv) {
     if (command == "fsck") return cmd_fsck(args);
     if (command == "party") return cmd_party(args);
     if (command == "audit") return cmd_audit(args);
+    if (command == "serve") return cmd_serve(args);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
