@@ -33,6 +33,7 @@
 #include "core/locator_service.h"
 #include "core/posting_index.h"
 #include "dataset/synthetic.h"
+#include "obs/registry.h"
 
 namespace {
 
@@ -224,7 +225,11 @@ void write_json(const std::string& path, const ServeConfig& cfg,
         << ", \"owners_resolved\": " << t.owners_resolved << "}"
         << (k + 1 < threaded.size() ? "," : "") << '\n';
   }
-  out << "  ]\n}\n";
+  // Full metrics-registry snapshot: every ServingMetrics instance this
+  // process created (one per run_threaded call, distinct `instance` labels),
+  // so regressions in counters are diffable alongside the latency numbers.
+  out << "  ],\n  \"metrics\": "
+      << eppi::obs::Registry::global().render_json() << "\n}\n";
   std::cerr << "wrote " << path << '\n';
 }
 

@@ -9,10 +9,15 @@
 #               (ctest -L storage)
 #   concurrency plain build, but only the serving-tier reader/writer storms
 #               (ctest -L concurrency; the tsan stage reruns them raced)
+#   obs         plain build, but only the observability layer: metrics
+#               registry, trace ring, JSONL replay, and the construction/
+#               serving/storage instrumentation gates (ctest -L obs), plus
+#               the CLI smoke pipe: serve --smoke --prom | eppi_cli stats -
 #   asan        ASan+UBSan build in ./build-asan, full ctest
-#   tsan        TSan build in ./build-tsan, fault- and concurrency-labeled
-#               tests (the threaded cluster/reliability paths and the
-#               epoch-snapshot serving tier are where races would live)
+#   tsan        TSan build in ./build-tsan, fault-, concurrency- and obs-
+#               labeled tests (the threaded cluster/reliability paths, the
+#               epoch-snapshot serving tier, and the lock-free trace ring
+#               are where races would live)
 #   lint        static-analysis gate: eppi_lint.py + compile-fail probes
 #               (ctest -L lint in ./build); adds clang-tidy and the clang
 #               thread-safety -Werror build when clang is installed
@@ -47,6 +52,15 @@ case "$stage" in
     ;;
   concurrency)
     run_preset default -L concurrency
+    ;;
+  obs)
+    run_preset default -L obs
+    # End-to-end exposition smoke: the serve command's Prometheus dump must
+    # survive both the CLI's own validator and the standalone CI checker.
+    ./build/tools/eppi_cli serve --smoke --prom 2>/dev/null \
+      | ./build/tools/eppi_cli stats -
+    ./build/tools/eppi_cli serve --smoke --prom 2>/dev/null \
+      | python3 scripts/check_prometheus.py
     ;;
   asan)
     run_preset asan
@@ -91,7 +105,7 @@ case "$stage" in
     "$0" lint
     ;;
   *)
-    echo "usage: $0 [plain|fault|storage|concurrency|asan|tsan|lint|all]" >&2
+    echo "usage: $0 [plain|fault|storage|concurrency|obs|asan|tsan|lint|all]" >&2
     exit 2
     ;;
 esac

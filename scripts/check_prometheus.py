@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text exposition read from stdin.
+
+CI pipes `eppi_cli serve --smoke --prom` through this script to catch
+regressions in obs::Registry::render_prometheus() with an independent
+implementation (the CLI's own `stats` validator shares no code with this
+one, so a bug would have to be made twice to slip through).
+
+Checks, per https://prometheus.io/docs/instrumenting/exposition_formats/:
+  * metric and label names match the allowed grammar
+  * every sample parses (name, optional labels, float value, optional ts)
+  * `# TYPE` kinds are known, and typed samples belong to a declared family
+    (histogram samples may use the _bucket/_sum/_count suffixes)
+  * histogram buckets are cumulative and end with an le="+Inf" bucket whose
+    count equals the family's _count sample
+  * at least one sample is present (an empty dump means the exporter broke)
+
+Exit status: 0 on success, 1 with a line-numbered message on any violation.
+Stdlib only: CI runners have no pip access.
+"""
+
+import re
+import sys
+
+METRIC_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*$")
+# name{labels} value [timestamp] — labels parsed separately.
+SAMPLE = re.compile(
+    r"([a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(.*)\})?"
+    r"\s+(\S+)"
+    r"(?:\s+(-?\d+))?\s*$"
+)
+LABEL_PAIR = re.compile(r'\s*([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"\s*(,|$)')
+KNOWN_KINDS = {"counter", "gauge", "histogram", "summary", "untyped"}
+HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def fail(lineno, message):
+    print(f"check_prometheus: line {lineno}: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def parse_labels(lineno, raw):
+    labels = {}
+    pos = 0
+    while pos < len(raw):
+        match = LABEL_PAIR.match(raw, pos)
+        if not match:
+            fail(lineno, f"malformed label set: {{{raw}}}")
+        labels[match.group(1)] = match.group(2)
+        pos = match.end()
+    return labels
+
+
+def family_of(name, types):
+    """Map a sample name to its declared family, folding histogram suffixes."""
+    if name in types:
+        return name
+    for suffix in HISTOGRAM_SUFFIXES:
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if types.get(base) in ("histogram", "summary"):
+                return base
+    return None
+
+
+def main():
+    types = {}  # family -> kind
+    samples = 0  # total parsed samples
+    families = {}  # family -> sample count
+    # histogram family -> {"buckets": [(le, count)], "count": int or None}
+    histograms = {}
+
+    for lineno, line in enumerate(sys.stdin, start=1):
+        line = line.rstrip("\n")
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) < 4:
+                    fail(lineno, f"incomplete TYPE comment: {line}")
+                name, kind = parts[2], parts[3].strip()
+                if not METRIC_NAME.match(name):
+                    fail(lineno, f"bad metric name in TYPE: {name}")
+                if kind not in KNOWN_KINDS:
+                    fail(lineno, f"unknown TYPE kind: {kind}")
+                if name in types:
+                    fail(lineno, f"duplicate TYPE for {name}")
+                types[name] = kind
+                if kind == "histogram":
+                    histograms[name] = {"buckets": [], "count": None}
+            continue  # HELP and other comments are free-form
+
+        match = SAMPLE.match(line)
+        if not match:
+            fail(lineno, f"unparseable sample: {line}")
+        name, raw_labels, value, _ts = match.groups()
+        if not METRIC_NAME.match(name):
+            fail(lineno, f"bad metric name: {name}")
+        labels = parse_labels(lineno, raw_labels) if raw_labels else {}
+        for label in labels:
+            if not LABEL_NAME.match(label):
+                fail(lineno, f"bad label name: {label}")
+        try:
+            parsed = float(value)
+        except ValueError:
+            if value not in ("+Inf", "-Inf", "NaN"):
+                fail(lineno, f"bad sample value: {value}")
+            parsed = float(value.replace("Inf", "inf"))
+
+        family = family_of(name, types)
+        if family is None and types:
+            fail(lineno, f"sample {name} has no # TYPE declaration")
+        samples += 1
+        families[family or name] = families.get(family or name, 0) + 1
+
+        if family in histograms:
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    fail(lineno, f"{name}: histogram bucket without le label")
+                histograms[family]["buckets"].append((labels["le"], parsed))
+            elif name.endswith("_count"):
+                histograms[family]["count"] = parsed
+
+    if samples == 0:
+        fail(0, "no samples on stdin")
+
+    for family, data in histograms.items():
+        buckets = data["buckets"]
+        if not buckets:
+            fail(0, f"histogram {family} declared but has no buckets")
+        if buckets[-1][0] != "+Inf":
+            fail(0, f"histogram {family}: last bucket le={buckets[-1][0]}, "
+                    "want +Inf")
+        counts = [count for _, count in buckets]
+        if counts != sorted(counts):
+            fail(0, f"histogram {family}: bucket counts not cumulative")
+        if data["count"] is not None and buckets[-1][1] != data["count"]:
+            fail(0, f"histogram {family}: +Inf bucket {buckets[-1][1]} != "
+                    f"_count {data['count']}")
+
+    print(f"check_prometheus: OK — {len(types)} typed families, "
+          f"{samples} samples")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

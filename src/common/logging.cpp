@@ -1,7 +1,9 @@
 #include "common/logging.h"
 
+#include <cstdio>
 #include <iostream>
 
+#include "common/clock.h"
 #include "common/mutex.h"
 
 namespace eppi {
@@ -27,8 +29,15 @@ const char* level_name(LogLevel level) {
 
 namespace detail {
 void log_line(LogLevel level, const std::string& msg) {
+  // Monotonic ms since process start plus a small per-thread index: enough
+  // to order interleaved party/worker output without wall-clock formatting
+  // (and without leaking absolute time into test-pinned stderr).
+  char prefix[64];
+  std::snprintf(prefix, sizeof prefix, "[eppi %s +%.3fms t%llu] ",
+                level_name(level), monotonic_ms(),
+                static_cast<unsigned long long>(thread_index()));
   const MutexLock lock(g_mutex);
-  std::cerr << "[eppi " << level_name(level) << "] " << msg << '\n';
+  std::cerr << prefix << msg << '\n';
 }
 }  // namespace detail
 

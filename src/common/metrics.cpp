@@ -1,7 +1,10 @@
 #include "common/metrics.h"
 
+#include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cmath>
+#include <string>
 
 namespace eppi {
 
@@ -12,6 +15,14 @@ std::size_t bucket_for(double us) noexcept {
   const auto n = static_cast<std::uint64_t>(us);
   const auto b = static_cast<std::size_t>(std::bit_width(n) - 1);
   return b < LatencyHistogram::kBuckets ? b : LatencyHistogram::kBuckets - 1;
+}
+
+// Every ServingMetrics registers under a distinct `instance` label so two
+// LocatorServices in one process (common in tests) never share counters.
+obs::Labels next_instance_labels() {
+  static std::atomic<std::uint64_t> next{0};
+  return obs::Labels{}.add(
+      "instance", std::to_string(next.fetch_add(1, std::memory_order_relaxed)));
 }
 
 }  // namespace
@@ -34,8 +45,12 @@ double LatencyHistogram::Snapshot::quantile_us(double q) const noexcept {
   if (q < 0.0) q = 0.0;
   if (q > 1.0) q = 1.0;
   // Rank of the q-th sample (1-based, ceil), walked over bucket counts.
-  const auto rank = static_cast<std::uint64_t>(
-      std::ceil(q * static_cast<double>(total)));
+  // Clamped up to 1 so q=0 means "the first sample" — a rank of 0 would be
+  // satisfied by the empty running count at bucket 0 and report that
+  // bucket's upper edge even when every sample lies higher.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(total))));
   std::uint64_t seen = 0;
   for (std::size_t k = 0; k < counts.size(); ++k) {
     seen += counts[k];
@@ -46,40 +61,65 @@ double LatencyHistogram::Snapshot::quantile_us(double q) const noexcept {
   return static_cast<double>(std::uint64_t{1} << counts.size());
 }
 
+ServingMetrics::ServingMetrics() : ServingMetrics(next_instance_labels()) {}
+
+ServingMetrics::ServingMetrics(const obs::Labels& instance)
+    : queries_(obs::Registry::global().counter(
+          "eppi_serving_queries_total", instance,
+          "Single-owner QueryPPI calls resolved")),
+      batches_(obs::Registry::global().counter(
+          "eppi_serving_batches_total", instance,
+          "query_ppi_many calls resolved")),
+      owners_resolved_(obs::Registry::global().counter(
+          "eppi_serving_owners_resolved_total", instance,
+          "Owners answered, single + batched")),
+      unknown_owners_(obs::Registry::global().counter(
+          "eppi_serving_unknown_owners_total", instance,
+          "Lookups for owners absent from the served epoch")),
+      epoch_swaps_(obs::Registry::global().counter(
+          "eppi_serving_epoch_swaps_total", instance,
+          "Epoch snapshot publications (swaps and staleness updates)")),
+      degraded_serves_(obs::Registry::global().counter(
+          "eppi_serving_degraded_serves_total", instance,
+          "Queries answered from a stale (degraded) epoch")),
+      latency_us_(obs::Registry::global().histogram(
+          "eppi_serving_latency_us", instance,
+          "Query latency in microseconds, log2 buckets")) {}
+
 void ServingMetrics::record_query(double latency_us) noexcept {
-  queries_.fetch_add(1, std::memory_order_relaxed);
-  owners_resolved_.fetch_add(1, std::memory_order_relaxed);
-  latency_.record(latency_us);
+  queries_.add();
+  owners_resolved_.add();
+  latency_us_.record(latency_us);
 }
 
 void ServingMetrics::record_batch(std::size_t owners,
                                   double latency_us) noexcept {
-  batches_.fetch_add(1, std::memory_order_relaxed);
-  owners_resolved_.fetch_add(owners, std::memory_order_relaxed);
-  latency_.record(latency_us);
+  batches_.add();
+  owners_resolved_.add(owners);
+  latency_us_.record(latency_us);
 }
 
 void ServingMetrics::record_unknown_owner() noexcept {
-  unknown_owners_.fetch_add(1, std::memory_order_relaxed);
+  unknown_owners_.add();
 }
 
-void ServingMetrics::record_epoch_swap() noexcept {
-  epoch_swaps_.fetch_add(1, std::memory_order_relaxed);
-}
+void ServingMetrics::record_epoch_swap() noexcept { epoch_swaps_.add(); }
 
 void ServingMetrics::record_degraded_serve() noexcept {
-  degraded_serves_.fetch_add(1, std::memory_order_relaxed);
+  degraded_serves_.add();
 }
 
 ServingMetrics::Snapshot ServingMetrics::snapshot() const noexcept {
   Snapshot snap;
-  snap.queries = queries_.load(std::memory_order_relaxed);
-  snap.batches = batches_.load(std::memory_order_relaxed);
-  snap.owners_resolved = owners_resolved_.load(std::memory_order_relaxed);
-  snap.unknown_owners = unknown_owners_.load(std::memory_order_relaxed);
-  snap.epoch_swaps = epoch_swaps_.load(std::memory_order_relaxed);
-  snap.degraded_serves = degraded_serves_.load(std::memory_order_relaxed);
-  snap.latency = latency_.snapshot();
+  snap.queries = queries_.value();
+  snap.batches = batches_.value();
+  snap.owners_resolved = owners_resolved_.value();
+  snap.unknown_owners = unknown_owners_.value();
+  snap.epoch_swaps = epoch_swaps_.value();
+  snap.degraded_serves = degraded_serves_.value();
+  const obs::Histogram::Snapshot lat = latency_us_.snapshot();
+  snap.latency.counts = lat.counts;
+  snap.latency.total = lat.total;
   return snap;
 }
 

@@ -16,6 +16,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "obs/registry.h"
+
 namespace eppi {
 
 // Fixed log2-bucketed latency histogram over microseconds. Bucket k counts
@@ -44,9 +46,17 @@ class LatencyHistogram {
 
 // Counters + latency for the QueryPPI serving tier. One instance per
 // LocatorService; every method is safe to call from any thread.
+//
+// Since the observability layer landed, the instruments live in the
+// process-wide obs::Registry (under eppi_serving_* names with a unique
+// `instance` label per ServingMetrics), so serve runs expose them through
+// Registry::render_prometheus() with no extra plumbing. The class API and
+// Snapshot shape are unchanged; the recording path is still one relaxed
+// fetch_add per counter — registration (the only locking) happens once in
+// the constructor.
 class ServingMetrics {
  public:
-  ServingMetrics() = default;
+  ServingMetrics();
   ServingMetrics(const ServingMetrics&) = delete;
   ServingMetrics& operator=(const ServingMetrics&) = delete;
 
@@ -74,13 +84,16 @@ class ServingMetrics {
   Snapshot snapshot() const noexcept;
 
  private:
-  std::atomic<std::uint64_t> queries_{0};
-  std::atomic<std::uint64_t> batches_{0};
-  std::atomic<std::uint64_t> owners_resolved_{0};
-  std::atomic<std::uint64_t> unknown_owners_{0};
-  std::atomic<std::uint64_t> epoch_swaps_{0};
-  std::atomic<std::uint64_t> degraded_serves_{0};
-  LatencyHistogram latency_;
+  // All seven instruments share one freshly minted `instance` label value.
+  explicit ServingMetrics(const obs::Labels& instance);
+
+  obs::Counter& queries_;
+  obs::Counter& batches_;
+  obs::Counter& owners_resolved_;
+  obs::Counter& unknown_owners_;
+  obs::Counter& epoch_swaps_;
+  obs::Counter& degraded_serves_;
+  obs::Histogram& latency_us_;
 };
 
 }  // namespace eppi

@@ -11,6 +11,7 @@
 #include "mpc/eppi_circuits.h"
 #include "mpc/garbled.h"
 #include "mpc/gmw.h"
+#include "net/phase_span.h"
 #include "secret/sec_sum_share.h"
 
 namespace eppi::core {
@@ -111,22 +112,27 @@ ConstructionPartyResult run_construction_party(
   // committed survivor set so all survivors still agree on it.
   std::optional<std::vector<eppi::SecretU64>> my_shares;
   std::uint64_t committed_q = 0;
-  if (ft.enabled) {
-    eppi::secret::SecSumShareFtOptions ss_ft;
-    ss_ft.stage_timeout = ft.stage_timeout;
-    ss_ft.max_attempts = ft.max_attempts;
-    auto outcome =
-        eppi::secret::run_sec_sum_share_party_ft(ctx, ss_params, my_row, ss_ft);
-    my_shares = std::move(outcome.shares);
-    result.survivors = std::move(outcome.survivors);
-    result.secsum_attempts = outcome.attempts;
-    committed_q = outcome.q;
-  } else {
-    my_shares = eppi::secret::run_sec_sum_share_party(ctx, ss_params, my_row);
-    result.survivors.resize(m);
-    std::iota(result.survivors.begin(), result.survivors.end(),
-              PartyId{0});
-    committed_q = eppi::secret::resolve_ring(ss_params, m).q();
+  {
+    eppi::net::PhaseSpan phase(ctx, "phase:secsum");
+    if (ft.enabled) {
+      eppi::secret::SecSumShareFtOptions ss_ft;
+      ss_ft.stage_timeout = ft.stage_timeout;
+      ss_ft.max_attempts = ft.max_attempts;
+      auto outcome = eppi::secret::run_sec_sum_share_party_ft(ctx, ss_params,
+                                                              my_row, ss_ft);
+      my_shares = std::move(outcome.shares);
+      result.survivors = std::move(outcome.survivors);
+      result.secsum_attempts = outcome.attempts;
+      committed_q = outcome.q;
+      phase.span().attr("attempts", result.secsum_attempts);
+    } else {
+      my_shares = eppi::secret::run_sec_sum_share_party(ctx, ss_params, my_row);
+      result.survivors.resize(m);
+      std::iota(result.survivors.begin(), result.survivors.end(),
+                PartyId{0});
+      committed_q = eppi::secret::resolve_ring(ss_params, m).q();
+    }
+    phase.span().attr("survivors", result.survivors.size());
   }
   const std::size_t m_eff = result.survivors.size();
   const eppi::secret::ModRing ring(committed_q);
@@ -162,9 +168,13 @@ ConstructionPartyResult run_construction_party(
     };
 
     // Phase 1.2a: CountBelow.
+    std::optional<eppi::net::PhaseSpan> phase;
+    phase.emplace(ctx, "phase:count_below");
     const auto cb_bits = eppi::mpc::share_input_bits(*my_shares, width);
     const auto cb_out = run_secure(cb_circuit, cb_bits, 0);
     const auto counted = eppi::mpc::decode_count_below(cb_spec, cb_out);
+    phase->span().attr("common_count", counted.common_count);
+    phase.reset();
 
     const double xi = er.value_of_rank(counted.max_xi_rank);
     const double lambda =
@@ -182,6 +192,8 @@ ConstructionPartyResult run_construction_party(
     mr_spec.coin_bits = options.coin_bits;
     const auto mr_circuit = eppi::mpc::build_mix_reveal_circuit(mr_spec);
 
+    phase.emplace(ctx, "phase:mix_reveal");
+    phase->span().attr("lambda", lambda);
     std::vector<bool> mr_bits = eppi::mpc::share_input_bits(*my_shares, width);
     mr_bits.reserve(mr_bits.size() + n * options.coin_bits);
     for (std::size_t j = 0; j < n; ++j) {
@@ -192,6 +204,7 @@ ConstructionPartyResult run_construction_party(
     const auto mr_out =
         run_secure(mr_circuit, mr_bits, eppi::mpc::GmwSession::kSeqStride);
     const auto results = eppi::mpc::decode_mix_reveal(mr_spec, mr_out);
+    phase.reset();
 
     opened.mixed.resize(n);
     opened.frequencies.resize(n);
@@ -213,6 +226,7 @@ ConstructionPartyResult run_construction_party(
     if (me == 0) {
       // Phase 2 prologue: broadcast the opened vector to the surviving
       // non-coordinators (in the plain path, survivors == all m parties).
+      eppi::net::PhaseSpan phase(ctx, "phase:broadcast");
       const auto payload = encode_opened(opened);
       for (const PartyId p : result.survivors) {
         if (p < options.c) continue;
@@ -221,11 +235,13 @@ ConstructionPartyResult run_construction_party(
       ctx.mark_round();
     }
   } else {
+    eppi::net::PhaseSpan phase(ctx, "phase:broadcast");
     const auto payload = ctx.recv(0, MessageTag::kBroadcast, 0);
     opened = decode_opened(payload, n);
   }
 
   // Phase 2: local β computation (Eq. 9) and randomized publication.
+  eppi::net::PhaseSpan phase(ctx, "phase:publish");
   result.betas.resize(n);
   for (std::size_t j = 0; j < n; ++j) {
     if (opened.mixed[j]) {

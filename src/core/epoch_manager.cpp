@@ -4,6 +4,8 @@
 #include "core/epoch_store.h"
 #include "core/mixing.h"
 #include "core/sticky_publisher.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace eppi::core {
 
@@ -41,6 +43,11 @@ EpochManager::EpochResult EpochManager::rebuild(
   const std::size_t n = truth.cols();
   require(epsilons.size() == n, "EpochManager: epsilon count mismatch");
   require(m >= 1, "EpochManager: need at least one provider");
+
+  obs::Span span("serve.rebuild");
+  span.attr("providers", m);
+  span.attr("identities", n);
+  span.attr("distributed", false);
 
   // β calculation with deterministic, monotone mixing.
   ConstructionInfo info;
@@ -83,6 +90,8 @@ EpochManager::EpochResult EpochManager::rebuild(
   // Commit first (durable), then mutate: if the store throws, the manager
   // keeps serving the old epoch unchanged and a retry is safe.
   adopt_epoch(published, info.lambda);
+  span.attr("epoch", epoch_);
+  span.attr("churn", churn);
 
   EpochResult result;
   result.info = std::move(info);
@@ -174,6 +183,11 @@ const eppi::BitMatrix& EpochManager::current_matrix() const {
 EpochManager::DistributedEpochResult EpochManager::rebuild_distributed(
     const eppi::BitMatrix& truth, std::span<const double> epsilons,
     const DistributedOptions& options) {
+  obs::Span span("serve.rebuild");
+  span.attr("providers", truth.rows());
+  span.attr("identities", truth.cols());
+  span.attr("distributed", true);
+
   DistributedEpochResult result;
   DistributedResult built;
   try {
@@ -187,6 +201,11 @@ EpochManager::DistributedEpochResult EpochManager::rebuild_distributed(
     ++failed_rebuilds_;
     ++failed_since_commit_;
     last_failure_ = failure.what();
+    span.event("serve.rebuild_failed");
+    obs::Registry::global()
+        .counter("eppi_serving_failed_rebuilds_total", {},
+                 "Distributed rebuilds that aborted into degraded serving")
+        .add();
     result.index = PpiIndex(previous_);
     result.epoch = served_epoch_;
     result.degraded = true;
@@ -197,6 +216,8 @@ EpochManager::DistributedEpochResult EpochManager::rebuild_distributed(
   const eppi::BitMatrix& published = built.index.matrix();
   const std::size_t churn = churn_against_previous(published);
   adopt_epoch(published, built.report.lambda);
+  span.attr("epoch", epoch_);
+  span.attr("churn", churn);
   result.epoch = epoch_;
   result.churn = churn;
   result.report = std::move(built.report);

@@ -8,6 +8,8 @@
 #include "common/error.h"
 #include "common/serialize.h"
 #include "core/index_io.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace eppi::core {
 
@@ -176,6 +178,10 @@ void EpochStore::quarantine(const std::string& name, const std::string& why) {
   vfs_.fsync_dir(qdir);
   vfs_.fsync_dir(dir_);
   ++report_.quarantined;
+  obs::Registry::global()
+      .counter("eppi_store_quarantined_total", {},
+               "Store files moved aside as corrupt or orphaned")
+      .add();
   report_.notes.push_back("quarantined " + name + ": " + why);
 }
 
@@ -210,6 +216,7 @@ void EpochStore::append_record(std::span<const std::uint8_t> payload) {
 }
 
 void EpochStore::recover() {
+  obs::Span span("store.recover");
   vfs_.make_dir(dir_);
   const std::string manifest = path_of(kManifestName);
 
@@ -246,6 +253,11 @@ void EpochStore::recover() {
         vfs_, manifest,
         std::span(bytes).subspan(0, scan.valid_prefix));
     report_.manifest_truncated = true;
+    span.event("store.truncate_tail");
+    obs::Registry::global()
+        .counter("eppi_store_truncations_total", {},
+                 "Torn journal tails cut back to a record boundary")
+        .add();
   }
   journal_len_ = scan.valid_prefix;
   journal_dirty_ = false;
@@ -292,6 +304,11 @@ void EpochStore::recover() {
       report_.notes.push_back("ignoring unknown file " + name);
     }
   }
+
+  span.attr("journal_bytes", journal_len_);
+  span.attr("epochs", epochs_.size());
+  span.attr("quarantined", report_.quarantined);
+  span.attr("truncated", report_.manifest_truncated);
 }
 
 const EpochStore::StickyState& EpochStore::sticky_state() const {
@@ -350,12 +367,22 @@ void EpochStore::commit_epoch(std::uint64_t epoch, const PpiIndex& index,
   rec.lambda = lambda;
   rec.file_intact = true;
 
+  obs::Span span("store.commit");
+  span.attr("epoch", epoch);
+  span.attr("rows", rec.rows);
+  span.attr("cols", rec.cols);
+
   // Index first, journal second: the record must never reference a file
   // that is not fully durable.
-  storage::atomic_write_file(vfs_, path_of(rec.file),
-                             save_index_bytes(index));
+  const auto bytes = save_index_bytes(index);
+  span.attr("bytes", bytes.size());
+  storage::atomic_write_file(vfs_, path_of(rec.file), bytes);
   append_record(epoch_payload(rec));
   epochs_.push_back(std::move(rec));
+  obs::Registry::global()
+      .counter("eppi_store_commits_total", {},
+               "Epoch indexes committed to the durable store")
+      .add();
 }
 
 // --- fsck ------------------------------------------------------------------
@@ -394,6 +421,7 @@ FsckReport fsck_index_file(storage::Vfs& vfs, const std::string& path) {
 }
 
 FsckReport fsck_store(storage::Vfs& vfs, const std::string& dir) {
+  obs::Span span("store.fsck");
   FsckReport report;
   const std::string manifest = dir + "/" + kManifestName;
   if (!vfs.exists(manifest)) {
@@ -459,6 +487,9 @@ FsckReport fsck_store(storage::Vfs& vfs, const std::string& dir) {
            "recovery quarantines it)"});
     }
   }
+  span.attr("files_checked", report.files_checked);
+  span.attr("issues", report.issues.size());
+  span.attr("ok", report.ok);
   return report;
 }
 

@@ -5,6 +5,7 @@
 #include "common/error.h"
 #include "core/constructor.h"
 #include "core/epoch_store.h"
+#include "obs/trace.h"
 
 namespace eppi::core {
 
@@ -89,6 +90,10 @@ const eppi::BitMatrix& LocatorService::rebuild_matrix() const {
 
 void LocatorService::construct_ppi() {
   require(!facts_.empty(), "LocatorService: nothing delegated yet");
+  obs::Span span("serve.build");
+  span.attr("providers", provider_names_.size());
+  span.attr("owners", owner_names_.size());
+  span.attr("distributed", options_.distributed);
   const eppi::BitMatrix& truth = rebuild_matrix();
   if (options_.distributed) {
     DistributedOptions dopt;
@@ -128,6 +133,7 @@ void LocatorService::attach_store(EpochStore& store) {
 }
 
 void LocatorService::publish_snapshot() {
+  obs::Span span("serve.publish");
   auto snap = std::make_shared<EpochSnapshot>();
   snap->postings = std::make_shared<const PostingIndex>(index_->matrix());
   snap->owner_ids = std::make_shared<
@@ -139,6 +145,8 @@ void LocatorService::publish_snapshot() {
   snap->degraded = status.degraded;
   snap->rebuilds_behind = status.rebuilds_behind;
   snap->built_at = std::chrono::steady_clock::now();
+  span.attr("epoch", snap->epoch);
+  span.attr("degraded", snap->degraded);
   snapshot_.publish(std::move(snap));
   metrics_.record_epoch_swap();
 }
@@ -146,11 +154,15 @@ void LocatorService::publish_snapshot() {
 void LocatorService::publish_staleness_update() {
   const auto prev = snapshot_.acquire();
   if (prev == nullptr) return;  // nothing published to re-label
+  obs::Span span("serve.publish");
+  span.attr("staleness_update", true);
   auto snap = std::make_shared<EpochSnapshot>(*prev);
   const auto status = manager_.serving_status();
   snap->epoch = status.epoch;
   snap->degraded = status.degraded;
   snap->rebuilds_behind = status.rebuilds_behind;
+  span.attr("epoch", snap->epoch);
+  span.attr("degraded", snap->degraded);
   // built_at is kept: the served content is unchanged and keeps aging.
   snapshot_.publish(std::move(snap));
   metrics_.record_epoch_swap();

@@ -18,6 +18,7 @@ void PartyContext::send(PartyId to, std::uint32_t tag, std::uint64_t seq,
   msg.tag = tag;
   msg.seq = seq;
   msg.payload = std::move(payload);
+  local_meter_.record_message(msg.wire_size());
   transport_.send(std::move(msg));
 }
 

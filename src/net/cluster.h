@@ -72,7 +72,17 @@ class PartyContext {
   // Marks one synchronous communication round. By convention only party 0 of
   // a protocol instance calls this, so the meter counts protocol rounds, not
   // rounds x parties.
-  void mark_round(std::uint64_t n = 1) { meter_.record_round(n); }
+  void mark_round(std::uint64_t n = 1) {
+    meter_.record_round(n);
+    local_meter_.record_round(n);
+  }
+
+  // This party's own traffic, metered at send() time. Phase instrumentation
+  // snapshots it around each protocol phase to attribute cost per party and
+  // per phase; unlike the shared cluster meter it excludes transport-layer
+  // extras (acks, retransmits), so per-party deltas sum to the cluster
+  // totals only on plain (non-reliable) transports.
+  const CostMeter& local_meter() const noexcept { return local_meter_; }
 
   Rng& rng() noexcept { return rng_; }
 
@@ -82,6 +92,7 @@ class PartyContext {
   Transport& transport_;
   Mailbox& inbox_;
   CostMeter& meter_;
+  CostMeter local_meter_;
   Rng rng_;
   std::chrono::milliseconds recv_timeout_;
 };

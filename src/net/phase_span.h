@@ -1,0 +1,44 @@
+// Protocol-phase spans carrying per-party communication cost.
+//
+// A PhaseSpan is an obs::Span whose closing attributes are this party's
+// CostMeter delta over the phase (bytes, messages, rounds — metered at
+// PartyContext::send, so on a plain transport the per-party deltas summed
+// over all phases reproduce the cluster meter's totals exactly). Phase spans
+// are what `eppi_cli trace` folds into the Fig. 6 per-phase breakdown, so
+// construction code names them "phase:<name>"; nested sub-spans (per
+// round-trip, per attempt) use plain names and parent links.
+#pragma once
+
+#include <string_view>
+
+#include "net/cluster.h"
+#include "obs/trace.h"
+
+namespace eppi::net {
+
+class PhaseSpan {
+ public:
+  PhaseSpan(PartyContext& ctx, std::string_view name)
+      : ctx_(ctx), span_(name), start_(ctx.local_meter().snapshot()) {
+    span_.attr("party", static_cast<std::uint64_t>(ctx.id()));
+  }
+  PhaseSpan(const PhaseSpan&) = delete;
+  PhaseSpan& operator=(const PhaseSpan&) = delete;
+
+  ~PhaseSpan() {
+    const CostSnapshot delta = ctx_.local_meter().snapshot() - start_;
+    span_.attr("bytes", delta.bytes);
+    span_.attr("messages", delta.messages);
+    span_.attr("rounds", delta.rounds);
+  }
+
+  // For phase-specific attributes and child events (restarts, aborts).
+  obs::Span& span() noexcept { return span_; }
+
+ private:
+  PartyContext& ctx_;
+  obs::Span span_;
+  CostSnapshot start_;
+};
+
+}  // namespace eppi::net

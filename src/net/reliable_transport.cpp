@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/registry.h"
 
 namespace eppi::net {
 
@@ -12,6 +13,22 @@ using Clock = std::chrono::steady_clock;
 
 std::chrono::microseconds to_us(std::chrono::milliseconds ms) {
   return std::chrono::duration_cast<std::chrono::microseconds>(ms);
+}
+
+// Registry mirrors of ReliableStats: the per-transport struct stays the
+// programmatic API, these aggregate process-wide for exposition.
+obs::Counter& retransmit_counter() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "eppi_net_retransmits_total", {},
+      "Data frames retransmitted by the reliability layer");
+  return c;
+}
+
+obs::Counter& expired_counter() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "eppi_net_expired_total", {},
+      "Frames that exhausted their delivery deadline unacked");
+  return c;
 }
 
 }  // namespace
@@ -83,6 +100,7 @@ void ReliableTransport::retransmit_loop() {
       }
       if (now >= it->deadline) {
         ++stats_.expired;
+        expired_counter().add();
         it = pending_.erase(it);
         continue;
       }
@@ -100,6 +118,7 @@ void ReliableTransport::retransmit_loop() {
         copy.tag |= kRetransmitBit;
         resend.push_back(std::move(copy));
         ++stats_.retransmits;
+        retransmit_counter().add();
       }
       ++it;
     }

@@ -1,0 +1,278 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace eppi::obs {
+
+namespace {
+
+// Prometheus label values and JSON strings share the same escape set.
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+// {k="v",k2="v2"} with an optional extra pair appended (used for le=).
+std::string prom_labels(const Labels& labels, std::string_view extra_key = "",
+                        std::string_view extra_value = "") {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i) out += ",";
+    out += labels[i].key;
+    out += "=\"";
+    out += escape(labels[i].value);
+    out += "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!labels.empty()) out += ",";
+    out += std::string(extra_key);
+    out += "=\"";
+    out += escape(extra_value);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::string json_labels(const Labels& labels) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i) out += ",";
+    out += "\"";
+    out += escape(labels[i].key);
+    out += "\":\"";
+    out += escape(labels[i].value);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+// Upper edge of log2 bucket k (1<<(k+1)); the last bucket is open-ended.
+std::uint64_t bucket_upper(std::size_t k) {
+  return std::uint64_t{1} << (k + 1);
+}
+
+}  // namespace
+
+std::size_t Histogram::bucket_for(std::uint64_t v) noexcept {
+  if (v <= 1) return 0;
+  const std::size_t b = static_cast<std::size_t>(std::bit_width(v)) - 1;
+  return b < kBuckets ? b : kBuckets - 1;
+}
+
+Histogram::Snapshot Histogram::snapshot() const noexcept {
+  Snapshot s;
+  for (std::size_t k = 0; k < kBuckets; ++k) {
+    s.counts[k] = counts_[k].load(std::memory_order_relaxed);
+    s.total += s.counts[k];
+  }
+  s.sum = sum_.load(std::memory_order_relaxed);
+  return s;
+}
+
+double Histogram::Snapshot::quantile(double q) const noexcept {
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the sample we want, 1-based; q=0 still means "the first
+  // sample", not rank 0 (which every bucket's running count satisfies).
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total))));
+  std::uint64_t seen = 0;
+  for (std::size_t k = 0; k < kBuckets; ++k) {
+    seen += counts[k];
+    if (seen >= rank) return static_cast<double>(bucket_upper(k));
+  }
+  return static_cast<double>(bucket_upper(kBuckets - 1));
+}
+
+Registry& Registry::global() {
+  static Registry* instance = new Registry();  // leaked: outlives all users
+  return *instance;
+}
+
+void Registry::check_kind_unique(std::string_view name,
+                                 std::string_view kind) const {
+  auto clash = [&](const auto& entries, std::string_view their_kind) {
+    if (kind == their_kind) return;
+    for (const auto& e : entries) {
+      if (e.name == name) {
+        std::fprintf(stderr,
+                     "eppi obs: metric '%.*s' registered as both %.*s and "
+                     "%.*s\n",
+                     static_cast<int>(name.size()), name.data(),
+                     static_cast<int>(their_kind.size()), their_kind.data(),
+                     static_cast<int>(kind.size()), kind.data());
+        std::abort();
+      }
+    }
+  };
+  clash(counters_, "counter");
+  clash(gauges_, "gauge");
+  clash(histograms_, "histogram");
+}
+
+template <typename Instrument>
+Instrument& Registry::get_or_create(std::deque<Entry<Instrument>>& entries,
+                                    std::string_view name,
+                                    const Labels& labels,
+                                    std::string_view help) {
+  for (auto& e : entries) {
+    if (e.name == name && e.labels == labels) return e.instrument;
+  }
+  entries.emplace_back();
+  Entry<Instrument>& e = entries.back();
+  e.name = std::string(name);
+  e.help = std::string(help);
+  e.labels = labels;
+  return e.instrument;
+}
+
+Counter& Registry::counter(std::string_view name, const Labels& labels,
+                           std::string_view help) {
+  MutexLock lock(mu_);
+  check_kind_unique(name, "counter");
+  return get_or_create(counters_, name, labels, help);
+}
+
+Gauge& Registry::gauge(std::string_view name, const Labels& labels,
+                       std::string_view help) {
+  MutexLock lock(mu_);
+  check_kind_unique(name, "gauge");
+  return get_or_create(gauges_, name, labels, help);
+}
+
+Histogram& Registry::histogram(std::string_view name, const Labels& labels,
+                               std::string_view help) {
+  MutexLock lock(mu_);
+  check_kind_unique(name, "histogram");
+  return get_or_create(histograms_, name, labels, help);
+}
+
+std::string Registry::render_prometheus() const {
+  MutexLock lock(mu_);
+  std::ostringstream out;
+
+  // Group samples under one # TYPE header per family, families sorted so
+  // output is deterministic for golden tests and diffing.
+  struct Family {
+    std::string type;
+    std::string help;
+    std::vector<std::string> samples;
+  };
+  std::map<std::string, Family> families;
+
+  for (const auto& e : counters_) {
+    Family& f = families[e.name];
+    f.type = "counter";
+    if (f.help.empty()) f.help = e.help;
+    f.samples.push_back(e.name + prom_labels(e.labels) + " " +
+                        std::to_string(e.instrument.value()));
+  }
+  for (const auto& e : gauges_) {
+    Family& f = families[e.name];
+    f.type = "gauge";
+    if (f.help.empty()) f.help = e.help;
+    f.samples.push_back(e.name + prom_labels(e.labels) + " " +
+                        std::to_string(e.instrument.value()));
+  }
+  for (const auto& e : histograms_) {
+    Family& f = families[e.name];
+    f.type = "histogram";
+    if (f.help.empty()) f.help = e.help;
+    const Histogram::Snapshot s = e.instrument.snapshot();
+    std::uint64_t cumulative = 0;
+    for (std::size_t k = 0; k < Histogram::kBuckets; ++k) {
+      cumulative += s.counts[k];
+      // Empty interior buckets still render: Prometheus histograms are
+      // cumulative and parsers expect the full le ladder.
+      f.samples.push_back(
+          e.name + "_bucket" +
+          prom_labels(e.labels, "le",
+                      k + 1 == Histogram::kBuckets
+                          ? "+Inf"
+                          : std::to_string(bucket_upper(k))) +
+          " " + std::to_string(cumulative));
+    }
+    f.samples.push_back(e.name + "_sum" + prom_labels(e.labels) + " " +
+                        std::to_string(s.sum));
+    f.samples.push_back(e.name + "_count" + prom_labels(e.labels) + " " +
+                        std::to_string(s.total));
+  }
+
+  for (const auto& [name, family] : families) {
+    if (!family.help.empty()) {
+      out << "# HELP " << name << " " << family.help << "\n";
+    }
+    out << "# TYPE " << name << " " << family.type << "\n";
+    for (const std::string& sample : family.samples) out << sample << "\n";
+  }
+  return out.str();
+}
+
+std::string Registry::render_json() const {
+  MutexLock lock(mu_);
+  std::ostringstream out;
+  out << "{\"counters\":[";
+  bool first = true;
+  for (const auto& e : counters_) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"" << escape(e.name)
+        << "\",\"labels\":" << json_labels(e.labels)
+        << ",\"value\":" << e.instrument.value() << "}";
+  }
+  out << "],\"gauges\":[";
+  first = true;
+  for (const auto& e : gauges_) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"" << escape(e.name)
+        << "\",\"labels\":" << json_labels(e.labels)
+        << ",\"value\":" << e.instrument.value() << "}";
+  }
+  out << "],\"histograms\":[";
+  first = true;
+  for (const auto& e : histograms_) {
+    if (!first) out << ",";
+    first = false;
+    const Histogram::Snapshot s = e.instrument.snapshot();
+    out << "{\"name\":\"" << escape(e.name)
+        << "\",\"labels\":" << json_labels(e.labels) << ",\"sum\":" << s.sum
+        << ",\"count\":" << s.total << ",\"buckets\":[";
+    for (std::size_t k = 0; k < Histogram::kBuckets; ++k) {
+      if (k) out << ",";
+      out << s.counts[k];
+    }
+    out << "]}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace eppi::obs

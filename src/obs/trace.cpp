@@ -1,0 +1,250 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdio>
+#include <sstream>
+
+#include "common/clock.h"
+#include "common/mutex.h"
+
+namespace eppi::obs {
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_span_id{1};
+
+// The innermost open span on this thread; new spans parent to it. Worker
+// threads (one per protocol party) start at 0 and so open their own roots.
+thread_local std::uint64_t t_current_span = 0;
+
+void copy_truncated(char* dst, std::size_t cap, std::string_view src) {
+  const std::size_t n = std::min(cap, src.size());
+  std::memcpy(dst, src.data(), n);
+  if (n < cap) dst[n] = '\0';
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- TraceSink
+
+TraceSink::TraceSink(std::size_t capacity) {
+  const std::size_t cap = std::bit_ceil(std::max<std::size_t>(capacity, 64));
+  slots_ = std::make_unique<Slot[]>(cap);
+  mask_ = cap - 1;
+}
+
+void TraceSink::record(const SpanEvent& ev) noexcept {
+  std::uint64_t buf[kWords] = {};
+  std::memcpy(buf, &ev, sizeof ev);
+
+  const std::uint64_t ticket = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& s = slots_[ticket & mask_];
+
+  // Seqlock-over-atomics (Boehm's recipe): mark the slot in progress, put a
+  // release fence between the mark and the payload so no reader can observe
+  // payload words without the odd generation also being visible, then
+  // publish with a release store. Every access is atomic, so a wrap
+  // collision garbles at worst one event — detected by the generation
+  // check — and is never a data race.
+  s.gen.store(2 * ticket + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  for (std::size_t i = 0; i < kWords; ++i) {
+    s.words[i].store(buf[i], std::memory_order_relaxed);
+  }
+  s.gen.store(2 * ticket + 2, std::memory_order_release);
+}
+
+std::vector<SpanEvent> TraceSink::drain() {
+  // One drainer at a time; record() stays lock-free throughout.
+  static Mutex drain_mu;
+  MutexLock lock(drain_mu);
+
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+  const std::size_t cap = mask_ + 1;
+  // Tickets older than one full ring behind head are already overwritten.
+  const std::uint64_t lo = (head - tail > cap) ? head - cap : tail;
+
+  std::vector<SpanEvent> out;
+  out.reserve(static_cast<std::size_t>(head - lo));
+  for (std::uint64_t t = lo; t < head; ++t) {
+    Slot& s = slots_[t & mask_];
+    const std::uint64_t g1 = s.gen.load(std::memory_order_acquire);
+    if (g1 == 0 || (g1 & 1) != 0 || g1 / 2 - 1 != t) continue;
+    std::uint64_t buf[kWords];
+    for (std::size_t i = 0; i < kWords; ++i) {
+      buf[i] = s.words[i].load(std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (s.gen.load(std::memory_order_relaxed) != g1) continue;
+    SpanEvent ev;
+    std::memcpy(&ev, buf, sizeof ev);
+    out.push_back(ev);
+  }
+
+  // Anything in [tail, head) we could not read — overwritten by wrap, torn,
+  // or still mid-record at this instant — is gone: the watermark moves past
+  // it. Callers wanting exact traces drain after their workers join.
+  dropped_.fetch_add((head - tail) - out.size(), std::memory_order_relaxed);
+  tail_.store(head, std::memory_order_relaxed);
+  return out;
+}
+
+TraceSink& default_sink() {
+  // Leaked: instrumentation in static destructors may still record.
+  static TraceSink* sink = new TraceSink(8192);
+  return *sink;
+}
+
+// --------------------------------------------------------------------- Span
+
+Span::Span(std::string_view name, TraceSink* sink)
+    : sink_(sink ? sink : &default_sink()) {
+  ev_.span_id = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  ev_.parent_id = t_current_span;
+  ev_.thread = thread_index();
+  ev_.start_ns = monotonic_ns();
+  copy_truncated(ev_.name, SpanEvent::kNameCap, name);
+  prev_current_ = t_current_span;
+  t_current_span = ev_.span_id;
+}
+
+Span::~Span() {
+  ev_.end_ns = monotonic_ns();
+  sink_->record(ev_);
+  t_current_span = prev_current_;
+}
+
+SpanAttr* Span::next_attr(std::string_view key) noexcept {
+  // Past capacity, extra attributes drop silently: tracing is diagnostics
+  // and must not throw out of instrumented protocol code.
+  if (ev_.n_attrs >= SpanEvent::kMaxAttrs) return nullptr;
+  SpanAttr* a = &ev_.attrs[ev_.n_attrs++];
+  copy_truncated(a->key, SpanAttr::kKeyCap, key);
+  return a;
+}
+
+void Span::attr(std::string_view key, std::uint64_t v) noexcept {
+  if (SpanAttr* a = next_attr(key)) {
+    a->value.type = AttrValue::Type::kU64;
+    a->value.u64 = v;
+  }
+}
+
+void Span::attr(std::string_view key, std::int64_t v) noexcept {
+  if (SpanAttr* a = next_attr(key)) {
+    a->value.type = AttrValue::Type::kI64;
+    a->value.i64 = v;
+  }
+}
+
+void Span::attr(std::string_view key, double v) noexcept {
+  if (SpanAttr* a = next_attr(key)) {
+    a->value.type = AttrValue::Type::kF64;
+    a->value.f64 = v;
+  }
+}
+
+void Span::attr(std::string_view key, bool v) noexcept {
+  if (SpanAttr* a = next_attr(key)) {
+    a->value.type = AttrValue::Type::kBool;
+    a->value.b = v;
+  }
+}
+
+void Span::attr(std::string_view key, std::string_view v) noexcept {
+  if (SpanAttr* a = next_attr(key)) {
+    a->value.type = AttrValue::Type::kStr;
+    copy_truncated(a->value.str, AttrValue::kStrCap, v);
+  }
+}
+
+void Span::event(std::string_view name) noexcept {
+  SpanEvent ev;
+  ev.span_id = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  ev.parent_id = ev_.span_id;
+  ev.thread = thread_index();
+  ev.start_ns = monotonic_ns();
+  ev.end_ns = ev.start_ns;
+  copy_truncated(ev.name, SpanEvent::kNameCap, name);
+  sink_->record(ev);
+}
+
+// -------------------------------------------------------------------- JSONL
+
+std::string to_jsonl(const std::vector<SpanEvent>& events) {
+  std::ostringstream out;
+  out.precision(17);
+  for (const SpanEvent& ev : events) {
+    out << "{\"span\":" << ev.span_id << ",\"parent\":" << ev.parent_id
+        << ",\"thread\":" << ev.thread << ",\"name\":\""
+        << json_escape(ev.name_view()) << "\",\"start_ns\":" << ev.start_ns
+        << ",\"end_ns\":" << ev.end_ns << ",\"attrs\":{";
+    const std::uint32_t n =
+        std::min<std::uint32_t>(ev.n_attrs, SpanEvent::kMaxAttrs);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const SpanAttr& a = ev.attrs[i];
+      if (i) out << ",";
+      out << "\""
+          << json_escape(std::string_view(
+                 a.key, ::strnlen(a.key, SpanAttr::kKeyCap)))
+          << "\":";
+      switch (a.value.type) {
+        case AttrValue::Type::kU64:
+          out << a.value.u64;
+          break;
+        case AttrValue::Type::kI64:
+          out << a.value.i64;
+          break;
+        case AttrValue::Type::kF64:
+          out << a.value.f64;
+          break;
+        case AttrValue::Type::kBool:
+          out << (a.value.b ? "true" : "false");
+          break;
+        case AttrValue::Type::kStr:
+          out << "\""
+              << json_escape(std::string_view(
+                     a.value.str, ::strnlen(a.value.str, AttrValue::kStrCap)))
+              << "\"";
+          break;
+        case AttrValue::Type::kNone:
+          out << "null";
+          break;
+      }
+    }
+    out << "}}\n";
+  }
+  return out.str();
+}
+
+}  // namespace eppi::obs

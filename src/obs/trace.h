@@ -1,0 +1,180 @@
+// Structured trace spans with a bounded lock-free ring sink.
+//
+// A Span is an RAII timing scope: construction stamps a monotonic start,
+// destruction stamps the end and commits one fixed-size SpanEvent into a
+// TraceSink. Parent links come from a thread_local "current span" stack, so
+// nested spans on one thread form a tree without any plumbing; spans on
+// protocol worker threads (one thread per party in the in-memory cluster)
+// simply start their own roots.
+//
+// The sink is a bounded MPSC-by-accident ring: any thread records, one
+// drainer collects. Slots are arrays of atomic words with a per-slot
+// generation counter (release on publish, acquire on read), so a torn or
+// overwritten slot is *detected and skipped*, never undefined behavior —
+// this is what keeps recording lock-free and TSan-clean where a classic
+// seqlock with plain payload writes would not be. When the ring wraps
+// before a drain, the oldest events are overwritten and counted as dropped;
+// tracing is diagnostics and must never stall the protocol to preserve it.
+//
+// Attribute values are taint-checked at compile time: passing a Secret<T>
+// to Span::attr is a deleted overload, the same pattern as Secret's deleted
+// operator<<. Reveal first (through the audited hatches) or don't trace it.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace eppi {
+template <typename T>
+class Secret;  // secret/secret.h; declared here so obs need not link secret
+}  // namespace eppi
+
+namespace eppi::obs {
+
+// One typed attribute value. Strings are truncated to the inline capacity;
+// attribute values are identifiers and small quantities, not payloads.
+struct AttrValue {
+  enum class Type : std::uint8_t { kNone, kU64, kI64, kF64, kBool, kStr };
+  static constexpr std::size_t kStrCap = 24;
+
+  Type type = Type::kNone;
+  union {
+    std::uint64_t u64;
+    std::int64_t i64;
+    double f64;
+    bool b;
+    char str[kStrCap];
+  };
+
+  AttrValue() : u64(0) {}
+};
+
+struct SpanAttr {
+  static constexpr std::size_t kKeyCap = 24;
+  char key[kKeyCap] = {};
+  AttrValue value;
+};
+
+// Fixed-size, trivially copyable span record — the unit the ring stores.
+struct SpanEvent {
+  static constexpr std::size_t kNameCap = 48;
+  static constexpr std::size_t kMaxAttrs = 8;
+
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;  // 0 = root
+  std::uint64_t thread = 0;     // common/clock.h thread_index()
+  std::uint64_t start_ns = 0;   // monotonic, since process_start()
+  std::uint64_t end_ns = 0;
+  std::uint32_t n_attrs = 0;
+  char name[kNameCap] = {};
+  SpanAttr attrs[kMaxAttrs];
+
+  std::string_view name_view() const {
+    return std::string_view(name, ::strnlen(name, kNameCap));
+  }
+};
+static_assert(std::is_trivially_copyable_v<SpanEvent>,
+              "SpanEvent is memcpy'd through the ring's atomic words");
+
+// Bounded lock-free ring of SpanEvents. record() never blocks and never
+// fails; drain() returns every completed event recorded since the previous
+// drain (in record order) and advances the watermark. Events overwritten or
+// caught mid-write are skipped and accounted in dropped().
+class TraceSink {
+ public:
+  explicit TraceSink(std::size_t capacity = 4096);
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  void record(const SpanEvent& ev) noexcept;
+  std::vector<SpanEvent> drain();
+
+  // Total events ever recorded (monotone, relaxed).
+  std::uint64_t recorded() const noexcept {
+    return head_.load(std::memory_order_relaxed);
+  }
+  // Events lost to ring wrap or torn reads, as counted by drains so far.
+  std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+ private:
+  static constexpr std::size_t kWords =
+      (sizeof(SpanEvent) + sizeof(std::uint64_t) - 1) / sizeof(std::uint64_t);
+
+  struct Slot {
+    // Even = published generation for ticket (gen/2 - 1); odd = write in
+    // progress; 0 = never written.
+    std::atomic<std::uint64_t> gen{0};
+    std::atomic<std::uint64_t> words[kWords];
+  };
+
+  std::unique_ptr<Slot[]> slots_;
+  std::size_t mask_;
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> tail_{0};  // first ticket not yet drained
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+// The process-wide sink instrumentation records into by default. Sized for
+// a full distributed-construction run between drains.
+TraceSink& default_sink();
+
+// RAII span. Not copyable or movable: the thread_local parent link pins a
+// span to the scope (and thread) that opened it.
+class Span {
+ public:
+  explicit Span(std::string_view name, TraceSink* sink = nullptr);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  void attr(std::string_view key, std::uint64_t v) noexcept;
+  void attr(std::string_view key, std::int64_t v) noexcept;
+  void attr(std::string_view key, int v) noexcept {
+    attr(key, static_cast<std::int64_t>(v));
+  }
+  void attr(std::string_view key, unsigned v) noexcept {
+    attr(key, static_cast<std::uint64_t>(v));
+  }
+  void attr(std::string_view key, double v) noexcept;
+  void attr(std::string_view key, bool v) noexcept;
+  void attr(std::string_view key, std::string_view v) noexcept;
+  void attr(std::string_view key, const char* v) noexcept {
+    attr(key, std::string_view(v));
+  }
+  // Secret values cannot become trace attributes. Compile-time taint check,
+  // the same pattern as Secret's deleted stream operator: go through the
+  // audited reveal()/unwrap_for_wire() hatches (and the secret-trace-attr
+  // lint) or don't record it.
+  template <typename T>
+  void attr(std::string_view, const Secret<T>&) = delete;
+
+  // Record an instantaneous child event (restart, abort, retransmit...)
+  // committed to the sink immediately, parented to this span.
+  void event(std::string_view name) noexcept;
+
+  std::uint64_t id() const noexcept { return ev_.span_id; }
+
+ private:
+  SpanAttr* next_attr(std::string_view key) noexcept;
+
+  SpanEvent ev_;
+  TraceSink* sink_;
+  std::uint64_t prev_current_;
+};
+
+// Serializes events as JSON Lines, one object per event:
+//   {"span":3,"parent":1,"thread":2,"name":"phase:secsum",
+//    "start_ns":10,"end_ns":90,"attrs":{"party":0,"bytes":4096}}
+std::string to_jsonl(const std::vector<SpanEvent>& events);
+
+}  // namespace eppi::obs

@@ -1,0 +1,269 @@
+#include "obs/trace_replay.h"
+
+#include <cctype>
+#include <cstdio>
+#include <istream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string_view>
+
+namespace eppi::obs {
+
+namespace {
+
+// Minimal recursive-descent reader for the flat shape to_jsonl() emits:
+// one object per line, scalar values, one level of nesting for "attrs".
+// Anything outside that shape is a parse error for the whole line.
+class LineParser {
+ public:
+  explicit LineParser(std::string_view line) : s_(line) {}
+
+  struct Value {
+    enum class Type { kNumber, kString, kBool, kNull } type = Type::kNull;
+    double number = 0.0;
+    std::uint64_t uinteger = 0;  // valid when the number had no '.', 'e', '-'
+    bool is_uinteger = false;
+    std::string string;
+    bool boolean = false;
+  };
+
+  // Parses {"key":value,...}; calls on_scalar(path, value) for scalars,
+  // where path is "key" at top level and "attrs.key" inside attrs.
+  template <typename Fn>
+  bool parse_object(Fn&& on_scalar, std::string_view prefix = "") {
+    skip_ws();
+    if (!consume('{')) return false;
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      std::string key;
+      if (!parse_string(&key)) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      skip_ws();
+      if (peek() == '{') {
+        // One nesting level only; deeper objects fail the line.
+        if (!prefix.empty()) return false;
+        if (!parse_object(on_scalar, key)) return false;
+      } else {
+        Value v;
+        if (!parse_scalar(&v)) return false;
+        std::string path = prefix.empty()
+                               ? key
+                               : std::string(prefix) + "." + key;
+        on_scalar(path, v);
+      }
+      skip_ws();
+      if (consume(',')) {
+        skip_ws();
+        continue;
+      }
+      return consume('}');
+    }
+  }
+
+  bool at_end() {
+    skip_ws();
+    return pos_ >= s_.size();
+  }
+
+ private:
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  bool consume(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool parse_string(std::string* out) {
+    if (!consume('"')) return false;
+    out->clear();
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return false;
+        char esc = s_[pos_++];
+        switch (esc) {
+          case '"':
+            *out += '"';
+            break;
+          case '\\':
+            *out += '\\';
+            break;
+          case 'n':
+            *out += '\n';
+            break;
+          case 'u': {
+            // Exporter only emits \u00xx for control bytes.
+            if (pos_ + 4 > s_.size()) return false;
+            unsigned code = 0;
+            if (std::sscanf(s_.substr(pos_, 4).data(), "%4x", &code) != 1) {
+              return false;
+            }
+            pos_ += 4;
+            *out += static_cast<char>(code & 0xff);
+            break;
+          }
+          default:
+            return false;
+        }
+      } else {
+        *out += c;
+      }
+    }
+    return false;
+  }
+
+  bool parse_scalar(Value* v) {
+    char c = peek();
+    if (c == '"') {
+      v->type = Value::Type::kString;
+      return parse_string(&v->string);
+    }
+    if (c == 't' || c == 'f') {
+      v->type = Value::Type::kBool;
+      std::string_view want = c == 't' ? "true" : "false";
+      if (s_.substr(pos_, want.size()) != want) return false;
+      pos_ += want.size();
+      v->boolean = c == 't';
+      return true;
+    }
+    if (c == 'n') {
+      v->type = Value::Type::kNull;
+      if (s_.substr(pos_, 4) != "null") return false;
+      pos_ += 4;
+      return true;
+    }
+    // Number: capture the raw token, then decide integer vs double.
+    const std::size_t start = pos_;
+    bool plain_unsigned = true;
+    while (pos_ < s_.size()) {
+      c = s_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E') {
+        plain_unsigned = false;
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    if (pos_ == start) return false;
+    const std::string token(s_.substr(start, pos_ - start));
+    v->type = Value::Type::kNumber;
+    try {
+      v->number = std::stod(token);
+      if (plain_unsigned) {
+        v->uinteger = std::stoull(token);
+        v->is_uinteger = true;
+      }
+    } catch (...) {
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+constexpr std::string_view kPhasePrefix = "phase:";
+
+}  // namespace
+
+ReplaySummary replay_trace(std::istream& in) {
+  ReplaySummary summary;
+  // Preserve first-appearance order (the protocol's phase order) while
+  // folding repeat spans of the same phase from other parties/attempts.
+  std::map<std::string, std::size_t> index;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+
+    std::string name;
+    std::uint64_t start_ns = 0, end_ns = 0;
+    std::uint64_t bytes = 0, messages = 0, rounds = 0;
+    LineParser parser(line);
+    const bool ok = parser.parse_object([&](const std::string& path,
+                                            const LineParser::Value& v) {
+      if (path == "name" && v.type == LineParser::Value::Type::kString) {
+        name = v.string;
+      } else if (v.is_uinteger) {
+        if (path == "start_ns") start_ns = v.uinteger;
+        else if (path == "end_ns") end_ns = v.uinteger;
+        else if (path == "attrs.bytes") bytes = v.uinteger;
+        else if (path == "attrs.messages") messages = v.uinteger;
+        else if (path == "attrs.rounds") rounds = v.uinteger;
+      }
+    });
+    if (!ok || !parser.at_end()) {
+      ++summary.parse_errors;
+      continue;
+    }
+    ++summary.events;
+
+    if (name.rfind(kPhasePrefix, 0) != 0) continue;
+    const std::string phase = name.substr(kPhasePrefix.size());
+    auto [it, inserted] = index.emplace(phase, summary.phases.size());
+    if (inserted) {
+      summary.phases.emplace_back();
+      summary.phases.back().name = phase;
+    }
+    PhaseRow& row = summary.phases[it->second];
+    ++row.spans;
+    const double ms =
+        end_ns >= start_ns ? static_cast<double>(end_ns - start_ns) / 1e6
+                           : 0.0;
+    row.total_ms += ms;
+    if (ms > row.max_ms) row.max_ms = ms;
+    row.bytes += bytes;
+    row.messages += messages;
+    row.rounds += rounds;
+    summary.total_bytes += bytes;
+    summary.total_messages += messages;
+    summary.total_rounds += rounds;
+  }
+  return summary;
+}
+
+std::string render_table(const ReplaySummary& summary) {
+  std::ostringstream out;
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%-14s %6s %12s %10s %12s %10s %8s\n",
+                "phase", "spans", "total_ms", "max_ms", "bytes", "messages",
+                "rounds");
+  out << buf;
+  for (const PhaseRow& row : summary.phases) {
+    std::snprintf(buf, sizeof buf,
+                  "%-14s %6llu %12.3f %10.3f %12llu %10llu %8llu\n",
+                  row.name.c_str(),
+                  static_cast<unsigned long long>(row.spans), row.total_ms,
+                  row.max_ms, static_cast<unsigned long long>(row.bytes),
+                  static_cast<unsigned long long>(row.messages),
+                  static_cast<unsigned long long>(row.rounds));
+    out << buf;
+  }
+  std::snprintf(buf, sizeof buf, "%-14s %6s %12s %10s %12llu %10llu %8llu\n",
+                "total", "", "", "",
+                static_cast<unsigned long long>(summary.total_bytes),
+                static_cast<unsigned long long>(summary.total_messages),
+                static_cast<unsigned long long>(summary.total_rounds));
+  out << buf;
+  std::snprintf(buf, sizeof buf, "(%zu events, %zu parse errors)\n",
+                summary.events, summary.parse_errors);
+  out << buf;
+  return out.str();
+}
+
+}  // namespace eppi::obs

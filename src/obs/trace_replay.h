@@ -1,0 +1,44 @@
+// Replay of exported JSONL traces into the Fig. 6 per-phase breakdown.
+//
+// The paper's protocol-cost evaluation (Fig. 6) decomposes a construction
+// run into phases — SecSumShare, the CountBelow and MixAndReveal MPC
+// stages, broadcast — and attributes time and communication to each.
+// Instrumented runs emit exactly that structure: every phase opens a span
+// named "phase:<name>" carrying that party's CostMeter delta (bytes,
+// messages, rounds) as attributes. replay_trace() parses the JSONL export
+// (the to_jsonl() format; this is a targeted reader for our own exporter,
+// not a general JSON library) and folds those spans into one row per phase.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace eppi::obs {
+
+struct PhaseRow {
+  std::string name;            // phase name with the "phase:" prefix dropped
+  std::uint64_t spans = 0;     // phase spans folded in (≈ parties × attempts)
+  double total_ms = 0.0;       // summed span durations across parties
+  double max_ms = 0.0;         // slowest single span (≈ phase wall time)
+  std::uint64_t bytes = 0;     // summed "bytes" attributes
+  std::uint64_t messages = 0;  // summed "messages" attributes
+  std::uint64_t rounds = 0;    // summed "rounds" attributes
+};
+
+struct ReplaySummary {
+  std::vector<PhaseRow> phases;  // in order of first appearance
+  std::uint64_t total_bytes = 0;
+  std::uint64_t total_messages = 0;
+  std::uint64_t total_rounds = 0;
+  std::size_t events = 0;        // events parsed, phase spans or not
+  std::size_t parse_errors = 0;  // lines that did not parse (counted, kept)
+};
+
+ReplaySummary replay_trace(std::istream& in);
+
+// Fixed-width text table, one row per phase plus a totals row.
+std::string render_table(const ReplaySummary& summary);
+
+}  // namespace eppi::obs

@@ -5,6 +5,8 @@
 
 #include "common/error.h"
 #include "common/serialize.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "secret/additive_share.h"
 
 namespace eppi::secret {
@@ -73,24 +75,37 @@ std::optional<std::vector<SecretU64>> run_sec_sum_share_party(
     for (std::size_t k = 0; k < c; ++k) shares_by_hop[k][j] = shares[k];
   }
 
-  // Step 2: share k -> k-th ring successor (k = 1..c-1); share 0 stays local.
-  for (std::size_t k = 1; k < c; ++k) {
-    const auto to = static_cast<PartyId>((me + k) % m);
-    ctx.send(to, MessageTag::kShareDistribute, k, encode_vector(shares_by_hop[k]));
-  }
-  if (me == 0) ctx.mark_round();
+  std::vector<SecretU64> super_share;
+  {
+    // One round trip: shares out to ring successors, predecessors' shares in.
+    eppi::obs::Span rt("secsum.distribute");
+    rt.attr("party", static_cast<std::uint64_t>(me));
 
-  // Step 3: super-share = own share 0 + the k-th share of each k-th ring
-  // predecessor.
-  std::vector<SecretU64> super_share = std::move(shares_by_hop[0]);
-  for (std::size_t k = 1; k < c; ++k) {
-    const auto from = static_cast<PartyId>((me + m - k) % m);
-    const auto payload = ctx.recv(from, MessageTag::kShareDistribute, k);
-    const auto incoming = decode_vector(payload, n);
-    for (std::size_t j = 0; j < n; ++j) {
-      super_share[j] = super_share[j].add(incoming[j], ring);
+    // Step 2: share k -> k-th ring successor (k = 1..c-1); share 0 stays
+    // local.
+    for (std::size_t k = 1; k < c; ++k) {
+      const auto to = static_cast<PartyId>((me + k) % m);
+      ctx.send(to, MessageTag::kShareDistribute, k,
+               encode_vector(shares_by_hop[k]));
+    }
+    if (me == 0) ctx.mark_round();
+
+    // Step 3: super-share = own share 0 + the k-th share of each k-th ring
+    // predecessor.
+    super_share = std::move(shares_by_hop[0]);
+    for (std::size_t k = 1; k < c; ++k) {
+      const auto from = static_cast<PartyId>((me + m - k) % m);
+      const auto payload = ctx.recv(from, MessageTag::kShareDistribute, k);
+      const auto incoming = decode_vector(payload, n);
+      for (std::size_t j = 0; j < n; ++j) {
+        super_share[j] = super_share[j].add(incoming[j], ring);
+      }
     }
   }
+
+  // Second round trip: super-shares converge on the coordinators.
+  eppi::obs::Span rt("secsum.aggregate");
+  rt.attr("party", static_cast<std::uint64_t>(me));
 
   // Step 4: super-share -> coordinator p_{i mod c}; coordinators aggregate.
   const auto coordinator = static_cast<PartyId>(me % c);
@@ -198,7 +213,20 @@ SecSumShareOutcome run_sec_sum_share_party_ft(
   std::vector<PartyId> alive(m0);
   for (std::size_t i = 0; i < m0; ++i) alive[i] = static_cast<PartyId>(i);
 
+  // Protocol-level outcomes count once (party 0 decides restart/abort);
+  // attempt spans below are per party so traces show every restart's cost.
+  auto& restarts = eppi::obs::Registry::global().counter(
+      "eppi_secsum_restarts_total", {},
+      "SecSumShare view-change restarts decided by party 0");
+  auto& aborts = eppi::obs::Registry::global().counter(
+      "eppi_secsum_aborts_total", {},
+      "SecSumShare runs abandoned as unrecoverable");
+
   for (std::size_t attempt = 0; attempt < options.max_attempts; ++attempt) {
+    eppi::obs::Span attempt_span("secsum.attempt");
+    attempt_span.attr("party", static_cast<std::uint64_t>(me));
+    attempt_span.attr("attempt", attempt + 1);
+    attempt_span.attr("alive", alive.size());
     const std::uint64_t seqb = kAttemptStride * attempt;
     const std::size_t m = alive.size();
     const std::size_t pos = static_cast<std::size_t>(
@@ -327,12 +355,16 @@ SecSumShareOutcome run_sec_sum_share_party_ft(
         return outcome;
       }
       case ViewDecision::kAbort:
+        attempt_span.event("secsum.abort");
+        if (me == 0) aborts.add();
         throw eppi::PartyFailure(
             "SecSumShare: unrecoverable dropout (coordinator lost, fewer "
             "than c survivors, or attempts exhausted); first failed party " +
                 std::to_string(view.blamed),
             view.blamed);
       case ViewDecision::kRestart:
+        attempt_span.event("secsum.restart");
+        if (me == 0) restarts.add();
         if (!std::binary_search(view.alive.begin(), view.alive.end(), me)) {
           throw eppi::PartyFailure(
               "SecSumShare: this party was evicted from the view on a "

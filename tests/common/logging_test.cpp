@@ -7,6 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <regex>
+#include <string>
+#include <vector>
+
 namespace eppi {
 namespace {
 
@@ -78,6 +82,44 @@ TEST_F(LoggingTest, MessagesCarryLevelPrefix) {
   const std::string err = ::testing::internal::GetCapturedStderr();
   EXPECT_NE(err.find("[eppi "), std::string::npos);
   EXPECT_NE(err.find("boom"), std::string::npos);
+}
+
+TEST_F(LoggingTest, PrefixCarriesMonotonicTimestampAndThreadIndex) {
+  set_log_level(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  EPPI_ERROR("stamped");
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  // "[eppi ERROR +<ms since process start>ms t<thread index>] stamped"
+  const std::regex shape(
+      R"(\[eppi ERROR \+[0-9]+\.[0-9]{3}ms t[0-9]+\] stamped)");
+  EXPECT_TRUE(std::regex_search(err, shape)) << "got: " << err;
+}
+
+TEST_F(LoggingTest, TimestampsAreMonotoneAcrossStatements) {
+  set_log_level(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  EPPI_ERROR("first");
+  EPPI_ERROR("second");
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  const std::regex stamp(R"(\+([0-9]+\.[0-9]{3})ms)");
+  std::vector<double> stamps;
+  for (auto it = std::sregex_iterator(err.begin(), err.end(), stamp);
+       it != std::sregex_iterator(); ++it) {
+    stamps.push_back(std::stod((*it)[1].str()));
+  }
+  ASSERT_EQ(stamps.size(), 2u);
+  EXPECT_LE(stamps[0], stamps[1]);
+}
+
+TEST_F(LoggingTest, OutputGoesToStderrOnly) {
+  set_log_level(LogLevel::kDebug);
+  ::testing::internal::CaptureStdout();
+  ::testing::internal::CaptureStderr();
+  EPPI_ERROR("stream check");
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_TRUE(out.empty()) << "logger wrote to stdout: " << out;
+  EXPECT_NE(err.find("stream check"), std::string::npos);
 }
 
 }  // namespace

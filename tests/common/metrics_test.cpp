@@ -1,0 +1,99 @@
+// Pins ServingMetrics quantile/edge semantics (common/metrics.h):
+//   - quantile_us on an empty histogram is 0, not bucket 0's upper edge;
+//   - q is clamped into [0,1], with q=0 meaning "the first sample";
+//   - bucket boundaries: a sample at exactly 2^k lands in bucket k and is
+//     reported as that bucket's upper edge 2^(k+1);
+//   - instances registered on the metrics registry stay independent.
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace eppi {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyHistogramQuantileIsZero) {
+  LatencyHistogram h;
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.total, 0u);
+  EXPECT_EQ(snap.quantile_us(0.0), 0.0);
+  EXPECT_EQ(snap.quantile_us(0.5), 0.0);
+  EXPECT_EQ(snap.quantile_us(0.99), 0.0);
+  EXPECT_EQ(snap.quantile_us(1.0), 0.0);
+}
+
+TEST(LatencyHistogramTest, SingleSampleOwnsEveryQuantile) {
+  LatencyHistogram h;
+  h.record(3.0);  // bucket 1: [2, 4)
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.total, 1u);
+  EXPECT_EQ(snap.quantile_us(0.0), 4.0);  // rank clamps up to sample 1
+  EXPECT_EQ(snap.quantile_us(0.5), 4.0);
+  EXPECT_EQ(snap.quantile_us(1.0), 4.0);
+}
+
+TEST(LatencyHistogramTest, OutOfRangeQIsClamped) {
+  LatencyHistogram h;
+  h.record(3.0);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.quantile_us(-1.0), snap.quantile_us(0.0));
+  EXPECT_EQ(snap.quantile_us(2.0), snap.quantile_us(1.0));
+}
+
+TEST(LatencyHistogramTest, BucketBoundarySamplesReportUpperEdges) {
+  LatencyHistogram h;
+  h.record(1.0);  // bucket 0 (sub-2us), upper edge 2
+  h.record(2.0);  // bucket 1: [2, 4), upper edge 4
+  h.record(4.0);  // bucket 2: [4, 8), upper edge 8
+  const auto snap = h.snapshot();
+  ASSERT_EQ(snap.total, 3u);
+  EXPECT_EQ(snap.counts[0], 1u);
+  EXPECT_EQ(snap.counts[1], 1u);
+  EXPECT_EQ(snap.counts[2], 1u);
+  // rank(q) = ceil(q * 3), clamped to >= 1: ranks 1, 1, 2, 3.
+  EXPECT_EQ(snap.quantile_us(0.0), 2.0);
+  EXPECT_EQ(snap.quantile_us(1.0 / 3.0), 2.0);
+  EXPECT_EQ(snap.quantile_us(0.5), 4.0);
+  EXPECT_EQ(snap.quantile_us(1.0), 8.0);
+}
+
+TEST(LatencyHistogramTest, SubMicrosecondAndGarbageLandInBucketZero) {
+  LatencyHistogram h;
+  h.record(0.5);
+  h.record(-7.0);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.counts[0], 2u);
+  EXPECT_EQ(snap.quantile_us(1.0), 2.0);
+}
+
+TEST(ServingMetricsTest, SnapshotReflectsRecordedCalls) {
+  ServingMetrics m;
+  m.record_query(3.0);
+  m.record_batch(5, 10.0);
+  m.record_unknown_owner();
+  m.record_epoch_swap();
+  m.record_degraded_serve();
+  const auto snap = m.snapshot();
+  EXPECT_EQ(snap.queries, 1u);
+  EXPECT_EQ(snap.batches, 1u);
+  EXPECT_EQ(snap.owners_resolved, 6u);
+  EXPECT_EQ(snap.unknown_owners, 1u);
+  EXPECT_EQ(snap.epoch_swaps, 1u);
+  EXPECT_EQ(snap.degraded_serves, 1u);
+  EXPECT_EQ(snap.latency.total, 2u);
+}
+
+TEST(ServingMetricsTest, InstancesAreIndependentOnTheRegistry) {
+  // Both live in obs::Registry::global() under distinct `instance` labels
+  // (common in tests: many LocatorServices per process); recording into one
+  // must not bleed into the other.
+  ServingMetrics a;
+  ServingMetrics b;
+  a.record_query(3.0);
+  a.record_query(3.0);
+  EXPECT_EQ(a.snapshot().queries, 2u);
+  EXPECT_EQ(b.snapshot().queries, 0u);
+  EXPECT_EQ(b.snapshot().latency.total, 0u);
+}
+
+}  // namespace
+}  // namespace eppi

@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 #include "secret/secret.h"
 
 int main() {
@@ -14,5 +15,11 @@ int main() {
   // Logging the *public* opening is fine; logging the share is not (see
   // log_share.cpp).
   EPPI_DEBUG("opened value " << sum.reveal());
+  // Same contract for trace attributes: a public value is fine; a Secret is
+  // rejected at compile time (see trace_secret_attr.cpp). This also keeps
+  // the probe honest — if obs/trace.h stopped compiling here, the WILL_FAIL
+  // probe would "pass" for the wrong reason.
+  eppi::obs::Span span("harness.ok");
+  span.attr("opened", std::uint64_t{41});
   return sum.reveal() == 42 ? 0 : 1;
 }

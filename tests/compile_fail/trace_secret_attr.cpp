@@ -1,0 +1,15 @@
+// MUST NOT COMPILE: recording a Secret share as a trace-span attribute
+// would export it through the JSONL trace / `eppi_cli trace` pipeline.
+// Span::attr has a deleted Secret<T> overload (the same taint pattern as
+// Secret's deleted operator<<); the runtime lint rule secret-trace-attr
+// covers the unwrap-then-record laundering this type check cannot see.
+#include "obs/trace.h"
+#include "secret/secret.h"
+
+int main() {
+  const eppi::SecretU64 share(7);
+  eppi::obs::Span span("phase:probe");
+  // use of deleted function — the deliberate violation under test
+  span.attr("share", share);
+  return 0;
+}

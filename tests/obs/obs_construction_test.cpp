@@ -1,0 +1,118 @@
+// The observability acceptance gate: a distributed construction run's
+// exported JSONL trace, replayed through obs::replay_trace (the same code
+// behind `eppi_cli trace`), must reproduce the run's CostMeter ground truth
+// exactly — summed per-phase bytes/messages/rounds across parties equal the
+// cluster meter totals in the protocol report. This holds on the *plain*
+// transport, where per-party meters (PartyContext::send) and the cluster
+// meter see the same sends; reliability-layer acks and retransmits are
+// metered at the transport only, so fault runs are excluded by design.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/distributed_constructor.h"
+#include "dataset/synthetic.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+#include "obs/trace_replay.h"
+
+namespace eppi::core {
+namespace {
+
+TEST(ObsConstructionTest, ReplayedTraceMatchesCostMeterTotals) {
+  // Clear residue from earlier tests in this binary, then require that the
+  // run itself fits the ring: a dropped event would silently lose bytes.
+  (void)eppi::obs::default_sink().drain();
+  const std::uint64_t dropped_before = eppi::obs::default_sink().dropped();
+
+  eppi::Rng rng(21);
+  const auto net = eppi::dataset::make_network_with_frequencies(
+      8, std::vector<std::uint64_t>{7, 1, 2, 5, 3, 2, 1, 4}, rng);
+  const std::vector<double> eps{0.5, 0.4, 0.6, 0.3, 0.5, 0.2, 0.7, 0.4};
+  DistributedOptions options;
+  options.policy = BetaPolicy::chernoff(0.9);
+  options.c = 3;
+  options.seed = 5;
+  const auto result = construct_distributed(net.membership, eps, options);
+
+  const auto events = eppi::obs::default_sink().drain();
+  ASSERT_EQ(eppi::obs::default_sink().dropped(), dropped_before)
+      << "trace ring wrapped mid-run; byte accounting would be partial";
+  ASSERT_FALSE(events.empty());
+
+  // Round-trip through the JSONL exporter exactly as `eppi_cli trace` does.
+  std::istringstream in(eppi::obs::to_jsonl(events));
+  const eppi::obs::ReplaySummary summary = eppi::obs::replay_trace(in);
+  EXPECT_EQ(summary.parse_errors, 0u);
+
+  EXPECT_EQ(summary.total_bytes, result.report.total_cost.bytes);
+  EXPECT_EQ(summary.total_messages, result.report.total_cost.messages);
+  EXPECT_EQ(summary.total_rounds, result.report.total_cost.rounds);
+
+  // The Fig. 6 phases all appear. Order is span *commit* order, which
+  // interleaves across party threads (a non-coordinator can finish its
+  // publish before party 0 closes the broadcast span), so compare as sets.
+  std::vector<std::string> names;
+  for (const auto& row : summary.phases) names.push_back(row.name);
+  std::sort(names.begin(), names.end());
+  std::vector<std::string> expected{"secsum", "count_below", "mix_reveal",
+                                    "broadcast", "publish"};
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(names, expected);
+
+  const auto phase = [&](std::string_view name) -> const eppi::obs::PhaseRow& {
+    for (const auto& row : summary.phases) {
+      if (row.name == name) return row;
+    }
+    ADD_FAILURE() << "phase " << name << " missing";
+    static const eppi::obs::PhaseRow empty{};
+    return empty;
+  };
+
+  // Every phase span carries a party and the SecSumShare phase ran on all
+  // eight providers.
+  EXPECT_EQ(phase("secsum").spans, 8u);
+  // MPC phases involve exactly the c coordinators.
+  EXPECT_EQ(phase("count_below").spans, options.c);
+  EXPECT_EQ(phase("mix_reveal").spans, options.c);
+
+  const std::string table = eppi::obs::render_table(summary);
+  EXPECT_NE(table.find("secsum"), std::string::npos);
+  EXPECT_NE(table.find(std::to_string(result.report.total_cost.bytes)),
+            std::string::npos);
+}
+
+TEST(ObsConstructionTest, SecsumRoundTripSpansParentUnderPhaseSpans) {
+  (void)eppi::obs::default_sink().drain();
+
+  eppi::Rng rng(22);
+  const auto net = eppi::dataset::make_network_with_frequencies(
+      6, std::vector<std::uint64_t>{5, 1, 2, 3, 2, 1}, rng);
+  const std::vector<double> eps(6, 0.5);
+  DistributedOptions options;
+  options.c = 2;
+  const auto result = construct_distributed(net.membership, eps, options);
+  (void)result;
+
+  const auto events = eppi::obs::default_sink().drain();
+  std::uint64_t distribute = 0;
+  std::uint64_t aggregate = 0;
+  for (const auto& ev : events) {
+    if (ev.name_view() == "secsum.distribute") {
+      ++distribute;
+      EXPECT_NE(ev.parent_id, 0u) << "round-trip span must nest in a phase";
+    }
+    if (ev.name_view() == "secsum.aggregate") ++aggregate;
+  }
+  EXPECT_EQ(distribute, 6u);  // one per party
+  EXPECT_EQ(aggregate, 6u);
+}
+
+}  // namespace
+}  // namespace eppi::core

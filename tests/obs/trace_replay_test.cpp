@@ -1,0 +1,94 @@
+// Replay of exported traces into the Fig. 6 per-phase table
+// (obs/trace_replay.h): folding rules, first-appearance ordering, totals,
+// parse-error accounting, and the rendered table shape.
+#include "obs/trace_replay.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace eppi::obs {
+namespace {
+
+// Emits phase spans through the real Span/to_jsonl machinery so the replay
+// test breaks if the exporter's shape drifts.
+std::string sample_jsonl() {
+  TraceSink sink(256);
+  {
+    Span s("phase:secsum", &sink);
+    s.attr("party", std::uint64_t{0});
+    s.attr("bytes", std::uint64_t{100});
+    s.attr("messages", std::uint64_t{4});
+    s.attr("rounds", std::uint64_t{2});
+  }
+  {
+    Span s("phase:secsum", &sink);
+    s.attr("party", std::uint64_t{1});
+    s.attr("bytes", std::uint64_t{50});
+    s.attr("messages", std::uint64_t{2});
+    s.attr("rounds", std::uint64_t{0});
+  }
+  {
+    Span s("phase:broadcast", &sink);
+    s.attr("bytes", std::uint64_t{30});
+    s.attr("messages", std::uint64_t{3});
+    s.attr("rounds", std::uint64_t{1});
+  }
+  {
+    Span s("secsum.distribute", &sink);  // not a phase span: counted, not folded
+    s.attr("party", std::uint64_t{0});
+  }
+  return to_jsonl(sink.drain());
+}
+
+TEST(TraceReplayTest, FoldsPhaseSpansInFirstAppearanceOrder) {
+  std::istringstream in(sample_jsonl());
+  const ReplaySummary summary = replay_trace(in);
+  EXPECT_EQ(summary.parse_errors, 0u);
+  EXPECT_EQ(summary.events, 4u);
+  ASSERT_EQ(summary.phases.size(), 2u);
+
+  EXPECT_EQ(summary.phases[0].name, "secsum");
+  EXPECT_EQ(summary.phases[0].spans, 2u);
+  EXPECT_EQ(summary.phases[0].bytes, 150u);
+  EXPECT_EQ(summary.phases[0].messages, 6u);
+  EXPECT_EQ(summary.phases[0].rounds, 2u);
+
+  EXPECT_EQ(summary.phases[1].name, "broadcast");
+  EXPECT_EQ(summary.phases[1].bytes, 30u);
+
+  EXPECT_EQ(summary.total_bytes, 180u);
+  EXPECT_EQ(summary.total_messages, 9u);
+  EXPECT_EQ(summary.total_rounds, 3u);
+}
+
+TEST(TraceReplayTest, MalformedLinesAreCountedNotFatal) {
+  std::istringstream in(sample_jsonl() + "this is not json\n{\"span\":}\n");
+  const ReplaySummary summary = replay_trace(in);
+  EXPECT_EQ(summary.parse_errors, 2u);
+  EXPECT_EQ(summary.total_bytes, 180u);  // good lines still fold
+}
+
+TEST(TraceReplayTest, EmptyInputYieldsEmptySummary) {
+  std::istringstream in("");
+  const ReplaySummary summary = replay_trace(in);
+  EXPECT_TRUE(summary.phases.empty());
+  EXPECT_EQ(summary.events, 0u);
+  EXPECT_EQ(summary.total_bytes, 0u);
+}
+
+TEST(TraceReplayTest, RenderedTableCarriesPhaseRowsAndTotals) {
+  std::istringstream in(sample_jsonl());
+  const std::string table = render_table(replay_trace(in));
+  EXPECT_NE(table.find("phase"), std::string::npos);
+  EXPECT_NE(table.find("secsum"), std::string::npos);
+  EXPECT_NE(table.find("broadcast"), std::string::npos);
+  EXPECT_NE(table.find("total"), std::string::npos);
+  EXPECT_NE(table.find("180"), std::string::npos);  // summed bytes
+}
+
+}  // namespace
+}  // namespace eppi::obs

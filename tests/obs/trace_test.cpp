@@ -1,0 +1,225 @@
+// Trace layer contract (obs/trace.h): RAII span commit, thread_local parent
+// links, typed attributes with truncation, instantaneous events, ring wrap
+// accounting, the JSONL export shape, and a multi-thread hammer that the CI
+// TSan job runs to certify the lock-free ring (`ctest -L obs` under
+// sanitize-threads).
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace eppi::obs {
+namespace {
+
+const SpanAttr* find_attr(const SpanEvent& ev, std::string_view key) {
+  for (std::uint32_t i = 0; i < ev.n_attrs; ++i) {
+    if (std::string_view(ev.attrs[i].key,
+                         ::strnlen(ev.attrs[i].key, SpanAttr::kKeyCap)) ==
+        key) {
+      return &ev.attrs[i];
+    }
+  }
+  return nullptr;
+}
+
+TEST(TraceTest, SpanCommitsOnDestructionWithTimesAndAttrs) {
+  TraceSink sink(64);
+  {
+    Span span("unit.work", &sink);
+    span.attr("bytes", std::uint64_t{4096});
+    span.attr("delta", std::int64_t{-3});
+    span.attr("ratio", 0.5);
+    span.attr("ok", true);
+    span.attr("label", "secsum");
+    EXPECT_TRUE(sink.drain().empty()) << "span committed before destruction";
+  }
+  const auto events = sink.drain();
+  ASSERT_EQ(events.size(), 1u);
+  const SpanEvent& ev = events[0];
+  EXPECT_EQ(ev.name_view(), "unit.work");
+  EXPECT_NE(ev.span_id, 0u);
+  EXPECT_EQ(ev.parent_id, 0u);
+  EXPECT_GE(ev.end_ns, ev.start_ns);
+  EXPECT_EQ(ev.n_attrs, 5u);
+
+  const SpanAttr* bytes = find_attr(ev, "bytes");
+  ASSERT_NE(bytes, nullptr);
+  EXPECT_EQ(bytes->value.type, AttrValue::Type::kU64);
+  EXPECT_EQ(bytes->value.u64, 4096u);
+
+  const SpanAttr* delta = find_attr(ev, "delta");
+  ASSERT_NE(delta, nullptr);
+  EXPECT_EQ(delta->value.type, AttrValue::Type::kI64);
+  EXPECT_EQ(delta->value.i64, -3);
+
+  const SpanAttr* label = find_attr(ev, "label");
+  ASSERT_NE(label, nullptr);
+  EXPECT_EQ(label->value.type, AttrValue::Type::kStr);
+}
+
+TEST(TraceTest, NestedSpansLinkToParentOnSameThread) {
+  TraceSink sink(64);
+  std::uint64_t outer_id = 0;
+  {
+    Span outer("outer", &sink);
+    outer_id = outer.id();
+    {
+      Span inner("inner", &sink);
+      EXPECT_NE(inner.id(), outer.id());
+    }
+    outer.event("tick");
+  }
+  auto events = sink.drain();
+  ASSERT_EQ(events.size(), 3u);  // inner, tick, outer (in commit order)
+  EXPECT_EQ(events[0].name_view(), "inner");
+  EXPECT_EQ(events[0].parent_id, outer_id);
+  EXPECT_EQ(events[1].name_view(), "tick");
+  EXPECT_EQ(events[1].parent_id, outer_id);
+  EXPECT_EQ(events[1].start_ns, events[1].end_ns);  // instantaneous
+  EXPECT_EQ(events[2].name_view(), "outer");
+  EXPECT_EQ(events[2].parent_id, 0u);
+}
+
+TEST(TraceTest, LongNamesAndStringsTruncateSafely) {
+  TraceSink sink(64);
+  const std::string long_name(200, 'n');
+  const std::string long_value(200, 'v');
+  {
+    Span span(long_name, &sink);
+    span.attr("k", std::string_view(long_value));
+  }
+  const auto events = sink.drain();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name_view().size(), SpanEvent::kNameCap);
+  EXPECT_EQ(events[0].name_view(), std::string(SpanEvent::kNameCap, 'n'));
+}
+
+TEST(TraceTest, AttrsPastCapacityAreDroppedNotCorrupted) {
+  TraceSink sink(64);
+  {
+    Span span("crowded", &sink);
+    for (int k = 0; k < 20; ++k) {
+      span.attr("key" + std::to_string(k), std::uint64_t(k));
+    }
+  }
+  const auto events = sink.drain();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].n_attrs, SpanEvent::kMaxAttrs);
+}
+
+TEST(TraceTest, RingWrapDropsOldestAndAccountsForThem) {
+  TraceSink sink(64);  // rounded to a power of two >= 64
+  ASSERT_EQ(sink.capacity(), 64u);
+  for (int k = 0; k < 100; ++k) {
+    Span span("wrapped", &sink);
+  }
+  const auto events = sink.drain();
+  EXPECT_EQ(sink.recorded(), 100u);
+  EXPECT_EQ(events.size(), 64u);  // the newest capacity-many survive
+  EXPECT_EQ(sink.dropped(), 36u);
+  // Drained + dropped always equals recorded once the ring is quiescent.
+  EXPECT_EQ(events.size() + sink.dropped(), sink.recorded());
+}
+
+TEST(TraceTest, ConcurrentSpansAllArriveWhenRingIsLargeEnough) {
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 1000;
+  TraceSink sink(8192);
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&sink, t] {
+      for (std::size_t k = 0; k < kPerThread; ++k) {
+        Span span("hammer", &sink);
+        span.attr("thread", std::uint64_t{t});
+        span.attr("k", std::uint64_t{k});
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  const auto events = sink.drain();
+  EXPECT_EQ(sink.recorded(), kThreads * kPerThread);
+  EXPECT_EQ(events.size() + sink.dropped(), kThreads * kPerThread);
+  EXPECT_EQ(sink.dropped(), 0u) << "ring sized to hold every event";
+  // Every (thread, k) pair arrives exactly once.
+  std::vector<std::vector<bool>> seen(kThreads,
+                                      std::vector<bool>(kPerThread, false));
+  for (const auto& ev : events) {
+    const SpanAttr* t = find_attr(ev, "thread");
+    const SpanAttr* k = find_attr(ev, "k");
+    ASSERT_NE(t, nullptr);
+    ASSERT_NE(k, nullptr);
+    ASSERT_LT(t->value.u64, kThreads);
+    ASSERT_LT(k->value.u64, kPerThread);
+    EXPECT_FALSE(seen[t->value.u64][k->value.u64]);
+    seen[t->value.u64][k->value.u64] = true;
+  }
+}
+
+TEST(TraceTest, DrainConcurrentWithRecordersNeverFabricatesEvents) {
+  // The TSan-relevant torture: readers racing writers on a deliberately tiny
+  // ring. Every drained event must be internally consistent (a name we
+  // wrote, sane attr count) even while slots are being overwritten.
+  TraceSink sink(64);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < 2; ++t) {
+    workers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        Span span("racer", &sink);
+        span.attr("x", std::uint64_t{7});
+      }
+    });
+  }
+  std::uint64_t drained = 0;
+  const auto validate = [&](const std::vector<SpanEvent>& events) {
+    for (const auto& ev : events) {
+      ++drained;
+      EXPECT_EQ(ev.name_view(), "racer");
+      ASSERT_EQ(ev.n_attrs, 1u);
+      EXPECT_EQ(ev.attrs[0].value.u64, 7u);
+    }
+  };
+  // Mid-run drains may legitimately return nothing: on a ring this small,
+  // spinning writers can lap every slot before the reader validates it (the
+  // overrun is then *accounted*, as dropped). What must never happen is a
+  // fabricated or torn event getting through validation. Keep draining until
+  // the writers have demonstrably produced work — under load the OS may not
+  // schedule them until well after our first drains.
+  for (int round = 0;
+       round < 200 || sink.recorded() < 4 * sink.capacity(); ++round) {
+    validate(sink.drain());
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& w : workers) w.join();
+  validate(sink.drain());  // quiescent: the newest events must survive
+  EXPECT_GT(drained, 0u);
+  EXPECT_LE(sink.dropped(), sink.recorded());
+  EXPECT_EQ(drained + sink.dropped(), sink.recorded());
+}
+
+TEST(TraceTest, ToJsonlEmitsOneObjectPerLine) {
+  TraceSink sink(64);
+  {
+    Span span("phase:secsum", &sink);
+    span.attr("party", std::uint64_t{0});
+    span.attr("bytes", std::uint64_t{128});
+    span.attr("note", "a\"quote");
+  }
+  const std::string jsonl = to_jsonl(sink.drain());
+  EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'), 1);
+  EXPECT_NE(jsonl.find("\"name\":\"phase:secsum\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"party\":0"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"bytes\":128"), std::string::npos);
+  EXPECT_NE(jsonl.find("a\\\"quote"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eppi::obs

@@ -42,7 +42,7 @@
 //       Additional options: --eps x, --c n, --host-file f (one host:port
 //       per line overrides the loopback mesh).
 //
-//   eppi_cli serve <collection.csv> [options]
+//   eppi_cli serve [<collection.csv>] [options]
 //       Exercises the concurrent serving tier (docs/serving.md): builds a
 //       LocatorService from the table, then hammers QueryPPI from reader
 //       threads — optionally while a writer thread rebuilds and swaps
@@ -54,13 +54,37 @@
 //         --batch <B>      owners per call; B>1 uses QueryPPI-many (default 1)
 //         --rebuilds <R>   concurrent epoch rebuild/swaps (default 0)
 //         --seed <n>       RNG seed (default 1)
+//         --smoke          built-in synthetic table, no CSV needed; shrinks
+//                          the default workload — the CI observability gate
+//         --prom           dump the metrics registry as Prometheus text on
+//                          stdout (the human summary moves to stderr, so
+//                          `serve --smoke --prom | eppi_cli stats` works)
+//         --trace <path>   drain the process trace ring and write it as
+//                          JSONL (crash-safe atomic write)
+//
+//   eppi_cli stats [<index.idx> | -]
+//       With an index file: dimensions, density and apparent-frequency
+//       profile. With `-` (or no argument when stdin is piped): reads
+//       Prometheus text exposition from stdin, validates it line by line
+//       and prints a per-family sample summary; exit 1 on malformed input.
+//
+//   eppi_cli trace <trace.jsonl> [--expect-bytes N]
+//       Replays an exported JSONL trace (serve --trace or a test run) into
+//       the paper's Fig. 6 per-phase cost table: one row per protocol phase
+//       with summed time, bytes, messages and rounds across parties.
+//       --expect-bytes fails (exit 1) unless the summed phase bytes equal N
+//       — the CI hook that pins the trace to the CostMeter ground truth.
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <span>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -77,6 +101,9 @@
 #include "core/posting_index.h"
 #include "dataset/collection_table.h"
 #include "net/socket_transport.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+#include "obs/trace_replay.h"
 #include "storage/posix_vfs.h"
 
 namespace {
@@ -90,14 +117,17 @@ int usage() {
          "[--seed n] [--no-mixing]\n"
          "  eppi_cli query <index.idx> <collection.csv> <identity> "
          "[identity ...]\n"
-         "  eppi_cli stats <index.idx>\n"
+         "  eppi_cli stats <index.idx | ->   (- validates Prometheus text "
+         "from stdin)\n"
          "  eppi_cli fsck <index.idx | store-dir>\n"
          "  eppi_cli party <collection.csv> --id I --port-base P "
          "[--eps x] [--c n] [--host-file f]\n"
          "  eppi_cli audit <index.idx> <collection.csv> [--eps x]\n"
-         "  eppi_cli serve <collection.csv> [--eps x] [--threads T] "
+         "  eppi_cli serve [<collection.csv>] [--eps x] [--threads T] "
          "[--queries N] [--batch B]\n"
-         "           [--rebuilds R] [--seed n]\n";
+         "           [--rebuilds R] [--seed n] [--smoke] [--prom] "
+         "[--trace out.jsonl]\n"
+         "  eppi_cli trace <trace.jsonl> [--expect-bytes N]\n";
   return 2;
 }
 
@@ -436,16 +466,33 @@ int cmd_party(const std::vector<std::string>& args) {
   return 0;
 }
 
+// Deterministic built-in table for `serve --smoke`: big enough to exercise
+// readers, rebuilds and every metric family, small enough for a CI gate.
+eppi::dataset::CollectionTable smoke_table() {
+  std::ostringstream csv;
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 12; ++j) {
+      if ((i + j) % 3 != 0) csv << "prov" << i << ",owner" << j << '\n';
+    }
+  }
+  std::istringstream in(csv.str());
+  return eppi::dataset::load_collection_table(in);
+}
+
 int cmd_serve(const std::vector<std::string>& args) {
-  if (args.empty()) return usage();
-  const std::string csv_path = args[0];
+  std::string csv_path;
   double eps = 0.6;
   std::size_t threads = 2;
   std::size_t queries = 10000;
+  bool queries_set = false;
   std::size_t batch = 1;
   std::size_t rebuilds = 0;
+  bool rebuilds_set = false;
   std::uint64_t seed = 1;
-  for (std::size_t a = 1; a < args.size(); ++a) {
+  bool smoke = false;
+  bool prom = false;
+  std::string trace_path;
+  for (std::size_t a = 0; a < args.size(); ++a) {
     const std::string& arg = args[a];
     const auto next = [&]() -> const std::string& {
       if (a + 1 >= args.size()) throw eppi::ConfigError(arg + " needs a value");
@@ -457,21 +504,40 @@ int cmd_serve(const std::vector<std::string>& args) {
       threads = std::stoul(next());
     } else if (arg == "--queries") {
       queries = std::stoul(next());
+      queries_set = true;
     } else if (arg == "--batch") {
       batch = std::stoul(next());
     } else if (arg == "--rebuilds") {
       rebuilds = std::stoul(next());
+      rebuilds_set = true;
     } else if (arg == "--seed") {
       seed = std::stoull(next());
-    } else {
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--prom") {
+      prom = true;
+    } else if (arg == "--trace") {
+      trace_path = next();
+    } else if (!arg.empty() && arg[0] == '-') {
       throw eppi::ConfigError("unknown option " + arg);
+    } else if (csv_path.empty()) {
+      csv_path = arg;
+    } else {
+      throw eppi::ConfigError("unexpected argument " + arg);
     }
   }
+  if (csv_path.empty() && !smoke) return usage();
   if (threads == 0 || batch == 0) {
     throw eppi::ConfigError("--threads and --batch must be positive");
   }
+  if (smoke) {
+    // A smoke run must finish in well under a second; still defaults to one
+    // rebuild so the swap/publish paths show up in the exposition.
+    if (!queries_set) queries = 500;
+    if (!rebuilds_set) rebuilds = 1;
+  }
 
-  const auto table = load_csv(csv_path);
+  const auto table = smoke ? smoke_table() : load_csv(csv_path);
   const auto& net = table.network;
   if (net.identities() == 0) throw eppi::ConfigError("table has no identities");
 
@@ -535,26 +601,171 @@ int cmd_serve(const std::vector<std::string>& args) {
 
   const auto status = service.serving_status();
   const auto metrics = service.metrics();
-  std::cout << "epoch:            " << status.epoch
-            << (status.degraded ? " (degraded)" : "") << '\n'
-            << "queries:          " << metrics.queries << " single, "
-            << metrics.batches << " batched\n"
-            << "owners resolved:  " << metrics.owners_resolved << " ("
-            << static_cast<std::uint64_t>(
-                   seconds > 0.0
-                       ? static_cast<double>(metrics.owners_resolved) / seconds
-                       : 0.0)
-            << "/s)\n"
-            << "latency p50/p99:  " << metrics.latency.quantile_us(0.5)
-            << " / " << metrics.latency.quantile_us(0.99) << " us per call\n"
-            << "epoch swaps:      " << metrics.epoch_swaps << '\n'
-            << "degraded serves:  " << metrics.degraded_serves << '\n'
-            << "unknown owners:   " << metrics.unknown_owners << '\n';
+  // With --prom the machine-readable exposition owns stdout; the human
+  // summary moves to stderr so `serve --prom | eppi_cli stats` stays clean.
+  std::ostream& out = prom ? std::cerr : std::cout;
+  out << "epoch:            " << status.epoch
+      << (status.degraded ? " (degraded)" : "") << '\n'
+      << "queries:          " << metrics.queries << " single, "
+      << metrics.batches << " batched\n"
+      << "owners resolved:  " << metrics.owners_resolved << " ("
+      << static_cast<std::uint64_t>(
+             seconds > 0.0
+                 ? static_cast<double>(metrics.owners_resolved) / seconds
+                 : 0.0)
+      << "/s)\n"
+      << "latency p50/p99:  " << metrics.latency.quantile_us(0.5)
+      << " / " << metrics.latency.quantile_us(0.99) << " us per call\n"
+      << "epoch swaps:      " << metrics.epoch_swaps << '\n'
+      << "degraded serves:  " << metrics.degraded_serves << '\n'
+      << "unknown owners:   " << metrics.unknown_owners << '\n';
+  if (prom) {
+    std::cout << eppi::obs::Registry::global().render_prometheus();
+  }
+  if (!trace_path.empty()) {
+    const std::string jsonl =
+        eppi::obs::to_jsonl(eppi::obs::default_sink().drain());
+    eppi::storage::PosixVfs vfs;
+    eppi::storage::atomic_write_file(
+        vfs, trace_path,
+        std::span(reinterpret_cast<const std::uint8_t*>(jsonl.data()),
+                  jsonl.size()));
+    std::cerr << "wrote trace (" << jsonl.size() << " bytes) to "
+              << trace_path << '\n';
+  }
+  return 0;
+}
+
+// --- Prometheus text validation (`eppi_cli stats -`) ---------------------
+//
+// A deliberately strict reader for the exposition this binary itself emits:
+// `# HELP`/`# TYPE` comments plus `name{labels} value` samples. Used as the
+// receiving end of `serve --prom | eppi_cli stats -` in CI, so malformed
+// output is a hard failure, not a shrug.
+
+bool valid_metric_name(const std::string& s) {
+  if (s.empty()) return false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    const bool alpha = std::isalpha(static_cast<unsigned char>(c)) != 0;
+    const bool digit = std::isdigit(static_cast<unsigned char>(c)) != 0;
+    if (!(alpha || c == '_' || c == ':' || (digit && i > 0))) return false;
+  }
+  return true;
+}
+
+// Splits `name{labels} value` / `name value`; returns false on any syntax
+// violation (unbalanced braces, empty name, non-numeric value...).
+bool parse_sample_line(const std::string& line, std::string& name) {
+  std::size_t name_end = 0;
+  while (name_end < line.size() && line[name_end] != '{' &&
+         line[name_end] != ' ') {
+    ++name_end;
+  }
+  name = line.substr(0, name_end);
+  if (!valid_metric_name(name)) return false;
+  std::size_t pos = name_end;
+  if (pos < line.size() && line[pos] == '{') {
+    const auto close = line.find('}', pos);
+    if (close == std::string::npos) return false;
+    // Label pairs must look like key="value": quote parity inside the block.
+    std::size_t quotes = 0;
+    for (std::size_t k = pos + 1; k < close; ++k) {
+      if (line[k] == '"') ++quotes;
+    }
+    if (quotes % 2 != 0) return false;
+    pos = close + 1;
+  }
+  if (pos >= line.size() || line[pos] != ' ') return false;
+  const std::string value = line.substr(pos + 1);
+  if (value.empty()) return false;
+  try {
+    std::size_t used = 0;
+    (void)std::stod(value, &used);
+    // Allow an optional trailing timestamp (integer) after the value.
+    while (used < value.size() && value[used] == ' ') ++used;
+    for (; used < value.size(); ++used) {
+      if (!std::isdigit(static_cast<unsigned char>(value[used]))) return false;
+    }
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+int validate_prometheus(std::istream& in) {
+  std::map<std::string, std::string> family_type;  // name -> TYPE
+  std::map<std::string, std::uint64_t> samples;    // family -> sample count
+  std::string line;
+  std::size_t line_no = 0;
+  std::uint64_t total = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream meta(line);
+      std::string hash, kind, name;
+      meta >> hash >> kind >> name;
+      if (kind == "TYPE") {
+        static const char* kKinds[] = {"counter", "gauge", "histogram",
+                                       "summary", "untyped"};
+        std::string type;
+        meta >> type;
+        if (!valid_metric_name(name) ||
+            std::find_if(std::begin(kKinds), std::end(kKinds),
+                         [&](const char* k) { return type == k; }) ==
+                std::end(kKinds)) {
+          std::cerr << "stats: malformed TYPE line " << line_no << ": "
+                    << line << '\n';
+          return 1;
+        }
+        family_type[name] = type;
+      } else if (kind == "HELP" && !valid_metric_name(name)) {
+        std::cerr << "stats: malformed HELP line " << line_no << ": " << line
+                  << '\n';
+        return 1;
+      }
+      continue;
+    }
+    std::string name;
+    if (!parse_sample_line(line, name)) {
+      std::cerr << "stats: malformed sample line " << line_no << ": " << line
+                << '\n';
+      return 1;
+    }
+    // Histogram series sample under the family name (strip the suffix).
+    std::string family = name;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::string s = suffix;
+      if (name.size() > s.size() &&
+          name.compare(name.size() - s.size(), s.size(), s) == 0 &&
+          family_type.count(name.substr(0, name.size() - s.size())) != 0) {
+        family = name.substr(0, name.size() - s.size());
+        break;
+      }
+    }
+    ++samples[family];
+    ++total;
+  }
+  if (total == 0) {
+    std::cerr << "stats: no samples on stdin\n";
+    return 1;
+  }
+  std::cout << "valid Prometheus exposition: " << family_type.size()
+            << " typed families, " << samples.size() << " sampled, " << total
+            << " samples\n";
+  for (const auto& [family, count] : samples) {
+    const auto it = family_type.find(family);
+    std::cout << "  " << family << " ("
+              << (it == family_type.end() ? "untyped" : it->second) << "): "
+              << count << " sample(s)\n";
+  }
   return 0;
 }
 
 int cmd_stats(const std::vector<std::string>& args) {
-  if (args.size() != 1) return usage();
+  if (args.size() > 1) return usage();
+  if (args.empty() || args[0] == "-") return validate_prometheus(std::cin);
   const auto index = load_idx(args[0]);
   const auto& matrix = index.matrix();
   const std::size_t cells = matrix.rows() * matrix.cols();
@@ -578,6 +789,37 @@ int cmd_stats(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_trace(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const std::string& path = args[0];
+  std::uint64_t expect_bytes = 0;
+  bool have_expect = false;
+  for (std::size_t a = 1; a < args.size(); ++a) {
+    if (args[a] == "--expect-bytes" && a + 1 < args.size()) {
+      expect_bytes = std::stoull(args[++a]);
+      have_expect = true;
+    } else {
+      throw eppi::ConfigError("unknown option " + args[a]);
+    }
+  }
+  std::ifstream in(path);
+  if (!in) throw eppi::ConfigError("cannot open " + path);
+  const auto summary = eppi::obs::replay_trace(in);
+  std::cout << eppi::obs::render_table(summary);
+  if (summary.parse_errors != 0) {
+    std::cerr << "trace: " << summary.parse_errors
+              << " line(s) failed to parse\n";
+    return 1;
+  }
+  if (have_expect && summary.total_bytes != expect_bytes) {
+    std::cerr << "trace: phase bytes " << summary.total_bytes
+              << " != expected " << expect_bytes
+              << " (CostMeter ground truth)\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -592,6 +834,7 @@ int main(int argc, char** argv) {
     if (command == "party") return cmd_party(args);
     if (command == "audit") return cmd_audit(args);
     if (command == "serve") return cmd_serve(args);
+    if (command == "trace") return cmd_trace(args);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

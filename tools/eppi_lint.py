@@ -36,6 +36,17 @@ Rules (suppress a single line with `// eppi-lint: allow(<rule>)`):
                      so every write follows the crash-safe commit protocol
                      and is testable under injected storage faults.
 
+  secret-trace-attr  a reveal()/unwrap_for_wire() result passed directly to
+                     an observability API (Span::attr/event, Counter::add,
+                     Gauge::set, Histogram::record, Registry::counter/...).
+                     The deleted Secret<T> overload on Span::attr blocks the
+                     typed path at compile time; this rule catches the
+                     unwrap-then-record laundering pattern. Telemetry is
+                     exported (Prometheus, JSONL traces, BENCH json), so it
+                     is NEVER an audited zone — the rule fires even inside
+                     src/secret and src/mpc. Only tests/ may do this, to pin
+                     the rule itself.
+
   build-artifact     build directories, object files, or binaries committed
                      to the repository.
 
@@ -254,6 +265,43 @@ def check_raw_file_write(path: str, text: str, out: list):
 
 
 # --------------------------------------------------------------------------
+# Rule: secret-trace-attr
+
+# Cheap gate: the line mentions an obs-flavored call at all.
+TRACE_CALL_RE = re.compile(
+    r"\.\s*(attr|event|record)\s*\(|\b(counter|gauge|histogram)\s*\("
+    r"|\.\s*(add|set)\s*\(")
+# The violation: an unwrap hatch invoked inside the argument list of one of
+# those calls, within a single statement (no ';' between them). Indirect
+# flows (unwrap into a local, record the local) are out of scope here — the
+# escape-hatch and secret-logging rules own that territory.
+TRACE_REVEAL_RE = re.compile(
+    r"\b(attr|event|record|add|set|counter|gauge|histogram)\s*\("
+    r"[^;]*\b(reveal|unwrap_for_wire)\s*\(")
+
+TRACE_ATTR_EXEMPT = ("tests/",)
+
+
+def check_secret_trace_attr(path: str, text: str, out: list):
+    if path.startswith(TRACE_ATTR_EXEMPT):
+        return
+    lines = list(iter_code_lines(text))
+    for i, (lineno, raw, code) in enumerate(lines):
+        if not TRACE_CALL_RE.search(code):
+            continue
+        # The call's argument list may span lines; inspect a small window.
+        window = " ".join(c for _, _, c in lines[i:i + 3])
+        if TRACE_REVEAL_RE.search(window) \
+                and not allowed(raw, "secret-trace-attr"):
+            out.append(Violation(
+                "secret-trace-attr", path, lineno,
+                "reveal()/unwrap_for_wire() result recorded into a span "
+                "attribute or metric; telemetry is exported, so open the "
+                "value into a named local (auditable) only if it is public, "
+                "and never inline into an observability call"))
+
+
+# --------------------------------------------------------------------------
 # Rule: build-artifact (repo hygiene; checks the git index, not file text)
 
 ARTIFACT_RE = re.compile(
@@ -280,10 +328,12 @@ def check_build_artifacts(root: str, out: list):
 # Driver
 
 SOURCE_CHECKS = (check_rng, check_secret_logging, check_unbounded_recv,
-                 check_escape_hatch, check_raw_file_write)
+                 check_escape_hatch, check_raw_file_write,
+                 check_secret_trace_attr)
 
 RULES = ("rng-construction", "secret-logging", "unbounded-recv",
-         "escape-hatch", "raw-file-write", "build-artifact")
+         "escape-hatch", "raw-file-write", "secret-trace-attr",
+         "build-artifact")
 
 
 def collect_files(root: str, explicit):
@@ -366,6 +416,23 @@ SELF_TEST_CASES = [
      "std::ofstream out(p);  // eppi-lint: allow(raw-file-write)\n", False),
     ("raw-file-write", "src/core/x.cpp",
      "std::ifstream in(path, std::ios::binary);\n", False),
+    ("secret-trace-attr", "src/core/x.cpp",
+     'span.attr("count", total.reveal());\n', True),
+    ("secret-trace-attr", "src/secret/x.cpp",  # audited for reveal, NOT for telemetry
+     'span.attr("sum", acc.reveal());\n', True),
+    ("secret-trace-attr", "src/net/x.cpp",
+     'registry.counter("x").add(s.unwrap_for_wire());\n', True),
+    ("secret-trace-attr", "src/core/x.cpp",
+     'span.attr("count",\n          total.reveal());\n', True),
+    ("secret-trace-attr", "src/core/x.cpp",
+     'span.attr("count", counted.common_count);\n', False),
+    ("secret-trace-attr", "src/core/x.cpp",  # indirect flow: other rules' turf
+     "auto v = share.reveal();\nspan.attr(\"v\", v);\n", False),
+    ("secret-trace-attr", "tests/obs/x.cpp",  # tests pin the rule itself
+     'span.attr("v", s.reveal());\n', False),
+    ("secret-trace-attr", "src/core/x.cpp",
+     'span.attr("n", t.reveal());  '
+     "// eppi-lint: allow(secret-trace-attr)\n", False),
 ]
 
 
