@@ -4,11 +4,21 @@
 // bench quantifies what the socket path adds (syscalls, framing, TCP stack)
 // for the two construction stages, so deployments can extrapolate from the
 // in-process benches. On a real LAN the cost model's RTT/bandwidth terms
-// dominate instead — see net/cost_model.h.
+// dominate instead — see net/cost_model.h. The measured loopback RTT is
+// reported so a deployment can calibrate CostModel::rtt against its own
+// network (docs/deployment.md shows the arithmetic).
+//
+// Usage: bench_tcp [--smoke] [--json <path>]
+//   --smoke   smallest sizes only (CI gate)
+//   --json    machine-readable results (default BENCH_tcp.json)
+#include <algorithm>
 #include <chrono>
 #include <cstddef>
+#include <fstream>
 #include <functional>
+#include <iostream>
 #include <netinet/in.h>
+#include <string>
 #include <sys/socket.h>
 #include <thread>
 #include <unistd.h>
@@ -85,14 +95,112 @@ double run_tcp(std::size_t m,
       .count();
 }
 
+// Application-level round trip over an established loopback link: send one
+// tiny frame, wait for the echo. Includes the full runtime path (post to the
+// loop, framing, epoll wakeups, mailbox delivery) on both ends — the number
+// a deployment compares against its own ping to calibrate the cost model.
+struct RttResult {
+  int iters = 0;
+  double p50_us = 0.0;
+  double avg_us = 0.0;
+};
+
+RttResult measure_loopback_rtt(int iters) {
+  const std::uint16_t base = find_port_base(2);
+  std::vector<Endpoint> endpoints(2);
+  endpoints[0].port = base;
+  endpoints[1].port = static_cast<std::uint16_t>(base + 1);
+  RttResult result;
+  result.iters = iters;
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(iters));
+  std::thread echo([&] {
+    eppi::net::SocketRuntime runtime(1, endpoints, 11);
+    for (int k = 0; k < iters; ++k) {
+      auto ping = runtime.context().recv(0, eppi::net::MessageTag::kUserBase,
+                                         static_cast<std::uint64_t>(k));
+      runtime.context().send(0, eppi::net::MessageTag::kUserBase + 1,
+                             static_cast<std::uint64_t>(k), std::move(ping));
+    }
+  });
+  {
+    eppi::net::SocketRuntime runtime(0, endpoints, 12);
+    for (int k = 0; k < iters; ++k) {
+      const auto start = std::chrono::steady_clock::now();
+      runtime.context().send(1, eppi::net::MessageTag::kUserBase,
+                             static_cast<std::uint64_t>(k), {0x55});
+      (void)runtime.context().recv(1, eppi::net::MessageTag::kUserBase + 1,
+                                   static_cast<std::uint64_t>(k));
+      samples.push_back(std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - start)
+                            .count());
+    }
+    echo.join();
+  }
+  double sum = 0.0;
+  for (const double s : samples) sum += s;
+  result.avg_us = samples.empty() ? 0.0 : sum / samples.size();
+  std::sort(samples.begin(), samples.end());
+  if (!samples.empty()) result.p50_us = samples[samples.size() / 2];
+  return result;
+}
+
+struct AblationRow {
+  std::string protocol;
+  std::size_t parties = 0;
+  double inproc_ms = 0.0;
+  double tcp_ms = 0.0;
+};
+
+void write_json(const std::string& path, bool smoke, const RttResult& rtt,
+                const std::vector<AblationRow>& ablation) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << '\n';
+    return;
+  }
+  out << "{\n  \"bench\": \"tcp\",\n";
+  out << "  \"config\": {\"smoke\": " << (smoke ? "true" : "false") << "},\n";
+  out << "  \"loopback_rtt\": {\"iters\": " << rtt.iters
+      << ", \"p50_us\": " << rtt.p50_us << ", \"avg_us\": " << rtt.avg_us
+      << "},\n";
+  out << "  \"ablation\": [\n";
+  for (std::size_t k = 0; k < ablation.size(); ++k) {
+    const auto& r = ablation[k];
+    out << "    {\"protocol\": \"" << r.protocol
+        << "\", \"parties\": " << r.parties
+        << ", \"inproc_ms\": " << r.inproc_ms << ", \"tcp_ms\": " << r.tcp_ms
+        << "}" << (k + 1 < ablation.size() ? "," : "") << '\n';
+  }
+  out << "  ]\n}\n";
+  std::cerr << "wrote " << path << '\n';
+}
+
 }  // namespace
 
-int main() {
-  constexpr std::size_t kN = 64;  // identities
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path = "BENCH_tcp.json";
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--json" && a + 1 < argc) {
+      json_path = argv[++a];
+    } else {
+      std::cerr << "usage: bench_tcp [--smoke] [--json <path>]\n";
+      return 2;
+    }
+  }
+
+  const std::size_t kN = smoke ? 32 : 64;  // identities
   eppi::bench::ResultTable table(
       {"protocol", "parties", "inproc-ms", "tcp-ms"});
+  std::vector<AblationRow> ablation;
 
-  for (const std::size_t m : {4u, 8u}) {
+  const std::vector<unsigned> secsum_sizes =
+      smoke ? std::vector<unsigned>{4u} : std::vector<unsigned>{4u, 8u};
+  for (const std::size_t m : secsum_sizes) {
     // Inputs shared by both harnesses.
     eppi::Rng rng(m);
     std::vector<std::vector<std::uint8_t>> inputs(
@@ -104,12 +212,16 @@ int main() {
     const auto body = [&](PartyContext& ctx, std::size_t i) {
       (void)eppi::secret::run_sec_sum_share_party(ctx, params, inputs[i]);
     };
-    table.add_row({"secsumshare", std::to_string(m),
-                   eppi::bench::fmt(run_inproc(m, body), 2),
-                   eppi::bench::fmt(run_tcp(m, body), 2)});
+    AblationRow arow{"secsumshare", m, run_inproc(m, body), run_tcp(m, body)};
+    table.add_row({arow.protocol, std::to_string(m),
+                   eppi::bench::fmt(arow.inproc_ms, 2),
+                   eppi::bench::fmt(arow.tcp_ms, 2)});
+    ablation.push_back(std::move(arow));
   }
 
-  for (const std::size_t m : {4u, 6u}) {
+  const std::vector<unsigned> construction_sizes =
+      smoke ? std::vector<unsigned>{4u} : std::vector<unsigned>{4u, 6u};
+  for (const std::size_t m : construction_sizes) {
     eppi::Rng rng(m + 50);
     std::vector<std::vector<std::uint8_t>> rows(
         m, std::vector<std::uint8_t>(8));
@@ -124,13 +236,27 @@ int main() {
       (void)eppi::core::run_construction_party(ctx, rows[i], epsilons,
                                                options);
     };
-    table.add_row({"construction", std::to_string(m),
-                   eppi::bench::fmt(run_inproc(m, body), 2),
-                   eppi::bench::fmt(run_tcp(m, body), 2)});
+    AblationRow arow{"construction", m, run_inproc(m, body),
+                     run_tcp(m, body)};
+    table.add_row({arow.protocol, std::to_string(m),
+                   eppi::bench::fmt(arow.inproc_ms, 2),
+                   eppi::bench::fmt(arow.tcp_ms, 2)});
+    ablation.push_back(std::move(arow));
   }
   table.print("Transport ablation: in-process vs loopback TCP");
+
+  const RttResult rtt = measure_loopback_rtt(smoke ? 100 : 500);
+  eppi::bench::ResultTable rtt_table({"iters", "p50-us", "avg-us"});
+  rtt_table.add_row({std::to_string(rtt.iters), eppi::bench::fmt(rtt.p50_us, 1),
+                     eppi::bench::fmt(rtt.avg_us, 1)});
+  rtt_table.print("Loopback application-level round trip (1-byte echo)");
+
   std::cout << "\nLoopback TCP adds connection setup + syscall/framing "
                "overhead; on a real\nnetwork the cost model's RTT and "
-               "bandwidth terms dominate instead.\n";
+               "bandwidth terms dominate instead. Calibrate\n"
+               "CostModel::rtt with (your ping) + (p50 above) as the "
+               "per-round floor.\n";
+
+  write_json(json_path, smoke, rtt, ablation);
   return 0;
 }

@@ -18,6 +18,10 @@
 #               labeled tests (the threaded cluster/reliability paths, the
 #               epoch-snapshot serving tier, and the lock-free trace ring
 #               are where races would live)
+#   bench       smoke-mode bench_serving + bench_tcp, diffed against the
+#               committed BENCH_*.json baselines with a loose (5x) tolerance
+#               via scripts/check_bench.py — catches order-of-magnitude
+#               cliffs, not percent-level drift
 #   lint        static-analysis gate: eppi_lint.py + compile-fail probes
 #               (ctest -L lint in ./build); adds clang-tidy and the clang
 #               thread-safety -Werror build when clang is installed
@@ -62,6 +66,18 @@ case "$stage" in
     ./build/tools/eppi_cli serve --smoke --prom 2>/dev/null \
       | python3 scripts/check_prometheus.py
     ;;
+  bench)
+    cmake --preset default
+    cmake --build --preset default -j "$jobs" \
+      --target bench_serving bench_tcp
+    tmpdir="$(mktemp -d)"
+    trap 'rm -rf "$tmpdir"' EXIT
+    ./build/bench/bench_serving --smoke --json "$tmpdir/BENCH_serving.json"
+    ./build/bench/bench_tcp --smoke --json "$tmpdir/BENCH_tcp.json"
+    python3 scripts/check_bench.py BENCH_serving.json \
+      "$tmpdir/BENCH_serving.json"
+    python3 scripts/check_bench.py BENCH_tcp.json "$tmpdir/BENCH_tcp.json"
+    ;;
   asan)
     run_preset asan
     ;;
@@ -105,7 +121,7 @@ case "$stage" in
     "$0" lint
     ;;
   *)
-    echo "usage: $0 [plain|fault|storage|concurrency|obs|asan|tsan|lint|all]" >&2
+    echo "usage: $0 [plain|fault|storage|concurrency|obs|bench|asan|tsan|lint|all]" >&2
     exit 2
     ;;
 esac

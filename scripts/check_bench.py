@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench JSON against its committed baseline.
+
+Usage: check_bench.py <baseline.json> <fresh.json> [--tolerance X]
+
+Two gates, in order of importance:
+
+ 1. structure: the fresh run must contain every section and row key the
+    baseline has (a silently vanished bench row is a regression even if all
+    surviving numbers improved);
+ 2. timings: every numeric field whose name suggests a duration or rate must
+    stay within `tolerance`x of the baseline in the slow direction (default
+    5x). The bound is deliberately loose: CI machines differ wildly and the
+    committed baselines come from --smoke runs on a 1-core container; this
+    catches order-of-magnitude cliffs (an accidental O(n^2), a sleep in the
+    hot path), not percent-level drift.
+
+Exit code 0 = within bounds, 1 = regression, 2 = usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+# Field-name suffixes treated as "smaller is better" timings.
+TIMING_SUFFIXES = ("_us", "_ms", "_s")
+# "Bigger is better" rates: compared in the opposite direction.
+RATE_FIELDS = {"qps"}
+
+
+def walk(path, node, out):
+    """Flatten to {dotted-path: number} for every numeric leaf."""
+    if isinstance(node, dict):
+        for key, value in sorted(node.items()):
+            walk(f"{path}.{key}" if path else key, value, out)
+    elif isinstance(node, list):
+        for idx, value in enumerate(node):
+            label = idx
+            if isinstance(value, dict):
+                # Stable row identity: protocol/parties/threads-style keys
+                # beat positional indices when rows get reordered.
+                ident = [
+                    str(value[k])
+                    for k in ("protocol", "parties", "threads", "batch",
+                              "providers", "epsilon")
+                    if k in value
+                ]
+                if ident:
+                    label = "/".join(ident)
+            walk(f"{path}[{label}]", value, out)
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        out[path] = float(node)
+
+
+def leaf_name(path):
+    return path.rsplit(".", 1)[-1]
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--tolerance", type=float, default=5.0,
+                        help="allowed slowdown factor (default 5x)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+        with open(args.fresh) as f:
+            fresh = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"check_bench: {err}", file=sys.stderr)
+        return 2
+
+    base_leaves, fresh_leaves = {}, {}
+    walk("", baseline, base_leaves)
+    walk("", fresh, fresh_leaves)
+
+    failures = []
+    for path in base_leaves:
+        if path.startswith("metrics"):
+            continue  # registry snapshot: content varies run to run
+        if path not in fresh_leaves:
+            failures.append(f"missing from fresh run: {path}")
+
+    for path, base in sorted(base_leaves.items()):
+        if path not in fresh_leaves:
+            continue
+        name = leaf_name(path)
+        current = fresh_leaves[path]
+        if name in RATE_FIELDS:
+            if base > 0 and current < base / args.tolerance:
+                failures.append(
+                    f"{path}: rate fell {base:.1f} -> {current:.1f} "
+                    f"(> {args.tolerance}x)")
+        elif name.endswith(TIMING_SUFFIXES):
+            if base > 0 and current > base * args.tolerance:
+                failures.append(
+                    f"{path}: slowed {base:.1f} -> {current:.1f} "
+                    f"(> {args.tolerance}x)")
+
+    if failures:
+        print(f"check_bench: {len(failures)} regression(s) vs {args.baseline}:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"check_bench: {args.fresh} within {args.tolerance}x of "
+          f"{args.baseline} ({len(base_leaves)} fields)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,174 @@
+#!/usr/bin/env bash
+# Multi-process deployment smoke: the CI rehearsal of a real e-PPI rollout.
+#
+# Spawns one eppi_cli OS process per provider (m=4) on loopback, with every
+# inter-party link routed through eppi_chaos_proxy applying mild TCP-level
+# shaping (delay + split writes), then:
+#
+#   1. runs the full fault-tolerant distributed construction to completion,
+#   2. scrapes each party's Prometheus endpoint and asserts zero secsum
+#      aborts (shaping must not cost a single degraded epoch),
+#   3. SIGTERMs the lingering parties and requires a clean drain (exit 0),
+#   4. stands up `eppi_cli serve --listen` on the same collection and runs a
+#      batched /query POST against it, checking the true positives,
+#   5. tears the daemon and the proxy down, again requiring exit 0.
+#
+# Usage: scripts/multiprocess_smoke.sh [build-dir]   (default: ./build)
+# Needs: bash, python3 (stdlib only). Exits nonzero on any failed gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build="${1:-build}"
+cli="$build/tools/eppi_cli"
+proxy_bin="$build/tools/eppi_chaos_proxy"
+for bin in "$cli" "$proxy_bin"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "multiprocess_smoke: missing $bin (build the default preset first)" >&2
+    exit 2
+  fi
+done
+
+workdir="$(mktemp -d)"
+pids=()
+cleanup() {
+  # Best-effort: anything still alive at exit gets killed hard.
+  for pid in "${pids[@]:-}"; do kill -KILL "$pid" 2>/dev/null || true; done
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+fail() { echo "multiprocess_smoke: FAIL: $*" >&2; exit 1; }
+
+http_get() {  # port path -> body on stdout
+  python3 -c '
+import sys, urllib.request
+url = f"http://127.0.0.1:{sys.argv[1]}{sys.argv[2]}"
+sys.stdout.write(urllib.request.urlopen(url, timeout=5).read().decode())
+' "$1" "$2"
+}
+
+http_post() {  # port path body -> response on stdout
+  python3 -c '
+import sys, urllib.request
+url = f"http://127.0.0.1:{sys.argv[1]}{sys.argv[2]}"
+req = urllib.request.Request(url, data=sys.argv[3].encode())
+sys.stdout.write(urllib.request.urlopen(req, timeout=5).read().decode())
+' "$1" "$2" "$3"
+}
+
+wait_for() {  # seconds "description" command...
+  local deadline=$(( $(date +%s) + $1 )); shift
+  local what="$1"; shift
+  until "$@" >/dev/null 2>&1; do
+    (( $(date +%s) < deadline )) || fail "timed out waiting for $what"
+    sleep 0.2
+  done
+}
+
+# ---------------------------------------------------------------- topology --
+# Four providers; alice/bob/carol/dave give every party at least one claim
+# and 'alice' two true providers for the query gate at the end.
+csv="$workdir/collection.csv"
+cat > "$csv" <<'EOF'
+general,alice
+general,bob
+mercy,alice
+mercy,carol
+lakeside,carol
+lakeside,dave
+county,carol
+county,bob
+EOF
+
+m=4
+base=$(( 21000 + RANDOM % 8000 ))
+real=$base                 # ports the parties actually listen on
+proxied=$(( base + 10 ))   # ports peers dial (fronted by the chaos proxy)
+metrics=$(( base + 20 ))   # per-party Prometheus endpoints
+serve_port=$(( base + 30 ))
+
+hosts="$workdir/hosts"
+: > "$hosts"
+for (( i = 0; i < m; i++ )); do
+  echo "127.0.0.1:$(( proxied + i ))" >> "$hosts"
+done
+
+# ------------------------------------------------------------- chaos proxy --
+# Mild shaping only: this gate proves shaped links don't cost correctness;
+# the hostile scenarios (reset, blackhole) live in ctest -L fault.
+"$proxy_bin" \
+  --route "$(( proxied + 0 )):127.0.0.1:$(( real + 0 )):0" \
+  --route "$(( proxied + 1 )):127.0.0.1:$(( real + 1 )):1" \
+  --route "$(( proxied + 2 )):127.0.0.1:$(( real + 2 )):2" \
+  --route "$(( proxied + 3 )):127.0.0.1:$(( real + 3 )):3" \
+  --scenario "link 1->0: delay=1..3ms; link 2->3: split=96" --seed 7 \
+  2> "$workdir/proxy.err" &
+proxy_pid=$!
+pids+=("$proxy_pid")
+
+# ----------------------------------------------------------------- parties --
+declare -a party_pid
+for (( i = m - 1; i >= 0; i-- )); do
+  "$cli" party "$csv" --id "$i" --host-file "$hosts" \
+    --listen-port "$(( real + i ))" --metrics-port "$(( metrics + i ))" \
+    --ft --c 2 --seed 5 --linger \
+    > "$workdir/party$i.out" 2> "$workdir/party$i.err" &
+  party_pid[$i]=$!
+  pids+=("${party_pid[$i]}")
+done
+
+for (( i = 0; i < m; i++ )); do
+  wait_for 30 "party $i construction" \
+    grep -q "construction complete" "$workdir/party$i.err"
+done
+echo "multiprocess_smoke: construction complete on all $m parties"
+
+# Published claims must surface the true memberships (party 0 = general).
+grep -q 'general,alice' "$workdir/party0.out" \
+  || fail "party 0 did not publish general,alice"
+grep -q 'mercy,carol' "$workdir/party1.out" \
+  || fail "party 1 did not publish mercy,carol"
+
+# -------------------------------------------------------- zero-abort gate --
+# The counter is registered lazily on first secsum round, so it must exist
+# after construction; any nonzero sample means shaping cost us an epoch.
+for (( i = 0; i < m; i++ )); do
+  scrape="$(http_get "$(( metrics + i ))" /metrics)" \
+    || fail "scraping party $i metrics"
+  aborts="$(printf '%s\n' "$scrape" \
+            | awk '$1 == "eppi_secsum_aborts_total" { print $2 }')"
+  [[ -n "$aborts" ]] || fail "party $i exposes no eppi_secsum_aborts_total"
+  [[ "$aborts" == "0" ]] \
+    || fail "party $i reports $aborts secsum aborts (expected 0)"
+done
+echo "multiprocess_smoke: all $m parties report zero secsum aborts"
+
+# ------------------------------------------------------------- clean drain --
+for (( i = 0; i < m; i++ )); do kill -TERM "${party_pid[$i]}"; done
+for (( i = 0; i < m; i++ )); do
+  wait "${party_pid[$i]}" || fail "party $i exited nonzero after SIGTERM"
+done
+echo "multiprocess_smoke: all parties drained cleanly on SIGTERM"
+
+# --------------------------------------------------- serve + batched query --
+"$cli" serve "$csv" --listen "$serve_port" 2> "$workdir/serve.err" &
+serve_pid=$!
+pids+=("$serve_pid")
+wait_for 15 "serve daemon" http_get "$serve_port" /healthz
+
+answer="$(http_post "$serve_port" /query $'alice\ncarol\nbob')"
+for expect in 'alice,general' 'alice,mercy' 'carol,lakeside' 'bob,county'; do
+  grep -q "$expect" <<< "$answer" \
+    || fail "batched query missing $expect (got: $(tr '\n' ' ' <<< "$answer"))"
+done
+http_get "$serve_port" /metrics | grep -q '^eppi_' \
+  || fail "serve daemon exposes no eppi_ metrics"
+echo "multiprocess_smoke: batched query answered with true positives"
+
+kill -TERM "$serve_pid"
+wait "$serve_pid" || fail "serve daemon exited nonzero after SIGTERM"
+
+kill -TERM "$proxy_pid"
+wait "$proxy_pid" || fail "chaos proxy exited nonzero after SIGTERM"
+
+echo "multiprocess_smoke: PASS"

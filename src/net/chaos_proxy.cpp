@@ -1,0 +1,318 @@
+#include "net/chaos_proxy.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "net/wire.h"
+
+namespace eppi::net {
+
+namespace {
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  require(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+          "ChaosProxy: bad host address " + host);
+  return addr;
+}
+
+// Read exactly `len` bytes; false on EOF/error.
+bool read_full(int fd, void* data, std::size_t len) {
+  char* p = static_cast<char*>(data);
+  while (len > 0) {
+    ssize_t n;
+    do {
+      n = ::recv(fd, p, len, 0);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) return false;
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool write_full(int fd, const void* data, std::size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    ssize_t n;
+    do {
+      n = ::send(fd, p, len, MSG_NOSIGNAL);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) return false;
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// Arrange for close() to send RST instead of FIN, then cut the stream.
+void hard_reset(int fd) {
+  const linger lg{1, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+  ::shutdown(fd, SHUT_RDWR);
+}
+
+}  // namespace
+
+ChaosProxy::ChaosProxy(std::vector<ProxyRoute> routes, FaultScenario scenario,
+                       std::uint64_t seed)
+    : routes_(std::move(routes)), scenario_(std::move(scenario)), seed_(seed) {}
+
+ChaosProxy::~ChaosProxy() { stop(); }
+
+void ChaosProxy::start() {
+  require(!started_, "ChaosProxy: already started");
+  started_ = true;
+  listen_fds_.reserve(routes_.size());
+  for (const ProxyRoute& route : routes_) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    require(fd >= 0, "ChaosProxy: cannot create listen socket");
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr = make_addr("0.0.0.0", route.listen_port);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(fd, 16) != 0) {
+      ::close(fd);
+      for (const int lfd : listen_fds_) ::close(lfd);
+      listen_fds_.clear();
+      throw eppi::ProtocolError("ChaosProxy: cannot listen on port " +
+                                std::to_string(route.listen_port));
+    }
+    listen_fds_.push_back(fd);
+  }
+  for (std::size_t i = 0; i < routes_.size(); ++i) {
+    accept_threads_.emplace_back([this, i] { accept_loop(i); });
+  }
+}
+
+void ChaosProxy::stop() {
+  {
+    const MutexLock lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+    for (const int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (const int fd : listen_fds_) ::shutdown(fd, SHUT_RDWR);
+  for (auto& t : accept_threads_) {
+    if (t.joinable()) t.join();
+  }
+  for (const int fd : listen_fds_) ::close(fd);
+  listen_fds_.clear();
+  // Connection handlers observe their shut-down sockets and finish; new ones
+  // cannot appear (stopping_ is set and the listeners are gone).
+  for (;;) {
+    std::vector<std::thread> batch;
+    {
+      const MutexLock lock(mutex_);
+      batch.swap(conn_threads_);
+    }
+    if (batch.empty()) break;
+    for (auto& t : batch) {
+      if (t.joinable()) t.join();
+    }
+  }
+}
+
+void ChaosProxy::reset_all_connections() {
+  const MutexLock lock(mutex_);
+  for (const int fd : live_fds_) hard_reset(fd);
+  stats_.resets += live_fds_.empty() ? 0 : 1;
+}
+
+ProxyStats ChaosProxy::stats() const {
+  const MutexLock lock(mutex_);
+  return stats_;
+}
+
+void ChaosProxy::track_fd(int fd) {
+  const MutexLock lock(mutex_);
+  live_fds_.insert(fd);
+}
+
+void ChaosProxy::untrack_fd(int fd) {
+  const MutexLock lock(mutex_);
+  live_fds_.erase(fd);
+}
+
+void ChaosProxy::accept_loop(std::size_t route_idx) {
+  const int listen_fd = listen_fds_[route_idx];
+  for (;;) {
+    const int client = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+    {
+      const MutexLock lock(mutex_);
+      if (stopping_) {
+        if (client >= 0) ::close(client);
+        return;
+      }
+      if (client < 0) continue;
+      ++stats_.connections;
+      conn_threads_.emplace_back(
+          [this, route_idx, client] { handle_connection(route_idx, client); });
+    }
+  }
+}
+
+void ChaosProxy::handle_connection(std::size_t route_idx, int client_fd) {
+  const ProxyRoute& route = routes_[route_idx];
+  const int one = 1;
+  ::setsockopt(client_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  track_fd(client_fd);
+
+  // The dialing party announces itself first; that hello tells us which
+  // directed link this connection is so the right faults apply.
+  unsigned char hello_bytes[wire::kHelloBytes];
+  if (!read_full(client_fd, hello_bytes, sizeof(hello_bytes))) {
+    untrack_fd(client_fd);
+    ::close(client_fd);
+    return;
+  }
+  const wire::Hello hello = wire::decode_hello(hello_bytes);
+  const PartyId client_party = hello.party;
+  const LinkFault c2t = scenario_.fault_for(client_party, route.target_party);
+  const LinkFault t2c = scenario_.fault_for(route.target_party, client_party);
+
+  if (c2t.connect_delay.count() > 0) {
+    std::this_thread::sleep_for(c2t.connect_delay);
+  }
+
+  // Dial the fronted party (briefly retried: the proxy may come up first).
+  int target_fd = -1;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    target_fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (target_fd < 0) break;
+    sockaddr_in addr = make_addr(route.target_host, route.target_port);
+    if (::connect(target_fd, reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      break;
+    }
+    ::close(target_fd);
+    target_fd = -1;
+    {
+      const MutexLock lock(mutex_);
+      if (stopping_) break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  if (target_fd < 0) {
+    untrack_fd(client_fd);
+    ::close(client_fd);
+    return;
+  }
+  ::setsockopt(target_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  track_fd(target_fd);
+
+  std::uint64_t forwarded_c2t = 0;
+  if (c2t.blackhole) {
+    const MutexLock lock(mutex_);
+    stats_.blackholed_bytes += sizeof(hello_bytes);
+  } else if (write_full(target_fd, hello_bytes, sizeof(hello_bytes))) {
+    forwarded_c2t = sizeof(hello_bytes);
+    const MutexLock lock(mutex_);
+    stats_.bytes_forwarded += sizeof(hello_bytes);
+  }
+
+  const std::uint64_t conn_seed =
+      seed_ ^ (std::uint64_t{client_party} << 32) ^ route.target_party;
+  std::thread back([this, target_fd, client_fd, t2c, conn_seed] {
+    relay(target_fd, client_fd, t2c, conn_seed * 2 + 1, 0);
+  });
+  relay(client_fd, target_fd, c2t, conn_seed * 2, forwarded_c2t);
+  back.join();
+
+  untrack_fd(client_fd);
+  untrack_fd(target_fd);
+  ::close(client_fd);
+  ::close(target_fd);
+}
+
+void ChaosProxy::relay(int src_fd, int dst_fd, LinkFault fault,
+                       std::uint64_t rng_seed, std::uint64_t already) {
+  Rng rng(rng_seed);
+  std::uint64_t forwarded = already;
+  const auto start = std::chrono::steady_clock::now();
+  const std::size_t cap = fault.split_bytes != 0
+                              ? std::min<std::size_t>(fault.split_bytes, 64 * 1024)
+                              : 64 * 1024;
+  std::vector<unsigned char> buf(cap > 0 ? cap : 1);
+
+  for (;;) {
+    ssize_t n;
+    do {
+      n = ::recv(src_fd, buf.data(), buf.size(), 0);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) break;
+
+    if (fault.blackhole) {
+      const MutexLock lock(mutex_);
+      stats_.blackholed_bytes += static_cast<std::uint64_t>(n);
+      continue;
+    }
+    if (fault.delay_max.count() > 0) {
+      const auto lo = fault.delay_min.count();
+      const auto hi = fault.delay_max.count();
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(rng.next_in(lo, hi)));
+    }
+    if (fault.throttle_bytes_per_s > 0) {
+      // Pace against the connection start so bursts amortize correctly.
+      const auto due =
+          start + std::chrono::microseconds((forwarded - already) * 1000000 /
+                                            fault.throttle_bytes_per_s);
+      std::this_thread::sleep_until(due);
+    }
+
+    std::size_t off = 0;
+    while (off < static_cast<std::size_t>(n)) {
+      std::size_t chunk = static_cast<std::size_t>(n) - off;
+      if (fault.split_bytes != 0) {
+        chunk = std::min<std::size_t>(chunk, fault.split_bytes);
+      }
+      ssize_t w;
+      do {
+        w = ::send(dst_fd, buf.data() + off, chunk, MSG_NOSIGNAL);
+      } while (w < 0 && errno == EINTR);
+      if (w <= 0) {
+        ::shutdown(src_fd, SHUT_RDWR);
+        ::shutdown(dst_fd, SHUT_RDWR);
+        return;
+      }
+      off += static_cast<std::size_t>(w);
+      forwarded += static_cast<std::uint64_t>(w);
+      {
+        const MutexLock lock(mutex_);
+        stats_.bytes_forwarded += static_cast<std::uint64_t>(w);
+      }
+      if (fault.reset_after_bytes != 0 &&
+          forwarded >= fault.reset_after_bytes) {
+        {
+          const MutexLock lock(mutex_);
+          ++stats_.resets;
+        }
+        hard_reset(src_fd);
+        hard_reset(dst_fd);
+        return;
+      }
+      if (fault.split_bytes != 0 && off < static_cast<std::size_t>(n)) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    }
+  }
+  ::shutdown(src_fd, SHUT_RDWR);
+  ::shutdown(dst_fd, SHUT_RDWR);
+}
+
+}  // namespace eppi::net

@@ -1,0 +1,97 @@
+// TCP chaos proxy: the FaultScenario DSL applied to real sockets.
+//
+// The in-memory FaultyTransport exercises protocol logic against message
+// loss; it cannot produce what actual deployments see — connection resets
+// mid-frame, half-open links, slow trickling writes, dials that hang. The
+// ChaosProxy closes that gap: each ProxyRoute fronts one party's listen
+// port, relaying every connection byte-for-byte to the real port while
+// applying the TCP-level faults of a FaultScenario (reset_after, blackhole,
+// throttle, split, connect_delay; the probabilistic delay range also
+// applies, per relayed chunk).
+//
+// Direction mapping: the proxy learns the dialing party's id from the Hello
+// it forwards (wire.h — the handshake is in the clear), so a relayed
+// connection applies fault_for(client, target) to client->target bytes and
+// fault_for(target, client) to the reverse direction. A scenario string can
+// therefore drive the in-memory harness and a multi-process mesh
+// identically: "link 2->0: reset_after=4096" resets party 2's link to
+// party 0 after 4 KiB regardless of which harness runs it.
+//
+// Implementation is deliberately boring: one blocking accept thread per
+// route, two blocking relay threads per connection. The proxy is a test
+// instrument, not a data-plane component; clarity beats throughput.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "net/fault.h"
+#include "net/message.h"
+
+namespace eppi::net {
+
+struct ProxyRoute {
+  std::uint16_t listen_port = 0;  // what peers dial (the advertised port)
+  std::string target_host = "127.0.0.1";
+  std::uint16_t target_port = 0;  // where the fronted party really listens
+  PartyId target_party = 0;       // the fronted party's id (fault direction)
+};
+
+struct ProxyStats {
+  std::uint64_t connections = 0;
+  std::uint64_t bytes_forwarded = 0;
+  std::uint64_t resets = 0;            // links cut by reset_after
+  std::uint64_t blackholed_bytes = 0;  // bytes read and discarded
+};
+
+class ChaosProxy {
+ public:
+  ChaosProxy(std::vector<ProxyRoute> routes, FaultScenario scenario,
+             std::uint64_t seed = 1);
+  ~ChaosProxy();
+
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  // Binds and listens on every route, then serves until stop(). Throws
+  // ProtocolError if a listen port cannot be bound.
+  void start();
+  void stop();
+
+  // Hard-reset every currently relayed connection (SO_LINGER 0 close), as
+  // if the network partitioned for an instant. Listeners stay up, so peers
+  // reconnect through the proxy.
+  void reset_all_connections();
+
+  ProxyStats stats() const;
+
+ private:
+  void accept_loop(std::size_t route_idx);
+  void handle_connection(std::size_t route_idx, int client_fd);
+  void relay(int src_fd, int dst_fd, LinkFault fault, std::uint64_t rng_seed,
+             std::uint64_t already);
+
+  void track_fd(int fd);
+  void untrack_fd(int fd);
+
+  std::vector<ProxyRoute> routes_;
+  FaultScenario scenario_;
+  std::uint64_t seed_;
+
+  std::vector<int> listen_fds_;
+  std::vector<std::thread> accept_threads_;
+
+  mutable Mutex mutex_;
+  std::vector<std::thread> conn_threads_ EPPI_GUARDED_BY(mutex_);
+  std::set<int> live_fds_ EPPI_GUARDED_BY(mutex_);
+  ProxyStats stats_ EPPI_GUARDED_BY(mutex_);
+  bool stopping_ EPPI_GUARDED_BY(mutex_) = false;
+  bool started_ = false;
+};
+
+}  // namespace eppi::net

@@ -47,6 +47,9 @@ std::optional<std::vector<std::uint8_t>> PartyContext::recv_for(
   Message msg;
   while (std::chrono::steady_clock::now() < deadline) {
     if (inbox_.try_recv(from, tag, seq, msg)) return std::move(msg.payload);
+    // A party a failure detector declared dead will not send: report the
+    // timeout immediately instead of sleeping out the full budget.
+    if (inbox_.party_failed(from)) return std::nullopt;
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   if (inbox_.try_recv(from, tag, seq, msg)) return std::move(msg.payload);

@@ -1,0 +1,191 @@
+#include "net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.h"
+#include "common/logging.h"
+
+namespace eppi::net {
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    throw eppi::ProtocolError(std::string("EventLoop: epoll_create1: ") +
+                              std::strerror(errno));
+  }
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    ::close(epoll_fd_);
+    throw eppi::ProtocolError(std::string("EventLoop: eventfd: ") +
+                              std::strerror(errno));
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    ::close(wake_fd_);
+    ::close(epoll_fd_);
+    throw eppi::ProtocolError("EventLoop: cannot register wake fd");
+  }
+}
+
+EventLoop::~EventLoop() {
+  ::close(wake_fd_);
+  ::close(epoll_fd_);
+}
+
+bool EventLoop::in_loop_thread() const noexcept {
+  return std::this_thread::get_id() == loop_thread_;
+}
+
+void EventLoop::post(std::function<void()> fn) {
+  {
+    const MutexLock lock(mutex_);
+    posted_.push_back(std::move(fn));
+  }
+  const std::uint64_t one = 1;
+  // EAGAIN means the counter is already nonzero — the loop will wake anyway.
+  ssize_t n;
+  do {
+    n = ::write(wake_fd_, &one, sizeof(one));
+  } while (n < 0 && errno == EINTR);
+}
+
+void EventLoop::stop() {
+  {
+    const MutexLock lock(mutex_);
+    stopping_ = true;
+  }
+  const std::uint64_t one = 1;
+  ssize_t n;
+  do {
+    n = ::write(wake_fd_, &one, sizeof(one));
+  } while (n < 0 && errno == EINTR);
+}
+
+void EventLoop::add_fd(int fd, std::uint32_t events, FdCallback cb) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    throw eppi::ProtocolError(std::string("EventLoop: epoll add: ") +
+                              std::strerror(errno));
+  }
+  fd_callbacks_[fd] = std::move(cb);
+}
+
+void EventLoop::modify_fd(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    throw eppi::ProtocolError(std::string("EventLoop: epoll mod: ") +
+                              std::strerror(errno));
+  }
+}
+
+void EventLoop::remove_fd(int fd) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  fd_callbacks_.erase(fd);
+}
+
+EventLoop::TimerId EventLoop::add_timer(std::chrono::milliseconds delay,
+                                        std::chrono::milliseconds period,
+                                        std::function<void()> cb) {
+  const TimerId id = next_timer_id_++;
+  timer_callbacks_[id] = {period, std::move(cb)};
+  timers_.push(
+      Timer{std::chrono::steady_clock::now() + delay, period, id});
+  return id;
+}
+
+void EventLoop::cancel_timer(TimerId id) { timer_callbacks_.erase(id); }
+
+void EventLoop::drain_posted() {
+  std::vector<std::function<void()>> batch;
+  {
+    const MutexLock lock(mutex_);
+    batch.swap(posted_);
+  }
+  for (auto& fn : batch) fn();
+}
+
+int EventLoop::next_timeout_ms() const {
+  if (timers_.empty()) return 1000;  // idle tick; posts wake us regardless
+  const auto now = std::chrono::steady_clock::now();
+  const auto& top = timers_.top();
+  if (top.deadline <= now) return 0;
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      top.deadline - now)
+                      .count();
+  return static_cast<int>(std::min<long long>(ms + 1, 1000));
+}
+
+void EventLoop::fire_due_timers() {
+  const auto now = std::chrono::steady_clock::now();
+  while (!timers_.empty() && timers_.top().deadline <= now) {
+    Timer t = timers_.top();
+    timers_.pop();
+    const auto it = timer_callbacks_.find(t.id);
+    if (it == timer_callbacks_.end()) continue;  // cancelled
+    if (it->second.first.count() > 0) {
+      // Re-arm before the callback so a callback cancelling the timer wins.
+      timers_.push(Timer{t.deadline + it->second.first, it->second.first,
+                         t.id});
+    }
+    // Copy: the callback may cancel (erase) its own entry.
+    auto cb = it->second.second;
+    if (it->second.first.count() == 0) timer_callbacks_.erase(it);
+    cb();
+  }
+}
+
+void EventLoop::run() {
+  loop_thread_ = std::this_thread::get_id();
+  for (;;) {
+    {
+      const MutexLock lock(mutex_);
+      if (stopping_) break;
+    }
+    drain_posted();
+    fire_due_timers();
+
+    epoll_event events[32];
+    int n;
+    do {
+      n = ::epoll_wait(epoll_fd_, events, 32, next_timeout_ms());
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) {
+      EPPI_WARN("EventLoop: epoll_wait: " << std::strerror(errno));
+      break;
+    }
+    for (int k = 0; k < n; ++k) {
+      const int fd = events[k].data.fd;
+      if (fd == wake_fd_) {
+        std::uint64_t drained = 0;
+        ssize_t r;
+        do {
+          r = ::read(wake_fd_, &drained, sizeof(drained));
+        } while (r < 0 && errno == EINTR);
+        continue;
+      }
+      // The callback may remove other fds (or itself); look up fresh.
+      const auto it = fd_callbacks_.find(fd);
+      if (it != fd_callbacks_.end()) {
+        // Copy: the callback may remove_fd(fd), invalidating the iterator.
+        auto cb = it->second;
+        cb(events[k].events);
+      }
+    }
+  }
+  // Run closures posted up to the stop so shutdown hand-offs are not lost.
+  drain_posted();
+  loop_thread_ = std::thread::id{};
+}
+
+}  // namespace eppi::net

@@ -1,0 +1,103 @@
+// Single-threaded epoll reactor for the socket runtime.
+//
+// One EventLoop thread owns every socket: registration, nonblocking reads
+// and writes, timers, and connection state machines all run on the loop
+// thread, so per-connection state needs no locking (the TSan-checked
+// concurrency boundary is the loop's inbound queue of posted closures and
+// the Mailbox/Transport hand-off, both internally synchronized).
+//
+// Cross-thread interaction is exactly two calls: post() enqueues a closure
+// the loop runs on its own thread (an eventfd wakes a sleeping epoll_wait),
+// and stop() asks the loop to exit. Everything else — add_fd, timers,
+// socket IO — must happen on the loop thread, which is asserted in debug
+// builds via in_loop_thread().
+//
+// Timers are a deadline-ordered min-heap drained before each epoll_wait;
+// the wait timeout is the earliest deadline, so a loop with no IO still
+// fires heartbeats on time. Periodic timers re-arm from their *scheduled*
+// deadline, not from now, so slow callbacks do not accumulate drift.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace eppi::net {
+
+class EventLoop {
+ public:
+  // events is an EPOLLIN/EPOLLOUT/... bitmask as delivered by epoll_wait.
+  using FdCallback = std::function<void(std::uint32_t events)>;
+  using TimerId = std::uint64_t;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // Runs until stop(); call from the thread that is to own the loop.
+  void run();
+  // Thread-safe; run() returns after the current iteration.
+  void stop();
+
+  // Thread-safe: enqueue `fn` to run on the loop thread (FIFO).
+  void post(std::function<void()> fn);
+
+  // True when called from inside run() on the loop thread.
+  bool in_loop_thread() const noexcept;
+
+  // --- loop-thread-only API -------------------------------------------------
+
+  // Registers `fd` with the given interest mask; the callback receives the
+  // ready events. The fd is NOT owned: callers close it after remove_fd.
+  void add_fd(int fd, std::uint32_t events, FdCallback cb);
+  void modify_fd(int fd, std::uint32_t events);
+  void remove_fd(int fd);
+
+  // One-shot (period zero) or periodic timer; delay is from now.
+  TimerId add_timer(std::chrono::milliseconds delay,
+                    std::chrono::milliseconds period,
+                    std::function<void()> cb);
+  void cancel_timer(TimerId id);
+
+ private:
+  struct Timer {
+    std::chrono::steady_clock::time_point deadline;
+    std::chrono::milliseconds period{0};
+    TimerId id = 0;
+    bool operator>(const Timer& o) const noexcept {
+      return deadline > o.deadline;
+    }
+  };
+
+  void drain_posted();
+  int next_timeout_ms() const;
+  void fire_due_timers();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: post()/stop() kick a sleeping epoll_wait
+  std::map<int, FdCallback> fd_callbacks_;  // loop thread only
+
+  // Timer heap + callbacks (loop thread only). Cancellation removes the
+  // callback; a stale heap entry fires into nothing.
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> timers_;
+  std::map<TimerId, std::pair<std::chrono::milliseconds, std::function<void()>>>
+      timer_callbacks_;
+  TimerId next_timer_id_ = 1;
+
+  mutable Mutex mutex_;
+  std::vector<std::function<void()>> posted_ EPPI_GUARDED_BY(mutex_);
+  bool stopping_ EPPI_GUARDED_BY(mutex_) = false;
+
+  std::thread::id loop_thread_{};
+};
+
+}  // namespace eppi::net

@@ -88,6 +88,24 @@ LinkFault parse_faults(const std::string& text, const std::string& stmt) {
       fault.reorder_prob = parse_prob(value, stmt);
     } else if (key == "delay") {
       parse_delay(value, stmt, fault);
+    } else if (key == "reset_after") {
+      fault.reset_after_bytes = parse_uint(value, stmt);
+    } else if (key == "blackhole") {
+      const std::uint64_t v = parse_uint(value, stmt);
+      require(v <= 1, "FaultScenario: blackhole must be 0 or 1 in '" + stmt +
+                          "'");
+      fault.blackhole = (v == 1);
+    } else if (key == "throttle") {
+      fault.throttle_bytes_per_s = parse_uint(value, stmt);
+    } else if (key == "connect_delay") {
+      std::string spec = value;
+      require(spec.size() > 2 && spec.substr(spec.size() - 2) == "ms",
+              "FaultScenario: connect_delay needs an 'ms' suffix in '" + stmt +
+                  "'");
+      fault.connect_delay =
+          std::chrono::milliseconds(parse_uint(spec.substr(0, spec.size() - 2), stmt));
+    } else if (key == "split") {
+      fault.split_bytes = parse_uint(value, stmt);
     } else {
       require(false, "FaultScenario: unknown fault '" + key + "' in '" +
                          stmt + "'");

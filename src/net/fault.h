@@ -19,6 +19,13 @@
 //   crash P at tag T            party P crashes on its first send of tag T
 //   <faults> := fault (',' fault)*
 //   <fault>  := drop=<p> | dup=<p> | reorder=<p> | delay=<lo>..<hi>ms
+//             | reset_after=<bytes> | blackhole=<0|1> | throttle=<bytes/s>
+//             | split=<bytes> | connect_delay=<ms>ms
+//
+// The first row of faults is interpreted by the in-memory FaultyTransport;
+// the second row describes TCP-level misbehaviour and is interpreted by the
+// ChaosProxy (chaos_proxy.h) against real sockets — the in-memory layer
+// ignores them, so one scenario string can drive both harnesses.
 #pragma once
 
 #include <chrono>
@@ -40,6 +47,16 @@ struct LinkFault {
   std::chrono::microseconds delay_min{0};  // uniform extra latency
   std::chrono::microseconds delay_max{0};
 
+  // TCP-level faults, interpreted only by the ChaosProxy relay:
+  std::uint64_t reset_after_bytes = 0;   // RST the link after N relayed bytes
+  bool blackhole = false;                // accept, then silently discard bytes
+  std::uint64_t throttle_bytes_per_s = 0;  // pace the relay (0 = unthrottled)
+  std::uint64_t split_bytes = 0;  // forward in <=N-byte chunks (partial writes)
+  std::chrono::milliseconds connect_delay{0};  // hold the dial before relaying
+
+  // True when the in-memory fault layer has nothing to do on this link
+  // (TCP-level fields are deliberately excluded: they do not exist for the
+  // in-memory transport).
   bool lossless() const noexcept {
     return drop_prob == 0.0 && dup_prob == 0.0 && reorder_prob == 0.0 &&
            delay_max.count() == 0;

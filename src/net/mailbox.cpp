@@ -1,5 +1,8 @@
 #include "net/mailbox.h"
 
+#include <string>
+
+#include "common/error.h"
 #include "net/transport.h"
 
 namespace eppi::net {
@@ -37,7 +40,15 @@ void Mailbox::deliver(Message msg) {
 Message Mailbox::recv(PartyId from, std::uint32_t tag, std::uint64_t seq) {
   const MutexLock lock(mutex_);
   const Key key{from, tag, seq};
-  while (buffer_.find(key) == buffer_.end()) cv_.wait(mutex_);
+  while (buffer_.find(key) == buffer_.end()) {
+    if (failed_.count(from) != 0) {
+      throw eppi::PartyFailure("recv: party " + std::to_string(from) +
+                                   " marked failed while waiting for tag " +
+                                   std::to_string(tag),
+                               from);
+    }
+    cv_.wait(mutex_);
+  }
   const auto it = buffer_.find(key);
   Message msg = std::move(it->second);
   buffer_.erase(it);
@@ -64,6 +75,24 @@ void Mailbox::enable_reliable(Transport* ack_via, PartyId owner) {
   const MutexLock lock(mutex_);
   ack_via_ = ack_via;
   owner_ = owner;
+}
+
+void Mailbox::fail_party(PartyId party) {
+  {
+    const MutexLock lock(mutex_);
+    failed_.insert(party);
+  }
+  cv_.notify_all();  // wake blocked receivers so they can observe the failure
+}
+
+void Mailbox::clear_failed(PartyId party) {
+  const MutexLock lock(mutex_);
+  failed_.erase(party);
+}
+
+bool Mailbox::party_failed(PartyId party) const {
+  const MutexLock lock(mutex_);
+  return failed_.count(party) != 0;
 }
 
 }  // namespace eppi::net

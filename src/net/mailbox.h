@@ -47,6 +47,15 @@ class Mailbox {
   void enable_reliable(Transport* ack_via, PartyId owner)
       EPPI_EXCLUDES(mutex_);
 
+  // Failure signal from a detector (e.g. the socket runtime's heartbeat):
+  // a blocked recv on a failed party throws PartyFailure instead of waiting
+  // forever, and new blocking receives fail fast. Messages already buffered
+  // stay retrievable — only the *wait* is cut short. clear_failed() (on
+  // reconnect) restores normal blocking behaviour.
+  void fail_party(PartyId party) EPPI_EXCLUDES(mutex_);
+  void clear_failed(PartyId party) EPPI_EXCLUDES(mutex_);
+  bool party_failed(PartyId party) const EPPI_EXCLUDES(mutex_);
+
  private:
   using Key = std::tuple<PartyId, std::uint32_t, std::uint64_t>;
 
@@ -54,6 +63,7 @@ class Mailbox {
   CondVar cv_;
   std::multimap<Key, Message> buffer_ EPPI_GUARDED_BY(mutex_);
   std::set<Key> seen_ EPPI_GUARDED_BY(mutex_);  // reliable: keys delivered
+  std::set<PartyId> failed_ EPPI_GUARDED_BY(mutex_);
   Transport* ack_via_ EPPI_GUARDED_BY(mutex_) = nullptr;
   PartyId owner_ EPPI_GUARDED_BY(mutex_) = 0;
 };

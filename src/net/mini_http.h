@@ -1,0 +1,72 @@
+// Minimal embedded HTTP server for operational endpoints.
+//
+// Serves the deployment surface's pull-based interfaces — GET /metrics
+// (Prometheus text), GET /healthz, POST/GET /query — with the smallest
+// implementation that speaks enough HTTP/1.1 for curl and Prometheus: one
+// accept thread, one short-lived thread per connection, Connection: close
+// on every response. Request bodies are bounded; a client trickling bytes
+// is cut off by a socket receive timeout so a stuck scraper can never wedge
+// the daemon. This is an operational side-channel, deliberately not a
+// high-throughput API (the serving tier's LocatorService is the data
+// plane).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace eppi::net {
+
+struct HttpRequest {
+  std::string method;  // "GET", "POST", ...
+  std::string path;    // "/metrics" (query string included verbatim)
+  std::string body;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+class MiniHttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  // Handler runs on a per-connection thread; it must be thread-safe.
+  MiniHttpServer(std::uint16_t port, Handler handler);
+  ~MiniHttpServer();
+
+  MiniHttpServer(const MiniHttpServer&) = delete;
+  MiniHttpServer& operator=(const MiniHttpServer&) = delete;
+
+  // Binds (throws ProtocolError on failure) and serves until stop().
+  void start();
+  void stop();
+
+  // The bound port (useful when constructed with port 0).
+  std::uint16_t port() const noexcept { return port_; }
+
+ private:
+  void accept_loop();
+  void handle_connection(int fd);
+
+  std::uint16_t port_;
+  Handler handler_;
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+
+  mutable Mutex mutex_;
+  std::vector<std::thread> conn_threads_ EPPI_GUARDED_BY(mutex_);
+  std::set<int> live_fds_ EPPI_GUARDED_BY(mutex_);
+  bool stopping_ EPPI_GUARDED_BY(mutex_) = false;
+  bool started_ = false;
+};
+
+}  // namespace eppi::net

@@ -1,267 +1,737 @@
 #include "net/socket_transport.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
+#include <sys/epoll.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
-#include <chrono>
+#include <algorithm>
+#include <cerrno>
 #include <cstring>
-#include <map>
+#include <random>
 
 #include "common/error.h"
 #include "common/logging.h"
-#include "common/mutex.h"
+#include "net/wire.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace eppi::net {
 
 namespace {
 
-void write_all(int fd, const void* data, std::size_t len) {
-  const char* p = static_cast<const char*>(data);
-  while (len > 0) {
-    const ssize_t n = ::write(fd, p, len);
-    if (n <= 0) throw eppi::ProtocolError("socket write failed");
-    p += n;
-    len -= static_cast<std::size_t>(n);
-  }
-}
-
-bool read_all(int fd, void* data, std::size_t len) {
-  char* p = static_cast<char*>(data);
-  while (len > 0) {
-    const ssize_t n = ::read(fd, p, len);
-    if (n <= 0) return false;  // peer closed or error
-    p += n;
-    len -= static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-sockaddr_in make_addr(const Endpoint& ep) {
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(ep.port);
-  require(::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) == 1,
-          "SocketRuntime: bad host address " + ep.host);
+  addr.sin_port = htons(port);
+  require(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+          "SocketRuntime: bad host address " + host);
   return addr;
 }
 
-struct FrameHeader {
-  std::uint32_t from;
-  std::uint32_t to;
-  std::uint32_t tag;
-  std::uint64_t seq;
-  std::uint32_t len;
-};
-
-constexpr std::size_t kHeaderBytes = 4 + 4 + 4 + 8 + 4;
-
-void encode_header(const FrameHeader& h, unsigned char* out) {
-  auto put32 = [&out](std::uint32_t v) {
-    for (int i = 0; i < 4; ++i) *out++ = static_cast<unsigned char>(v >> (8 * i));
-  };
-  auto put64 = [&out](std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) *out++ = static_cast<unsigned char>(v >> (8 * i));
-  };
-  put32(h.from);
-  put32(h.to);
-  put32(h.tag);
-  put64(h.seq);
-  put32(h.len);
+void set_socket_flags(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  // CLOEXEC on every socket: a party that fork/execs a helper must not leak
+  // mesh descriptors into the child.
+  const int flags = ::fcntl(fd, F_GETFD);
+  if (flags >= 0) ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
 }
 
-FrameHeader decode_header(const unsigned char* in) {
-  auto get32 = [&in] {
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(*in++) << (8 * i);
-    return v;
-  };
-  auto get64 = [&in] {
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(*in++) << (8 * i);
-    return v;
-  };
-  FrameHeader h;
-  h.from = get32();
-  h.to = get32();
-  h.tag = get32();
-  h.seq = get64();
-  h.len = get32();
-  return h;
+// Per-process session nonce: a reconnecting peer presenting a different
+// nonce restarted; the same nonce is the same process resuming a dropped
+// link. Randomness (not a counter) so independently restarted parties
+// cannot collide.
+std::uint64_t make_session_nonce() {
+  // Entropy, not reproducibility: two restarts of the same party MUST get
+  // different nonces, so the deterministic eppi::Rng is exactly wrong here.
+  std::random_device rd;  // eppi-lint: allow(rng-construction)
+  std::uint64_t n = (std::uint64_t{rd()} << 32) ^ rd();
+  n ^= static_cast<std::uint64_t>(::getpid()) << 17;
+  if (n == 0) n = 1;
+  return n;
+}
+
+std::vector<unsigned char> encode_frame(const Message& msg) {
+  std::vector<unsigned char> buf(wire::kHeaderBytes + msg.payload.size());
+  const wire::FrameHeader h{msg.from, msg.to, msg.tag, msg.seq,
+                            static_cast<std::uint32_t>(msg.payload.size())};
+  wire::encode_frame_header(h, buf.data());
+  if (!msg.payload.empty()) {
+    std::memcpy(buf.data() + wire::kHeaderBytes, msg.payload.data(),
+                msg.payload.size());
+  }
+  return buf;
 }
 
 }  // namespace
 
-// Transport implementation writing frames onto the per-peer sockets.
+// Transport handing encoded frames to the event loop. Thread-safe: protocol
+// threads and the retransmit thread call send(); the loop thread owns the
+// sockets and does the actual writes.
 class SocketRuntime::SocketSender final : public Transport {
  public:
   explicit SocketSender(SocketRuntime& runtime) : runtime_(runtime) {}
 
-  // Pre-creates the per-peer write mutex (called once at mesh setup so no
-  // rehashing happens under concurrency).
-  void prepare(PartyId peer) { write_mutex_[peer]; }
-
   void send(Message msg) override {
-    require(msg.to < runtime_.peer_fds_.size(),
+    require(msg.to < runtime_.endpoints_.size(),
             "SocketSender: bad destination");
     runtime_.meter_.record_message(msg.wire_size());
     if (msg.to == runtime_.self_) {  // loopback
-      runtime_.inbox_.deliver(std::move(msg));
+      runtime_.mailboxes_[runtime_.self_].deliver(std::move(msg));
       return;
     }
-    const int fd = runtime_.peer_fds_[msg.to];
-    require(fd >= 0, "SocketSender: no connection to peer");
-    FrameHeader h{msg.from, msg.to, msg.tag, msg.seq,
-                  static_cast<std::uint32_t>(msg.payload.size())};
-    unsigned char header[kHeaderBytes];
-    encode_header(h, header);
-    const auto it = write_mutex_.find(msg.to);
-    require(it != write_mutex_.end(), "SocketSender: unprepared peer");
-    const MutexLock lock(it->second);
-    write_all(fd, header, sizeof(header));
-    if (!msg.payload.empty()) {
-      write_all(fd, msg.payload.data(), msg.payload.size());
-    }
+    const PartyId to = msg.to;
+    runtime_.loop_.post(
+        [rt = &runtime_, to, frame = encode_frame(msg)]() mutable {
+          rt->queue_frame(to, std::move(frame));
+        });
   }
 
  private:
   SocketRuntime& runtime_;
-  // One mutex per peer keeps frames atomic under concurrent sends. Looked up
-  // dynamically per message, so the static analysis cannot name the
-  // capability — MutexLock still serializes the frame writes at runtime.
-  std::map<PartyId, Mutex> write_mutex_;
 };
 
 SocketRuntime::SocketRuntime(PartyId self, std::vector<Endpoint> endpoints,
                              std::uint64_t rng_seed, int connect_timeout_ms)
-    : self_(self), endpoints_(std::move(endpoints)) {
-  const std::size_t m = endpoints_.size();
-  require(self < m, "SocketRuntime: self id out of range");
-  peer_fds_.assign(m, -1);
+    : SocketRuntime(self, std::move(endpoints), [&] {
+        SocketRuntimeOptions o;
+        o.rng_seed = rng_seed;
+        o.connect_timeout_ms = connect_timeout_ms;
+        return o;
+      }()) {}
 
-  // Listen socket.
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+SocketRuntime::SocketRuntime(PartyId self, std::vector<Endpoint> endpoints,
+                             SocketRuntimeOptions options)
+    : self_(self),
+      endpoints_(std::move(endpoints)),
+      session_(make_session_nonce()),
+      options_(options),
+      mailboxes_(endpoints_.size()) {
+  const std::size_t m = endpoints_.size();
+  require(m >= 1, "SocketRuntime: need at least one endpoint");
+  require(self < m, "SocketRuntime: self id out of range");
+  peers_.resize(m);
+  {
+    const MutexLock lock(state_mutex_);
+    up_.assign(m, false);
+    reached_.assign(m, false);
+  }
+
+  // Listen socket, bound synchronously so port conflicts throw here.
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   require(listen_fd_ >= 0, "SocketRuntime: cannot create listen socket");
   const int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr = make_addr(endpoints_[self]);
+  const std::uint16_t listen_port = options_.listen_port_override != 0
+                                        ? options_.listen_port_override
+                                        : endpoints_[self].port;
+  sockaddr_in addr = make_addr(endpoints_[self].host, listen_port);
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
       0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
     throw eppi::ProtocolError("SocketRuntime: bind failed on port " +
-                              std::to_string(endpoints_[self].port));
+                              std::to_string(listen_port));
   }
-  require(::listen(listen_fd_, static_cast<int>(m)) == 0,
-          "SocketRuntime: listen failed");
-
-  // Actively connect to lower ids (they are listening or will be).
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::milliseconds(connect_timeout_ms);
-  for (PartyId j = 0; j < self; ++j) {
-    int fd = -1;
-    for (;;) {
-      fd = ::socket(AF_INET, SOCK_STREAM, 0);
-      require(fd >= 0, "SocketRuntime: cannot create socket");
-      sockaddr_in peer = make_addr(endpoints_[j]);
-      if (::connect(fd, reinterpret_cast<sockaddr*>(&peer), sizeof(peer)) ==
-          0) {
-        break;
-      }
-      ::close(fd);
-      fd = -1;
-      if (std::chrono::steady_clock::now() > deadline) {
-        throw eppi::ProtocolError("SocketRuntime: cannot reach party " +
-                                  std::to_string(j));
-      }
-      EPPI_DEBUG("party " << self << " waiting for party " << j << " at "
-                          << endpoints_[j].host << ':'
-                          << endpoints_[j].port);
-      ::usleep(20000);
-    }
-    const int nodelay = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
-    // Handshake: announce who we are.
-    const std::uint32_t my_id = self;
-    write_all(fd, &my_id, sizeof(my_id));
-    peer_fds_[j] = fd;
+  if (::listen(listen_fd_, static_cast<int>(m) + 4) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw eppi::ProtocolError("SocketRuntime: listen failed");
   }
 
-  // Accept connections from higher ids.
-  for (PartyId expected = 0; expected + self + 1 < m; ++expected) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) throw eppi::ProtocolError("SocketRuntime: accept failed");
-    const int nodelay = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
-    std::uint32_t peer_id = 0;
-    if (!read_all(fd, &peer_id, sizeof(peer_id)) || peer_id <= self ||
-        peer_id >= m || peer_fds_[peer_id] != -1) {
-      ::close(fd);
-      throw eppi::ProtocolError("SocketRuntime: bad handshake");
-    }
-    peer_fds_[peer_id] = fd;
-  }
-
+  // Transport chain + context, fully wired before any byte can arrive.
   sender_ = std::make_unique<SocketSender>(*this);
-  for (PartyId j = 0; j < m; ++j) {
-    if (j != self) sender_->prepare(j);
+  Transport* active = sender_.get();
+  if (options_.reliable) {
+    reliable_ = std::make_unique<ReliableTransport>(*sender_, mailboxes_,
+                                                    options_.reliable_options);
+    mailboxes_[self_].enable_reliable(reliable_.get(), self_);
+    active = reliable_.get();
   }
   context_ = std::make_unique<PartyContext>(
-      self, m, *sender_, inbox_, meter_, Rng(rng_seed * 1000003 + self));
+      self_, m, *active, mailboxes_[self_], meter_,
+      Rng(options_.rng_seed * 1000003 + self_), options_.recv_timeout);
 
-  for (PartyId j = 0; j < m; ++j) {
-    if (peer_fds_[j] >= 0) {
-      readers_.emplace_back([this, fd = peer_fds_[j]] { reader_loop(fd); });
+  loop_thread_ = std::thread([this] { loop_.run(); });
+  loop_.post([this] { setup_on_loop(); });
+
+  // Block until every peer has been reached at least once or the budget runs
+  // out. "Reached" is sticky on purpose: a fast peer may complete its whole
+  // exchange and exit while we are still dialing the others, and its frames
+  // are already sitting in our mailbox — requiring all links to be up
+  // *simultaneously* would starve this constructor for no protocol reason.
+  // Post-formation liveness is the heartbeat detector's job, not ours.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options_.connect_timeout_ms);
+  bool formed = false;
+  {
+    MutexLock lock(state_mutex_);
+    for (;;) {
+      std::size_t reached = 0;
+      for (std::size_t j = 0; j < m; ++j) {
+        if (j != self_ && reached_[j]) ++reached;
+      }
+      if (reached == m - 1) {
+        formed = true;
+        break;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) break;
+      state_cv_.wait_until(state_mutex_, deadline);
     }
+  }
+  if (!formed) {
+    PartyId missing = self_;
+    {
+      const MutexLock lock(state_mutex_);
+      for (std::size_t j = 0; j < m; ++j) {
+        if (j != self_ && !reached_[j]) {
+          missing = static_cast<PartyId>(j);
+          break;
+        }
+      }
+    }
+    shutdown();
+    throw eppi::ProtocolError("SocketRuntime: cannot reach party " +
+                              std::to_string(missing));
   }
 }
 
-void SocketRuntime::reader_loop(int fd) {
-  for (;;) {
-    unsigned char header[kHeaderBytes];
-    if (!read_all(fd, header, sizeof(header))) return;  // peer closed
-    const FrameHeader h = decode_header(header);
-    constexpr std::uint32_t kMaxPayload = 1u << 30;
-    if (h.len > kMaxPayload) {
-      EPPI_WARN("dropping connection: frame of " << h.len
-                                                 << " bytes exceeds limit");
-      return;
-    }
-    Message msg;
-    msg.from = h.from;
-    msg.to = h.to;
-    msg.tag = h.tag;
-    msg.seq = h.seq;
-    msg.payload.resize(h.len);
-    if (h.len > 0 && !read_all(fd, msg.payload.data(), h.len)) return;
-    inbox_.deliver(std::move(msg));
-  }
-}
+SocketRuntime::~SocketRuntime() { shutdown(); }
 
 void SocketRuntime::shutdown() {
-  if (shut_down_) return;
-  shut_down_ = true;
-  // Wake blocked readers first, join them, and only then close the fds —
-  // closing while a reader is inside read() races on the descriptor.
-  for (const int fd : peer_fds_) {
-    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
-  }
-  for (auto& t : readers_) {
-    if (t.joinable()) t.join();
-  }
-  readers_.clear();
-  for (int& fd : peer_fds_) {
-    if (fd >= 0) {
-      ::close(fd);
-      fd = -1;
+  if (shut_down_.exchange(true)) return;
+  // Stop the retransmit thread first: it feeds frames into the loop.
+  if (reliable_) reliable_->stop();
+
+  // Drain before teardown: protocol sends are asynchronous (posted to the
+  // loop), so a runtime destroyed right after send() must first let the loop
+  // run the posted closures and flush every connection's write queue.
+  // Bounded: a peer stuck unwritable for the whole budget forfeits its
+  // frames (with reliability the sender's retransmit path has already
+  // stopped, so this mirrors a crash, which the protocol layer tolerates).
+  const auto drain_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  for (;;) {
+    Mutex probe_mutex;
+    CondVar probe_cv;
+    bool probed = false;
+    bool clean = false;
+    loop_.post([&] {
+      bool all_flushed = true;
+      for (const auto& [fd, conn] : conns_) {
+        if (!conn.outq.empty()) {
+          all_flushed = false;
+          break;
+        }
+      }
+      MutexLock lock(probe_mutex);
+      clean = all_flushed;
+      probed = true;
+      probe_cv.notify_all();
+    });
+    {
+      MutexLock lock(probe_mutex);
+      const auto probe_deadline =
+          std::chrono::steady_clock::now() + std::chrono::milliseconds(200);
+      while (!probed &&
+             std::chrono::steady_clock::now() < probe_deadline) {
+        probe_cv.wait_until(probe_mutex, probe_deadline);
+      }
+      // An unanswered probe means the loop is not serving posts; bail.
+      if (!probed || clean) break;
     }
+    if (std::chrono::steady_clock::now() >= drain_deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
+
+  loop_.stop();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  // The loop thread is gone; connection state is now ours to tear down.
+  for (auto& [fd, conn] : conns_) ::close(fd);
+  conns_.clear();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
 }
 
-SocketRuntime::~SocketRuntime() { shutdown(); }
+bool SocketRuntime::peer_up(PartyId peer) const {
+  const MutexLock lock(state_mutex_);
+  return peer < up_.size() && up_[peer];
+}
+
+NetStats SocketRuntime::stats() const {
+  const MutexLock lock(state_mutex_);
+  return stats_;
+}
+
+void SocketRuntime::set_peer_down_callback(PeerCallback cb) {
+  const MutexLock lock(state_mutex_);
+  on_peer_down_ = std::move(cb);
+}
+
+void SocketRuntime::set_peer_up_callback(PeerCallback cb) {
+  const MutexLock lock(state_mutex_);
+  on_peer_up_ = std::move(cb);
+}
+
+// --- loop-thread internals --------------------------------------------------
+
+void SocketRuntime::setup_on_loop() {
+  loop_.add_fd(listen_fd_, EPOLLIN,
+               [this](std::uint32_t ev) { on_listen_ready(ev); });
+  // Dial every lower id (they are listening or will be); higher ids dial us.
+  for (PartyId j = 0; j < self_; ++j) start_connect(j);
+  heartbeat_timer_ = loop_.add_timer(options_.heartbeat_interval,
+                                     options_.heartbeat_interval,
+                                     [this] { heartbeat_tick(); });
+}
+
+void SocketRuntime::start_connect(PartyId peer) {
+  if (shut_down_) return;
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    schedule_reconnect(peer);
+    return;
+  }
+  set_socket_flags(fd);
+  sockaddr_in addr = make_addr(endpoints_[peer].host, endpoints_[peer].port);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0 && errno != EINPROGRESS) {
+    EPPI_DEBUG("party " << self_ << " dial to party " << peer
+                        << " failed synchronously: " << std::strerror(errno));
+    ::close(fd);
+    schedule_reconnect(peer);
+    return;
+  }
+  EPPI_DEBUG("party " << self_ << " dialing party " << peer << " on fd " << fd
+                      << (rc == 0 ? " (connected)" : " (in progress)"));
+  Conn& c = conns_[fd];
+  c.fd = fd;
+  c.peer = peer;
+  c.dialer = true;
+  c.connecting = (rc != 0);
+  c.last_rx = std::chrono::steady_clock::now();
+  if (c.connecting) {
+    loop_.add_fd(fd, EPOLLOUT,
+                 [this, fd](std::uint32_t ev) { on_conn_event(fd, ev); });
+  } else {
+    loop_.add_fd(fd, EPOLLIN,
+                 [this, fd](std::uint32_t ev) { on_conn_event(fd, ev); });
+    // Connected synchronously (loopback): announce ourselves now.
+    wire::Hello hello{wire::kMagic, wire::kProtocolVersion,
+                      static_cast<std::uint16_t>(
+                          peers_[peer].ever_up ? wire::kFlagResume : 0),
+                      self_, session_};
+    std::vector<unsigned char> buf(wire::kHelloBytes);
+    wire::encode_hello(hello, buf.data());
+    c.outq.push_back(std::move(buf));
+    flush_conn(c);
+  }
+}
+
+void SocketRuntime::schedule_reconnect(PartyId peer) {
+  if (shut_down_) return;
+  PeerState& ps = peers_[peer];
+  if (ps.retry_timer != 0) return;  // retry already pending
+  ps.backoff = ps.backoff.count() == 0
+                   ? options_.reconnect_min
+                   : std::min(ps.backoff * 2, options_.reconnect_max);
+  ps.retry_timer =
+      loop_.add_timer(ps.backoff, std::chrono::milliseconds(0), [this, peer] {
+        peers_[peer].retry_timer = 0;
+        if (peers_[peer].fd < 0) start_connect(peer);
+      });
+}
+
+void SocketRuntime::on_listen_ready(std::uint32_t /*events*/) {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or transient accept error; epoll re-arms us
+    }
+    set_socket_flags(fd);
+    Conn& c = conns_[fd];
+    c.fd = fd;
+    c.dialer = false;
+    c.last_rx = std::chrono::steady_clock::now();
+    loop_.add_fd(fd, EPOLLIN,
+                 [this, fd](std::uint32_t ev) { on_conn_event(fd, ev); });
+    // Announce ourselves immediately; the peer id arrives in their hello.
+    wire::Hello hello{wire::kMagic, wire::kProtocolVersion, 0, self_,
+                      session_};
+    std::vector<unsigned char> buf(wire::kHelloBytes);
+    wire::encode_hello(hello, buf.data());
+    c.outq.push_back(std::move(buf));
+    flush_conn(c);
+  }
+}
+
+void SocketRuntime::on_conn_event(int fd, std::uint32_t events) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Conn& c = it->second;
+
+  if (c.connecting) {
+    // Nonblocking connect resolved (EPOLLOUT) or failed (EPOLLERR/HUP).
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if ((events & (EPOLLERR | EPOLLHUP)) != 0 || err != 0) {
+      close_conn(fd, "connect failed");
+      return;
+    }
+    c.connecting = false;
+    loop_.modify_fd(fd, EPOLLIN);
+    c.want_write = false;
+    wire::Hello hello{wire::kMagic, wire::kProtocolVersion,
+                      static_cast<std::uint16_t>(
+                          peers_[c.peer].ever_up ? wire::kFlagResume : 0),
+                      self_, session_};
+    std::vector<unsigned char> buf(wire::kHelloBytes);
+    wire::encode_hello(hello, buf.data());
+    c.outq.push_back(std::move(buf));
+    flush_conn(c);
+    return;
+  }
+
+  if ((events & (EPOLLERR | EPOLLHUP)) != 0) {
+    close_conn(fd, "socket error");
+    return;
+  }
+  if ((events & EPOLLOUT) != 0) {
+    flush_conn(c);
+    if (conns_.find(fd) == conns_.end()) return;  // flush closed it
+  }
+  if ((events & EPOLLIN) != 0) handle_readable(c);
+}
+
+void SocketRuntime::handle_readable(Conn& c) {
+  const int fd = c.fd;
+  unsigned char chunk[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      c.rbuf.insert(c.rbuf.end(), chunk, chunk + n);
+      c.last_rx = std::chrono::steady_clock::now();
+      if (static_cast<std::size_t>(n) < sizeof(chunk)) break;
+      continue;
+    }
+    if (n == 0) {
+      close_conn(fd, "peer closed");
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    close_conn(fd, "read error");
+    return;
+  }
+  if (!c.identified) {
+    if (!process_hello(c)) return;  // closed, or hello still incomplete
+    if (conns_.find(fd) == conns_.end()) return;  // hello flush closed it
+  }
+  process_frames(c);
+}
+
+bool SocketRuntime::process_hello(Conn& c) {
+  if (c.rbuf.size() < wire::kHelloBytes) return false;  // need more bytes
+  const wire::Hello hello = wire::decode_hello(c.rbuf.data());
+  std::string problem = wire::hello_problem(hello, endpoints_.size());
+  if (problem.empty()) {
+    if (c.dialer && hello.party != c.peer) {
+      problem = "endpoint for party " + std::to_string(c.peer) +
+                " answered as party " + std::to_string(hello.party);
+    } else if (!c.dialer && hello.party <= self_) {
+      // Mesh discipline: the higher id dials. A lower id (or ourselves)
+      // showing up on the accept side is a misconfiguration.
+      problem = "party " + std::to_string(hello.party) +
+                " must be dialed, not accepted";
+    }
+  }
+  if (!problem.empty()) {
+    EPPI_WARN("party " << self_ << " rejecting connection: " << problem);
+    {
+      const MutexLock lock(state_mutex_);
+      ++stats_.handshake_rejects;
+    }
+    close_conn(c.fd, "bad handshake");
+    return false;
+  }
+  c.rbuf.erase(c.rbuf.begin(), c.rbuf.begin() + wire::kHelloBytes);
+  c.peer = hello.party;
+  c.identified = true;
+
+  PeerState& ps = peers_[c.peer];
+  if (ps.fd >= 0 && ps.fd != c.fd) {
+    // The peer re-established while we still hold the old (half-open)
+    // connection: the newest wins. Detach first so closing the stale fd
+    // does not mark the link down.
+    const int stale = ps.fd;
+    ps.fd = -1;
+    close_conn(stale, "replaced by newer connection");
+  }
+  ps.fd = c.fd;
+  EPPI_DEBUG("party " << self_ << " identified party " << c.peer << " on fd "
+                      << c.fd << (c.dialer ? " (dialed)" : " (accepted)"));
+  if (ps.ever_up && ps.session != 0 && ps.session != hello.session) {
+    const MutexLock lock(state_mutex_);
+    ++stats_.peer_restarts;
+  }
+  ps.session = hello.session;
+  link_established(c);
+  return true;
+}
+
+void SocketRuntime::link_established(Conn& c) {
+  PeerState& ps = peers_[c.peer];
+  if (ps.retry_timer != 0) {
+    loop_.cancel_timer(ps.retry_timer);
+    ps.retry_timer = 0;
+  }
+  ps.backoff = std::chrono::milliseconds(0);
+  const bool reconnect = ps.ever_up;
+  ps.ever_up = true;
+  ps.failed = false;
+  {
+    const MutexLock lock(state_mutex_);
+    ++stats_.connects;
+    if (reconnect) ++stats_.reconnects;
+  }
+  if (reconnect) {
+    obs::Span span("net.reconnect");
+    span.attr("party", static_cast<std::uint64_t>(self_));
+    span.attr("peer", static_cast<std::uint64_t>(c.peer));
+    span.attr("backlog", static_cast<std::uint64_t>(ps.backlog.size()));
+    obs::Registry::global()
+        .counter("eppi_net_reconnects_total",
+                 {{"party", std::to_string(self_)}},
+                 "links re-established after a drop")
+        .add(1);
+  }
+  // Flush frames queued while the link was down; with reliability enabled
+  // the peer's mailbox deduplicates any overlap with retransmissions.
+  while (!ps.backlog.empty()) {
+    c.outq.push_back(std::move(ps.backlog.front()));
+    ps.backlog.pop_front();
+  }
+  mark_peer_up(c.peer);
+  flush_conn(c);
+}
+
+void SocketRuntime::process_frames(Conn& c) {
+  const int fd = c.fd;
+  std::size_t off = 0;
+  while (c.rbuf.size() - off >= wire::kHeaderBytes) {
+    const wire::FrameHeader h = wire::decode_frame_header(c.rbuf.data() + off);
+    if (h.len > wire::kMaxPayload) {
+      EPPI_WARN("party " << self_ << " dropping connection to party "
+                         << c.peer << ": frame of " << h.len
+                         << " bytes exceeds limit");
+      close_conn(fd, "oversized frame");
+      return;
+    }
+    if (c.rbuf.size() - off < wire::kHeaderBytes + h.len) break;
+    off += wire::kHeaderBytes;
+
+    if (wire::is_control_tag(h.tag)) {
+      if (h.tag == wire::kHeartbeatPing) {
+        send_control(c, wire::kHeartbeatPong, h.seq);
+        if (conns_.find(fd) == conns_.end()) return;  // send failed, closed
+      }
+      // Pongs (and unknown control frames) only refresh last_rx.
+      off += h.len;
+      continue;
+    }
+
+    Message msg;
+    msg.from = h.from;
+    msg.to = h.to;
+    msg.tag = h.tag;
+    msg.seq = h.seq;
+    msg.payload.assign(c.rbuf.begin() + static_cast<std::ptrdiff_t>(off),
+                       c.rbuf.begin() + static_cast<std::ptrdiff_t>(off + h.len));
+    off += h.len;
+    if (msg.to != self_) {
+      EPPI_WARN("party " << self_ << " ignoring misrouted frame for party "
+                         << msg.to);
+      continue;
+    }
+    {
+      const MutexLock lock(state_mutex_);
+      ++stats_.frames_received;
+    }
+    mailboxes_[self_].deliver(std::move(msg));
+  }
+  c.rbuf.erase(c.rbuf.begin(), c.rbuf.begin() + static_cast<std::ptrdiff_t>(off));
+}
+
+// Note: runs during shutdown's drain phase too — sends posted just before
+// shutdown() must still reach the wire, so there is deliberately no
+// shut_down_ gate here (connections outlive the loop thread).
+void SocketRuntime::queue_frame(PartyId to, std::vector<unsigned char> frame) {
+  {
+    const MutexLock lock(state_mutex_);
+    ++stats_.frames_sent;
+  }
+  PeerState& ps = peers_[to];
+  if (ps.fd >= 0) {
+    const auto it = conns_.find(ps.fd);
+    if (it != conns_.end() && it->second.identified) {
+      it->second.outq.push_back(std::move(frame));
+      flush_conn(it->second);
+      return;
+    }
+  }
+  // Link down (or handshake in flight): hold the frame, bounded.
+  if (ps.backlog.size() >= options_.max_backlog_frames) {
+    const MutexLock lock(state_mutex_);
+    ++stats_.frames_dropped;
+    return;
+  }
+  ps.backlog.push_back(std::move(frame));
+}
+
+void SocketRuntime::send_control(Conn& c, std::uint32_t tag,
+                                 std::uint64_t seq) {
+  const wire::FrameHeader h{self_, c.peer, tag, seq, 0};
+  std::vector<unsigned char> buf(wire::kHeaderBytes);
+  wire::encode_frame_header(h, buf.data());
+  c.outq.push_back(std::move(buf));
+  flush_conn(c);
+}
+
+void SocketRuntime::flush_conn(Conn& c) {
+  const int fd = c.fd;
+  while (!c.outq.empty()) {
+    const std::vector<unsigned char>& front = c.outq.front();
+    // MSG_NOSIGNAL: a peer closing mid-write must surface as an error (and a
+    // reconnect), never as a process-killing SIGPIPE.
+    const ssize_t n = ::send(fd, front.data() + c.out_off,
+                             front.size() - c.out_off, MSG_NOSIGNAL);
+    if (n >= 0) {
+      c.out_off += static_cast<std::size_t>(n);
+      if (c.out_off == front.size()) {
+        c.outq.pop_front();
+        c.out_off = 0;
+      }
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!c.want_write) {
+        c.want_write = true;
+        loop_.modify_fd(fd, EPOLLIN | EPOLLOUT);
+      }
+      return;
+    }
+    close_conn(fd, "write error");
+    return;
+  }
+  if (c.want_write) {
+    c.want_write = false;
+    loop_.modify_fd(fd, EPOLLIN);
+  }
+}
+
+void SocketRuntime::heartbeat_tick() {
+  const auto now = std::chrono::steady_clock::now();
+  for (PartyId p = 0; p < peers_.size(); ++p) {
+    if (p == self_) continue;
+    PeerState& ps = peers_[p];
+    if (ps.fd >= 0) {
+      const auto it = conns_.find(ps.fd);
+      if (it == conns_.end() || !it->second.identified) continue;
+      Conn& c = it->second;
+      if (now - c.last_rx > options_.heartbeat_timeout) {
+        {
+          const MutexLock lock(state_mutex_);
+          ++stats_.heartbeat_timeouts;
+        }
+        obs::Registry::global()
+            .counter("eppi_net_heartbeat_timeouts_total",
+                     {{"party", std::to_string(self_)}},
+                     "links cut after silence past the heartbeat timeout")
+            .add(1);
+        EPPI_WARN("party " << self_ << " heartbeat timeout on party " << p);
+        fail_peer(p);
+        close_conn(ps.fd, "heartbeat timeout");
+        continue;
+      }
+      send_control(c, wire::kHeartbeatPing, ps.ping_seq++);
+    } else if (ps.ever_up && !ps.failed &&
+               now - ps.down_since > options_.heartbeat_timeout) {
+      // Link has been down (reconnects failing) longer than the silence
+      // budget: the peer process is gone, not just the connection.
+      fail_peer(p);
+    }
+  }
+}
+
+void SocketRuntime::fail_peer(PartyId peer) {
+  PeerState& ps = peers_[peer];
+  if (ps.failed) return;  // exactly once per failure episode
+  ps.failed = true;
+  EPPI_DEBUG("party " << self_ << " marking party " << peer << " failed");
+  mailboxes_[self_].fail_party(peer);
+  PeerCallback cb;
+  {
+    const MutexLock lock(state_mutex_);
+    cb = on_peer_down_;
+  }
+  if (cb) cb(peer);
+}
+
+void SocketRuntime::mark_peer_up(PartyId peer) {
+  mailboxes_[self_].clear_failed(peer);
+  PeerCallback cb;
+  {
+    const MutexLock lock(state_mutex_);
+    up_[peer] = true;
+    reached_[peer] = true;
+    cb = on_peer_up_;
+  }
+  state_cv_.notify_all();
+  if (cb) cb(peer);
+}
+
+void SocketRuntime::close_conn(int fd, const char* reason) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Conn c = std::move(it->second);
+  conns_.erase(it);
+  loop_.remove_fd(fd);
+  ::close(fd);
+
+  const bool was_link = c.identified && peers_[c.peer].fd == fd;
+  if (was_link) {
+    PeerState& ps = peers_[c.peer];
+    ps.fd = -1;
+    ps.down_since = std::chrono::steady_clock::now();
+    {
+      const MutexLock lock(state_mutex_);
+      up_[c.peer] = false;
+      ++stats_.disconnects;
+    }
+    EPPI_DEBUG("party " << self_ << " link to party " << c.peer << " down ("
+                        << reason << ")");
+  } else {
+    EPPI_DEBUG("party " << self_ << " closed fd " << fd << " (" << reason
+                        << ", peer " << c.peer << ", identified "
+                        << c.identified << ")");
+  }
+  // The higher id owns redialing the link (the lower id only accepts).
+  if (c.dialer && !shut_down_) schedule_reconnect(c.peer);
+}
 
 }  // namespace eppi::net

@@ -3,30 +3,52 @@
 // The in-process Cluster is ideal for tests and benches; an actual
 // deployment runs one provider per process (or machine), like the paper's
 // Emulab setup. SocketRuntime gives each process the same PartyContext the
-// protocols already use, backed by TCP:
+// protocols already use, backed by TCP and a single epoll event loop:
 //
 //  * party i listens on endpoints[i] and accepts connections from every
 //    party j > i; it actively connects (with retry) to every party j < i —
-//    a deadlock-free full mesh;
-//  * each connection is identified by a 4-byte party-id handshake;
+//    a deadlock-free full mesh where the higher id is the link initiator;
+//  * connections open with a versioned little-endian Hello (net/wire.h):
+//    magic + protocol version + party id + per-process session nonce, both
+//    directions, validated identically on the accept and connect sides;
 //  * frames are length-delimited [from, to, tag, seq, len, payload];
-//  * one reader thread per peer demultiplexes into the standard Mailbox, so
-//    selective blocking recv works exactly as in-process.
+//  * one loop thread owns every socket (nonblocking reads, buffered writes,
+//    timers); protocol threads hand frames to the loop via post();
+//  * a dropped link is reconnected by the initiator with exponential
+//    backoff; frames sent while the link is down are buffered (bounded) and
+//    flushed on reconnect, and with reliability enabled the
+//    ReliableTransport sequence space carries across the reconnect —
+//    unacked frames retransmit, the peer's mailbox deduplicates;
+//  * application-level heartbeats (control frames, never delivered to the
+//    mailbox) bound silence: a peer quiet past the heartbeat timeout is
+//    marked failed exactly once, the inbox's fail_party() turns blocked
+//    receives into PartyFailure, and the PR 1 failure detector drives the
+//    same survivor-restart / graceful-degradation paths as in-process
+//    faults.
 //
 // The runtime meters traffic through the same CostMeter interface, so cost
 // accounting carries over unchanged.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "net/cluster.h"
 #include "net/cost_meter.h"
+#include "net/event_loop.h"
 #include "net/mailbox.h"
+#include "net/reliable_transport.h"
 #include "net/transport.h"
 
 namespace eppi::net {
@@ -36,12 +58,56 @@ struct Endpoint {
   std::uint16_t port = 0;
 };
 
+struct SocketRuntimeOptions {
+  std::uint64_t rng_seed = 1;
+  // Mesh-formation bound: the constructor throws ProtocolError if the full
+  // mesh is not up within this budget. Reconnects after construction retry
+  // forever (the heartbeat timeout, not the dialer, declares a peer dead).
+  int connect_timeout_ms = 10000;
+  // When nonzero, bind the listen socket to this port instead of
+  // endpoints[self].port. Lets a party sit behind the chaos proxy: peers
+  // dial the advertised (proxy) port while the process binds the real one.
+  std::uint16_t listen_port_override = 0;
+  std::chrono::milliseconds heartbeat_interval{500};
+  std::chrono::milliseconds heartbeat_timeout{2000};
+  std::chrono::milliseconds reconnect_min{20};
+  std::chrono::milliseconds reconnect_max{1000};
+  // Bounds PartyContext::recv (zero = wait forever). Distributed FT runs
+  // want this slightly above the protocol's stage timeout.
+  std::chrono::milliseconds recv_timeout{0};
+  // Acks + retransmission + dedup over the socket links (see
+  // reliable_transport.h); required for session resumption to replay frames
+  // lost in flight at the moment a connection dropped.
+  bool reliable = false;
+  ReliableOptions reliable_options;
+  // Frames buffered per peer while its link is down; beyond the cap new
+  // frames are dropped (counted in stats) and reliability, if enabled,
+  // recovers them by retransmission.
+  std::size_t max_backlog_frames = 65536;
+};
+
+// Point-in-time counters mirrored into the obs registry
+// (eppi_net_* metrics); readable from any thread.
+struct NetStats {
+  std::uint64_t connects = 0;            // successful handshakes (both roles)
+  std::uint64_t reconnects = 0;          // handshakes after a link drop
+  std::uint64_t disconnects = 0;         // links lost (error, EOF, timeout)
+  std::uint64_t heartbeat_timeouts = 0;  // links cut for silence
+  std::uint64_t peer_restarts = 0;       // session nonce changed on reconnect
+  std::uint64_t handshake_rejects = 0;   // bad magic/version/party
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t frames_dropped = 0;      // backlog overflow while peer down
+};
+
 class SocketRuntime {
  public:
   // Establishes the full mesh (blocking; retries connections for up to
   // `connect_timeout_ms`). Throws ProtocolError if the mesh cannot form.
   SocketRuntime(PartyId self, std::vector<Endpoint> endpoints,
                 std::uint64_t rng_seed = 1, int connect_timeout_ms = 10000);
+  SocketRuntime(PartyId self, std::vector<Endpoint> endpoints,
+                SocketRuntimeOptions options);
   ~SocketRuntime();
 
   SocketRuntime(const SocketRuntime&) = delete;
@@ -51,25 +117,111 @@ class SocketRuntime {
   // runtime's lifetime.
   PartyContext& context() noexcept { return *context_; }
   CostMeter& meter() noexcept { return meter_; }
+  Mailbox& inbox() noexcept { return mailboxes_[self_]; }
 
-  // Closes all sockets and joins reader threads (also done by destructor).
+  // Present iff options.reliable; stats() on it exposes retransmit counts.
+  ReliableTransport* reliable() noexcept { return reliable_.get(); }
+
+  // Whether the link to `peer` is currently established (handshake done).
+  bool peer_up(PartyId peer) const;
+  NetStats stats() const;
+
+  // This process's session nonce (sent in every Hello).
+  std::uint64_t session_nonce() const noexcept { return session_; }
+
+  // Invoked on the loop thread, once per transition, when a peer's link is
+  // lost / re-established. Set before protocol traffic starts.
+  using PeerCallback = std::function<void(PartyId)>;
+  void set_peer_down_callback(PeerCallback cb);
+  void set_peer_up_callback(PeerCallback cb);
+
+  // Closes all sockets and joins the loop thread (also done by destructor).
   void shutdown();
 
  private:
   class SocketSender;
+  friend class SocketSender;
 
-  void reader_loop(int fd);
+  // One TCP connection, identified or not yet; loop thread only.
+  struct Conn {
+    int fd = -1;
+    PartyId peer = 0;
+    bool identified = false;   // peer hello received and validated
+    bool connecting = false;   // nonblocking connect in flight (dialer)
+    bool dialer = false;       // we initiated this connection
+    bool want_write = false;   // EPOLLOUT currently requested
+    std::vector<unsigned char> rbuf;
+    std::deque<std::vector<unsigned char>> outq;  // [0] may be partially sent
+    std::size_t out_off = 0;
+    std::chrono::steady_clock::time_point last_rx{};
+  };
+
+  // Per-peer link state; loop thread only.
+  struct PeerState {
+    int fd = -1;  // established conn, -1 when down
+    bool ever_up = false;
+    bool failed = false;  // declared dead (heartbeat); cleared on reconnect
+    std::uint64_t session = 0;  // peer's last announced nonce
+    std::chrono::milliseconds backoff{0};
+    EventLoop::TimerId retry_timer = 0;  // pending reconnect timer, 0 = none
+    std::chrono::steady_clock::time_point down_since{};
+    std::deque<std::vector<unsigned char>> backlog;  // frames queued while down
+    std::uint64_t ping_seq = 0;
+  };
+
+  void setup_on_loop();
+  void start_connect(PartyId peer);
+  void schedule_reconnect(PartyId peer);
+  void on_listen_ready(std::uint32_t events);
+  void on_conn_event(int fd, std::uint32_t events);
+  void handle_readable(Conn& c);
+  void handle_writable(Conn& c);
+  bool process_hello(Conn& c);
+  void process_frames(Conn& c);
+  void link_established(Conn& c);
+  void close_conn(int fd, const char* reason);
+  void queue_frame(PartyId to, std::vector<unsigned char> frame);
+  void flush_conn(Conn& c);
+  void send_control(Conn& c, std::uint32_t tag, std::uint64_t seq);
+  void heartbeat_tick();
+  void fail_peer(PartyId peer);
+  void mark_peer_up(PartyId peer);
 
   PartyId self_;
   std::vector<Endpoint> endpoints_;
-  std::vector<int> peer_fds_;  // indexed by party id; -1 for self
+  std::uint64_t session_ = 0;
+  SocketRuntimeOptions options_;
+
+  EventLoop loop_;
+  std::thread loop_thread_;
   int listen_fd_ = -1;
-  Mailbox inbox_;
+
+  // Loop-thread-only connection state.
+  std::map<int, Conn> conns_;
+  std::vector<PeerState> peers_;
+  EventLoop::TimerId heartbeat_timer_ = 0;
+
+  // All parties' mailboxes so ReliableTransport can poll acks at index
+  // self_; only mailboxes_[self_] ever receives messages in this process.
+  std::vector<Mailbox> mailboxes_;
   CostMeter meter_;
   std::unique_ptr<SocketSender> sender_;
+  std::unique_ptr<ReliableTransport> reliable_;
   std::unique_ptr<PartyContext> context_;
-  std::vector<std::thread> readers_;
-  bool shut_down_ = false;
+
+  // Cross-thread view of link state + counters, mirrored by the loop.
+  mutable Mutex state_mutex_;
+  CondVar state_cv_;
+  std::vector<bool> up_ EPPI_GUARDED_BY(state_mutex_);
+  // Sticky: set on a peer's first handshake, never cleared. Mesh formation
+  // waits on this, not up_ — a peer that handshook, delivered, and departed
+  // (its frames outlive it in the mailbox) must not starve the constructor.
+  std::vector<bool> reached_ EPPI_GUARDED_BY(state_mutex_);
+  NetStats stats_ EPPI_GUARDED_BY(state_mutex_);
+  PeerCallback on_peer_down_ EPPI_GUARDED_BY(state_mutex_);
+  PeerCallback on_peer_up_ EPPI_GUARDED_BY(state_mutex_);
+
+  std::atomic<bool> shut_down_{false};
 };
 
 }  // namespace eppi::net

@@ -1,0 +1,161 @@
+// Wire protocol for the socket runtime: versioned handshake + frame format.
+//
+// Everything on the wire is little-endian regardless of host order, encoded
+// byte by byte (no struct punning), so heterogeneous deployments interop and
+// a mismatched peer is rejected instead of silently misrouted.
+//
+// Connection establishment: both ends send a Hello immediately after the TCP
+// connect/accept, then read the peer's. A Hello carries a magic constant
+// (rejects port scanners and stale protocol speakers before any length field
+// is trusted), the protocol version (mismatch = reject: frame semantics may
+// have changed), the announcing party id, and a per-process-instance session
+// nonce. A reconnect from a known party with a *different* session nonce
+// means the peer process restarted; with the *same* nonce it is the same
+// process re-establishing a dropped link, and the reliability layer's
+// sequence space carries straight across (unacked frames are retransmitted,
+// the receiving mailbox deduplicates).
+//
+// Frames after the handshake are the established length-delimited layout
+// [from u32, to u32, tag u32, seq u64, len u32][payload], unchanged from
+// protocol v1 — v2 versions the handshake and adds control tags.
+//
+// Control tags (kControlBit) belong to the socket layer itself: heartbeat
+// ping/pong frames are consumed by the event loop and never reach a Mailbox,
+// so protocol code cannot confuse them with data. The bit sits below the
+// transport-reserved kAckBit/kRetransmitBit and above every protocol tag.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "net/message.h"
+
+namespace eppi::net::wire {
+
+// "ePPI" as a little-endian u32; bumped constants mean a new protocol epoch.
+inline constexpr std::uint32_t kMagic = 0x49505065u;
+inline constexpr std::uint16_t kProtocolVersion = 2;
+
+// Hello flags.
+inline constexpr std::uint16_t kFlagResume = 0x0001;  // reconnect, not first contact
+
+// Heartbeats: zero-payload control frames. A ping is answered with a pong;
+// any received frame (data or control) proves the peer alive.
+inline constexpr std::uint32_t kControlBit = 0x20000000u;
+inline constexpr std::uint32_t kHeartbeatPing = kControlBit | 1u;
+inline constexpr std::uint32_t kHeartbeatPong = kControlBit | 2u;
+
+inline constexpr bool is_control_tag(std::uint32_t tag) noexcept {
+  return (tag & kControlBit) != 0 && (tag & kAckBit) == 0;
+}
+
+// --- byte-order helpers (little-endian, byte at a time) --------------------
+
+inline void put_u16(unsigned char*& out, std::uint16_t v) noexcept {
+  for (int i = 0; i < 2; ++i) *out++ = static_cast<unsigned char>(v >> (8 * i));
+}
+inline void put_u32(unsigned char*& out, std::uint32_t v) noexcept {
+  for (int i = 0; i < 4; ++i) *out++ = static_cast<unsigned char>(v >> (8 * i));
+}
+inline void put_u64(unsigned char*& out, std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) *out++ = static_cast<unsigned char>(v >> (8 * i));
+}
+inline std::uint16_t get_u16(const unsigned char*& in) noexcept {
+  std::uint16_t v = 0;
+  for (int i = 0; i < 2; ++i) v = static_cast<std::uint16_t>(v | (std::uint16_t{*in++} << (8 * i)));
+  return v;
+}
+inline std::uint32_t get_u32(const unsigned char*& in) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{*in++} << (8 * i);
+  return v;
+}
+inline std::uint64_t get_u64(const unsigned char*& in) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{*in++} << (8 * i);
+  return v;
+}
+
+// --- handshake -------------------------------------------------------------
+
+struct Hello {
+  std::uint32_t magic = kMagic;
+  std::uint16_t version = kProtocolVersion;
+  std::uint16_t flags = 0;
+  PartyId party = 0;
+  std::uint64_t session = 0;  // per-process-instance nonce
+};
+
+inline constexpr std::size_t kHelloBytes = 4 + 2 + 2 + 4 + 8;
+
+inline void encode_hello(const Hello& h, unsigned char* out) noexcept {
+  put_u32(out, h.magic);
+  put_u16(out, h.version);
+  put_u16(out, h.flags);
+  put_u32(out, h.party);
+  put_u64(out, h.session);
+}
+
+inline Hello decode_hello(const unsigned char* in) noexcept {
+  Hello h;
+  h.magic = get_u32(in);
+  h.version = get_u16(in);
+  h.flags = get_u16(in);
+  h.party = get_u32(in);
+  h.session = get_u64(in);
+  return h;
+}
+
+// Empty string when the hello is acceptable for a mesh of `parties` members;
+// otherwise a human-readable rejection reason. Shared by the accept and
+// connect sides so both enforce identical rules.
+inline std::string hello_problem(const Hello& h, std::size_t parties) {
+  if (h.magic != kMagic) return "bad magic (not an eppi peer)";
+  if (h.version != kProtocolVersion) {
+    return "protocol version mismatch: peer speaks v" +
+           std::to_string(h.version) + ", this build speaks v" +
+           std::to_string(kProtocolVersion);
+  }
+  if (h.party >= parties) {
+    return "announced party id " + std::to_string(h.party) +
+           " out of range for a mesh of " + std::to_string(parties);
+  }
+  return {};
+}
+
+// --- frames ----------------------------------------------------------------
+
+struct FrameHeader {
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  std::uint32_t tag = 0;
+  std::uint64_t seq = 0;
+  std::uint32_t len = 0;
+};
+
+inline constexpr std::size_t kHeaderBytes = 4 + 4 + 4 + 8 + 4;
+
+// Frames above this are a protocol violation; the reader drops the
+// connection rather than trusting the length field with an allocation.
+inline constexpr std::uint32_t kMaxPayload = 1u << 30;
+
+inline void encode_frame_header(const FrameHeader& h, unsigned char* out) noexcept {
+  put_u32(out, h.from);
+  put_u32(out, h.to);
+  put_u32(out, h.tag);
+  put_u64(out, h.seq);
+  put_u32(out, h.len);
+}
+
+inline FrameHeader decode_frame_header(const unsigned char* in) noexcept {
+  FrameHeader h;
+  h.from = get_u32(in);
+  h.to = get_u32(in);
+  h.tag = get_u32(in);
+  h.seq = get_u64(in);
+  h.len = get_u32(in);
+  return h;
+}
+
+}  // namespace eppi::net::wire

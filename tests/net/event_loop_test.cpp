@@ -1,0 +1,146 @@
+// EventLoop reactor semantics: posted closures run on the loop thread in
+// FIFO order, timers fire (periodic ones re-arm, cancelled ones don't), fd
+// readiness dispatches to the registered callback, and stop() terminates
+// promptly even when idle in epoll_wait.
+#include "net/event_loop.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace eppi::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+// Runs the loop on a helper thread for the test body's duration.
+class LoopFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    runner_ = std::thread([this] { loop_.run(); });
+  }
+  void TearDown() override {
+    loop_.stop();
+    runner_.join();
+  }
+  EventLoop loop_;
+  std::thread runner_;
+};
+
+TEST_F(LoopFixture, PostRunsOnLoopThreadInOrder) {
+  std::atomic<bool> done{false};
+  std::vector<int> order;
+  bool on_loop = false;
+  loop_.post([&] { order.push_back(1); });
+  loop_.post([&] { order.push_back(2); });
+  loop_.post([&] {
+    order.push_back(3);
+    on_loop = loop_.in_loop_thread();
+    done = true;
+  });
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (!done && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  ASSERT_TRUE(done.load());
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(on_loop);
+  EXPECT_FALSE(loop_.in_loop_thread());  // we are not the loop thread
+}
+
+TEST_F(LoopFixture, OneShotTimerFiresOnce) {
+  std::atomic<int> fired{0};
+  loop_.post([&] { loop_.add_timer(5ms, 0ms, [&] { ++fired; }); });
+  std::this_thread::sleep_for(100ms);
+  EXPECT_EQ(fired.load(), 1);
+}
+
+TEST_F(LoopFixture, PeriodicTimerRepeatsUntilCancelled) {
+  // The callback cancels its own timer on the third firing — exercising
+  // self-cancellation, the trickiest re-arm path. Both captures are
+  // heap-held so a late firing can never touch a dead stack frame.
+  auto fired = std::make_shared<std::atomic<int>>(0);
+  auto id = std::make_shared<EventLoop::TimerId>(0);
+  loop_.post([this, fired, id] {
+    *id = loop_.add_timer(2ms, 2ms, [this, fired, id] {
+      if (++*fired == 3) loop_.cancel_timer(*id);
+    });
+  });
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (fired->load() < 3 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_EQ(fired->load(), 3);
+  std::this_thread::sleep_for(50ms);
+  EXPECT_EQ(fired->load(), 3);  // cancelled: no further firings
+}
+
+TEST_F(LoopFixture, CancelledTimerNeverFires) {
+  std::atomic<int> fired{0};
+  loop_.post([&] {
+    const auto id = loop_.add_timer(20ms, 0ms, [&] { ++fired; });
+    loop_.cancel_timer(id);
+  });
+  std::this_thread::sleep_for(80ms);
+  EXPECT_EQ(fired.load(), 0);
+}
+
+TEST_F(LoopFixture, FdReadabilityDispatches) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  std::atomic<bool> readable{false};
+  char got = 0;
+  loop_.post([&] {
+    loop_.add_fd(fds[0], EPOLLIN, [&](std::uint32_t events) {
+      if (events & EPOLLIN) {
+        ASSERT_EQ(::read(fds[0], &got, 1), 1);
+        loop_.remove_fd(fds[0]);
+        readable = true;
+      }
+    });
+  });
+  ASSERT_EQ(::write(fds[1], "x", 1), 1);
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (!readable && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  ASSERT_TRUE(readable.load());
+  EXPECT_EQ(got, 'x');
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(EventLoopTest, StopWakesIdleLoop) {
+  EventLoop loop;
+  std::thread runner([&] { loop.run(); });
+  std::this_thread::sleep_for(20ms);  // loop is idle in epoll_wait
+  const auto start = std::chrono::steady_clock::now();
+  loop.stop();
+  runner.join();
+  // A stop must not wait out the idle epoll timeout (1s).
+  EXPECT_LT(std::chrono::steady_clock::now() - start, 900ms);
+}
+
+TEST(EventLoopTest, PostBeforeRunExecutesOnStart) {
+  EventLoop loop;
+  std::atomic<bool> ran{false};
+  loop.post([&] { ran = true; });
+  std::thread runner([&] { loop.run(); });
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (!ran && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_TRUE(ran.load());
+  loop.stop();
+  runner.join();
+}
+
+}  // namespace
+}  // namespace eppi::net

@@ -1,6 +1,7 @@
-// SocketRuntime edge cases: a peer disconnecting mid-frame, an oversized
-// frame header, and a malformed handshake must all be contained — the reader
-// drops the connection, the runtime stays usable, and nothing hangs.
+// SocketRuntime edge cases against a raw TCP peer: a disconnect mid-frame,
+// an oversized frame header, a protocol-version mismatch, and an impostor
+// party id must all be contained — the reader drops the offending
+// connection, the runtime stays usable, and nothing hangs.
 #include "net/socket_transport.h"
 
 #include <gtest/gtest.h>
@@ -17,6 +18,7 @@
 #include <thread>
 
 #include "common/error.h"
+#include "net/wire.h"
 
 namespace eppi::net {
 namespace {
@@ -85,21 +87,45 @@ void write_exact(int fd, const void* data, std::size_t len) {
   ASSERT_EQ(::write(fd, data, len), static_cast<ssize_t>(len));
 }
 
-// Little-endian frame header matching SocketRuntime's wire format:
-// [from u32, to u32, tag u32, seq u64, len u32].
+// v2 handshake from the raw peer's side.
+void send_hello(int fd, PartyId party, std::uint64_t session = 0x5e55,
+                std::uint16_t version = wire::kProtocolVersion) {
+  wire::Hello h;
+  h.version = version;
+  h.party = party;
+  h.session = session;
+  unsigned char buf[wire::kHelloBytes];
+  wire::encode_hello(h, buf);
+  write_exact(fd, buf, sizeof(buf));
+}
+
 std::vector<unsigned char> make_header(std::uint32_t from, std::uint32_t to,
                                        std::uint32_t tag, std::uint64_t seq,
                                        std::uint32_t len) {
-  std::vector<unsigned char> out;
-  const auto put32 = [&out](std::uint32_t v) {
-    for (int i = 0; i < 4; ++i) out.push_back(static_cast<unsigned char>(v >> (8 * i)));
-  };
-  put32(from);
-  put32(to);
-  put32(tag);
-  for (int i = 0; i < 8; ++i) out.push_back(static_cast<unsigned char>(seq >> (8 * i)));
-  put32(len);
+  wire::FrameHeader h;
+  h.from = from;
+  h.to = to;
+  h.tag = tag;
+  h.seq = seq;
+  h.len = len;
+  std::vector<unsigned char> out(wire::kHeaderBytes);
+  wire::encode_frame_header(h, out.data());
   return out;
+}
+
+// Drains the runtime's own Hello (it sends one immediately on accept) so a
+// subsequent read observes connection fate, not leftover handshake bytes.
+void drain_runtime_hello(int fd) {
+  unsigned char buf[wire::kHelloBytes];
+  std::size_t got = 0;
+  while (got < sizeof(buf)) {
+    const ssize_t n = ::read(fd, buf + got, sizeof(buf) - got);
+    ASSERT_GT(n, 0) << "runtime closed before sending its hello";
+    got += static_cast<std::size_t>(n);
+  }
+  const wire::Hello h = wire::decode_hello(buf);
+  EXPECT_EQ(h.magic, wire::kMagic);
+  EXPECT_EQ(h.version, wire::kProtocolVersion);
 }
 
 TEST(SocketEdgeTest, PeerDisconnectMidFrameIsContained) {
@@ -113,8 +139,11 @@ TEST(SocketEdgeTest, PeerDisconnectMidFrameIsContained) {
   });
 
   const int fd = connect_with_retry(endpoints[0].port);
-  const std::uint32_t my_id = 1;
-  write_exact(fd, &my_id, sizeof(my_id));  // valid handshake: mesh forms
+  send_hello(fd, 1);  // valid handshake: mesh forms
+  // Wait for the runtime's hello before closing: a close racing the
+  // runtime's accept-side hello write would RST the connection and the
+  // kernel would discard our (still unread) handshake with it.
+  drain_runtime_hello(fd);
   // First 10 bytes of a 24-byte header, then vanish.
   const auto header = make_header(1, 0, MessageTag::kUserBase, 0, 4);
   write_exact(fd, header.data(), 10);
@@ -138,8 +167,7 @@ TEST(SocketEdgeTest, OversizedFrameDropsConnectionNotRuntime) {
   });
 
   const int fd = connect_with_retry(endpoints[0].port);
-  const std::uint32_t my_id = 1;
-  write_exact(fd, &my_id, sizeof(my_id));
+  send_hello(fd, 1);
   // A valid frame first: must be delivered.
   const auto ok = make_header(1, 0, MessageTag::kUserBase, 0, 2);
   write_exact(fd, ok.data(), ok.size());
@@ -148,7 +176,7 @@ TEST(SocketEdgeTest, OversizedFrameDropsConnectionNotRuntime) {
   // Then a header claiming a > 1 GiB payload: the reader must drop the
   // connection (EPPI_WARN path) instead of allocating.
   const auto huge =
-      make_header(1, 0, MessageTag::kUserBase, 1, (1u << 30) + 1);
+      make_header(1, 0, MessageTag::kUserBase, 1, wire::kMaxPayload + 1);
   write_exact(fd, huge.data(), huge.size());
 
   host.join();
@@ -159,24 +187,66 @@ TEST(SocketEdgeTest, OversizedFrameDropsConnectionNotRuntime) {
   EXPECT_FALSE(*second_arrived);  // connection was dropped, runtime survived
 }
 
-TEST(SocketEdgeTest, BadHandshakeRejectsMesh) {
+TEST(SocketEdgeTest, VersionMismatchRejectedThenCurrentPeerAccepted) {
+  const auto endpoints = loopback_mesh(2, next_port_base());
+  std::optional<std::vector<std::uint8_t>> got;
+  std::uint64_t rejects = 0;
+  std::thread host([&] {
+    SocketRuntime runtime(0, endpoints, 7);
+    got = runtime.context().recv_for(1, MessageTag::kUserBase, 0, 5000ms);
+    rejects = runtime.stats().handshake_rejects;
+  });
+
+  // A v1 speaker is refused: the runtime closes the connection without
+  // counting it toward the mesh.
+  const int stale = connect_with_retry(endpoints[0].port);
+  send_hello(stale, 1, 0x5e55, /*version=*/1);
+  drain_runtime_hello(stale);
+  char probe;
+  EXPECT_EQ(::read(stale, &probe, 1), 0);  // EOF: rejected
+  ::close(stale);
+
+  // The same party speaking v2 completes the mesh and delivers.
+  const int fd = connect_with_retry(endpoints[0].port);
+  send_hello(fd, 1);
+  const auto ok = make_header(1, 0, MessageTag::kUserBase, 0, 1);
+  write_exact(fd, ok.data(), ok.size());
+  const unsigned char payload[1] = {0x7f};
+  write_exact(fd, payload, sizeof(payload));
+
+  host.join();
+  ::close(fd);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, (std::vector<std::uint8_t>{0x7f}));
+  EXPECT_EQ(rejects, 1u);
+}
+
+TEST(SocketEdgeTest, ImpostorPartyIdLeavesMeshUnformed) {
   const auto endpoints = loopback_mesh(2, next_port_base());
   std::atomic<bool> threw_protocol_error{false};
   std::thread host([&] {
+    SocketRuntimeOptions options;
+    options.rng_seed = 7;
+    options.connect_timeout_ms = 700;  // don't wait the default 10s
     try {
-      SocketRuntime runtime(0, endpoints, 7);
+      SocketRuntime runtime(0, endpoints, options);
     } catch (const eppi::ProtocolError&) {
       threw_protocol_error = true;
     }
   });
 
+  // Claims to be the listener itself; an acceptor only admits higher ids.
   const int fd = connect_with_retry(endpoints[0].port);
-  const std::uint32_t impostor = 0;  // claims to be the listener itself
-  write_exact(fd, &impostor, sizeof(impostor));
+  send_hello(fd, 0);
 
   host.join();
   ::close(fd);
   EXPECT_TRUE(threw_protocol_error);
+}
+
+TEST(SocketEdgeTest, BadSelfIdIsConfigError) {
+  const auto endpoints = loopback_mesh(2, next_port_base());
+  EXPECT_THROW(SocketRuntime(2, endpoints, 7), eppi::ConfigError);
 }
 
 }  // namespace

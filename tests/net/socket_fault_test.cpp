@@ -1,0 +1,386 @@
+// TCP-level fault matrix for the socket runtime, driven through the
+// ChaosProxy: connection resets mid-stream must be healed by reconnect +
+// session resumption without duplicate delivery; heartbeat timeouts must
+// declare a silent peer failed exactly once; shaped links (split writes,
+// throttling, probabilistic delay) must not corrupt framing; a blackholed
+// link must fail mesh formation cleanly; and killing one provider process
+// mid-construction must leave the survivors committing a degraded epoch,
+// with the restarted party rejoining via reconnect/session-resume.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "core/beta_policy.h"
+#include "core/construction_party.h"
+#include "core/distributed_constructor.h"
+#include "net/chaos_proxy.h"
+#include "net/fault.h"
+#include "net/socket_transport.h"
+#include "net/wire.h"
+
+namespace eppi::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+// Same free-range probing as the other socket test TUs.
+std::uint16_t next_port_base() {
+  static std::atomic<std::uint16_t> cursor{static_cast<std::uint16_t>(
+      26000 + (::getpid() * 211) % 18000)};
+  for (int attempts = 0; attempts < 200; ++attempts) {
+    const std::uint16_t base = cursor.fetch_add(16);
+    bool all_free = true;
+    for (int k = 0; k < 16 && all_free; ++k) {
+      const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd < 0) {
+        all_free = false;
+        break;
+      }
+      const int one = 1;
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      addr.sin_port = htons(static_cast<std::uint16_t>(base + k));
+      if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+        all_free = false;
+      }
+      ::close(fd);
+    }
+    if (all_free) return base;
+  }
+  throw eppi::ProtocolError("no free port range found for socket fault tests");
+}
+
+int connect_raw(std::uint16_t port) {
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  for (;;) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (fd >= 0 &&
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      return fd;
+    }
+    if (fd >= 0) ::close(fd);
+    if (std::chrono::steady_clock::now() > deadline) {
+      throw eppi::ProtocolError("raw peer: cannot reach runtime under test");
+    }
+    ::usleep(10000);
+  }
+}
+
+// Two-party mesh where party 1 reaches party 0 only through a chaos proxy:
+// peers dial the advertised proxy port, the process binds the real one.
+struct ProxiedPair {
+  std::vector<Endpoint> endpoints;  // [0] advertises the proxy port
+  std::uint16_t real_port0 = 0;
+  std::unique_ptr<ChaosProxy> proxy;
+
+  explicit ProxiedPair(const std::string& scenario, std::uint64_t seed = 11) {
+    const std::uint16_t base = next_port_base();
+    real_port0 = base;
+    const std::uint16_t proxy_port = static_cast<std::uint16_t>(base + 1);
+    endpoints = {{.port = proxy_port}, {.port = static_cast<std::uint16_t>(base + 2)}};
+    proxy = std::make_unique<ChaosProxy>(
+        std::vector<ProxyRoute>{{.listen_port = proxy_port,
+                                 .target_port = real_port0,
+                                 .target_party = 0}},
+        FaultScenario::parse(scenario), seed);
+    proxy->start();
+  }
+};
+
+TEST(SocketFaultTest, ReconnectAfterResetResumesWithoutDuplicates) {
+  // Every relayed connection from party 1 to party 0 is hard-reset after
+  // 4 KiB; reliable delivery must carry the sequence space across the
+  // reconnects so all frames arrive exactly once.
+  ProxiedPair net("link 1->0: reset_after=4096");
+
+  constexpr std::size_t kMessages = 80;
+  constexpr std::size_t kPayload = 128;
+
+  SocketRuntimeOptions opt0;
+  opt0.rng_seed = 5;
+  opt0.listen_port_override = net.real_port0;
+  opt0.reliable = true;
+  SocketRuntimeOptions opt1;
+  opt1.rng_seed = 6;
+  opt1.reliable = true;
+  opt1.reconnect_min = 10ms;
+
+  std::vector<std::optional<std::vector<std::uint8_t>>> got(kMessages);
+  std::uint64_t pending_at_end = 1;
+  std::thread receiver([&] {
+    SocketRuntime runtime(0, net.endpoints, opt0);
+    for (std::size_t q = 0; q < kMessages; ++q) {
+      got[q] = runtime.context().recv_for(1, MessageTag::kUserBase, q, 10000ms);
+    }
+    // Give straggling retransmits a beat, then confirm dedup left nothing.
+    std::this_thread::sleep_for(100ms);
+    pending_at_end = runtime.inbox().pending();
+  });
+
+  SocketRuntime sender(1, net.endpoints, opt1);
+  for (std::size_t q = 0; q < kMessages; ++q) {
+    std::vector<std::uint8_t> payload(kPayload,
+                                      static_cast<std::uint8_t>(q & 0xff));
+    sender.context().send(0, MessageTag::kUserBase, q, std::move(payload));
+  }
+  receiver.join();
+
+  for (std::size_t q = 0; q < kMessages; ++q) {
+    ASSERT_TRUE(got[q].has_value()) << "message " << q << " lost";
+    ASSERT_EQ(got[q]->size(), kPayload) << q;
+    EXPECT_EQ((*got[q])[0], static_cast<std::uint8_t>(q & 0xff)) << q;
+  }
+  EXPECT_EQ(pending_at_end, 0u);  // duplicates suppressed, nothing stranded
+  // The stream (~12 KiB) cannot fit in one 4 KiB-reset connection.
+  EXPECT_GE(sender.stats().reconnects, 1u);
+  EXPECT_GE(net.proxy->stats().resets, 1u);
+  net.proxy->stop();
+}
+
+TEST(SocketFaultTest, HeartbeatTimeoutMarksPeerFailedExactlyOnce) {
+  const std::uint16_t base = next_port_base();
+  const std::vector<Endpoint> endpoints{
+      {.port = base}, {.port = static_cast<std::uint16_t>(base + 1)}};
+
+  SocketRuntimeOptions opt;
+  opt.rng_seed = 9;
+  opt.heartbeat_interval = 40ms;
+  opt.heartbeat_timeout = 250ms;
+
+  std::atomic<int> down_calls{0};
+  std::atomic<bool> recv_failed{false};
+  std::thread host([&] {
+    SocketRuntime runtime(0, endpoints, opt);
+    runtime.set_peer_down_callback([&](PartyId) { ++down_calls; });
+    // A blocked receive must be cut short by the failure declaration.
+    try {
+      (void)runtime.context().recv(1, MessageTag::kUserBase, 0);
+    } catch (const eppi::PartyFailure&) {
+      recv_failed = true;
+    }
+    // Linger well past several more heartbeat periods: the declaration must
+    // not repeat while the peer stays dead.
+    std::this_thread::sleep_for(600ms);
+    EXPECT_EQ(runtime.stats().heartbeat_timeouts, 1u);
+    EXPECT_FALSE(runtime.peer_up(1));
+  });
+
+  // A raw peer completes the v2 handshake, then goes silent: it answers no
+  // pings, so only the heartbeat timeout can unstick the runtime.
+  const int fd = connect_raw(endpoints[0].port);
+  wire::Hello hello;
+  hello.party = 1;
+  hello.session = 0xfeed;
+  unsigned char buf[wire::kHelloBytes];
+  wire::encode_hello(hello, buf);
+  ASSERT_EQ(::write(fd, buf, sizeof(buf)), static_cast<ssize_t>(sizeof(buf)));
+
+  host.join();
+  ::close(fd);
+  EXPECT_TRUE(recv_failed.load());
+  EXPECT_EQ(down_calls.load(), 1);
+}
+
+TEST(SocketFaultTest, ShapedLinkDeliversIntactFrames) {
+  // Split writes re-chunk every frame boundary; throttle paces the reverse
+  // path; probabilistic delay jitters both. Framing must reassemble exactly.
+  ProxiedPair net(
+      "link 1->0: split=96, delay=1..2ms; link 0->1: throttle=400000");
+
+  constexpr std::size_t kMessages = 25;
+  SocketRuntimeOptions opt0;
+  opt0.rng_seed = 5;
+  opt0.listen_port_override = net.real_port0;
+  SocketRuntimeOptions opt1;
+  opt1.rng_seed = 6;
+
+  std::vector<std::optional<std::vector<std::uint8_t>>> got(kMessages);
+  std::thread party0([&] {
+    SocketRuntime runtime(0, net.endpoints, opt0);
+    for (std::size_t q = 0; q < kMessages; ++q) {
+      got[q] = runtime.context().recv_for(1, MessageTag::kUserBase, q, 10000ms);
+      // Echo back through the throttled direction.
+      if (got[q]) {
+        runtime.context().send(1, MessageTag::kUserBase + 1, q, *got[q]);
+      }
+    }
+  });
+
+  SocketRuntime party1(1, net.endpoints, opt1);
+  for (std::size_t q = 0; q < kMessages; ++q) {
+    std::vector<std::uint8_t> payload(200 + q);
+    for (std::size_t b = 0; b < payload.size(); ++b) {
+      payload[b] = static_cast<std::uint8_t>((q * 31 + b) & 0xff);
+    }
+    party1.context().send(0, MessageTag::kUserBase, q, payload);
+  }
+  for (std::size_t q = 0; q < kMessages; ++q) {
+    const auto echo =
+        party1.context().recv_for(0, MessageTag::kUserBase + 1, q, 10000ms);
+    ASSERT_TRUE(echo.has_value()) << "echo " << q;
+    ASSERT_EQ(echo->size(), 200 + q) << q;
+    for (std::size_t b = 0; b < echo->size(); ++b) {
+      ASSERT_EQ((*echo)[b], static_cast<std::uint8_t>((q * 31 + b) & 0xff))
+          << "byte " << b << " of echo " << q;
+    }
+  }
+  party0.join();
+  EXPECT_GT(net.proxy->stats().bytes_forwarded, 0u);
+  net.proxy->stop();
+}
+
+TEST(SocketFaultTest, BlackholedLinkFailsMeshFormationCleanly) {
+  ProxiedPair net("all: blackhole=1");
+  SocketRuntimeOptions opt0;
+  opt0.rng_seed = 5;
+  opt0.listen_port_override = net.real_port0;
+  opt0.connect_timeout_ms = 800;
+  SocketRuntimeOptions opt1;
+  opt1.rng_seed = 6;
+  opt1.connect_timeout_ms = 800;
+
+  // Party 0 never sees party 1's hello (swallowed by the proxy) and party 1
+  // never sees party 0's: both sides must give up with a typed error rather
+  // than hang.
+  std::atomic<int> throws{0};
+  std::thread party0([&] {
+    try {
+      SocketRuntime runtime(0, net.endpoints, opt0);
+    } catch (const eppi::ProtocolError&) {
+      ++throws;
+    }
+  });
+  std::thread party1([&] {
+    try {
+      SocketRuntime runtime(1, net.endpoints, opt1);
+    } catch (const eppi::ProtocolError&) {
+      ++throws;
+    }
+  });
+  party0.join();
+  party1.join();
+  EXPECT_EQ(throws.load(), 2);
+  EXPECT_GT(net.proxy->stats().blackholed_bytes, 0u);
+  net.proxy->stop();
+}
+
+// --- kill one provider process mid-construction ----------------------------
+
+constexpr std::size_t kM = 4;
+constexpr std::size_t kN = 5;
+const std::vector<std::vector<std::uint8_t>> kRows{
+    {1, 1, 0, 0, 1}, {1, 0, 1, 0, 0}, {1, 1, 0, 1, 0}, {1, 0, 0, 0, 1}};
+const std::vector<double> kEpsilons{0.5, 0.4, 0.6, 0.3, 0.5};
+
+TEST(SocketFaultTest, KillPartyMidConstructionSurvivorsDegradeAndRejoin) {
+  const std::uint16_t base = next_port_base();
+  std::vector<Endpoint> endpoints(kM);
+  for (std::size_t i = 0; i < kM; ++i) {
+    endpoints[i].port = static_cast<std::uint16_t>(base + i);
+  }
+
+  const auto runtime_options = [](std::size_t i) {
+    SocketRuntimeOptions opt;
+    opt.rng_seed = 100 + i;
+    opt.reliable = true;
+    opt.heartbeat_interval = 50ms;
+    opt.heartbeat_timeout = 400ms;
+    opt.recv_timeout = 4000ms;
+    return opt;
+  };
+
+  // Mesh formation blocks until every link is up, so all four runtimes come
+  // up concurrently.
+  std::vector<std::unique_ptr<SocketRuntime>> runtimes(kM);
+  {
+    std::vector<std::thread> boot;
+    for (std::size_t i = 0; i < kM; ++i) {
+      boot.emplace_back([&, i] {
+        runtimes[i] = std::make_unique<SocketRuntime>(
+            static_cast<PartyId>(i), endpoints, runtime_options(i));
+      });
+    }
+    for (auto& t : boot) t.join();
+  }
+  for (std::size_t i = 0; i < kM; ++i) ASSERT_NE(runtimes[i], nullptr);
+
+  eppi::core::DistributedOptions options;
+  options.policy = eppi::core::BetaPolicy::basic();
+  options.c = 2;
+  options.seed = 31;
+  options.fault_tolerance.enabled = true;
+  options.fault_tolerance.reliable_delivery = true;
+  options.fault_tolerance.stage_timeout = 250ms;
+  options.fault_tolerance.mpc_timeout = 3000ms;
+  options.fault_tolerance.max_attempts = 3;
+
+  // Parties 0..2 run the construction; party 3 is killed mid-construction
+  // (its process shuts every socket, as SIGKILL would) before it sends its
+  // first share.
+  std::vector<std::optional<eppi::core::ConstructionPartyResult>> results(3);
+  std::vector<std::thread> workers;
+  for (std::size_t i = 0; i < 3; ++i) {
+    workers.emplace_back([&, i] {
+      results[i] = eppi::core::run_construction_party(
+          runtimes[i]->context(), kRows[i], kEpsilons, options);
+    });
+  }
+  std::this_thread::sleep_for(150ms);
+  runtimes[3]->shutdown();
+  for (auto& t : workers) t.join();
+
+  const std::vector<PartyId> expected_survivors{0, 1, 2};
+  for (std::size_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(results[i].has_value()) << "party " << i;
+    EXPECT_EQ(results[i]->survivors, expected_survivors) << "party " << i;
+    EXPECT_EQ(results[i]->betas.size(), kN) << "party " << i;
+    EXPECT_EQ(results[i]->published_row.size(), kN) << "party " << i;
+  }
+  // β is public and must agree across the surviving parties.
+  EXPECT_EQ(results[0]->betas, results[1]->betas);
+  EXPECT_EQ(results[0]->betas, results[2]->betas);
+
+  // The restarted party (fresh process ⇒ fresh session nonce) rejoins the
+  // mesh through the survivors' acceptors.
+  const auto old_session = runtimes[3]->session_nonce();
+  runtimes[3].reset();
+  runtimes[3] = std::make_unique<SocketRuntime>(static_cast<PartyId>(3),
+                                                endpoints, runtime_options(3));
+  EXPECT_NE(runtimes[3]->session_nonce(), old_session);
+
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  for (std::size_t i = 0; i < 3; ++i) {
+    while (!runtimes[i]->peer_up(3) &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(5ms);
+    }
+    EXPECT_TRUE(runtimes[i]->peer_up(3)) << "party " << i;
+    EXPECT_GE(runtimes[i]->stats().peer_restarts, 1u) << "party " << i;
+    // The failure declaration was cleared: receives block normally again.
+    EXPECT_FALSE(runtimes[i]->inbox().party_failed(3)) << "party " << i;
+  }
+
+  for (auto& r : runtimes) {
+    if (r) r->shutdown();
+  }
+}
+
+}  // namespace
+}  // namespace eppi::net

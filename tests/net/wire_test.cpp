@@ -1,0 +1,128 @@
+// Wire-format invariants: little-endian layout is byte-exact (so mixed-arch
+// deployments interop), encode/decode round-trip, and hello_problem enforces
+// the same acceptance rules the runtime applies on both connection sides.
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+
+namespace eppi::net::wire {
+namespace {
+
+TEST(WireTest, HelloEncodesLittleEndianByteExact) {
+  Hello h;
+  h.magic = kMagic;
+  h.version = 2;
+  h.flags = kFlagResume;
+  h.party = 0x01020304u;
+  h.session = 0x1122334455667788ull;
+  std::array<unsigned char, kHelloBytes> buf{};
+  encode_hello(h, buf.data());
+  // "ePPI" magic, low byte first.
+  EXPECT_EQ(buf[0], 0x65);  // 'e'
+  EXPECT_EQ(buf[1], 0x50);  // 'P'
+  EXPECT_EQ(buf[2], 0x50);  // 'P'
+  EXPECT_EQ(buf[3], 0x49);  // 'I'
+  EXPECT_EQ(buf[4], 2);     // version lo
+  EXPECT_EQ(buf[5], 0);     // version hi
+  EXPECT_EQ(buf[6], 0x01);  // flags lo (kFlagResume)
+  EXPECT_EQ(buf[7], 0x00);
+  EXPECT_EQ(buf[8], 0x04);  // party, little-endian
+  EXPECT_EQ(buf[11], 0x01);
+  EXPECT_EQ(buf[12], 0x88);  // session, little-endian
+  EXPECT_EQ(buf[19], 0x11);
+}
+
+TEST(WireTest, HelloRoundTrips) {
+  Hello h;
+  h.party = 7;
+  h.session = 0xdeadbeefcafef00dull;
+  h.flags = kFlagResume;
+  std::array<unsigned char, kHelloBytes> buf{};
+  encode_hello(h, buf.data());
+  const Hello back = decode_hello(buf.data());
+  EXPECT_EQ(back.magic, kMagic);
+  EXPECT_EQ(back.version, kProtocolVersion);
+  EXPECT_EQ(back.flags, kFlagResume);
+  EXPECT_EQ(back.party, 7u);
+  EXPECT_EQ(back.session, 0xdeadbeefcafef00dull);
+}
+
+TEST(WireTest, FrameHeaderRoundTrips) {
+  FrameHeader h;
+  h.from = 3;
+  h.to = 1;
+  h.tag = MessageTag::kUserBase + 9;
+  h.seq = (1ull << 40) + 17;
+  h.len = 4096;
+  std::array<unsigned char, kHeaderBytes> buf{};
+  encode_frame_header(h, buf.data());
+  const FrameHeader back = decode_frame_header(buf.data());
+  EXPECT_EQ(back.from, 3u);
+  EXPECT_EQ(back.to, 1u);
+  EXPECT_EQ(back.tag, MessageTag::kUserBase + 9);
+  EXPECT_EQ(back.seq, (1ull << 40) + 17);
+  EXPECT_EQ(back.len, 4096u);
+}
+
+TEST(WireTest, HelloProblemAcceptsValidPeer) {
+  Hello h;
+  h.party = 2;
+  EXPECT_TRUE(hello_problem(h, 4).empty());
+}
+
+TEST(WireTest, HelloProblemRejectsBadMagic) {
+  Hello h;
+  h.magic = 0x48545450u;  // "HTTP" — a confused scanner
+  h.party = 0;
+  const std::string why = hello_problem(h, 4);
+  EXPECT_NE(why.find("magic"), std::string::npos);
+}
+
+TEST(WireTest, HelloProblemRejectsVersionMismatch) {
+  Hello h;
+  h.version = 1;
+  h.party = 0;
+  const std::string why = hello_problem(h, 4);
+  EXPECT_NE(why.find("version mismatch"), std::string::npos);
+  EXPECT_NE(why.find("v1"), std::string::npos);
+  EXPECT_NE(why.find("v2"), std::string::npos);
+}
+
+TEST(WireTest, HelloProblemRejectsPartyOutOfRange) {
+  Hello h;
+  h.party = 4;
+  EXPECT_NE(hello_problem(h, 4).find("out of range"), std::string::npos);
+  EXPECT_TRUE(hello_problem(h, 5).empty());
+}
+
+TEST(WireTest, ControlTagsDisjointFromProtocolAndTransportTags) {
+  EXPECT_TRUE(is_control_tag(kHeartbeatPing));
+  EXPECT_TRUE(is_control_tag(kHeartbeatPong));
+  // Protocol tags (below kControlBit) are not control frames.
+  EXPECT_FALSE(is_control_tag(MessageTag::kUserBase));
+  EXPECT_FALSE(is_control_tag(MessageTag::kUserBase + 1000));
+  // Transport acks keep their own namespace even when kControlBit happens
+  // to be set in the acked tag.
+  EXPECT_FALSE(is_control_tag(kAckBit | kHeartbeatPing));
+  EXPECT_FALSE(is_control_tag(kAckBit | MessageTag::kUserBase));
+}
+
+TEST(WireTest, ByteOrderHelpersRoundTrip) {
+  std::array<unsigned char, 14> buf{};
+  unsigned char* out = buf.data();
+  put_u16(out, 0xBEEF);
+  put_u32(out, 0x01234567u);
+  put_u64(out, 0x0123456789abcdefull);
+  EXPECT_EQ(out, buf.data() + buf.size());
+  const unsigned char* in = buf.data();
+  EXPECT_EQ(get_u16(in), 0xBEEF);
+  EXPECT_EQ(get_u32(in), 0x01234567u);
+  EXPECT_EQ(get_u64(in), 0x0123456789abcdefull);
+  EXPECT_EQ(in, buf.data() + buf.size());
+}
+
+}  // namespace
+}  // namespace eppi::net::wire

@@ -1,0 +1,123 @@
+// Standalone TCP chaos proxy for multi-process fault injection.
+//
+// Fronts one or more eppi_party listen ports and relays traffic while
+// applying a FaultScenario at the socket level (see net/chaos_proxy.h).
+// Meant for deployment rehearsal and the CI multi-process smoke job:
+//
+//   eppi_chaos_proxy --route 21000:127.0.0.1:22000:0
+//                    --route 21001:127.0.0.1:22001:1
+//                    --scenario "link 1->0: delay=0.2ms..1ms" --seed 7
+//
+// Runs until SIGTERM/SIGINT, then prints relay stats to stderr and exits 0.
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "net/chaos_proxy.h"
+#include "net/fault.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_terminate = 0;
+
+void install_terminate_handler() {
+  struct sigaction sa {};
+  sa.sa_handler = [](int) { g_terminate = 1; };
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+}
+
+int usage() {
+  std::cerr
+      << "usage: eppi_chaos_proxy --route LISTEN:HOST:PORT:PARTY "
+         "[--route ...]\n"
+         "                        [--scenario \"link a->b: key=v; ...\"] "
+         "[--seed n]\n"
+         "Each --route fronts party PARTY (really at HOST:PORT) on local\n"
+         "port LISTEN. Scenario grammar is net/fault.h's DSL, including the\n"
+         "TCP-level keys reset_after, blackhole, throttle, split,\n"
+         "connect_delay. Runs until SIGTERM.\n";
+  return 2;
+}
+
+eppi::net::ProxyRoute parse_route(const std::string& spec) {
+  // LISTEN:HOST:PORT:PARTY — host may not contain ':' (IPv4 / names only).
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (;;) {
+    const auto colon = spec.find(':', start);
+    if (colon == std::string::npos) {
+      parts.push_back(spec.substr(start));
+      break;
+    }
+    parts.push_back(spec.substr(start, colon - start));
+    start = colon + 1;
+  }
+  if (parts.size() != 4) {
+    throw eppi::ConfigError("--route wants LISTEN:HOST:PORT:PARTY, got '" +
+                            spec + "'");
+  }
+  eppi::net::ProxyRoute route;
+  route.listen_port = static_cast<std::uint16_t>(std::stoul(parts[0]));
+  route.target_host = parts[1];
+  route.target_port = static_cast<std::uint16_t>(std::stoul(parts[2]));
+  route.target_party = static_cast<eppi::net::PartyId>(std::stoul(parts[3]));
+  return route;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<eppi::net::ProxyRoute> routes;
+  std::string scenario_text;
+  std::uint64_t seed = 1;
+  try {
+    for (int a = 1; a < argc; ++a) {
+      const std::string arg = argv[a];
+      const auto next = [&]() -> std::string {
+        if (a + 1 >= argc) throw eppi::ConfigError(arg + " needs a value");
+        return argv[++a];
+      };
+      if (arg == "--route") {
+        routes.push_back(parse_route(next()));
+      } else if (arg == "--scenario") {
+        scenario_text = next();
+      } else if (arg == "--seed") {
+        seed = std::stoull(next());
+      } else if (arg == "--help" || arg == "-h") {
+        return usage();
+      } else {
+        throw eppi::ConfigError("unknown option " + arg);
+      }
+    }
+    if (routes.empty()) return usage();
+
+    eppi::net::FaultScenario scenario =
+        scenario_text.empty() ? eppi::net::FaultScenario{}
+                              : eppi::net::FaultScenario::parse(scenario_text);
+    eppi::net::ChaosProxy proxy(routes, scenario, seed);
+    proxy.start();
+    install_terminate_handler();
+    std::cerr << "eppi_chaos_proxy: relaying " << routes.size()
+              << " route(s); SIGTERM to stop\n";
+    while (g_terminate == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    const auto stats = proxy.stats();
+    proxy.stop();
+    std::cerr << "eppi_chaos_proxy: " << stats.connections << " connection(s), "
+              << stats.bytes_forwarded << " byte(s) forwarded, "
+              << stats.resets << " reset(s), " << stats.blackholed_bytes
+              << " byte(s) blackholed\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "eppi_chaos_proxy: " << e.what() << '\n';
+    return 1;
+  }
+}

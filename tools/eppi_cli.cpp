@@ -78,6 +78,7 @@
 #include <atomic>
 #include <cctype>
 #include <chrono>
+#include <csignal>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -100,6 +101,7 @@
 #include "core/locator_service.h"
 #include "core/posting_index.h"
 #include "dataset/collection_table.h"
+#include "net/mini_http.h"
 #include "net/socket_transport.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
@@ -122,11 +124,15 @@ int usage() {
          "  eppi_cli fsck <index.idx | store-dir>\n"
          "  eppi_cli party <collection.csv> --id I --port-base P "
          "[--eps x] [--c n] [--host-file f]\n"
+         "           [--ft] [--seed n] [--listen-port P] [--metrics-port P] "
+         "[--linger]\n"
+         "           [--heartbeat-ms H] [--heartbeat-timeout-ms T] "
+         "[--stage-timeout-ms T] [--connect-timeout-ms T]\n"
          "  eppi_cli audit <index.idx> <collection.csv> [--eps x]\n"
          "  eppi_cli serve [<collection.csv>] [--eps x] [--threads T] "
          "[--queries N] [--batch B]\n"
          "           [--rebuilds R] [--seed n] [--smoke] [--prom] "
-         "[--trace out.jsonl]\n"
+         "[--trace out.jsonl] [--listen PORT]\n"
          "  eppi_cli trace <trace.jsonl> [--expect-bytes N]\n";
   return 2;
 }
@@ -370,6 +376,18 @@ int cmd_audit(const std::vector<std::string>& args) {
   return 0;
 }
 
+// SIGTERM/SIGINT request a clean drain: finish the work in flight, tear the
+// runtime down in order, exit 0. Handlers only set the flag; drain points
+// poll it.
+volatile std::sig_atomic_t g_terminate = 0;
+
+void install_terminate_handler() {
+  struct sigaction sa{};
+  sa.sa_handler = [](int) { g_terminate = 1; };
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+}
+
 int cmd_party(const std::vector<std::string>& args) {
   if (args.empty()) return usage();
   const std::string csv_path = args[0];
@@ -380,6 +398,16 @@ int cmd_party(const std::vector<std::string>& args) {
   std::string eps_file;
   std::size_t c = 2;
   std::string host_file;
+  bool ft = false;
+  std::uint64_t seed = 1;
+  std::uint16_t listen_port = 0;
+  std::uint16_t metrics_port = 0;
+  bool have_metrics_port = false;
+  int connect_timeout_ms = 10000;
+  std::size_t heartbeat_ms = 500;
+  std::size_t heartbeat_timeout_ms = 2000;
+  std::size_t stage_timeout_ms = 0;
+  bool linger = false;
   for (std::size_t a = 1; a < args.size(); ++a) {
     const std::string& arg = args[a];
     const auto next = [&]() -> const std::string& {
@@ -399,6 +427,25 @@ int cmd_party(const std::vector<std::string>& args) {
       c = std::stoul(next());
     } else if (arg == "--host-file") {
       host_file = next();
+    } else if (arg == "--ft") {
+      ft = true;
+    } else if (arg == "--seed") {
+      seed = std::stoull(next());
+    } else if (arg == "--listen-port") {
+      listen_port = static_cast<std::uint16_t>(std::stoul(next()));
+    } else if (arg == "--metrics-port") {
+      metrics_port = static_cast<std::uint16_t>(std::stoul(next()));
+      have_metrics_port = true;
+    } else if (arg == "--connect-timeout-ms") {
+      connect_timeout_ms = static_cast<int>(std::stoul(next()));
+    } else if (arg == "--heartbeat-ms") {
+      heartbeat_ms = std::stoul(next());
+    } else if (arg == "--heartbeat-timeout-ms") {
+      heartbeat_timeout_ms = std::stoul(next());
+    } else if (arg == "--stage-timeout-ms") {
+      stage_timeout_ms = std::stoul(next());
+    } else if (arg == "--linger") {
+      linger = true;
     } else {
       throw eppi::ConfigError("unknown option " + arg);
     }
@@ -443,13 +490,61 @@ int cmd_party(const std::vector<std::string>& args) {
   eppi::core::DistributedOptions options;
   options.policy = eppi::core::BetaPolicy::chernoff(0.9);
   options.c = c;
+  options.seed = seed;
+  if (ft) {
+    options.fault_tolerance.enabled = true;
+    options.fault_tolerance.reliable_delivery = true;
+    if (stage_timeout_ms != 0) {
+      options.fault_tolerance.stage_timeout =
+          std::chrono::milliseconds(stage_timeout_ms);
+    }
+  }
+
+  install_terminate_handler();
+
+  // The metrics endpoint comes up before the mesh so an operator can watch
+  // reconnect/heartbeat counters while the mesh is still forming.
+  std::unique_ptr<eppi::net::MiniHttpServer> http;
+  if (have_metrics_port) {
+    http = std::make_unique<eppi::net::MiniHttpServer>(
+        metrics_port, [](const eppi::net::HttpRequest& req) {
+          eppi::net::HttpResponse resp;
+          if (req.path == "/healthz") {
+            resp.body = "ok\n";
+          } else if (req.path == "/metrics") {
+            resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+            resp.body = eppi::obs::Registry::global().render_prometheus();
+          } else {
+            resp.status = 404;
+            resp.body = "not found\n";
+          }
+          return resp;
+        });
+    http->start();
+    std::cerr << "party " << id << " metrics on port " << http->port()
+              << '\n';
+  }
+
+  eppi::net::SocketRuntimeOptions runtime_options;
+  runtime_options.rng_seed = seed;
+  runtime_options.connect_timeout_ms = connect_timeout_ms;
+  runtime_options.listen_port_override = listen_port;
+  runtime_options.heartbeat_interval = std::chrono::milliseconds(heartbeat_ms);
+  runtime_options.heartbeat_timeout =
+      std::chrono::milliseconds(heartbeat_timeout_ms);
+  if (ft) {
+    runtime_options.reliable = true;
+    runtime_options.reliable_options = options.fault_tolerance.reliable;
+    // Plain receives must outlast one full FT stage plus its retries.
+    runtime_options.recv_timeout =
+        options.fault_tolerance.mpc_timeout + std::chrono::seconds(5);
+  }
   std::cerr << "party " << id << "/" << m << " ("
             << table.provider_names[id] << ") joining mesh...\n";
-  eppi::net::SocketRuntime runtime(
-      static_cast<eppi::net::PartyId>(id), endpoints, 1);
+  eppi::net::SocketRuntime runtime(static_cast<eppi::net::PartyId>(id),
+                                   endpoints, runtime_options);
   const auto result = eppi::core::run_construction_party(
       runtime.context(), my_row, epsilons, options);
-  runtime.shutdown();
 
   std::cerr << "construction complete; published claims:\n";
   for (std::size_t j = 0; j < net.identities(); ++j) {
@@ -463,6 +558,19 @@ int cmd_party(const std::vector<std::string>& args) {
               << " common identities, lambda="
               << result.coordinator->lambda << '\n';
   }
+  std::cout.flush();
+
+  // With --linger the process stays up after construction (metrics stay
+  // scrapeable, the mesh keeps heartbeating) until SIGTERM, then drains.
+  if (linger) {
+    std::cerr << "party " << id << " lingering until SIGTERM\n";
+    while (g_terminate == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    std::cerr << "party " << id << " draining\n";
+  }
+  runtime.shutdown();
+  if (http) http->stop();
   return 0;
 }
 
@@ -492,6 +600,8 @@ int cmd_serve(const std::vector<std::string>& args) {
   bool smoke = false;
   bool prom = false;
   std::string trace_path;
+  std::uint16_t listen_port = 0;
+  bool listen_set = false;
   for (std::size_t a = 0; a < args.size(); ++a) {
     const std::string& arg = args[a];
     const auto next = [&]() -> const std::string& {
@@ -500,6 +610,9 @@ int cmd_serve(const std::vector<std::string>& args) {
     };
     if (arg == "--eps") {
       eps = std::stod(next());
+    } else if (arg == "--listen") {
+      listen_port = static_cast<std::uint16_t>(std::stoul(next()));
+      listen_set = true;
     } else if (arg == "--threads") {
       threads = std::stoul(next());
     } else if (arg == "--queries") {
@@ -555,6 +668,78 @@ int cmd_serve(const std::vector<std::string>& args) {
     }
   }
   service.construct_ppi();
+
+  if (listen_set) {
+    // Daemon mode: expose the locator over HTTP until SIGTERM/SIGINT, then
+    // drain in-flight requests and exit cleanly. stdout stays quiet so
+    // supervisors can reserve it; operational chatter goes to stderr.
+    install_terminate_handler();
+    eppi::net::MiniHttpServer http(
+        listen_port, [&](const eppi::net::HttpRequest& req) {
+          eppi::net::HttpResponse resp;
+          if (req.path == "/healthz") {
+            resp.body = "ok\n";
+            return resp;
+          }
+          if (req.path == "/metrics") {
+            resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+            resp.body = eppi::obs::Registry::global().render_prometheus();
+            return resp;
+          }
+          if (req.path.rfind("/query", 0) == 0) {
+            std::vector<std::string> owners;
+            if (req.method == "POST") {
+              std::istringstream body(req.body);
+              std::string owner;
+              while (std::getline(body, owner)) {
+                if (!owner.empty() && owner.back() == '\r') owner.pop_back();
+                if (!owner.empty()) owners.push_back(owner);
+              }
+            } else {
+              const auto pos = req.path.find("?owner=");
+              if (pos != std::string::npos) {
+                owners.push_back(req.path.substr(pos + 7));
+              }
+            }
+            if (owners.empty()) {
+              resp.status = 400;
+              resp.body = "no owners given\n";
+              return resp;
+            }
+            const auto result = service.query_ppi_many(owners);
+            std::ostringstream lines;
+            for (std::size_t i = 0; i < owners.size(); ++i) {
+              for (const auto& prov : result.providers[i]) {
+                lines << owners[i] << ',' << prov << '\n';
+              }
+            }
+            resp.content_type = "text/csv; charset=utf-8";
+            resp.body = lines.str();
+            return resp;
+          }
+          resp.status = 404;
+          resp.body = "not found\n";
+          return resp;
+        });
+    http.start();
+    std::cerr << "eppi_serve: " << net.identities() << " owners across "
+              << net.providers() << " providers; HTTP on port " << http.port()
+              << " (/healthz /metrics /query); SIGTERM drains\n";
+    while (g_terminate == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    std::cerr << "eppi_serve: terminate signal received; draining\n";
+    http.stop();
+    const auto status = service.serving_status();
+    const auto metrics = service.metrics();
+    std::cerr << "eppi_serve: final epoch " << status.epoch
+              << (status.degraded ? " (degraded)" : "") << "; "
+              << metrics.queries << " single + " << metrics.batches
+              << " batched queries, " << metrics.owners_resolved
+              << " owners resolved\n";
+    return 0;
+  }
+
   std::cerr << "serving " << net.identities() << " owners across "
             << net.providers() << " providers; " << threads
             << " reader thread(s) x " << queries << " call(s), batch="
