@@ -25,7 +25,11 @@
 #   lint        static-analysis gate: eppi_lint.py + compile-fail probes
 #               (ctest -L lint in ./build); adds clang-tidy and the clang
 #               thread-safety -Werror build when clang is installed
-#   all         plain, then asan, then tsan, then lint
+#   analyze     whole-program analyzer (tools/eppi_analyze.py): fixture
+#               self-test, then the repo scan gated by the committed
+#               baseline; uses the clang AST frontend automatically when
+#               clang++ and build/compile_commands.json are present
+#   all         plain, then asan, then tsan, then lint, then analyze
 # Stages may also be spelled --lint / --asan / etc.
 #
 # JOBS=<n> overrides the build/test parallelism (default: nproc).
@@ -114,14 +118,23 @@ case "$stage" in
            "-Werror build and clang-tidy (CI runs them)" >&2
     fi
     ;;
+  analyze)
+    # Needs no build tree: the syntax frontend works from the sources alone.
+    # When clang++ and an exported build/compile_commands.json are both
+    # available the clang AST frontend sharpens the same facts (the
+    # --frontend auto default handles the pick).
+    python3 tools/eppi_analyze.py --self-test
+    python3 tools/eppi_analyze.py --verbose
+    ;;
   all)
     "$0" plain
     "$0" asan
     "$0" tsan
     "$0" lint
+    "$0" analyze
     ;;
   *)
-    echo "usage: $0 [plain|fault|storage|concurrency|obs|bench|asan|tsan|lint|all]" >&2
+    echo "usage: $0 [plain|fault|storage|concurrency|obs|bench|asan|tsan|lint|analyze|all]" >&2
     exit 2
     ;;
 esac

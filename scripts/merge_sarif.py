@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Merge SARIF 2.1.0 files into one multi-run log.
+
+GitHub code scanning accepts one SARIF upload per job category, and a SARIF
+log may carry several runs — one per tool. eppi_lint.py and eppi_analyze.py
+each emit a single-run log; this folds them (and any future tools) into the
+one file the CI lint job uploads:
+
+    python3 scripts/merge_sarif.py out.sarif lint.sarif analyze.sarif ...
+
+Inputs that are missing or unreadable are skipped with a warning rather
+than failing the merge — a tool that crashed before writing its log should
+fail CI through its own exit status, not by wedging the upload step.
+Exit status: 0 on success (even if some inputs were skipped), 2 on usage
+error or if NO input could be read.
+"""
+
+import json
+import sys
+
+
+def main(argv):
+    if len(argv) < 3:
+        print("usage: merge_sarif.py OUT.sarif IN.sarif [IN.sarif...]",
+              file=sys.stderr)
+        return 2
+    out_path, in_paths = argv[1], argv[2:]
+    runs = []
+    for path in in_paths:
+        try:
+            with open(path, encoding="utf-8") as f:
+                log = json.load(f)
+        except (OSError, ValueError) as e:
+            print(f"merge_sarif: skipping {path}: {e}", file=sys.stderr)
+            continue
+        runs.extend(log.get("runs", []))
+    if not runs:
+        print("merge_sarif: no readable input runs", file=sys.stderr)
+        return 2
+    merged = {
+        "$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                   "master/Schemata/sarif-schema-2.1.0.json",
+        "version": "2.1.0",
+        "runs": runs,
+    }
+    with open(out_path, "w", encoding="utf-8") as out:
+        json.dump(merged, out, indent=2)
+        out.write("\n")
+    tools = ", ".join(
+        r.get("tool", {}).get("driver", {}).get("name", "?") for r in runs)
+    results = sum(len(r.get("results", [])) for r in runs)
+    print(f"merge_sarif: {out_path}: {len(runs)} run(s) [{tools}], "
+          f"{results} result(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -64,3 +64,22 @@
 // a comment explaining why the access is in fact safe.
 #define EPPI_NO_THREAD_SAFETY_ANALYSIS \
   EPPI_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+// Reactor-affinity annotations ----------------------------------------------
+//
+// Clang has no built-in notion of "runs on the event-loop thread", so these
+// emit plain annotate() attributes that tools/eppi_analyze.py reads (via the
+// clang AST frontend, or textually via its syntax frontend). They are no-ops
+// for codegen on every compiler.
+
+// The function touches loop-owned state and may only be reached from loop
+// context: another EPPI_LOOP_AFFINE function, an EPPI_LOOP_ENTRY body, or a
+// closure handed to EventLoop::post()/add_timer()/add_fd(). eppi_analyze's
+// `loop-affinity` check flags any other call site, and its
+// `blocking-in-reactor` check forbids blocking primitives anywhere reachable
+// from one of these.
+#define EPPI_LOOP_AFFINE EPPI_THREAD_ANNOTATION_(annotate("eppi::loop_affine"))
+
+// The function establishes loop context (EventLoop::run): callable from any
+// thread, and everything it invokes runs on the loop thread.
+#define EPPI_LOOP_ENTRY EPPI_THREAD_ANNOTATION_(annotate("eppi::loop_entry"))

@@ -90,7 +90,13 @@ void EventLoop::modify_fd(int fd, std::uint32_t events) {
 }
 
 void EventLoop::remove_fd(int fd) {
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr) != 0 &&
+      errno != ENOENT && errno != EBADF) {
+    // ENOENT/EBADF just mean the fd is already gone (closed elsewhere);
+    // anything else is an interest-list bookkeeping bug worth surfacing.
+    EPPI_WARN("EventLoop: epoll del fd=" << fd << ": "
+                                         << std::strerror(errno));
+  }
   fd_callbacks_.erase(fd);
 }
 

@@ -44,7 +44,7 @@ class EventLoop {
   EventLoop& operator=(const EventLoop&) = delete;
 
   // Runs until stop(); call from the thread that is to own the loop.
-  void run();
+  void run() EPPI_LOOP_ENTRY;
   // Thread-safe; run() returns after the current iteration.
   void stop();
 
@@ -58,15 +58,15 @@ class EventLoop {
 
   // Registers `fd` with the given interest mask; the callback receives the
   // ready events. The fd is NOT owned: callers close it after remove_fd.
-  void add_fd(int fd, std::uint32_t events, FdCallback cb);
-  void modify_fd(int fd, std::uint32_t events);
-  void remove_fd(int fd);
+  void add_fd(int fd, std::uint32_t events, FdCallback cb) EPPI_LOOP_AFFINE;
+  void modify_fd(int fd, std::uint32_t events) EPPI_LOOP_AFFINE;
+  void remove_fd(int fd) EPPI_LOOP_AFFINE;
 
   // One-shot (period zero) or periodic timer; delay is from now.
   TimerId add_timer(std::chrono::milliseconds delay,
                     std::chrono::milliseconds period,
-                    std::function<void()> cb);
-  void cancel_timer(TimerId id);
+                    std::function<void()> cb) EPPI_LOOP_AFFINE;
+  void cancel_timer(TimerId id) EPPI_LOOP_AFFINE;
 
  private:
   struct Timer {
@@ -78,9 +78,9 @@ class EventLoop {
     }
   };
 
-  void drain_posted();
-  int next_timeout_ms() const;
-  void fire_due_timers();
+  void drain_posted() EPPI_LOOP_AFFINE;
+  int next_timeout_ms() const EPPI_LOOP_AFFINE;
+  void fire_due_timers() EPPI_LOOP_AFFINE;
 
   int epoll_fd_ = -1;
   int wake_fd_ = -1;  // eventfd: post()/stop() kick a sleeping epoll_wait

@@ -35,7 +35,7 @@ const char* status_text(int status) {
   }
 }
 
-bool send_response(int fd, const HttpResponse& resp) {
+[[nodiscard]] bool send_response(int fd, const HttpResponse& resp) {
   std::ostringstream out;
   out << "HTTP/1.1 " << resp.status << ' ' << status_text(resp.status)
       << "\r\nContent-Type: " << resp.content_type
@@ -203,7 +203,11 @@ void MiniHttpServer::handle_connection(int fd) {
       }
     }
   }
-  send_response(fd, resp);
+  if (!send_response(fd, resp)) {
+    // Scrapers hang up early all the time; worth a note, never a failure.
+    EPPI_DEBUG("MiniHttpServer: client on fd " << fd
+                                               << " closed mid-response");
+  }
   {
     const MutexLock lock(mutex_);
     live_fds_.erase(fd);

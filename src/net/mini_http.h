@@ -47,15 +47,18 @@ class MiniHttpServer {
   MiniHttpServer& operator=(const MiniHttpServer&) = delete;
 
   // Binds (throws ProtocolError on failure) and serves until stop().
-  void start();
-  void stop();
+  void start() EPPI_EXCLUDES(mutex_);
+  void stop() EPPI_EXCLUDES(mutex_);
 
   // The bound port (useful when constructed with port 0).
   std::uint16_t port() const noexcept { return port_; }
 
  private:
-  void accept_loop();
-  void handle_connection(int fd);
+  // Thread-per-connection by design: these may block in accept/recv/send,
+  // so they must never run on (or be reached from) an event-loop thread —
+  // deliberately NOT EPPI_LOOP_AFFINE. Both take mutex_ internally.
+  void accept_loop() EPPI_EXCLUDES(mutex_);
+  void handle_connection(int fd) EPPI_EXCLUDES(mutex_);
 
   std::uint16_t port_;
   Handler handler_;

@@ -48,7 +48,7 @@ void set_socket_flags(int fd) {
 std::uint64_t make_session_nonce() {
   // Entropy, not reproducibility: two restarts of the same party MUST get
   // different nonces, so the deterministic eppi::Rng is exactly wrong here.
-  std::random_device rd;  // eppi-lint: allow(rng-construction)
+  std::random_device rd;  // eppi-lint: allow(rng-construction): restart nonces need entropy, not reproducibility
   std::uint64_t n = (std::uint64_t{rd()} << 32) ^ rd();
   n ^= static_cast<std::uint64_t>(::getpid()) << 17;
   if (n == 0) n = 1;
@@ -421,7 +421,10 @@ void SocketRuntime::handle_readable(Conn& c) {
   const int fd = c.fd;
   unsigned char chunk[64 * 1024];
   for (;;) {
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    // MSG_DONTWAIT: the sockets are already nonblocking, but the explicit
+    // flag makes the no-blocking-on-the-loop-thread contract local fact,
+    // independent of fd state (and checkable by eppi_analyze).
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), MSG_DONTWAIT);
     if (n > 0) {
       c.rbuf.insert(c.rbuf.end(), chunk, chunk + n);
       c.last_rx = std::chrono::steady_clock::now();
@@ -616,9 +619,11 @@ void SocketRuntime::flush_conn(Conn& c) {
   while (!c.outq.empty()) {
     const std::vector<unsigned char>& front = c.outq.front();
     // MSG_NOSIGNAL: a peer closing mid-write must surface as an error (and a
-    // reconnect), never as a process-killing SIGPIPE.
+    // reconnect), never as a process-killing SIGPIPE. MSG_DONTWAIT: never
+    // block the loop thread, regardless of the fd's O_NONBLOCK state.
     const ssize_t n = ::send(fd, front.data() + c.out_off,
-                             front.size() - c.out_off, MSG_NOSIGNAL);
+                             front.size() - c.out_off,
+                             MSG_NOSIGNAL | MSG_DONTWAIT);
     if (n >= 0) {
       c.out_off += static_cast<std::size_t>(n);
       if (c.out_off == front.size()) {

@@ -169,23 +169,27 @@ class SocketRuntime {
     std::uint64_t ping_seq = 0;
   };
 
-  void setup_on_loop();
-  void start_connect(PartyId peer);
-  void schedule_reconnect(PartyId peer);
-  void on_listen_ready(std::uint32_t events);
-  void on_conn_event(int fd, std::uint32_t events);
-  void handle_readable(Conn& c);
-  void handle_writable(Conn& c);
-  bool process_hello(Conn& c);
-  void process_frames(Conn& c);
-  void link_established(Conn& c);
-  void close_conn(int fd, const char* reason);
-  void queue_frame(PartyId to, std::vector<unsigned char> frame);
-  void flush_conn(Conn& c);
-  void send_control(Conn& c, std::uint32_t tag, std::uint64_t seq);
-  void heartbeat_tick();
-  void fail_peer(PartyId peer);
-  void mark_peer_up(PartyId peer);
+  // Loop-thread internals: these touch conns_/peers_ and the loop's fd
+  // table, so they are only reachable from run()'s callbacks or a post()ed
+  // closure — checked by tools/eppi_analyze.py via EPPI_LOOP_AFFINE.
+  void setup_on_loop() EPPI_LOOP_AFFINE;
+  void start_connect(PartyId peer) EPPI_LOOP_AFFINE;
+  void schedule_reconnect(PartyId peer) EPPI_LOOP_AFFINE;
+  void on_listen_ready(std::uint32_t events) EPPI_LOOP_AFFINE;
+  void on_conn_event(int fd, std::uint32_t events) EPPI_LOOP_AFFINE;
+  void handle_readable(Conn& c) EPPI_LOOP_AFFINE;
+  bool process_hello(Conn& c) EPPI_LOOP_AFFINE;
+  void process_frames(Conn& c) EPPI_LOOP_AFFINE;
+  void link_established(Conn& c) EPPI_LOOP_AFFINE;
+  void close_conn(int fd, const char* reason) EPPI_LOOP_AFFINE;
+  void queue_frame(PartyId to, std::vector<unsigned char> frame)
+      EPPI_LOOP_AFFINE;
+  void flush_conn(Conn& c) EPPI_LOOP_AFFINE;
+  void send_control(Conn& c, std::uint32_t tag, std::uint64_t seq)
+      EPPI_LOOP_AFFINE;
+  void heartbeat_tick() EPPI_LOOP_AFFINE;
+  void fail_peer(PartyId peer) EPPI_LOOP_AFFINE;
+  void mark_peer_up(PartyId peer) EPPI_LOOP_AFFINE;
 
   PartyId self_;
   std::vector<Endpoint> endpoints_;

@@ -1,0 +1,33 @@
+// Seeded violations: blocking primitives reachable from loop-affine code —
+// one direct (a potentially-blocking ::recv in the readable handler), one
+// interprocedural (a sleep inside an unannotated helper the handler calls).
+#include <chrono>
+#include <sys/socket.h>
+#include <thread>
+
+#include "../../src/common/thread_annotations.h"
+
+namespace fixture_br {
+
+class PollerBad {
+ public:
+  void on_readable(int fd) EPPI_LOOP_AFFINE;
+
+ private:
+  void backoff();
+
+  char buf_[256] = {};
+  long received_ = 0;
+};
+
+void PollerBad::on_readable(int fd) {
+  long n = ::recv(fd, buf_, sizeof(buf_), 0);  // eppi-analyze-expect: blocking-in-reactor
+  received_ += n;
+  backoff();
+}
+
+void PollerBad::backoff() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));  // eppi-analyze-expect: blocking-in-reactor
+}
+
+}  // namespace fixture_br

@@ -1,0 +1,32 @@
+// Clean twin: the readable handler uses a nonblocking ::recv, and the only
+// sleep lives in a worker entry point that is not reachable from the loop.
+#include <chrono>
+#include <sys/socket.h>
+#include <thread>
+
+#include "../../src/common/thread_annotations.h"
+
+namespace fixture_br {
+
+class PollerOk {
+ public:
+  void on_readable(int fd) EPPI_LOOP_AFFINE;
+  void worker_entry();  // runs on its own std::thread, never on the loop
+
+ private:
+  char buf_[256] = {};
+  long received_ = 0;
+};
+
+void PollerOk::on_readable(int fd) {
+  long n = ::recv(fd, buf_, sizeof(buf_), MSG_DONTWAIT);
+  if (n > 0) {
+    received_ += n;
+  }
+}
+
+void PollerOk::worker_entry() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+}
+
+}  // namespace fixture_br

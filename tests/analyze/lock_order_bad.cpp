@@ -1,0 +1,56 @@
+// Seeded violation: two objects acquire their mutexes in opposite orders —
+// PeerBad::ping holds PeerBad::mu_ and calls into RouterBad::notify (which
+// takes RouterBad::mu_), while RouterBad::route holds RouterBad::mu_ and
+// calls back into PeerBad::on_ping (which takes PeerBad::mu_). Two threads
+// running ping() and route() concurrently can deadlock.
+#include "../../src/common/mutex.h"
+
+namespace fixture_lo {
+
+class RouterBad;
+
+class PeerBad {
+ public:
+  void ping();
+  void on_ping();
+
+ private:
+  eppi::Mutex mu_;
+  RouterBad* router_ = nullptr;
+  int pings_ = 0;
+  int seq_ = 0;
+};
+
+class RouterBad {
+ public:
+  void route();
+  void notify();
+
+ private:
+  eppi::Mutex mu_;
+  PeerBad* peer_ = nullptr;
+  int events_ = 0;
+};
+
+void PeerBad::ping() {
+  eppi::MutexLock lock(mu_);
+  ++seq_;
+  router_->notify();  // eppi-analyze-expect: lock-order
+}
+
+void PeerBad::on_ping() {
+  eppi::MutexLock lock(mu_);
+  ++pings_;
+}
+
+void RouterBad::notify() {
+  eppi::MutexLock lock(mu_);
+  ++events_;
+}
+
+void RouterBad::route() {
+  eppi::MutexLock lock(mu_);
+  peer_->on_ping();
+}
+
+}  // namespace fixture_lo

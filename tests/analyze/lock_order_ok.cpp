@@ -1,0 +1,61 @@
+// Clean twin: same shape, but PeerOk::ping drops its own lock before calling
+// into the router — the transports' documented drop-the-lock idiom — so the
+// only acquisition edge is RouterOk::mu_ -> PeerOk::mu_ and the graph stays
+// acyclic. This is a direct regression test for the analyzer's mid-scope
+// lock.unlock()/lock.lock() region tracking: if that breaks, a phantom
+// Peer -> Router edge appears and the self-test fails on a bogus cycle.
+#include "../../src/common/mutex.h"
+
+namespace fixture_lo {
+
+class RouterOk;
+
+class PeerOk {
+ public:
+  void ping();
+  void on_ping();
+
+ private:
+  eppi::Mutex mu_;
+  RouterOk* router_ = nullptr;
+  int pings_ = 0;
+  int seq_ = 0;
+  int last_acked_ = 0;
+};
+
+class RouterOk {
+ public:
+  void route();
+  void notify();
+
+ private:
+  eppi::Mutex mu_;
+  PeerOk* peer_ = nullptr;
+  int events_ = 0;
+};
+
+void PeerOk::ping() {
+  eppi::MutexLock lock(mu_);
+  int seq = ++seq_;
+  lock.unlock();
+  router_->notify();  // called with no locks held
+  lock.lock();
+  last_acked_ = seq;
+}
+
+void PeerOk::on_ping() {
+  eppi::MutexLock lock(mu_);
+  ++pings_;
+}
+
+void RouterOk::notify() {
+  eppi::MutexLock lock(mu_);
+  ++events_;
+}
+
+void RouterOk::route() {
+  eppi::MutexLock lock(mu_);
+  peer_->on_ping();
+}
+
+}  // namespace fixture_lo

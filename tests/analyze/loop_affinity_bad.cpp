@@ -1,0 +1,39 @@
+// Seeded violation: an EPPI_LOOP_AFFINE internal invoked directly from a
+// cross-thread entry point. Loop-owned state may only be touched from the
+// loop thread; the correct route is a post() hand-off (see the _ok twin).
+#include <functional>
+
+#include "../../src/common/thread_annotations.h"
+
+namespace fixture_la {
+
+class ReactorBad {
+ public:
+  void run() EPPI_LOOP_ENTRY;
+  void post(std::function<void()> fn);
+  void request_watch(int fd);  // callable from any thread
+
+ private:
+  void add_watch(int fd) EPPI_LOOP_AFFINE;
+
+  int epoll_fd_ = -1;
+  std::function<void()> pending_;
+};
+
+void ReactorBad::run() {
+  add_watch(0);  // fine: run() establishes loop context
+}
+
+void ReactorBad::post(std::function<void()> fn) {
+  pending_ = fn;
+}
+
+void ReactorBad::add_watch(int fd) {
+  epoll_fd_ = fd;
+}
+
+void ReactorBad::request_watch(int fd) {
+  add_watch(fd);  // eppi-analyze-expect: loop-affinity
+}
+
+}  // namespace fixture_la

@@ -1,0 +1,38 @@
+// Clean twin: the cross-thread entry point reaches the loop-affine internal
+// through a post() hand-off, so the closure runs on the loop thread.
+#include <functional>
+
+#include "../../src/common/thread_annotations.h"
+
+namespace fixture_la {
+
+class ReactorOk {
+ public:
+  void run() EPPI_LOOP_ENTRY;
+  void post(std::function<void()> fn);
+  void request_watch(int fd);  // callable from any thread
+
+ private:
+  void add_watch(int fd) EPPI_LOOP_AFFINE;
+
+  int epoll_fd_ = -1;
+  std::function<void()> pending_;
+};
+
+void ReactorOk::run() {
+  add_watch(0);
+}
+
+void ReactorOk::post(std::function<void()> fn) {
+  pending_ = fn;
+}
+
+void ReactorOk::add_watch(int fd) {
+  epoll_fd_ = fd;
+}
+
+void ReactorOk::request_watch(int fd) {
+  post([this, fd] { add_watch(fd); });  // runs on the loop thread
+}
+
+}  // namespace fixture_la

@@ -1,0 +1,63 @@
+// Seeded violations: opened secret values flowing into exported surfaces
+// (trace attrs, metrics, logs) through locals, a returning helper, and a
+// one-call-hop into a logging helper — the flows the same-line lint rules
+// (escape-hatch, secret-trace-attr) cannot see.
+#include <cstdint>
+#include <string>
+
+#include "../../src/common/logging.h"
+#include "../../src/obs/trace.h"
+#include "../../src/secret/secret.h"
+
+namespace fixture_sf {
+
+class TelemetryBad {
+ public:
+  void record_query(const eppi::Secret<std::uint64_t>& cost);
+  void count_cost(const eppi::Secret<std::uint64_t>& cost);
+  void emit(const eppi::Secret<std::uint64_t>& cost);
+  void tally(const eppi::Secret<std::uint64_t>& cost);
+
+ private:
+  std::uint64_t open_cost(const eppi::Secret<std::uint64_t>& c);
+  void log_value(std::uint64_t v);
+
+  eppi::obs::Span span_;
+  eppi::obs::Counter* counter_ = nullptr;
+  eppi::obs::Histogram* hist_ = nullptr;
+};
+
+// Local taint: the revealed value lands in a trace attribute.
+void TelemetryBad::record_query(const eppi::Secret<std::uint64_t>& cost) {
+  std::uint64_t raw = cost.reveal();
+  span_.attr("cost", raw);  // eppi-analyze-expect: secret-flow
+}
+
+// Direct: the unwrap happens inside the sink's argument list.
+void TelemetryBad::count_cost(const eppi::Secret<std::uint64_t>& cost) {
+  counter_->add(cost.unwrap_for_wire());  // eppi-analyze-expect: secret-flow
+}
+
+// One call hop: the tainted value is handed to a helper whose parameter
+// reaches a log statement.
+void TelemetryBad::log_value(std::uint64_t v) {
+  EPPI_WARN("observed value " << v);
+}
+
+void TelemetryBad::emit(const eppi::Secret<std::uint64_t>& cost) {
+  std::uint64_t raw = cost.reveal();
+  log_value(raw);  // eppi-analyze-expect: secret-flow
+}
+
+// Return hop: a helper whose return value carries the opened secret.
+std::uint64_t TelemetryBad::open_cost(
+    const eppi::Secret<std::uint64_t>& c) {
+  return c.reveal();
+}
+
+void TelemetryBad::tally(const eppi::Secret<std::uint64_t>& cost) {
+  std::uint64_t opened = open_cost(cost);
+  hist_->record(opened);  // eppi-analyze-expect: secret-flow
+}
+
+}  // namespace fixture_sf

@@ -1,0 +1,38 @@
+// Clean twin: telemetry records aggregate, non-secret quantities, and the
+// revealed value is used only for protocol math — it never reaches a trace,
+// metric, log, or storage sink.
+#include <cstdint>
+#include <string>
+
+#include "../../src/common/logging.h"
+#include "../../src/obs/trace.h"
+#include "../../src/secret/secret.h"
+
+namespace fixture_sf {
+
+class TelemetryOk {
+ public:
+  void record_query(const eppi::Secret<std::uint64_t>& cost);
+  std::uint64_t open_for_protocol(const eppi::Secret<std::uint64_t>& c);
+
+ private:
+  eppi::obs::Span span_;
+  std::uint64_t query_count_ = 0;
+  std::uint64_t protocol_sum_ = 0;
+};
+
+void TelemetryOk::record_query(const eppi::Secret<std::uint64_t>& cost) {
+  // Counting queries is fine; only the secret value itself may not leak.
+  ++query_count_;
+  span_.attr("queries", query_count_);
+  (void)cost;
+}
+
+std::uint64_t TelemetryOk::open_for_protocol(
+    const eppi::Secret<std::uint64_t>& c) {
+  std::uint64_t opened = c.reveal();
+  protocol_sum_ += opened;  // protocol arithmetic, not an exported surface
+  return opened;
+}
+
+}  // namespace fixture_sf

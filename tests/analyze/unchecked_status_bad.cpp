@@ -1,0 +1,35 @@
+// Seeded violations: error returns dropped on the floor — a POSIX fd op,
+// a status-returning Vfs read, and a repo function declared [[nodiscard]].
+#include <string>
+#include <unistd.h>
+
+#include "../../src/storage/vfs.h"
+
+namespace fixture_us {
+
+[[nodiscard]] bool flush_index(int fd);
+
+class StoreBad {
+ public:
+  void touch(int fd);
+  void probe(const std::string& path);
+  void close_all(int fd);
+
+ private:
+  eppi::storage::Vfs vfs_;
+  int errors_ = 0;
+};
+
+void StoreBad::touch(int fd) {
+  ::ftruncate(fd, 0);  // eppi-analyze-expect: unchecked-status
+}
+
+void StoreBad::probe(const std::string& path) {
+  vfs_.exists(path);  // eppi-analyze-expect: unchecked-status
+}
+
+void StoreBad::close_all(int fd) {
+  flush_index(fd);  // eppi-analyze-expect: unchecked-status
+}
+
+}  // namespace fixture_us

@@ -1,0 +1,44 @@
+// Clean twin: every status return is checked, bound, (void)-acknowledged,
+// or suppressed with a reasoned allow — the four accepted idioms.
+#include <string>
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include "../../src/storage/vfs.h"
+
+namespace fixture_us {
+
+[[nodiscard]] bool flush_index_ok(int fd);
+
+class StoreOk {
+ public:
+  void touch(int fd);
+  void probe(const std::string& path);
+  void close_all(int fd);
+  void drop_watch(int epfd, int fd);
+
+ private:
+  eppi::storage::Vfs vfs_;
+  int errors_ = 0;
+  bool flushed_ = false;
+};
+
+void StoreOk::touch(int fd) {
+  if (::ftruncate(fd, 0) != 0) {
+    ++errors_;
+  }
+}
+
+void StoreOk::probe(const std::string& path) {
+  (void)vfs_.exists(path);  // probe only warms the dentry cache
+}
+
+void StoreOk::close_all(int fd) {
+  flushed_ = flush_index_ok(fd);
+}
+
+void StoreOk::drop_watch(int epfd, int fd) {
+  ::epoll_ctl(epfd, EPOLL_CTL_DEL, fd, nullptr);  // eppi-analyze: allow(unchecked-status): kernel drops the watch on close; delete is advisory
+}
+
+}  // namespace fixture_us

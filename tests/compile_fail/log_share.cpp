@@ -6,6 +6,6 @@
 int main() {
   const eppi::SecretU64 share(7);
   // use of deleted function — the deliberate violation under test
-  EPPI_INFO("my share is " << share);  // eppi-lint: allow(secret-logging)
+  EPPI_INFO("my share is " << share);  // eppi-lint: allow(secret-logging): deliberate violation this probe exists to reject
   return 0;
 }

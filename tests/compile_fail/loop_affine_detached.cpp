@@ -1,0 +1,33 @@
+// Misuse probe: an EPPI_LOOP_AFFINE method invoked from a detached worker
+// thread. This COMPILES (the attribute is metadata, not a type error) —
+// tests/CMakeLists.txt registers a positive syntax-only control plus an
+// eppi_analyze run over this file with WILL_FAIL, so the gate is that the
+// analyzer rejects it with a loop-affinity finding.
+#include <thread>
+
+#include "common/thread_annotations.h"
+
+namespace eppi::probe {
+
+class DetachedMisuse {
+ public:
+  // Loop-owned state: only the loop thread may arm the timer.
+  void arm_timer() EPPI_LOOP_AFFINE { armed_ = true; }
+
+  // WRONG: hands the affine method to a detached thread. The fix would be
+  // posting the closure to the owning EventLoop instead.
+  void spawn() {
+    std::thread([this] { arm_timer(); }).detach();
+  }
+
+ private:
+  bool armed_ = false;
+};
+
+}  // namespace eppi::probe
+
+int main() {
+  eppi::probe::DetachedMisuse m;
+  m.spawn();
+  return 0;
+}

@@ -1,0 +1,1661 @@
+#!/usr/bin/env python3
+"""Whole-program static analyzer for the e-PPI codebase.
+
+Where `eppi_lint.py` reasons one line at a time, this tool builds a
+repo-wide model — a call graph, lock-acquisition facts, annotation facts,
+and a small dataflow layer — and runs five *interprocedural* checks that
+the PR 2 toolchain (type taint + regex lint + clang -Wthread-safety)
+cannot express, because they span function boundaries:
+
+  loop-affinity       functions annotated EPPI_LOOP_AFFINE (the epoll
+                      reactor's loop-thread-only internals) may only be
+                      reached from loop context: another loop-affine
+                      function, an EPPI_LOOP_ENTRY body (EventLoop::run),
+                      or a closure handed to EventLoop::post / add_timer /
+                      add_fd. A call from anywhere else is an off-loop
+                      mutation of loop-owned state.
+
+  blocking-in-reactor a blocking primitive reachable from loop context:
+                      ::recv/::send without MSG_DONTWAIT, sleep_for/
+                      sleep_until, CondVar/condition_variable wait*,
+                      future get/wait, thread join, or a blocking
+                      Mailbox::recv. One stalled callback stalls every
+                      connection the reactor owns.
+
+  lock-order          the lock-acquisition graph: an edge A -> B when B is
+                      acquired (directly or via calls) while A is held.
+                      Mid-scope MutexLock unlock()/lock() cycles — the
+                      transports' drop-the-lock-around-inner-send idiom —
+                      are modeled, so the documented discipline is checked,
+                      not penalized. Cycles are reported as potential
+                      deadlocks.
+
+  secret-flow         dataflow from reveal()/unwrap_for_wire() call sites
+                      through locals, returns, and one call hop into
+                      telemetry/log/storage sinks (Span::attr/event,
+                      Counter/Gauge/Histogram, EPPI_LOG, iostreams,
+                      Vfs writes). Generalizes the same-line escape-hatch
+                      and secret-trace-attr lint rules: telemetry is
+                      exported, so it is never an audited zone — the rule
+                      fires even in src/secret and src/mpc.
+
+  unchecked-status    a discarded error return: a statement-expression call
+                      to a POSIX socket/fd op (::recv, ::send, ::connect,
+                      ::bind, ::listen, ::epoll_ctl, ...), to a status-
+                      returning storage::Vfs read (read_file/exists/
+                      list_dir), or to a repo function declared
+                      [[nodiscard]]. Cast to (void) to acknowledge a
+                      deliberate best-effort call.
+
+Fact extraction has two frontends producing the same model:
+
+  * `clang`  — drives `clang++ -Xclang -ast-dump=json -fsyntax-only` over
+               the CMake compilation database (CMAKE_EXPORT_COMPILE_COMMANDS,
+               see CMakeLists.txt) and reads function definitions, call
+               sites, and annotate() attributes from the real AST;
+  * `syntax` — a stdlib-only structural scanner tuned to this codebase's
+               style. It additionally extracts the lock-region and
+               dataflow facts (which are positional) for BOTH frontends.
+
+`--frontend=auto` (default) uses clang when both clang++ and a compilation
+database are present, and falls back to the syntax frontend otherwise —
+so the gate runs anywhere the tests run (the CI analyze job has clang; the
+plain build container may not). A clang failure on one TU falls back to
+the syntax facts for that TU rather than failing the run.
+
+Suppress a single finding with
+    // eppi-analyze: allow(<rule>): <reason>
+on the reported line — the reason is mandatory. Known findings that are
+accepted for now live in the committed baseline (tools/analyze_baseline.json),
+each with a reason; `--write-baseline` regenerates it.
+
+Usage:
+  tools/eppi_analyze.py [--root DIR] [--frontend auto|clang|syntax]
+                        [--compdb FILE] [--baseline FILE] [--write-baseline]
+                        [--sarif FILE] [--list-rules] [paths...]
+  tools/eppi_analyze.py --self-test
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+from dataclasses import dataclass, field
+
+# ---------------------------------------------------------------------------
+# Shared text utilities
+
+SOURCE_EXTENSIONS = (".cpp", ".h", ".hpp", ".cc")
+
+ALLOW_RE = re.compile(
+    r"//\s*eppi-analyze:\s*allow\(([a-z-]+)\)\s*:\s*(\S.*)")
+EXPECT_RE = re.compile(r"//\s*eppi-analyze-expect:\s*([a-z-]+)")
+
+RULES = ("loop-affinity", "blocking-in-reactor", "lock-order",
+         "secret-flow", "unchecked-status")
+
+RULE_DESCRIPTIONS = {
+    "loop-affinity":
+        "EPPI_LOOP_AFFINE function reached from outside loop context",
+    "blocking-in-reactor":
+        "blocking primitive reachable from the epoll reactor",
+    "lock-order":
+        "cycle in the lock-acquisition graph (potential deadlock)",
+    "secret-flow":
+        "reveal()/unwrap_for_wire() value flows into a telemetry/log/"
+        "storage sink",
+    "unchecked-status":
+        "discarded error return from a socket/storage operation",
+}
+
+
+def scrub_text(text: str) -> str:
+    """Blanks comments and string/char literals, preserving every character
+    position (so offsets and line numbers survive). Suppression and expect
+    markers are read from the RAW text, not the scrubbed text."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line | block | str | chr
+    while i < n:
+        c = text[i]
+        if state == "code":
+            if c == "/" and i + 1 < n and text[i + 1] == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and i + 1 < n and text[i + 1] == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "str"
+                out.append('"')
+                i += 1
+                continue
+            if c == "'":
+                state = "chr"
+                out.append("'")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and i + 1 < n and text[i + 1] == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state == "str":
+            if c == "\\" and i + 1 < n:
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "code"
+                out.append('"')
+            elif c == "\n":  # unterminated; bail to code
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "chr":
+            if c == "\\" and i + 1 < n:
+                out.append("  ")
+                i += 2
+                continue
+            if c == "'":
+                state = "code"
+                out.append("'")
+            elif c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def blank_preprocessor(text: str) -> str:
+    """Blanks preprocessor directives (and their continuation lines),
+    preserving newlines. Run AFTER scrub_text so `//` inside a #define
+    is already gone. Keeps macro definitions, includes and guards out of
+    the structural scan entirely."""
+    out = []
+    cont = False
+    for line in text.split("\n"):
+        if cont or line.lstrip().startswith("#"):
+            cont = line.rstrip().endswith("\\")
+            out.append(" " * len(line))
+        else:
+            cont = False
+            out.append(line)
+    return "\n".join(out)
+
+
+# ---------------------------------------------------------------------------
+# Fact model
+
+@dataclass
+class CallSite:
+    callee: str          # bare name, e.g. "flush_conn" or "::recv"
+    base: str            # receiver expression text ("" for free calls)
+    args: str            # raw argument text (scrubbed)
+    line: int
+    held: tuple          # canonical mutex ids held at the call
+    discarded: bool      # whole-statement expression call
+
+
+@dataclass
+class LockAcq:
+    mutex: str           # canonical id
+    line: int
+    held: tuple          # mutexes already held when this one is taken
+
+
+@dataclass
+class Func:
+    """A function definition or a lambda body."""
+    qname: str           # "Class::name", "name", or "<parent>::<lambda@L>"
+    cls: str             # enclosing class name ("" for free functions)
+    name: str            # unqualified name
+    path: str
+    line: int
+    params: list = field(default_factory=list)
+    annotations: set = field(default_factory=set)
+    kind: str = "func"   # func | loop-lambda | thread-lambda | inline-lambda
+    parent: str = ""     # enclosing function qname (lambdas only)
+    calls: list = field(default_factory=list)       # [CallSite]
+    acquisitions: list = field(default_factory=list)  # [LockAcq]
+    statements: list = field(default_factory=list)  # [(line, text)]
+    returns: list = field(default_factory=list)     # [(line, expr-text)]
+    nodiscard: bool = False
+
+
+@dataclass
+class Finding:
+    rule: str
+    path: str
+    line: int
+    symbol: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def fingerprint(self) -> str:
+        # Line numbers are deliberately excluded so the baseline survives
+        # unrelated edits to the same file.
+        h = hashlib.sha256(
+            f"{self.rule}|{self.path}|{self.symbol}".encode()).hexdigest()
+        return h[:16]
+
+
+class FactDB:
+    def __init__(self):
+        self.funcs: dict[str, Func] = {}
+        self.by_name: dict[str, list] = {}   # method name -> [qname]
+        self.nodiscard: set = set()          # names declared [[nodiscard]]
+        self.raw_lines: dict[str, list] = {}  # path -> raw text lines
+        # Annotations live on declarations (headers); definitions usually
+        # don't repeat them. qname -> [(path, line, {tokens})].
+        self.decl_annotations: dict[str, list] = {}
+
+    def add_func(self, f: Func):
+        if f.qname in self.funcs:
+            # Multiple definitions (overloads, or decl+def): merge facts.
+            old = self.funcs[f.qname]
+            old.calls.extend(f.calls)
+            old.acquisitions.extend(f.acquisitions)
+            old.statements.extend(f.statements)
+            old.returns.extend(f.returns)
+            old.annotations |= f.annotations
+            old.nodiscard = old.nodiscard or f.nodiscard
+            return
+        self.funcs[f.qname] = f
+        self.by_name.setdefault(f.name, []).append(f.qname)
+
+
+# ---------------------------------------------------------------------------
+# Syntax frontend: a structural scanner for the repo's C++ style
+
+KEYWORDS = {
+    "if", "for", "while", "switch", "return", "sizeof", "throw", "catch",
+    "new", "delete", "static_cast", "dynamic_cast", "reinterpret_cast",
+    "const_cast", "decltype", "alignof", "noexcept", "case", "default",
+    "do", "else", "using", "typedef", "template", "typename", "static",
+    "assert", "static_assert", "co_await", "co_return", "defined",
+}
+
+FUNC_HEAD_RE = re.compile(
+    r"""(?:[\w:<>,*&~\[\]\s]+?[\s*&])??            # return type (optional for ctors)
+        (?P<qual>(?:\w+\s*::\s*)*)                  # Class:: qualifiers
+        (?P<name>~?\w+|operator\s*[^\s(]+)\s*
+        \((?P<args>.*)\)\s*
+        (?P<trail>(?:\s*(?:const|noexcept|override|final|mutable
+           |->\s*[\w:<>&*\s]+|EPPI_\w+(?:\s*\([^)]*\))?
+           |\[\[\w+\]\]|:\s*.*))*\s*)$""",
+    re.VERBOSE | re.DOTALL)
+
+ANNOTATION_TOKENS = ("EPPI_LOOP_AFFINE", "EPPI_LOOP_ENTRY")
+
+LOCK_DECL_RE = re.compile(
+    r"^(?:const\s+)?(?:eppi\s*::\s*)?MutexLock\s+(\w+)\s*\(\s*(.+?)\s*\)$")
+LOCK_OP_RE = re.compile(r"^(\w+)\s*\.\s*(lock|unlock)\s*\(\s*\)$")
+CALL_RE = re.compile(
+    r"(?P<base>(?:[\w\]\)]\s*(?:\.|->)\s*)?)"
+    r"(?P<name>(?:::\s*)?\w+(?:\s*::\s*\w+)*)\s*\(")
+NODISCARD_RE = re.compile(r"\[\[nodiscard\]\][^;{(]*?\b(\w+)\s*\(")
+
+LOOP_POST_METHODS = {"post", "add_timer", "add_fd"}
+THREAD_CTOR_NAMES = {"thread", "std::thread", "jthread", "std::jthread"}
+
+
+def _canon_mutex(expr: str, cls: str, qname: str) -> str:
+    expr = re.sub(r"\s+", "", expr)
+    if re.fullmatch(r"\w+", expr):
+        if expr.endswith("_") and cls:
+            return f"{cls}::{expr}"
+        return f"{qname}::{expr}"  # local / parameter mutex
+    # Complex expression (e.g. other.mutex_): keep as written, class-scoped.
+    return f"{cls or qname}::{expr}"
+
+
+class _Scope:
+    __slots__ = ("kind", "name", "func", "pbase")
+
+    def __init__(self, kind, name="", func=None):
+        self.kind = kind    # ns | class | func | lambda | block | expr
+        self.name = name
+        self.func = func    # Func being built (func/lambda scopes)
+        self.pbase = 0      # open-paren depth when this scope was entered
+
+
+class SyntaxFrontend:
+    """Single pass, character-level scanner. Tracks namespace/class nesting,
+    function and lambda bodies, per-statement lock regions, and call sites
+    with the held-lock context."""
+
+    def __init__(self, db: FactDB, path: str, raw: str):
+        self.db = db
+        self.path = path
+        self.raw = raw
+        self.text = blank_preprocessor(scrub_text(raw))
+        self.scopes: list[_Scope] = []
+        self.stmt: list = []        # [(line, chunk)] pending statement
+        self.paren_callees: list = []  # (callee, base) per open paren
+        self.active_locks: list = []   # [dict(var, mutex, depth, live)]
+        self.lambda_counter = 0
+        self.pending_lambda = None  # dict set between ']' and '{'
+
+    # -- helpers ----------------------------------------------------------
+
+    def cur_func(self):
+        for s in reversed(self.scopes):
+            if s.kind in ("func", "lambda"):
+                return s.func
+        return None
+
+    def cur_class(self):
+        for s in reversed(self.scopes):
+            if s.kind == "class":
+                return s.name
+        return ""
+
+    def func_depth(self):
+        d = 0
+        seen_func = False
+        for s in self.scopes:
+            if s.kind in ("func", "lambda"):
+                seen_func = True
+                d = 0
+            elif seen_func and s.kind in ("block", "expr"):
+                d += 1
+        return d
+
+    def held_ids(self):
+        return tuple(l["mutex"] for l in self.active_locks if l["live"])
+
+    def stmt_text(self):
+        return " ".join(c for _, c in self.stmt).strip()
+
+    def stmt_line(self, offset_in_text=None):
+        if not self.stmt:
+            return 0
+        if offset_in_text is None:
+            return self.stmt[0][0]
+        # Map a character offset in the joined text back to a line.
+        pos = 0
+        for line, chunk in self.stmt:
+            if offset_in_text < pos + len(chunk) + 1:
+                return line
+            pos += len(chunk) + 1
+        return self.stmt[-1][0]
+
+    # -- statement processing ---------------------------------------------
+
+    def flush_stmt(self, terminator):
+        func = self.cur_func()
+        text = self.stmt_text()
+        if func is None or not text:
+            # Annotated declarations (class bodies / headers): record the
+            # tokens so a definition elsewhere — or header-only scans —
+            # still see them.
+            if text and terminator == ";" and any(
+                    t in text for t in ANNOTATION_TOKENS):
+                cls = self.cur_class()
+                dm = re.search(r"(~?\w+)\s*\(", text)
+                if dm:
+                    qn = (f"{cls}::{dm.group(1)}" if cls
+                          else dm.group(1))
+                    self.db.decl_annotations.setdefault(qn, []).append(
+                        (self.path, self.stmt_line(),
+                         {t for t in ANNOTATION_TOKENS if t in text}))
+            self.stmt = []
+            return
+        line = self.stmt_line()
+        func.statements.append((line, text))
+
+        # Lock region bookkeeping (only whole statements, i.e. ';').
+        if terminator == ";":
+            m = LOCK_DECL_RE.match(text)
+            if m:
+                var, mexpr = m.group(1), m.group(2)
+                canon = _canon_mutex(mexpr, func.cls, func.qname)
+                func.acquisitions.append(
+                    LockAcq(canon, line, self.held_ids()))
+                self.active_locks.append(
+                    {"var": var, "mutex": canon,
+                     "depth": self.func_depth(), "live": True,
+                     "func": func.qname})
+                self.stmt = []
+                return
+            m = LOCK_OP_RE.match(text)
+            if m:
+                var, op = m.group(1), m.group(2)
+                for l in reversed(self.active_locks):
+                    if l["var"] == var and l["func"] == func.qname:
+                        if op == "unlock":
+                            l["live"] = False
+                        else:
+                            l["live"] = True
+                            func.acquisitions.append(
+                                LockAcq(l["mutex"], line, tuple(
+                                    x["mutex"] for x in self.active_locks
+                                    if x["live"] and x is not l)))
+                        break
+                self.stmt = []
+                return
+            if text.startswith("return"):
+                func.returns.append((line, text[len("return"):].strip()))
+
+        self.extract_calls(text, func, terminator)
+        self.stmt = []
+
+    def extract_calls(self, text, func, terminator):
+        held = self.held_ids()
+        # Whole-statement expression call => candidate discarded status.
+        # The principal call is the one whose open paren is the statement's
+        # first '(' (so `vfs.read_file(p);` flags read_file, and nested
+        # `check(foo())` flags check, not foo).
+        principal_paren = None
+        if terminator == ";" and not text.startswith("(void"):
+            m = re.match(
+                r"^(?:::\s*)?[\w]+(?:\s*::\s*\w+)*"
+                r"(?:\s*(?:\.|->)\s*\w+)*\s*\(", text)
+            if m and self._balanced_to_end(text, m.end() - 1):
+                principal_paren = m.end() - 1
+        for m in CALL_RE.finditer(text):
+            name = re.sub(r"\s+", "", m.group("name"))
+            bare = name.rsplit("::", 1)[-1]
+            if bare in KEYWORDS or name in KEYWORDS:
+                continue
+            if re.match(r"^[A-Z0-9_]+$", bare) and not bare.startswith(
+                    "EPPI_"):
+                # Macro-ish all-caps call: keep EPPI_ macros, drop the rest.
+                continue
+            base = m.group("base").strip()
+            # Reconstruct the receiver text a bit more fully (walk back).
+            if base:
+                base = self._receiver_text(text, m.start())
+            args = self._arg_text(text, m.end() - 1)
+            line = self.stmt_line(m.start())
+            disc = (principal_paren is not None
+                    and m.end() - 1 == principal_paren)
+            func.calls.append(CallSite(
+                callee=name, base=base, args=args, line=line,
+                held=held, discarded=disc))
+
+    @staticmethod
+    def _balanced_to_end(text, open_paren):
+        depth = 0
+        for i in range(open_paren, len(text)):
+            c = text[i]
+            if c == "(":
+                depth += 1
+            elif c == ")":
+                depth -= 1
+                if depth == 0:
+                    return text[i + 1:].strip() == ""
+        return False
+
+    @staticmethod
+    def _arg_text(text, open_paren):
+        depth = 0
+        for i in range(open_paren, len(text)):
+            c = text[i]
+            if c == "(":
+                depth += 1
+            elif c == ")":
+                depth -= 1
+                if depth == 0:
+                    return text[open_paren + 1:i]
+        return text[open_paren + 1:]
+
+    @staticmethod
+    def _receiver_text(text, name_start):
+        i = name_start - 1
+        while i >= 0 and text[i].isspace():
+            i -= 1
+        end = i + 1
+        depth = 0
+        while i >= 0:
+            c = text[i]
+            if c in ")]":
+                depth += 1
+            elif c in "([":
+                if depth == 0:
+                    break
+                depth -= 1
+            elif depth == 0 and not (c.isalnum() or c in "_.:->"):
+                break
+            i -= 1
+        return text[i + 1:end].strip().rstrip(".->")
+
+    # -- scope transitions -------------------------------------------------
+
+    def classify_brace(self, lineno):
+        """Called at '{'. Decides what scope it opens, using the pending
+        statement as the header."""
+        head = self.stmt_text()
+
+        if self.pending_lambda is not None:
+            lam = self.pending_lambda
+            self.pending_lambda = None
+            self.open_lambda(lam, lineno)
+            return
+
+        m = re.match(r"^(?:inline\s+)?namespace\b\s*([\w:]*)", head)
+        if m and "(" not in head:
+            self.scopes.append(_Scope("ns", m.group(1)))
+            self.stmt = []
+            return
+        m = re.match(r"^(?:template\s*<[^;{]*>\s*)?"
+                     r"(?:class|struct|union)\s+(?:EPPI_\w+(?:\([^)]*\))?\s+)?"
+                     r"(\w+)", head)
+        if m and head.count("(") == head.count(")") and "=" not in head:
+            self.scopes.append(_Scope("class", m.group(1)))
+            self.stmt = []
+            return
+        if re.match(r"^(?:enum)\b", head):
+            self.scopes.append(_Scope("expr"))
+            self.stmt = []
+            return
+
+        func = self.cur_func()
+        if (head.count("(") == head.count(")") and head.count("(") >= 1
+                and func is None
+                and not head.startswith(("if", "for", "while", "switch",
+                                         "do", "else", "catch", "case"))):
+            fm = FUNC_HEAD_RE.match(head)
+            if fm:
+                self.open_func(fm, head, lineno)
+                return
+        if func is not None:
+            # Control-flow or plain block inside a body: the header may hold
+            # calls (`if (::bind(...) != 0) {`) — extract, then open a block.
+            self.flush_stmt("{")
+            self.scopes.append(_Scope("block"))
+            return
+        # Unrecognized brace at file scope (array init etc.).
+        self.scopes.append(_Scope("expr"))
+        self.stmt = []
+
+    def open_func(self, fm, head, lineno):
+        qual = re.sub(r"\s+", "", fm.group("qual") or "").rstrip(":")
+        name = re.sub(r"\s+", "", fm.group("name"))
+        cls = qual.rsplit("::", 1)[-1] if qual else self.cur_class()
+        qname = f"{cls}::{name}" if cls else name
+        annotations = {t for t in ANNOTATION_TOKENS if t in head}
+        params = []
+        for piece in self._split_args(fm.group("args") or ""):
+            pm = re.search(r"(\w+)\s*(?:=[^,]*)?$", piece.strip())
+            if pm and pm.group(1) not in ("const", "void"):
+                params.append(pm.group(1))
+        f = Func(qname=qname, cls=cls, name=name, path=self.path,
+                 line=self.stmt[0][0] if self.stmt else lineno,
+                 params=params, annotations=annotations,
+                 nodiscard="[[nodiscard]]" in head)
+        # Constructor init lists can call functions before the body opens.
+        trail = (fm.group("trail") or "").lstrip()
+        if trail.startswith(":") and not trail.startswith("::"):
+            self.stmt = [(f.line, trail[1:])]
+            saved_scopes = self.scopes
+            self.scopes = saved_scopes + [_Scope("func", name, f)]
+            self.flush_stmt("{")
+            self.scopes = saved_scopes
+        self.db.add_func(f)
+        self.scopes.append(_Scope("func", name, self.db.funcs[f.qname]))
+        self.stmt = []
+
+    def open_lambda(self, lam, lineno):
+        parent = self.cur_func()
+        self.lambda_counter += 1
+        ctx = lam["context"]
+        # A lambda handed to std::thread/jthread runs on its own thread; one
+        # handed to EventLoop::post/add_timer/add_fd runs ON the loop thread.
+        # Anything else (algorithms, callbacks stored for later) is treated
+        # as running in the enclosing context.
+        if re.search(r"\b(?:std\s*::\s*)?j?thread\b", lam["stmt"]):
+            kind = "thread-lambda"
+        elif ctx and ctx[0] in LOOP_POST_METHODS:
+            kind = "loop-lambda"
+        else:
+            kind = "inline-lambda"
+        pq = parent.qname if parent else f"<{self.path}>"
+        qname = f"{pq}::<lambda@{lineno}>"
+        f = Func(qname=qname, cls=parent.cls if parent else "",
+                 name=f"<lambda@{lineno}>", path=self.path, line=lineno,
+                 kind=kind, parent=pq)
+        self.db.add_func(f)
+        # The lambda body runs later: callers' locks are NOT held inside.
+        self.scopes.append(_Scope("lambda", f.name, f))
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self):
+        text = self.text
+        line = 1
+        i, n = 0, len(text)
+        chunk_start = i
+        chunk_line = line
+
+        def push_chunk(end):
+            nonlocal chunk_start, chunk_line
+            seg = text[chunk_start:end].strip()
+            if seg:
+                self.stmt.append((chunk_line, seg))
+            chunk_start = end
+            chunk_line = line
+
+        while i < n:
+            c = text[i]
+            if c == "\n":
+                push_chunk(i)
+                line += 1
+                i += 1
+                chunk_start = i
+                chunk_line = line
+                continue
+            if c == "(":
+                # Record the callee owning this paren for lambda context.
+                j = i - 1
+                while j >= chunk_start and text[j].isspace():
+                    j -= 1
+                seg = text[chunk_start:j + 1]
+                m = re.search(r"([\w:]+)$", seg)
+                callee = m.group(1).rsplit("::", 1)[-1] if m else ""
+                full = m.group(1) if m else ""
+                base = ""
+                if m:
+                    k = j - len(m.group(1))
+                    pre = text[max(chunk_start, k - 40):k + 1]
+                    bm = re.search(r"([\w\]\)]+)\s*(?:\.|->)\s*$", pre)
+                    base = bm.group(1) if bm else ""
+                    if "::" in full and not base:
+                        base = full.rsplit("::", 1)[0]
+                self.paren_callees.append((callee, base))
+                i += 1
+                continue
+            if c == ")":
+                if self.paren_callees:
+                    self.paren_callees.pop()
+                i += 1
+                continue
+            if c == "[":
+                prev = None
+                j = i - 1
+                while j >= 0:
+                    if not text[j].isspace():
+                        prev = text[j]
+                        break
+                    j -= 1
+                is_lambda = prev is None or not (
+                    prev.isalnum() or prev in "_])>")
+                if prev is not None and text[max(0, j - 5):j + 1].endswith(
+                        "return"):
+                    is_lambda = True
+                # Not lambdas: [[attributes]] and structured bindings
+                # (`auto& [k, v]`).
+                if prev == "[" or (i + 1 < n and text[i + 1] == "["):
+                    is_lambda = False
+                pre = text[max(0, j - 12):j + 1]
+                if re.search(r"\bauto\s*&{0,2}$", pre):
+                    is_lambda = False
+                if is_lambda and self.cur_func() is not None:
+                    ctx = None
+                    for callee, base in reversed(self.paren_callees):
+                        if callee:
+                            ctx = (callee, base)
+                            break
+                    stmt_so_far = (self.stmt_text() + " "
+                                   + text[chunk_start:i])
+                    self.pending_lambda = {"context": ctx,
+                                           "stmt": stmt_so_far}
+                i += 1
+                continue
+            if c == ";":
+                # A ';' inside parens (for-headers, default args) does not
+                # terminate the statement. Lambda bodies re-base the depth.
+                base = self.scopes[-1].pbase if self.scopes else 0
+                if len(self.paren_callees) > base:
+                    i += 1
+                    continue
+                push_chunk(i)
+                self.flush_stmt(";")
+                self.pending_lambda = None
+                i += 1
+                chunk_start = i
+                chunk_line = line
+                continue
+            if c == "{":
+                push_chunk(i)
+                self.classify_brace(line)
+                if self.scopes:
+                    self.scopes[-1].pbase = len(self.paren_callees)
+                i += 1
+                chunk_start = i
+                chunk_line = line
+                continue
+            if c == "}":
+                push_chunk(i)
+                self.flush_stmt("}")
+                if self.scopes:
+                    top = self.scopes.pop()
+                    if top.kind in ("func", "lambda"):
+                        self.active_locks = [
+                            l for l in self.active_locks
+                            if l["func"] != top.func.qname]
+                    elif top.kind == "block":
+                        d = self.func_depth()
+                        for l in self.active_locks:
+                            if l["depth"] > d:
+                                l["live"] = False
+                        self.active_locks = [
+                            l for l in self.active_locks if l["depth"] <= d]
+                i += 1
+                chunk_start = i
+                chunk_line = line
+                continue
+            i += 1
+        # [[nodiscard]] declarations anywhere in the file.
+        for m in NODISCARD_RE.finditer(self.text):
+            self.db.nodiscard.add(m.group(1))
+
+    @staticmethod
+    def _split_args(args: str):
+        out, depth, cur = [], 0, []
+        for ch in args:
+            if ch in "<([":
+                depth += 1
+            elif ch in ">)]":
+                depth -= 1
+            if ch == "," and depth == 0:
+                out.append("".join(cur))
+                cur = []
+            else:
+                cur.append(ch)
+        if cur:
+            out.append("".join(cur))
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Clang frontend (AST JSON). Produces the same function/call/annotation
+# facts from the real AST; lock-region and dataflow facts stay with the
+# syntax pass (they are positional). Any per-TU failure falls back silently
+# to the syntax facts for that TU.
+
+class ClangFrontend:
+    def __init__(self, root: str, compdb_path: str):
+        self.root = root
+        with open(compdb_path, encoding="utf-8") as f:
+            self.compdb = json.load(f)
+
+    def entries_for(self, rel_paths):
+        wanted = {os.path.normpath(os.path.join(self.root, p))
+                  for p in rel_paths if p.endswith((".cpp", ".cc"))}
+        for entry in self.compdb:
+            src = os.path.normpath(
+                os.path.join(entry.get("directory", self.root),
+                             entry["file"]))
+            if src in wanted:
+                yield src, entry
+
+    def dump_tu(self, src, entry):
+        if "arguments" in entry:
+            args = list(entry["arguments"])
+        else:
+            args = entry.get("command", "").split()
+        # Strip output/link phases; keep includes, defines, std flags.
+        keep, skip_next = [], False
+        for a in args[1:]:
+            if skip_next:
+                skip_next = False
+                continue
+            if a in ("-o", "-MF", "-MT", "-MQ", "--output"):
+                skip_next = True
+                continue
+            if a in ("-c", "-MD", "-MMD") or a.endswith((".o", ".cpp", ".cc")):
+                continue
+            keep.append(a)
+        cmd = ["clang++"] + keep + [
+            "-fsyntax-only", "-Xclang", "-ast-dump=json", src]
+        proc = subprocess.run(
+            cmd, cwd=entry.get("directory", self.root),
+            capture_output=True, text=True, timeout=300)
+        if proc.returncode != 0 and not proc.stdout:
+            raise RuntimeError(proc.stderr[:500])
+        return json.loads(proc.stdout)
+
+    def extract(self, db: FactDB, ast, src_abs):
+        rel = os.path.relpath(src_abs, self.root).replace(os.sep, "/")
+
+        def qname_of(stack, name):
+            parts = [s for s in stack if s]
+            return "::".join(parts + [name]) if parts else name
+
+        def walk(node, cls_stack, cur_func):
+            if not isinstance(node, dict):
+                return
+            kind = node.get("kind", "")
+            if kind in ("CXXRecordDecl", "ClassTemplateDecl"):
+                name = node.get("name", "")
+                for ch in node.get("inner", []) or []:
+                    walk(ch, cls_stack + [name] if name else cls_stack,
+                         cur_func)
+                return
+            if kind in ("FunctionDecl", "CXXMethodDecl", "CXXConstructorDecl",
+                        "CXXDestructorDecl"):
+                name = node.get("name", "")
+                cls = cls_stack[-1] if cls_stack else ""
+                qn = f"{cls}::{name}" if cls else name
+                # Merge-only: the AST also contains every function pulled in
+                # from system headers, and the JSON loc/file bookkeeping is
+                # too sparse to filter them reliably. The syntax pass already
+                # enumerated the repo's functions; clang confirms annotations
+                # and adds precise call edges for those, nothing else.
+                target = db.funcs.get(qn)
+                if target is None:
+                    return
+                for ch in node.get("inner", []) or []:
+                    if ch.get("kind") == "AnnotateAttr":
+                        # The annotation text is in the attr's inner string.
+                        txt = json.dumps(ch)
+                        if "loop_affine" in txt:
+                            target.annotations.add("EPPI_LOOP_AFFINE")
+                        if "loop_entry" in txt:
+                            target.annotations.add("EPPI_LOOP_ENTRY")
+                for ch in node.get("inner", []) or []:
+                    if (ch or {}).get("kind") == "CompoundStmt":
+                        walk(ch, cls_stack, target)
+                return
+            if kind in ("CallExpr", "CXXMemberCallExpr",
+                        "CXXOperatorCallExpr") and cur_func is not None:
+                callee = self._callee_name(node)
+                if callee:
+                    line = ((node.get("range", {}) or {}).get("begin", {})
+                            or {}).get("line", 0)
+                    cur_func.calls.append(CallSite(
+                        callee=callee, base="", args="", line=line or 0,
+                        held=(), discarded=False))
+            for ch in node.get("inner", []) or []:
+                walk(ch, cls_stack, cur_func)
+
+        walk(ast, [], None)
+
+    def _in_repo(self, path):
+        return not os.path.isabs(path) or \
+            os.path.normpath(path).startswith(os.path.normpath(self.root))
+
+    @staticmethod
+    def _callee_name(node):
+        def find_ref(n):
+            if not isinstance(n, dict):
+                return None
+            if n.get("kind") in ("DeclRefExpr", "MemberExpr"):
+                rd = n.get("referencedDecl") or {}
+                if rd.get("name"):
+                    return rd["name"]
+                if n.get("name"):
+                    return n["name"]
+            for ch in n.get("inner", []) or []:
+                r = find_ref(ch)
+                if r:
+                    return r
+            return None
+        inner = node.get("inner", []) or []
+        return find_ref(inner[0]) if inner else None
+
+
+# ---------------------------------------------------------------------------
+# Call graph
+
+STD_NAME_BLOCKLIST = {
+    # Names that resolve by accident to std/containers, never to repo code.
+    "push_back", "emplace_back", "insert", "erase", "find", "begin", "end",
+    "size", "empty", "clear", "count", "swap", "reserve", "resize", "data",
+    "c_str", "str", "substr", "append", "assign", "push", "pop", "top",
+    "front", "back", "get", "reset", "release", "move", "forward",
+    "make_unique", "make_shared", "to_string", "min", "max", "abs",
+}
+
+
+class CallGraph:
+    def __init__(self, db: FactDB):
+        self.db = db
+        self.edges: dict[str, list] = {}   # qname -> [(callee qname, CallSite)]
+
+    def build(self):
+        for qn, f in self.db.funcs.items():
+            out = []
+            for c in f.calls:
+                for target in self.resolve(f, c):
+                    out.append((target, c))
+            # Lambdas are children of their parent: parent -> lambda edge.
+            self.edges[qn] = out
+        for qn, f in self.db.funcs.items():
+            if f.parent and f.parent in self.db.funcs:
+                self.edges.setdefault(f.parent, []).append(
+                    (qn, CallSite(callee=f.name, base="", args="",
+                                  line=f.line, held=(), discarded=False)))
+
+    def resolve(self, caller: Func, c: CallSite):
+        name = c.callee
+        bare = name.rsplit("::", 1)[-1]
+        if name.startswith("::") or bare in STD_NAME_BLOCKLIST:
+            return []
+        # Explicitly qualified: exact match first.
+        if "::" in name and not name.startswith("::"):
+            if name in self.db.funcs:
+                return [name]
+        cands = self.db.by_name.get(bare, [])
+        if not cands:
+            return []
+        if not c.base or c.base == "this":
+            # Unqualified: prefer same class, else free function.
+            same = [q for q in cands
+                    if self.db.funcs[q].cls == caller.cls and caller.cls]
+            if same:
+                return same
+            free = [q for q in cands if not self.db.funcs[q].cls]
+            if free:
+                return free
+            return []
+        # obj.method / ptr->method: union over all classes defining `method`
+        # (sound for virtual dispatch; the style keeps names distinctive).
+        return [q for q in cands if self.db.funcs[q].cls]
+
+    def reachable_from(self, roots, skip_kinds=("thread-lambda",)):
+        """BFS; returns {qname: (pred, CallSite)} for path reconstruction."""
+        seen = {r: (None, None) for r in roots if r in self.db.funcs}
+        queue = list(seen)
+        while queue:
+            cur = queue.pop(0)
+            for target, site in self.edges.get(cur, []):
+                tf = self.db.funcs.get(target)
+                if tf is None or tf.kind in skip_kinds:
+                    continue
+                if target not in seen:
+                    seen[target] = (cur, site)
+                    queue.append(target)
+        return seen
+
+    @staticmethod
+    def path_to(seen, qn):
+        path = [qn]
+        cur = qn
+        while seen.get(cur, (None, None))[0] is not None:
+            cur = seen[cur][0]
+            path.append(cur)
+        return list(reversed(path))
+
+
+# ---------------------------------------------------------------------------
+# Checks
+
+BLOCKING_PATTERNS = [
+    (re.compile(r"\bsleep_for\s*\("), "sleep_for"),
+    (re.compile(r"\bsleep_until\s*\("), "sleep_until"),
+    (re.compile(r"\bwait\s*\("), "condition wait"),
+    (re.compile(r"\bwait_for\s*\("), "bounded condition wait"),
+    (re.compile(r"\bwait_until\s*\("), "bounded condition wait"),
+    (re.compile(r"\.\s*join\s*\("), "thread join"),
+    (re.compile(r"\bget_future\s*\("), "future get"),
+]
+RAW_RECV_SEND_RE = re.compile(r"::\s*(recv|send)\s*\(")
+
+BLOCKING_PROJECT_FUNCS = {
+    # Blocking by contract, whatever their body looks like.
+    "Mailbox::recv": "blocking mailbox receive",
+}
+
+MUST_CHECK_POSIX = {
+    "::recv", "::send", "::sendto", "::recvfrom", "::connect", "::bind",
+    "::listen", "::accept", "::accept4", "::epoll_ctl", "::read", "::write",
+    "::ftruncate", "::rename", "::fsync", "::fdatasync", "::unlink",
+}
+MUST_CHECK_METHODS = {"read_file", "exists", "list_dir", "try_recv",
+                      "try_lock"}
+
+SINK_METHODS = {"attr", "event", "record"}
+SINK_METHODS_GUARDED = {"add", "set"}   # only fire with a tainted argument
+SINK_STORAGE = {"write_file", "append_file", "atomic_write_file",
+                "durable_append"}
+SINK_MACROS = re.compile(r"\bEPPI_(LOG|DEBUG|INFO|WARN|ERROR)\s*\(")
+SINK_STREAMS = re.compile(r"\b(std\s*::\s*)?(cout|cerr|clog)\b[^;]*<<")
+UNWRAP_RE = re.compile(r"\.\s*(reveal|unwrap_for_wire)\s*\(")
+TAINT_DECL_RE = re.compile(
+    r"^(?:const\s+)?[\w:<>,\s&*]*?[\s&*]?\b(?:auto|[\w:]+)\s*[&]?\s+"
+    r"(\w+)\s*=\s*(.+)$")
+
+
+def _allowed(db: FactDB, path: str, line: int, rule: str) -> bool:
+    lines = db.raw_lines.get(path)
+    if not lines or not (1 <= line <= len(lines)):
+        return False
+    m = ALLOW_RE.search(lines[line - 1])
+    return bool(m) and m.group(1) == rule
+
+
+def check_loop_affinity(db: FactDB, cg: CallGraph, out: list):
+    affine = {qn for qn, f in db.funcs.items()
+              if "EPPI_LOOP_AFFINE" in f.annotations}
+    if not affine:
+        return
+    for qn, f in db.funcs.items():
+        in_loop_ctx = (
+            qn in affine or
+            "EPPI_LOOP_ENTRY" in f.annotations or
+            f.kind == "loop-lambda")
+        if in_loop_ctx:
+            continue
+        for target, site in cg.edges.get(qn, []):
+            if target in affine and db.funcs[target].kind == "func":
+                if _allowed(db, f.path, site.line, "loop-affinity"):
+                    continue
+                out.append(Finding(
+                    "loop-affinity", f.path, site.line, qn,
+                    f"{qn} calls loop-affine {target} from outside loop "
+                    f"context; reach it via EventLoop::post() or mark the "
+                    f"caller EPPI_LOOP_AFFINE if it is loop-thread-only"))
+
+
+def check_blocking_in_reactor(db: FactDB, cg: CallGraph, out: list):
+    roots = [qn for qn, f in db.funcs.items()
+             if "EPPI_LOOP_AFFINE" in f.annotations
+             or "EPPI_LOOP_ENTRY" in f.annotations
+             or f.kind == "loop-lambda"]
+    seen = cg.reachable_from(roots)
+    for qn in seen:
+        f = db.funcs[qn]
+        root_path = " -> ".join(CallGraph.path_to(seen, qn))
+        for line, text in f.statements:
+            hits = []
+            for pat, what in BLOCKING_PATTERNS:
+                if pat.search(text):
+                    hits.append(what)
+            for m in RAW_RECV_SEND_RE.finditer(text):
+                args = SyntaxFrontend._arg_text(text, text.index(
+                    "(", m.start()))
+                if "MSG_DONTWAIT" not in args:
+                    hits.append(f"::{m.group(1)} without MSG_DONTWAIT")
+            for what in hits:
+                if _allowed(db, f.path, line, "blocking-in-reactor"):
+                    continue
+                out.append(Finding(
+                    "blocking-in-reactor", f.path, line, qn,
+                    f"{what} in {qn}, reachable from the reactor via "
+                    f"[{root_path}]; the loop thread must never block"))
+        for target, site in cg.edges.get(qn, []):
+            contract = BLOCKING_PROJECT_FUNCS.get(target)
+            if contract and not _allowed(db, f.path, site.line,
+                                         "blocking-in-reactor"):
+                out.append(Finding(
+                    "blocking-in-reactor", f.path, site.line, qn,
+                    f"{contract} ({target}) called from {qn}, reachable "
+                    f"from the reactor via [{root_path}]"))
+
+
+def check_lock_order(db: FactDB, cg: CallGraph, out: list):
+    # may_acquire*: fixpoint over the call graph. Lambdas that run on other
+    # threads (loop/thread) are excluded from a caller's held-context.
+    direct = {qn: {a.mutex for a in f.acquisitions}
+              for qn, f in db.funcs.items()}
+    trans = {qn: set(s) for qn, s in direct.items()}
+    changed = True
+    while changed:
+        changed = False
+        for qn in trans:
+            for target, _site in cg.edges.get(qn, []):
+                tf = db.funcs.get(target)
+                if tf is None or tf.kind in ("loop-lambda", "thread-lambda"):
+                    continue
+                before = len(trans[qn])
+                trans[qn] |= trans.get(target, set())
+                if len(trans[qn]) != before:
+                    changed = True
+
+    edges = {}  # (A, B) -> (path, line, via)
+
+    def add_edge(a, b, path, line, via):
+        if a == b:
+            return
+        edges.setdefault((a, b), (path, line, via))
+
+    for qn, f in db.funcs.items():
+        for acq in f.acquisitions:
+            for held in acq.held:
+                add_edge(held, acq.mutex, f.path, acq.line, qn)
+        for target, site in cg.edges.get(qn, []):
+            if not site.held:
+                continue
+            tf = db.funcs.get(target)
+            if tf is None or tf.kind in ("loop-lambda", "thread-lambda"):
+                continue
+            for b in trans.get(target, set()):
+                for a in site.held:
+                    add_edge(a, b, f.path, site.line,
+                             f"{qn} -> {target}")
+
+    # Cycle detection over the acquisition graph.
+    graph = {}
+    for (a, b) in edges:
+        graph.setdefault(a, set()).add(b)
+    color, stack, cycles = {}, [], []
+
+    def dfs(v):
+        color[v] = 1
+        stack.append(v)
+        for w in sorted(graph.get(v, ())):
+            if color.get(w, 0) == 0:
+                dfs(w)
+            elif color.get(w) == 1:
+                cyc = stack[stack.index(w):] + [w]
+                cycles.append(tuple(cyc))
+        stack.pop()
+        color[v] = 2
+
+    for v in sorted(graph):
+        if color.get(v, 0) == 0:
+            dfs(v)
+
+    reported = set()
+    for cyc in cycles:
+        key = frozenset(cyc)
+        if key in reported:
+            continue
+        reported.add(key)
+        a, b = cyc[0], cyc[1]
+        path, line, via = edges[(a, b)]
+        if _allowed(db, path, line, "lock-order"):
+            continue
+        out.append(Finding(
+            "lock-order", path, line, via,
+            "lock-order cycle (potential deadlock): "
+            + " -> ".join(cyc)
+            + f"; edge {a} -> {b} acquired via {via}"))
+
+
+def check_secret_flow(db: FactDB, cg: CallGraph, out: list):
+    # Pass 1: function summaries.
+    returns_taint = set()
+    sink_params = {}  # qname -> set(param indices that reach a sink)
+
+    def sink_hits(f: Func, tainted: set):
+        """Yields (line, sink-desc, matched-var-or-None)."""
+        for line, text in f.statements:
+            is_macro = bool(SINK_MACROS.search(text)
+                            or SINK_STREAMS.search(text))
+            for c in f.calls:
+                if c.line != line:
+                    continue
+                bare = c.callee.rsplit("::", 1)[-1]
+                sink = None
+                if bare in SINK_METHODS or bare in SINK_STORAGE:
+                    sink = bare
+                elif bare in SINK_METHODS_GUARDED:
+                    sink = bare
+                if sink is None:
+                    continue
+                guarded = bare in SINK_METHODS_GUARDED
+                if UNWRAP_RE.search(c.args):
+                    yield c.line, f"{sink}()", None
+                    continue
+                for var in tainted:
+                    if re.search(rf"\b{re.escape(var)}\b", c.args):
+                        yield c.line, f"{sink}()", var
+                        break
+                else:
+                    if not guarded:
+                        continue
+            if is_macro:
+                if UNWRAP_RE.search(text):
+                    yield line, "log statement", None
+                else:
+                    for var in tainted:
+                        if re.search(rf"\b{re.escape(var)}\b", text):
+                            yield line, "log statement", var
+                            break
+
+    def tainted_locals(f: Func, extra_sources=()):
+        tainted = set()
+        for line, text in f.statements:
+            m = TAINT_DECL_RE.match(text)
+            if not m:
+                continue
+            var, rhs = m.group(1), m.group(2)
+            if UNWRAP_RE.search(rhs):
+                tainted.add(var)
+                continue
+            for src in extra_sources:
+                if re.search(rf"\b{re.escape(src)}\s*\(", rhs):
+                    tainted.add(var)
+                    break
+            for t in list(tainted):
+                if t != var and re.search(rf"\b{re.escape(t)}\b", rhs):
+                    tainted.add(var)
+                    break
+        return tainted
+
+    for qn, f in db.funcs.items():
+        tainted = tainted_locals(f)
+        for line, expr in f.returns:
+            if UNWRAP_RE.search(expr) or any(
+                    re.search(rf"\b{re.escape(t)}\b", expr)
+                    for t in tainted):
+                returns_taint.add(f.name)
+        for idx, p in enumerate(f.params):
+            for _line, _desc, var in sink_hits(f, {p}):
+                if var == p:
+                    sink_params.setdefault(qn, set()).add(idx)
+
+    # Pass 2: findings, with one interprocedural hop.
+    taint_fn_names = {n for n in returns_taint} | {"reveal",
+                                                   "unwrap_for_wire"}
+    for qn, f in db.funcs.items():
+        tainted = tainted_locals(f, extra_sources=returns_taint)
+        for line, desc, var in sink_hits(f, tainted):
+            if _allowed(db, f.path, line, "secret-flow"):
+                continue
+            what = (f"tainted value '{var}'" if var
+                    else "reveal()/unwrap_for_wire() result")
+            out.append(Finding(
+                "secret-flow", f.path, line, qn,
+                f"{what} flows into {desc} in {qn}; telemetry, logs and "
+                f"storage are exported surfaces — only named, audited "
+                f"public openings may be recorded"))
+        # Tainted argument handed to a function whose parameter reaches a
+        # sink (the one-hop case the same-line rules cannot see).
+        for c in f.calls:
+            for target, _ in [(t, s) for (t, s) in cg.edges.get(qn, [])
+                              if s is c]:
+                idxs = sink_params.get(target)
+                if not idxs:
+                    continue
+                args = SyntaxFrontend._split_args(c.args)
+                for idx in idxs:
+                    if idx >= len(args):
+                        continue
+                    arg = args[idx]
+                    hit = (UNWRAP_RE.search(arg) or any(
+                        re.search(rf"\b{re.escape(t)}\b", arg)
+                        for t in tainted))
+                    if hit and not _allowed(db, f.path, c.line,
+                                            "secret-flow"):
+                        out.append(Finding(
+                            "secret-flow", f.path, c.line, qn,
+                            f"tainted value passed from {qn} to {target}, "
+                            f"whose parameter "
+                            f"'{db.funcs[target].params[idx] if idx < len(db.funcs[target].params) else idx}'"
+                            f" reaches a telemetry/log/storage sink"))
+    _ = taint_fn_names  # summaries already folded into tainted_locals
+
+
+def check_unchecked_status(db: FactDB, cg: CallGraph, out: list):
+    for qn, f in db.funcs.items():
+        for c in f.calls:
+            if not c.discarded:
+                continue
+            bare = c.callee.rsplit("::", 1)[-1]
+            flagged = None
+            if c.callee.startswith("::") and c.callee in MUST_CHECK_POSIX:
+                flagged = f"POSIX op {c.callee}"
+            elif bare in MUST_CHECK_METHODS:
+                flagged = f"status-returning call {bare}()"
+            elif bare in db.nodiscard:
+                flagged = f"[[nodiscard]] function {bare}()"
+            if flagged is None:
+                continue
+            if _allowed(db, f.path, c.line, "unchecked-status"):
+                continue
+            out.append(Finding(
+                "unchecked-status", f.path, c.line, qn,
+                f"discarded error return from {flagged} in {qn}; check "
+                f"it, log the failure, or cast to (void) with a comment"))
+
+
+CHECKS = (check_loop_affinity, check_blocking_in_reactor, check_lock_order,
+          check_secret_flow, check_unchecked_status)
+
+
+# ---------------------------------------------------------------------------
+# Driver
+
+DEFAULT_SCAN_DIRS = ("src",)
+
+
+def collect_files(root: str, explicit):
+    if explicit:
+        for p in explicit:
+            # A relative path is root-relative first (the ctest probe entries
+            # run from the build tree), cwd-relative as a fallback.
+            if not os.path.isabs(p) and os.path.exists(os.path.join(root, p)):
+                full = os.path.join(root, p)
+            else:
+                full = os.path.abspath(p)
+            if not os.path.exists(full):
+                print(f"eppi-analyze: no such file: {p}", file=sys.stderr)
+                sys.exit(2)
+            yield os.path.relpath(full, root).replace(os.sep, "/")
+        return
+    for base in DEFAULT_SCAN_DIRS:
+        top = os.path.join(root, base)
+        for dirpath, dirnames, filenames in os.walk(top):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_EXTENSIONS):
+                    yield os.path.relpath(
+                        os.path.join(dirpath, name), root).replace(
+                            os.sep, "/")
+
+
+def build_factdb(root: str, rel_paths, frontend: str, compdb: str | None,
+                 verbose=False) -> FactDB:
+    db = FactDB()
+    rel_paths = list(rel_paths)
+    for rel in rel_paths:
+        full = os.path.join(root, rel)
+        try:
+            with open(full, encoding="utf-8", errors="replace") as f:
+                raw = f.read()
+        except OSError:
+            continue
+        db.raw_lines[rel] = raw.splitlines()
+        try:
+            SyntaxFrontend(db, rel, raw).run()
+        except Exception as e:  # a parse wobble must not kill the gate
+            print(f"eppi-analyze: syntax frontend skipped {rel}: {e}",
+                  file=sys.stderr)
+
+    if frontend == "clang" and compdb and os.path.exists(compdb) \
+            and shutil.which("clang++"):
+        try:
+            cf = ClangFrontend(root, compdb)
+            for src, entry in cf.entries_for(rel_paths):
+                try:
+                    ast = cf.dump_tu(src, entry)
+                    cf.extract(db, ast, src)
+                    if verbose:
+                        print(f"eppi-analyze: clang facts merged for "
+                              f"{os.path.relpath(src, root)}")
+                except Exception as e:
+                    if verbose:
+                        print(f"eppi-analyze: clang frontend fell back to "
+                              f"syntax for {src}: {e}", file=sys.stderr)
+        except Exception as e:
+            print(f"eppi-analyze: clang frontend unavailable ({e}); "
+                  f"using syntax facts", file=sys.stderr)
+
+    # Fold declaration-site annotations (headers) into the definitions; if
+    # no definition was scanned (header-only run), keep a stub so the
+    # annotation still roots the reachability checks.
+    for qn, entries in db.decl_annotations.items():
+        for path, line, toks in entries:
+            if qn in db.funcs:
+                db.funcs[qn].annotations |= toks
+            else:
+                cls, _, name = qn.rpartition("::")
+                db.add_func(Func(qname=qn, cls=cls, name=name or qn,
+                                 path=path, line=line, annotations=toks))
+    return db
+
+
+def run_checks(db: FactDB) -> list:
+    cg = CallGraph(db)
+    cg.build()
+    findings: list = []
+    for check in CHECKS:
+        check(db, cg, findings)
+    # Deduplicate (merged decl/def facts can double-report a site).
+    seen, unique = set(), []
+    for f in findings:
+        key = (f.rule, f.path, f.line, f.message)
+        if key not in seen:
+            seen.add(key)
+            unique.append(f)
+    unique.sort(key=lambda f: (f.path, f.line, f.rule))
+    return unique
+
+
+# ---------------------------------------------------------------------------
+# Baseline
+
+def load_baseline(path: str):
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, ValueError):
+        return []
+    return data.get("findings", [])
+
+
+def apply_baseline(findings, baseline_entries):
+    """Splits findings into (new, baselined)."""
+    index = {}
+    for e in baseline_entries:
+        index.setdefault((e.get("rule"), e.get("path"),
+                          e.get("symbol")), e)
+    fresh, matched = [], []
+    for f in findings:
+        if (f.rule, f.path, f.symbol) in index:
+            matched.append(f)
+        else:
+            fresh.append(f)
+    return fresh, matched
+
+
+def write_baseline(path: str, findings):
+    data = {
+        "comment": "Accepted eppi_analyze findings. Every entry needs a "
+                   "reason; prefer fixing over baselining. Regenerate with "
+                   "tools/eppi_analyze.py --write-baseline (then fill in "
+                   "reasons).",
+        "findings": [
+            {"rule": f.rule, "path": f.path, "symbol": f.symbol,
+             "fingerprint": f.fingerprint(),
+             "reason": "TODO: justify or fix"}
+            for f in findings
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as out:
+        json.dump(data, out, indent=2)
+        out.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# SARIF
+
+def to_sarif(findings, tool_name="eppi-analyze"):
+    return {
+        "$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                   "master/Schemata/sarif-schema-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": tool_name,
+                "informationUri":
+                    "https://example.invalid/eppi/docs/static_analysis.md",
+                "rules": [
+                    {"id": r, "shortDescription":
+                        {"text": RULE_DESCRIPTIONS.get(r, r)}}
+                    for r in RULES
+                ],
+            }},
+            "results": [
+                {
+                    "ruleId": f.rule,
+                    "level": "error",
+                    "message": {"text": f.message},
+                    "partialFingerprints": {
+                        "eppiAnalyze/v1": f.fingerprint()},
+                    "locations": [{
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": f.path,
+                                "uriBaseId": "SRCROOT"},
+                            "region": {"startLine": max(1, f.line)},
+                        }
+                    }],
+                }
+                for f in findings
+            ],
+        }],
+    }
+
+
+# ---------------------------------------------------------------------------
+# Self-test: the fixture corpus under tests/analyze/ seeds at least one
+# violation and one clean twin per rule; `// eppi-analyze-expect: <rule>`
+# marks each seeded line. The self-test demands EXACT agreement: every
+# expected (file, line, rule) found, and zero unexpected findings.
+
+FIXTURE_DIR = "tests/analyze"
+
+
+def self_test(root: str) -> int:
+    fixture_root = os.path.join(root, FIXTURE_DIR)
+    rel_paths = []
+    for dirpath, dirnames, filenames in os.walk(fixture_root):
+        dirnames.sort()
+        for name in sorted(filenames):
+            if name.endswith(SOURCE_EXTENSIONS):
+                rel_paths.append(os.path.relpath(
+                    os.path.join(dirpath, name), root).replace(os.sep, "/"))
+    if not rel_paths:
+        print(f"self-test: no fixtures under {FIXTURE_DIR}", file=sys.stderr)
+        return 1
+
+    db = build_factdb(root, rel_paths, frontend="syntax", compdb=None)
+    findings = run_checks(db)
+
+    expected = set()
+    for rel in rel_paths:
+        for lineno, raw in enumerate(db.raw_lines.get(rel, []), start=1):
+            for m in EXPECT_RE.finditer(raw):
+                expected.add((rel, lineno, m.group(1)))
+
+    found = {(f.path, f.line, f.rule) for f in findings}
+    missing = expected - found
+    unexpected = found - expected
+    failures = 0
+    for rel, line, rule in sorted(missing):
+        failures += 1
+        print(f"self-test FAIL: expected [{rule}] at {rel}:{line}, "
+              f"not reported", file=sys.stderr)
+    for rel, line, rule in sorted(unexpected):
+        failures += 1
+        print(f"self-test FAIL: unexpected [{rule}] at {rel}:{line}",
+              file=sys.stderr)
+    per_rule = {}
+    for _, _, rule in expected:
+        per_rule[rule] = per_rule.get(rule, 0) + 1
+    for rule in RULES:
+        if per_rule.get(rule, 0) == 0:
+            failures += 1
+            print(f"self-test FAIL: no fixture seeds rule {rule}",
+                  file=sys.stderr)
+    if failures:
+        print(f"self-test: {failures} failure(s)", file=sys.stderr)
+        return 1
+    print(f"self-test: all {len(expected)} seeded findings detected "
+          f"across {len(rel_paths)} fixtures, zero false positives")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None)
+    parser.add_argument("--frontend", choices=("auto", "clang", "syntax"),
+                        default="auto")
+    parser.add_argument("--compdb", default=None,
+                        help="compile_commands.json (default: "
+                             "<root>/build/compile_commands.json)")
+    parser.add_argument("--baseline", default=None,
+                        help="accepted-findings file (default: "
+                             "<root>/tools/analyze_baseline.json)")
+    parser.add_argument("--write-baseline", action="store_true")
+    parser.add_argument("--sarif", default=None,
+                        help="also write SARIF 2.1.0 to this file")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("--self-test", action="store_true")
+    parser.add_argument("--verbose", action="store_true")
+    parser.add_argument("paths", nargs="*")
+    args = parser.parse_args(argv)
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule}: {RULE_DESCRIPTIONS[rule]}")
+        return 0
+    if args.self_test:
+        return self_test(root)
+
+    compdb = args.compdb or os.path.join(root, "build",
+                                         "compile_commands.json")
+    frontend = args.frontend
+    if frontend == "auto":
+        frontend = ("clang" if shutil.which("clang++")
+                    and os.path.exists(compdb) else "syntax")
+    if args.verbose:
+        print(f"eppi-analyze: frontend={frontend}")
+
+    rel_paths = list(collect_files(root, args.paths or None))
+    db = build_factdb(root, rel_paths, frontend, compdb,
+                      verbose=args.verbose)
+    findings = run_checks(db)
+
+    if args.write_baseline:
+        path = args.baseline or os.path.join(root, "tools",
+                                             "analyze_baseline.json")
+        write_baseline(path, findings)
+        print(f"eppi-analyze: wrote {len(findings)} finding(s) to {path}")
+        return 0
+
+    baseline_path = args.baseline or os.path.join(
+        root, "tools", "analyze_baseline.json")
+    baselined = []
+    if os.path.exists(baseline_path):
+        findings, baselined = apply_baseline(
+            findings, load_baseline(baseline_path))
+
+    if args.sarif:
+        with open(args.sarif, "w", encoding="utf-8") as out:
+            json.dump(to_sarif(findings), out, indent=2)
+            out.write("\n")
+
+    for f in findings:
+        print(f.format())
+    if baselined:
+        print(f"eppi-analyze: {len(baselined)} baselined finding(s) "
+              f"suppressed (see {os.path.relpath(baseline_path, root)})")
+    if findings:
+        print(f"eppi-analyze: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print(f"eppi-analyze: clean ({len(db.funcs)} functions, "
+          f"{sum(len(f.calls) for f in db.funcs.values())} call sites)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,7 +6,13 @@ clang-tidy required. Registered as `ctest -L lint` and wired into
 `scripts/check.sh --lint` and CI. Exit status: 0 clean, 1 violations,
 2 usage error.
 
-Rules (suppress a single line with `// eppi-lint: allow(<rule>)`):
+Rules — suppress a single line with
+
+    // eppi-lint: allow(<rule>): <reason>
+
+The reason is mandatory: a bare `allow(<rule>)` no longer suppresses
+anything and is itself flagged (`allow-without-reason`), so every
+suppression in the tree documents why it is safe:
 
   rng-construction   std::mt19937 / std::random_device / rand() / srand()
                      constructed outside src/common/rng.h. All randomness
@@ -50,14 +56,25 @@ Rules (suppress a single line with `// eppi-lint: allow(<rule>)`):
   build-artifact     build directories, object files, or binaries committed
                      to the repository.
 
+  allow-without-reason  an `// eppi-lint: allow(<rule>)` suppression with no
+                     `: <reason>` tail. Reasonless suppressions rot: the next
+                     reader cannot tell a reviewed exemption from a silenced
+                     true positive.
+
 Usage:
-  tools/eppi_lint.py [--root DIR] [--list-rules] [paths...]
+  tools/eppi_lint.py [--root DIR] [--list-rules] [--sarif FILE] [paths...]
   tools/eppi_lint.py --self-test
+
+`--sarif FILE` additionally writes the violations as SARIF 2.1.0 (the same
+shape tools/eppi_analyze.py emits); scripts/merge_sarif.py folds both tools'
+output into the single file CI uploads for code scanning.
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
+import json
 import os
 import re
 import subprocess
@@ -69,7 +86,9 @@ from dataclasses import dataclass
 
 SOURCE_EXTENSIONS = (".cpp", ".h", ".hpp", ".cc")
 
-ALLOW_RE = re.compile(r"//\s*eppi-lint:\s*allow\(([a-z-]+)\)")
+# A suppression must carry a reason; see allow-without-reason below.
+ALLOW_RE = re.compile(r"//\s*eppi-lint:\s*allow\(([a-z-]+)\)\s*:\s*\S")
+BARE_ALLOW_RE = re.compile(r"//\s*eppi-lint:\s*allow\(([a-z-]+)\)(?!\s*:\s*\S)")
 
 # Paths (relative, '/'-separated) scanned for source rules.
 SOURCE_DIRS = ("src", "tests", "bench", "examples", "tools")
@@ -302,6 +321,20 @@ def check_secret_trace_attr(path: str, text: str, out: list):
 
 
 # --------------------------------------------------------------------------
+# Rule: allow-without-reason
+
+def check_allow_reason(path: str, text: str, out: list):
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        m = BARE_ALLOW_RE.search(raw)
+        if m:
+            out.append(Violation(
+                "allow-without-reason", path, lineno,
+                f"allow({m.group(1)}) without a reason; write "
+                f"`// eppi-lint: allow({m.group(1)}): <why this is safe>` "
+                f"(a bare allow suppresses nothing)"))
+
+
+# --------------------------------------------------------------------------
 # Rule: build-artifact (repo hygiene; checks the git index, not file text)
 
 ARTIFACT_RE = re.compile(
@@ -329,11 +362,11 @@ def check_build_artifacts(root: str, out: list):
 
 SOURCE_CHECKS = (check_rng, check_secret_logging, check_unbounded_recv,
                  check_escape_hatch, check_raw_file_write,
-                 check_secret_trace_attr)
+                 check_secret_trace_attr, check_allow_reason)
 
 RULES = ("rng-construction", "secret-logging", "unbounded-recv",
          "escape-hatch", "raw-file-write", "secret-trace-attr",
-         "build-artifact")
+         "build-artifact", "allow-without-reason")
 
 
 def collect_files(root: str, explicit):
@@ -350,6 +383,41 @@ def collect_files(root: str, explicit):
                 if name.endswith(SOURCE_EXTENSIONS):
                     full = os.path.join(dirpath, name)
                     yield os.path.relpath(full, root).replace(os.sep, "/")
+
+
+def to_sarif(violations):
+    """SARIF 2.1.0, same shape as tools/eppi_analyze.py emits so
+    scripts/merge_sarif.py can fold both into one code-scanning upload."""
+    def fingerprint(v):
+        return hashlib.sha256(
+            f"{v.rule}|{v.path}|{v.message}".encode()).hexdigest()[:16]
+    return {
+        "$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                   "master/Schemata/sarif-schema-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "eppi-lint",
+                "rules": [{"id": r} for r in RULES],
+            }},
+            "results": [
+                {
+                    "ruleId": v.rule,
+                    "level": "error",
+                    "message": {"text": v.message},
+                    "partialFingerprints": {"eppiLint/v1": fingerprint(v)},
+                    "locations": [{
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": v.path, "uriBaseId": "SRCROOT"},
+                            "region": {"startLine": max(1, v.line)},
+                        }
+                    }],
+                }
+                for v in violations
+            ],
+        }],
+    }
 
 
 def run_lint(root: str, explicit=None) -> list:
@@ -380,7 +448,17 @@ SELF_TEST_CASES = [
     ("rng-construction", "src/core/x.cpp",
      "eppi::Rng rng(42);\n", False),
     ("rng-construction", "src/core/x.cpp",
-     "std::mt19937 gen(42);  // eppi-lint: allow(rng-construction)\n", False),
+     "std::mt19937 gen(42);  "
+     "// eppi-lint: allow(rng-construction): seeding test vector\n", False),
+    # A reasonless allow no longer suppresses the underlying rule...
+    ("rng-construction", "src/core/x.cpp",
+     "std::mt19937 gen(42);  // eppi-lint: allow(rng-construction)\n", True),
+    # ...and is flagged in its own right.
+    ("allow-without-reason", "src/core/x.cpp",
+     "std::mt19937 gen(42);  // eppi-lint: allow(rng-construction)\n", True),
+    ("allow-without-reason", "src/core/x.cpp",
+     "std::mt19937 gen(42);  "
+     "// eppi-lint: allow(rng-construction): seeding test vector\n", False),
     ("rng-construction", "src/common/rng.h",
      "std::mt19937_64 engine_;\n", False),
     ("secret-logging", "src/core/x.cpp",
@@ -413,7 +491,9 @@ SELF_TEST_CASES = [
     ("raw-file-write", "tests/core/x.cpp",  # tests may write scratch files
      "std::ofstream out(path);\n", False),
     ("raw-file-write", "src/core/x.cpp",
-     "std::ofstream out(p);  // eppi-lint: allow(raw-file-write)\n", False),
+     "std::ofstream out(p);  "
+     "// eppi-lint: allow(raw-file-write): scratch dump, not durable state\n",
+     False),
     ("raw-file-write", "src/core/x.cpp",
      "std::ifstream in(path, std::ios::binary);\n", False),
     ("secret-trace-attr", "src/core/x.cpp",
@@ -432,7 +512,8 @@ SELF_TEST_CASES = [
      'span.attr("v", s.reveal());\n', False),
     ("secret-trace-attr", "src/core/x.cpp",
      'span.attr("n", t.reveal());  '
-     "// eppi-lint: allow(secret-trace-attr)\n", False),
+     "// eppi-lint: allow(secret-trace-attr): value is a public count\n",
+     False),
 ]
 
 
@@ -461,6 +542,8 @@ def main(argv=None) -> int:
                         help="repository root (default: parent of tools/)")
     parser.add_argument("--list-rules", action="store_true")
     parser.add_argument("--self-test", action="store_true")
+    parser.add_argument("--sarif", default=None,
+                        help="also write SARIF 2.1.0 to this file")
     parser.add_argument("paths", nargs="*",
                         help="restrict the scan to these files")
     args = parser.parse_args(argv)
@@ -475,6 +558,10 @@ def main(argv=None) -> int:
     root = args.root or os.path.dirname(
         os.path.dirname(os.path.abspath(__file__)))
     violations = run_lint(root, args.paths or None)
+    if args.sarif:
+        with open(args.sarif, "w", encoding="utf-8") as out:
+            json.dump(to_sarif(violations), out, indent=2)
+            out.write("\n")
     for v in violations:
         print(v.format())
     if violations:
