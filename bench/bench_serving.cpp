@@ -13,7 +13,12 @@
 //     until they have overlapped with at least `min_swaps` epoch swaps, so
 //     the numbers certify reader/writer contention, not an idle index.
 //     Both the single-query and the batched (query_ppi_many) paths are
-//     measured.
+//     measured;
+//  3. delta vs full rebuild — twin services absorb the same small stream of
+//     owner updates (<10% of identities dirty per round); one is pinned to
+//     full rebuilds, the other routes through the incremental delta path
+//     (dirty-column recompute + snapshot splice). The reported speedup is
+//     the reason delta epochs exist.
 //
 // Usage: bench_serving [--smoke] [--json <path>]
 //   --smoke   small sizes + fewer swaps (CI gate)
@@ -21,10 +26,13 @@
 #include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench_util.h"
@@ -131,6 +139,11 @@ ThreadedResult run_threaded(const ServeConfig& cfg, std::size_t threads,
   options.distributed = false;
   options.policy = eppi::core::BetaPolicy::chernoff(0.9);
   options.seed = seed;
+  // Pin the writer to FULL rebuilds: this part measures reader/writer
+  // contention across whole-epoch swaps, and a delta rebuild of the one
+  // toggled owner is so fast the writer would hit min_swaps before the
+  // readers issue a single query. Part 3 measures the delta path itself.
+  options.enable_delta = false;
   eppi::core::LocatorService service(options);  // fresh metrics per run
   populate_service(service, cfg, seed);
   service.construct_ppi();
@@ -190,11 +203,82 @@ ThreadedResult run_threaded(const ServeConfig& cfg, std::size_t threads,
   return result;
 }
 
+// --- delta vs full rebuild -------------------------------------------------
+
+struct RebuildResult {
+  std::size_t providers = 0;
+  std::size_t owners = 0;
+  std::size_t dirty = 0;       // owners touched per round
+  double full_us = 0.0;        // mean construct_ppi, full path
+  double delta_us = 0.0;       // mean construct_ppi, delta path
+  double speedup = 0.0;
+};
+
+RebuildResult run_rebuild(std::size_t providers, std::size_t owners,
+                          std::size_t dirty, std::size_t rounds,
+                          std::uint64_t seed) {
+  const auto make = [&](bool enable_delta) {
+    eppi::core::LocatorService::Options options;
+    options.distributed = false;
+    options.policy = eppi::core::BetaPolicy::chernoff(0.9);
+    options.seed = seed;
+    options.enable_delta = enable_delta;
+    auto service = std::make_unique<eppi::core::LocatorService>(options);
+    ServeConfig cfg;
+    cfg.providers = providers;
+    cfg.owners = owners;
+    populate_service(*service, cfg, seed);
+    // Make sure the provider receiving the per-round updates exists from
+    // epoch 1 on — registering it later would be membership churn, which
+    // forces the delta protocol even on the full-rebuild twin.
+    service->delegate(owner_name(0), 0.5, "p0");
+    service->construct_ppi();  // epoch 1: both twins pay the full build
+    return service;
+  };
+  auto full = make(false);
+  auto delta = make(true);
+
+  RebuildResult r;
+  r.providers = providers;
+  r.owners = owners;
+  r.dirty = dirty;
+  double full_total = 0.0;
+  double delta_total = 0.0;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    // Same sliding window of owner updates fed to both twins.
+    const double eps = (round % 2 == 0) ? 0.9 : 0.1;
+    for (std::size_t k = 0; k < dirty; ++k) {
+      const std::string owner = owner_name((round * dirty + k) % owners);
+      full->delegate(owner, eps, "p0");
+      delta->delegate(owner, eps, "p0");
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    full->construct_ppi();
+    const auto t1 = std::chrono::steady_clock::now();
+    delta->construct_ppi();
+    const auto t2 = std::chrono::steady_clock::now();
+    full_total += std::chrono::duration<double, std::micro>(t1 - t0).count();
+    delta_total += std::chrono::duration<double, std::micro>(t2 - t1).count();
+    if (!delta->last_rebuild().delta || full->last_rebuild().delta) {
+      std::cerr << "rebuild bench: unexpected rebuild routing (delta twin="
+                << delta->last_rebuild().delta
+                << " full twin=" << full->last_rebuild().delta
+                << " dirty=" << delta->last_rebuild().dirty << ")\n";
+      std::exit(1);
+    }
+  }
+  r.full_us = full_total / static_cast<double>(rounds);
+  r.delta_us = delta_total / static_cast<double>(rounds);
+  r.speedup = r.delta_us > 0.0 ? r.full_us / r.delta_us : 0.0;
+  return r;
+}
+
 void write_json(const std::string& path, const ServeConfig& cfg,
                 const std::vector<Timing>& single,
                 const std::vector<std::size_t>& single_m,
                 const std::vector<double>& single_eps,
-                const std::vector<ThreadedResult>& threaded) {
+                const std::vector<ThreadedResult>& threaded,
+                const std::vector<RebuildResult>& rebuilds) {
   std::ofstream out(path);
   if (!out) {
     std::cerr << "cannot write " << path << '\n';
@@ -224,6 +308,15 @@ void write_json(const std::string& path, const ServeConfig& cfg,
         << ", \"p99_us\": " << t.p99_us << ", \"epoch_swaps\": " << t.swaps
         << ", \"owners_resolved\": " << t.owners_resolved << "}"
         << (k + 1 < threaded.size() ? "," : "") << '\n';
+  }
+  out << "  ],\n  \"rebuild\": [\n";
+  for (std::size_t k = 0; k < rebuilds.size(); ++k) {
+    const auto& r = rebuilds[k];
+    out << "    {\"providers\": " << r.providers << ", \"owners\": "
+        << r.owners << ", \"dirty\": " << r.dirty
+        << ", \"full_us\": " << r.full_us << ", \"delta_us\": " << r.delta_us
+        << ", \"speedup\": " << r.speedup << "}"
+        << (k + 1 < rebuilds.size() ? "," : "") << '\n';
   }
   // Full metrics-registry snapshot: every ServingMetrics instance this
   // process created (one per run_threaded call, distinct `instance` labels),
@@ -304,6 +397,29 @@ int main(int argc, char** argv) {
     }
   }
   serving.print("Concurrent serving: readers vs continuous rebuild/swap");
+
+  // Part 3: incremental (delta) vs full epoch rebuild under small churn.
+  std::vector<RebuildResult> rebuilds;
+  eppi::bench::ResultTable rebuild_table({"providers", "owners", "dirty",
+                                          "full-us", "delta-us", "speedup"});
+  const std::vector<std::pair<std::size_t, std::size_t>> shapes =
+      smoke ? std::vector<std::pair<std::size_t, std::size_t>>{{300, 60}}
+            : std::vector<std::pair<std::size_t, std::size_t>>{{500, 100},
+                                                               {2000, 200}};
+  const std::size_t rebuild_rounds = smoke ? 4 : 6;
+  for (const auto& [m, n] : shapes) {
+    // Keep the dirty fraction under the service's 10% delta gate.
+    const RebuildResult r =
+        run_rebuild(m, n, n / 25 + 1, rebuild_rounds, 4242);
+    rebuilds.push_back(r);
+    rebuild_table.add_row({std::to_string(r.providers),
+                           std::to_string(r.owners), std::to_string(r.dirty),
+                           eppi::bench::fmt(r.full_us, 0),
+                           eppi::bench::fmt(r.delta_us, 0),
+                           eppi::bench::fmt(r.speedup, 1)});
+  }
+  rebuild_table.print("Epoch rebuild: full vs delta (dirty < 10%)");
+
   const double base = threaded.front().qps;
   const double best = [&] {
     double b = 0.0;
@@ -318,6 +434,7 @@ int main(int argc, char** argv) {
             << " on " << hw << " hardware threads. Batched calls amortize "
                "the snapshot\nacquisition and name resolution.\n";
 
-  write_json(json_path, cfg, single, single_m, single_eps, threaded);
+  write_json(json_path, cfg, single, single_m, single_eps, threaded,
+             rebuilds);
   return 0;
 }

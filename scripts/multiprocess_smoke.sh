@@ -11,7 +11,13 @@
 #   3. SIGTERMs the lingering parties and requires a clean drain (exit 0),
 #   4. stands up `eppi_cli serve --listen` on the same collection and runs a
 #      batched /query POST against it, checking the true positives,
-#   5. tears the daemon and the proxy down, again requiring exit 0.
+#   5. rehearses membership churn: a locator daemon is SIGKILLed mid-churn
+#      (a provider retirement posted but the epoch not yet rebuilt), a fresh
+#      daemon takes over, the same churn replays against it plus a brand-new
+#      provider joining, and POST /rebuild must publish the next epoch via
+#      the DELTA path — the leaver gone from every answer, the joiner
+#      serving its owner,
+#   6. tears the daemons and the proxy down, again requiring exit 0.
 #
 # Usage: scripts/multiprocess_smoke.sh [build-dir]   (default: ./build)
 # Needs: bash, python3 (stdlib only). Exits nonzero on any failed gate.
@@ -167,6 +173,45 @@ echo "multiprocess_smoke: batched query answered with true positives"
 
 kill -TERM "$serve_pid"
 wait "$serve_pid" || fail "serve daemon exited nonzero after SIGTERM"
+
+# -------------------------------------------------------- membership churn --
+# Kill a locator hard mid-churn, then prove a fresh one completes the same
+# churn: lakeside leaves, newclinic joins with dave's delegation, and the
+# next epoch must publish through the incremental (delta) protocol.
+churn_port=$(( base + 31 ))
+"$cli" serve "$csv" --listen "$churn_port" 2> "$workdir/churn1.err" &
+churn_pid=$!
+pids+=("$churn_pid")
+wait_for 15 "churn daemon" http_get "$churn_port" /healthz
+http_post "$churn_port" /retire 'lakeside' | grep -q 'retired 1' \
+  || fail "first churn daemon refused the retirement"
+kill -KILL "$churn_pid"      # the locator host dies before the rebuild
+wait "$churn_pid" 2>/dev/null || true
+echo "multiprocess_smoke: locator killed mid-churn (retirement unpublished)"
+
+churn_port=$(( base + 32 ))
+"$cli" serve "$csv" --listen "$churn_port" 2> "$workdir/churn2.err" &
+churn_pid=$!
+pids+=("$churn_pid")
+wait_for 15 "replacement churn daemon" http_get "$churn_port" /healthz
+http_post "$churn_port" /retire 'lakeside' | grep -q 'retired 1' \
+  || fail "replacement daemon refused the retirement"
+http_post "$churn_port" /delegate 'dave,0.6,newclinic' \
+  | grep -q 'delegated 1' || fail "replacement daemon refused the join"
+rebuild="$(http_post "$churn_port" /rebuild '')"
+grep -q 'epoch=2 delta=1 degraded=0' <<< "$rebuild" \
+  || fail "churn epoch did not publish via the delta path (got: $rebuild)"
+grep -Eq 'joined=1 left=1' <<< "$rebuild" \
+  || fail "churn epoch miscounted membership (got: $rebuild)"
+answer="$(http_post "$churn_port" /query $'carol\ndave')"
+grep -q 'lakeside' <<< "$answer" \
+  && fail "retired provider still served after churn epoch"
+grep -q 'dave,newclinic' <<< "$answer" \
+  || fail "joined provider missing from churn epoch answers"
+echo "multiprocess_smoke: churn epoch published via delta (leave + join)"
+
+kill -TERM "$churn_pid"
+wait "$churn_pid" || fail "churn daemon exited nonzero after SIGTERM"
 
 kill -TERM "$proxy_pid"
 wait "$proxy_pid" || fail "chaos proxy exited nonzero after SIGTERM"

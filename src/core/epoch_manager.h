@@ -34,11 +34,10 @@
 #include "core/beta_policy.h"
 #include "core/constructor.h"
 #include "core/distributed_constructor.h"
+#include "core/epoch_store.h"
 #include "core/ppi_index.h"
 
 namespace eppi::core {
-
-class EpochStore;
 
 class EpochManager {
  public:
@@ -46,12 +45,29 @@ class EpochManager {
     BetaPolicy policy;
     bool enable_mixing = true;
     std::uint64_t master_key = 1;  // derives provider keys + mixing PRF
+    // With a store attached, at most this many consecutive incremental
+    // epochs are journaled as delta records before the next one is written
+    // as a full index file again (bounds recovery replay chains). 0 means
+    // every epoch is committed full.
+    std::size_t delta_base_interval = 16;
 
     Options() : policy(BetaPolicy::chernoff(0.9)) {}
   };
 
   EpochManager() : EpochManager(Options{}) {}
   explicit EpochManager(Options options) : options_(options) {}
+
+  // How an epoch was produced, for callers that care whether the delta path
+  // actually engaged (benches, the locator service's status surface).
+  struct DeltaStats {
+    bool delta = false;            // false: a full rebuild ran instead
+    std::size_t recomputed = 0;    // identity columns recomputed/republished
+    std::size_t spliced_rows = 0;  // joined provider rows published whole
+    // The identity columns actually republished (the request's dirty set
+    // widened by λ-flips) — what a serving-tier snapshot splice must
+    // re-invert. Empty when `delta` is false.
+    std::vector<IdentityId> affected_ids;
+  };
 
   struct EpochResult {
     PpiIndex index;
@@ -61,23 +77,53 @@ class EpochManager {
     // (0 when data and requirements are unchanged); the full matrix size on
     // the first epoch or after a shape change.
     std::size_t churn = 0;
+    DeltaStats delta;
   };
 
   // Builds the next epoch's index for the current network state.
   EpochResult rebuild(const eppi::BitMatrix& truth,
                       std::span<const double> epsilons);
 
+  // Input to an incremental rebuild. Contract: `dirty` must name every
+  // identity whose global frequency or ε could have changed since the
+  // previous epoch — including every identity appearing in a joined or
+  // leaving provider's row (the locator service derives this set from
+  // provider-reported diffs). The manager re-derives β/ξ/λ only over that
+  // set and widens it automatically to identities whose λ-mixing decision
+  // flipped, so the published matrix is bit-identical to a full rebuild()
+  // over the same truth.
+  struct DeltaRequest {
+    std::vector<IdentityId> dirty;
+    std::vector<ProviderId> joined;  // provider rows entering this epoch
+    std::vector<ProviderId> left;    // provider rows retiring this epoch
+  };
+
+  // Incremental rebuild: recomputes only the dirty identity columns and the
+  // joined/left provider rows, splicing them over the previous epoch's
+  // published matrix. Falls back to a full rebuild (same result, more work)
+  // when there is no in-memory base to splice over — first epoch, right
+  // after attach_store, or a shrinking shape. With a store attached the
+  // epoch is journaled as a delta record unless the record would overflow
+  // or the replay chain hit delta_base_interval, in which case a full index
+  // file is committed (the published matrix is identical either way).
+  EpochResult rebuild_delta(const eppi::BitMatrix& truth,
+                            std::span<const double> epsilons,
+                            const DeltaRequest& request);
+
   struct DistributedEpochResult {
     PpiIndex index;             // fresh on success; the previous epoch's
                                 // index when degraded
     DistributedReport report;   // meaningful only when !degraded
     std::uint64_t epoch = 0;    // advances only on success
-    std::size_t churn = 0;      // as EpochResult::churn; 0 when degraded
-    // The distributed rebuild aborted (e.g. a coordinator died mid-MPC);
-    // the manager keeps serving the previous epoch's index and records the
-    // failure instead of propagating it.
+    // On success: as EpochResult::churn. On a degraded rebuild: the number
+    // of cells the stale index is known to be behind by — true postings it
+    // does not serve yet plus retired rows it still shows — so dashboards
+    // can tell a quiet epoch (0 churn, fresh) from a degraded one (stale
+    // with pending changes).
+    std::size_t churn = 0;
     bool degraded = false;
     std::string failure;        // what() of the aborting error when degraded
+    DeltaStats delta;
   };
 
   // Builds the next epoch via the secure distributed constructor, degrading
@@ -88,6 +134,23 @@ class EpochManager {
   DistributedEpochResult rebuild_distributed(const eppi::BitMatrix& truth,
                                              std::span<const double> epsilons,
                                              const DistributedOptions& options);
+
+  // Incremental distributed rebuild: runs SecSumShare/CountBelow only over
+  // the dirty identities (an m×d submatrix job among the surviving active
+  // providers) and splices the resulting columns over the previous epoch.
+  // λ only ever widens (max of the previous and the sub-run's λ), so the
+  // decoy set stays monotone; non-dirty columns keep their previous bits
+  // until the next full rebuild. Degrades exactly like
+  // rebuild_distributed — and additionally when there is no previous epoch
+  // to splice over, the request falls back to a full distributed rebuild.
+  DistributedEpochResult rebuild_delta_distributed(
+      const eppi::BitMatrix& truth, std::span<const double> epsilons,
+      const DeltaRequest& request, const DistributedOptions& options);
+
+  // Providers currently retired (rows forced to zero in every published
+  // epoch until the id rejoins). Maintained by rebuild_delta*'s
+  // joined/left lists; also applied by full rebuilds.
+  std::size_t retired_count() const noexcept;
 
   std::uint64_t epochs_built() const noexcept { return epoch_; }
   std::size_t failed_rebuilds() const noexcept { return failed_rebuilds_; }
@@ -129,7 +192,18 @@ class EpochManager {
   std::uint64_t provider_key(std::size_t provider) const noexcept;
   bool sticky_mix_coin(std::size_t identity, double lambda) const noexcept;
   std::size_t churn_against_previous(const eppi::BitMatrix& published) const;
-  void adopt_epoch(const eppi::BitMatrix& published, double lambda);
+  // Commits (store attached) and starts serving `published`. When
+  // `delta_rec` is non-null and the store's lineage head can base a delta
+  // of that shape, the epoch is journaled as a delta record instead of a
+  // full index file.
+  void adopt_epoch(const eppi::BitMatrix& published, double lambda,
+                   const EpochStore::EpochDelta* delta_rec = nullptr);
+  void apply_membership(const DeltaRequest& request, std::size_t m);
+  void zero_retired_rows(eppi::BitMatrix& published) const;
+  // Cells the served index is behind by relative to `truth`: true postings
+  // not yet published plus bits still shown in retired rows.
+  std::size_t pending_churn(const eppi::BitMatrix& truth) const;
+  void record_churn_metrics(std::size_t churn, bool delta) const;
 
   Options options_;
   // uint64_t to match EpochStore::EpochRecord::epoch — size_t would
@@ -141,6 +215,17 @@ class EpochManager {
                                     // when recovery quarantined newer files
   eppi::BitMatrix previous_;
   bool has_previous_ = false;
+  // Per-identity derivation state of the previous epoch, the base the delta
+  // path recomputes from. Only valid alongside has_previous_ when the
+  // previous epoch was built in-process (attach_store restores the matrix
+  // but not this, so the first rebuild after a restart runs full).
+  bool has_last_info_ = false;
+  std::vector<double> last_raw_;  // pre-mixing β* per identity
+  ConstructionInfo last_info_;
+  // retired_[p] != 0: provider p has left; its row publishes as all-zero in
+  // every epoch until the same id rejoins.
+  std::vector<std::uint8_t> retired_;
+  double last_lambda_ = 0.0;  // λ of the currently served epoch
   std::size_t failed_rebuilds_ = 0;
   std::string last_failure_;
   EpochStore* store_ = nullptr;

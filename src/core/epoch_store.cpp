@@ -21,6 +21,7 @@ constexpr char kQuarantineDir[] = "quarantine";
 
 constexpr std::uint8_t kRecordSticky = 1;
 constexpr std::uint8_t kRecordEpoch = 2;
+constexpr std::uint8_t kRecordDelta = 3;
 
 // Journal records cannot plausibly exceed this; a larger length field is a
 // torn/corrupt tail, not a record.
@@ -52,11 +53,74 @@ bool manifest_magic_ok(std::span<const std::uint8_t> bytes) {
                     });
 }
 
+std::vector<std::uint8_t> delta_payload(const EpochStore::EpochDelta& d) {
+  BinaryWriter w;
+  w.write_u8(kRecordDelta);
+  w.write_u64(d.epoch);
+  w.write_u64(d.base_epoch);
+  w.write_u64(d.rows);
+  w.write_u64(d.cols);
+  w.write_u64(std::bit_cast<std::uint64_t>(d.lambda));
+  w.write_u32(d.matrix_crc);
+  w.write_varint(d.joined.size());
+  for (const std::uint32_t p : d.joined) w.write_u32(p);
+  w.write_varint(d.left.size());
+  for (const std::uint32_t p : d.left) w.write_u32(p);
+  w.write_varint(d.row_splices.size());
+  for (const auto& r : d.row_splices) {
+    w.write_u32(r.provider);
+    w.write_bytes(r.bits);
+  }
+  w.write_varint(d.col_splices.size());
+  for (const auto& c : d.col_splices) {
+    w.write_u32(c.identity);
+    w.write_bytes(c.bits);
+  }
+  return w.take();
+}
+
+// Inverse of delta_payload; the leading type byte is already consumed.
+// Throws SerializeError on truncation (the caller treats it as torn tail).
+EpochStore::EpochDelta read_delta(BinaryReader& r) {
+  EpochStore::EpochDelta d;
+  d.epoch = r.read_u64();
+  d.base_epoch = r.read_u64();
+  d.rows = r.read_u64();
+  d.cols = r.read_u64();
+  d.lambda = std::bit_cast<double>(r.read_u64());
+  d.matrix_crc = r.read_u32();
+  // Each count is validated against the bytes actually left before any
+  // allocation: an implausible count is a malformed record, not an OOM.
+  const auto checked_count = [&r](std::size_t per_element) {
+    const std::uint64_t n = r.read_varint();
+    if (n > r.remaining() / per_element) {
+      throw SerializeError("delta record count exceeds payload");
+    }
+    return static_cast<std::size_t>(n);
+  };
+  d.joined.resize(checked_count(4));
+  for (auto& p : d.joined) p = r.read_u32();
+  d.left.resize(checked_count(4));
+  for (auto& p : d.left) p = r.read_u32();
+  d.row_splices.resize(checked_count(5));  // u32 id + ≥1-byte length prefix
+  for (auto& row : d.row_splices) {
+    row.provider = r.read_u32();
+    row.bits = r.read_bytes();
+  }
+  d.col_splices.resize(checked_count(5));
+  for (auto& col : d.col_splices) {
+    col.identity = r.read_u32();
+    col.bits = r.read_bytes();
+  }
+  return d;
+}
+
 // Result of a read-only journal scan, shared by recovery and fsck.
 struct ManifestScan {
   std::optional<EpochStore::StickyState> sticky;
   bool conflicting_sticky = false;
   std::vector<EpochStore::EpochRecord> epochs;
+  std::map<std::uint64_t, EpochStore::EpochDelta> deltas;
   std::size_t valid_prefix = 0;  // bytes up to the last good record
   bool torn_tail = false;
   std::vector<std::string> notes;
@@ -113,6 +177,22 @@ ManifestScan scan_manifest(std::span<const std::uint8_t> bytes) {
                                std::to_string(rec.epoch) + " skipped");
         } else {
           scan.epochs.push_back(std::move(rec));
+        }
+      } else if (type == kRecordDelta) {
+        EpochStore::EpochDelta delta = read_delta(r);
+        EpochStore::EpochRecord rec;
+        rec.epoch = delta.epoch;
+        rec.rows = delta.rows;
+        rec.cols = delta.cols;
+        rec.lambda = delta.lambda;
+        rec.is_delta = true;
+        rec.base_epoch = delta.base_epoch;
+        if (!scan.epochs.empty() && rec.epoch <= scan.epochs.back().epoch) {
+          scan.notes.push_back("non-monotone delta record " +
+                               std::to_string(rec.epoch) + " skipped");
+        } else {
+          scan.epochs.push_back(std::move(rec));
+          scan.deltas.emplace(delta.epoch, std::move(delta));
         }
       }
       // Unknown record types are skipped (forward compatibility); their CRC
@@ -263,10 +343,13 @@ void EpochStore::recover() {
   journal_dirty_ = false;
   sticky_ = scan.sticky;
   epochs_ = std::move(scan.epochs);
+  deltas_ = std::move(scan.deltas);
 
   // Validate every referenced index file; quarantine what fails checksums.
+  // Delta records own no file — they are validated by the replay pass below.
   std::set<std::string> referenced{kManifestName};
   for (auto& rec : epochs_) {
+    if (rec.is_delta) continue;
     referenced.insert(rec.file);
     if (!vfs_.exists(path_of(rec.file))) {
       report_.notes.push_back("epoch " + std::to_string(rec.epoch) +
@@ -292,6 +375,72 @@ void EpochStore::recover() {
       continue;
     }
     rec.file_intact = true;
+  }
+
+  // Replay pass: walk the lineage once, carrying the current replayed matrix
+  // forward, and mark each delta intact only if its base is the immediately
+  // preceding replayable epoch AND the replay matches the record's checksum.
+  // An orphaned delta (base missing/quarantined, checksum mismatch) has its
+  // payload dumped to quarantine/ for post-mortems — the journal itself is
+  // never rewritten — and breaks the chain until the next intact full epoch.
+  std::optional<eppi::BitMatrix> replayed;
+  std::uint64_t replayed_epoch = 0;
+  for (std::size_t i = 0; i < epochs_.size(); ++i) {
+    EpochRecord& rec = epochs_[i];
+    if (!rec.is_delta) {
+      replayed.reset();
+      // Only materialize the matrix if a delta actually builds on it.
+      const bool needed =
+          i + 1 < epochs_.size() && epochs_[i + 1].is_delta;
+      if (rec.file_intact && needed) {
+        replayed = load_index_bytes(vfs_.read_file(path_of(rec.file)))
+                       .matrix();
+        replayed_epoch = rec.epoch;
+      }
+      continue;
+    }
+    const auto it = deltas_.find(rec.epoch);
+    if (it == deltas_.end()) {  // unreachable: scan inserts both together
+      replayed.reset();
+      continue;
+    }
+    std::string why;
+    if (!replayed || replayed_epoch != rec.base_epoch) {
+      why = "base epoch " + std::to_string(rec.base_epoch) +
+            " is not replayable";
+    } else {
+      try {
+        eppi::BitMatrix next = apply_delta(*replayed, it->second);
+        if (matrix_checksum(next) != it->second.matrix_crc) {
+          why = "replayed matrix checksum mismatch";
+        } else {
+          rec.file_intact = true;
+          replayed = std::move(next);
+          replayed_epoch = rec.epoch;
+        }
+      } catch (const ConfigError& err) {
+        why = err.what();
+      }
+    }
+    if (!rec.file_intact) {
+      // Deterministic name: repeated recoveries overwrite rather than pile
+      // up copies (the journal record that spawns this never goes away).
+      const std::string qdir = path_of(kQuarantineDir);
+      vfs_.make_dir(qdir);
+      const std::string qname =
+          std::string("delta-") + std::to_string(rec.epoch) + ".rec";
+      storage::atomic_write_file(vfs_, qdir + "/" + qname,
+                                 delta_payload(it->second));
+      ++report_.quarantined;
+      obs::Registry::global()
+          .counter("eppi_store_quarantined_total", {},
+                   "Store files moved aside as corrupt or orphaned")
+          .add();
+      report_.notes.push_back("quarantined " + qname + ": orphaned delta (" +
+                              why + ")");
+      deltas_.erase(it);
+      replayed.reset();
+    }
   }
 
   // Orphans: crash artifacts (a .tmp that never got renamed, an index file
@@ -342,17 +491,42 @@ std::optional<std::uint64_t> EpochStore::latest_epoch() const {
 }
 
 PpiIndex EpochStore::load_epoch(std::uint64_t epoch) const {
-  const auto it = std::find_if(
+  auto it = std::find_if(
       epochs_.begin(), epochs_.end(),
       [&](const EpochRecord& r) { return r.epoch == epoch; });
   require(it != epochs_.end(), "EpochStore: unknown epoch " +
                                    std::to_string(epoch));
+  // Walk a delta epoch back to the nearest full epoch, then replay forward.
+  std::vector<const EpochDelta*> chain;
+  while (it->is_delta) {
+    require(it->file_intact,
+            "EpochStore: epoch " + std::to_string(it->epoch) +
+                " is an orphaned delta");
+    chain.push_back(&deltas_.at(it->epoch));
+    const std::uint64_t base = it->base_epoch;
+    it = std::find_if(epochs_.begin(), epochs_.end(),
+                      [&](const EpochRecord& r) { return r.epoch == base; });
+    require(it != epochs_.end(),
+            "EpochStore: delta chain references unknown epoch " +
+                std::to_string(base));
+  }
   PpiIndex index = load_index_bytes(vfs_.read_file(path_of(it->file)));
   if (index.providers() != it->rows || index.identities() != it->cols) {
     throw CorruptIndexError(IndexSection::kHeader,
                             "epoch file shape differs from journal record");
   }
-  return index;
+  if (chain.empty()) return index;
+  eppi::BitMatrix matrix = index.matrix();
+  for (auto rit = chain.rbegin(); rit != chain.rend(); ++rit) {
+    matrix = apply_delta(matrix, **rit);
+    if (matrix_checksum(matrix) != (*rit)->matrix_crc) {
+      throw CorruptIndexError(
+          IndexSection::kPayload,
+          "delta replay checksum mismatch at epoch " +
+              std::to_string((*rit)->epoch));
+    }
+  }
+  return PpiIndex(std::move(matrix));
 }
 
 void EpochStore::commit_epoch(std::uint64_t epoch, const PpiIndex& index,
@@ -383,6 +557,140 @@ void EpochStore::commit_epoch(std::uint64_t epoch, const PpiIndex& index,
       .counter("eppi_store_commits_total", {},
                "Epoch indexes committed to the durable store")
       .add();
+}
+
+void EpochStore::commit_delta(const EpochDelta& delta) {
+  require(!epochs_.empty() && epochs_.back().epoch == delta.base_epoch,
+          "EpochStore: delta base must be the lineage head");
+  require(epochs_.back().file_intact,
+          "EpochStore: delta base epoch " + std::to_string(delta.base_epoch) +
+              " is not loadable; commit a full epoch instead");
+  require(delta.epoch > delta.base_epoch,
+          "EpochStore: epoch must advance the lineage");
+  require(delta.rows >= epochs_.back().rows &&
+              delta.cols >= epochs_.back().cols,
+          "EpochStore: a delta may not shrink the matrix");
+  const std::size_t row_bytes = (delta.cols + 7) / 8;
+  const std::size_t col_bytes = (delta.rows + 7) / 8;
+  for (const auto& r : delta.row_splices) {
+    require(r.provider < delta.rows && r.bits.size() == row_bytes,
+            "EpochStore: malformed row splice in delta");
+  }
+  for (const auto& c : delta.col_splices) {
+    require(c.identity < delta.cols && c.bits.size() == col_bytes,
+            "EpochStore: malformed column splice in delta");
+  }
+  for (const std::uint32_t p : delta.left) {
+    require(p < delta.rows, "EpochStore: delta retires an unknown provider");
+  }
+  const auto payload = delta_payload(delta);
+  require(payload.size() <= kMaxRecordBytes,
+          "EpochStore: delta record exceeds the journal record bound; "
+          "commit a full epoch instead");
+
+  obs::Span span("store.commit_delta");
+  span.attr("epoch", delta.epoch);
+  span.attr("base_epoch", delta.base_epoch);
+  span.attr("bytes", payload.size());
+  span.attr("col_splices", delta.col_splices.size());
+  span.attr("row_splices", delta.row_splices.size());
+
+  append_record(payload);
+  EpochRecord rec;
+  rec.epoch = delta.epoch;
+  rec.rows = delta.rows;
+  rec.cols = delta.cols;
+  rec.lambda = delta.lambda;
+  rec.file_intact = true;
+  rec.is_delta = true;
+  rec.base_epoch = delta.base_epoch;
+  epochs_.push_back(std::move(rec));
+  deltas_[delta.epoch] = delta;
+  obs::Registry::global()
+      .counter("eppi_store_delta_commits_total", {},
+               "Incremental epochs committed as journal-only delta records")
+      .add();
+}
+
+bool EpochStore::delta_overflows(const EpochDelta& delta) {
+  return delta_payload(delta).size() > kMaxRecordBytes;
+}
+
+const EpochStore::EpochDelta& EpochStore::delta_record(
+    std::uint64_t epoch) const {
+  const auto it = deltas_.find(epoch);
+  require(it != deltas_.end(),
+          "EpochStore: no delta record for epoch " + std::to_string(epoch));
+  return it->second;
+}
+
+std::size_t EpochStore::deltas_since_full() const {
+  std::size_t n = 0;
+  for (auto it = epochs_.rbegin(); it != epochs_.rend() && it->is_delta; ++it) {
+    ++n;
+  }
+  return n;
+}
+
+std::uint32_t matrix_checksum(const eppi::BitMatrix& matrix) {
+  BinaryWriter w;
+  w.write_u64(matrix.rows());
+  w.write_u64(matrix.cols());
+  for (std::size_t i = 0; i < matrix.rows(); ++i) {
+    const std::uint64_t* words = matrix.row_words(i);
+    for (std::size_t k = 0; k < matrix.words_per_row(); ++k) {
+      w.write_u64(words[k]);
+    }
+  }
+  return crc32c(w.buffer());
+}
+
+eppi::BitMatrix apply_delta(const eppi::BitMatrix& base,
+                            const EpochStore::EpochDelta& delta) {
+  require(delta.rows >= base.rows() && delta.cols >= base.cols(),
+          "apply_delta: delta shrinks the matrix");
+  eppi::BitMatrix next(delta.rows, delta.cols);
+  if (delta.rows == base.rows() && delta.cols == base.cols()) {
+    next = base;
+  } else {
+    // Shape grew: re-seat the surviving bits (sparse walk via row words).
+    for (std::size_t i = 0; i < base.rows(); ++i) {
+      const std::uint64_t* words = base.row_words(i);
+      for (std::size_t k = 0; k < base.words_per_row(); ++k) {
+        std::uint64_t word = words[k];
+        while (word != 0) {
+          const int bit = std::countr_zero(word);
+          word &= word - 1;
+          next.set(i, k * 64 + static_cast<std::size_t>(bit), true);
+        }
+      }
+    }
+  }
+  // Covered sections carry FINAL values, so the write order below never
+  // changes the result: a cell touched twice receives the same bit twice.
+  const std::size_t row_bytes = (delta.cols + 7) / 8;
+  const std::size_t col_bytes = (delta.rows + 7) / 8;
+  for (const std::uint32_t p : delta.left) {
+    require(p < delta.rows, "apply_delta: retired row out of range");
+    for (std::size_t j = 0; j < delta.cols; ++j) next.set(p, j, false);
+  }
+  for (const auto& r : delta.row_splices) {
+    require(r.provider < delta.rows, "apply_delta: row splice out of range");
+    require(r.bits.size() == row_bytes,
+            "apply_delta: row splice length mismatch");
+    for (std::size_t j = 0; j < delta.cols; ++j) {
+      next.set(r.provider, j, (r.bits[j >> 3] >> (j & 7)) & 1);
+    }
+  }
+  for (const auto& c : delta.col_splices) {
+    require(c.identity < delta.cols, "apply_delta: column splice out of range");
+    require(c.bits.size() == col_bytes,
+            "apply_delta: column splice length mismatch");
+    for (std::size_t i = 0; i < delta.rows; ++i) {
+      next.set(i, c.identity, (c.bits[i >> 3] >> (i & 7)) & 1);
+    }
+  }
+  return next;
 }
 
 // --- fsck ------------------------------------------------------------------
@@ -457,8 +765,56 @@ FsckReport fsck_store(storage::Vfs& vfs, const std::string& dir) {
          "re-roll publication noise"});
   }
 
+  // Full epochs: validate each referenced index file. Delta epochs: verify
+  // that base+delta replay reproduces the record's checksummed head — the
+  // delta has no file of its own, so the replayed matrix is carried forward
+  // across the walk exactly as recovery does it.
   std::set<std::string> referenced{kManifestName};
+  std::optional<eppi::BitMatrix> replayed;
+  std::optional<std::uint64_t> prev_epoch;
   for (const auto& rec : scan.epochs) {
+    if (rec.is_delta) {
+      const auto it = scan.deltas.find(rec.epoch);
+      const std::string label = "delta " + std::to_string(rec.epoch);
+      if (prev_epoch != rec.base_epoch) {
+        // Can only come from a buggy writer or journal tampering — a crash
+        // leaves either a whole record (valid base) or a torn tail.
+        report.ok = false;
+        report.issues.push_back(
+            {kManifestName, "manifest",
+             label + ": base epoch " + std::to_string(rec.base_epoch) +
+                 " is not its lineage predecessor"});
+        replayed.reset();
+      } else if (!replayed || it == scan.deltas.end()) {
+        report.notes.push_back(
+            "epoch " + std::to_string(rec.epoch) +
+            ": delta base not replayable (quarantined or lost)");
+      } else {
+        try {
+          eppi::BitMatrix next = apply_delta(*replayed, it->second);
+          if (matrix_checksum(next) != it->second.matrix_crc) {
+            report.ok = false;
+            report.issues.push_back(
+                {kManifestName, "manifest",
+                 label + ": replay does not reach the checksummed head "
+                         "(recovery quarantines this delta)"});
+            replayed.reset();
+          } else {
+            report.notes.push_back(label + ": replay ok");
+            replayed = std::move(next);
+          }
+        } catch (const ConfigError& err) {
+          report.ok = false;
+          report.issues.push_back(
+              {kManifestName, "manifest", label + ": " + err.what()});
+          replayed.reset();
+        }
+      }
+      prev_epoch = rec.epoch;
+      continue;
+    }
+    prev_epoch = rec.epoch;
+    replayed.reset();
     referenced.insert(rec.file);
     if (!vfs.exists(dir + "/" + rec.file)) {
       report.notes.push_back("epoch " + std::to_string(rec.epoch) +
@@ -473,6 +829,8 @@ FsckReport fsck_store(storage::Vfs& vfs, const std::string& dir) {
         report.ok = false;
         report.issues.push_back(
             {rec.file, "header", "shape differs from journal record"});
+      } else {
+        replayed = load_index_bytes(idx).matrix();
       }
     }
   }

@@ -9,9 +9,12 @@
 //
 //   MANIFEST        an append-only journal: a magic header followed by
 //                   CRC32C-framed records — the sticky state (written once,
-//                   first record wins forever) and one commit record per
-//                   epoch (id, file name, shape, λ). The journal is the
-//                   source of truth: an index file not referenced by a
+//                   first record wins forever), one commit record per full
+//                   epoch (id, file name, shape, λ), and delta records for
+//                   incremental epochs (membership changes + spliced
+//                   rows/columns + a checksum of the replayed result; no
+//                   index file is written for a delta epoch). The journal is
+//                   the source of truth: an index file not referenced by a
 //                   record was never committed.
 //   epoch-<N>.idx   the published index of epoch N in the checksummed
 //                   eppi-index-v2 format (core/index_io.h).
@@ -34,6 +37,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -57,11 +61,41 @@ class EpochStore {
 
   struct EpochRecord {
     std::uint64_t epoch = 0;
-    std::string file;  // name within the store directory
+    std::string file;  // name within the store directory ("" for deltas)
     std::uint64_t rows = 0;
     std::uint64_t cols = 0;
     double lambda = 0.0;  // the λ-history entry for this epoch
-    bool file_intact = false;  // validated at open (or just committed)
+    // For a full epoch: the index file validated at open (or just
+    // committed). For a delta epoch: the base+delta replay chain validated
+    // against the record's checksum — either way, load_epoch(epoch) works.
+    bool file_intact = false;
+    bool is_delta = false;
+    std::uint64_t base_epoch = 0;  // lineage predecessor (deltas only)
+  };
+
+  // An incremental epoch: everything needed to derive epoch `epoch` from its
+  // lineage predecessor `base_epoch` without writing a full index file.
+  // Cells not covered by `rows`/`columns`/`left` keep their base value;
+  // covered sections carry FINAL values (replay order is insensitive).
+  struct EpochDelta {
+    struct Column {
+      std::uint32_t identity = 0;
+      std::vector<std::uint8_t> bits;  // packed column, LSB-first, ⌈rows/8⌉
+    };
+    struct Row {
+      std::uint32_t provider = 0;
+      std::vector<std::uint8_t> bits;  // packed row, LSB-first, ⌈cols/8⌉
+    };
+    std::uint64_t epoch = 0;
+    std::uint64_t base_epoch = 0;
+    std::uint64_t rows = 0;  // shape of the RESULT (>= base shape)
+    std::uint64_t cols = 0;
+    double lambda = 0.0;
+    std::vector<std::uint32_t> joined;  // providers entering at this epoch
+    std::vector<std::uint32_t> left;    // providers retired (rows zeroed)
+    std::vector<Row> row_splices;       // full rows (joining providers)
+    std::vector<Column> col_splices;    // recomputed identity columns
+    std::uint32_t matrix_crc = 0;  // matrix_checksum() of the replayed result
   };
 
   struct RecoveryReport {
@@ -105,6 +139,21 @@ class EpochStore {
   void commit_epoch(std::uint64_t epoch, const PpiIndex& index,
                     double lambda);
 
+  // Commits an incremental epoch as a journal record only — no index file is
+  // written, which is what makes delta commits cheap. Requires a committed
+  // lineage whose head is `delta.base_epoch` and is itself loadable (a delta
+  // over a quarantined epoch would be born orphaned). Throws ConfigError if
+  // the encoded record would exceed the journal's record-size bound — the
+  // caller should fall back to a full commit_epoch (delta_overflows() tells
+  // it in advance).
+  void commit_delta(const EpochDelta& delta);
+  // Whether commit_delta(delta) would be refused for size.
+  static bool delta_overflows(const EpochDelta& delta);
+  // The retained delta record for a delta epoch (ConfigError otherwise).
+  const EpochDelta& delta_record(std::uint64_t epoch) const;
+  // Number of delta records since (and not counting) the newest full epoch.
+  std::size_t deltas_since_full() const;
+
  private:
   std::string path_of(const std::string& name) const;
   void quarantine(const std::string& name, const std::string& why);
@@ -116,6 +165,7 @@ class EpochStore {
   RecoveryReport report_;
   std::optional<StickyState> sticky_;
   std::vector<EpochRecord> epochs_;
+  std::map<std::uint64_t, EpochDelta> deltas_;  // delta epochs by id
   // Journal length up to the last record known durable; a failed append is
   // rolled back to this boundary so a retry never lands after torn bytes.
   std::size_t journal_len_ = 0;
@@ -124,6 +174,16 @@ class EpochStore {
   // reopened (recovery truncates the tail).
   bool journal_dirty_ = false;
 };
+
+// CRC32C fingerprint of a published matrix (shape + packed row words) — what
+// a delta record pins its replayed result to.
+std::uint32_t matrix_checksum(const eppi::BitMatrix& matrix);
+
+// Applies one delta to its base matrix (pure; shared by the commit-side
+// verification, recovery, and fsck). Throws ConfigError when the base shape
+// does not fit under the delta's result shape.
+eppi::BitMatrix apply_delta(const eppi::BitMatrix& base,
+                            const EpochStore::EpochDelta& delta);
 
 // --- fsck ------------------------------------------------------------------
 // Offline validation with section-level reporting, used by `eppi_cli fsck`

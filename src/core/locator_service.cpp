@@ -1,5 +1,6 @@
 #include "core/locator_service.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "common/error.h"
@@ -16,7 +17,13 @@ EpochManager::Options manager_options(const LocatorService::Options& o) {
   mo.policy = o.policy;
   mo.enable_mixing = o.enable_mixing;
   mo.master_key = o.seed;
+  mo.delta_base_interval = o.delta_base_interval;
   return mo;
+}
+
+void sort_unique(std::vector<ProviderId>& ids) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
 }
 
 double elapsed_us(std::chrono::steady_clock::time_point start) noexcept {
@@ -37,6 +44,18 @@ ProviderId LocatorService::register_provider(const std::string& name) {
       name, static_cast<ProviderId>(provider_names_.size()));
   if (inserted) {
     provider_names_.push_back(name);
+    retired_providers_.push_back(0);
+    // A provider appearing after an epoch is already served enters through
+    // the join protocol at the next construction round.
+    if (manager_.serving()) pending_joined_.push_back(it->second);
+    matrix_dirty_ = true;
+  } else if (it->second < retired_providers_.size() &&
+             retired_providers_[it->second] != 0) {
+    // A retired name registering again is a rejoin: the id (and with it the
+    // sticky noise key) is reused, and the row re-enters at the next round.
+    retired_providers_[it->second] = 0;
+    std::erase(pending_left_, it->second);
+    pending_joined_.push_back(it->second);
     matrix_dirty_ = true;
   }
   return it->second;
@@ -48,6 +67,7 @@ IdentityId LocatorService::register_owner(const std::string& name) {
   if (inserted) {
     owner_names_.push_back(name);
     epsilons_.push_back(options_.default_epsilon);
+    dirty_owners_.push_back(1);  // a new column is dirty by definition
     matrix_dirty_ = true;
   }
   return it->second;
@@ -71,11 +91,42 @@ void LocatorService::delegate(const std::string& owner, double epsilon,
   const ProviderId p = register_provider(provider);
   epsilons_[t] = epsilon;
   facts_.emplace_back(p, t);
+  mark_owner_dirty(t);
   matrix_dirty_ = true;
   // The builder's index no longer reflects the data; the *published*
   // snapshot stays up for readers until the next construct_ppi() swap.
   index_.reset();
   report_.reset();
+}
+
+void LocatorService::mark_owner_dirty(IdentityId t) {
+  if (t >= dirty_owners_.size()) dirty_owners_.resize(t + 1, 0);
+  dirty_owners_[t] = 1;
+}
+
+void LocatorService::retire_provider(const std::string& name) {
+  const auto it = provider_ids_.find(name);
+  require(it != provider_ids_.end(), "LocatorService: unknown provider");
+  const ProviderId p = it->second;
+  if (retired_providers_[p] != 0) return;
+  retired_providers_[p] = 1;
+  // Joined-then-left within one round nets out to staying retired.
+  std::erase(pending_joined_, p);
+  pending_left_.push_back(p);
+  // Withdraw its delegated facts; every identity it held changes global
+  // frequency, so those columns must be recomputed.
+  std::erase_if(facts_, [&](const std::pair<ProviderId, IdentityId>& f) {
+    if (f.first != p) return false;
+    mark_owner_dirty(f.second);
+    return true;
+  });
+  matrix_dirty_ = true;
+  index_.reset();
+  report_.reset();
+}
+
+bool LocatorService::provider_retired(ProviderId p) const {
+  return p < retired_providers_.size() && retired_providers_[p] != 0;
 }
 
 const eppi::BitMatrix& LocatorService::rebuild_matrix() const {
@@ -95,6 +146,56 @@ void LocatorService::construct_ppi() {
   span.attr("owners", owner_names_.size());
   span.attr("distributed", options_.distributed);
   const eppi::BitMatrix& truth = rebuild_matrix();
+  const std::size_t n = owner_names_.size();
+  dirty_owners_.resize(n, 0);
+
+  EpochManager::DeltaRequest req;
+  sort_unique(pending_joined_);
+  sort_unique(pending_left_);
+  req.joined = pending_joined_;
+  req.left = pending_left_;
+  const bool membership_pending = !req.joined.empty() || !req.left.empty();
+  // The incremental path needs an in-memory base epoch to splice over.
+  // Membership churn must route through it even with enable_delta off —
+  // retirement and joins only take effect in the delta protocol — so in
+  // that case everything is marked dirty instead (a full recompute carried
+  // by the delta machinery).
+  bool use_delta =
+      manager_.serving() && (options_.enable_delta || membership_pending);
+  if (use_delta) {
+    if (options_.enable_delta) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (dirty_owners_[j] != 0) req.dirty.push_back(static_cast<IdentityId>(j));
+      }
+    } else {
+      req.dirty.resize(n);
+      for (std::size_t j = 0; j < n; ++j) req.dirty[j] = static_cast<IdentityId>(j);
+    }
+  }
+  if (use_delta && !membership_pending) {
+    if (options_.distributed) {
+      // A partial distributed run reseeds the sub-protocol differently from
+      // a full one; without membership churn forcing the delta protocol,
+      // prefer the full rebuild (identical output to the pre-churn path).
+      use_delta = false;
+    } else if (static_cast<double>(req.dirty.size()) >
+               options_.delta_max_dirty_fraction * static_cast<double>(n)) {
+      // Nearly everything is dirty: a full rebuild is cheaper and (in
+      // centralized mode) bit-identical.
+      use_delta = false;
+    }
+  }
+  span.attr("delta", use_delta);
+
+  last_rebuild_ = RebuildInfo{};
+  last_rebuild_.dirty = req.dirty.size();
+  last_rebuild_.joined = req.joined.size();
+  last_rebuild_.left = req.left.size();
+  std::vector<IdentityId> affected;
+  std::vector<ProviderId> touched = req.joined;
+  touched.insert(touched.end(), req.left.begin(), req.left.end());
+  bool spliced = false;
+
   if (options_.distributed) {
     DistributedOptions dopt;
     dopt.policy = options_.policy;
@@ -102,23 +203,49 @@ void LocatorService::construct_ppi() {
     dopt.c = options_.c;
     dopt.seed = options_.seed;
     dopt.fault_tolerance = options_.fault_tolerance;
-    auto result = manager_.rebuild_distributed(truth, epsilons_, dopt);
+    auto result =
+        use_delta ? manager_.rebuild_delta_distributed(truth, epsilons_, req, dopt)
+                  : manager_.rebuild_distributed(truth, epsilons_, dopt);
     index_ = std::move(result.index);
+    last_rebuild_.epoch = result.epoch;
+    last_rebuild_.churn = result.churn;
+    last_rebuild_.delta = result.delta.delta;
+    last_rebuild_.recomputed = result.delta.recomputed;
     if (result.degraded) {
       // The rebuild aborted; we are serving the last committed epoch.
       // serving_status() carries the failure — the stale report (if any)
       // still describes the epoch actually being served. Readers get the
-      // updated staleness accounting without an index copy.
+      // updated staleness accounting without an index copy. Dirty owners
+      // and pending membership are KEPT so the next round retries them.
+      last_rebuild_.degraded = true;
       publish_staleness_update();
       return;
     }
     report_ = std::move(result.report);
+    spliced = result.delta.delta;
+    affected = std::move(result.delta.affected_ids);
   } else {
-    auto result = manager_.rebuild(truth, epsilons_);
+    auto result = use_delta ? manager_.rebuild_delta(truth, epsilons_, req)
+                            : manager_.rebuild(truth, epsilons_);
     index_ = std::move(result.index);
+    last_rebuild_.epoch = result.epoch;
+    last_rebuild_.churn = result.churn;
+    last_rebuild_.delta = result.delta.delta;
+    last_rebuild_.recomputed = result.delta.recomputed;
+    spliced = result.delta.delta;
+    affected = std::move(result.delta.affected_ids);
     report_.reset();
   }
-  publish_snapshot();
+
+  // The published epoch now reflects every pending change.
+  std::fill(dirty_owners_.begin(), dirty_owners_.end(), 0);
+  pending_joined_.clear();
+  pending_left_.clear();
+  if (spliced) {
+    publish_snapshot_spliced(affected, touched);
+  } else {
+    publish_snapshot();
+  }
 }
 
 void LocatorService::attach_store(EpochStore& store) {
@@ -133,9 +260,29 @@ void LocatorService::attach_store(EpochStore& store) {
 }
 
 void LocatorService::publish_snapshot() {
+  publish_with(std::make_shared<const PostingIndex>(index_->matrix()));
+}
+
+void LocatorService::publish_snapshot_spliced(
+    std::span<const IdentityId> affected,
+    std::span<const ProviderId> touched) {
+  const auto prev = snapshot_.acquire();
+  const eppi::BitMatrix& published = index_->matrix();
+  if (prev == nullptr || prev->postings == nullptr ||
+      prev->postings->identities() > published.cols() ||
+      prev->postings->providers() > published.rows()) {
+    publish_snapshot();
+    return;
+  }
+  publish_with(std::make_shared<const PostingIndex>(*prev->postings, published,
+                                                    affected, touched));
+}
+
+void LocatorService::publish_with(
+    std::shared_ptr<const PostingIndex> postings) {
   obs::Span span("serve.publish");
   auto snap = std::make_shared<EpochSnapshot>();
-  snap->postings = std::make_shared<const PostingIndex>(index_->matrix());
+  snap->postings = std::move(postings);
   snap->owner_ids = std::make_shared<
       const std::unordered_map<std::string, IdentityId>>(owner_ids_);
   snap->provider_names =

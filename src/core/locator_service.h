@@ -75,6 +75,18 @@ class LocatorService {
     // Dropout tolerance for distributed construction (timeouts, reliable
     // delivery, injected fault scenarios for tests).
     FaultToleranceOptions fault_tolerance;
+    // Incremental epochs: when a previous epoch exists, construct_ppi()
+    // recomputes only the owners touched since the last build and splices
+    // the result over it (centralized mode: bit-identical to a full
+    // rebuild). Membership churn (joins/retirements) always routes through
+    // the delta protocol regardless of this flag — retirement only takes
+    // effect there. A full rebuild still runs when more than
+    // delta_max_dirty_fraction of the owners are dirty (recomputing nearly
+    // everything incrementally costs more than a clean rebuild).
+    bool enable_delta = true;
+    double delta_max_dirty_fraction = 0.10;
+    // Journal bound: see EpochManager::Options::delta_base_interval.
+    std::size_t delta_base_interval = 16;
   };
 
   LocatorService();  // default options
@@ -98,6 +110,17 @@ class LocatorService {
   void delegate(const std::string& owner, double epsilon,
                 const std::string& provider);
 
+  // --- membership churn ---------------------------------------------------
+  // Retires a provider: its delegated facts are withdrawn, the identities it
+  // held become dirty, and from the next construct_ppi() on its published
+  // row is zeroed in every epoch (a deliberate leave, not a crash — crashes
+  // are the fault-tolerance layer's job). The numeric id is never reused; a
+  // later registration or delegation under the same name rejoins the
+  // provider at the next construction round with its sticky noise key
+  // intact. Idempotent; throws ConfigError for an unknown name.
+  void retire_provider(const std::string& name);
+  bool provider_retired(ProviderId p) const;
+
   // --- ConstructPPI -------------------------------------------------------
   // (Re)builds the index over everything delegated so far and publishes it
   // to concurrent readers with one atomic snapshot swap. Throws ConfigError
@@ -113,6 +136,21 @@ class LocatorService {
 
   bool constructed() const noexcept { return index_.has_value(); }
   const PpiIndex& index() const;
+
+  // How the most recent construct_ppi() ran — whether the incremental path
+  // engaged, how much it recomputed, and what it cost in published-cell
+  // churn. Builder-side (mutation tier).
+  struct RebuildInfo {
+    bool delta = false;      // the incremental path actually engaged
+    bool degraded = false;   // the rebuild aborted; serving the stale epoch
+    std::size_t dirty = 0;   // owner columns requested dirty
+    std::size_t recomputed = 0;  // columns actually republished (λ-widened)
+    std::size_t joined = 0;
+    std::size_t left = 0;
+    std::size_t churn = 0;   // published cells that changed
+    std::uint64_t epoch = 0;
+  };
+  const RebuildInfo& last_rebuild() const noexcept { return last_rebuild_; }
 
   // Adjusts the dropout-tolerance knobs for subsequent construct_ppi()
   // runs (epoch state and sticky randomness are untouched).
@@ -203,9 +241,18 @@ class LocatorService {
 
  private:
   const eppi::BitMatrix& rebuild_matrix() const;
+  void mark_owner_dirty(IdentityId t);
   // Writer side: freeze the current builder state + manager staleness into
   // a new immutable snapshot and swap it in.
   void publish_snapshot();
+  // Writer side, delta epoch: like publish_snapshot() but reuses the served
+  // snapshot's posting lists except the `affected` identity columns and the
+  // `touched` provider rows (joined/retired), so snapshot cost scales with
+  // the delta, not the index. Falls back to a full publish when there is no
+  // compatible served snapshot to splice over.
+  void publish_snapshot_spliced(std::span<const IdentityId> affected,
+                                std::span<const ProviderId> touched);
+  void publish_with(std::shared_ptr<const PostingIndex> postings);
   // Writer side, degraded rebuild: republish the already-served epoch with
   // updated staleness accounting (shares the served postings; no copy).
   void publish_staleness_update();
@@ -222,6 +269,15 @@ class LocatorService {
   std::unordered_map<std::string, IdentityId> owner_ids_;
   std::vector<double> epsilons_;                 // per owner
   std::vector<std::pair<ProviderId, IdentityId>> facts_;
+  // Churn bookkeeping between constructions: which owner columns changed
+  // (delegations, ε updates, withdrawn facts) and which provider rows are
+  // entering/leaving at the next round. Cleared only on a successful
+  // rebuild, so a degraded round retries the same delta.
+  std::vector<std::uint8_t> dirty_owners_;       // per owner
+  std::vector<std::uint8_t> retired_providers_;  // per provider
+  std::vector<ProviderId> pending_joined_;
+  std::vector<ProviderId> pending_left_;
+  RebuildInfo last_rebuild_;
   mutable eppi::BitMatrix cached_matrix_;
   mutable bool matrix_dirty_ = true;
   std::optional<PpiIndex> index_;

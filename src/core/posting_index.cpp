@@ -1,5 +1,7 @@
 #include "core/posting_index.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 
 namespace eppi::core {
@@ -23,6 +25,49 @@ PostingIndex::PostingIndex(const eppi::BitMatrix& matrix)
         const std::size_t j = w * 64 + bit;
         postings_[j].push_back(static_cast<ProviderId>(i));
         word &= word - 1;
+      }
+    }
+  }
+}
+
+PostingIndex::PostingIndex(const PostingIndex& base,
+                           const eppi::BitMatrix& published,
+                           std::span<const IdentityId> affected,
+                           std::span<const ProviderId> touched)
+    : providers_(published.rows()), postings_(published.cols()) {
+  require(base.providers_ <= published.rows() &&
+              base.postings_.size() <= published.cols(),
+          "PostingIndex: splice base larger than published matrix");
+  std::vector<std::uint8_t> is_affected(published.cols(), 0);
+  for (const IdentityId j : affected) {
+    require(j < published.cols(), "PostingIndex: affected identity out of range");
+    is_affected[j] = 1;
+  }
+  for (std::size_t j = 0; j < published.cols(); ++j) {
+    if (is_affected[j] == 0 && j < base.postings_.size()) {
+      std::vector<ProviderId> list = base.postings_[j];
+      // Patch the touched provider rows: a joined provider gains noise bits
+      // outside the affected columns, a retired one loses its whole row.
+      for (const ProviderId p : touched) {
+        require(p < published.rows(), "PostingIndex: touched provider out of range");
+        const bool want = published.get(p, j);
+        const auto pos = std::lower_bound(list.begin(), list.end(), p);
+        const bool have = pos != list.end() && *pos == p;
+        if (want && !have) {
+          list.insert(pos, p);
+        } else if (!want && have) {
+          list.erase(pos);
+        }
+      }
+      list.shrink_to_fit();
+      postings_[j] = std::move(list);
+    } else {
+      // Re-invert this column from the published matrix, exact-size like the
+      // full constructor.
+      std::vector<ProviderId>& list = postings_[j];
+      list.reserve(published.col_count(j));
+      for (std::size_t i = 0; i < published.rows(); ++i) {
+        if (published.get(i, j)) list.push_back(static_cast<ProviderId>(i));
       }
     }
   }

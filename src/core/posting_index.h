@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/ppi_index.h"
@@ -29,6 +30,18 @@ class PostingIndex {
   // Directly from a published matrix (avoids wrapping a BitMatrix copy in a
   // temporary PpiIndex just to invert it).
   explicit PostingIndex(const eppi::BitMatrix& published);
+
+  // Partial-refresh constructor for incremental epochs: copies `base`'s
+  // posting lists verbatim except for the `affected` identity columns
+  // (re-inverted from `published`) and the `touched` provider rows (patched
+  // into every copied list where their published bit moved — joined or
+  // retired providers change cells outside the affected columns). The
+  // result shares no memory with `base`, so the serving tier's immutability
+  // contract is untouched; `published` may be larger than `base`'s shape
+  // (growth only).
+  PostingIndex(const PostingIndex& base, const eppi::BitMatrix& published,
+               std::span<const IdentityId> affected,
+               std::span<const ProviderId> touched);
 
   std::size_t providers() const noexcept { return providers_; }
   std::size_t identities() const noexcept { return postings_.size(); }

@@ -1,5 +1,6 @@
 #include "net/fault.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdlib>
 #include <vector>
@@ -114,6 +115,46 @@ LinkFault parse_faults(const std::string& text, const std::string& stmt) {
   return fault;
 }
 
+void parse_churn(const std::string& party_text, const std::string& body,
+                 const std::string& stmt, FaultScenario& scenario) {
+  const auto party = static_cast<PartyId>(parse_uint(trim(party_text), stmt));
+  ChurnEvent event;
+  for (const auto& raw : split(body, ',')) {
+    const std::string item = trim(raw);
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    require(eq != std::string::npos,
+            "FaultScenario: expected key=value in '" + stmt + "'");
+    const std::string key = trim(item.substr(0, eq));
+    const std::string value = trim(item.substr(eq + 1));
+    if (key == "join_at") {
+      event.join_at = parse_uint(value, stmt);
+    } else if (key == "leave_at") {
+      event.leave_at = parse_uint(value, stmt);
+    } else if (key == "flap") {
+      const auto dots = value.find("..");
+      require(dots != std::string::npos,
+              "FaultScenario: flap needs '<leave>..<rejoin>' in '" + stmt +
+                  "'");
+      event.leave_at = parse_uint(value.substr(0, dots), stmt);
+      event.join_at = parse_uint(value.substr(dots + 2), stmt);
+    } else {
+      require(false, "FaultScenario: unknown churn event '" + key + "' in '" +
+                         stmt + "'");
+    }
+  }
+  require(event.join_at.has_value() || event.leave_at.has_value(),
+          "FaultScenario: empty churn statement '" + stmt + "'");
+  require(!event.join_at || *event.join_at >= 1,
+          "FaultScenario: churn rounds are 1-based in '" + stmt + "'");
+  require(!event.leave_at || *event.leave_at >= 1,
+          "FaultScenario: churn rounds are 1-based in '" + stmt + "'");
+  require(!(event.join_at && event.leave_at) || *event.leave_at < *event.join_at,
+          "FaultScenario: flap must leave before it rejoins in '" + stmt +
+              "'");
+  scenario.churn[party] = event;
+}
+
 void parse_crash(const std::string& body, const std::string& stmt,
                  FaultScenario& scenario) {
   // body: "<P> after <N> sends" | "<P> at tag <T>"
@@ -143,6 +184,31 @@ void parse_crash(const std::string& body, const std::string& stmt,
 
 }  // namespace
 
+std::vector<PartyId> FaultScenario::joins_at(std::uint64_t round) const {
+  std::vector<PartyId> out;
+  for (const auto& [party, event] : churn) {
+    if (event.join_at == round) out.push_back(party);
+  }
+  return out;  // std::map iteration: already ascending
+}
+
+std::vector<PartyId> FaultScenario::leaves_at(std::uint64_t round) const {
+  std::vector<PartyId> out;
+  for (const auto& [party, event] : churn) {
+    if (event.leave_at == round) out.push_back(party);
+  }
+  return out;
+}
+
+std::uint64_t FaultScenario::last_churn_round() const {
+  std::uint64_t last = 0;
+  for (const auto& [party, event] : churn) {
+    if (event.join_at) last = std::max(last, *event.join_at);
+    if (event.leave_at) last = std::max(last, *event.leave_at);
+  }
+  return last;
+}
+
 FaultScenario FaultScenario::parse(const std::string& spec) {
   FaultScenario scenario;
   for (const auto& raw : split(spec, ';')) {
@@ -166,6 +232,12 @@ FaultScenario FaultScenario::parse(const std::string& spec) {
           parse_faults(stmt.substr(colon + 1), stmt);
     } else if (stmt.rfind("crash", 0) == 0) {
       parse_crash(trim(stmt.substr(5)), stmt, scenario);
+    } else if (stmt.rfind("churn", 0) == 0) {
+      const auto colon = stmt.find(':');
+      require(colon != std::string::npos,
+              "FaultScenario: churn statement needs ':' in '" + stmt + "'");
+      parse_churn(stmt.substr(5, colon - 5), stmt.substr(colon + 1), stmt,
+                  scenario);
     } else {
       require(false, "FaultScenario: unknown statement '" + stmt + "'");
     }

@@ -17,15 +17,22 @@
 //   link A->B: <faults>         override for the directed link A->B
 //   crash P after N sends       party P crashes on its (N+1)-th send
 //   crash P at tag T            party P crashes on its first send of tag T
+//   churn P: <events>           membership churn for party P (see below)
 //   <faults> := fault (',' fault)*
 //   <fault>  := drop=<p> | dup=<p> | reorder=<p> | delay=<lo>..<hi>ms
 //             | reset_after=<bytes> | blackhole=<0|1> | throttle=<bytes/s>
 //             | split=<bytes> | connect_delay=<ms>ms
+//   <events> := event (',' event)*
+//   <event>  := join_at=<round> | leave_at=<round> | flap=<leave>..<rejoin>
 //
 // The first row of faults is interpreted by the in-memory FaultyTransport;
 // the second row describes TCP-level misbehaviour and is interpreted by the
 // ChaosProxy (chaos_proxy.h) against real sockets — the in-memory layer
-// ignores them, so one scenario string can drive both harnesses.
+// ignores them, so one scenario string can drive both harnesses. Churn
+// statements describe *membership* over construction rounds (a deliberate
+// provider leave/join, not a crash) and are interpreted by the epoch-level
+// harnesses driving LocatorService::retire_provider / re-registration;
+// `flap=2..4` is shorthand for leave_at=2, join_at=4.
 #pragma once
 
 #include <chrono>
@@ -34,6 +41,7 @@
 #include <optional>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "net/message.h"
 
@@ -77,10 +85,21 @@ struct CrashPoint {
   std::optional<std::uint32_t> at_tag;
 };
 
+// Membership churn over construction rounds, for epoch-driven harnesses:
+// at the start of round `leave_at` the party retires (its rows are withdrawn
+// through the join/leave protocol); at the start of round `join_at` it
+// (re-)enters. Rounds are 1-based construction attempts. A flap is both,
+// with leave_at < join_at.
+struct ChurnEvent {
+  std::optional<std::uint64_t> join_at;
+  std::optional<std::uint64_t> leave_at;
+};
+
 struct FaultScenario {
   LinkFault default_fault;
   std::map<std::pair<PartyId, PartyId>, LinkFault> link_faults;
   std::map<PartyId, CrashPoint> crashes;
+  std::map<PartyId, ChurnEvent> churn;
 
   // Legacy DroppingTransport rule: drop every k-th data frame crossing the
   // transport (0 = off), counted globally in send order. Unlike the old
@@ -93,6 +112,13 @@ struct FaultScenario {
     const auto it = link_faults.find({from, to});
     return it == link_faults.end() ? default_fault : it->second;
   }
+
+  // Parties whose churn event fires at the given (1-based) round, ascending.
+  std::vector<PartyId> joins_at(std::uint64_t round) const;
+  std::vector<PartyId> leaves_at(std::uint64_t round) const;
+  // The last round any churn event fires in (0 when there is no churn) —
+  // harnesses run at least this many construction rounds.
+  std::uint64_t last_churn_round() const;
 
   // Parses the DSL described above; throws ConfigError on malformed input.
   static FaultScenario parse(const std::string& spec);

@@ -153,6 +153,51 @@ TEST(ServingConcurrencyTest, ReadersUninterruptedAcrossEpochSwaps) {
   EXPECT_EQ(service.query_ppi_with_status(owner_name(0)).epoch, kSwaps + 1);
 }
 
+// Same reader contract, but with the incremental path PINNED on: every swap
+// after the first must be a delta splice (the writer checks last_rebuild()
+// each round), so readers are provably uninterrupted across 100+ spliced
+// snapshot publishes — the splice constructor shares no memory with the
+// snapshot it copies from, and TSan watches that claim here.
+TEST(ServingConcurrencyTest, ReadersUninterruptedAcrossDeltaSplices) {
+  const TwoStates expect = expected_states();
+  LocatorService service{serve_options()};
+  populate(service, kLowEps);
+  service.construct_ppi();
+
+  constexpr std::size_t kSplices = 100;
+  constexpr std::size_t kReaders = 3;
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> answered{0};
+
+  std::vector<std::function<void()>> bodies;
+  bodies.push_back([&] {  // writer
+    for (std::size_t k = 0; k < kSplices; ++k) {
+      const double eps = (k % 2 == 0) ? kHighEps : kLowEps;
+      service.delegate(owner_name(0), eps, provider_name(0));
+      service.construct_ppi();
+      require(service.last_rebuild().delta,
+              "delta path must engage for a one-owner touch");
+    }
+    done.store(true, std::memory_order_release);
+  });
+  for (std::size_t r = 0; r < kReaders; ++r) {
+    bodies.push_back([&, r] {
+      std::size_t j = r;
+      while (!done.load(std::memory_order_acquire)) {
+        j = (j + 1) % kOwners;
+        const auto result = service.query_ppi_with_status(owner_name(j));
+        require(result.providers == expect.low[j] ||
+                    result.providers == expect.high[j],
+                "answer matches neither reachable epoch");
+        answered.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  run_threads(bodies);
+  EXPECT_GE(service.metrics().epoch_swaps, kSplices + 1);
+  EXPECT_GT(answered.load(), 0u);
+}
+
 // Metamorphic snapshot consistency for the batched path: a batch resolved
 // mid-swap must be answered entirely from one epoch — its answers equal one
 // state's answer map as a whole, never a mix of both.

@@ -50,6 +50,43 @@ TEST(FaultScenarioTest, EmptySpecIsLossless) {
   EXPECT_TRUE(scenario.default_fault.lossless());
   EXPECT_TRUE(scenario.crashes.empty());
   EXPECT_TRUE(scenario.link_faults.empty());
+  EXPECT_TRUE(scenario.churn.empty());
+  EXPECT_EQ(scenario.last_churn_round(), 0u);
+}
+
+TEST(FaultScenarioTest, ParsesChurnStatements) {
+  const auto scenario = FaultScenario::parse(
+      "churn 2: join_at=3; churn 4: leave_at=2; churn 1: flap=2..5; "
+      "all: drop=0.1");
+  ASSERT_EQ(scenario.churn.size(), 3u);
+  EXPECT_EQ(scenario.churn.at(2).join_at, std::uint64_t{3});
+  EXPECT_FALSE(scenario.churn.at(2).leave_at.has_value());
+  EXPECT_EQ(scenario.churn.at(4).leave_at, std::uint64_t{2});
+  // flap = leave then rejoin.
+  EXPECT_EQ(scenario.churn.at(1).leave_at, std::uint64_t{2});
+  EXPECT_EQ(scenario.churn.at(1).join_at, std::uint64_t{5});
+
+  // Round queries, ascending party order.
+  EXPECT_EQ(scenario.leaves_at(2), (std::vector<PartyId>{1, 4}));
+  EXPECT_EQ(scenario.joins_at(3), std::vector<PartyId>{2});
+  EXPECT_TRUE(scenario.joins_at(2).empty());
+  EXPECT_EQ(scenario.last_churn_round(), 5u);
+  // Churn composes with transport faults in one spec.
+  EXPECT_DOUBLE_EQ(scenario.default_fault.drop_prob, 0.1);
+}
+
+TEST(FaultScenarioTest, RejectsMalformedChurn) {
+  // A flap that rejoins before it leaves is a contradiction, not churn.
+  EXPECT_THROW(FaultScenario::parse("churn 1: flap=4..2"),
+               eppi::ConfigError);
+  EXPECT_THROW(FaultScenario::parse("churn 1: flap=3"), eppi::ConfigError);
+  EXPECT_THROW(FaultScenario::parse("churn 1:"), eppi::ConfigError);
+  EXPECT_THROW(FaultScenario::parse("churn 1: join_at=0"),
+               eppi::ConfigError);
+  EXPECT_THROW(FaultScenario::parse("churn 1: evaporate_at=2"),
+               eppi::ConfigError);
+  EXPECT_THROW(FaultScenario::parse("churn x: join_at=2"),
+               eppi::ConfigError);
 }
 
 TEST(FaultScenarioTest, RejectsMalformedSpecs) {

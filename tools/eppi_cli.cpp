@@ -84,6 +84,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <mutex>
 #include <span>
 #include <sstream>
 #include <string>
@@ -132,7 +133,7 @@ int usage() {
          "  eppi_cli serve [<collection.csv>] [--eps x] [--threads T] "
          "[--queries N] [--batch B]\n"
          "           [--rebuilds R] [--seed n] [--smoke] [--prom] "
-         "[--trace out.jsonl] [--listen PORT]\n"
+         "[--trace out.jsonl] [--listen PORT] [--no-delta]\n"
          "  eppi_cli trace <trace.jsonl> [--expect-bytes N]\n";
   return 2;
 }
@@ -599,6 +600,7 @@ int cmd_serve(const std::vector<std::string>& args) {
   std::uint64_t seed = 1;
   bool smoke = false;
   bool prom = false;
+  bool no_delta = false;
   std::string trace_path;
   std::uint16_t listen_port = 0;
   bool listen_set = false;
@@ -629,6 +631,8 @@ int cmd_serve(const std::vector<std::string>& args) {
       smoke = true;
     } else if (arg == "--prom") {
       prom = true;
+    } else if (arg == "--no-delta") {
+      no_delta = true;
     } else if (arg == "--trace") {
       trace_path = next();
     } else if (!arg.empty() && arg[0] == '-') {
@@ -658,6 +662,9 @@ int cmd_serve(const std::vector<std::string>& args) {
   options.distributed = false;
   options.policy = eppi::core::BetaPolicy::chernoff(0.9);
   options.seed = seed;
+  // --no-delta is the operational escape hatch: every admin-driven rebuild
+  // becomes a full one (delta epochs are otherwise on by default).
+  options.enable_delta = !no_delta;
   eppi::core::LocatorService service(options);
   for (std::size_t i = 0; i < net.providers(); ++i) {
     for (std::size_t j = 0; j < net.identities(); ++j) {
@@ -673,7 +680,14 @@ int cmd_serve(const std::vector<std::string>& args) {
     // Daemon mode: expose the locator over HTTP until SIGTERM/SIGINT, then
     // drain in-flight requests and exit cleanly. stdout stays quiet so
     // supervisors can reserve it; operational chatter goes to stderr.
+    //
+    // Besides the read path (/query), the daemon accepts membership churn:
+    // POST /delegate (owner,eps,provider per line), POST /retire (provider
+    // per line), POST /rebuild (publishes the next epoch — incrementally
+    // when only a few owners moved, unless --no-delta). Queries stay
+    // lock-free on the snapshot; the admin mutex only serializes writers.
     install_terminate_handler();
+    std::mutex admin_mu;
     eppi::net::MiniHttpServer http(
         listen_port, [&](const eppi::net::HttpRequest& req) {
           eppi::net::HttpResponse resp;
@@ -717,6 +731,73 @@ int cmd_serve(const std::vector<std::string>& args) {
             resp.body = lines.str();
             return resp;
           }
+          if (req.path == "/delegate" && req.method == "POST") {
+            std::scoped_lock lock(admin_mu);
+            std::istringstream body(req.body);
+            std::string line;
+            std::size_t applied = 0;
+            try {
+              while (std::getline(body, line)) {
+                if (!line.empty() && line.back() == '\r') line.pop_back();
+                if (line.empty()) continue;
+                const auto c1 = line.find(',');
+                const auto c2 =
+                    c1 == std::string::npos ? c1 : line.find(',', c1 + 1);
+                if (c2 == std::string::npos) {
+                  throw eppi::ConfigError("expected owner,eps,provider: " +
+                                          line);
+                }
+                service.delegate(line.substr(0, c1),
+                                 std::stod(line.substr(c1 + 1, c2 - c1 - 1)),
+                                 line.substr(c2 + 1));
+                ++applied;
+              }
+            } catch (const std::exception& err) {
+              resp.status = 400;
+              resp.body = std::string(err.what()) + "\n";
+              return resp;
+            }
+            resp.body = "delegated " + std::to_string(applied) + "\n";
+            return resp;
+          }
+          if (req.path == "/retire" && req.method == "POST") {
+            std::scoped_lock lock(admin_mu);
+            std::istringstream body(req.body);
+            std::string line;
+            std::size_t applied = 0;
+            try {
+              while (std::getline(body, line)) {
+                if (!line.empty() && line.back() == '\r') line.pop_back();
+                if (line.empty()) continue;
+                service.retire_provider(line);
+                ++applied;
+              }
+            } catch (const std::exception& err) {
+              resp.status = 400;
+              resp.body = std::string(err.what()) + "\n";
+              return resp;
+            }
+            resp.body = "retired " + std::to_string(applied) + "\n";
+            return resp;
+          }
+          if (req.path == "/rebuild" && req.method == "POST") {
+            std::scoped_lock lock(admin_mu);
+            try {
+              service.construct_ppi();
+            } catch (const std::exception& err) {
+              resp.status = 500;
+              resp.body = std::string(err.what()) + "\n";
+              return resp;
+            }
+            const auto& info = service.last_rebuild();
+            std::ostringstream out;
+            out << "epoch=" << info.epoch << " delta=" << (info.delta ? 1 : 0)
+                << " degraded=" << (info.degraded ? 1 : 0)
+                << " dirty=" << info.dirty << " joined=" << info.joined
+                << " left=" << info.left << " churn=" << info.churn << '\n';
+            resp.body = out.str();
+            return resp;
+          }
           resp.status = 404;
           resp.body = "not found\n";
           return resp;
@@ -724,7 +805,8 @@ int cmd_serve(const std::vector<std::string>& args) {
     http.start();
     std::cerr << "eppi_serve: " << net.identities() << " owners across "
               << net.providers() << " providers; HTTP on port " << http.port()
-              << " (/healthz /metrics /query); SIGTERM drains\n";
+              << " (/healthz /metrics /query /delegate /retire /rebuild); "
+                 "SIGTERM drains\n";
     while (g_terminate == 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
     }
