@@ -23,6 +23,7 @@
 // Usage: bench_serving [--smoke] [--json <path>]
 //   --smoke   small sizes + fewer swaps (CI gate)
 //   --json    machine-readable results (default BENCH_serving.json)
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstddef>
@@ -273,12 +274,122 @@ RebuildResult run_rebuild(std::size_t providers, std::size_t owners,
   return r;
 }
 
+// --- million-owner scale: compressed vs dense --------------------------------
+
+// The tentpole claim of the compressed index: at locator-service scale
+// (10^6 owner identities, most claimed by a handful of providers) the
+// per-row codec storage beats the dense bit matrix by a wide margin while
+// queries stay flat. The workload is the paper's: almost every identity is
+// sparse (1-8 providers), with ~2% "celebrity" identities dense enough to
+// flip the per-row chooser to the bitvector codec.
+struct ScaleResult {
+  std::size_t providers = 0;
+  std::size_t identities = 0;
+  double build_ms = 0.0;       // posting lists -> compressed sharded index
+  double dense_us = 0.0;       // per query: dense matrix column scan
+  double compressed_us = 0.0;  // per query: PostingIndex::query_into
+  std::size_t dense_matrix_kib = 0;
+  std::size_t payload_kib = 0;
+  std::size_t resident_kib = 0;
+  double memory_reduction_x = 0.0;  // dense matrix bytes / resident bytes
+};
+
+ScaleResult run_scale(std::size_t m, std::size_t n, std::size_t queries,
+                      std::uint64_t seed) {
+  eppi::Rng rng(seed);
+  std::vector<std::vector<eppi::core::ProviderId>> lists(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    auto& list = lists[j];
+    if (rng.bernoulli(0.02)) {  // celebrity: ~half the providers claim it
+      for (std::size_t i = 0; i < m; ++i) {
+        if (rng.bernoulli(0.5)) {
+          list.push_back(static_cast<eppi::core::ProviderId>(i));
+        }
+      }
+    } else {  // long tail: 1-8 distinct providers
+      const std::size_t k = 1 + rng.next_below(8);
+      for (std::size_t c = 0; c < k; ++c) {
+        list.push_back(static_cast<eppi::core::ProviderId>(rng.next_below(m)));
+      }
+      std::sort(list.begin(), list.end());
+      list.erase(std::unique(list.begin(), list.end()), list.end());
+    }
+  }
+
+  ScaleResult r;
+  r.providers = m;
+  r.identities = n;
+
+  const auto b0 = std::chrono::steady_clock::now();
+  const eppi::core::PostingIndex compressed(m, lists);
+  const auto b1 = std::chrono::steady_clock::now();
+  r.build_ms = std::chrono::duration<double, std::milli>(b1 - b0).count();
+
+  // The dense strawman the compressed index replaces. Built here only for
+  // the side-by-side — nothing on the serving or replay path does this.
+  eppi::BitMatrix dense(m, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (const auto i : lists[j]) dense.set(i, j, true);
+  }
+
+  std::vector<eppi::core::IdentityId> probe(queries);
+  for (auto& id : probe) {
+    id = static_cast<eppi::core::IdentityId>(rng.next_below(n));
+  }
+
+  std::vector<eppi::core::ProviderId> out;
+  out.reserve(m);
+  std::size_t dense_total = 0;
+  auto start = std::chrono::steady_clock::now();
+  for (const auto id : probe) {
+    out.clear();
+    for (std::size_t i = 0; i < m; ++i) {
+      if (dense.get(i, id)) {
+        out.push_back(static_cast<eppi::core::ProviderId>(i));
+      }
+    }
+    dense_total += out.size();
+  }
+  auto stop = std::chrono::steady_clock::now();
+  r.dense_us =
+      std::chrono::duration<double, std::micro>(stop - start).count() /
+      static_cast<double>(queries);
+
+  std::size_t compressed_total = 0;
+  start = std::chrono::steady_clock::now();
+  for (const auto id : probe) {
+    compressed.query_into(id, out);
+    compressed_total += out.size();
+  }
+  stop = std::chrono::steady_clock::now();
+  r.compressed_us =
+      std::chrono::duration<double, std::micro>(stop - start).count() /
+      static_cast<double>(queries);
+  if (compressed_total != dense_total) {
+    std::cerr << "scale bench: representations disagree ("
+              << compressed_total << " vs " << dense_total << ")\n";
+    std::exit(1);
+  }
+
+  const std::size_t dense_bytes = ((m * n) + 7) / 8;
+  const auto fp = compressed.memory_footprint();
+  r.dense_matrix_kib = dense_bytes / 1024;
+  r.payload_kib = fp.payload_bytes / 1024;
+  r.resident_kib = fp.resident_bytes / 1024;
+  r.memory_reduction_x = fp.resident_bytes > 0
+                             ? static_cast<double>(dense_bytes) /
+                                   static_cast<double>(fp.resident_bytes)
+                             : 0.0;
+  return r;
+}
+
 void write_json(const std::string& path, const ServeConfig& cfg,
                 const std::vector<Timing>& single,
                 const std::vector<std::size_t>& single_m,
                 const std::vector<double>& single_eps,
                 const std::vector<ThreadedResult>& threaded,
-                const std::vector<RebuildResult>& rebuilds) {
+                const std::vector<RebuildResult>& rebuilds,
+                const std::vector<ScaleResult>& scales) {
   std::ofstream out(path);
   if (!out) {
     std::cerr << "cannot write " << path << '\n';
@@ -317,6 +428,20 @@ void write_json(const std::string& path, const ServeConfig& cfg,
         << ", \"full_us\": " << r.full_us << ", \"delta_us\": " << r.delta_us
         << ", \"speedup\": " << r.speedup << "}"
         << (k + 1 < rebuilds.size() ? "," : "") << '\n';
+  }
+  out << "  ],\n  \"million_scale\": [\n";
+  for (std::size_t k = 0; k < scales.size(); ++k) {
+    const auto& s = scales[k];
+    out << "    {\"providers\": " << s.providers
+        << ", \"identities\": " << s.identities
+        << ", \"build_ms\": " << s.build_ms
+        << ", \"dense_us\": " << s.dense_us
+        << ", \"compressed_us\": " << s.compressed_us
+        << ", \"dense_matrix_kib\": " << s.dense_matrix_kib
+        << ", \"payload_kib\": " << s.payload_kib
+        << ", \"resident_kib\": " << s.resident_kib
+        << ", \"memory_reduction_x\": " << s.memory_reduction_x << "}"
+        << (k + 1 < scales.size() ? "," : "") << '\n';
   }
   // Full metrics-registry snapshot: every ServingMetrics instance this
   // process created (one per run_threaded call, distinct `instance` labels),
@@ -420,6 +545,32 @@ int main(int argc, char** argv) {
   }
   rebuild_table.print("Epoch rebuild: full vs delta (dirty < 10%)");
 
+  // Part 4: million-owner scale — compressed sharded index vs dense matrix.
+  const std::size_t scale_m = smoke ? 500 : 1000;
+  const std::size_t scale_n = smoke ? 100'000 : 1'000'000;
+  const std::size_t scale_q = smoke ? 2000 : 20000;
+  std::vector<ScaleResult> scales{run_scale(scale_m, scale_n, scale_q, 77)};
+  eppi::bench::ResultTable scale_table(
+      {"providers", "identities", "build-ms", "dense-us/q", "compressed-us/q",
+       "dense-KiB", "resident-KiB", "reduction"});
+  for (const auto& s : scales) {
+    scale_table.add_row(
+        {std::to_string(s.providers), std::to_string(s.identities),
+         eppi::bench::fmt(s.build_ms, 0), eppi::bench::fmt(s.dense_us, 2),
+         eppi::bench::fmt(s.compressed_us, 3),
+         std::to_string(s.dense_matrix_kib), std::to_string(s.resident_kib),
+         "x" + eppi::bench::fmt(s.memory_reduction_x, 1)});
+  }
+  scale_table.print("Million-owner scale: compressed index vs dense matrix");
+  // The acceptance floor for the compressed representation on the sparse
+  // locator workload. Deterministic (seeded), so a failure is a real
+  // storage regression, not noise.
+  if (scales.front().memory_reduction_x < 4.0) {
+    std::cerr << "scale bench: memory reduction x"
+              << scales.front().memory_reduction_x << " below the 4x floor\n";
+    return 1;
+  }
+
   const double base = threaded.front().qps;
   const double best = [&] {
     double b = 0.0;
@@ -435,6 +586,6 @@ int main(int argc, char** argv) {
                "the snapshot\nacquisition and name resolution.\n";
 
   write_json(json_path, cfg, single, single_m, single_eps, threaded,
-             rebuilds);
+             rebuilds, scales);
   return 0;
 }

@@ -9,15 +9,19 @@
 #               (ctest -L storage)
 #   concurrency plain build, but only the serving-tier reader/writer storms
 #               (ctest -L concurrency; the tsan stage reruns them raced)
+#   index       plain build, but only the compressed-posting-index harness:
+#               codec property/fuzz tests, the dense-vs-compressed
+#               differential suite, and v3 persistence (ctest -L index)
 #   obs         plain build, but only the observability layer: metrics
 #               registry, trace ring, JSONL replay, and the construction/
 #               serving/storage instrumentation gates (ctest -L obs), plus
 #               the CLI smoke pipe: serve --smoke --prom | eppi_cli stats -
 #   asan        ASan+UBSan build in ./build-asan, full ctest
-#   tsan        TSan build in ./build-tsan, fault-, concurrency- and obs-
-#               labeled tests (the threaded cluster/reliability paths, the
-#               epoch-snapshot serving tier, and the lock-free trace ring
-#               are where races would live)
+#   tsan        TSan build in ./build-tsan, fault-, concurrency-, obs- and
+#               index-labeled tests (the threaded cluster/reliability
+#               paths, the epoch-snapshot serving tier, the lock-free trace
+#               ring, and the shared-shard snapshot swaps are where races
+#               would live)
 #   bench       smoke-mode bench_serving + bench_tcp, diffed against the
 #               committed BENCH_*.json baselines with a loose (5x) tolerance
 #               via scripts/check_bench.py — catches order-of-magnitude
@@ -60,6 +64,9 @@ case "$stage" in
     ;;
   concurrency)
     run_preset default -L concurrency
+    ;;
+  index)
+    run_preset default -L index
     ;;
   obs)
     run_preset default -L obs
@@ -134,7 +141,7 @@ case "$stage" in
     "$0" analyze
     ;;
   *)
-    echo "usage: $0 [plain|fault|storage|concurrency|obs|bench|asan|tsan|lint|analyze|all]" >&2
+    echo "usage: $0 [plain|fault|storage|concurrency|index|obs|bench|asan|tsan|lint|analyze|all]" >&2
     exit 2
     ;;
 esac

@@ -26,6 +26,12 @@ import sys
 TIMING_SUFFIXES = ("_us", "_ms", "_s")
 # "Bigger is better" rates: compared in the opposite direction.
 RATE_FIELDS = {"qps"}
+# Compression/efficiency ratios (e.g. memory_reduction_x): bigger is
+# better, and gated much tighter than timings — the ratio is a property of
+# the encoder, not the machine, so it must stay within 1.5x of the
+# baseline regardless of --tolerance.
+REDUCTION_SUFFIX = "_reduction_x"
+REDUCTION_TOLERANCE = 1.5
 
 
 def walk(path, node, out):
@@ -89,7 +95,12 @@ def main():
             continue
         name = leaf_name(path)
         current = fresh_leaves[path]
-        if name in RATE_FIELDS:
+        if name.endswith(REDUCTION_SUFFIX):
+            if base > 0 and current < base / REDUCTION_TOLERANCE:
+                failures.append(
+                    f"{path}: reduction fell {base:.1f} -> {current:.1f} "
+                    f"(> {REDUCTION_TOLERANCE}x)")
+        elif name in RATE_FIELDS:
             if base > 0 and current < base / args.tolerance:
                 failures.append(
                     f"{path}: rate fell {base:.1f} -> {current:.1f} "

@@ -272,6 +272,8 @@ EpochManager::EpochResult EpochManager::rebuild_delta(
     rec.col_splices.push_back(std::move(col));
   }
   rec.matrix_crc = matrix_checksum(published);
+  rec.postings_crc = postings_checksum(published);
+  rec.has_postings_crc = true;
 
   adopt_epoch(published, lambda, &rec);
   has_last_info_ = true;
@@ -328,7 +330,8 @@ void EpochManager::adopt_epoch(const eppi::BitMatrix& published,
     if (as_delta) {
       store_->commit_delta(*delta_rec);
     } else {
-      store_->commit_epoch(epoch_ + 1, PpiIndex(published), lambda);
+      store_->commit_epoch(epoch_ + 1, PostingIndex(published), lambda,
+                           commit_lexicon_.get());
     }
   }
   previous_ = published;
@@ -670,6 +673,8 @@ EpochManager::DistributedEpochResult EpochManager::rebuild_delta_distributed(
     rec.col_splices.push_back(std::move(col));
   }
   rec.matrix_crc = matrix_checksum(published);
+  rec.postings_crc = postings_checksum(published);
+  rec.has_postings_crc = true;
 
   adopt_epoch(published, lambda, &rec);
   has_last_info_ = false;

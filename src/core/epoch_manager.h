@@ -26,6 +26,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -168,6 +169,14 @@ class EpochManager {
   // successful rebuild is committed durably before it takes effect.
   void attach_store(EpochStore& store);
 
+  // Owner-name lexicon persisted alongside each full-epoch commit (omitted
+  // when null), so a recovered store can republish name lookups without
+  // re-running registration. The serving tier refreshes it before every
+  // rebuild; the manager only forwards the pointer to the store.
+  void set_commit_lexicon(std::shared_ptr<const Lexicon> lexicon) {
+    commit_lexicon_ = std::move(lexicon);
+  }
+
   // What the manager is currently serving, for staleness-aware callers.
   struct ServingStatus {
     std::uint64_t epoch = 0;      // epoch of the index being served
@@ -229,6 +238,7 @@ class EpochManager {
   std::size_t failed_rebuilds_ = 0;
   std::string last_failure_;
   EpochStore* store_ = nullptr;
+  std::shared_ptr<const Lexicon> commit_lexicon_;
   std::size_t failed_since_commit_ = 0;
   bool has_epoch_time_ = false;
   std::chrono::steady_clock::time_point epoch_time_{};

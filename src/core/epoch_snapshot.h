@@ -51,9 +51,9 @@
 #include <memory>
 #include <string>
 #include <thread>
-#include <unordered_map>
 #include <vector>
 
+#include "core/lexicon.h"
 #include "core/posting_index.h"
 
 namespace eppi::core {
@@ -68,8 +68,10 @@ struct EpochSnapshot {
   // through these frozen copies, never through the live (writer-mutable)
   // registration maps: an owner delegated after this epoch was built is
   // simply "unknown" to it, exactly as it is unknown to the index itself.
-  std::shared_ptr<const std::unordered_map<std::string, IdentityId>>
-      owner_ids;
+  // The owner catalog is the front-coded Lexicon (core/lexicon.h), not a
+  // hash map — at millions of owners the map's per-node overhead would
+  // dwarf the compressed index it sits next to.
+  std::shared_ptr<const Lexicon> owners;
   std::shared_ptr<const std::vector<std::string>> provider_names;
 
   // Staleness labels, frozen with the data they describe (mirrors

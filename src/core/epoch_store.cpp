@@ -21,7 +21,8 @@ constexpr char kQuarantineDir[] = "quarantine";
 
 constexpr std::uint8_t kRecordSticky = 1;
 constexpr std::uint8_t kRecordEpoch = 2;
-constexpr std::uint8_t kRecordDelta = 3;
+constexpr std::uint8_t kRecordDelta = 3;    // pins replay to matrix_checksum
+constexpr std::uint8_t kRecordDeltaV2 = 4;  // pins replay to postings_checksum
 
 // Journal records cannot plausibly exceed this; a larger length field is a
 // torn/corrupt tail, not a record.
@@ -55,13 +56,17 @@ bool manifest_magic_ok(std::span<const std::uint8_t> bytes) {
 
 std::vector<std::uint8_t> delta_payload(const EpochStore::EpochDelta& d) {
   BinaryWriter w;
-  w.write_u8(kRecordDelta);
+  // Both delta record generations share one layout; the type byte decides
+  // whether the u32 after λ is a matrix_checksum (type 3, legacy) or a
+  // postings_checksum (type 4). Old readers skip type 4 as unknown rather
+  // than misinterpreting the checksum.
+  w.write_u8(d.has_postings_crc ? kRecordDeltaV2 : kRecordDelta);
   w.write_u64(d.epoch);
   w.write_u64(d.base_epoch);
   w.write_u64(d.rows);
   w.write_u64(d.cols);
   w.write_u64(std::bit_cast<std::uint64_t>(d.lambda));
-  w.write_u32(d.matrix_crc);
+  w.write_u32(d.has_postings_crc ? d.postings_crc : d.matrix_crc);
   w.write_varint(d.joined.size());
   for (const std::uint32_t p : d.joined) w.write_u32(p);
   w.write_varint(d.left.size());
@@ -79,16 +84,19 @@ std::vector<std::uint8_t> delta_payload(const EpochStore::EpochDelta& d) {
   return w.take();
 }
 
-// Inverse of delta_payload; the leading type byte is already consumed.
+// Inverse of delta_payload; the leading type byte is already consumed and
+// `postings_pinned` says which generation it named.
 // Throws SerializeError on truncation (the caller treats it as torn tail).
-EpochStore::EpochDelta read_delta(BinaryReader& r) {
+EpochStore::EpochDelta read_delta(BinaryReader& r, bool postings_pinned) {
   EpochStore::EpochDelta d;
   d.epoch = r.read_u64();
   d.base_epoch = r.read_u64();
   d.rows = r.read_u64();
   d.cols = r.read_u64();
   d.lambda = std::bit_cast<double>(r.read_u64());
-  d.matrix_crc = r.read_u32();
+  const std::uint32_t crc = r.read_u32();
+  d.has_postings_crc = postings_pinned;
+  (postings_pinned ? d.postings_crc : d.matrix_crc) = crc;
   // Each count is validated against the bytes actually left before any
   // allocation: an implausible count is a malformed record, not an OOM.
   const auto checked_count = [&r](std::size_t per_element) {
@@ -113,6 +121,15 @@ EpochStore::EpochDelta read_delta(BinaryReader& r) {
     col.bits = r.read_bytes();
   }
   return d;
+}
+
+// Whether a replayed result reaches the checksum its delta record pinned —
+// postings_checksum for type-4 records, matrix_checksum for legacy type 3.
+// Either way the verification runs in posting space.
+bool delta_matches(const PostingIndex& next,
+                   const EpochStore::EpochDelta& d) {
+  return d.has_postings_crc ? postings_checksum(next) == d.postings_crc
+                            : matrix_checksum(next) == d.matrix_crc;
 }
 
 // Result of a read-only journal scan, shared by recovery and fsck.
@@ -178,8 +195,8 @@ ManifestScan scan_manifest(std::span<const std::uint8_t> bytes) {
         } else {
           scan.epochs.push_back(std::move(rec));
         }
-      } else if (type == kRecordDelta) {
-        EpochStore::EpochDelta delta = read_delta(r);
+      } else if (type == kRecordDelta || type == kRecordDeltaV2) {
+        EpochStore::EpochDelta delta = read_delta(r, type == kRecordDeltaV2);
         EpochStore::EpochRecord rec;
         rec.epoch = delta.epoch;
         rec.rows = delta.rows;
@@ -377,24 +394,26 @@ void EpochStore::recover() {
     rec.file_intact = true;
   }
 
-  // Replay pass: walk the lineage once, carrying the current replayed matrix
-  // forward, and mark each delta intact only if its base is the immediately
-  // preceding replayable epoch AND the replay matches the record's checksum.
+  // Replay pass: walk the lineage once, carrying the current replayed
+  // postings forward, and mark each delta intact only if its base is the
+  // immediately preceding replayable epoch AND the replay matches the
+  // record's checksum. The whole pass runs in posting space — at a
+  // million-owner shape the dense matrix would not fit the recovery budget.
   // An orphaned delta (base missing/quarantined, checksum mismatch) has its
   // payload dumped to quarantine/ for post-mortems — the journal itself is
   // never rewritten — and breaks the chain until the next intact full epoch.
-  std::optional<eppi::BitMatrix> replayed;
+  std::optional<PostingIndex> replayed;
   std::uint64_t replayed_epoch = 0;
   for (std::size_t i = 0; i < epochs_.size(); ++i) {
     EpochRecord& rec = epochs_[i];
     if (!rec.is_delta) {
       replayed.reset();
-      // Only materialize the matrix if a delta actually builds on it.
+      // Only load the postings if a delta actually builds on them.
       const bool needed =
           i + 1 < epochs_.size() && epochs_[i + 1].is_delta;
       if (rec.file_intact && needed) {
-        replayed = load_index_bytes(vfs_.read_file(path_of(rec.file)))
-                       .matrix();
+        replayed =
+            load_postings_bytes(vfs_.read_file(path_of(rec.file))).postings;
         replayed_epoch = rec.epoch;
       }
       continue;
@@ -410,8 +429,8 @@ void EpochStore::recover() {
             " is not replayable";
     } else {
       try {
-        eppi::BitMatrix next = apply_delta(*replayed, it->second);
-        if (matrix_checksum(next) != it->second.matrix_crc) {
+        PostingIndex next = apply_delta_postings(*replayed, it->second);
+        if (!delta_matches(next, it->second)) {
           why = "replayed matrix checksum mismatch";
         } else {
           rec.file_intact = true;
@@ -490,7 +509,7 @@ std::optional<std::uint64_t> EpochStore::latest_epoch() const {
   return std::nullopt;
 }
 
-PpiIndex EpochStore::load_epoch(std::uint64_t epoch) const {
+LoadedIndex EpochStore::load_epoch_postings(std::uint64_t epoch) const {
   auto it = std::find_if(
       epochs_.begin(), epochs_.end(),
       [&](const EpochRecord& r) { return r.epoch == epoch; });
@@ -510,27 +529,30 @@ PpiIndex EpochStore::load_epoch(std::uint64_t epoch) const {
             "EpochStore: delta chain references unknown epoch " +
                 std::to_string(base));
   }
-  PpiIndex index = load_index_bytes(vfs_.read_file(path_of(it->file)));
-  if (index.providers() != it->rows || index.identities() != it->cols) {
+  LoadedIndex loaded = load_postings_bytes(vfs_.read_file(path_of(it->file)));
+  if (loaded.postings.providers() != it->rows ||
+      loaded.postings.identities() != it->cols) {
     throw CorruptIndexError(IndexSection::kHeader,
                             "epoch file shape differs from journal record");
   }
-  if (chain.empty()) return index;
-  eppi::BitMatrix matrix = index.matrix();
   for (auto rit = chain.rbegin(); rit != chain.rend(); ++rit) {
-    matrix = apply_delta(matrix, **rit);
-    if (matrix_checksum(matrix) != (*rit)->matrix_crc) {
+    loaded.postings = apply_delta_postings(loaded.postings, **rit);
+    if (!delta_matches(loaded.postings, **rit)) {
       throw CorruptIndexError(
           IndexSection::kPayload,
           "delta replay checksum mismatch at epoch " +
               std::to_string((*rit)->epoch));
     }
   }
-  return PpiIndex(std::move(matrix));
+  return loaded;
 }
 
-void EpochStore::commit_epoch(std::uint64_t epoch, const PpiIndex& index,
-                              double lambda) {
+PpiIndex EpochStore::load_epoch(std::uint64_t epoch) const {
+  return load_epoch_postings(epoch).postings.to_matrix_index();
+}
+
+void EpochStore::commit_epoch(std::uint64_t epoch, const PostingIndex& index,
+                              double lambda, const Lexicon* lexicon) {
   require(epochs_.empty() || epoch > epochs_.back().epoch,
           "EpochStore: epoch must advance the lineage");
   EpochRecord rec;
@@ -548,7 +570,7 @@ void EpochStore::commit_epoch(std::uint64_t epoch, const PpiIndex& index,
 
   // Index first, journal second: the record must never reference a file
   // that is not fully durable.
-  const auto bytes = save_index_bytes(index);
+  const auto bytes = save_index_v3_bytes(index, lexicon);
   span.attr("bytes", bytes.size());
   storage::atomic_write_file(vfs_, path_of(rec.file), bytes);
   append_record(epoch_payload(rec));
@@ -557,6 +579,11 @@ void EpochStore::commit_epoch(std::uint64_t epoch, const PpiIndex& index,
       .counter("eppi_store_commits_total", {},
                "Epoch indexes committed to the durable store")
       .add();
+}
+
+void EpochStore::commit_epoch(std::uint64_t epoch, const PpiIndex& index,
+                              double lambda) {
+  commit_epoch(epoch, PostingIndex(index), lambda, nullptr);
 }
 
 void EpochStore::commit_delta(const EpochDelta& delta) {
@@ -693,6 +720,159 @@ eppi::BitMatrix apply_delta(const eppi::BitMatrix& base,
   return next;
 }
 
+std::uint32_t matrix_checksum(const PostingIndex& postings) {
+  const std::size_t rows = postings.providers();
+  const std::size_t cols = postings.identities();
+  // Transpose to per-provider identity lists — O(set bits), not O(m·n).
+  // Identities arrive in ascending order, so each list comes out sorted.
+  std::vector<std::vector<IdentityId>> by_provider(rows);
+  std::vector<ProviderId> list;
+  for (std::size_t j = 0; j < cols; ++j) {
+    postings.query_into(static_cast<IdentityId>(j), list);
+    for (const ProviderId p : list) {
+      by_provider[p].push_back(static_cast<IdentityId>(j));
+    }
+  }
+  // Stream exactly the bytes matrix_checksum(BitMatrix) hashes — u64 LE
+  // shape then packed row words — reusing ONE row's worth of buffer.
+  BinaryWriter header;
+  header.write_u64(rows);
+  header.write_u64(cols);
+  std::uint32_t crc = crc32c(header.buffer());
+  const std::size_t words = (cols + 63) / 64;
+  std::vector<std::uint64_t> row(words);
+  std::vector<std::uint8_t> bytes(words * 8);
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::fill(row.begin(), row.end(), std::uint64_t{0});
+    for (const IdentityId j : by_provider[i]) {
+      row[j >> 6] |= std::uint64_t{1} << (j & 63);
+    }
+    for (std::size_t k = 0; k < words; ++k) {
+      for (int b = 0; b < 8; ++b) {
+        bytes[k * 8 + static_cast<std::size_t>(b)] =
+            static_cast<std::uint8_t>(row[k] >> (8 * b));
+      }
+    }
+    crc = crc32c(bytes, crc);
+  }
+  return crc;
+}
+
+namespace {
+
+// Shared tail of the two postings_checksum overloads: hash the u64 LE shape,
+// then per identity a u32 count followed by the sorted u32 provider ids.
+// Chunked per column so a million-identity index never builds one giant
+// contiguous hash buffer.
+template <typename ColumnFn>
+std::uint32_t postings_checksum_stream(std::size_t rows, std::size_t cols,
+                                       ColumnFn&& column_of) {
+  BinaryWriter header;
+  header.write_u64(rows);
+  header.write_u64(cols);
+  std::uint32_t crc = crc32c(header.buffer());
+  std::vector<ProviderId> list;
+  std::vector<std::uint8_t> col;
+  const auto put = [&col](std::uint32_t v) {
+    for (int b = 0; b < 4; ++b) {
+      col.push_back(static_cast<std::uint8_t>(v >> (8 * b)));
+    }
+  };
+  for (std::size_t j = 0; j < cols; ++j) {
+    column_of(j, list);
+    col.clear();
+    put(static_cast<std::uint32_t>(list.size()));
+    for (const ProviderId p : list) put(p);
+    crc = crc32c(col, crc);
+  }
+  return crc;
+}
+
+}  // namespace
+
+std::uint32_t postings_checksum(const eppi::BitMatrix& matrix) {
+  return postings_checksum_stream(
+      matrix.rows(), matrix.cols(),
+      [&](std::size_t j, std::vector<ProviderId>& out) {
+        out.clear();
+        for (std::size_t i = 0; i < matrix.rows(); ++i) {
+          if (matrix.get(i, j)) out.push_back(static_cast<ProviderId>(i));
+        }
+      });
+}
+
+std::uint32_t postings_checksum(const PostingIndex& postings) {
+  return postings_checksum_stream(
+      postings.providers(), postings.identities(),
+      [&](std::size_t j, std::vector<ProviderId>& out) {
+        postings.query_into(static_cast<IdentityId>(j), out);
+      });
+}
+
+PostingIndex apply_delta_postings(const PostingIndex& base,
+                                  const EpochStore::EpochDelta& delta) {
+  require(delta.rows >= base.providers() && delta.cols >= base.identities(),
+          "apply_delta: delta shrinks the matrix");
+  const std::size_t row_bytes = (delta.cols + 7) / 8;
+  const std::size_t col_bytes = (delta.rows + 7) / 8;
+  // Decode the base lists into the result shape. New identity columns start
+  // empty; new provider rows contribute nothing until a splice grafts them.
+  std::vector<std::vector<ProviderId>> lists(delta.cols);
+  {
+    std::vector<ProviderId> buf;
+    for (std::size_t j = 0; j < base.identities(); ++j) {
+      base.query_into(static_cast<IdentityId>(j), buf);
+      lists[j].assign(buf.begin(), buf.end());
+    }
+  }
+  // Providers whose base rows are replaced wholesale — retired (zeroed) or
+  // re-rowed by a splice — are erased from every list in ONE pass, which is
+  // what makes this the posting-space mirror of apply_delta's row writes.
+  std::vector<bool> dropped(delta.rows, false);
+  bool any_dropped = false;
+  for (const std::uint32_t p : delta.left) {
+    require(p < delta.rows, "apply_delta: retired row out of range");
+    dropped[p] = true;
+    any_dropped = true;
+  }
+  for (const auto& r : delta.row_splices) {
+    require(r.provider < delta.rows, "apply_delta: row splice out of range");
+    require(r.bits.size() == row_bytes,
+            "apply_delta: row splice length mismatch");
+    dropped[r.provider] = true;
+    any_dropped = true;
+  }
+  if (any_dropped) {
+    for (auto& l : lists) {
+      std::erase_if(l, [&](ProviderId p) { return dropped[p]; });
+    }
+  }
+  // Graft the spliced rows back in; the dropped-erase above guarantees no
+  // duplicate, and the sorted insert keeps each list ordered.
+  for (const auto& r : delta.row_splices) {
+    for (std::size_t j = 0; j < delta.cols; ++j) {
+      if ((r.bits[j >> 3] >> (j & 7)) & 1) {
+        auto& l = lists[j];
+        l.insert(std::lower_bound(l.begin(), l.end(), r.provider),
+                 r.provider);
+      }
+    }
+  }
+  // Column splices carry FINAL values and apply_delta writes them last, so
+  // they overwrite whatever the row pass produced for the same cell.
+  for (const auto& c : delta.col_splices) {
+    require(c.identity < delta.cols, "apply_delta: column splice out of range");
+    require(c.bits.size() == col_bytes,
+            "apply_delta: column splice length mismatch");
+    auto& l = lists[c.identity];
+    l.clear();
+    for (std::size_t i = 0; i < delta.rows; ++i) {
+      if ((c.bits[i >> 3] >> (i & 7)) & 1) l.push_back(static_cast<ProviderId>(i));
+    }
+  }
+  return PostingIndex(delta.rows, lists, base.shard_span());
+}
+
 // --- fsck ------------------------------------------------------------------
 
 namespace {
@@ -767,10 +947,11 @@ FsckReport fsck_store(storage::Vfs& vfs, const std::string& dir) {
 
   // Full epochs: validate each referenced index file. Delta epochs: verify
   // that base+delta replay reproduces the record's checksummed head — the
-  // delta has no file of its own, so the replayed matrix is carried forward
-  // across the walk exactly as recovery does it.
+  // delta has no file of its own, so the replayed postings are carried
+  // forward across the walk exactly as recovery does it (in posting space;
+  // fsck at a million-owner shape must not build the dense matrix either).
   std::set<std::string> referenced{kManifestName};
-  std::optional<eppi::BitMatrix> replayed;
+  std::optional<PostingIndex> replayed;
   std::optional<std::uint64_t> prev_epoch;
   for (const auto& rec : scan.epochs) {
     if (rec.is_delta) {
@@ -791,8 +972,8 @@ FsckReport fsck_store(storage::Vfs& vfs, const std::string& dir) {
             ": delta base not replayable (quarantined or lost)");
       } else {
         try {
-          eppi::BitMatrix next = apply_delta(*replayed, it->second);
-          if (matrix_checksum(next) != it->second.matrix_crc) {
+          PostingIndex next = apply_delta_postings(*replayed, it->second);
+          if (!delta_matches(next, it->second)) {
             report.ok = false;
             report.issues.push_back(
                 {kManifestName, "manifest",
@@ -830,7 +1011,7 @@ FsckReport fsck_store(storage::Vfs& vfs, const std::string& dir) {
         report.issues.push_back(
             {rec.file, "header", "shape differs from journal record"});
       } else {
-        replayed = load_index_bytes(idx).matrix();
+        replayed = load_postings_bytes(idx).postings;
       }
     }
   }

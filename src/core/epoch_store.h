@@ -16,8 +16,9 @@
 //                   index file is written for a delta epoch). The journal is
 //                   the source of truth: an index file not referenced by a
 //                   record was never committed.
-//   epoch-<N>.idx   the published index of epoch N in the checksummed
-//                   eppi-index-v2 format (core/index_io.h).
+//   epoch-<N>.idx   the published index of epoch N in the compressed
+//                   sharded eppi-index-v3 format (core/index_io.h);
+//                   v1/v2 files from older stores are still readable.
 //   quarantine/     corrupt or orphaned files moved aside by recovery, kept
 //                   for post-mortems instead of deleted.
 //
@@ -42,6 +43,9 @@
 #include <string>
 #include <vector>
 
+#include "core/index_io.h"
+#include "core/lexicon.h"
+#include "core/posting_index.h"
 #include "core/ppi_index.h"
 #include "storage/vfs.h"
 
@@ -96,6 +100,12 @@ class EpochStore {
     std::vector<Row> row_splices;       // full rows (joining providers)
     std::vector<Column> col_splices;    // recomputed identity columns
     std::uint32_t matrix_crc = 0;  // matrix_checksum() of the replayed result
+    // Newer records (journal type 4) pin the replay to postings_checksum()
+    // instead — a column-major fingerprint that replay can verify directly
+    // in posting space. Legacy type-3 records carry only matrix_crc; both
+    // kinds verify without materializing the dense matrix.
+    std::uint32_t postings_crc = 0;
+    bool has_postings_crc = false;
   };
 
   struct RecoveryReport {
@@ -129,13 +139,24 @@ class EpochStore {
   // Newest epoch whose index file is intact; nullopt for an empty store.
   std::optional<std::uint64_t> latest_epoch() const;
 
-  // Loads a committed epoch's index, re-validating its checksums. Throws
+  // Loads a committed epoch in the compressed serving form, re-validating
+  // its checksums and replaying any delta chain entirely in posting space —
+  // the dense matrix is never materialized. The lexicon is whatever the
+  // backing full-epoch file carries (null for v1/v2 files). Throws
   // ConfigError for an unknown epoch, CorruptIndexError if the file rotted
   // since recovery, storage::StorageError if it is missing.
+  LoadedIndex load_epoch_postings(std::uint64_t epoch) const;
+
+  // Construction-tier convenience: load_epoch_postings + to_matrix_index.
   PpiIndex load_epoch(std::uint64_t epoch) const;
 
   // Atomically commits the next epoch (must be greater than every committed
-  // epoch). On return the index and its journal record are durable.
+  // epoch) as an eppi-index-v3 file, carrying `lexicon` when non-null so a
+  // recovered store can republish name lookups. On return the index and its
+  // journal record are durable.
+  void commit_epoch(std::uint64_t epoch, const PostingIndex& index,
+                    double lambda, const Lexicon* lexicon = nullptr);
+  // Dense-index convenience (compresses, then commits as v3).
   void commit_epoch(std::uint64_t epoch, const PpiIndex& index,
                     double lambda);
 
@@ -176,14 +197,36 @@ class EpochStore {
 };
 
 // CRC32C fingerprint of a published matrix (shape + packed row words) — what
-// a delta record pins its replayed result to.
+// a legacy (type-3) delta record pins its replayed result to.
 std::uint32_t matrix_checksum(const eppi::BitMatrix& matrix);
 
+// The same fingerprint computed from the compressed serving form: the
+// postings are transposed back to per-provider rows and the packed words
+// are streamed through the CRC one provider at a time, so the value is
+// bit-identical to matrix_checksum(BitMatrix) without ever holding the
+// m×n matrix. This is what lets recovery verify legacy delta chains in
+// posting space.
+std::uint32_t matrix_checksum(const PostingIndex& postings);
+
+// Column-major fingerprint of the published postings (shape + per-identity
+// count and sorted provider ids) — what a type-4 delta record pins its
+// replay to. Both overloads produce the same value for the same content.
+std::uint32_t postings_checksum(const eppi::BitMatrix& matrix);
+std::uint32_t postings_checksum(const PostingIndex& postings);
+
 // Applies one delta to its base matrix (pure; shared by the commit-side
-// verification, recovery, and fsck). Throws ConfigError when the base shape
-// does not fit under the delta's result shape.
+// verification and the dense differential tests). Throws ConfigError when
+// the base shape does not fit under the delta's result shape.
 eppi::BitMatrix apply_delta(const eppi::BitMatrix& base,
                             const EpochStore::EpochDelta& delta);
+
+// The same splice computed entirely in posting space: decode the base
+// lists, drop every provider the delta retires or re-rows, graft the
+// spliced rows back in, overwrite the spliced columns, re-encode. Recovery
+// and load_epoch_postings replay with this — bit-identical to apply_delta
+// (the differential suite pins it) with no dense intermediate.
+PostingIndex apply_delta_postings(const PostingIndex& base,
+                                  const EpochStore::EpochDelta& delta);
 
 // --- fsck ------------------------------------------------------------------
 // Offline validation with section-level reporting, used by `eppi_cli fsck`

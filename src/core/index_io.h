@@ -9,7 +9,7 @@
 //                  different index. Still readable (and writable, for
 //                  compatibility tests), never written by default.
 //
-//   eppi-index-v2  the durable-store format. Three checksummed sections:
+//   eppi-index-v2  the dense checksummed format. Three sections:
 //                    header  magic "eppiidx2", u64 rows, u64 cols,
 //                            masked CRC32C of the preceding 24 bytes;
 //                    payload packed row words, masked CRC32C;
@@ -17,12 +17,39 @@
 //                            preceding byte. The footer is written last, so
 //                            its absence identifies a torn (partially
 //                            written) file as opposed to bit rot.
+//                  Trailing bytes after the footer are rejected. Still
+//                  readable (migration + compatibility), no longer written
+//                  by the store.
+//
+//   eppi-index-v3  the compressed sharded format the store writes today. It
+//                  persists the PostingShard storage verbatim — tagged
+//                  offsets + encoded-row arena per shard — so load adopts
+//                  the bytes without re-encoding and NOTHING on the load or
+//                  replay path materializes the dense matrix. Layout:
+//                    header   magic "eppiidx3", u64 rows (providers),
+//                             u64 cols (identities — same offsets as
+//                             v1/v2 so index_shape is version-blind),
+//                             u32 shard_count, u32 shard_span, u32 flags
+//                             (bit 0: lexicon section present), masked
+//                             CRC32C of the preceding 36 bytes;
+//                    shard ×N u32 blob_len, blob { u32 first_identity,
+//                             u32 n_rows, u32 universe, u32 arena_bytes,
+//                             n_rows × u32 tagged offsets, arena bytes },
+//                             masked CRC32C of the blob. Each shard is
+//                             independently checksummed and validated, so
+//                             fsck can name exactly which shards of a file
+//                             are damaged;
+//                    lexicon  (iff flags bit 0) u32 len, front-coded
+//                             Lexicon blob, masked CRC32C;
+//                    footer   as v2: seal magic + whole-file masked CRC32C.
 //                  Trailing bytes after the footer are rejected.
 //
-// Loads validate magic, dimensions (bounded before any allocation) and, for
-// v2, every section checksum; failures throw CorruptIndexError naming the
-// failing section. fsck-style callers use validate_index for a no-throw
-// section-by-section report of the same checks.
+// Loads validate magic, dimensions (bounded before any allocation) and
+// every section checksum — v3 additionally decodes every posting row
+// (bounds-checked) before adopting a shard; failures throw
+// CorruptIndexError naming the failing section. fsck-style callers use
+// validate_index for a no-throw section-by-section report of the same
+// checks, one entry per shard for v3.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +59,8 @@
 #include <vector>
 
 #include "common/error.h"
+#include "core/lexicon.h"
+#include "core/posting_index.h"
 #include "core/ppi_index.h"
 
 namespace eppi::core {
@@ -40,7 +69,9 @@ namespace eppi::core {
 enum class IndexSection {
   kMagic,     // version/magic bytes
   kHeader,    // dimensions + header checksum
-  kPayload,   // packed matrix words + payload checksum
+  kPayload,   // packed matrix words + payload checksum (v1/v2)
+  kShard,     // one compressed shard blob + its checksum (v3)
+  kLexicon,   // owner-name lexicon blob + its checksum (v3)
   kFooter,    // seal magic + whole-file checksum (absent in a torn write)
   kTrailing,  // bytes after the end of the format
 };
@@ -62,7 +93,8 @@ class CorruptIndexError : public SerializeError {
   IndexSection section_;
 };
 
-// Writes the index in the eppi-index-v2 format (checksummed, sealed).
+// Writes the index in the eppi-index-v2 format (dense, checksummed).
+// Kept for migration tests and old tooling; the store writes v3.
 void save_index(std::ostream& out, const PpiIndex& index);
 std::vector<std::uint8_t> save_index_bytes(const PpiIndex& index);
 
@@ -70,9 +102,31 @@ std::vector<std::uint8_t> save_index_bytes(const PpiIndex& index);
 // cross-version loads stay testable and old tooling can be fed.
 void save_index_v1(std::ostream& out, const PpiIndex& index);
 
-// Reads an index in either format; throws CorruptIndexError (a
+// Writes the compressed sharded eppi-index-v3 format. `lexicon` is
+// optional (nullptr omits the section) — store-internal commits always
+// carry it so recovery can republish name lookups without the registry.
+void save_index_v3(std::ostream& out, const PostingIndex& index,
+                   const Lexicon* lexicon);
+std::vector<std::uint8_t> save_index_v3_bytes(const PostingIndex& index,
+                                              const Lexicon* lexicon);
+
+// A loaded index in its serving form. `lexicon` is null for v1/v2 files
+// and v3 files written without one.
+struct LoadedIndex {
+  PostingIndex postings;
+  std::shared_ptr<const Lexicon> lexicon;
+};
+
+// Reads any version into the compressed serving form. v3 adopts the shard
+// bytes directly; v1/v2 payloads are inverted row-by-row into posting
+// lists — no path builds a BitMatrix. Throws CorruptIndexError (a
 // SerializeError) on bad magic/version/shape, checksum mismatch, truncated
 // input or trailing garbage.
+LoadedIndex load_postings(std::istream& in);
+LoadedIndex load_postings_bytes(std::span<const std::uint8_t> bytes);
+
+// Reads an index in any format as the dense construction-tier form
+// (convenience over load_postings + to_matrix_index; same validation).
 PpiIndex load_index(std::istream& in);
 PpiIndex load_index_bytes(std::span<const std::uint8_t> bytes);
 
@@ -85,9 +139,13 @@ struct IndexSectionCheck {
 };
 
 struct IndexValidation {
-  int version = 0;  // 1, 2, or 0 when the magic itself is unrecognized
+  int version = 0;  // 1, 2, 3, or 0 when the magic itself is unrecognized
   bool ok = false;
   std::vector<IndexSectionCheck> sections;
+  // v3 extras for fsck reporting: declared shard count (-1 before the
+  // header parses) and whether a lexicon section is declared.
+  int shards = -1;
+  bool has_lexicon = false;
 };
 
 IndexValidation validate_index(std::span<const std::uint8_t> bytes);

@@ -1,0 +1,76 @@
+// Owner-name → identity-id lexicon for the serving tier.
+//
+// The published snapshot used to carry an `unordered_map<string, IdentityId>`
+// — ~64+ bytes of node/bucket overhead per owner, fatal at millions of
+// owners. The Lexicon stores the sorted owner names front-coded (each name
+// keeps only the suffix after its common prefix with the previous one) in a
+// single arena, with a full restart name every kBlock entries so lookup is
+// binary search over restarts + a short linear scan. This is the classic
+// term-dictionary layout (PISA/Lucene lexicons).
+//
+// Identity ids are NOT required to arrive in name order — registration order
+// assigns ids, names sort differently — so the lexicon keeps two small maps:
+// rank→id (for find) and id→rank (for name_of). Serialization requires the
+// id set to be exactly {0..count-1} (dense) and the names strictly sorted;
+// `fsck_index_file` re-checks both on load.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/ppi_index.h"
+
+namespace eppi::core {
+
+class Lexicon {
+ public:
+  // Builds from (name, id) pairs; names must be unique, ids must be a
+  // permutation of [0, pairs.size()). Throws ConfigError otherwise.
+  explicit Lexicon(std::vector<std::pair<std::string, IdentityId>> pairs);
+
+  Lexicon() = default;
+
+  std::size_t size() const noexcept { return ids_.size(); }
+  bool empty() const noexcept { return ids_.empty(); }
+
+  // Name → id, or nullopt if absent. O(log n) restarts + O(kBlock) scan.
+  std::optional<IdentityId> find(std::string_view name) const;
+
+  // Id → name; throws ConfigError for an id not in the lexicon.
+  std::string name_of(IdentityId id) const;
+
+  // All (name, id) pairs in name order — for iteration/migration.
+  std::vector<std::pair<std::string, IdentityId>> entries() const;
+
+  // Heap bytes held (arena + tables); the honest footprint counterpart to
+  // PostingIndex::memory_footprint().
+  std::size_t memory_bytes() const noexcept;
+
+  // Wire form: varint count, then per name-sorted entry
+  // varint prefix_len / varint suffix_len / suffix bytes / varint id.
+  std::vector<std::uint8_t> serialize() const;
+
+  // Parses and validates (names strictly increasing, ids a dense
+  // permutation). Throws SerializeError on malformed input.
+  static Lexicon deserialize(std::span<const std::uint8_t> bytes);
+
+  static constexpr std::size_t kBlock = 16;
+
+ private:
+  // Decodes the entry at `rank` into `scratch` (the full name), given the
+  // name of rank-1 already in `scratch` when rank % kBlock != 0.
+  void expand(std::size_t rank, std::string& scratch) const;
+
+  std::vector<char> arena_;            // front-coded suffix bytes
+  std::vector<std::uint32_t> starts_;  // arena offset of each entry's suffix
+  std::vector<std::uint32_t> prefix_;  // shared-prefix length of each entry
+  std::vector<IdentityId> ids_;        // rank → id
+  std::vector<std::uint32_t> rank_of_; // id → rank
+};
+
+}  // namespace eppi::core

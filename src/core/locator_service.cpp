@@ -6,6 +6,7 @@
 #include "common/error.h"
 #include "core/constructor.h"
 #include "core/epoch_store.h"
+#include "obs/registry.h"
 #include "obs/trace.h"
 
 namespace eppi::core {
@@ -69,6 +70,7 @@ IdentityId LocatorService::register_owner(const std::string& name) {
     epsilons_.push_back(options_.default_epsilon);
     dirty_owners_.push_back(1);  // a new column is dirty by definition
     matrix_dirty_ = true;
+    lexicon_dirty_ = true;
   }
   return it->second;
 }
@@ -148,6 +150,10 @@ void LocatorService::construct_ppi() {
   const eppi::BitMatrix& truth = rebuild_matrix();
   const std::size_t n = owner_names_.size();
   dirty_owners_.resize(n, 0);
+  // Freeze the owner catalog the epoch is built against; a store-attached
+  // manager persists it with the full-epoch commit (eppi-index-v3 lexicon
+  // section) so a recovered store answers by name too.
+  manager_.set_commit_lexicon(serving_lexicon());
 
   EpochManager::DeltaRequest req;
   sort_unique(pending_joined_);
@@ -250,13 +256,39 @@ void LocatorService::construct_ppi() {
 
 void LocatorService::attach_store(EpochStore& store) {
   manager_.attach_store(store);
-  if (manager_.serving()) {
-    // Resume answering from the recovered epoch right away (the manager has
-    // adopted the store's lineage); a later construct_ppi() replaces it
-    // with a fresh one.
-    index_ = PpiIndex(manager_.current_matrix());
-    publish_snapshot();
+  if (!manager_.serving()) return;
+  // Resume answering from the recovered epoch right away (the manager has
+  // adopted the store's lineage); a later construct_ppi() replaces it with
+  // a fresh one.
+  index_ = PpiIndex(manager_.current_matrix());
+  const auto latest = store.latest_epoch();
+  if (latest.has_value() && owner_names_.empty()) {
+    // A fresh process attaching a populated store has no in-memory owner
+    // catalog; the committed epoch carries one (v3 lexicon section).
+    // Restore it so the recovered epoch answers by name immediately — the
+    // restored owners are dirty-by-definition, like any new registration,
+    // and re-delegate their facts before the next rebuild.
+    LoadedIndex loaded = store.load_epoch_postings(*latest);
+    if (loaded.lexicon != nullptr && !loaded.lexicon->empty()) {
+      // The persisted ids must survive verbatim — they are the index's
+      // column numbers — so names are seated at their id, not re-assigned
+      // in registration order.
+      owner_names_.resize(loaded.lexicon->size());
+      for (auto& [name, id] : loaded.lexicon->entries()) {
+        owner_ids_.emplace(name, id);
+        owner_names_[id] = std::move(name);
+      }
+      epsilons_.assign(owner_names_.size(), options_.default_epsilon);
+      dirty_owners_.assign(owner_names_.size(), 1);
+      matrix_dirty_ = true;
+      lexicon_cache_ = std::move(loaded.lexicon);
+      lexicon_dirty_ = false;
+    }
+    publish_with(std::make_shared<const PostingIndex>(
+        std::move(loaded.postings)));
+    return;
   }
+  publish_snapshot();
 }
 
 void LocatorService::publish_snapshot() {
@@ -278,15 +310,50 @@ void LocatorService::publish_snapshot_spliced(
                                                     affected, touched));
 }
 
+std::shared_ptr<const Lexicon> LocatorService::serving_lexicon() {
+  if (lexicon_dirty_ || lexicon_cache_ == nullptr) {
+    std::vector<std::pair<std::string, IdentityId>> entries;
+    entries.reserve(owner_names_.size());
+    for (std::size_t t = 0; t < owner_names_.size(); ++t) {
+      entries.emplace_back(owner_names_[t], static_cast<IdentityId>(t));
+    }
+    lexicon_cache_ = std::make_shared<const Lexicon>(std::move(entries));
+    lexicon_dirty_ = false;
+  }
+  return lexicon_cache_;
+}
+
 void LocatorService::publish_with(
     std::shared_ptr<const PostingIndex> postings) {
   obs::Span span("serve.publish");
   auto snap = std::make_shared<EpochSnapshot>();
   snap->postings = std::move(postings);
-  snap->owner_ids = std::make_shared<
-      const std::unordered_map<std::string, IdentityId>>(owner_ids_);
+  snap->owners = serving_lexicon();
   snap->provider_names =
       std::make_shared<const std::vector<std::string>>(provider_names_);
+  // Surface the compression story per publish: encoded payload by codec,
+  // what the process actually holds, and the shard topology.
+  {
+    const PostingIndex::MemoryFootprint fp =
+        snap->postings->memory_footprint();
+    auto& reg = obs::Registry::global();
+    for (std::size_t c = 0; c < kPostingCodecCount; ++c) {
+      reg.gauge("eppi_index_bytes",
+                {{"codec", to_string(static_cast<PostingCodec>(c))}},
+                "Encoded posting payload bytes of the served index, by codec")
+          .set(static_cast<std::int64_t>(fp.by_codec[c].payload_bytes));
+    }
+    reg.gauge("eppi_index_resident_bytes", {},
+              "Resident bytes of the served posting index (arenas, offsets, "
+              "presence bitmaps, shard structures)")
+        .set(static_cast<std::int64_t>(fp.resident_bytes));
+    reg.gauge("eppi_index_shards", {},
+              "Shard count of the served posting index")
+        .set(static_cast<std::int64_t>(fp.shards));
+    reg.gauge("eppi_lexicon_bytes", {},
+              "Heap bytes of the served owner-name lexicon")
+        .set(static_cast<std::int64_t>(snap->owners->memory_bytes()));
+  }
   const auto status = manager_.serving_status();
   snap->epoch = status.epoch;
   snap->degraded = status.degraded;
@@ -323,9 +390,9 @@ std::shared_ptr<const EpochSnapshot> LocatorService::acquire_serving() const {
 
 std::vector<std::string> LocatorService::resolve(const EpochSnapshot& snap,
                                                  const std::string& owner) {
-  const auto it = snap.owner_ids->find(owner);
-  require(it != snap.owner_ids->end(), "LocatorService: unknown owner");
-  const auto& list = snap.postings->query(it->second);
+  const std::optional<IdentityId> id = snap.owners->find(owner);
+  require(id.has_value(), "LocatorService: unknown owner");
+  const auto& list = snap.postings->query(*id);
   std::vector<std::string> result;
   result.reserve(list.size());
   for (const ProviderId p : list) {

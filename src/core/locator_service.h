@@ -256,6 +256,10 @@ class LocatorService {
   // Writer side, degraded rebuild: republish the already-served epoch with
   // updated staleness accounting (shares the served postings; no copy).
   void publish_staleness_update();
+  // Writer side: the frozen owner-name catalog for the next snapshot —
+  // rebuilt from the registration state only when an owner was added since
+  // the last publication, shared (two refcounts) otherwise.
+  std::shared_ptr<const Lexicon> serving_lexicon();
   // Reader side: the served snapshot, or ConfigError if none is published.
   std::shared_ptr<const EpochSnapshot> acquire_serving() const;
   static std::vector<std::string> resolve(const EpochSnapshot& snap,
@@ -282,6 +286,11 @@ class LocatorService {
   mutable bool matrix_dirty_ = true;
   std::optional<PpiIndex> index_;
   std::optional<DistributedReport> report_;
+  // Cached frozen owner catalog; rebuilt lazily when registrations dirtied
+  // it (front-coding a million names on every republish would make the
+  // staleness-only path quadratic).
+  std::shared_ptr<const Lexicon> lexicon_cache_;
+  bool lexicon_dirty_ = true;
   SnapshotSlot snapshot_;
   mutable eppi::ServingMetrics metrics_;
 };

@@ -1,31 +1,267 @@
 #include "core/posting_index.h"
 
 #include <algorithm>
+#include <bit>
 
+#include "common/bit_matrix.h"
 #include "common/error.h"
 
 namespace eppi::core {
 
-PostingIndex::PostingIndex(const eppi::BitMatrix& matrix)
-    : providers_(matrix.rows()), postings_(matrix.cols()) {
-  // First pass: exact per-list sizes, so each posting list is allocated
-  // once with zero slack (a long-lived serving snapshot should not carry
-  // push_back growth headroom for its whole lifetime).
-  std::vector<std::size_t> sizes(matrix.cols(), 0);
-  for (std::size_t j = 0; j < matrix.cols(); ++j) sizes[j] = matrix.col_count(j);
-  for (std::size_t j = 0; j < matrix.cols(); ++j) postings_[j].reserve(sizes[j]);
+namespace {
 
-  for (std::size_t i = 0; i < matrix.rows(); ++i) {
-    // Walk the packed words so construction is O(set bits + words).
-    const std::uint64_t* words = matrix.row_words(i);
-    for (std::size_t w = 0; w < matrix.words_per_row(); ++w) {
-      std::uint64_t word = words[w];
-      while (word != 0) {
-        const unsigned bit = static_cast<unsigned>(__builtin_ctzll(word));
-        const std::size_t j = w * 64 + bit;
-        postings_[j].push_back(static_cast<ProviderId>(i));
-        word &= word - 1;
+// Inverts columns [first, first + n_rows) of `matrix` into one flat entries
+// buffer plus per-row start offsets — exact-size, two word-walk passes, no
+// per-row allocations. This is the only place the serving tier touches the
+// dense matrix.
+struct FlatLists {
+  std::vector<std::size_t> start;     // n_rows + 1 prefix offsets
+  std::vector<ProviderId> entries;    // all rows' providers, concatenated
+};
+
+FlatLists invert_range(const eppi::BitMatrix& matrix, std::size_t first,
+                       std::size_t n_rows) {
+  FlatLists flat;
+  flat.start.assign(n_rows + 1, 0);
+  const std::size_t end = first + n_rows;
+  const std::size_t w_lo = first / 64;
+  const std::size_t w_hi = std::min((end + 63) / 64, matrix.words_per_row());
+  const std::uint64_t lo_mask =
+      first % 64 == 0 ? ~std::uint64_t{0} : (~std::uint64_t{0} << (first % 64));
+  const std::uint64_t hi_mask =
+      end % 64 == 0 ? ~std::uint64_t{0} : ~(~std::uint64_t{0} << (end % 64));
+
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t i = 0; i < matrix.rows(); ++i) {
+      const std::uint64_t* words = matrix.row_words(i);
+      for (std::size_t w = w_lo; w < w_hi; ++w) {
+        std::uint64_t word = words[w];
+        if (w == w_lo) word &= lo_mask;
+        if (w == w_hi - 1) word &= hi_mask;
+        while (word != 0) {
+          const unsigned bit = static_cast<unsigned>(std::countr_zero(word));
+          word &= word - 1;
+          const std::size_t j = w * 64 + bit - first;
+          if (pass == 0) {
+            ++flat.start[j + 1];
+          } else {
+            flat.entries[flat.start[j]++] = static_cast<ProviderId>(i);
+          }
+        }
       }
+    }
+    if (pass == 0) {
+      for (std::size_t j = 0; j < n_rows; ++j) {
+        flat.start[j + 1] += flat.start[j];
+      }
+      flat.entries.resize(flat.start[n_rows]);
+    }
+  }
+  // Pass 2 advanced each start[j] to start[j+1]; rewind by rebuilding from
+  // the (still intact) shifted values: start[j] now equals the old
+  // start[j+1], so shift right and restore start[0] = 0.
+  for (std::size_t j = n_rows; j > 0; --j) flat.start[j] = flat.start[j - 1];
+  flat.start[0] = 0;
+  return flat;
+}
+
+PostingShard shard_from_matrix(const eppi::BitMatrix& matrix,
+                               std::size_t first, std::size_t n_rows) {
+  const FlatLists flat = invert_range(matrix, first, n_rows);
+  std::vector<std::span<const ProviderId>> lists(n_rows);
+  for (std::size_t j = 0; j < n_rows; ++j) {
+    lists[j] = std::span<const ProviderId>(
+        flat.entries.data() + flat.start[j], flat.start[j + 1] - flat.start[j]);
+  }
+  return PostingShard(static_cast<IdentityId>(first), matrix.rows(), lists);
+}
+
+// Does provider row `p` have any published bit in columns [first, end)?
+bool row_range_any(const eppi::BitMatrix& matrix, ProviderId p,
+                   std::size_t first, std::size_t end) {
+  const std::uint64_t* words = matrix.row_words(p);
+  const std::size_t w_lo = first / 64;
+  const std::size_t w_hi = std::min((end + 63) / 64, matrix.words_per_row());
+  for (std::size_t w = w_lo; w < w_hi; ++w) {
+    std::uint64_t word = words[w];
+    if (w == w_lo && first % 64 != 0) word &= ~std::uint64_t{0} << (first % 64);
+    if (w == w_hi - 1 && end % 64 != 0) {
+      word &= ~(~std::uint64_t{0} << (end % 64));
+    }
+    if (word != 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- shard --
+
+PostingShard::PostingShard(IdentityId first, std::size_t universe,
+                           std::span<const std::span<const ProviderId>> lists)
+    : first_(first), universe_(universe) {
+  offsets_.reserve(lists.size());
+  presence_.assign((universe + 63) / 64, 0);
+  std::size_t payload = 0;
+  for (const auto& list : lists) {
+    const PostingCodec codec = choose_codec(list.size(), universe);
+    payload += codec == PostingCodec::kBitvector
+                   ? bitvector_encoded_bytes(list.size(), universe)
+                   : codec == PostingCodec::kEliasFano
+                         ? elias_fano_encoded_bytes(list.size(), universe)
+                         : 0;
+  }
+  arena_.reserve(payload);
+  for (const auto& list : lists) {
+    const PostingCodec codec = choose_codec(list.size(), universe);
+    const std::size_t offset = arena_.size();
+    require(offset <= (std::size_t{1} << 30) - 1,
+            "PostingShard: arena exceeds the 1 GiB tagged-offset ceiling");
+    offsets_.push_back(static_cast<std::uint32_t>(offset << 2) |
+                       static_cast<std::uint32_t>(codec));
+    encode_postings(codec, list, universe, arena_);
+    for (const ProviderId p : list) {
+      presence_[p >> 6] |= std::uint64_t{1} << (p & 63);
+    }
+  }
+}
+
+PostingShard::PostingShard(IdentityId first, std::size_t universe,
+                           std::vector<std::uint32_t> tagged_offsets,
+                           std::vector<std::uint8_t> arena)
+    : first_(first),
+      universe_(universe),
+      offsets_(std::move(tagged_offsets)),
+      arena_(std::move(arena)) {
+  rebuild_presence();
+}
+
+std::span<const std::uint8_t> PostingShard::row_span(std::size_t row) const {
+  const std::size_t offset = offsets_[row] >> 2;
+  if (offset > arena_.size()) {
+    throw SerializeError("PostingShard: row offset beyond the arena");
+  }
+  return std::span<const std::uint8_t>(arena_).subspan(offset);
+}
+
+void PostingShard::decode_row(std::size_t row,
+                              std::vector<ProviderId>& out) const {
+  decode_postings(codec_of(row), row_span(row), universe_, out);
+}
+
+std::size_t PostingShard::row_count(std::size_t row) const {
+  return decode_count(codec_of(row), row_span(row));
+}
+
+bool PostingShard::provider_present(ProviderId p) const noexcept {
+  if (p >= universe_) return false;
+  return (presence_[p >> 6] >> (p & 63)) & 1;
+}
+
+std::size_t PostingShard::row_payload_bytes(std::size_t row) const {
+  switch (codec_of(row)) {
+    case PostingCodec::kEmpty:
+      return 0;
+    case PostingCodec::kBitvector:
+      return bitvector_encoded_bytes(row_count(row), universe_);
+    case PostingCodec::kEliasFano:
+      return elias_fano_encoded_bytes(row_count(row), universe_);
+  }
+  return 0;
+}
+
+std::size_t PostingShard::resident_bytes() const noexcept {
+  return arena_.capacity() * sizeof(std::uint8_t) +
+         offsets_.capacity() * sizeof(std::uint32_t) +
+         presence_.capacity() * sizeof(std::uint64_t);
+}
+
+void PostingShard::rebuild_presence() {
+  presence_.assign((universe_ + 63) / 64, 0);
+  std::vector<ProviderId> scratch;
+  std::size_t expected_offset = 0;
+  for (std::size_t row = 0; row < offsets_.size(); ++row) {
+    if ((offsets_[row] & 3u) == 3u) {
+      throw SerializeError("PostingShard: unknown codec tag");
+    }
+    const std::size_t offset = offsets_[row] >> 2;
+    // Offsets must be the exact prefix sums of the row encodings — no gaps,
+    // no overlaps — so one flipped offset bit cannot silently alias rows.
+    if (offset != expected_offset) {
+      throw SerializeError("PostingShard: row offset breaks the arena tiling");
+    }
+    decode_row(row, scratch);  // bounds-checked; throws on malformed rows
+    expected_offset = offset + row_payload_bytes(row);
+  }
+  if (expected_offset != arena_.size()) {
+    throw SerializeError("PostingShard: arena larger than its rows");
+  }
+  // Presence fill wants the decoded rows too; do it in a second pass so the
+  // validation above stays readable. (Load-time only; not a hot path.)
+  for (std::size_t row = 0; row < offsets_.size(); ++row) {
+    decode_row(row, scratch);
+    for (const ProviderId p : scratch) {
+      presence_[p >> 6] |= std::uint64_t{1} << (p & 63);
+    }
+  }
+}
+
+// ---------------------------------------------------------------- index --
+
+PostingIndex::PostingIndex(const eppi::BitMatrix& published,
+                           std::size_t shard_span)
+    : providers_(published.rows()),
+      identities_(published.cols()),
+      shard_span_(shard_span) {
+  require(shard_span_ > 0 && shard_span_ % 64 == 0,
+          "PostingIndex: shard span must be a positive multiple of 64");
+  shards_.reserve((identities_ + shard_span_ - 1) / shard_span_);
+  for (std::size_t first = 0; first < identities_; first += shard_span_) {
+    const std::size_t n = std::min(shard_span_, identities_ - first);
+    shards_.push_back(std::make_shared<const PostingShard>(
+        shard_from_matrix(published, first, n)));
+  }
+}
+
+PostingIndex::PostingIndex(std::size_t providers,
+                           std::span<const std::vector<ProviderId>> lists,
+                           std::size_t shard_span)
+    : providers_(providers), identities_(lists.size()),
+      shard_span_(shard_span) {
+  require(shard_span_ > 0 && shard_span_ % 64 == 0,
+          "PostingIndex: shard span must be a positive multiple of 64");
+  shards_.reserve((identities_ + shard_span_ - 1) / shard_span_);
+  std::vector<std::span<const ProviderId>> slice;
+  for (std::size_t first = 0; first < identities_; first += shard_span_) {
+    const std::size_t n = std::min(shard_span_, identities_ - first);
+    slice.assign(lists.begin() + first, lists.begin() + first + n);
+    shards_.push_back(std::make_shared<const PostingShard>(
+        PostingShard(static_cast<IdentityId>(first), providers, slice)));
+  }
+}
+
+PostingIndex::PostingIndex(
+    std::size_t providers, std::size_t identities, std::size_t shard_span,
+    std::vector<std::shared_ptr<const PostingShard>> shards)
+    : providers_(providers),
+      identities_(identities),
+      shard_span_(shard_span),
+      shards_(std::move(shards)) {
+  if (shard_span_ == 0 || shard_span_ % 64 != 0) {
+    throw SerializeError("PostingIndex: bad shard span");
+  }
+  const std::size_t expected =
+      (identities_ + shard_span_ - 1) / shard_span_;
+  if (shards_.size() != expected) {
+    throw SerializeError("PostingIndex: shard count does not tile identities");
+  }
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    const auto& s = shards_[k];
+    const std::size_t first = k * shard_span_;
+    if (s == nullptr || s->first_identity() != first ||
+        s->rows() != std::min(shard_span_, identities_ - first) ||
+        s->universe() != providers_) {
+      throw SerializeError("PostingIndex: shard geometry mismatch");
     }
   }
 }
@@ -34,71 +270,104 @@ PostingIndex::PostingIndex(const PostingIndex& base,
                            const eppi::BitMatrix& published,
                            std::span<const IdentityId> affected,
                            std::span<const ProviderId> touched)
-    : providers_(published.rows()), postings_(published.cols()) {
+    : providers_(published.rows()),
+      identities_(published.cols()),
+      shard_span_(base.shard_span_) {
   require(base.providers_ <= published.rows() &&
-              base.postings_.size() <= published.cols(),
+              base.identities_ <= published.cols(),
           "PostingIndex: splice base larger than published matrix");
-  std::vector<std::uint8_t> is_affected(published.cols(), 0);
+  const std::size_t count =
+      (identities_ + shard_span_ - 1) / shard_span_;
+  std::vector<std::uint8_t> dirty(count, 0);
   for (const IdentityId j : affected) {
-    require(j < published.cols(), "PostingIndex: affected identity out of range");
-    is_affected[j] = 1;
+    require(j < identities_, "PostingIndex: affected identity out of range");
+    dirty[j / shard_span_] = 1;
   }
-  for (std::size_t j = 0; j < published.cols(); ++j) {
-    if (is_affected[j] == 0 && j < base.postings_.size()) {
-      std::vector<ProviderId> list = base.postings_[j];
-      // Patch the touched provider rows: a joined provider gains noise bits
-      // outside the affected columns, a retired one loses its whole row.
+  for (const ProviderId p : touched) {
+    require(p < providers_, "PostingIndex: touched provider out of range");
+  }
+  // A provider-count change alters every row's universe, hence every
+  // encoding: nothing from the base is reusable.
+  const bool universe_changed = providers_ != base.providers_;
+
+  shards_.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::size_t first = k * shard_span_;
+    const std::size_t n = std::min(shard_span_, identities_ - first);
+    bool reuse = !universe_changed && !dirty[k] &&
+                 k < base.shards_.size() && base.shards_[k]->rows() == n;
+    if (reuse) {
       for (const ProviderId p : touched) {
-        require(p < published.rows(), "PostingIndex: touched provider out of range");
-        const bool want = published.get(p, j);
-        const auto pos = std::lower_bound(list.begin(), list.end(), p);
-        const bool have = pos != list.end() && *pos == p;
-        if (want && !have) {
-          list.insert(pos, p);
-        } else if (!want && have) {
-          list.erase(pos);
+        if (base.shards_[k]->provider_present(p) ||
+            row_range_any(published, p, first, first + n)) {
+          reuse = false;
+          break;
         }
       }
-      list.shrink_to_fit();
-      postings_[j] = std::move(list);
+    }
+    if (reuse) {
+      shards_.push_back(base.shards_[k]);
     } else {
-      // Re-invert this column from the published matrix, exact-size like the
-      // full constructor.
-      std::vector<ProviderId>& list = postings_[j];
-      list.reserve(published.col_count(j));
-      for (std::size_t i = 0; i < published.rows(); ++i) {
-        if (published.get(i, j)) list.push_back(static_cast<ProviderId>(i));
-      }
+      shards_.push_back(std::make_shared<const PostingShard>(
+          shard_from_matrix(published, first, n)));
     }
   }
 }
 
-const std::vector<ProviderId>& PostingIndex::query(IdentityId identity) const {
-  require(identity < postings_.size(), "PostingIndex: unknown identity");
-  return postings_[identity];
+void PostingIndex::locate(IdentityId identity, std::size_t& shard,
+                          std::size_t& row) const {
+  require(identity < identities_, "PostingIndex: unknown identity");
+  shard = identity / shard_span_;
+  row = identity % shard_span_;
+}
+
+std::vector<ProviderId> PostingIndex::query(IdentityId identity) const {
+  std::vector<ProviderId> out;
+  query_into(identity, out);
+  return out;
+}
+
+void PostingIndex::query_into(IdentityId identity,
+                              std::vector<ProviderId>& out) const {
+  std::size_t shard = 0, row = 0;
+  locate(identity, shard, row);
+  shards_[shard]->decode_row(row, out);
 }
 
 std::size_t PostingIndex::apparent_frequency(IdentityId identity) const {
-  return query(identity).size();
+  std::size_t shard = 0, row = 0;
+  locate(identity, shard, row);
+  return shards_[shard]->row_count(row);
 }
 
-PostingIndex::MemoryFootprint PostingIndex::memory_footprint() const noexcept {
+PostingIndex::MemoryFootprint PostingIndex::memory_footprint()
+    const noexcept {
   MemoryFootprint fp;
-  for (const auto& list : postings_) {
-    fp.payload_bytes += list.size() * sizeof(ProviderId);
-    fp.resident_bytes += list.capacity() * sizeof(ProviderId);
-  }
-  // The control blocks are resident whether or not the lists hold anything.
+  fp.shards = shards_.size();
   fp.resident_bytes +=
-      postings_.capacity() * sizeof(std::vector<ProviderId>);
+      shards_.capacity() * sizeof(std::shared_ptr<const PostingShard>);
+  for (const auto& shard : shards_) {
+    fp.resident_bytes += sizeof(PostingShard) + shard->resident_bytes();
+    for (std::size_t row = 0; row < shard->rows(); ++row) {
+      const std::size_t bytes = shard->row_payload_bytes(row);
+      auto& codec = fp.by_codec[static_cast<std::size_t>(shard->codec_of(row))];
+      ++codec.rows;
+      codec.payload_bytes += bytes;
+      fp.payload_bytes += bytes;
+    }
+  }
   return fp;
 }
 
 PpiIndex PostingIndex::to_matrix_index() const {
-  eppi::BitMatrix matrix(providers_, postings_.size());
-  for (std::size_t j = 0; j < postings_.size(); ++j) {
-    for (const ProviderId p : postings_[j]) {
-      matrix.set(p, j, true);
+  eppi::BitMatrix matrix(providers_, identities_);
+  std::vector<ProviderId> scratch;
+  for (const auto& shard : shards_) {
+    for (std::size_t row = 0; row < shard->rows(); ++row) {
+      shard->decode_row(row, scratch);
+      for (const ProviderId p : scratch) {
+        matrix.set(p, shard->first_identity() + row, true);
+      }
     }
   }
   return PpiIndex(std::move(matrix));

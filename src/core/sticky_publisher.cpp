@@ -69,4 +69,26 @@ eppi::BitMatrix sticky_publish_matrix(const eppi::BitMatrix& truth,
   return published;
 }
 
+std::vector<std::vector<std::uint32_t>> sticky_publish_postings(
+    const eppi::BitMatrix& truth, std::span<const double> betas,
+    std::span<const std::uint64_t> keys) {
+  require(betas.size() == truth.cols(),
+          "sticky_publish_postings: beta count mismatch");
+  require(keys.size() == truth.rows(),
+          "sticky_publish_postings: one key per provider required");
+  std::vector<std::vector<std::uint32_t>> lists(truth.cols());
+  // Provider-major walk appends ascending provider ids, so every list
+  // comes out sorted — exactly what the PostingIndex list constructor
+  // requires.
+  for (std::size_t i = 0; i < truth.rows(); ++i) {
+    const StickyPublisher publisher(keys[i]);
+    for (std::size_t j = 0; j < truth.cols(); ++j) {
+      if (truth.get(i, j) || publisher.noise_bit(j, betas[j])) {
+        lists[j].push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+  }
+  return lists;
+}
+
 }  // namespace eppi::core

@@ -54,4 +54,14 @@ eppi::BitMatrix sticky_publish_matrix(const eppi::BitMatrix& truth,
                                       std::span<const double> betas,
                                       std::span<const std::uint64_t> keys);
 
+// Posting-space publication: the same sticky rule emitted directly as one
+// sorted provider list per identity — the form the compressed PostingIndex
+// ingests, with no m×n matrix in between. Bit-identical to inverting
+// sticky_publish_matrix (pinned by the differential harness); the output
+// of choice at million-identity scale, where the dense intermediate is the
+// thing being avoided.
+std::vector<std::vector<std::uint32_t>> sticky_publish_postings(
+    const eppi::BitMatrix& truth, std::span<const double> betas,
+    std::span<const std::uint64_t> keys);
+
 }  // namespace eppi::core

@@ -112,10 +112,26 @@ TEST(SerializeFuzzTest, IndexLoaderSurvivesV2Corruption) {
                104);
 }
 
-// Truncation at *every* byte boundary — not just random cuts — for both
-// format versions: a torn write can stop anywhere, including mid-magic and
-// mid-dimension, and the loader must reject each prefix, never crash or
-// over-allocate.
+TEST(SerializeFuzzTest, IndexLoaderSurvivesV3Corruption) {
+  const core::PpiIndex index = fuzz_index();
+  std::vector<std::pair<std::string, core::IdentityId>> names;
+  for (std::size_t t = 0; t < index.identities(); ++t) {
+    names.emplace_back("owner-" + std::to_string(t),
+                       static_cast<core::IdentityId>(t));
+  }
+  const core::Lexicon lexicon(std::move(names));
+  fuzz_decoder(
+      core::save_index_v3_bytes(core::PostingIndex(index), &lexicon),
+      [](const std::vector<std::uint8_t>& bytes) {
+        (void)core::load_postings_bytes(bytes);
+      },
+      105);
+}
+
+// Truncation at *every* byte boundary — not just random cuts — for all
+// format versions: a torn write can stop anywhere, including mid-magic,
+// mid-dimension and mid-shard, and the loader must reject each prefix,
+// never crash or over-allocate.
 TEST(SerializeFuzzTest, IndexLoaderRejectsEveryTruncationPoint) {
   const core::PpiIndex index = fuzz_index();
 
@@ -124,8 +140,10 @@ TEST(SerializeFuzzTest, IndexLoaderRejectsEveryTruncationPoint) {
   const std::string v1_str = v1.str();
   const std::vector<std::uint8_t> v1_bytes(v1_str.begin(), v1_str.end());
   const std::vector<std::uint8_t> v2_bytes = core::save_index_bytes(index);
+  const std::vector<std::uint8_t> v3_bytes =
+      core::save_index_v3_bytes(core::PostingIndex(index), nullptr);
 
-  for (const auto& valid : {v1_bytes, v2_bytes}) {
+  for (const auto& valid : {v1_bytes, v2_bytes, v3_bytes}) {
     for (std::size_t cut = 0; cut < valid.size(); ++cut) {
       const std::vector<std::uint8_t> torn(valid.begin(),
                                            valid.begin() + cut);
@@ -158,6 +176,18 @@ TEST(SerializeFuzzTest, IndexCrossVersionLoads) {
   std::vector<std::uint8_t> relabeled_v2 = v1_bytes;
   std::memcpy(relabeled_v2.data(), "eppiidx2", 8);
   EXPECT_THROW((void)core::load_index_bytes(relabeled_v2), SerializeError);
+
+  // v3 bytes relabeled as v2 (and vice versa) must likewise be rejected:
+  // the shard-table layout is nothing like a packed row payload, and the
+  // section checksums catch the mismatch before any decode runs.
+  const std::vector<std::uint8_t> v3_bytes =
+      core::save_index_v3_bytes(core::PostingIndex(index), nullptr);
+  std::vector<std::uint8_t> relabeled_v3 = v2_bytes;
+  std::memcpy(relabeled_v3.data(), "eppiidx3", 8);
+  EXPECT_THROW((void)core::load_index_bytes(relabeled_v3), SerializeError);
+  std::vector<std::uint8_t> downlabeled = v3_bytes;
+  std::memcpy(downlabeled.data(), "eppiidx2", 8);
+  EXPECT_THROW((void)core::load_index_bytes(downlabeled), SerializeError);
 }
 
 TEST(SerializeFuzzTest, CircuitLoaderSurvivesCorruption) {

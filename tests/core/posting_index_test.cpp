@@ -136,23 +136,38 @@ TEST(PostingIndexTest, MatrixConstructorMatchesPpiIndexConstructor) {
 TEST(PostingIndexTest, MemoryFootprintSeparatesPayloadFromResident) {
   const PostingIndex postings(sample_index(100, 50, 5, 0.3));
   const auto fp = postings.memory_footprint();
-  std::size_t expected_payload = 0;
-  for (IdentityId j = 0; j < 50; ++j) {
-    expected_payload += postings.query(j).size() * sizeof(ProviderId);
+  // The per-codec split must tile the totals exactly: every row is counted
+  // under the codec its tagged offset names, and nothing else contributes
+  // to the encoded payload.
+  std::size_t rows = 0;
+  std::size_t payload = 0;
+  for (const auto& codec : fp.by_codec) {
+    rows += codec.rows;
+    payload += codec.payload_bytes;
   }
-  EXPECT_EQ(fp.payload_bytes, expected_payload);
-  EXPECT_EQ(postings.posting_bytes(), expected_payload);
-  // Resident must count the per-list control blocks on top of the payload
-  // (capacity slack is zero by construction: lists are reserved exactly).
+  EXPECT_EQ(rows, 50u);
+  EXPECT_EQ(payload, fp.payload_bytes);
+  EXPECT_EQ(postings.posting_bytes(), fp.payload_bytes);
+  // The encoded payload beats raw u32 posting lists at this density, and
+  // resident honestly counts the per-row tagged offsets on top of it.
+  std::size_t raw_bytes = 0;
+  for (IdentityId j = 0; j < 50; ++j) {
+    raw_bytes += postings.query(j).size() * sizeof(ProviderId);
+  }
+  EXPECT_LT(fp.payload_bytes, raw_bytes);
   EXPECT_GE(fp.resident_bytes,
-            fp.payload_bytes + 50 * sizeof(std::vector<ProviderId>));
+            fp.payload_bytes + 50 * sizeof(std::uint32_t));
+  EXPECT_EQ(fp.shards, postings.shard_count());
 }
 
 TEST(PostingIndexTest, EmptyIndexStillHasResidentFootprint) {
   const PostingIndex postings(PpiIndex{eppi::BitMatrix(5, 64)});
   const auto fp = postings.memory_footprint();
   EXPECT_EQ(fp.payload_bytes, 0u);
-  EXPECT_GE(fp.resident_bytes, 64 * sizeof(std::vector<ProviderId>));
+  EXPECT_EQ(fp.by_codec[static_cast<std::size_t>(PostingCodec::kEmpty)].rows,
+            64u);
+  // No payload, but the tagged offsets are still resident.
+  EXPECT_GE(fp.resident_bytes, 64 * sizeof(std::uint32_t));
 }
 
 }  // namespace

@@ -2,7 +2,8 @@
 //
 //   eppi_cli build <collection.csv> <out.idx> [options]
 //       Builds the ε-PPI for a provider,identity membership table and saves
-//       the published index. Options:
+//       the published index as compressed eppi-index-v3 (the identity
+//       names ride along as the lexicon section). Options:
 //         --eps <x>          default privacy degree (default 0.6)
 //         --eps-file <f>     per-owner degrees: lines of identity,eps
 //                            (owners not listed use --eps)
@@ -63,8 +64,12 @@
 //                          JSONL (crash-safe atomic write)
 //
 //   eppi_cli stats [<index.idx> | -]
-//       With an index file: dimensions, density and apparent-frequency
-//       profile. With `-` (or no argument when stdin is piped): reads
+//       With an index file (any version): dimensions, density and
+//       apparent-frequency profile, plus the v3 compression story — shard
+//       topology, lexicon size, per-codec row/byte breakdown (matching
+//       the serving tier's eppi_index_bytes{codec=...} gauges) and the
+//       reduction vs the dense-matrix equivalent.
+//       With `-` (or no argument when stdin is piped): reads
 //       Prometheus text exposition from stdin, validates it line by line
 //       and prints a per-family sample summary; exit 1 on malformed input.
 //
@@ -275,9 +280,19 @@ int cmd_build(const std::vector<std::string>& args) {
 
   // Crash-safe write: a killed build leaves either the previous index or a
   // quarantinable .tmp, never a torn file that later loads half-garbage.
+  // Written as compressed v3 with the collection table's identity names as
+  // the lexicon, so `stats`/`query` can resolve names from the file alone.
+  std::vector<std::pair<std::string, eppi::core::IdentityId>> names;
+  for (std::size_t j = 0; j < table.identity_names.size(); ++j) {
+    names.emplace_back(table.identity_names[j],
+                       static_cast<eppi::core::IdentityId>(j));
+  }
+  const eppi::core::Lexicon lexicon(std::move(names));
   eppi::storage::PosixVfs vfs;
-  eppi::storage::atomic_write_file(vfs, out_path,
-                                   eppi::core::save_index_bytes(index));
+  eppi::storage::atomic_write_file(
+      vfs, out_path,
+      eppi::core::save_index_v3_bytes(eppi::core::PostingIndex(index),
+                                      &lexicon));
   std::cerr << "wrote " << out_path << '\n';
   return 0;
 }
@@ -1033,26 +1048,63 @@ int validate_prometheus(std::istream& in) {
 int cmd_stats(const std::vector<std::string>& args) {
   if (args.size() > 1) return usage();
   if (args.empty() || args[0] == "-") return validate_prometheus(std::cin);
-  const auto index = load_idx(args[0]);
-  const auto& matrix = index.matrix();
-  const std::size_t cells = matrix.rows() * matrix.cols();
-  std::cout << "providers:  " << matrix.rows() << '\n'
-            << "identities: " << matrix.cols() << '\n'
-            << "claims:     " << matrix.popcount() << " ("
-            << (cells == 0
-                    ? 0.0
-                    : 100.0 * static_cast<double>(matrix.popcount()) /
-                          static_cast<double>(cells))
-            << "% dense)\n";
+  eppi::storage::PosixVfs vfs;
+  const auto bytes = vfs.read_file(args[0]);
+  const auto validation = eppi::core::validate_index(bytes);
+  const auto loaded = eppi::core::load_postings_bytes(bytes);
+  const auto& postings = loaded.postings;
+  const std::size_t m = postings.providers();
+  const std::size_t n = postings.identities();
+
+  std::size_t claims = 0;
   std::size_t full = 0;
   std::size_t max_freq = 0;
-  for (std::size_t j = 0; j < matrix.cols(); ++j) {
-    const std::size_t f = matrix.col_count(j);
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t f =
+        postings.apparent_frequency(static_cast<eppi::core::IdentityId>(j));
+    claims += f;
     max_freq = std::max(max_freq, f);
-    if (f == matrix.rows()) ++full;
+    if (f == m) ++full;
   }
-  std::cout << "max apparent frequency: " << max_freq << '\n'
+  const std::size_t cells = m * n;
+  std::cout << "format:     eppi-index-v" << validation.version << " ("
+            << postings.shard_count() << " shard(s), span "
+            << postings.shard_span() << ", lexicon: "
+            << (loaded.lexicon != nullptr
+                    ? std::to_string(loaded.lexicon->size()) + " names"
+                    : std::string("none"))
+            << ")\n"
+            << "providers:  " << m << '\n'
+            << "identities: " << n << '\n'
+            << "claims:     " << claims << " ("
+            << (cells == 0 ? 0.0
+                           : 100.0 * static_cast<double>(claims) /
+                                 static_cast<double>(cells))
+            << "% dense)\n"
+            << "max apparent frequency: " << max_freq << '\n'
             << "broadcast (apparent-common) identities: " << full << '\n';
+
+  // Per-codec storage breakdown: the same numbers the serving tier exports
+  // as eppi_index_bytes{codec=...} — here for files at rest.
+  const auto fp = postings.memory_footprint();
+  std::cout << "storage by codec:\n";
+  for (std::size_t c = 0; c < eppi::core::kPostingCodecCount; ++c) {
+    const auto codec = static_cast<eppi::core::PostingCodec>(c);
+    std::cout << "  " << eppi::core::to_string(codec) << ": "
+              << fp.by_codec[c].rows << " row(s), "
+              << fp.by_codec[c].payload_bytes << " byte(s)\n";
+  }
+  const std::size_t dense_bytes = (cells + 7) / 8;
+  std::cout << "payload: " << fp.payload_bytes << " byte(s), resident: "
+            << fp.resident_bytes << " byte(s)\n"
+            << "dense-matrix equivalent: " << dense_bytes << " byte(s)";
+  if (fp.resident_bytes > 0) {
+    std::cout << " (x"
+              << static_cast<double>(dense_bytes) /
+                     static_cast<double>(fp.resident_bytes)
+              << " reduction)";
+  }
+  std::cout << '\n';
   return 0;
 }
 
