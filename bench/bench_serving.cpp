@@ -396,6 +396,7 @@ void write_json(const std::string& path, const ServeConfig& cfg,
     return;
   }
   out << "{\n  \"bench\": \"serving\",\n";
+  out << "  \"build\": " << eppi::bench::build_info_json() << ",\n";
   out << "  \"config\": {\"providers\": " << cfg.providers
       << ", \"owners\": " << cfg.owners
       << ", \"min_swaps\": " << cfg.min_swaps << "},\n";

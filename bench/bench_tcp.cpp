@@ -160,6 +160,7 @@ void write_json(const std::string& path, bool smoke, const RttResult& rtt,
     return;
   }
   out << "{\n  \"bench\": \"tcp\",\n";
+  out << "  \"build\": " << eppi::bench::build_info_json() << ",\n";
   out << "  \"config\": {\"smoke\": " << (smoke ? "true" : "false") << "},\n";
   out << "  \"loopback_rtt\": {\"iters\": " << rtt.iters
       << ", \"p50_us\": " << rtt.p50_us << ", \"avg_us\": " << rtt.avg_us

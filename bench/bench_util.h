@@ -10,6 +10,9 @@
 #include <string>
 #include <vector>
 
+#include "obs/build_info.h"
+#include "obs/json_escape.h"
+
 namespace eppi::bench {
 
 class ResultTable {
@@ -58,6 +61,18 @@ inline std::string fmt(double v, int decimals = 3) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
   return buf;
+}
+
+// Build-provenance object for BENCH_*.json snapshots: the same
+// version/sha/compiler triple the eppi_build_info gauge exports, so a
+// committed baseline records which build produced its numbers. All-string
+// fields — scripts/check_bench.py only gates numeric leaves, so baselines
+// from a different build still compare clean.
+inline std::string build_info_json() {
+  return std::string("{\"version\": \"") +
+         obs::json_escape(obs::build_version()) + "\", \"sha\": \"" +
+         obs::json_escape(obs::build_git_sha()) + "\", \"compiler\": \"" +
+         obs::json_escape(obs::build_compiler()) + "\"}";
 }
 
 }  // namespace eppi::bench

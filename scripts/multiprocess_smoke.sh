@@ -9,6 +9,12 @@
 #   2. scrapes each party's Prometheus endpoint and asserts zero secsum
 #      aborts (shaping must not cost a single degraded epoch),
 #   3. SIGTERMs the lingering parties and requires a clean drain (exit 0),
+#      then merges the four per-party trace exports and gates on the wire
+#      context propagation: >= 1 cross-process parent-child edge, ZERO
+#      causality violations after clock-offset estimation, and a replayed
+#      per-phase byte total exactly equal to the parties' summed CostMeter
+#      ground truth — with the compute/wait decomposition and critical path
+#      present in the replay table,
 #   4. stands up `eppi_cli serve --listen` on the same collection and runs a
 #      batched /query POST against it, checking the true positives,
 #   5. rehearses membership churn: a locator daemon is SIGKILLed mid-churn
@@ -114,10 +120,13 @@ pids+=("$proxy_pid")
 
 # ----------------------------------------------------------------- parties --
 declare -a party_pid
+# The trace ring is sized up so per-message net.recv spans survive until the
+# post-drain export (the 8192-slot default is tuned for phase spans only).
 for (( i = m - 1; i >= 0; i-- )); do
+  EPPI_TRACE_RING=65536 \
   "$cli" party "$csv" --id "$i" --host-file "$hosts" \
     --listen-port "$(( real + i ))" --metrics-port "$(( metrics + i ))" \
-    --ft --c 2 --seed 5 --linger \
+    --ft --c 2 --seed 5 --linger --trace "$workdir/trace$i.jsonl" \
     > "$workdir/party$i.out" 2> "$workdir/party$i.err" &
   party_pid[$i]=$!
   pids+=("${party_pid[$i]}")
@@ -155,6 +164,37 @@ for (( i = 0; i < m; i++ )); do
   wait "${party_pid[$i]}" || fail "party $i exited nonzero after SIGTERM"
 done
 echo "multiprocess_smoke: all parties drained cleanly on SIGTERM"
+
+# ------------------------------------------- distributed trace merge gates --
+# Join the four per-process exports into one causal timeline. The merge must
+# reconstruct real cross-process parent-child edges from the v3 wire context
+# (or propagation is broken), and after clock-offset estimation no message
+# may appear received before it was sent.
+total_bytes=0
+for (( i = 0; i < m; i++ )); do
+  [[ -s "$workdir/trace$i.jsonl" ]] || fail "party $i wrote no trace export"
+  bytes="$(sed -n 's/^cost: bytes=\([0-9]*\).*/\1/p' "$workdir/party$i.err")"
+  [[ -n "$bytes" ]] || fail "party $i printed no CostMeter cost line"
+  total_bytes=$(( total_bytes + bytes ))
+done
+merged="$workdir/merged.jsonl"
+"$cli" trace merge "$merged" \
+    "$workdir"/trace0.jsonl "$workdir"/trace1.jsonl \
+    "$workdir"/trace2.jsonl "$workdir"/trace3.jsonl \
+    --require-edges 8 --max-violations 0 \
+    > "$workdir/merge.out" 2>&1 \
+  || fail "trace merge gate: $(cat "$workdir/merge.out")"
+sed 's/^/multiprocess_smoke:   /' "$workdir/merge.out"
+echo "multiprocess_smoke: merged trace has cross-process edges, zero causality violations"
+
+# The merged trace must replay to the parties' summed CostMeter ground
+# truth exactly, and carry the compute/wait decomposition + critical path.
+replay="$workdir/replay.out"
+"$cli" trace "$merged" --expect-bytes "$total_bytes" > "$replay" 2>&1 \
+  || fail "merged replay did not match CostMeter bytes=$total_bytes: $(cat "$replay")"
+grep -q 'compute_ms' "$replay" || fail "replay table lacks compute/wait decomposition"
+grep -q 'critical path:' "$replay" || fail "replay table lacks the critical path"
+echo "multiprocess_smoke: merged replay matches CostMeter ($total_bytes bytes) with critical path"
 
 # --------------------------------------------------- serve + batched query --
 "$cli" serve "$csv" --listen "$serve_port" 2> "$workdir/serve.err" &

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/clock.h"
+
 #include "common/error.h"
 #include "core/constructor.h"
 #include "core/epoch_store.h"
 #include "obs/registry.h"
+#include "obs/slow_log.h"
 #include "obs/trace.h"
 
 namespace eppi::core {
@@ -451,13 +454,17 @@ LocatorService::QueryResult LocatorService::query_ppi_with_status(
 
 LocatorService::BatchQueryResult LocatorService::query_ppi_many(
     std::span<const std::string> owners) const {
+  obs::Span span("query.ppi_many");
+  span.attr("batch", static_cast<std::uint64_t>(owners.size()));
   const auto start = std::chrono::steady_clock::now();
   const auto snap = acquire_serving();
   BatchQueryResult result;
   result.providers.reserve(owners.size());
+  std::size_t resolved = 0;
   try {
     for (const auto& owner : owners) {
       result.providers.push_back(resolve(*snap, owner));
+      if (!result.providers.back().empty()) ++resolved;
     }
   } catch (const eppi::ConfigError&) {
     metrics_.record_unknown_owner();
@@ -468,7 +475,23 @@ LocatorService::BatchQueryResult LocatorService::query_ppi_many(
   result.rebuilds_behind = snap->rebuilds_behind;
   result.age_seconds = snap->age_seconds();
   if (snap->degraded) metrics_.record_degraded_serve();
-  metrics_.record_batch(owners.size(), elapsed_us(start));
+  const std::uint64_t us = elapsed_us(start);
+  metrics_.record_batch(owners.size(), us);
+  span.attr("resolved", static_cast<std::uint64_t>(resolved));
+  span.attr("epoch", snap->epoch);
+  // Sizes, timings, and trace ids only — never owner names (the slow log is
+  // exported over /slowlog, and query contents are exactly what the paper's
+  // privacy model hides).
+  obs::SlowQueryLog::Entry entry;
+  const obs::SpanContext ctx = span.context();
+  entry.trace_id = ctx.trace_id;
+  entry.span_id = ctx.span_id;
+  entry.at_ns = monotonic_ns();
+  entry.duration_us = us;
+  entry.batch = owners.size();
+  entry.resolved = resolved;
+  entry.epoch = snap->epoch;
+  obs::SlowQueryLog::global().offer(entry);
   return result;
 }
 

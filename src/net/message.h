@@ -52,6 +52,16 @@ struct Message {
   std::uint64_t seq = 0;
   std::vector<std::uint8_t> payload;
 
+  // Trace context (transport metadata, NOT protocol state): the sender-side
+  // span this message is causally under, stamped once at the transport
+  // entry point (ReliableTransport/SocketSender) from the sending thread's
+  // current obs span, and carried across retransmissions so a re-sent frame
+  // keeps its original causal parent. Zero = untraced. Socket framing
+  // serializes it as the v3 trace-context extension; wire_size() excludes
+  // it so the paper's cost model is byte-identical with tracing on or off.
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+
   // Wire size in bytes under our framing (header + payload), used by the
   // network cost model.
   std::size_t wire_size() const noexcept;

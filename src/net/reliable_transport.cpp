@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace eppi::net {
 
@@ -51,6 +52,15 @@ void ReliableTransport::send(Message msg) {
   if (is_ack_tag(msg.tag)) {
     inner_.send(std::move(msg));
     return;
+  }
+
+  // Stamp the caller's current span before the retransmit copy is taken, so
+  // a re-sent frame carries the *original* causal parent — the retransmit
+  // thread's (empty) context must never overwrite it.
+  if (msg.span_id == 0) {
+    const obs::SpanContext ctx = obs::current_span_context();
+    msg.trace_id = ctx.trace_id;
+    msg.span_id = ctx.span_id;
   }
 
   const auto now = Clock::now();

@@ -13,6 +13,7 @@
 #include <cstring>
 #include <random>
 
+#include "common/clock.h"
 #include "common/error.h"
 #include "common/logging.h"
 #include "net/wire.h"
@@ -56,12 +57,23 @@ std::uint64_t make_session_nonce() {
 }
 
 std::vector<unsigned char> encode_frame(const Message& msg) {
-  std::vector<unsigned char> buf(wire::kHeaderBytes + msg.payload.size());
-  const wire::FrameHeader h{msg.from, msg.to, msg.tag, msg.seq,
-                            static_cast<std::uint32_t>(msg.payload.size())};
+  // Stamped messages grow the v3 trace-context extension; send_ns is taken
+  // here, at encode time, so a retransmission carries its own transmission
+  // clock (the causal parent span, by contrast, stays the original one).
+  const bool traced = msg.span_id != 0 && !is_ack_tag(msg.tag);
+  const std::size_t ext = traced ? wire::kTraceExtBytes : 0;
+  std::vector<unsigned char> buf(wire::kHeaderBytes + ext +
+                                 msg.payload.size());
+  const wire::FrameHeader h{
+      msg.from, msg.to, traced ? msg.tag | wire::kTraceContextBit : msg.tag,
+      msg.seq, static_cast<std::uint32_t>(msg.payload.size())};
   wire::encode_frame_header(h, buf.data());
+  if (traced) {
+    const wire::TraceContext ctx{msg.trace_id, msg.span_id, monotonic_ns()};
+    wire::encode_trace_context(ctx, buf.data() + wire::kHeaderBytes);
+  }
   if (!msg.payload.empty()) {
-    std::memcpy(buf.data() + wire::kHeaderBytes, msg.payload.data(),
+    std::memcpy(buf.data() + wire::kHeaderBytes + ext, msg.payload.data(),
                 msg.payload.size());
   }
   return buf;
@@ -79,6 +91,15 @@ class SocketRuntime::SocketSender final : public Transport {
   void send(Message msg) override {
     require(msg.to < runtime_.endpoints_.size(),
             "SocketSender: bad destination");
+    // Stamp the sending thread's current span onto untraced data frames so
+    // the wire carries the causal parent. Already-stamped messages (the
+    // reliability layer stamps before registering its retransmit copy) keep
+    // their original context; acks stay untraced.
+    if (msg.span_id == 0 && !is_ack_tag(msg.tag)) {
+      const obs::SpanContext ctx = obs::current_span_context();
+      msg.trace_id = ctx.trace_id;
+      msg.span_id = ctx.span_id;
+    }
     runtime_.meter_.record_message(msg.wire_size());
     if (msg.to == runtime_.self_) {  // loopback
       runtime_.mailboxes_[runtime_.self_].deliver(std::move(msg));
@@ -544,8 +565,15 @@ void SocketRuntime::process_frames(Conn& c) {
       close_conn(fd, "oversized frame");
       return;
     }
-    if (c.rbuf.size() - off < wire::kHeaderBytes + h.len) break;
+    const std::size_t ext =
+        wire::has_trace_context(h.tag) ? wire::kTraceExtBytes : 0;
+    if (c.rbuf.size() - off < wire::kHeaderBytes + ext + h.len) break;
     off += wire::kHeaderBytes;
+    wire::TraceContext trace_ctx;
+    if (ext != 0) {
+      trace_ctx = wire::decode_trace_context(c.rbuf.data() + off);
+      off += ext;
+    }
 
     if (wire::is_control_tag(h.tag)) {
       if (h.tag == wire::kHeartbeatPing) {
@@ -560,7 +588,7 @@ void SocketRuntime::process_frames(Conn& c) {
     Message msg;
     msg.from = h.from;
     msg.to = h.to;
-    msg.tag = h.tag;
+    msg.tag = h.tag & ~wire::kTraceContextBit;
     msg.seq = h.seq;
     msg.payload.assign(c.rbuf.begin() + static_cast<std::ptrdiff_t>(off),
                        c.rbuf.begin() + static_cast<std::ptrdiff_t>(off + h.len));
@@ -569,6 +597,23 @@ void SocketRuntime::process_frames(Conn& c) {
       EPPI_WARN("party " << self_ << " ignoring misrouted frame for party "
                          << msg.to);
       continue;
+    }
+    if (ext != 0) {
+      // Materialize the sender's context as a local net.recv event parented
+      // to the *remote* sending span — the cross-process edge the trace
+      // merger joins on. send_ns is the sender's clock; the merger rebases
+      // it before the replay's wait/critical-path analysis trusts it.
+      msg.trace_id = trace_ctx.trace_id;
+      msg.span_id = trace_ctx.parent_span;
+      const bool rt = (msg.tag & kRetransmitBit) != 0;
+      obs::record_remote_event(
+          "net.recv", {trace_ctx.trace_id, trace_ctx.parent_span},
+          {{"from", h.from},
+           {"tag", msg.tag & ~kRetransmitBit},
+           {"seq", h.seq},
+           {"bytes", h.len},
+           {"send_ns", trace_ctx.send_ns},
+           {"rt", rt ? 1u : 0u}});
     }
     {
       const MutexLock lock(state_mutex_);

@@ -17,7 +17,17 @@
 //
 // Frames after the handshake are the established length-delimited layout
 // [from u32, to u32, tag u32, seq u64, len u32][payload], unchanged from
-// protocol v1 — v2 versions the handshake and adds control tags.
+// protocol v1 — v2 versions the handshake and adds control tags. Protocol
+// v3 adds an *optional* trace-context extension: a data frame whose tag
+// carries kTraceContextBit interposes 24 bytes
+// [trace_id u64, parent_span u64, send_ns u64] between the header and the
+// payload — the sender's current trace span and monotonic clock at
+// transmission. The receiver materializes it as a `net.recv` span parented
+// to the remote sender span (obs/trace.h), which is what lets
+// `eppi_cli trace merge` join per-process traces into one causal timeline.
+// `len` still counts payload bytes only, and the extension is framing: it
+// is invisible to Message::wire_size(), so the paper's cost accounting (and
+// exact trace replay against CostMeter totals) is unchanged by tracing.
 //
 // Control tags (kControlBit) belong to the socket layer itself: heartbeat
 // ping/pong frames are consumed by the event loop and never reach a Mailbox,
@@ -35,7 +45,7 @@ namespace eppi::net::wire {
 
 // "ePPI" as a little-endian u32; bumped constants mean a new protocol epoch.
 inline constexpr std::uint32_t kMagic = 0x49505065u;
-inline constexpr std::uint16_t kProtocolVersion = 2;
+inline constexpr std::uint16_t kProtocolVersion = 3;
 
 // Hello flags.
 inline constexpr std::uint16_t kFlagResume = 0x0001;  // reconnect, not first contact
@@ -49,6 +59,20 @@ inline constexpr std::uint32_t kHeartbeatPong = kControlBit | 2u;
 inline constexpr bool is_control_tag(std::uint32_t tag) noexcept {
   return (tag & kControlBit) != 0 && (tag & kAckBit) == 0;
 }
+
+// Trace-context flag (v3): the frame carries a TraceContext extension
+// between the header and the payload. Sits below kControlBit; protocol tags
+// stay well under it (kUserBase + small offsets).
+inline constexpr std::uint32_t kTraceContextBit = 0x10000000u;
+
+inline constexpr bool has_trace_context(std::uint32_t tag) noexcept {
+  return (tag & kTraceContextBit) != 0;
+}
+
+// All tag bits owned by the transport/socket layers, stripped before a
+// message's tag is compared against protocol expectations.
+inline constexpr std::uint32_t kTransportTagBits =
+    kAckBit | kRetransmitBit | kControlBit | kTraceContextBit;
 
 // --- byte-order helpers (little-endian, byte at a time) --------------------
 
@@ -156,6 +180,35 @@ inline FrameHeader decode_frame_header(const unsigned char* in) noexcept {
   h.seq = get_u64(in);
   h.len = get_u32(in);
   return h;
+}
+
+// --- trace-context extension (v3) ------------------------------------------
+
+// Present immediately after the header when the tag carries
+// kTraceContextBit. `parent_span` is the sender-side span the frame is
+// causally under; `send_ns` is the sender's monotonic clock at the moment
+// this copy of the frame was encoded (a retransmission re-stamps it).
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
+  std::uint64_t send_ns = 0;
+};
+
+inline constexpr std::size_t kTraceExtBytes = 8 + 8 + 8;
+
+inline void encode_trace_context(const TraceContext& t,
+                                 unsigned char* out) noexcept {
+  put_u64(out, t.trace_id);
+  put_u64(out, t.parent_span);
+  put_u64(out, t.send_ns);
+}
+
+inline TraceContext decode_trace_context(const unsigned char* in) noexcept {
+  TraceContext t;
+  t.trace_id = get_u64(in);
+  t.parent_span = get_u64(in);
+  t.send_ns = get_u64(in);
+  return t;
 }
 
 }  // namespace eppi::net::wire

@@ -1,0 +1,37 @@
+#include "obs/build_info.h"
+
+#include "obs/registry.h"
+
+#ifndef EPPI_GIT_SHA
+#define EPPI_GIT_SHA "unknown"
+#endif
+#ifndef EPPI_BUILD_COMPILER
+#define EPPI_BUILD_COMPILER "unknown"
+#endif
+
+namespace eppi::obs {
+
+namespace {
+
+// Source-tree version, bumped with protocol-visible changes (the wire
+// protocol version tracks it separately in net/wire.h).
+constexpr std::string_view kVersion = "0.10.0";
+
+}  // namespace
+
+std::string_view build_version() noexcept { return kVersion; }
+
+std::string_view build_git_sha() noexcept { return EPPI_GIT_SHA; }
+
+std::string_view build_compiler() noexcept { return EPPI_BUILD_COMPILER; }
+
+void register_build_info(Registry& reg) {
+  reg.gauge("eppi_build_info",
+            {{"version", std::string(build_version())},
+             {"sha", std::string(build_git_sha())},
+             {"compiler", std::string(build_compiler())}},
+            "Build provenance; value is always 1, the labels carry it")
+      .set(1);
+}
+
+}  // namespace eppi::obs

@@ -1,0 +1,27 @@
+// Build provenance surfaced as metrics.
+//
+// Every long-running process exports an `eppi_build_info` gauge whose value
+// is always 1 and whose labels carry the interesting part: the source
+// version, the git sha the build was configured from, and the compiler.
+// This is the standard Prometheus idiom for joining any other metric with
+// "which build produced it" — one `group_left` away in a dashboard — and it
+// rides along in the registry's JSON snapshots, so committed BENCH_*.json
+// baselines record which build produced their numbers.
+#pragma once
+
+#include <string_view>
+
+namespace eppi::obs {
+
+class Registry;
+
+std::string_view build_version() noexcept;
+std::string_view build_git_sha() noexcept;
+std::string_view build_compiler() noexcept;
+
+// Registers the eppi_build_info gauge (value 1, provenance in labels) on
+// `reg`. Registry::global() calls this once at creation; tests may call it
+// on private registries.
+void register_build_info(Registry& reg);
+
+}  // namespace eppi::obs

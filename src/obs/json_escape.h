@@ -1,0 +1,26 @@
+// Shared string-escaping helpers for the two exposition formats obs emits.
+//
+// JSON and Prometheus disagree about what must be escaped: JSON requires
+// every control byte below 0x20 to be escaped (\n, \t, ... or \u00xx),
+// while the Prometheus text format only gives meaning to backslash, quote
+// and newline inside label values. One implementation of each lives here so
+// the trace exporter, the registry renderers and any future JSON writer
+// share one audited escape set instead of drifting copies.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace eppi::obs {
+
+// Escapes `s` for use inside a double-quoted JSON string: backslash, quote,
+// the named control escapes (\n \r \t \b \f) and \u00xx for the rest of the
+// C0 range. Output is valid UTF-8 whenever the input is.
+std::string json_escape(std::string_view s);
+
+// Escapes `s` for a double-quoted Prometheus label value: backslash, quote
+// and newline, per the text-exposition spec. Other control bytes pass
+// through untouched (Prometheus treats them as opaque value bytes).
+std::string prom_escape(std::string_view s);
+
+}  // namespace eppi::obs

@@ -9,31 +9,12 @@
 #include <sstream>
 #include <vector>
 
+#include "obs/build_info.h"
+#include "obs/json_escape.h"
+
 namespace eppi::obs {
 
 namespace {
-
-// Prometheus label values and JSON strings share the same escape set.
-std::string escape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '\\':
-        out += "\\\\";
-        break;
-      case '"':
-        out += "\\\"";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      default:
-        out += c;
-    }
-  }
-  return out;
-}
 
 // {k="v",k2="v2"} with an optional extra pair appended (used for le=).
 std::string prom_labels(const Labels& labels, std::string_view extra_key = "",
@@ -44,14 +25,14 @@ std::string prom_labels(const Labels& labels, std::string_view extra_key = "",
     if (i) out += ",";
     out += labels[i].key;
     out += "=\"";
-    out += escape(labels[i].value);
+    out += prom_escape(labels[i].value);
     out += "\"";
   }
   if (!extra_key.empty()) {
     if (!labels.empty()) out += ",";
     out += std::string(extra_key);
     out += "=\"";
-    out += escape(extra_value);
+    out += prom_escape(extra_value);
     out += "\"";
   }
   out += "}";
@@ -63,9 +44,9 @@ std::string json_labels(const Labels& labels) {
   for (std::size_t i = 0; i < labels.size(); ++i) {
     if (i) out += ",";
     out += "\"";
-    out += escape(labels[i].key);
+    out += json_escape(labels[i].key);
     out += "\":\"";
-    out += escape(labels[i].value);
+    out += json_escape(labels[i].value);
     out += "\"";
   }
   out += "}";
@@ -112,7 +93,14 @@ double Histogram::Snapshot::quantile(double q) const noexcept {
 }
 
 Registry& Registry::global() {
-  static Registry* instance = new Registry();  // leaked: outlives all users
+  // Leaked: outlives all users. Build provenance is registered here, on the
+  // concrete instance, so the gauge exists on every /metrics scrape and in
+  // every JSON snapshot without any call-site needing to remember it.
+  static Registry* instance = [] {
+    auto* reg = new Registry();
+    register_build_info(*reg);
+    return reg;
+  }();
   return *instance;
 }
 
@@ -243,7 +231,7 @@ std::string Registry::render_json() const {
   for (const auto& e : counters_) {
     if (!first) out << ",";
     first = false;
-    out << "{\"name\":\"" << escape(e.name)
+    out << "{\"name\":\"" << json_escape(e.name)
         << "\",\"labels\":" << json_labels(e.labels)
         << ",\"value\":" << e.instrument.value() << "}";
   }
@@ -252,7 +240,7 @@ std::string Registry::render_json() const {
   for (const auto& e : gauges_) {
     if (!first) out << ",";
     first = false;
-    out << "{\"name\":\"" << escape(e.name)
+    out << "{\"name\":\"" << json_escape(e.name)
         << "\",\"labels\":" << json_labels(e.labels)
         << ",\"value\":" << e.instrument.value() << "}";
   }
@@ -262,7 +250,7 @@ std::string Registry::render_json() const {
     if (!first) out << ",";
     first = false;
     const Histogram::Snapshot s = e.instrument.snapshot();
-    out << "{\"name\":\"" << escape(e.name)
+    out << "{\"name\":\"" << json_escape(e.name)
         << "\",\"labels\":" << json_labels(e.labels) << ",\"sum\":" << s.sum
         << ",\"count\":" << s.total << ",\"buckets\":[";
     for (std::size_t k = 0; k < Histogram::kBuckets; ++k) {

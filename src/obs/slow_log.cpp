@@ -1,0 +1,73 @@
+#include "obs/slow_log.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace eppi::obs {
+
+namespace {
+
+// Min-heap comparator: the root is the fastest retained entry, i.e. the one
+// a slower newcomer evicts.
+bool slower(const SlowQueryLog::Entry& a, const SlowQueryLog::Entry& b) {
+  return a.duration_us > b.duration_us;
+}
+
+}  // namespace
+
+SlowQueryLog::SlowQueryLog(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {
+  heap_.reserve(capacity_);
+}
+
+void SlowQueryLog::offer(const Entry& e) {
+  const MutexLock lock(mu_);
+  ++observed_;
+  if (heap_.size() < capacity_) {
+    heap_.push_back(e);
+    std::push_heap(heap_.begin(), heap_.end(), slower);
+    return;
+  }
+  if (e.duration_us <= heap_.front().duration_us) return;
+  std::pop_heap(heap_.begin(), heap_.end(), slower);
+  heap_.back() = e;
+  std::push_heap(heap_.begin(), heap_.end(), slower);
+}
+
+std::vector<SlowQueryLog::Entry> SlowQueryLog::snapshot() const {
+  std::vector<Entry> out;
+  {
+    const MutexLock lock(mu_);
+    out = heap_;
+  }
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    if (a.duration_us != b.duration_us) return a.duration_us > b.duration_us;
+    return a.at_ns < b.at_ns;
+  });
+  return out;
+}
+
+std::uint64_t SlowQueryLog::observed() const {
+  const MutexLock lock(mu_);
+  return observed_;
+}
+
+SlowQueryLog& SlowQueryLog::global() {
+  // Leaked, like the default trace sink: the serving path may record from
+  // static teardown.
+  static SlowQueryLog* log = new SlowQueryLog(32);
+  return *log;
+}
+
+std::string to_jsonl(const std::vector<SlowQueryLog::Entry>& entries) {
+  std::ostringstream out;
+  for (const SlowQueryLog::Entry& e : entries) {
+    out << "{\"trace\":" << e.trace_id << ",\"span\":" << e.span_id
+        << ",\"at_ns\":" << e.at_ns << ",\"duration_us\":" << e.duration_us
+        << ",\"batch\":" << e.batch << ",\"resolved\":" << e.resolved
+        << ",\"epoch\":" << e.epoch << "}\n";
+  }
+  return out.str();
+}
+
+}  // namespace eppi::obs

@@ -1,0 +1,67 @@
+// Bounded slow-query log: the K slowest query_ppi_many batches seen so far.
+//
+// Aggregate latency histograms say *that* the tail is slow; the slow log
+// says *which* requests were, and carries each one's trace id so an
+// operator can jump from the daemon's /slowlog endpoint straight into the
+// exported trace for that batch. Entries record only sizes, timings and
+// trace identity — never owner names: queries name the paper's data owners,
+// and the privacy posture that keeps Secret<T> out of span attributes keeps
+// identities out of operational logs too.
+//
+// The log is a fixed-capacity min-heap keyed on duration under a mutex:
+// offers are O(log K) with K ≈ 32, far off the serving fast path's
+// wait-free read contract (one offer per *batch*, not per lookup).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+
+namespace eppi::obs {
+
+class SlowQueryLog {
+ public:
+  struct Entry {
+    std::uint64_t trace_id = 0;
+    std::uint64_t span_id = 0;
+    std::uint64_t at_ns = 0;        // batch start, monotonic process clock
+    std::uint64_t duration_us = 0;
+    std::uint64_t batch = 0;        // lookups in the batch
+    std::uint64_t resolved = 0;     // lookups that found their owner
+    std::uint64_t epoch = 0;        // epoch the batch was served from
+  };
+
+  explicit SlowQueryLog(std::size_t capacity = 32);
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  // Admits `e` if the log has room or `e` outlasts the current fastest
+  // retained entry. Never throws; safe from any thread.
+  void offer(const Entry& e);
+
+  // Retained entries, slowest first.
+  std::vector<Entry> snapshot() const;
+
+  // Total batches ever offered (admitted or not).
+  std::uint64_t observed() const;
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  // Process-wide instance the serving path records into; surfaced by the
+  // daemon's /slowlog endpoint.
+  static SlowQueryLog& global();
+
+ private:
+  const std::size_t capacity_;
+  mutable Mutex mu_;
+  std::vector<Entry> heap_;     // min-heap on duration_us
+  std::uint64_t observed_ = 0;
+};
+
+// One JSON object per entry, mirroring the trace JSONL idiom.
+std::string to_jsonl(const std::vector<SlowQueryLog::Entry>& entries);
+
+}  // namespace eppi::obs

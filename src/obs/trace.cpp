@@ -1,23 +1,67 @@
 #include "obs/trace.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <bit>
-#include <cstdio>
+#include <cstdlib>
+#include <random>
 #include <sstream>
 
 #include "common/clock.h"
 #include "common/mutex.h"
+#include "obs/json_escape.h"
 
 namespace eppi::obs {
 
 namespace {
 
+// Span ids are (24 bits of per-process entropy) << 40 | (local counter), so
+// ids minted by different party processes never collide and a merged trace
+// keeps every parent link intact without renumbering. 40 counter bits are
+// ~10^12 spans per process; 24 seed bits make a cross-process collision a
+// birthday problem at ~2^12 concurrent processes, far past any mesh we run.
+constexpr int kSeedShift = 40;
+constexpr std::uint64_t kSeedMask = 0xFFFFFFu;
+constexpr std::uint64_t kCounterMask = (std::uint64_t{1} << kSeedShift) - 1;
+
 std::atomic<std::uint64_t> g_next_span_id{1};
+std::atomic<std::uint64_t> g_seed_bits{0};  // (seed << kSeedShift); 0 = unset
 
 // The innermost open span on this thread; new spans parent to it. Worker
 // threads (one per protocol party) start at 0 and so open their own roots.
 thread_local std::uint64_t t_current_span = 0;
+// The trace the innermost open span belongs to; inherited by children and
+// by instantaneous events.
+thread_local std::uint64_t t_current_trace = 0;
+
+std::uint64_t seed_bits() noexcept {
+  std::uint64_t bits = g_seed_bits.load(std::memory_order_relaxed);
+  if (bits != 0) return bits;
+  // Entropy, not reproducibility: independently launched party processes
+  // must draw distinct seeds, so the deterministic eppi::Rng is exactly
+  // wrong here (same reasoning as the socket session nonce).
+  std::random_device rd;  // eppi-lint: allow(rng-construction): span-id process seeds need entropy, not reproducibility
+  std::uint64_t e = (std::uint64_t{rd()} << 32) ^ rd();
+  e ^= static_cast<std::uint64_t>(::getpid()) * 0x9E3779B97F4A7C15ull;
+  e &= kSeedMask;
+  if (e == 0) e = 1;
+  std::uint64_t want = e << kSeedShift;
+  // First caller wins; concurrent initializers adopt the published value so
+  // every id in the process shares one seed.
+  if (g_seed_bits.compare_exchange_strong(bits, want,
+                                          std::memory_order_relaxed)) {
+    return want;
+  }
+  return bits;
+}
+
+std::uint64_t next_span_id() noexcept {
+  return seed_bits() |
+         (g_next_span_id.fetch_add(1, std::memory_order_relaxed) &
+          kCounterMask);
+}
 
 void copy_truncated(char* dst, std::size_t cap, std::string_view src) {
   const std::size_t n = std::min(cap, src.size());
@@ -25,34 +69,40 @@ void copy_truncated(char* dst, std::size_t cap, std::string_view src) {
   if (n < cap) dst[n] = '\0';
 }
 
-std::string json_escape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '\\':
-        out += "\\\\";
-        break;
-      case '"':
-        out += "\\\"";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
+}  // namespace
+
+SpanContext current_span_context() noexcept {
+  return SpanContext{t_current_trace, t_current_span};
 }
 
-}  // namespace
+void set_trace_process_seed_for_testing(std::uint64_t seed) noexcept {
+  seed &= kSeedMask;
+  if (seed == 0) seed = 1;
+  g_seed_bits.store(seed << kSeedShift, std::memory_order_relaxed);
+}
+
+std::uint64_t record_remote_event(
+    std::string_view name, const SpanContext& parent,
+    std::initializer_list<std::pair<std::string_view, std::uint64_t>> attrs,
+    TraceSink* sink) noexcept {
+  SpanEvent ev;
+  ev.span_id = next_span_id();
+  ev.parent_id = parent.span_id;
+  ev.trace_id = parent.trace_id != 0 ? parent.trace_id : ev.span_id;
+  ev.thread = thread_index();
+  ev.start_ns = monotonic_ns();
+  ev.end_ns = ev.start_ns;
+  copy_truncated(ev.name, SpanEvent::kNameCap, name);
+  for (const auto& [key, value] : attrs) {
+    if (ev.n_attrs >= SpanEvent::kMaxAttrs) break;
+    SpanAttr& a = ev.attrs[ev.n_attrs++];
+    copy_truncated(a.key, SpanAttr::kKeyCap, key);
+    a.value.type = AttrValue::Type::kU64;
+    a.value.u64 = value;
+  }
+  (sink != nullptr ? sink : &default_sink())->record(ev);
+  return ev.span_id;
+}
 
 // ---------------------------------------------------------------- TraceSink
 
@@ -121,7 +171,19 @@ std::vector<SpanEvent> TraceSink::drain() {
 
 TraceSink& default_sink() {
   // Leaked: instrumentation in static destructors may still record.
-  static TraceSink* sink = new TraceSink(8192);
+  static TraceSink* sink = [] {
+    std::size_t cap = 8192;
+    // Deployments that record per-message net.recv spans (socket runtime
+    // with trace export) need room for a whole run between drains.
+    if (const char* env = std::getenv("EPPI_TRACE_RING")) {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(env, &end, 10);
+      if (end != env && v >= 64 && v <= (1ull << 22)) {
+        cap = static_cast<std::size_t>(v);
+      }
+    }
+    return new TraceSink(cap);
+  }();
   return *sink;
 }
 
@@ -129,19 +191,24 @@ TraceSink& default_sink() {
 
 Span::Span(std::string_view name, TraceSink* sink)
     : sink_(sink ? sink : &default_sink()) {
-  ev_.span_id = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  ev_.span_id = next_span_id();
   ev_.parent_id = t_current_span;
+  // A root span starts a new trace named after itself; children inherit.
+  ev_.trace_id = t_current_trace != 0 ? t_current_trace : ev_.span_id;
   ev_.thread = thread_index();
   ev_.start_ns = monotonic_ns();
   copy_truncated(ev_.name, SpanEvent::kNameCap, name);
   prev_current_ = t_current_span;
+  prev_trace_ = t_current_trace;
   t_current_span = ev_.span_id;
+  t_current_trace = ev_.trace_id;
 }
 
 Span::~Span() {
   ev_.end_ns = monotonic_ns();
   sink_->record(ev_);
   t_current_span = prev_current_;
+  t_current_trace = prev_trace_;
 }
 
 SpanAttr* Span::next_attr(std::string_view key) noexcept {
@@ -190,8 +257,9 @@ void Span::attr(std::string_view key, std::string_view v) noexcept {
 
 void Span::event(std::string_view name) noexcept {
   SpanEvent ev;
-  ev.span_id = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  ev.span_id = next_span_id();
   ev.parent_id = ev_.span_id;
+  ev.trace_id = ev_.trace_id;
   ev.thread = thread_index();
   ev.start_ns = monotonic_ns();
   ev.end_ns = ev.start_ns;
@@ -206,7 +274,8 @@ std::string to_jsonl(const std::vector<SpanEvent>& events) {
   out.precision(17);
   for (const SpanEvent& ev : events) {
     out << "{\"span\":" << ev.span_id << ",\"parent\":" << ev.parent_id
-        << ",\"thread\":" << ev.thread << ",\"name\":\""
+        << ",\"trace\":" << ev.trace_id << ",\"thread\":" << ev.thread
+        << ",\"name\":\""
         << json_escape(ev.name_view()) << "\",\"start_ns\":" << ev.start_ns
         << ",\"end_ns\":" << ev.end_ns << ",\"attrs\":{";
     const std::uint32_t n =

@@ -25,10 +25,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <initializer_list>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace eppi {
@@ -69,6 +71,7 @@ struct SpanEvent {
 
   std::uint64_t span_id = 0;
   std::uint64_t parent_id = 0;  // 0 = root
+  std::uint64_t trace_id = 0;   // root span's id; shared by the whole tree
   std::uint64_t thread = 0;     // common/clock.h thread_index()
   std::uint64_t start_ns = 0;   // monotonic, since process_start()
   std::uint64_t end_ns = 0;
@@ -125,8 +128,40 @@ class TraceSink {
 };
 
 // The process-wide sink instrumentation records into by default. Sized for
-// a full distributed-construction run between drains.
+// a full distributed-construction run between drains; the EPPI_TRACE_RING
+// environment variable (slot count, read once) overrides the default for
+// deployments that also record per-message net.recv spans.
 TraceSink& default_sink();
+
+// (trace_id, span_id) pair identifying a span for causal linking — the unit
+// the socket layer propagates over the wire. Ids are globally unique across
+// processes: the high bits carry per-process entropy (see
+// set_trace_process_seed_for_testing), the low bits a local counter, so two
+// parties' traces can be merged without renumbering.
+struct SpanContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  explicit operator bool() const noexcept { return span_id != 0; }
+};
+
+// The innermost open span on the calling thread (zero context if none).
+SpanContext current_span_context() noexcept;
+
+// Forces the per-process high bits of newly allocated span ids (low 24 bits
+// of `seed`, must be nonzero). Tests use this to simulate distinct
+// processes inside one binary; production code leaves the entropy-derived
+// default alone.
+void set_trace_process_seed_for_testing(std::uint64_t seed) noexcept;
+
+// Records an instantaneous event parented to an explicit — possibly
+// remote — span context, bypassing the thread-local parent link. This is
+// how the socket layer materializes `net.recv` spans whose parent lives in
+// another process. Attributes beyond SpanEvent::kMaxAttrs drop silently.
+// Returns the committed event's globally unique id.
+std::uint64_t record_remote_event(
+    std::string_view name, const SpanContext& parent,
+    std::initializer_list<std::pair<std::string_view, std::uint64_t>> attrs,
+    TraceSink* sink = nullptr) noexcept;
 
 // RAII span. Not copyable or movable: the thread_local parent link pins a
 // span to the scope (and thread) that opened it.
@@ -163,6 +198,9 @@ class Span {
   void event(std::string_view name) noexcept;
 
   std::uint64_t id() const noexcept { return ev_.span_id; }
+  SpanContext context() const noexcept {
+    return SpanContext{ev_.trace_id, ev_.span_id};
+  }
 
  private:
   SpanAttr* next_attr(std::string_view key) noexcept;
@@ -170,10 +208,11 @@ class Span {
   SpanEvent ev_;
   TraceSink* sink_;
   std::uint64_t prev_current_;
+  std::uint64_t prev_trace_;
 };
 
 // Serializes events as JSON Lines, one object per event:
-//   {"span":3,"parent":1,"thread":2,"name":"phase:secsum",
+//   {"span":3,"parent":1,"trace":3,"thread":2,"name":"phase:secsum",
 //    "start_ns":10,"end_ns":90,"attrs":{"party":0,"bytes":4096}}
 std::string to_jsonl(const std::vector<SpanEvent>& events);
 

@@ -1,0 +1,289 @@
+#include "obs/trace_json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/json_escape.h"
+
+namespace eppi::obs {
+
+namespace {
+
+// Minimal recursive-descent reader for the flat shape to_jsonl() emits:
+// one object per line, scalar values, one level of nesting for "attrs".
+// Anything outside that shape is a parse error for the whole line.
+class LineParser {
+ public:
+  explicit LineParser(std::string_view line) : s_(line) {}
+
+  struct Value {
+    enum class Type { kNumber, kString, kBool, kNull } type = Type::kNull;
+    double number = 0.0;
+    std::uint64_t uinteger = 0;  // valid when the number had no '.', 'e', '-'
+    bool is_uinteger = false;
+    std::string string;
+    bool boolean = false;
+  };
+
+  // Parses {"key":value,...}; calls on_scalar(path, value) for scalars,
+  // where path is "key" at top level and "attrs.key" inside attrs.
+  template <typename Fn>
+  bool parse_object(Fn&& on_scalar, std::string_view prefix = "") {
+    skip_ws();
+    if (!consume('{')) return false;
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      std::string key;
+      if (!parse_string(&key)) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      skip_ws();
+      if (peek() == '{') {
+        // One nesting level only; deeper objects fail the line.
+        if (!prefix.empty()) return false;
+        if (!parse_object(on_scalar, key)) return false;
+      } else {
+        Value v;
+        if (!parse_scalar(&v)) return false;
+        std::string path = prefix.empty()
+                               ? key
+                               : std::string(prefix) + "." + key;
+        on_scalar(path, v);
+      }
+      skip_ws();
+      if (consume(',')) {
+        skip_ws();
+        continue;
+      }
+      return consume('}');
+    }
+  }
+
+  bool at_end() {
+    skip_ws();
+    return pos_ >= s_.size();
+  }
+
+ private:
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  bool consume(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool parse_string(std::string* out) {
+    if (!consume('"')) return false;
+    out->clear();
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return false;
+        char esc = s_[pos_++];
+        switch (esc) {
+          case '"':
+            *out += '"';
+            break;
+          case '\\':
+            *out += '\\';
+            break;
+          case 'n':
+            *out += '\n';
+            break;
+          case 'r':
+            *out += '\r';
+            break;
+          case 't':
+            *out += '\t';
+            break;
+          case 'b':
+            *out += '\b';
+            break;
+          case 'f':
+            *out += '\f';
+            break;
+          case 'u': {
+            // Exporter only emits \u00xx for control bytes.
+            if (pos_ + 4 > s_.size()) return false;
+            unsigned code = 0;
+            if (std::sscanf(s_.substr(pos_, 4).data(), "%4x", &code) != 1) {
+              return false;
+            }
+            pos_ += 4;
+            *out += static_cast<char>(code & 0xff);
+            break;
+          }
+          default:
+            return false;
+        }
+      } else {
+        *out += c;
+      }
+    }
+    return false;
+  }
+
+  bool parse_scalar(Value* v) {
+    char c = peek();
+    if (c == '"') {
+      v->type = Value::Type::kString;
+      return parse_string(&v->string);
+    }
+    if (c == 't' || c == 'f') {
+      v->type = Value::Type::kBool;
+      std::string_view want = c == 't' ? "true" : "false";
+      if (s_.substr(pos_, want.size()) != want) return false;
+      pos_ += want.size();
+      v->boolean = c == 't';
+      return true;
+    }
+    if (c == 'n') {
+      v->type = Value::Type::kNull;
+      if (s_.substr(pos_, 4) != "null") return false;
+      pos_ += 4;
+      return true;
+    }
+    // Number: capture the raw token, then decide integer vs double.
+    const std::size_t start = pos_;
+    bool plain_unsigned = true;
+    while (pos_ < s_.size()) {
+      c = s_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E') {
+        plain_unsigned = false;
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    if (pos_ == start) return false;
+    const std::string token(s_.substr(start, pos_ - start));
+    v->type = Value::Type::kNumber;
+    try {
+      v->number = std::stod(token);
+      if (plain_unsigned) {
+        v->uinteger = std::stoull(token);
+        v->is_uinteger = true;
+      }
+    } catch (...) {
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const TraceEvent::Attr* TraceEvent::attr(std::string_view key) const noexcept {
+  for (const Attr& a : attrs) {
+    if (a.key == key) return &a;
+  }
+  return nullptr;
+}
+
+std::uint64_t TraceEvent::attr_u64(std::string_view key,
+                                   std::uint64_t fallback) const noexcept {
+  const Attr* a = attr(key);
+  return a != nullptr && a->kind == Attr::Kind::kU64 ? a->u64 : fallback;
+}
+
+bool parse_trace_line(std::string_view line, TraceEvent* out) {
+  *out = TraceEvent{};
+  LineParser parser(line);
+  const bool ok = parser.parse_object([&](const std::string& path,
+                                          const LineParser::Value& v) {
+    using Value = LineParser::Value;
+    if (path.rfind("attrs.", 0) == 0) {
+      TraceEvent::Attr a;
+      a.key = path.substr(6);
+      switch (v.type) {
+        case Value::Type::kNumber:
+          if (v.is_uinteger) {
+            a.kind = TraceEvent::Attr::Kind::kU64;
+            a.u64 = v.uinteger;
+          } else {
+            a.kind = TraceEvent::Attr::Kind::kF64;
+          }
+          a.f64 = v.number;
+          break;
+        case Value::Type::kString:
+          a.kind = TraceEvent::Attr::Kind::kStr;
+          a.str = v.string;
+          break;
+        case Value::Type::kBool:
+          a.kind = TraceEvent::Attr::Kind::kBool;
+          a.boolean = v.boolean;
+          break;
+        case Value::Type::kNull:
+          a.kind = TraceEvent::Attr::Kind::kNull;
+          break;
+      }
+      out->attrs.push_back(std::move(a));
+      return;
+    }
+    if (path == "name" && v.type == Value::Type::kString) {
+      out->name = v.string;
+      return;
+    }
+    if (!v.is_uinteger) return;
+    if (path == "span") out->span = v.uinteger;
+    else if (path == "parent") out->parent = v.uinteger;
+    else if (path == "trace") out->trace = v.uinteger;
+    else if (path == "thread") out->thread = v.uinteger;
+    else if (path == "start_ns") out->start_ns = v.uinteger;
+    else if (path == "end_ns") out->end_ns = v.uinteger;
+    else if (path == "proc") out->proc = static_cast<std::uint32_t>(v.uinteger);
+  });
+  return ok && parser.at_end();
+}
+
+std::string to_json_line(const TraceEvent& ev) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "{\"span\":" << ev.span << ",\"parent\":" << ev.parent
+      << ",\"trace\":" << ev.trace << ",\"thread\":" << ev.thread
+      << ",\"proc\":" << ev.proc << ",\"name\":\"" << json_escape(ev.name)
+      << "\",\"start_ns\":" << ev.start_ns << ",\"end_ns\":" << ev.end_ns
+      << ",\"attrs\":{";
+  for (std::size_t i = 0; i < ev.attrs.size(); ++i) {
+    const TraceEvent::Attr& a = ev.attrs[i];
+    if (i) out << ",";
+    out << "\"" << json_escape(a.key) << "\":";
+    switch (a.kind) {
+      case TraceEvent::Attr::Kind::kU64:
+        out << a.u64;
+        break;
+      case TraceEvent::Attr::Kind::kF64:
+        out << a.f64;
+        break;
+      case TraceEvent::Attr::Kind::kBool:
+        out << (a.boolean ? "true" : "false");
+        break;
+      case TraceEvent::Attr::Kind::kStr:
+        out << "\"" << json_escape(a.str) << "\"";
+        break;
+      case TraceEvent::Attr::Kind::kNull:
+        out << "null";
+        break;
+    }
+  }
+  out << "}}\n";
+  return out.str();
+}
+
+}  // namespace eppi::obs

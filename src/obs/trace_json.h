@@ -1,0 +1,64 @@
+// Parsed form of the trace JSONL export, shared by replay and merge.
+//
+// to_jsonl() (obs/trace.h) writes one flat object per span; this header is
+// the matching reader: a targeted recursive-descent parser for exactly that
+// shape (scalars plus one "attrs" nesting level), not a general JSON
+// library. trace_replay folds TraceEvents into the Fig. 6 table;
+// trace_merge joins per-process files, assigns each event a process index
+// (the "proc" key, round-tripped by to_json_line) and rewrites clocks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eppi::obs {
+
+struct TraceEvent {
+  std::uint64_t span = 0;
+  std::uint64_t parent = 0;  // 0 = root
+  std::uint64_t trace = 0;
+  std::uint64_t thread = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  // Merge-assigned process index (input-file order). 0 both for "process 0"
+  // and "never merged"; only merged files carry meaningful proc keys.
+  std::uint32_t proc = 0;
+  std::string name;
+
+  struct Attr {
+    enum class Kind : std::uint8_t { kU64, kF64, kBool, kStr, kNull };
+    std::string key;
+    Kind kind = Kind::kNull;
+    std::uint64_t u64 = 0;  // valid when kind == kU64
+    double f64 = 0.0;       // valid for kU64 and kF64
+    bool boolean = false;
+    std::string str;
+  };
+  std::vector<Attr> attrs;
+
+  const Attr* attr(std::string_view key) const noexcept;
+  std::uint64_t attr_u64(std::string_view key,
+                         std::uint64_t fallback = 0) const noexcept;
+  bool has_attr(std::string_view key) const noexcept {
+    return attr(key) != nullptr;
+  }
+
+  double duration_ms() const noexcept {
+    return end_ns >= start_ns
+               ? static_cast<double>(end_ns - start_ns) / 1e6
+               : 0.0;
+  }
+};
+
+// Parses one exporter line into `out` (cleared first). Returns false — and
+// leaves `out` unspecified — if the line is not one flat trace object.
+// Unknown top-level keys are ignored so newer exporters stay readable.
+bool parse_trace_line(std::string_view line, TraceEvent* out);
+
+// Re-serializes an event in the exporter's shape (with "proc" included),
+// newline-terminated, so merged traces feed back into the same parser.
+std::string to_json_line(const TraceEvent& ev);
+
+}  // namespace eppi::obs

@@ -1,0 +1,194 @@
+#include "obs/trace_merge.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+namespace eppi::obs {
+
+namespace {
+
+constexpr std::string_view kRecvName = "net.recv";
+constexpr std::int64_t kUnset = std::numeric_limits<std::int64_t>::max();
+
+// A matched send→recv edge: the recv event at events[file_to][index] whose
+// parent span lives in file_from.
+struct Edge {
+  std::uint32_t file_from = 0;
+  std::uint32_t file_to = 0;
+  std::size_t index = 0;
+  std::int64_t send_ns = 0;  // sender clock, pre-adjustment
+  std::int64_t recv_ns = 0;  // receiver clock, pre-adjustment
+  bool retransmit = false;
+};
+
+std::int64_t as_i64(std::uint64_t v) {
+  return static_cast<std::int64_t>(
+      std::min(v, static_cast<std::uint64_t>(
+                      std::numeric_limits<std::int64_t>::max())));
+}
+
+}  // namespace
+
+std::vector<TraceEvent> merge_traces(std::vector<TraceFile> files,
+                                     MergeReport* report) {
+  MergeReport local;
+  MergeReport& rep = report != nullptr ? *report : local;
+  rep = MergeReport{};
+  const std::size_t n = files.size();
+  rep.processes = n;
+  rep.offsets_ns.assign(n, 0);
+  for (const TraceFile& f : files) rep.labels.push_back(f.label);
+
+  // Span ids are globally unique (per-process seeded high bits), so one flat
+  // map resolves any parent reference to the process that minted it.
+  std::unordered_map<std::uint64_t, std::uint32_t> owner;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    rep.events += files[i].events.size();
+    for (const TraceEvent& ev : files[i].events) {
+      owner.emplace(ev.span, i);
+    }
+  }
+
+  // Collect matched send→recv edges and, per ordered process pair, the
+  // tightest difference constraint  off_from - off_to ≤ min(recv - send).
+  std::vector<Edge> edges;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::int64_t> tightest;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < files[i].events.size(); ++k) {
+      const TraceEvent& ev = files[i].events[k];
+      if (ev.name != kRecvName) continue;
+      ++rep.recv_events;
+      const auto it = owner.find(ev.parent);
+      if (it == owner.end()) {
+        ++rep.unmatched_recv;
+        continue;
+      }
+      ++rep.matched_edges;
+      if (it->second != i) ++rep.cross_process_edges;
+      Edge e;
+      e.file_from = it->second;
+      e.file_to = i;
+      e.index = k;
+      e.send_ns = as_i64(ev.attr_u64("send_ns"));
+      e.recv_ns = as_i64(ev.start_ns);
+      e.retransmit = ev.attr_u64("rt") != 0;
+      if (e.retransmit) ++rep.retransmit_edges;
+      edges.push_back(e);
+      if (!e.retransmit && e.file_from != e.file_to) {
+        const auto key = std::make_pair(e.file_from, e.file_to);
+        const std::int64_t delta = e.recv_ns - e.send_ns;
+        auto [slot, inserted] = tightest.emplace(key, delta);
+        if (!inserted && delta < slot->second) slot->second = delta;
+      }
+    }
+  }
+
+  // Solve the difference constraints off_a ≤ off_b + m_ab (one per ordered
+  // pair (a,b) with messages a→b) by Bellman-Ford shortest paths from
+  // process 0: dist[] at the fixpoint is a feasible offset assignment
+  // whenever one exists, i.e. zero causality violations unless the inputs
+  // are genuinely contradictory. Processes unconnected to 0 by any
+  // constraint keep offset 0 (their clock cannot be related to the rest).
+  std::vector<std::int64_t> dist(n, kUnset);
+  if (n != 0) dist[0] = 0;
+  for (std::size_t round = 0; round + 1 < n; ++round) {
+    bool changed = false;
+    for (const auto& [key, m] : tightest) {
+      const auto [a, b] = key;
+      if (dist[b] == kUnset) continue;
+      if (dist[a] == kUnset || dist[b] + m < dist[a]) {
+        dist[a] = dist[b] + m;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  std::vector<std::int64_t> off(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (dist[i] != kUnset) off[i] = dist[i];
+  }
+
+  // Global shift so the earliest adjusted event lands at t = 0.
+  std::int64_t shift = kUnset;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (const TraceEvent& ev : files[i].events) {
+      shift = std::min(shift, as_i64(ev.start_ns) + off[i]);
+    }
+  }
+  if (shift == kUnset) shift = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    rep.offsets_ns[i] = off[i] - shift;
+  }
+
+  // Apply: stamp proc, shift clocks, rewrite send_ns attrs into the merged
+  // clock (using the *sender's* offset — the attribute was stamped by the
+  // sending process).
+  for (const Edge& e : edges) {
+    TraceEvent& ev = files[e.file_to].events[e.index];
+    const std::int64_t send_adj = e.send_ns + rep.offsets_ns[e.file_from];
+    const std::int64_t recv_adj = e.recv_ns + rep.offsets_ns[e.file_to];
+    for (TraceEvent::Attr& a : ev.attrs) {
+      if (a.key == "send_ns") {
+        a.u64 = static_cast<std::uint64_t>(std::max<std::int64_t>(send_adj, 0));
+        a.f64 = static_cast<double>(a.u64);
+      }
+    }
+    if (!e.retransmit && recv_adj < send_adj) {
+      ++rep.causality_violations;
+      rep.max_violation_ms =
+          std::max(rep.max_violation_ms,
+                   static_cast<double>(send_adj - recv_adj) / 1e6);
+    }
+  }
+  std::vector<TraceEvent> merged;
+  merged.reserve(rep.events);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (TraceEvent& ev : files[i].events) {
+      ev.proc = i;
+      ev.start_ns = static_cast<std::uint64_t>(
+          std::max<std::int64_t>(as_i64(ev.start_ns) + rep.offsets_ns[i], 0));
+      ev.end_ns = static_cast<std::uint64_t>(
+          std::max<std::int64_t>(as_i64(ev.end_ns) + rep.offsets_ns[i], 0));
+      merged.push_back(std::move(ev));
+    }
+    files[i].events.clear();
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.span < b.span;
+            });
+  return merged;
+}
+
+std::string render_merge_report(const MergeReport& rep) {
+  std::ostringstream out;
+  out << "merged " << rep.processes << " processes, " << rep.events
+      << " events\n";
+  for (std::size_t i = 0; i < rep.offsets_ns.size(); ++i) {
+    out << "  proc " << i;
+    if (i < rep.labels.size() && !rep.labels[i].empty()) {
+      out << " (" << rep.labels[i] << ")";
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof buf, " offset %+.3f ms\n",
+                  static_cast<double>(rep.offsets_ns[i]) / 1e6);
+    out << buf;
+  }
+  out << "recv spans: " << rep.recv_events << " (matched "
+      << rep.matched_edges << ", cross-process " << rep.cross_process_edges
+      << ", unmatched " << rep.unmatched_recv << ", retransmit "
+      << rep.retransmit_edges << ")\n";
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "causality violations: %zu (max %.3f ms)\n",
+                rep.causality_violations, rep.max_violation_ms);
+  out << buf;
+  return out.str();
+}
+
+}  // namespace eppi::obs

@@ -1,0 +1,71 @@
+// Merging per-process trace exports into one causally ordered timeline.
+//
+// Each party process timestamps spans on its own monotonic clock, anchored
+// at its own process_start() — the raw exports of an m-party distributed
+// run are m files whose clocks disagree by however far apart the processes
+// launched. What makes merging possible is the wire context propagation:
+// every delivered data frame materializes a `net.recv` span whose parent is
+// the *sender's* span and whose `send_ns` attribute is the sender's clock
+// at transmission. Each matched (send, recv) pair yields one difference
+// constraint: sender_time + offset_sender ≤ recv_time + offset_recv
+// (messages cannot arrive before they are sent). The merger solves the
+// whole constraint system with Bellman-Ford shortest paths — the classic
+// difference-constraint reduction — so whenever any feasible clock
+// assignment exists, the merged timeline has ZERO causality violations, and
+// asymmetric link delays (which break naive midpoint estimators) cannot
+// manufacture phantom violations. Retransmitted frames are excluded from
+// the constraint system (their delay says nothing about clock skew) but
+// are counted, and an infeasible system — genuinely contradictory
+// timestamps — is reported as causality violations with the best-effort
+// offsets kept.
+//
+// The estimated offsets absorb the minimum one-way delay into the skew
+// (nothing distinguishes a fast clock from a slow link without symmetric
+// round trips), so absolute offsets are accurate only to the fastest
+// observed flight per link; orderings, per-phase durations, and the
+// critical-path decomposition are unaffected.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace_json.h"
+
+namespace eppi::obs {
+
+// One process's exported trace. `label` is diagnostic only (file name,
+// "party2", ...); process identity in the merged output is the index into
+// the input vector, stamped into TraceEvent::proc.
+struct TraceFile {
+  std::string label;
+  std::vector<TraceEvent> events;
+};
+
+struct MergeReport {
+  std::size_t processes = 0;
+  std::size_t events = 0;
+  std::size_t recv_events = 0;           // net.recv spans across all inputs
+  std::size_t matched_edges = 0;         // recv whose parent span was found
+  std::size_t cross_process_edges = 0;   // ... in a *different* input
+  std::size_t unmatched_recv = 0;        // parent span not in any input
+  std::size_t retransmit_edges = 0;      // rt=1 edges (not used for offsets)
+  std::size_t causality_violations = 0;  // adjusted recv < adjusted send
+  double max_violation_ms = 0.0;
+  // Offset added to input i's clock, after the global shift that moves the
+  // earliest merged event to t=0.
+  std::vector<std::int64_t> offsets_ns;
+  std::vector<std::string> labels;
+};
+
+// Merges `files` (consumed) into one timeline: stamps proc indices,
+// estimates and applies per-process clock offsets, rewrites net.recv
+// send_ns attributes into the merged clock, and returns all events sorted
+// by adjusted start time. Details in the header comment above.
+std::vector<TraceEvent> merge_traces(std::vector<TraceFile> files,
+                                     MergeReport* report);
+
+// Human-readable multi-line summary of a merge.
+std::string render_merge_report(const MergeReport& report);
+
+}  // namespace eppi::obs

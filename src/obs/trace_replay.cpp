@@ -1,220 +1,94 @@
 #include "obs/trace_replay.h"
 
-#include <cctype>
+#include <algorithm>
 #include <cstdio>
 #include <istream>
 #include <map>
-#include <optional>
 #include <sstream>
 #include <string_view>
+#include <unordered_map>
 
 namespace eppi::obs {
 
 namespace {
 
-// Minimal recursive-descent reader for the flat shape to_jsonl() emits:
-// one object per line, scalar values, one level of nesting for "attrs".
-// Anything outside that shape is a parse error for the whole line.
-class LineParser {
- public:
-  explicit LineParser(std::string_view line) : s_(line) {}
+constexpr std::string_view kPhasePrefix = "phase:";
+constexpr std::string_view kRecvName = "net.recv";
 
-  struct Value {
-    enum class Type { kNumber, kString, kBool, kNull } type = Type::kNull;
-    double number = 0.0;
-    std::uint64_t uinteger = 0;  // valid when the number had no '.', 'e', '-'
-    bool is_uinteger = false;
-    std::string string;
-    bool boolean = false;
-  };
-
-  // Parses {"key":value,...}; calls on_scalar(path, value) for scalars,
-  // where path is "key" at top level and "attrs.key" inside attrs.
-  template <typename Fn>
-  bool parse_object(Fn&& on_scalar, std::string_view prefix = "") {
-    skip_ws();
-    if (!consume('{')) return false;
-    skip_ws();
-    if (consume('}')) return true;
-    while (true) {
-      std::string key;
-      if (!parse_string(&key)) return false;
-      skip_ws();
-      if (!consume(':')) return false;
-      skip_ws();
-      if (peek() == '{') {
-        // One nesting level only; deeper objects fail the line.
-        if (!prefix.empty()) return false;
-        if (!parse_object(on_scalar, key)) return false;
-      } else {
-        Value v;
-        if (!parse_scalar(&v)) return false;
-        std::string path = prefix.empty()
-                               ? key
-                               : std::string(prefix) + "." + key;
-        on_scalar(path, v);
-      }
-      skip_ws();
-      if (consume(',')) {
-        skip_ws();
-        continue;
-      }
-      return consume('}');
-    }
-  }
-
-  bool at_end() {
-    skip_ws();
-    return pos_ >= s_.size();
-  }
-
- private:
-  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
-  bool consume(char c) {
-    if (peek() != c) return false;
-    ++pos_;
-    return true;
-  }
-  void skip_ws() {
-    while (pos_ < s_.size() &&
-           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  bool parse_string(std::string* out) {
-    if (!consume('"')) return false;
-    out->clear();
-    while (pos_ < s_.size()) {
-      char c = s_[pos_++];
-      if (c == '"') return true;
-      if (c == '\\') {
-        if (pos_ >= s_.size()) return false;
-        char esc = s_[pos_++];
-        switch (esc) {
-          case '"':
-            *out += '"';
-            break;
-          case '\\':
-            *out += '\\';
-            break;
-          case 'n':
-            *out += '\n';
-            break;
-          case 'u': {
-            // Exporter only emits \u00xx for control bytes.
-            if (pos_ + 4 > s_.size()) return false;
-            unsigned code = 0;
-            if (std::sscanf(s_.substr(pos_, 4).data(), "%4x", &code) != 1) {
-              return false;
-            }
-            pos_ += 4;
-            *out += static_cast<char>(code & 0xff);
-            break;
-          }
-          default:
-            return false;
-        }
-      } else {
-        *out += c;
-      }
-    }
-    return false;
-  }
-
-  bool parse_scalar(Value* v) {
-    char c = peek();
-    if (c == '"') {
-      v->type = Value::Type::kString;
-      return parse_string(&v->string);
-    }
-    if (c == 't' || c == 'f') {
-      v->type = Value::Type::kBool;
-      std::string_view want = c == 't' ? "true" : "false";
-      if (s_.substr(pos_, want.size()) != want) return false;
-      pos_ += want.size();
-      v->boolean = c == 't';
-      return true;
-    }
-    if (c == 'n') {
-      v->type = Value::Type::kNull;
-      if (s_.substr(pos_, 4) != "null") return false;
-      pos_ += 4;
-      return true;
-    }
-    // Number: capture the raw token, then decide integer vs double.
-    const std::size_t start = pos_;
-    bool plain_unsigned = true;
-    while (pos_ < s_.size()) {
-      c = s_[pos_];
-      if (std::isdigit(static_cast<unsigned char>(c))) {
-        ++pos_;
-        continue;
-      }
-      if (c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E') {
-        plain_unsigned = false;
-        ++pos_;
-        continue;
-      }
-      break;
-    }
-    if (pos_ == start) return false;
-    const std::string token(s_.substr(start, pos_ - start));
-    v->type = Value::Type::kNumber;
-    try {
-      v->number = std::stod(token);
-      if (plain_unsigned) {
-        v->uinteger = std::stoull(token);
-        v->is_uinteger = true;
-      }
-    } catch (...) {
-      return false;
-    }
-    return true;
-  }
-
-  std::string_view s_;
-  std::size_t pos_ = 0;
+// A message flight observed by a net.recv span, in the trace's (merged)
+// clock. send may exceed recv on unmerged multi-process traces — those
+// flights are ignored by the decomposition.
+struct Flight {
+  std::uint64_t send_ns = 0;
+  std::uint64_t recv_ns = 0;
+  bool retransmit = false;
 };
 
-constexpr std::string_view kPhasePrefix = "phase:";
+// Total length of [lo, hi] ∩ union(flights' [send, recv] intervals), over
+// the flights whose recv lands inside [lo, hi]. `flights` must be sorted by
+// recv_ns. When `stall_only`, only retransmitted flights contribute.
+double clipped_union_ms(const std::vector<Flight>& flights, std::uint64_t lo,
+                        std::uint64_t hi, bool stall_only) {
+  std::uint64_t covered = 0;
+  std::uint64_t cursor = lo;  // everything below is already accounted
+  for (const Flight& f : flights) {
+    if (f.recv_ns < lo) continue;
+    if (f.recv_ns > hi) break;
+    if (stall_only && !f.retransmit) continue;
+    if (f.send_ns >= f.recv_ns) continue;
+    const std::uint64_t s = std::max(f.send_ns, cursor);
+    if (f.recv_ns > s) {
+      covered += f.recv_ns - s;
+      cursor = f.recv_ns;
+    }
+  }
+  return static_cast<double>(covered) / 1e6;
+}
 
 }  // namespace
 
-ReplaySummary replay_trace(std::istream& in) {
+ReplaySummary summarize(const std::vector<TraceEvent>& events,
+                        std::size_t parse_errors) {
   ReplaySummary summary;
+  summary.events = events.size();
+  summary.parse_errors = parse_errors;
+
+  // Index spans for parent resolution and collect per-process flights.
+  std::unordered_map<std::uint64_t, const TraceEvent*> by_span;
+  by_span.reserve(events.size());
+  for (const TraceEvent& ev : events) by_span.emplace(ev.span, &ev);
+
+  std::map<std::uint32_t, std::vector<Flight>> flights_by_proc;
+  std::vector<const TraceEvent*> recvs;
+  for (const TraceEvent& ev : events) {
+    if (ev.name != kRecvName) continue;
+    ++summary.recv_events;
+    recvs.push_back(&ev);
+    const auto parent = by_span.find(ev.parent);
+    if (parent != by_span.end() && parent->second->proc != ev.proc) {
+      ++summary.cross_process_edges;
+    }
+    Flight f;
+    f.send_ns = ev.attr_u64("send_ns");
+    f.recv_ns = ev.start_ns;
+    f.retransmit = ev.attr_u64("rt") != 0;
+    flights_by_proc[ev.proc].push_back(f);
+  }
+  for (auto& [proc, flights] : flights_by_proc) {
+    std::sort(flights.begin(), flights.end(),
+              [](const Flight& a, const Flight& b) {
+                return a.recv_ns < b.recv_ns;
+              });
+  }
+
   // Preserve first-appearance order (the protocol's phase order) while
   // folding repeat spans of the same phase from other parties/attempts.
   std::map<std::string, std::size_t> index;
-
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-
-    std::string name;
-    std::uint64_t start_ns = 0, end_ns = 0;
-    std::uint64_t bytes = 0, messages = 0, rounds = 0;
-    LineParser parser(line);
-    const bool ok = parser.parse_object([&](const std::string& path,
-                                            const LineParser::Value& v) {
-      if (path == "name" && v.type == LineParser::Value::Type::kString) {
-        name = v.string;
-      } else if (v.is_uinteger) {
-        if (path == "start_ns") start_ns = v.uinteger;
-        else if (path == "end_ns") end_ns = v.uinteger;
-        else if (path == "attrs.bytes") bytes = v.uinteger;
-        else if (path == "attrs.messages") messages = v.uinteger;
-        else if (path == "attrs.rounds") rounds = v.uinteger;
-      }
-    });
-    if (!ok || !parser.at_end()) {
-      ++summary.parse_errors;
-      continue;
-    }
-    ++summary.events;
-
-    if (name.rfind(kPhasePrefix, 0) != 0) continue;
-    const std::string phase = name.substr(kPhasePrefix.size());
+  const TraceEvent* last_phase = nullptr;  // latest-finishing phase span
+  static const std::vector<Flight> kNoFlights;
+  for (const TraceEvent& ev : events) {
+    if (ev.name.rfind(kPhasePrefix, 0) != 0) continue;
+    const std::string phase = ev.name.substr(kPhasePrefix.size());
     auto [it, inserted] = index.emplace(phase, summary.phases.size());
     if (inserted) {
       summary.phases.emplace_back();
@@ -222,47 +96,186 @@ ReplaySummary replay_trace(std::istream& in) {
     }
     PhaseRow& row = summary.phases[it->second];
     ++row.spans;
-    const double ms =
-        end_ns >= start_ns ? static_cast<double>(end_ns - start_ns) / 1e6
-                           : 0.0;
+    const double ms = ev.duration_ms();
     row.total_ms += ms;
     if (ms > row.max_ms) row.max_ms = ms;
+
+    const auto fit = flights_by_proc.find(ev.proc);
+    const std::vector<Flight>& flights =
+        fit != flights_by_proc.end() ? fit->second : kNoFlights;
+    const double wait =
+        clipped_union_ms(flights, ev.start_ns, ev.end_ns, false);
+    row.wait_ms += wait;
+    row.stall_ms += clipped_union_ms(flights, ev.start_ns, ev.end_ns, true);
+    row.compute_ms += std::max(0.0, ms - wait);
+
+    const std::uint64_t bytes = ev.attr_u64("bytes");
+    const std::uint64_t messages = ev.attr_u64("messages");
+    const std::uint64_t rounds = ev.attr_u64("rounds");
     row.bytes += bytes;
     row.messages += messages;
     row.rounds += rounds;
     summary.total_bytes += bytes;
     summary.total_messages += messages;
     summary.total_rounds += rounds;
+    if (last_phase == nullptr || ev.end_ns > last_phase->end_ns) {
+      last_phase = &ev;
+    }
+  }
+
+  // Cross-process critical path: walk backward from the end of the
+  // last-finishing phase span. At each step, the latest message received
+  // inside the current window hands the dependency chain to its sender —
+  // the tail [recv, window end] was compute, the flight was wire time —
+  // until a window with no matched incoming message bottoms out as pure
+  // compute. Greedy on the latest recv: any later-arriving dependency
+  // would, by construction, have pushed the window further.
+  if (last_phase != nullptr) {
+    std::vector<CriticalHop> path;
+    const TraceEvent* cur = last_phase;
+    std::uint64_t window_end = last_phase->end_ns;
+    std::unordered_map<std::uint64_t, bool> visited;
+    for (int depth = 0; depth < 256; ++depth) {
+      if (visited[cur->span]) break;
+      visited[cur->span] = true;
+      // Latest matched, causally sane recv inside the current window.
+      const TraceEvent* best = nullptr;
+      const TraceEvent* best_sender = nullptr;
+      for (const TraceEvent* r : recvs) {
+        if (r->proc != cur->proc) continue;
+        if (r->start_ns < cur->start_ns || r->start_ns > window_end) continue;
+        const auto parent = by_span.find(r->parent);
+        if (parent == by_span.end()) continue;
+        if (parent->second->proc == r->proc) continue;
+        const std::uint64_t send = r->attr_u64("send_ns");
+        if (send == 0 || send > r->start_ns) continue;
+        if (best == nullptr || r->start_ns > best->start_ns) {
+          best = r;
+          best_sender = parent->second;
+        }
+      }
+      if (best == nullptr) {
+        CriticalHop hop;
+        hop.proc = cur->proc;
+        hop.name = cur->name;
+        hop.ms = window_end >= cur->start_ns
+                     ? static_cast<double>(window_end - cur->start_ns) / 1e6
+                     : 0.0;
+        path.push_back(std::move(hop));
+        break;
+      }
+      CriticalHop compute;
+      compute.proc = cur->proc;
+      compute.name = cur->name;
+      compute.ms = static_cast<double>(window_end - best->start_ns) / 1e6;
+      path.push_back(std::move(compute));
+
+      const std::uint64_t send = best->attr_u64("send_ns");
+      CriticalHop wire;
+      wire.proc = best_sender->proc;
+      wire.name = "wire " + std::to_string(best_sender->proc) + "->" +
+                  std::to_string(best->proc);
+      wire.ms = static_cast<double>(best->start_ns - send) / 1e6;
+      wire.wire = true;
+      path.push_back(std::move(wire));
+
+      cur = best_sender;
+      window_end = std::min(std::max(send, cur->start_ns), cur->end_ns);
+    }
+    std::reverse(path.begin(), path.end());
+    summary.critical_path = std::move(path);
+    for (const CriticalHop& hop : summary.critical_path) {
+      summary.critical_path_ms += hop.ms;
+    }
   }
   return summary;
 }
 
+ReplaySummary replay_trace(std::istream& in) {
+  std::vector<TraceEvent> events;
+  std::size_t parse_errors = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    TraceEvent ev;
+    if (parse_trace_line(line, &ev)) {
+      events.push_back(std::move(ev));
+    } else {
+      ++parse_errors;
+    }
+  }
+  return summarize(events, parse_errors);
+}
+
 std::string render_table(const ReplaySummary& summary) {
   std::ostringstream out;
-  char buf[160];
-  std::snprintf(buf, sizeof buf, "%-14s %6s %12s %10s %12s %10s %8s\n",
-                "phase", "spans", "total_ms", "max_ms", "bytes", "messages",
-                "rounds");
+  char buf[256];
+  const bool decomposed = summary.recv_events > 0;
+  if (decomposed) {
+    std::snprintf(buf, sizeof buf,
+                  "%-14s %6s %12s %10s %11s %10s %10s %12s %10s %8s\n",
+                  "phase", "spans", "total_ms", "max_ms", "compute_ms",
+                  "wait_ms", "stall_ms", "bytes", "messages", "rounds");
+  } else {
+    std::snprintf(buf, sizeof buf, "%-14s %6s %12s %10s %12s %10s %8s\n",
+                  "phase", "spans", "total_ms", "max_ms", "bytes", "messages",
+                  "rounds");
+  }
   out << buf;
   for (const PhaseRow& row : summary.phases) {
-    std::snprintf(buf, sizeof buf,
-                  "%-14s %6llu %12.3f %10.3f %12llu %10llu %8llu\n",
-                  row.name.c_str(),
-                  static_cast<unsigned long long>(row.spans), row.total_ms,
-                  row.max_ms, static_cast<unsigned long long>(row.bytes),
-                  static_cast<unsigned long long>(row.messages),
-                  static_cast<unsigned long long>(row.rounds));
+    if (decomposed) {
+      std::snprintf(
+          buf, sizeof buf,
+          "%-14s %6llu %12.3f %10.3f %11.3f %10.3f %10.3f %12llu %10llu "
+          "%8llu\n",
+          row.name.c_str(), static_cast<unsigned long long>(row.spans),
+          row.total_ms, row.max_ms, row.compute_ms, row.wait_ms, row.stall_ms,
+          static_cast<unsigned long long>(row.bytes),
+          static_cast<unsigned long long>(row.messages),
+          static_cast<unsigned long long>(row.rounds));
+    } else {
+      std::snprintf(buf, sizeof buf,
+                    "%-14s %6llu %12.3f %10.3f %12llu %10llu %8llu\n",
+                    row.name.c_str(),
+                    static_cast<unsigned long long>(row.spans), row.total_ms,
+                    row.max_ms, static_cast<unsigned long long>(row.bytes),
+                    static_cast<unsigned long long>(row.messages),
+                    static_cast<unsigned long long>(row.rounds));
+    }
     out << buf;
   }
-  std::snprintf(buf, sizeof buf, "%-14s %6s %12s %10s %12llu %10llu %8llu\n",
-                "total", "", "", "",
-                static_cast<unsigned long long>(summary.total_bytes),
-                static_cast<unsigned long long>(summary.total_messages),
-                static_cast<unsigned long long>(summary.total_rounds));
+  if (decomposed) {
+    std::snprintf(buf, sizeof buf,
+                  "%-14s %6s %12s %10s %11s %10s %10s %12llu %10llu %8llu\n",
+                  "total", "", "", "", "", "", "",
+                  static_cast<unsigned long long>(summary.total_bytes),
+                  static_cast<unsigned long long>(summary.total_messages),
+                  static_cast<unsigned long long>(summary.total_rounds));
+  } else {
+    std::snprintf(buf, sizeof buf, "%-14s %6s %12s %10s %12llu %10llu %8llu\n",
+                  "total", "", "", "",
+                  static_cast<unsigned long long>(summary.total_bytes),
+                  static_cast<unsigned long long>(summary.total_messages),
+                  static_cast<unsigned long long>(summary.total_rounds));
+  }
   out << buf;
-  std::snprintf(buf, sizeof buf, "(%zu events, %zu parse errors)\n",
-                summary.events, summary.parse_errors);
+  std::snprintf(buf, sizeof buf,
+                "(%zu events, %zu parse errors, %zu recv spans, %zu "
+                "cross-process edges)\n",
+                summary.events, summary.parse_errors, summary.recv_events,
+                summary.cross_process_edges);
   out << buf;
+  if (!summary.critical_path.empty() && decomposed) {
+    std::snprintf(buf, sizeof buf, "critical path: %.3f ms\n",
+                  summary.critical_path_ms);
+    out << buf;
+    for (const CriticalHop& hop : summary.critical_path) {
+      std::snprintf(buf, sizeof buf, "  [%s%u] %-22s %10.3f ms\n",
+                    hop.wire ? "wire from proc " : "proc ", hop.proc,
+                    hop.name.c_str(), hop.ms);
+      out << buf;
+    }
+  }
   return out.str();
 }
 

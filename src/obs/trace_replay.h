@@ -6,14 +6,24 @@
 // Instrumented runs emit exactly that structure: every phase opens a span
 // named "phase:<name>" carrying that party's CostMeter delta (bytes,
 // messages, rounds) as attributes. replay_trace() parses the JSONL export
-// (the to_jsonl() format; this is a targeted reader for our own exporter,
-// not a general JSON library) and folds those spans into one row per phase.
+// (obs/trace_json.h) and folds those spans into one row per phase.
+//
+// Merged multi-process traces (obs/trace_merge.h) additionally carry
+// per-message `net.recv` spans with cross-process parent links and in-clock
+// send timestamps. For those, replay splits each phase's time into compute
+// vs. network wait — the union of in-flight intervals of the messages the
+// phase received — with the subset spent on retransmitted frames broken out
+// as stall, and walks the cross-process critical path: the chain of
+// compute segments and wire flights that ends at the last phase span to
+// finish, i.e. the lower bound no amount of extra parallelism removes.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
+
+#include "obs/trace_json.h"
 
 namespace eppi::obs {
 
@@ -22,9 +32,24 @@ struct PhaseRow {
   std::uint64_t spans = 0;     // phase spans folded in (≈ parties × attempts)
   double total_ms = 0.0;       // summed span durations across parties
   double max_ms = 0.0;         // slowest single span (≈ phase wall time)
+  // Compute/wait decomposition, zero unless the trace carries net.recv
+  // spans (socket runtime with trace export, usually post-merge):
+  double wait_ms = 0.0;        // union of in-phase message flight intervals
+  double stall_ms = 0.0;       // wait attributable to retransmitted frames
+  double compute_ms = 0.0;     // total_ms − per-span wait (clamped at 0)
   std::uint64_t bytes = 0;     // summed "bytes" attributes
   std::uint64_t messages = 0;  // summed "messages" attributes
   std::uint64_t rounds = 0;    // summed "rounds" attributes
+};
+
+// One step of the cross-process critical path, ordered start → finish.
+// Compute hops carry the span name; wire hops are named "wire a->b" and
+// cover the matched flight between the two processes.
+struct CriticalHop {
+  std::uint32_t proc = 0;  // process executing the hop (sender, for wires)
+  std::string name;
+  double ms = 0.0;
+  bool wire = false;
 };
 
 struct ReplaySummary {
@@ -34,11 +59,20 @@ struct ReplaySummary {
   std::uint64_t total_rounds = 0;
   std::size_t events = 0;        // events parsed, phase spans or not
   std::size_t parse_errors = 0;  // lines that did not parse (counted, kept)
+  std::size_t recv_events = 0;   // net.recv spans seen
+  std::size_t cross_process_edges = 0;  // recv parented in another process
+  std::vector<CriticalHop> critical_path;  // empty without phase spans
+  double critical_path_ms = 0.0;
 };
+
+// Folds already-parsed events; `parse_errors` is carried into the summary.
+ReplaySummary summarize(const std::vector<TraceEvent>& events,
+                        std::size_t parse_errors = 0);
 
 ReplaySummary replay_trace(std::istream& in);
 
-// Fixed-width text table, one row per phase plus a totals row.
+// Fixed-width text table, one row per phase plus a totals row; merged
+// traces append the wait/stall columns' critical-path breakdown.
 std::string render_table(const ReplaySummary& summary);
 
 }  // namespace eppi::obs

@@ -1,0 +1,149 @@
+// Wire context propagation (protocol v3): a message sent while a span is
+// open must materialize, on the receiving runtime, a net.recv event
+// parented to the *sender's* span — the cross-process edge distributed
+// trace merging is built on. Runs two real SocketRuntimes over loopback.
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "net/socket_transport.h"
+#include "obs/trace.h"
+
+namespace eppi::net {
+namespace {
+
+std::uint16_t free_port_base() {
+  static std::atomic<std::uint16_t> cursor{static_cast<std::uint16_t>(
+      24000 + (::getpid() * 149) % 18000)};
+  for (int attempts = 0; attempts < 200; ++attempts) {
+    const std::uint16_t base = cursor.fetch_add(4);
+    bool all_free = true;
+    for (int k = 0; k < 2 && all_free; ++k) {
+      const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd < 0) return base;  // can't probe; let bind report it
+      const int one = 1;
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      addr.sin_port = htons(static_cast<std::uint16_t>(base + k));
+      if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+        all_free = false;
+      }
+      ::close(fd);
+    }
+    if (all_free) return base;
+  }
+  return 24000;
+}
+
+const obs::SpanAttr* find_attr(const obs::SpanEvent& ev,
+                               std::string_view key) {
+  for (std::uint32_t i = 0; i < ev.n_attrs; ++i) {
+    if (std::string_view(ev.attrs[i].key,
+                         ::strnlen(ev.attrs[i].key, obs::SpanAttr::kKeyCap)) ==
+        key) {
+      return &ev.attrs[i];
+    }
+  }
+  return nullptr;
+}
+
+TEST(SocketTraceTest, RecvSpanParentsToRemoteSenderSpan) {
+  (void)obs::default_sink().drain();  // start from a clean watermark
+
+  const std::uint16_t base = free_port_base();
+  std::vector<Endpoint> endpoints(2);
+  endpoints[0].port = base;
+  endpoints[1].port = static_cast<std::uint16_t>(base + 1);
+
+  std::uint64_t sender_span = 0;
+  std::uint64_t sender_trace = 0;
+  const std::uint64_t before_send = monotonic_ns();
+  std::thread receiver([&] {
+    SocketRuntime runtime(1, endpoints, 11);
+    auto& ctx = runtime.context();
+    const auto got = ctx.recv(0, MessageTag::kUserBase, 7);
+    EXPECT_EQ(got.size(), 3u);
+    runtime.shutdown();
+  });
+  {
+    SocketRuntime runtime(0, endpoints, 10);
+    auto& ctx = runtime.context();
+    {
+      obs::Span span("phase:unit");
+      sender_span = span.id();
+      sender_trace = span.context().trace_id;
+      ctx.send(1, MessageTag::kUserBase, 7, {1, 2, 3});
+      receiver.join();  // receipt confirmed while the span is still open
+    }
+    runtime.shutdown();
+  }
+
+  const auto events = obs::default_sink().drain();
+  const obs::SpanEvent* recv = nullptr;
+  for (const auto& ev : events) {
+    if (ev.name_view() == "net.recv" && ev.parent_id == sender_span) {
+      recv = &ev;
+    }
+  }
+  ASSERT_NE(recv, nullptr)
+      << "no net.recv parented to the sending span among " << events.size()
+      << " events";
+  EXPECT_EQ(recv->trace_id, sender_trace);
+  EXPECT_NE(recv->span_id, sender_span);
+
+  const obs::SpanAttr* from = find_attr(*recv, "from");
+  ASSERT_NE(from, nullptr);
+  EXPECT_EQ(from->value.u64, 0u);
+  const obs::SpanAttr* bytes = find_attr(*recv, "bytes");
+  ASSERT_NE(bytes, nullptr);
+  EXPECT_EQ(bytes->value.u64, 3u);
+  const obs::SpanAttr* send_ns = find_attr(*recv, "send_ns");
+  ASSERT_NE(send_ns, nullptr);
+  // The sender's clock at encode time: after the test started, before now.
+  EXPECT_GE(send_ns->value.u64, before_send);
+  EXPECT_LE(send_ns->value.u64, monotonic_ns());
+  const obs::SpanAttr* rt = find_attr(*recv, "rt");
+  ASSERT_NE(rt, nullptr);
+  EXPECT_EQ(rt->value.u64, 0u);
+}
+
+TEST(SocketTraceTest, UntracedSendsProduceNoRecvSpan) {
+  (void)obs::default_sink().drain();
+
+  const std::uint16_t base = free_port_base();
+  std::vector<Endpoint> endpoints(2);
+  endpoints[0].port = base;
+  endpoints[1].port = static_cast<std::uint16_t>(base + 1);
+
+  std::thread receiver([&] {
+    SocketRuntime runtime(1, endpoints, 21);
+    auto& ctx = runtime.context();
+    (void)ctx.recv(0, MessageTag::kUserBase, 9);
+    runtime.shutdown();
+  });
+  {
+    SocketRuntime runtime(0, endpoints, 20);
+    auto& ctx = runtime.context();
+    // No span open: the frame must travel without the v3 extension.
+    ctx.send(1, MessageTag::kUserBase, 9, {42});
+    receiver.join();
+    runtime.shutdown();
+  }
+
+  for (const auto& ev : obs::default_sink().drain()) {
+    EXPECT_NE(ev.name_view(), "net.recv");
+  }
+}
+
+}  // namespace
+}  // namespace eppi::net

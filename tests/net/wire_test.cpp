@@ -14,7 +14,7 @@ namespace {
 TEST(WireTest, HelloEncodesLittleEndianByteExact) {
   Hello h;
   h.magic = kMagic;
-  h.version = 2;
+  h.version = 3;
   h.flags = kFlagResume;
   h.party = 0x01020304u;
   h.session = 0x1122334455667788ull;
@@ -25,7 +25,7 @@ TEST(WireTest, HelloEncodesLittleEndianByteExact) {
   EXPECT_EQ(buf[1], 0x50);  // 'P'
   EXPECT_EQ(buf[2], 0x50);  // 'P'
   EXPECT_EQ(buf[3], 0x49);  // 'I'
-  EXPECT_EQ(buf[4], 2);     // version lo
+  EXPECT_EQ(buf[4], 3);     // version lo
   EXPECT_EQ(buf[5], 0);     // version hi
   EXPECT_EQ(buf[6], 0x01);  // flags lo (kFlagResume)
   EXPECT_EQ(buf[7], 0x00);
@@ -88,7 +88,7 @@ TEST(WireTest, HelloProblemRejectsVersionMismatch) {
   const std::string why = hello_problem(h, 4);
   EXPECT_NE(why.find("version mismatch"), std::string::npos);
   EXPECT_NE(why.find("v1"), std::string::npos);
-  EXPECT_NE(why.find("v2"), std::string::npos);
+  EXPECT_NE(why.find("v3"), std::string::npos);
 }
 
 TEST(WireTest, HelloProblemRejectsPartyOutOfRange) {
@@ -108,6 +108,35 @@ TEST(WireTest, ControlTagsDisjointFromProtocolAndTransportTags) {
   // to be set in the acked tag.
   EXPECT_FALSE(is_control_tag(kAckBit | kHeartbeatPing));
   EXPECT_FALSE(is_control_tag(kAckBit | MessageTag::kUserBase));
+}
+
+TEST(WireTest, TraceContextRoundTrips) {
+  TraceContext t;
+  t.trace_id = 0xAA55AA55AA55AA55ull;
+  t.parent_span = (0x123456ull << 40) | 42;
+  t.send_ns = 1'234'567'890'123ull;
+  std::array<unsigned char, kTraceExtBytes> buf{};
+  encode_trace_context(t, buf.data());
+  const TraceContext back = decode_trace_context(buf.data());
+  EXPECT_EQ(back.trace_id, t.trace_id);
+  EXPECT_EQ(back.parent_span, t.parent_span);
+  EXPECT_EQ(back.send_ns, t.send_ns);
+  // Little-endian, trace_id first.
+  EXPECT_EQ(buf[0], 0x55);
+  EXPECT_EQ(buf[7], 0xAA);
+}
+
+TEST(WireTest, TraceContextBitDisjointFromOtherTagBits) {
+  EXPECT_TRUE(has_trace_context(MessageTag::kUserBase | kTraceContextBit));
+  EXPECT_FALSE(has_trace_context(MessageTag::kUserBase));
+  EXPECT_FALSE(has_trace_context(kAckBit | kRetransmitBit | kControlBit));
+  // Stripping transport bits recovers the protocol tag.
+  const std::uint32_t tagged = (MessageTag::kUserBase + 7) | kRetransmitBit |
+                               kTraceContextBit;
+  EXPECT_EQ(tagged & ~kTransportTagBits, MessageTag::kUserBase + 7u);
+  // The trace extension never rides control or ack frames.
+  EXPECT_TRUE(is_control_tag(kHeartbeatPing));
+  EXPECT_FALSE(is_control_tag(kHeartbeatPing | kAckBit));
 }
 
 TEST(WireTest, ByteOrderHelpersRoundTrip) {

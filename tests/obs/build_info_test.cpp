@@ -1,0 +1,43 @@
+// Build-info exposition (obs/build_info.h): the eppi_build_info gauge must
+// be present in the global registry's Prometheus output with version, sha
+// and compiler labels — the join key that ties a scraped /metrics page or a
+// BENCH_*.json snapshot back to the binary that produced it.
+#include "obs/build_info.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/registry.h"
+
+namespace eppi::obs {
+namespace {
+
+TEST(BuildInfoTest, FieldsAreNonEmpty) {
+  EXPECT_FALSE(std::string(build_version()).empty());
+  EXPECT_FALSE(std::string(build_git_sha()).empty());
+  EXPECT_FALSE(std::string(build_compiler()).empty());
+}
+
+TEST(BuildInfoTest, RegistersGaugeWithLabels) {
+  Registry reg;
+  register_build_info(reg);
+  const std::string prom = reg.render_prometheus();
+  EXPECT_NE(prom.find("eppi_build_info"), std::string::npos);
+  EXPECT_NE(prom.find("version=\"" + std::string(build_version()) + "\""),
+            std::string::npos);
+  EXPECT_NE(prom.find("sha=\"" + std::string(build_git_sha()) + "\""),
+            std::string::npos);
+  // The gauge's value is the conventional constant 1.
+  EXPECT_NE(prom.find("} 1"), std::string::npos);
+}
+
+TEST(BuildInfoTest, GlobalRegistryCarriesBuildInfo) {
+  const std::string prom = Registry::global().render_prometheus();
+  EXPECT_NE(prom.find("eppi_build_info"), std::string::npos);
+  const std::string json = Registry::global().render_json();
+  EXPECT_NE(json.find("eppi_build_info"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eppi::obs

@@ -1,0 +1,55 @@
+// Escaping contract (obs/json_escape.h): the exporters' shared helpers must
+// produce valid JSON string bodies / Prometheus label values for arbitrary
+// input — the trace and registry exporters both lean on these, so a control
+// character in an attribute value must never break a JSONL consumer.
+#include "obs/json_escape.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace eppi::obs {
+namespace {
+
+TEST(JsonEscapeTest, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("phase:secsum"), "phase:secsum");
+  EXPECT_EQ(json_escape(""), "");
+  EXPECT_EQ(json_escape("owner_42/shard-7"), "owner_42/shard-7");
+}
+
+TEST(JsonEscapeTest, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(json_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(json_escape("C:\\path"), "C:\\\\path");
+}
+
+TEST(JsonEscapeTest, EscapesNamedControlCharacters) {
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape("a\rb"), "a\\rb");
+  EXPECT_EQ(json_escape("a\tb"), "a\\tb");
+  EXPECT_EQ(json_escape("a\bb"), "a\\bb");
+  EXPECT_EQ(json_escape("a\fb"), "a\\fb");
+}
+
+TEST(JsonEscapeTest, EscapesRemainingControlCharactersAsUnicode) {
+  EXPECT_EQ(json_escape(std::string("a\x01z", 3)), "a\\u0001z");
+  EXPECT_EQ(json_escape(std::string("a\x1fz", 3)), "a\\u001fz");
+  EXPECT_EQ(json_escape(std::string("a\x00z", 3)), "a\\u0000z");
+}
+
+TEST(JsonEscapeTest, LeavesHighBytesAlone) {
+  // UTF-8 multibyte sequences pass through untouched (JSON is UTF-8).
+  const std::string utf8 = "caf\xc3\xa9";
+  EXPECT_EQ(json_escape(utf8), utf8);
+}
+
+TEST(PromEscapeTest, EscapesOnlyWhatPrometheusRequires) {
+  EXPECT_EQ(prom_escape("plain"), "plain");
+  EXPECT_EQ(prom_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(prom_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(prom_escape("a\nb"), "a\\nb");
+  // Prometheus label values keep tabs and other controls verbatim.
+  EXPECT_EQ(prom_escape("a\tb"), "a\tb");
+}
+
+}  // namespace
+}  // namespace eppi::obs

@@ -1,0 +1,97 @@
+// Slow-query log contract (obs/slow_log.h): bounded retention keeps the K
+// slowest batches, eviction is by duration, snapshots come out slowest
+// first, and the JSONL export carries trace identity but no owner names
+// (there is no field to put one in — the privacy check is structural).
+#include "obs/slow_log.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace eppi::obs {
+namespace {
+
+SlowQueryLog::Entry entry(std::uint64_t duration_us, std::uint64_t at_ns = 0) {
+  SlowQueryLog::Entry e;
+  e.trace_id = 0x1000 + duration_us;
+  e.span_id = 0x2000 + duration_us;
+  e.at_ns = at_ns;
+  e.duration_us = duration_us;
+  e.batch = 8;
+  e.resolved = 6;
+  e.epoch = 3;
+  return e;
+}
+
+TEST(SlowQueryLogTest, RetainsSlowestUpToCapacity) {
+  SlowQueryLog log(3);
+  for (const std::uint64_t us : {10u, 50u, 20u, 40u, 30u, 5u}) {
+    log.offer(entry(us));
+  }
+  EXPECT_EQ(log.observed(), 6u);
+  const auto snap = log.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].duration_us, 50u);
+  EXPECT_EQ(snap[1].duration_us, 40u);
+  EXPECT_EQ(snap[2].duration_us, 30u);
+}
+
+TEST(SlowQueryLogTest, FastBatchNeverEvictsSlowerOne) {
+  SlowQueryLog log(2);
+  log.offer(entry(100));
+  log.offer(entry(200));
+  for (int i = 0; i < 50; ++i) log.offer(entry(1));
+  const auto snap = log.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].duration_us, 200u);
+  EXPECT_EQ(snap[1].duration_us, 100u);
+}
+
+TEST(SlowQueryLogTest, TiesBreakByEarlierArrival) {
+  SlowQueryLog log(4);
+  log.offer(entry(10, 500));
+  log.offer(entry(10, 100));
+  const auto snap = log.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].at_ns, 100u);
+  EXPECT_EQ(snap[1].at_ns, 500u);
+}
+
+TEST(SlowQueryLogTest, JsonlCarriesTraceIdentityAndCounts) {
+  SlowQueryLog log(2);
+  log.offer(entry(77));
+  const std::string jsonl = to_jsonl(log.snapshot());
+  EXPECT_NE(jsonl.find("\"duration_us\":77"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"trace\":"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"span\":"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"batch\":8"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"resolved\":6"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"epoch\":3"), std::string::npos);
+  EXPECT_EQ(jsonl.back(), '\n');
+}
+
+TEST(SlowQueryLogTest, ConcurrentOffersStayBoundedAndCounted) {
+  SlowQueryLog log(8);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log.offer(entry(static_cast<std::uint64_t>(t * kPerThread + i)));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(log.observed(), kThreads * kPerThread);
+  const auto snap = log.snapshot();
+  ASSERT_EQ(snap.size(), 8u);
+  // The slowest overall offer must have survived every eviction.
+  EXPECT_EQ(snap[0].duration_us,
+            static_cast<std::uint64_t>(kThreads * kPerThread - 1));
+}
+
+}  // namespace
+}  // namespace eppi::obs

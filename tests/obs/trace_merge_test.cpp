@@ -1,0 +1,187 @@
+// Trace merger contract (obs/trace_merge.h): per-process clocks are aligned
+// from matched send/recv pairs via difference constraints, so any feasible
+// constraint system merges with ZERO causality violations — even when raw
+// timestamps put a receive before its send, or link delays are asymmetric.
+// Also covers the JSONL round trip the merger's inputs/outputs ride on.
+#include "obs/trace_merge.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace_json.h"
+
+namespace eppi::obs {
+namespace {
+
+constexpr std::uint64_t kMs = 1'000'000;  // ns per ms
+
+TraceEvent span_event(std::uint64_t span, std::string name,
+                      std::uint64_t start_ns, std::uint64_t end_ns) {
+  TraceEvent ev;
+  ev.span = span;
+  ev.trace = span;
+  ev.name = std::move(name);
+  ev.start_ns = start_ns;
+  ev.end_ns = end_ns;
+  return ev;
+}
+
+TraceEvent recv_event(std::uint64_t span, std::uint64_t parent,
+                      std::uint64_t at_ns, std::uint64_t send_ns,
+                      bool retransmit = false) {
+  TraceEvent ev = span_event(span, "net.recv", at_ns, at_ns);
+  ev.parent = parent;
+  TraceEvent::Attr send;
+  send.key = "send_ns";
+  send.kind = TraceEvent::Attr::Kind::kU64;
+  send.u64 = send_ns;
+  send.f64 = static_cast<double>(send_ns);
+  ev.attrs.push_back(send);
+  TraceEvent::Attr rt;
+  rt.key = "rt";
+  rt.kind = TraceEvent::Attr::Kind::kU64;
+  rt.u64 = retransmit ? 1 : 0;
+  ev.attrs.push_back(rt);
+  return ev;
+}
+
+// Two processes, B's clock 5 ms ahead of true time, one message each way.
+// The raw reply timestamps are contradictory (sent at B-clock 15 ms,
+// received at A-clock 11.5 ms); a feasible offset assignment exists and the
+// merge must find one.
+std::vector<TraceFile> two_party_exchange() {
+  TraceFile a;
+  a.label = "party0";
+  a.events.push_back(span_event(0xA1, "phase:secsum", 0, 10 * kMs));
+  a.events.push_back(
+      recv_event(0xA9, 0xB1, 11 * kMs + kMs / 2, 15 * kMs));  // from B
+  TraceFile b;
+  b.label = "party1";
+  b.events.push_back(span_event(0xB1, "phase:secsum", 6 * kMs, 20 * kMs));
+  b.events.push_back(recv_event(0xB9, 0xA1, 8 * kMs, 2 * kMs));  // from A
+  return {a, b};
+}
+
+TEST(TraceMergeTest, AlignsClocksWithZeroViolationsWhenFeasible) {
+  MergeReport report;
+  const auto merged = merge_traces(two_party_exchange(), &report);
+
+  EXPECT_EQ(report.processes, 2u);
+  EXPECT_EQ(report.events, 4u);
+  EXPECT_EQ(report.recv_events, 2u);
+  EXPECT_EQ(report.matched_edges, 2u);
+  EXPECT_EQ(report.cross_process_edges, 2u);
+  EXPECT_EQ(report.unmatched_recv, 0u);
+  EXPECT_EQ(report.retransmit_edges, 0u);
+  EXPECT_EQ(report.causality_violations, 0u) << render_merge_report(report);
+
+  ASSERT_EQ(report.offsets_ns.size(), 2u);
+  // B must be pulled back by at least 3.5 ms (the reply constraint) and at
+  // most 6 ms (the forward constraint); the tightest solution is -3.5 ms.
+  EXPECT_EQ(report.offsets_ns[0], 0);
+  EXPECT_EQ(report.offsets_ns[1], -3 * static_cast<std::int64_t>(kMs) -
+                                      static_cast<std::int64_t>(kMs) / 2);
+
+  // Merged events are sorted by adjusted start and stamped with their
+  // process index.
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged[0].span, 0xA1u);
+  EXPECT_EQ(merged[0].proc, 0u);
+  EXPECT_EQ(merged[1].span, 0xB1u);
+  EXPECT_EQ(merged[1].proc, 1u);
+  EXPECT_EQ(merged[1].start_ns, 6 * kMs - 3 * kMs - kMs / 2);
+
+  // Every recv now happens at or after its (rebased) send.
+  for (const TraceEvent& ev : merged) {
+    if (ev.name != "net.recv") continue;
+    EXPECT_GE(ev.start_ns, ev.attr_u64("send_ns"));
+  }
+}
+
+TEST(TraceMergeTest, RetransmitsAreCountedButDoNotConstrainOffsets) {
+  auto files = two_party_exchange();
+  // An absurd retransmitted frame: send_ns far in B's future. If it entered
+  // the constraint system it would drag B's offset by ~100 ms.
+  files[0].events.push_back(
+      recv_event(0xAA, 0xB1, 12 * kMs, 111 * kMs, /*retransmit=*/true));
+  MergeReport report;
+  (void)merge_traces(std::move(files), &report);
+  EXPECT_EQ(report.retransmit_edges, 1u);
+  EXPECT_EQ(report.offsets_ns[1], -3 * static_cast<std::int64_t>(kMs) -
+                                      static_cast<std::int64_t>(kMs) / 2);
+  EXPECT_EQ(report.causality_violations, 0u);
+}
+
+TEST(TraceMergeTest, UnmatchedRecvIsReportedNotFatal) {
+  auto files = two_party_exchange();
+  files[0].events.push_back(
+      recv_event(0xAB, 0xDEAD, 13 * kMs, 12 * kMs));  // unknown parent
+  MergeReport report;
+  const auto merged = merge_traces(std::move(files), &report);
+  EXPECT_EQ(report.unmatched_recv, 1u);
+  EXPECT_EQ(report.matched_edges, 2u);
+  EXPECT_EQ(merged.size(), 5u);
+}
+
+TEST(TraceMergeTest, SingleFilePassesThroughShifted) {
+  TraceFile only;
+  only.label = "solo";
+  only.events.push_back(span_event(1, "phase:mix", 7 * kMs, 9 * kMs));
+  MergeReport report;
+  const auto merged = merge_traces({only}, &report);
+  ASSERT_EQ(merged.size(), 1u);
+  // Global shift anchors the earliest event at t=0.
+  EXPECT_EQ(merged[0].start_ns, 0u);
+  EXPECT_EQ(merged[0].end_ns, 2 * kMs);
+  EXPECT_EQ(report.causality_violations, 0u);
+}
+
+TEST(TraceMergeTest, ReportRendersCounts) {
+  MergeReport report;
+  (void)merge_traces(two_party_exchange(), &report);
+  const std::string text = render_merge_report(report);
+  EXPECT_NE(text.find("party0"), std::string::npos);
+  EXPECT_NE(text.find("party1"), std::string::npos);
+  EXPECT_NE(text.find("cross-process"), std::string::npos);
+  EXPECT_NE(text.find("causality violations: 0"), std::string::npos);
+}
+
+TEST(TraceJsonTest, EventRoundTripsThroughJsonLine) {
+  TraceEvent ev = recv_event(42, 7, 1234, 999);
+  ev.trace = 42;
+  ev.thread = 3;
+  ev.proc = 2;
+  TraceEvent::Attr label;
+  label.key = "label";
+  label.kind = TraceEvent::Attr::Kind::kStr;
+  label.str = "a\"b\\c\nd";  // exercises escaping both ways
+  ev.attrs.push_back(label);
+
+  const std::string line = to_json_line(ev);
+  TraceEvent back;
+  ASSERT_TRUE(parse_trace_line(line, &back)) << line;
+  EXPECT_EQ(back.span, 42u);
+  EXPECT_EQ(back.parent, 7u);
+  EXPECT_EQ(back.trace, 42u);
+  EXPECT_EQ(back.thread, 3u);
+  EXPECT_EQ(back.proc, 2u);
+  EXPECT_EQ(back.name, "net.recv");
+  EXPECT_EQ(back.start_ns, 1234u);
+  EXPECT_EQ(back.attr_u64("send_ns"), 999u);
+  const auto* attr = back.attr("label");
+  ASSERT_NE(attr, nullptr);
+  EXPECT_EQ(attr->str, "a\"b\\c\nd");
+}
+
+TEST(TraceJsonTest, RejectsMalformedLines) {
+  TraceEvent ev;
+  EXPECT_FALSE(parse_trace_line("", &ev));
+  EXPECT_FALSE(parse_trace_line("not json", &ev));
+  EXPECT_FALSE(parse_trace_line("{\"span\":", &ev));
+}
+
+}  // namespace
+}  // namespace eppi::obs

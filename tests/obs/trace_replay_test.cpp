@@ -90,5 +90,107 @@ TEST(TraceReplayTest, RenderedTableCarriesPhaseRowsAndTotals) {
   EXPECT_NE(table.find("180"), std::string::npos);  // summed bytes
 }
 
+// --- merged-trace decomposition and critical path --------------------------
+
+namespace decomposition {
+
+constexpr std::uint64_t kMs = 1'000'000;
+
+TraceEvent phase(std::uint64_t span, std::uint32_t proc, std::uint64_t start,
+                 std::uint64_t end) {
+  TraceEvent ev;
+  ev.span = span;
+  ev.trace = span;
+  ev.proc = proc;
+  ev.name = "phase:secsum";
+  ev.start_ns = start;
+  ev.end_ns = end;
+  return ev;
+}
+
+TraceEvent recv(std::uint64_t span, std::uint64_t parent, std::uint32_t proc,
+                std::uint64_t at, std::uint64_t send, bool rt) {
+  TraceEvent ev;
+  ev.span = span;
+  ev.parent = parent;
+  ev.proc = proc;
+  ev.name = "net.recv";
+  ev.start_ns = at;
+  ev.end_ns = at;
+  TraceEvent::Attr s;
+  s.key = "send_ns";
+  s.kind = TraceEvent::Attr::Kind::kU64;
+  s.u64 = send;
+  ev.attrs.push_back(s);
+  TraceEvent::Attr r;
+  r.key = "rt";
+  r.kind = TraceEvent::Attr::Kind::kU64;
+  r.u64 = rt ? 1 : 0;
+  ev.attrs.push_back(r);
+  return ev;
+}
+
+// proc 0 computes [0, 10ms] and sends twice; proc 1 runs [0, 20ms] waiting
+// on a first-transmission flight [6, 8]ms and a retransmitted one [12, 15]ms.
+std::vector<TraceEvent> merged_run() {
+  return {
+      phase(1, 0, 0, 10 * kMs),
+      phase(2, 1, 0, 20 * kMs),
+      recv(3, 1, 1, 8 * kMs, 6 * kMs, false),
+      recv(4, 1, 1, 15 * kMs, 12 * kMs, true),
+  };
+}
+
+TEST(TraceReplayDecompositionTest, SplitsPhaseTimeIntoComputeWaitStall) {
+  const ReplaySummary summary = summarize(merged_run());
+  EXPECT_EQ(summary.recv_events, 2u);
+  EXPECT_EQ(summary.cross_process_edges, 2u);
+  ASSERT_EQ(summary.phases.size(), 1u);
+  const PhaseRow& row = summary.phases[0];
+  EXPECT_EQ(row.spans, 2u);
+  EXPECT_DOUBLE_EQ(row.total_ms, 30.0);
+  // proc 1 waited on [6,8] ∪ [12,15] = 5 ms; only the retransmitted flight
+  // is stall; compute = 10 (proc 0) + 15 (proc 1 minus wait).
+  EXPECT_DOUBLE_EQ(row.wait_ms, 5.0);
+  EXPECT_DOUBLE_EQ(row.stall_ms, 3.0);
+  EXPECT_DOUBLE_EQ(row.compute_ms, 25.0);
+}
+
+TEST(TraceReplayDecompositionTest, WalksCrossProcessCriticalPath) {
+  const ReplaySummary summary = summarize(merged_run());
+  ASSERT_FALSE(summary.critical_path.empty());
+  // Backward from proc 1's finish at 20 ms: compute tail after the last
+  // recv (5 ms), the wire flight (3 ms), then proc 0's span bottoms out as
+  // pure compute (10 ms).
+  ASSERT_EQ(summary.critical_path.size(), 3u);
+  EXPECT_EQ(summary.critical_path[0].proc, 0u);
+  EXPECT_FALSE(summary.critical_path[0].wire);
+  EXPECT_DOUBLE_EQ(summary.critical_path[0].ms, 10.0);
+  EXPECT_TRUE(summary.critical_path[1].wire);
+  EXPECT_DOUBLE_EQ(summary.critical_path[1].ms, 3.0);
+  EXPECT_EQ(summary.critical_path[2].proc, 1u);
+  EXPECT_DOUBLE_EQ(summary.critical_path[2].ms, 5.0);
+  EXPECT_DOUBLE_EQ(summary.critical_path_ms, 18.0);
+}
+
+TEST(TraceReplayDecompositionTest, TableGrowsDecomposedColumnsAndPath) {
+  const std::string table = render_table(summarize(merged_run()));
+  EXPECT_NE(table.find("compute_ms"), std::string::npos);
+  EXPECT_NE(table.find("wait_ms"), std::string::npos);
+  EXPECT_NE(table.find("stall_ms"), std::string::npos);
+  EXPECT_NE(table.find("critical path:"), std::string::npos);
+  EXPECT_NE(table.find("wire 0->1"), std::string::npos);
+  EXPECT_NE(table.find("cross-process edges"), std::string::npos);
+}
+
+TEST(TraceReplayDecompositionTest, SingleProcessTraceKeepsCompactTable) {
+  const std::vector<TraceEvent> events = {phase(1, 0, 0, 10 * kMs)};
+  const std::string table = render_table(summarize(events));
+  EXPECT_EQ(table.find("compute_ms"), std::string::npos);
+  EXPECT_EQ(table.find("critical path:"), std::string::npos);
+}
+
+}  // namespace decomposition
+
 }  // namespace
 }  // namespace eppi::obs

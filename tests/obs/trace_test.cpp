@@ -221,5 +221,84 @@ TEST(TraceTest, ToJsonlEmitsOneObjectPerLine) {
   EXPECT_NE(jsonl.find("a\\\"quote"), std::string::npos);
 }
 
+TEST(TraceTest, TraceIdIsInheritedFromRootAcrossNesting) {
+  TraceSink sink(64);
+  {
+    Span root("root", &sink);
+    EXPECT_EQ(root.context().trace_id, root.id());
+    {
+      Span mid("mid", &sink);
+      Span leaf("leaf", &sink);
+      EXPECT_EQ(leaf.context().trace_id, root.id());
+      EXPECT_NE(leaf.id(), mid.id());
+    }
+  }
+  const auto events = sink.drain();
+  ASSERT_EQ(events.size(), 3u);
+  for (const auto& ev : events) {
+    EXPECT_EQ(ev.trace_id, events[2].span_id) << ev.name_view();
+  }
+  // Siblings started after the tree closes form a new trace.
+  { Span next("next", &sink); }
+  const auto after = sink.drain();
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(after[0].trace_id, after[0].span_id);
+  EXPECT_NE(after[0].trace_id, events[2].span_id);
+}
+
+TEST(TraceTest, CurrentSpanContextTracksInnermostSpan) {
+  EXPECT_FALSE(current_span_context());
+  TraceSink sink(64);
+  {
+    Span outer("outer", &sink);
+    const SpanContext ctx = current_span_context();
+    EXPECT_TRUE(ctx);
+    EXPECT_EQ(ctx.span_id, outer.id());
+    EXPECT_EQ(ctx.trace_id, outer.id());
+  }
+  EXPECT_FALSE(current_span_context());
+}
+
+TEST(TraceTest, ProcessSeedGivesGloballyDistinctIds) {
+  TraceSink sink(64);
+  set_trace_process_seed_for_testing(0xAAAAAA);
+  { Span a("a", &sink); }
+  set_trace_process_seed_for_testing(0xBBBBBB);
+  { Span b("b", &sink); }
+  const auto events = sink.drain();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].span_id >> 40, 0xAAAAAAu);
+  EXPECT_EQ(events[1].span_id >> 40, 0xBBBBBBu);
+  // Restore an entropy-looking seed so later tests keep unique ids.
+  set_trace_process_seed_for_testing(0x123456);
+}
+
+TEST(TraceTest, RemoteEventParentsToExplicitContext) {
+  TraceSink sink(64);
+  const SpanContext remote{0x99u, 0x42u};  // as if from another process
+  const std::uint64_t id = record_remote_event(
+      "net.recv", remote, {{"from", 3u}, {"bytes", 64u}}, &sink);
+  EXPECT_NE(id, 0u);
+  const auto events = sink.drain();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name_view(), "net.recv");
+  EXPECT_EQ(events[0].parent_id, 0x42u);
+  EXPECT_EQ(events[0].trace_id, 0x99u);
+  EXPECT_EQ(events[0].span_id, id);
+  const SpanAttr* bytes = find_attr(events[0], "bytes");
+  ASSERT_NE(bytes, nullptr);
+  EXPECT_EQ(bytes->value.u64, 64u);
+  // The receive span's own id must not collide with the remote parent's
+  // id space: it comes from this process's seeded allocator.
+  EXPECT_NE(events[0].span_id, events[0].parent_id);
+}
+
+TEST(TraceTest, ToJsonlCarriesTraceId) {
+  TraceSink sink(64);
+  { Span span("phase:mix", &sink); }
+  const std::string jsonl = to_jsonl(sink.drain());
+  EXPECT_NE(jsonl.find("\"trace\":"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace eppi::obs

@@ -74,11 +74,26 @@
 //       and prints a per-family sample summary; exit 1 on malformed input.
 //
 //   eppi_cli trace <trace.jsonl> [--expect-bytes N]
-//       Replays an exported JSONL trace (serve --trace or a test run) into
-//       the paper's Fig. 6 per-phase cost table: one row per protocol phase
-//       with summed time, bytes, messages and rounds across parties.
+//       Replays an exported JSONL trace (serve/party --trace or a test run)
+//       into the paper's Fig. 6 per-phase cost table: one row per protocol
+//       phase with summed time, bytes, messages and rounds across parties.
+//       Merged multi-process traces additionally get the compute/wait/stall
+//       decomposition and the cross-process critical path.
 //       --expect-bytes fails (exit 1) unless the summed phase bytes equal N
 //       — the CI hook that pins the trace to the CostMeter ground truth.
+//
+//   eppi_cli trace merge <out.jsonl> <in.jsonl...> [options]
+//       Joins per-process trace exports (one per party) into one causally
+//       ordered timeline: net.recv spans matched to their remote sender
+//       spans give cross-process edges; per-process clock offsets are
+//       estimated from the matched send/recv pairs (difference constraints,
+//       so no matched first-transmission pair ends up received before it
+//       was sent); send_ns attributes are rebased into the merged clock.
+//       Prints the merge report (offsets, edge counts, violations).
+//         --require-edges N    exit 1 unless >= N cross-process edges
+//         --max-violations N   exit 1 if more than N causality violations
+//       Both gates back the multiprocess smoke: a merged m=4 run must
+//       reconstruct real cross-process parent links with zero violations.
 #include <algorithm>
 #include <atomic>
 #include <cctype>
@@ -110,7 +125,10 @@
 #include "net/mini_http.h"
 #include "net/socket_transport.h"
 #include "obs/registry.h"
+#include "obs/slow_log.h"
 #include "obs/trace.h"
+#include "obs/trace_json.h"
+#include "obs/trace_merge.h"
 #include "obs/trace_replay.h"
 #include "storage/posix_vfs.h"
 
@@ -131,7 +149,7 @@ int usage() {
          "  eppi_cli party <collection.csv> --id I --port-base P "
          "[--eps x] [--c n] [--host-file f]\n"
          "           [--ft] [--seed n] [--listen-port P] [--metrics-port P] "
-         "[--linger]\n"
+         "[--linger] [--trace out.jsonl]\n"
          "           [--heartbeat-ms H] [--heartbeat-timeout-ms T] "
          "[--stage-timeout-ms T] [--connect-timeout-ms T]\n"
          "  eppi_cli audit <index.idx> <collection.csv> [--eps x]\n"
@@ -139,7 +157,9 @@ int usage() {
          "[--queries N] [--batch B]\n"
          "           [--rebuilds R] [--seed n] [--smoke] [--prom] "
          "[--trace out.jsonl] [--listen PORT] [--no-delta]\n"
-         "  eppi_cli trace <trace.jsonl> [--expect-bytes N]\n";
+         "  eppi_cli trace <trace.jsonl> [--expect-bytes N]\n"
+         "  eppi_cli trace merge <out.jsonl> <in.jsonl...> "
+         "[--require-edges N] [--max-violations N]\n";
   return 2;
 }
 
@@ -392,6 +412,38 @@ int cmd_audit(const std::vector<std::string>& args) {
   return 0;
 }
 
+// Drains the process trace ring and writes it as JSONL, crash-safe. Shared
+// by `party --trace`, `serve --trace`, and the HTTP /trace endpoints (which
+// skip the file and return the body). Draining advances the ring watermark,
+// so file export and endpoint scrapes see disjoint event batches.
+void write_trace_file(const std::string& path) {
+  const std::string jsonl =
+      eppi::obs::to_jsonl(eppi::obs::default_sink().drain());
+  eppi::storage::PosixVfs vfs;
+  eppi::storage::atomic_write_file(
+      vfs, path,
+      std::span(reinterpret_cast<const std::uint8_t*>(jsonl.data()),
+                jsonl.size()));
+  std::cerr << "wrote trace (" << jsonl.size() << " bytes) to " << path
+            << '\n';
+}
+
+// GET /trace: the trace ring as newline-delimited JSON.
+eppi::net::HttpResponse trace_endpoint() {
+  eppi::net::HttpResponse resp;
+  resp.content_type = "application/x-ndjson";
+  resp.body = eppi::obs::to_jsonl(eppi::obs::default_sink().drain());
+  return resp;
+}
+
+// GET /slowlog: the K slowest query_ppi_many batches, slowest first.
+eppi::net::HttpResponse slowlog_endpoint() {
+  eppi::net::HttpResponse resp;
+  resp.content_type = "application/x-ndjson";
+  resp.body = eppi::obs::to_jsonl(eppi::obs::SlowQueryLog::global().snapshot());
+  return resp;
+}
+
 // SIGTERM/SIGINT request a clean drain: finish the work in flight, tear the
 // runtime down in order, exit 0. Handlers only set the flag; drain points
 // poll it.
@@ -424,6 +476,7 @@ int cmd_party(const std::vector<std::string>& args) {
   std::size_t heartbeat_timeout_ms = 2000;
   std::size_t stage_timeout_ms = 0;
   bool linger = false;
+  std::string trace_path;
   for (std::size_t a = 1; a < args.size(); ++a) {
     const std::string& arg = args[a];
     const auto next = [&]() -> const std::string& {
@@ -462,6 +515,8 @@ int cmd_party(const std::vector<std::string>& args) {
       stage_timeout_ms = std::stoul(next());
     } else if (arg == "--linger") {
       linger = true;
+    } else if (arg == "--trace") {
+      trace_path = next();
     } else {
       throw eppi::ConfigError("unknown option " + arg);
     }
@@ -530,6 +585,8 @@ int cmd_party(const std::vector<std::string>& args) {
           } else if (req.path == "/metrics") {
             resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
             resp.body = eppi::obs::Registry::global().render_prometheus();
+          } else if (req.path == "/trace") {
+            resp = trace_endpoint();
           } else {
             resp.status = 404;
             resp.body = "not found\n";
@@ -586,6 +643,16 @@ int cmd_party(const std::vector<std::string>& args) {
     std::cerr << "party " << id << " draining\n";
   }
   runtime.shutdown();
+  // This party's CostMeter ground truth — the protocol-level meter the
+  // phase spans snapshot (first-time sends; transport acks/retransmits are
+  // framing, not protocol cost). The smoke gate sums these lines across
+  // parties and pins the merged trace's replayed totals to them exactly.
+  const auto cost = runtime.context().local_meter().snapshot();
+  std::cerr << "cost: bytes=" << cost.bytes << " messages=" << cost.messages
+            << " rounds=" << cost.rounds << '\n';
+  // Export after shutdown: the drain phase can still materialize net.recv
+  // spans, and a SIGTERM'd linger run must flush them too.
+  if (!trace_path.empty()) write_trace_file(trace_path);
   if (http) http->stop();
   return 0;
 }
@@ -715,6 +782,8 @@ int cmd_serve(const std::vector<std::string>& args) {
             resp.body = eppi::obs::Registry::global().render_prometheus();
             return resp;
           }
+          if (req.path == "/trace") return trace_endpoint();
+          if (req.path == "/slowlog") return slowlog_endpoint();
           if (req.path.rfind("/query", 0) == 0) {
             std::vector<std::string> owners;
             if (req.method == "POST") {
@@ -820,8 +889,8 @@ int cmd_serve(const std::vector<std::string>& args) {
     http.start();
     std::cerr << "eppi_serve: " << net.identities() << " owners across "
               << net.providers() << " providers; HTTP on port " << http.port()
-              << " (/healthz /metrics /query /delegate /retire /rebuild); "
-                 "SIGTERM drains\n";
+              << " (/healthz /metrics /trace /slowlog /query /delegate "
+                 "/retire /rebuild); SIGTERM drains\n";
     while (g_terminate == 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
     }
@@ -904,17 +973,7 @@ int cmd_serve(const std::vector<std::string>& args) {
   if (prom) {
     std::cout << eppi::obs::Registry::global().render_prometheus();
   }
-  if (!trace_path.empty()) {
-    const std::string jsonl =
-        eppi::obs::to_jsonl(eppi::obs::default_sink().drain());
-    eppi::storage::PosixVfs vfs;
-    eppi::storage::atomic_write_file(
-        vfs, trace_path,
-        std::span(reinterpret_cast<const std::uint8_t*>(jsonl.data()),
-                  jsonl.size()));
-    std::cerr << "wrote trace (" << jsonl.size() << " bytes) to "
-              << trace_path << '\n';
-  }
+  if (!trace_path.empty()) write_trace_file(trace_path);
   return 0;
 }
 
@@ -1108,8 +1167,96 @@ int cmd_stats(const std::vector<std::string>& args) {
   return 0;
 }
 
+std::vector<eppi::obs::TraceEvent> load_trace_events(const std::string& path,
+                                                     std::size_t* errors) {
+  std::ifstream in(path);
+  if (!in) throw eppi::ConfigError("cannot open " + path);
+  std::vector<eppi::obs::TraceEvent> events;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    eppi::obs::TraceEvent ev;
+    if (eppi::obs::parse_trace_line(line, &ev)) {
+      events.push_back(std::move(ev));
+    } else if (errors != nullptr) {
+      ++*errors;
+    }
+  }
+  return events;
+}
+
+int cmd_trace_merge(const std::vector<std::string>& args) {
+  if (args.size() < 2) return usage();
+  const std::string& out_path = args[0];
+  std::vector<std::string> inputs;
+  std::uint64_t require_edges = 0;
+  std::uint64_t max_violations = 0;
+  bool have_max_violations = false;
+  for (std::size_t a = 1; a < args.size(); ++a) {
+    const std::string& arg = args[a];
+    const auto next = [&]() -> const std::string& {
+      if (a + 1 >= args.size()) throw eppi::ConfigError(arg + " needs a value");
+      return args[++a];
+    };
+    if (arg == "--require-edges") {
+      require_edges = std::stoull(next());
+    } else if (arg == "--max-violations") {
+      max_violations = std::stoull(next());
+      have_max_violations = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      throw eppi::ConfigError("unknown option " + arg);
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) return usage();
+
+  std::vector<eppi::obs::TraceFile> files;
+  std::size_t parse_errors = 0;
+  for (const std::string& path : inputs) {
+    eppi::obs::TraceFile file;
+    file.label = path;
+    file.events = load_trace_events(path, &parse_errors);
+    files.push_back(std::move(file));
+  }
+  eppi::obs::MergeReport report;
+  const auto merged = eppi::obs::merge_traces(std::move(files), &report);
+
+  std::ostringstream out;
+  for (const auto& ev : merged) out << eppi::obs::to_json_line(ev);
+  const std::string body = out.str();
+  eppi::storage::PosixVfs vfs;
+  eppi::storage::atomic_write_file(
+      vfs, out_path,
+      std::span(reinterpret_cast<const std::uint8_t*>(body.data()),
+                body.size()));
+  std::cout << eppi::obs::render_merge_report(report);
+  if (parse_errors != 0) {
+    std::cout << "parse errors: " << parse_errors << '\n';
+  }
+  std::cerr << "wrote merged trace (" << merged.size() << " events) to "
+            << out_path << '\n';
+
+  if (report.cross_process_edges < require_edges) {
+    std::cerr << "trace merge: " << report.cross_process_edges
+              << " cross-process edge(s) < required " << require_edges
+              << " — context propagation is broken\n";
+    return 1;
+  }
+  if (have_max_violations && report.causality_violations > max_violations) {
+    std::cerr << "trace merge: " << report.causality_violations
+              << " causality violation(s) > allowed " << max_violations
+              << '\n';
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_trace(const std::vector<std::string>& args) {
   if (args.empty()) return usage();
+  if (args[0] == "merge") {
+    return cmd_trace_merge({args.begin() + 1, args.end()});
+  }
   const std::string& path = args[0];
   std::uint64_t expect_bytes = 0;
   bool have_expect = false;
